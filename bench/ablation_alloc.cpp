@@ -1,0 +1,73 @@
+// Ablation A2: the §5 allocation policy choices.
+//
+// The paper's allocator is dual-ended first-fit with regularity hints.
+// This harness re-plans every registry workload with the Complete Data
+// Scheduler's placement driver under policy variants and reports
+// fragmentation behaviour: splits (objects broken across free blocks),
+// regularity hint hit rate, and the peak words used per FB set.
+#include <iostream>
+
+#include "msys/common/strfmt.hpp"
+#include "msys/common/table.hpp"
+#include "msys/dsched/alloc_driver.hpp"
+#include "msys/dsched/schedulers.hpp"
+#include "msys/extract/analysis.hpp"
+#include "msys/workloads/experiments.hpp"
+
+int main() {
+  using namespace msys;
+
+  TextTable table({"Experiment", "Variant", "OK", "Splits", "HintHits", "HintMiss",
+                   "PeakA", "PeakB"});
+  for (const std::string& name : workloads::table1_experiment_names()) {
+    workloads::Experiment exp = workloads::make_experiment(name);
+    extract::ScheduleAnalysis analysis(exp.sched);
+
+    // Recover the CDS decision (RF + retained set) once, then replay the
+    // placement walk under each allocator variant.
+    dsched::DataSchedule cds =
+        dsched::CompleteDataScheduler{}.schedule(analysis, exp.cfg);
+    if (!cds.feasible) {
+      table.add_row({exp.name, "-", "infeasible", "-", "-", "-", "-", "-"});
+      continue;
+    }
+
+    struct Variant {
+      const char* label;
+      alloc::FitPolicy fit;
+      bool regularity;
+    };
+    const Variant variants[] = {
+        {"first-fit+hints (paper)", alloc::FitPolicy::kFirstFit, true},
+        {"first-fit, no hints", alloc::FitPolicy::kFirstFit, false},
+        {"best-fit+hints", alloc::FitPolicy::kBestFit, true},
+    };
+    for (const Variant& variant : variants) {
+      dsched::DriverOptions opt;
+      opt.rf = cds.rf;
+      opt.retained = cds.retained;
+      opt.fit = variant.fit;
+      opt.regularity_hints = variant.regularity;
+      dsched::DriverResult result = plan_round(analysis, exp.cfg.fb_set_size, opt);
+      if (!result.ok) {
+        table.add_row({exp.name, variant.label, "no", "-", "-", "-", "-", "-"});
+        continue;
+      }
+      table.add_row({
+          exp.name,
+          variant.label,
+          "yes",
+          std::to_string(result.summary.splits),
+          std::to_string(result.summary.preferred_hits),
+          std::to_string(result.summary.preferred_misses),
+          size_kb(SizeWords{result.summary.peak_used_words[0]}),
+          size_kb(SizeWords{result.summary.peak_used_words[1]}),
+      });
+    }
+    table.add_rule();
+  }
+  std::cout << "Ablation A2: allocator policy (paper = dual-ended first-fit with\n"
+               "regularity hints; paper reports zero splits on every experiment)\n\n";
+  table.print(std::cout);
+  return 0;
+}

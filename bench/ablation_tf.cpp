@@ -1,0 +1,127 @@
+// Ablation A1: does the paper's TF ranking of retention candidates matter?
+//
+// The Complete Data Scheduler keeps shared data/results greedily in
+// descending TF order (§4).  At the paper's own operating points the FB
+// usually has room for every candidate, so the ranking is moot; under
+// memory pressure the order decides *which* candidates survive.  This
+// harness replays the registry at decreasing FB sizes with two
+// alternative rankings — declaration order and biggest-size-first — and
+// reports execution time and retained-object count against the TF order.
+#include <iostream>
+
+#include "msys/common/strfmt.hpp"
+#include "msys/common/table.hpp"
+#include "msys/model/application.hpp"
+#include "msys/report/runner.hpp"
+#include "msys/workloads/experiments.hpp"
+
+int main() {
+  using namespace msys;
+  using Ranking = dsched::CompleteDataScheduler::Options::Ranking;
+
+  TextTable table({"Experiment", "FB", "TF cycles", "decl-order", "size-first",
+                   "TF kept", "decl kept", "size kept"});
+  std::uint64_t tf_wins = 0;
+  std::uint64_t tf_losses = 0;
+  for (const std::string& name : workloads::table1_experiment_names()) {
+    for (const double fraction : {1.0, 0.8, 0.65, 0.55}) {
+      workloads::Experiment exp = workloads::make_experiment(name);
+      const auto scaled =
+          static_cast<std::uint64_t>(static_cast<double>(exp.cfg.fb_set_size.value()) *
+                                     fraction);
+      exp.cfg = exp.cfg.with_fb_set_size(SizeWords{scaled});
+      auto run = [&](Ranking ranking) {
+        dsched::CompleteDataScheduler cds({.ranking = ranking});
+        return report::run_scheduler(cds, exp.sched, exp.cfg);
+      };
+      report::SchedulerOutcome tf = run(Ranking::kTimeFactor);
+      if (!tf.feasible()) continue;  // workload no longer fits at all
+      report::SchedulerOutcome decl = run(Ranking::kDeclarationOrder);
+      report::SchedulerOutcome size = run(Ranking::kSizeFirst);
+      for (const report::SchedulerOutcome* other : {&decl, &size}) {
+        if (!other->feasible()) continue;
+        if (tf.predicted.total < other->predicted.total) ++tf_wins;
+        if (tf.predicted.total > other->predicted.total) ++tf_losses;
+      }
+      auto cycles = [](const report::SchedulerOutcome& o) -> std::string {
+        return o.feasible() ? std::to_string(o.predicted.total.value()) : "n/a";
+      };
+      auto kept = [](const report::SchedulerOutcome& o) -> std::string {
+        return o.feasible() ? std::to_string(o.schedule.retained.size()) : "-";
+      };
+      table.add_row({exp.name, size_kb(exp.cfg.fb_set_size), cycles(tf), cycles(decl),
+                     cycles(size), kept(tf), kept(decl), kept(size)});
+    }
+    table.add_rule();
+  }
+  std::cout << "Ablation A1: retention ranking under FB pressure (cycles; lower is "
+               "better)\n\n";
+  table.print(std::cout);
+  std::cout << "\nTF strictly better on " << tf_wins << " configurations, strictly worse on "
+            << tf_losses
+            << ".\nOn the registry the candidate sets are small and uniform enough that\n"
+               "every ranking converges to the same retained set (the greedy always\n"
+               "re-checks feasibility).  The stress workload below decouples candidate\n"
+               "size from candidate value, where the ranking decides the winner.\n\n";
+
+  // ---- Stress workload: a 9-cluster chain where retained objects all
+  // charge the same mid-span cluster (Cl5 carries a 400-word private
+  // input).  Big shared data (200 words, one avoided load, TF=200)
+  // competes with small shared results (90 words, store + reload avoided,
+  // TF=180 but 2x the savings per occupied word): the paper's absolute-TF
+  // greedy keeps the bigs first and runs out of Cl5 space; the density
+  // ranking saves strictly more traffic. ----
+  {
+    model::ApplicationBuilder b("stress", 8);
+    std::vector<KernelId> ks;
+    for (int i = 1; i <= 9; ++i) {
+      const std::uint64_t in_size = (i == 5) ? 400 : 40;
+      DataId priv = b.external_input("in" + std::to_string(i), SizeWords{in_size});
+      KernelId k = b.kernel("k" + std::to_string(i), 24, Cycles{60}, {priv});
+      b.output(k, "out" + std::to_string(i), SizeWords{20}, true);
+      ks.push_back(k);
+    }
+    for (int i = 0; i < 3; ++i) {
+      DataId d = b.external_input("big" + std::to_string(i), SizeWords{200});
+      b.add_input(ks[0], d);
+      b.add_input(ks[8], d);
+    }
+    for (int i = 0; i < 3; ++i) {
+      DataId r = b.output(ks[0], "hot" + std::to_string(i), SizeWords{90});
+      b.add_input(ks[8], r);
+    }
+    model::Application app = std::move(b).build();
+    std::vector<std::vector<KernelId>> partition;
+    for (KernelId k : ks) partition.push_back({k});
+    model::KernelSchedule sched = model::KernelSchedule::from_partition(app, partition);
+    arch::M1Config cfg = arch::M1Config::m1_default();
+    cfg.cm_capacity_words = 512;
+
+    TextTable stress({"FB", "TF cycles", "decl", "size", "density", "TF kept",
+                      "dens kept"});
+    for (std::uint64_t fb : {1400, 1100, 1000, 950}) {
+      cfg.fb_set_size = SizeWords{fb};
+      auto run = [&](Ranking ranking) {
+        dsched::CompleteDataScheduler cds({.ranking = ranking});
+        return report::run_scheduler(cds, sched, cfg);
+      };
+      report::SchedulerOutcome tf = run(Ranking::kTimeFactor);
+      report::SchedulerOutcome decl = run(Ranking::kDeclarationOrder);
+      report::SchedulerOutcome size = run(Ranking::kSizeFirst);
+      report::SchedulerOutcome dens = run(Ranking::kDensity);
+      auto cycles = [](const report::SchedulerOutcome& o) -> std::string {
+        return o.feasible() ? std::to_string(o.predicted.total.value()) : "n/a";
+      };
+      auto kept = [](const report::SchedulerOutcome& o) -> std::string {
+        return o.feasible() ? std::to_string(o.schedule.retained.size()) : "-";
+      };
+      stress.add_row({size_kb(SizeWords{fb}), cycles(tf), cycles(decl), cycles(size),
+                      cycles(dens), kept(tf), kept(dens)});
+    }
+    std::cout << "Stress workload (3x 200-word shared data, 1 transfer avoided each,\n"
+                 "vs 3x 90-word shared results, 2 transfers avoided each; all charge\n"
+                 "the same mid-span cluster):\n\n";
+    stress.print(std::cout);
+  }
+  return 0;
+}

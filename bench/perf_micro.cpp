@@ -1,0 +1,124 @@
+// P1: google-benchmark microbenchmarks of the compiler itself — allocator
+// throughput, analysis construction, scheduler runtime, full pipeline and
+// simulator speed.  These measure the *tool*, not the modelled hardware.
+#include <benchmark/benchmark.h>
+
+#include "msys/alloc/fb_allocator.hpp"
+#include "msys/codegen/program.hpp"
+#include "msys/common/rng.hpp"
+#include "msys/dsched/schedulers.hpp"
+#include "msys/extract/analysis.hpp"
+#include "msys/ksched/kernel_scheduler.hpp"
+#include "msys/report/runner.hpp"
+#include "msys/sim/simulator.hpp"
+#include "msys/workloads/experiments.hpp"
+
+namespace {
+
+using namespace msys;
+
+void BM_AllocatorChurn(benchmark::State& state) {
+  const SizeWords capacity{8192};
+  const auto live_target = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    alloc::FrameBufferAllocator fb(capacity);
+    Rng rng(42);
+    std::vector<alloc::Allocation> live;
+    for (int step = 0; step < 2000; ++step) {
+      if (live.size() < live_target || rng.chance(1, 2)) {
+        auto a = fb.allocate(SizeWords{rng.uniform(8, 64)},
+                             rng.chance(1, 2) ? alloc::AllocEnd::kTop
+                                              : alloc::AllocEnd::kBottom);
+        if (a) live.push_back(*a);
+      }
+      if (!live.empty() && (live.size() >= live_target || rng.chance(1, 2))) {
+        const std::size_t idx = rng.uniform(0, live.size() - 1);
+        fb.release(live[idx]);
+        live[idx] = live.back();
+        live.pop_back();
+      }
+    }
+    for (const auto& a : live) fb.release(a);
+    benchmark::DoNotOptimize(fb.free_words());
+  }
+}
+BENCHMARK(BM_AllocatorChurn)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_ScheduleAnalysis(benchmark::State& state) {
+  workloads::Experiment exp = workloads::make_experiment("ATR-SLD");
+  for (auto _ : state) {
+    extract::ScheduleAnalysis analysis(exp.sched);
+    benchmark::DoNotOptimize(analysis.retention_candidates().size());
+  }
+}
+BENCHMARK(BM_ScheduleAnalysis);
+
+void BM_PlanRound(benchmark::State& state) {
+  workloads::Experiment exp = workloads::make_experiment("MPEG");
+  extract::ScheduleAnalysis analysis(exp.sched);
+  dsched::DriverOptions opt;
+  opt.rf = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    dsched::DriverResult result = plan_round(analysis, exp.cfg.fb_set_size, opt);
+    benchmark::DoNotOptimize(result.ok);
+  }
+}
+BENCHMARK(BM_PlanRound)->Arg(1)->Arg(2);
+
+void BM_Scheduler(benchmark::State& state) {
+  workloads::Experiment exp = workloads::make_experiment("E1*");
+  extract::ScheduleAnalysis analysis(exp.sched);
+  const auto schedulers = dsched::all_schedulers();
+  const dsched::DataSchedulerBase& scheduler =
+      *schedulers[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    dsched::DataSchedule s = scheduler.schedule(analysis, exp.cfg);
+    benchmark::DoNotOptimize(s.feasible);
+  }
+  state.SetLabel(scheduler.name());
+}
+BENCHMARK(BM_Scheduler)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FullPipeline(benchmark::State& state) {
+  workloads::Experiment exp = workloads::make_experiment("E2");
+  for (auto _ : state) {
+    report::SchedulerOutcome outcome =
+        report::run_scheduler(dsched::CompleteDataScheduler{}, exp.sched, exp.cfg);
+    benchmark::DoNotOptimize(outcome.feasible());
+  }
+}
+BENCHMARK(BM_FullPipeline);
+
+void BM_SimulatorOnly(benchmark::State& state) {
+  workloads::Experiment exp = workloads::make_experiment("E3");
+  extract::ScheduleAnalysis analysis(exp.sched);
+  csched::ContextPlan plan =
+      csched::ContextPlan::build(exp.sched, exp.cfg.cm_capacity_words);
+  dsched::DataSchedule s = dsched::CompleteDataScheduler{}.schedule(analysis, exp.cfg);
+  codegen::ScheduleProgram program = codegen::generate(s, plan);
+  for (auto _ : state) {
+    sim::Simulator simulator(exp.cfg, plan);
+    sim::SimReport report = simulator.run(program);
+    benchmark::DoNotOptimize(report.total);
+  }
+  state.counters["rc_ops"] = static_cast<double>(program.rc_ops.size());
+  state.counters["dma_ops"] = static_cast<double>(program.dma_ops.size());
+}
+BENCHMARK(BM_SimulatorOnly);
+
+void BM_KernelSchedulerSearch(benchmark::State& state) {
+  workloads::Experiment exp = workloads::make_experiment("MPEG");
+  ksched::Options options;
+  options.strategy = state.range(0) == 0 ? ksched::Options::Strategy::kExhaustive
+                                         : ksched::Options::Strategy::kGreedy;
+  for (auto _ : state) {
+    ksched::SearchResult result = ksched::find_best_schedule(*exp.app, exp.cfg, options);
+    benchmark::DoNotOptimize(result.found());
+  }
+  state.SetLabel(state.range(0) == 0 ? "exhaustive" : "greedy");
+}
+BENCHMARK(BM_KernelSchedulerSearch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Regenerates the paper's Table 1: all twelve experiments through the
+// Basic, Data and Complete Data Schedulers, reporting N, n, DS, DT, RF,
+// FB and the relative execution improvements.  An extra MPEG(1K) row
+// demonstrates the paper's prose observation that the Basic Scheduler
+// cannot execute MPEG in a 1K frame-buffer set.
+#include <iostream>
+
+#include "msys/report/tables.hpp"
+#include "msys/workloads/experiments.hpp"
+
+int main() {
+  using namespace msys;
+  // Experiments stay alive until reporting finishes: results reference
+  // their kernel schedules.
+  std::vector<workloads::Experiment> experiments;
+  for (const std::string& name : workloads::table1_experiment_names()) {
+    experiments.push_back(workloads::make_experiment(name));
+  }
+  experiments.push_back(workloads::make_mpeg(kilowords(1)));
+  experiments.back().name = "MPEG(1K)";
+
+  std::vector<report::ExperimentResult> results;
+  for (const workloads::Experiment& exp : experiments) {
+    results.push_back(report::run_experiment(exp.name, exp.sched, exp.cfg));
+  }
+
+  std::cout << "Table 1. experimental results\n\n";
+  report::table1(results).print(std::cout);
+  std::cout << "\nScheduler detail (cycles, traffic)\n\n";
+  report::detail_table(results).print(std::cout);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Exports every Table-1 registry experiment as a .mapp text file, so the
+// workloads can be inspected, edited and re-compiled with `msysc`.
+//
+//   $ ./build/examples/export_registry [out_dir]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "msys/appdsl/parser.hpp"
+#include "msys/workloads/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msys;
+  std::filesystem::path out_dir = argc > 1 ? argv[1] : "registry_mapp";
+  std::filesystem::create_directories(out_dir);
+
+  for (const std::string& name : workloads::table1_experiment_names()) {
+    workloads::Experiment exp = workloads::make_experiment(name);
+    std::vector<std::vector<std::string>> partition;
+    for (const model::Cluster& c : exp.sched.clusters()) {
+      std::vector<std::string> names;
+      for (KernelId k : c.kernels) names.push_back(exp.app->kernel(k).name);
+      partition.push_back(std::move(names));
+    }
+    std::string file_name = name;
+    for (char& c : file_name) {
+      if (c == '*') c = 's';
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    const std::filesystem::path path = out_dir / (file_name + ".mapp");
+    std::ofstream out(path);
+    out << "# " << exp.name << ": " << exp.description << "\n";
+    out << appdsl::write(*exp.app, partition, exp.cfg);
+    std::cout << "wrote " << path.string() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// msysc — a miniature command-line front end for the whole compilation
+// flow: parse an application description, run the data schedulers, and
+// simulate the generated programs.
+//
+//   $ ./build/examples/msysc examples/apps/demo.mapp
+//   $ ./build/examples/msysc --emit examples/apps/demo.mapp    # dump DSL back
+//   $ ./build/examples/msysc --timeline examples/apps/demo.mapp
+//   $ ./build/examples/msysc --cross-set examples/apps/demo.mapp
+//   $ ./build/examples/msysc --control examples/apps/demo.mapp # TinyRISC listing
+//   $ ./build/examples/msysc --search examples/apps/demo.mapp  # ignore clusters,
+//                                                              # let ksched pick
+//
+// The text format is documented in msys/appdsl/parser.hpp.
+#include <iostream>
+#include <string>
+
+#include "msys/appdsl/parser.hpp"
+#include "msys/codegen/program.hpp"
+#include "msys/common/strfmt.hpp"
+#include "msys/extract/analysis.hpp"
+#include "msys/ksched/kernel_scheduler.hpp"
+#include "msys/report/runner.hpp"
+#include "msys/report/tables.hpp"
+#include "msys/report/timeline.hpp"
+#include "msys/trisc/control.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msys;
+  bool emit = false;
+  bool timeline = false;
+  bool cross_set = false;
+  bool search = false;
+  bool control = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--emit") {
+      emit = true;
+    } else if (arg == "--timeline") {
+      timeline = true;
+    } else if (arg == "--cross-set") {
+      cross_set = true;
+    } else if (arg == "--search") {
+      search = true;
+    } else if (arg == "--control") {
+      control = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "msysc: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: msysc [--emit|--timeline|--cross-set|--search|--control]"
+                 " <file.mapp>\n";
+    return 2;
+  }
+
+  try {
+    appdsl::ParsedExperiment parsed = appdsl::parse_file(path);
+    if (emit) {
+      std::cout << appdsl::write(parsed.app, parsed.partition, parsed.cfg);
+      return 0;
+    }
+
+    if (cross_set) parsed.cfg = parsed.cfg.with_cross_set_reads(true);
+    std::cout << "machine: " << parsed.cfg.summary() << '\n';
+    if (parsed.partition.empty() || search) {
+      // No cluster lines: let the Kernel Scheduler find one.
+      std::cout << "no schedule in file; searching...\n";
+      ksched::SearchResult search = ksched::find_best_schedule(parsed.app, parsed.cfg);
+      if (!search.found()) {
+        std::cerr << "no feasible kernel schedule on this machine\n";
+        return 1;
+      }
+      std::cout << "picked: " << search.best->summary() << "\n\n";
+      report::ExperimentResult r =
+          report::run_experiment(parsed.app.name(), *search.best, parsed.cfg);
+      report::detail_table({r}).print(std::cout);
+      return 0;
+    }
+
+    model::KernelSchedule sched = parsed.schedule();
+    std::cout << "schedule: " << sched.summary() << "\n\n";
+    extract::ScheduleAnalysis analysis(sched);
+    std::cout << analysis.summary() << '\n';
+
+    report::ExperimentResult r =
+        report::run_experiment(parsed.app.name(), sched, parsed.cfg);
+    report::detail_table({r}).print(std::cout);
+    if (r.ds_improvement()) {
+      std::cout << "\nDS  improvement over Basic: " << percent(*r.ds_improvement());
+      std::cout << "\nCDS improvement over Basic: " << percent(*r.cds_improvement())
+                << '\n';
+    }
+    if (timeline && r.cds.feasible()) {
+      csched::ContextPlan plan =
+          csched::ContextPlan::build(sched, parsed.cfg.cm_capacity_words);
+      codegen::ScheduleProgram program = codegen::generate(r.cds.schedule, plan);
+      std::cout << "\nCDS execution timeline:\n"
+                << report::render_timeline(program, parsed.cfg, plan);
+    }
+    if (control && r.cds.feasible()) {
+      csched::ContextPlan plan =
+          csched::ContextPlan::build(sched, parsed.cfg.cm_capacity_words);
+      trisc::ControlProgram cp = trisc::emit_control_program(r.cds.schedule, plan);
+      std::cout << "\nTinyRISC control program (" << cp.summary() << "):\n"
+                << trisc::disassemble(cp.code);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "msysc: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Frame Buffer set allocator (paper §5).
+//
+// One FrameBufferAllocator manages the address space of a single FB set.
+// The paper's placement policy is dual-ended first-fit over a linear free
+// list (FB_list):
+//   - shared data, kernel input data and shared results are placed from the
+//     UPPER free addresses downward (they live long; packing them together
+//     at the top minimises fragmentation);
+//   - intermediate and final results are placed from the LOWER free
+//     addresses upward;
+//   - to keep addressing regular across the RF consecutive iterations, the
+//     allocator first retries the extents the same object occupied in the
+//     previous iteration (the "regularity hint");
+//   - when no single free block fits, the object is split across several
+//     free blocks as a last resort (the paper reports zero splits on all of
+//     its experiments; our Table-1 runs assert the same).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "msys/common/extent.hpp"
+#include "msys/common/types.hpp"
+
+namespace msys::alloc {
+
+/// Which end of the free space first-fit scans from.
+enum class AllocEnd : std::uint8_t {
+  kTop,     ///< upper addresses first (inputs, shared data/results)
+  kBottom,  ///< lower addresses first (intermediate and final results)
+};
+
+/// A live placement: one extent normally, several when split.
+struct Allocation {
+  std::vector<Extent> extents;
+
+  [[nodiscard]] bool split() const { return extents.size() > 1; }
+  [[nodiscard]] SizeWords size() const { return total_size(extents); }
+};
+
+/// Block-selection strategy; the paper uses first-fit ("as FB is not a
+/// large memory and as data and result sizes are similar, the chosen
+/// allocation method is first-fit").  Best-fit is provided for the
+/// ablation benchmark.
+enum class FitPolicy : std::uint8_t { kFirstFit, kBestFit };
+
+class FrameBufferAllocator {
+ public:
+  explicit FrameBufferAllocator(SizeWords capacity, FitPolicy policy = FitPolicy::kFirstFit);
+
+  /// Allocates `size` words scanning from `end`.
+  ///
+  /// If `preferred` is non-empty (the extents this object occupied last
+  /// iteration), those exact extents are claimed when fully free — keeping
+  /// per-iteration addressing regular.  Otherwise falls back to first-fit;
+  /// if no single block fits and `allow_split`, gathers multiple blocks.
+  /// Returns nullopt when free space is insufficient.
+  [[nodiscard]] std::optional<Allocation> allocate(SizeWords size, AllocEnd end,
+                                                   const std::vector<Extent>& preferred = {},
+                                                   bool allow_split = true);
+
+  /// Returns an allocation's words to the free list (coalescing).  Throws
+  /// on double-free or out-of-range extents.
+  void release(const Allocation& allocation);
+
+  [[nodiscard]] SizeWords capacity() const { return capacity_; }
+  [[nodiscard]] SizeWords free_words() const;
+  [[nodiscard]] SizeWords largest_free_block() const;
+  [[nodiscard]] std::size_t free_block_count() const { return free_.size(); }
+  /// Sorted, coalesced free list.
+  [[nodiscard]] const std::vector<Extent>& free_list() const { return free_; }
+  [[nodiscard]] bool all_free() const;
+
+  /// Lifetime counters for fragmentation/ablation reporting.
+  struct Stats {
+    std::uint64_t allocations{0};
+    std::uint64_t releases{0};
+    std::uint64_t splits{0};          ///< allocations that needed > 1 extent
+    std::uint64_t preferred_hits{0};  ///< regularity hint honoured
+    std::uint64_t preferred_misses{0};
+    /// Running peak of words in use.
+    std::uint64_t peak_used_words{0};
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Drops every allocation and restores the pristine free list (used when
+  /// the scheduler re-plans from scratch).  Stats are preserved.
+  void reset();
+
+ private:
+  [[nodiscard]] bool extent_free(const Extent& e) const;
+  void carve(const Extent& e);
+  void note_usage();
+
+  SizeWords capacity_;
+  FitPolicy policy_;
+  std::vector<Extent> free_;  // sorted by address, coalesced
+  Stats stats_;
+};
+
+}  // namespace msys::alloc

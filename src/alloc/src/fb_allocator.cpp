@@ -1,0 +1,161 @@
+#include "msys/alloc/fb_allocator.hpp"
+
+#include <algorithm>
+
+#include "msys/common/error.hpp"
+
+namespace msys::alloc {
+
+FrameBufferAllocator::FrameBufferAllocator(SizeWords capacity, FitPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  MSYS_REQUIRE(capacity.value() > 0, "allocator capacity must be non-zero");
+  free_.push_back(Extent{0, capacity});
+}
+
+SizeWords FrameBufferAllocator::free_words() const { return total_size(free_); }
+
+SizeWords FrameBufferAllocator::largest_free_block() const {
+  SizeWords largest = SizeWords::zero();
+  for (const Extent& e : free_) largest = std::max(largest, e.size);
+  return largest;
+}
+
+bool FrameBufferAllocator::all_free() const {
+  return free_.size() == 1 && free_.front().addr == 0 && free_.front().size == capacity_;
+}
+
+void FrameBufferAllocator::reset() {
+  free_.clear();
+  free_.push_back(Extent{0, capacity_});
+}
+
+bool FrameBufferAllocator::extent_free(const Extent& e) const {
+  return std::any_of(free_.begin(), free_.end(),
+                     [&](const Extent& f) { return f.contains(e); });
+}
+
+void FrameBufferAllocator::carve(const Extent& e) {
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    Extent& f = free_[i];
+    if (!f.contains(e)) continue;
+    // Split the containing free block into up to two remainders.
+    const Extent before{f.addr, SizeWords{e.begin() - f.begin()}};
+    const Extent after{e.end(), SizeWords{f.end() - e.end()}};
+    std::vector<Extent> replacement;
+    if (!before.empty()) replacement.push_back(before);
+    if (!after.empty()) replacement.push_back(after);
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+    free_.insert(free_.begin() + static_cast<std::ptrdiff_t>(i), replacement.begin(),
+                 replacement.end());
+    return;
+  }
+  MSYS_REQUIRE(false, "carve(): extent is not free");
+}
+
+void FrameBufferAllocator::note_usage() {
+  const std::uint64_t used = capacity_.value() - free_words().value();
+  stats_.peak_used_words = std::max(stats_.peak_used_words, used);
+}
+
+std::optional<Allocation> FrameBufferAllocator::allocate(SizeWords size, AllocEnd end,
+                                                         const std::vector<Extent>& preferred,
+                                                         bool allow_split) {
+  MSYS_REQUIRE(size.value() > 0, "cannot allocate zero words");
+
+  // 1. Regularity: retake last iteration's exact extents when still free.
+  if (!preferred.empty() && total_size(preferred) == size) {
+    const bool available = std::all_of(preferred.begin(), preferred.end(),
+                                       [&](const Extent& e) { return extent_free(e); });
+    if (available) {
+      for (const Extent& e : preferred) carve(e);
+      ++stats_.allocations;
+      ++stats_.preferred_hits;
+      if (preferred.size() > 1) ++stats_.splits;
+      note_usage();
+      return Allocation{preferred};
+    }
+    ++stats_.preferred_misses;
+  }
+
+  // 2. First-fit from the requested end: kTop scans blocks from the highest
+  // address down and carves from a block's upper end; kBottom scans from
+  // the lowest address up and carves from a block's lower end.
+  auto carve_from_block = [&](const Extent& block, SizeWords want) -> Extent {
+    if (end == AllocEnd::kTop) {
+      return Extent{block.end() - want.value(), want};
+    }
+    return Extent{block.begin(), want};
+  };
+
+  auto scan = [&](auto&& visit) {
+    if (end == AllocEnd::kTop) {
+      for (auto it = free_.rbegin(); it != free_.rend(); ++it) {
+        if (visit(*it)) return;
+      }
+    } else {
+      for (const Extent& f : free_) {
+        if (visit(f)) return;
+      }
+    }
+  };
+
+  std::optional<Extent> chosen;
+  if (policy_ == FitPolicy::kFirstFit) {
+    scan([&](const Extent& f) {
+      if (f.size >= size) {
+        chosen = carve_from_block(f, size);
+        return true;
+      }
+      return false;
+    });
+  } else {
+    // Best-fit: smallest block that fits; scan order breaks ties.
+    std::optional<Extent> best;
+    scan([&](const Extent& f) {
+      if (f.size >= size && (!best || f.size < best->size)) best = f;
+      return false;
+    });
+    if (best) chosen = carve_from_block(*best, size);
+  }
+  if (chosen) {
+    carve(*chosen);
+    ++stats_.allocations;
+    note_usage();
+    return Allocation{{*chosen}};
+  }
+
+  // 3. Last resort (paper §5): split across several free blocks, gathered
+  // in scan order, so the object still fits when fragmentation leaves no
+  // single block large enough.
+  if (!allow_split || free_words() < size) return std::nullopt;
+  std::vector<Extent> pieces;
+  SizeWords remaining = size;
+  scan([&](const Extent& f) {
+    const SizeWords take = std::min(f.size, remaining);
+    pieces.push_back(carve_from_block(f, take));
+    remaining -= take;
+    return remaining.value() == 0;
+  });
+  MSYS_REQUIRE(remaining.value() == 0, "split gather must succeed when space suffices");
+  for (const Extent& e : pieces) carve(e);
+  ++stats_.allocations;
+  ++stats_.splits;
+  note_usage();
+  return Allocation{std::move(pieces)};
+}
+
+void FrameBufferAllocator::release(const Allocation& allocation) {
+  MSYS_REQUIRE(!allocation.extents.empty(), "cannot release an empty allocation");
+  for (const Extent& e : allocation.extents) {
+    MSYS_REQUIRE(!e.empty(), "cannot release an empty extent");
+    MSYS_REQUIRE(e.end() <= capacity_.value(), "release(): extent out of range");
+    for (const Extent& f : free_) {
+      MSYS_REQUIRE(!f.overlaps(e), "release(): double free detected");
+    }
+    free_.push_back(e);
+  }
+  free_ = normalized(std::move(free_));
+  ++stats_.releases;
+}
+
+}  // namespace msys::alloc

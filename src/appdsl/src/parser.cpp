@@ -1,0 +1,228 @@
+#include "msys/appdsl/parser.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "msys/common/error.hpp"
+#include "msys/model/application.hpp"
+
+namespace msys::appdsl {
+
+using model::Application;
+using model::ApplicationBuilder;
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '#') break;
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  raise("appdsl: line " + std::to_string(line) + ": " + message);
+}
+
+std::uint64_t parse_u64(int line, const std::string& token, const char* what) {
+  std::uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') fail(line, std::string(what) + " must be a number: " + token);
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (token.empty()) fail(line, std::string(what) + " missing");
+  return value;
+}
+
+struct OutSpec {
+  std::string name;
+  SizeWords size;
+  bool final{false};
+};
+
+OutSpec parse_out_spec(int line, const std::string& token) {
+  OutSpec spec;
+  std::size_t first = token.find(':');
+  if (first == std::string::npos) fail(line, "out spec needs <name>:<size>: " + token);
+  spec.name = token.substr(0, first);
+  std::size_t second = token.find(':', first + 1);
+  std::string size_str = second == std::string::npos
+                             ? token.substr(first + 1)
+                             : token.substr(first + 1, second - first - 1);
+  spec.size = SizeWords{parse_u64(line, size_str, "out size")};
+  if (second != std::string::npos) {
+    const std::string flag = token.substr(second + 1);
+    if (flag != "final") fail(line, "unknown out flag: " + flag);
+    spec.final = true;
+  }
+  return spec;
+}
+
+}  // namespace
+
+model::KernelSchedule ParsedExperiment::schedule() const {
+  MSYS_REQUIRE(!partition.empty(), "text contained no cluster lines");
+  std::vector<std::vector<KernelId>> ids;
+  for (const std::vector<std::string>& cluster : partition) {
+    std::vector<KernelId> kernel_ids;
+    for (const std::string& name : cluster) {
+      auto id = app.find_kernel(name);
+      MSYS_REQUIRE(id.has_value(), "cluster references unknown kernel: " + name);
+      kernel_ids.push_back(*id);
+    }
+    ids.push_back(std::move(kernel_ids));
+  }
+  return model::KernelSchedule::from_partition(app, std::move(ids));
+}
+
+ParsedExperiment parse(std::string_view text) {
+  std::optional<ApplicationBuilder> builder;
+  std::unordered_map<std::string, DataId> data_by_name;
+  std::unordered_map<std::string, KernelId> kernels_by_name;
+  std::vector<std::vector<std::string>> partition;
+  arch::M1Config cfg = arch::M1Config::m1_default();
+
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::vector<std::string> tok = tokenize(line);
+    if (tok.empty()) continue;
+    const std::string& kw = tok[0];
+
+    if (kw == "app") {
+      if (builder.has_value()) fail(line_no, "duplicate app line");
+      if (tok.size() != 4 || tok[2] != "iterations") {
+        fail(line_no, "expected: app <name> iterations <count>");
+      }
+      builder.emplace(tok[1],
+                      static_cast<std::uint32_t>(parse_u64(line_no, tok[3], "iterations")));
+      continue;
+    }
+    if (!builder.has_value()) fail(line_no, "first declaration must be an app line");
+
+    if (kw == "input") {
+      if (tok.size() != 3) fail(line_no, "expected: input <name> <size>");
+      if (data_by_name.contains(tok[1])) fail(line_no, "duplicate data name: " + tok[1]);
+      data_by_name.emplace(
+          tok[1], builder->external_input(tok[1], SizeWords{parse_u64(line_no, tok[2],
+                                                                      "input size")}));
+    } else if (kw == "kernel") {
+      // kernel <name> ctx <words> cycles <cycles> in <data>... [out <spec>...]
+      if (tok.size() < 7 || tok[2] != "ctx" || tok[4] != "cycles" || tok[6] != "in") {
+        fail(line_no, "expected: kernel <name> ctx <w> cycles <c> in <data>... [out ...]");
+      }
+      if (kernels_by_name.contains(tok[1])) {
+        fail(line_no, "duplicate kernel name: " + tok[1]);
+      }
+      std::size_t i = 7;
+      std::vector<DataId> inputs;
+      for (; i < tok.size() && tok[i] != "out"; ++i) {
+        auto it = data_by_name.find(tok[i]);
+        if (it == data_by_name.end()) fail(line_no, "unknown data object: " + tok[i]);
+        inputs.push_back(it->second);
+      }
+      if (inputs.empty()) fail(line_no, "kernel needs at least one input");
+      KernelId k = builder->kernel(
+          tok[1], static_cast<std::uint32_t>(parse_u64(line_no, tok[3], "ctx words")),
+          Cycles{parse_u64(line_no, tok[5], "cycles")}, std::move(inputs));
+      kernels_by_name.emplace(tok[1], k);
+      if (i < tok.size()) {
+        ++i;  // skip "out"
+        if (i >= tok.size()) fail(line_no, "out with no specs");
+        for (; i < tok.size(); ++i) {
+          OutSpec spec = parse_out_spec(line_no, tok[i]);
+          if (data_by_name.contains(spec.name)) {
+            fail(line_no, "duplicate data name: " + spec.name);
+          }
+          data_by_name.emplace(spec.name,
+                               builder->output(k, spec.name, spec.size, spec.final));
+        }
+      }
+    } else if (kw == "cluster") {
+      if (tok.size() < 2) fail(line_no, "cluster needs at least one kernel");
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        if (!kernels_by_name.contains(tok[i])) {
+          fail(line_no, "cluster references unknown kernel: " + tok[i]);
+        }
+      }
+      partition.emplace_back(tok.begin() + 1, tok.end());
+    } else if (kw == "fbset") {
+      if (tok.size() != 2) fail(line_no, "expected: fbset <words>");
+      cfg.fb_set_size = SizeWords{parse_u64(line_no, tok[1], "fbset")};
+    } else if (kw == "cm") {
+      if (tok.size() != 2) fail(line_no, "expected: cm <words>");
+      cfg.cm_capacity_words =
+          static_cast<std::uint32_t>(parse_u64(line_no, tok[1], "cm"));
+    } else if (kw == "ctxcost") {
+      if (tok.size() != 2) fail(line_no, "expected: ctxcost <cycles>");
+      cfg.dma.cycles_per_context_word = Cycles{parse_u64(line_no, tok[1], "ctxcost")};
+    } else {
+      fail(line_no, "unknown keyword: " + kw);
+    }
+  }
+  if (!builder.has_value()) raise("appdsl: empty input (no app line)");
+
+  ParsedExperiment parsed{std::move(*builder).build(), std::move(partition),
+                          arch::M1Config::validated(std::move(cfg))};
+  return parsed;
+}
+
+ParsedExperiment parse_file(const std::string& path) {
+  std::ifstream in(path);
+  MSYS_REQUIRE(in.good(), "cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+std::string write(const Application& app,
+                  const std::vector<std::vector<std::string>>& partition,
+                  const arch::M1Config& cfg) {
+  std::ostringstream out;
+  out << "app " << app.name() << " iterations " << app.total_iterations() << '\n';
+  for (const model::DataObject& d : app.data_objects()) {
+    if (!d.producer.valid()) out << "input " << d.name << ' ' << d.size.value() << '\n';
+  }
+  // Kernels in topological order so every referenced object is declared
+  // before use when re-parsing.
+  for (KernelId kid : app.topological_order()) {
+    const model::Kernel& k = app.kernel(kid);
+    out << "kernel " << k.name << " ctx " << k.context_words << " cycles "
+        << k.exec_cycles.value() << " in";
+    for (DataId in : k.inputs) out << ' ' << app.data(in).name;
+    if (!k.outputs.empty()) {
+      out << " out";
+      for (DataId o : k.outputs) {
+        const model::DataObject& d = app.data(o);
+        out << ' ' << d.name << ':' << d.size.value();
+        if (d.required_in_external_memory) out << ":final";
+      }
+    }
+    out << '\n';
+  }
+  for (const std::vector<std::string>& cluster : partition) {
+    out << "cluster";
+    for (const std::string& k : cluster) out << ' ' << k;
+    out << '\n';
+  }
+  out << "fbset " << cfg.fb_set_size.value() << '\n';
+  out << "cm " << cfg.cm_capacity_words << '\n';
+  out << "ctxcost " << cfg.dma.cycles_per_context_word.value() << '\n';
+  return out.str();
+}
+
+}  // namespace msys::appdsl

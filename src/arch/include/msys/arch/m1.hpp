@@ -1,0 +1,77 @@
+// MorphoSys M1 architecture description (paper §2, Fig. 1).
+//
+// M1 couples a TinyRISC control processor with an 8x8 array of
+// reconfigurable cells (RC array).  The RC array's functionality is set by
+// 32-bit context words held in the Context Memory (CM); its operands live
+// in the Frame Buffer (FB), a two-set data cache so that computation on one
+// set overlaps DMA traffic on the other.  A single DMA channel bridges
+// external memory to *either* the FB or the CM — data and context transfers
+// can never proceed simultaneously, which is the central constraint the
+// Complete Data Scheduler optimises around.
+//
+// The schedulers in this project only consume the quantities below; RC-cell
+// microarchitecture (ALU widths, interconnect) is irrelevant at the paper's
+// abstraction level, where a kernel is characterised by its context count,
+// its per-iteration latency, and its input/output data sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "msys/common/types.hpp"
+
+namespace msys::arch {
+
+/// Cost model of the single DMA channel connecting external memory to the
+/// Frame Buffer and the Context Memory.
+struct DmaModel {
+  /// Cycles to move one FB word between external memory and the FB.
+  Cycles cycles_per_data_word{1};
+  /// Cycles to move one 32-bit context word into the CM.
+  Cycles cycles_per_context_word{1};
+  /// Fixed per-transfer-request overhead (descriptor setup on TinyRISC).
+  Cycles transfer_setup{8};
+
+  [[nodiscard]] Cycles data_cycles(SizeWords words) const;
+  [[nodiscard]] Cycles context_cycles(std::uint32_t context_words) const;
+};
+
+/// Static description of one M1 instance.  Construct via validated().
+struct M1Config {
+  std::string name{"M1"};
+
+  /// RC array geometry (8x8 in M1; only informational for the schedulers).
+  std::uint32_t rc_rows{8};
+  std::uint32_t rc_cols{8};
+
+  /// Capacity of ONE Frame Buffer set.  Table 1 sweeps this from 1K to 8K.
+  SizeWords fb_set_size{kilowords(2)};
+
+  /// Context Memory capacity in 32-bit context words.  Double buffering
+  /// requires the contexts of the executing cluster and of the cluster
+  /// being prefetched to be co-resident.
+  std::uint32_t cm_capacity_words{512};
+
+  DmaModel dma{};
+
+  /// Extension (paper §7 future work): when true, the RC array can read
+  /// operands from either FB set, enabling data/result reuse between
+  /// clusters bound to different sets.  M1 itself cannot (false).
+  bool cross_set_reads{false};
+
+  /// Throws msys::Error on a nonsensical configuration, otherwise returns
+  /// the config unchanged.  Use at every module boundary that accepts one.
+  [[nodiscard]] static M1Config validated(M1Config cfg);
+
+  /// The default M1 operating point used by examples.
+  [[nodiscard]] static M1Config m1_default();
+
+  /// Same machine with a different FB set size (Table 1's sweep axis).
+  [[nodiscard]] M1Config with_fb_set_size(SizeWords fbs) const;
+  [[nodiscard]] M1Config with_cm_capacity(std::uint32_t words) const;
+  [[nodiscard]] M1Config with_cross_set_reads(bool enabled) const;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace msys::arch

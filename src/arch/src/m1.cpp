@@ -1,0 +1,64 @@
+#include "msys/arch/m1.hpp"
+
+#include <sstream>
+
+#include "msys/common/error.hpp"
+#include "msys/common/strfmt.hpp"
+
+namespace msys::arch {
+
+Cycles DmaModel::data_cycles(SizeWords words) const {
+  if (words.value() == 0) return Cycles::zero();
+  return transfer_setup + Cycles{cycles_per_data_word.value() * words.value()};
+}
+
+Cycles DmaModel::context_cycles(std::uint32_t context_words) const {
+  if (context_words == 0) return Cycles::zero();
+  return transfer_setup + Cycles{cycles_per_context_word.value() * context_words};
+}
+
+M1Config M1Config::validated(M1Config cfg) {
+  MSYS_REQUIRE(cfg.rc_rows > 0 && cfg.rc_cols > 0, "RC array must be non-empty");
+  MSYS_REQUIRE(cfg.fb_set_size.value() > 0, "frame buffer set must be non-empty");
+  MSYS_REQUIRE(cfg.cm_capacity_words > 0, "context memory must be non-empty");
+  MSYS_REQUIRE(cfg.dma.cycles_per_data_word.value() > 0,
+               "data transfers must cost at least one cycle per word");
+  MSYS_REQUIRE(cfg.dma.cycles_per_context_word.value() > 0,
+               "context transfers must cost at least one cycle per word");
+  return cfg;
+}
+
+M1Config M1Config::m1_default() {
+  return validated(M1Config{});
+}
+
+M1Config M1Config::with_fb_set_size(SizeWords fbs) const {
+  M1Config cfg = *this;
+  cfg.fb_set_size = fbs;
+  return validated(cfg);
+}
+
+M1Config M1Config::with_cm_capacity(std::uint32_t words) const {
+  M1Config cfg = *this;
+  cfg.cm_capacity_words = words;
+  return validated(cfg);
+}
+
+M1Config M1Config::with_cross_set_reads(bool enabled) const {
+  M1Config cfg = *this;
+  cfg.cross_set_reads = enabled;
+  return validated(cfg);
+}
+
+std::string M1Config::summary() const {
+  std::ostringstream out;
+  out << name << ": RC " << rc_rows << 'x' << rc_cols << ", FB set " << size_kb(fb_set_size)
+      << " x2, CM " << cm_capacity_words << " ctx words, DMA "
+      << dma.cycles_per_data_word.value() << "c/word data, "
+      << dma.cycles_per_context_word.value() << "c/word ctx, setup "
+      << dma.transfer_setup.value() << 'c';
+  if (cross_set_reads) out << ", cross-set reads";
+  return out.str();
+}
+
+}  // namespace msys::arch

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random source for synthetic workload generation and
+// property tests.  SplitMix64: tiny, fast, reproducible across platforms
+// (std::mt19937 distributions are not bit-stable across library versions).
+#pragma once
+
+#include <cstdint>
+
+namespace msys {
+
+/// SplitMix64 generator.  Same seed => same sequence on every platform.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next_u64() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [lo, hi] (inclusive); requires lo <= hi.
+  constexpr std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_u64() % (hi - lo + 1);
+  }
+
+  /// Bernoulli with probability num/den.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) {
+    return next_u64() % den < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace msys

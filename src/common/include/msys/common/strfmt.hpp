@@ -1,0 +1,25 @@
+// Minimal string-formatting helpers (libstdc++ 12 ships no <format>).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "msys/common/types.hpp"
+
+namespace msys {
+
+/// Fixed-point decimal, e.g. fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+/// Percentage with one decimal, e.g. percent(0.195) == "19.5%".
+[[nodiscard]] std::string percent(double fraction);
+
+/// Size rendered the way the paper's Table 1 prints it: multiples of 1K as
+/// "2K"/"0.8K"/"0.1K", smaller values as plain word counts.
+[[nodiscard]] std::string size_kb(SizeWords words);
+
+/// Left/right pad to a column width (no truncation).
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace msys

@@ -1,0 +1,43 @@
+// Plain-text table writer used by the benchmark harnesses to print
+// Table-1-style reports with aligned columns.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace msys {
+
+/// Column-aligned text table.  Usage:
+///   TextTable t({"Exp", "N", "RF"});
+///   t.add_row({"E1", "2", "1"});
+///   t.print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal rule (printed as dashes across all columns).
+  void add_rule();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated dump (no alignment), for machine consumption.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  struct Row {
+    bool rule{false};
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace msys

@@ -1,0 +1,126 @@
+// Strong fundamental types shared by every MorphoSys-CDS library.
+//
+// The paper quotes all memory sizes in KB and all costs in cycles.  To keep
+// unit errors impossible we never pass raw integers across module
+// boundaries: sizes are SizeWords (one word == one byte of Frame Buffer
+// storage, the granularity at which the paper's Table 1 reports sizes),
+// times are Cycles, and every entity has its own id type.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace msys {
+
+/// CRTP-free strong quantity: an integral value tagged with a unit.
+/// Supports the arithmetic that makes sense for absolute quantities
+/// (addition, subtraction, scaling by a plain integer, comparison).
+template <class Tag, class Rep = std::uint64_t>
+class Quantity {
+ public:
+  using rep = Rep;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(Rep factor) {
+    value_ *= factor;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity{a.value_ + b.value_}; }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity{a.value_ - b.value_}; }
+  friend constexpr Quantity operator*(Quantity a, Rep k) { return Quantity{a.value_ * k}; }
+  friend constexpr Quantity operator*(Rep k, Quantity a) { return Quantity{a.value_ * k}; }
+  /// Integer division of like quantities yields a dimensionless ratio.
+  friend constexpr Rep operator/(Quantity a, Quantity b) { return a.value_ / b.value_; }
+
+  [[nodiscard]] static constexpr Quantity zero() { return Quantity{0}; }
+  [[nodiscard]] static constexpr Quantity max() {
+    return Quantity{std::numeric_limits<Rep>::max()};
+  }
+
+ private:
+  Rep value_{0};
+};
+
+struct SizeWordsTag {};
+struct CyclesTag {};
+
+/// Frame Buffer / external-memory storage amount, in words.
+using SizeWords = Quantity<SizeWordsTag>;
+/// Simulated time, in RC-array clock cycles.
+using Cycles = Quantity<CyclesTag>;
+
+/// 1 KB in the paper's tables == 1024 words here.
+[[nodiscard]] constexpr SizeWords kilowords(std::uint64_t kw) { return SizeWords{kw * 1024}; }
+
+/// Strongly typed dense index.  Ids are handed out by the owning container
+/// (Application, KernelSchedule, ...) and index straight into its vectors.
+template <class Tag>
+class Id {
+ public:
+  using rep = std::uint32_t;
+  static constexpr rep kInvalid = std::numeric_limits<rep>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(rep index) : index_(index) {}
+
+  [[nodiscard]] constexpr rep index() const { return index_; }
+  [[nodiscard]] constexpr bool valid() const { return index_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  rep index_{kInvalid};
+};
+
+struct KernelTag {};
+struct DataTag {};
+struct ClusterTag {};
+
+using KernelId = Id<KernelTag>;
+using DataId = Id<DataTag>;
+using ClusterId = Id<ClusterTag>;
+
+/// Which of the two Frame Buffer sets a cluster is bound to.  The paper's
+/// double-buffering scheme computes from one set while the DMA fills the
+/// other.
+enum class FbSet : std::uint8_t { kA = 0, kB = 1 };
+
+[[nodiscard]] constexpr FbSet other_set(FbSet s) {
+  return s == FbSet::kA ? FbSet::kB : FbSet::kA;
+}
+
+[[nodiscard]] inline std::string to_string(FbSet s) { return s == FbSet::kA ? "A" : "B"; }
+
+}  // namespace msys
+
+template <class Tag>
+struct std::hash<msys::Id<Tag>> {
+  std::size_t operator()(msys::Id<Tag> id) const noexcept {
+    return std::hash<typename msys::Id<Tag>::rep>{}(id.index());
+  }
+};
+
+template <class Tag, class Rep>
+struct std::hash<msys::Quantity<Tag, Rep>> {
+  std::size_t operator()(msys::Quantity<Tag, Rep> q) const noexcept {
+    return std::hash<Rep>{}(q.value());
+  }
+};

@@ -1,0 +1,77 @@
+#include "msys/common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "msys/common/error.hpp"
+#include "msys/common/strfmt.hpp"
+
+namespace msys {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  MSYS_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MSYS_REQUIRE(cells.size() == header_.size(), "row width must match header width");
+  rows_.push_back(Row{.rule = false, .cells = std::move(cells)});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{.rule = true, .cells = {}}); }
+
+void TextTable::print(std::ostream& out) const { out << to_string(); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << "  ";
+      out << pad_right(cells[c], widths[c]);
+    }
+    out << '\n';
+  };
+  auto rule = [&] {
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    total += 2 * (widths.size() - 1);
+    out << std::string(total, '-') << '\n';
+  };
+
+  emit(header_);
+  rule();
+  for (const Row& row : rows_) {
+    if (row.rule) {
+      rule();
+    } else {
+      emit(row.cells);
+    }
+  }
+  return out.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const Row& row : rows_) {
+    if (!row.rule) emit(row.cells);
+  }
+  return out.str();
+}
+
+}  // namespace msys

@@ -1,0 +1,80 @@
+#include "msys/csched/context_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "msys/common/error.hpp"
+
+namespace msys::csched {
+
+std::string to_string(ContextRegime regime) {
+  switch (regime) {
+    case ContextRegime::kPersistent: return "persistent";
+    case ContextRegime::kPerSlotOverlap: return "per-slot-overlapped";
+    case ContextRegime::kPerSlotSerial: return "per-slot-serial";
+  }
+  return "?";
+}
+
+ContextPlan ContextPlan::build(const model::KernelSchedule& sched,
+                               std::uint32_t cm_capacity_words) {
+  ContextPlan plan;
+  plan.sched_ = &sched;
+
+  const std::size_t n_clusters = sched.cluster_count();
+  std::uint32_t total = 0;
+  std::uint32_t max_cluster = 0;
+  std::uint32_t max_adjacent_pair = 0;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    const ClusterId id{static_cast<ClusterId::rep>(c)};
+    const std::uint32_t words = sched.cluster_context_words(id);
+    total += words;
+    max_cluster = std::max(max_cluster, words);
+  }
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    // Adjacent in the cyclic slot order: the next slot after the last
+    // cluster is the first cluster of the following round.
+    const ClusterId a{static_cast<ClusterId::rep>(c)};
+    const ClusterId b{static_cast<ClusterId::rep>((c + 1) % n_clusters)};
+    if (a == b) continue;
+    max_adjacent_pair = std::max(
+        max_adjacent_pair, sched.cluster_context_words(a) + sched.cluster_context_words(b));
+  }
+
+  if (max_cluster > cm_capacity_words) {
+    std::ostringstream out;
+    out << "a cluster needs " << max_cluster << " context words but the CM holds only "
+        << cm_capacity_words;
+    plan.feasible_ = false;
+    plan.reason_ = out.str();
+    return plan;
+  }
+
+  plan.feasible_ = true;
+  if (total <= cm_capacity_words) {
+    plan.regime_ = ContextRegime::kPersistent;
+  } else if (max_adjacent_pair <= cm_capacity_words && n_clusters > 1) {
+    plan.regime_ = ContextRegime::kPerSlotOverlap;
+  } else {
+    plan.regime_ = ContextRegime::kPerSlotSerial;
+  }
+  return plan;
+}
+
+std::uint32_t ContextPlan::words_for_slot(std::uint32_t round, ClusterId cluster) const {
+  MSYS_REQUIRE(feasible_, "querying an infeasible context plan");
+  if (regime_ == ContextRegime::kPersistent && round > 0) return 0;
+  return sched_->cluster_context_words(cluster);
+}
+
+std::uint64_t ContextPlan::total_context_words(std::uint32_t rounds) const {
+  MSYS_REQUIRE(feasible_, "querying an infeasible context plan");
+  std::uint64_t per_round = 0;
+  for (const model::Cluster& c : sched_->clusters()) {
+    per_round += sched_->cluster_context_words(c.id);
+  }
+  if (regime_ == ContextRegime::kPersistent) return per_round;
+  return per_round * rounds;
+}
+
+}  // namespace msys::csched

@@ -1,0 +1,59 @@
+// Planning walk that drives the Frame Buffer allocator through one steady
+// round of the schedule, following the paper's Figure 4 algorithm:
+//
+//   for each cluster c (in execution order):
+//     allocate shared data first (top end, farthest-future sharer first)
+//     allocate kernel input data, kernels last -> first (top end), RF
+//       instances each
+//     for each kernel k (cluster order), for iter = 1..RF:   [loop fission]
+//       allocate k's results: shared (retained) results at the top,
+//         final + intermediate results at the bottom
+//       release everything that dies after (k, iter)
+//     at cluster end: emit stores for outgoing results, release them,
+//       release retained objects whose occupancy span ends at c
+//
+// The walk both *plans* (produces the load/store lists and the placement of
+// every object instance) and *verifies* (fails cleanly when the round does
+// not fit the FB sets), so the schedulers use it as the ground-truth
+// feasibility check for RF and retention decisions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "msys/alloc/fb_allocator.hpp"
+#include "msys/dsched/schedule_types.hpp"
+#include "msys/extract/analysis.hpp"
+
+namespace msys::dsched {
+
+struct DriverOptions {
+  std::uint32_t rf{1};
+  extract::RetainedSet retained;
+  /// True (DS/CDS): objects are released right after their last in-cluster
+  /// use (§3's replacement policy).  False (Basic Scheduler [3]): nothing
+  /// is released before the cluster ends, so the cluster needs space for
+  /// all of its data and results simultaneously.
+  bool release_at_last_use{true};
+  /// Retry the previous iteration's neighbouring address first (§5's
+  /// regularity policy).  Off only for the allocation ablation.
+  bool regularity_hints{true};
+  alloc::FitPolicy fit{alloc::FitPolicy::kFirstFit};
+  /// Allow splitting an object across free blocks (§5 last resort).
+  bool allow_split{true};
+};
+
+struct DriverResult {
+  bool ok{false};
+  std::string fail_reason;
+  std::vector<ClusterRoundPlan> round_plan;  // indexed by ClusterId
+  std::unordered_map<std::uint64_t, Placement> placements;
+  AllocSummary summary;
+};
+
+/// Runs the Figure-4 walk over one steady round (RF iterations of every
+/// cluster) against `fb_set_size`-word allocators for both FB sets.
+[[nodiscard]] DriverResult plan_round(const extract::ScheduleAnalysis& analysis,
+                                      SizeWords fb_set_size, const DriverOptions& options);
+
+}  // namespace msys::dsched

@@ -1,0 +1,137 @@
+// The result type every data scheduler produces: a steady-state *round
+// plan* (what to load, execute and store for RF consecutive iterations of
+// each cluster) plus the Frame Buffer placement of every object instance.
+//
+// The application's total_iterations are processed in ceil(n/RF) rounds;
+// all rounds are identical except that the last may run fewer iterations,
+// so the plan is stored once and replayed by the code generator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "msys/common/extent.hpp"
+#include "msys/common/types.hpp"
+#include "msys/extract/analysis.hpp"
+#include "msys/model/schedule.hpp"
+
+namespace msys::dsched {
+
+/// One per-iteration instance of a data object within a round
+/// (iter in 0..RF-1).
+struct ObjInstance {
+  DataId data{};
+  std::uint32_t iter{0};
+
+  friend constexpr auto operator<=>(const ObjInstance&, const ObjInstance&) = default;
+};
+
+/// Where an object instance lives for the round.
+struct Placement {
+  FbSet set{FbSet::kA};
+  std::vector<Extent> extents;
+
+  [[nodiscard]] bool split() const { return extents.size() > 1; }
+};
+
+/// A result store issued after the cluster's execution slot.
+struct StoreEvent {
+  ObjInstance inst{};
+  /// Free the instance's FB words once stored; false for retained final
+  /// results that later clusters still read in place.
+  bool release_after{true};
+};
+
+/// An FB-space release, triggered when `trigger_kernel` (local index in
+/// the cluster) finishes its `trigger_iter`-th execution.  Cluster-end
+/// releases use the last kernel / last iteration as trigger.
+struct ReleaseEvent {
+  std::uint32_t trigger_kernel{0};
+  std::uint32_t trigger_iter{0};
+  ObjInstance inst{};
+  /// Cluster under which the instance's placement is keyed (differs from
+  /// the releasing cluster for retained objects freed at span end).
+  ClusterId placement_cluster{};
+};
+
+/// Per-cluster steady-round transfer plan.  Execution itself is implied:
+/// each kernel of the cluster runs RF times (loop fission) in cluster
+/// order.
+struct ClusterRoundPlan {
+  ClusterId cluster{};
+  /// DMA loads that must complete before the cluster's execution slot, in
+  /// issue order (shared/retained data first, then kernel inputs).
+  std::vector<ObjInstance> loads;
+  /// DMA stores issued after the cluster's execution slot.
+  std::vector<StoreEvent> stores;
+  /// Releases of inputs/intermediates/retained objects, recorded by the
+  /// planning walk so that code generation replays exactly the liveness
+  /// the allocator planned for (stores carry their own release flag).
+  std::vector<ReleaseEvent> releases;
+};
+
+/// Aggregate allocator behaviour over the planning walk.
+struct AllocSummary {
+  std::uint64_t allocations{0};
+  std::uint64_t splits{0};
+  std::uint64_t preferred_hits{0};
+  std::uint64_t preferred_misses{0};
+  /// Peak words in use per FB set.
+  std::uint64_t peak_used_words[2] = {0, 0};
+};
+
+/// Complete output of one data scheduler run.
+struct DataSchedule {
+  std::string scheduler_name;
+  const model::KernelSchedule* sched{nullptr};
+
+  /// False when the workload cannot execute under this scheduler on the
+  /// given machine (e.g. Basic Scheduler with MPEG in a 1K FB set).
+  bool feasible{false};
+  std::string infeasible_reason;
+
+  /// Context-reuse factor actually achieved.
+  std::uint32_t rf{1};
+  /// Objects kept FB-resident across clusters (empty except for CDS).
+  extract::RetainedSet retained;
+
+  /// Indexed by ClusterId.
+  std::vector<ClusterRoundPlan> round_plan;
+
+  /// Placement of every object instance of the steady round, keyed by the
+  /// *allocating* cluster: a non-retained object reloaded by two clusters
+  /// legitimately has one placement per consuming cluster.
+  std::unordered_map<std::uint64_t, Placement> placements;
+
+  AllocSummary alloc_summary;
+
+  [[nodiscard]] static std::uint64_t key(ClusterId cluster, ObjInstance inst) {
+    return (static_cast<std::uint64_t>(inst.data.index()) << 32) |
+           (static_cast<std::uint64_t>(cluster.index()) << 16) | inst.iter;
+  }
+  [[nodiscard]] const Placement& placement(ClusterId cluster, ObjInstance inst) const;
+  [[nodiscard]] bool has_placement(ClusterId cluster, ObjInstance inst) const {
+    return placements.contains(key(cluster, inst));
+  }
+
+  /// Number of full+partial rounds needed for `total_iterations`.
+  [[nodiscard]] std::uint32_t round_count() const;
+  /// Iterations executed in round r (RF except possibly the last round).
+  [[nodiscard]] std::uint32_t iterations_in_round(std::uint32_t round) const;
+
+  /// Data words DMA-loaded / stored during one full round.
+  [[nodiscard]] SizeWords round_load_words() const;
+  [[nodiscard]] SizeWords round_store_words() const;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Marks a schedule infeasible with a reason (helper for schedulers).
+[[nodiscard]] DataSchedule infeasible(std::string scheduler_name,
+                                      const model::KernelSchedule& sched,
+                                      std::string reason);
+
+}  // namespace msys::dsched

@@ -1,0 +1,95 @@
+// The three data schedulers the paper evaluates.
+//
+//   BasicScheduler        — Maestre et al. [3]: kernel scheduling with a
+//                           tentative data schedule.  No replacement (a
+//                           cluster needs space for all data and results
+//                           simultaneously), no loop fission (RF = 1), no
+//                           inter-cluster retention.
+//   DataScheduler         — Sanchez-Elez et al. [5]: §3's within-cluster
+//                           replacement maximises FB free space, which is
+//                           spent on RF consecutive iterations, dividing
+//                           context reloads by RF.  Data transfers are
+//                           unchanged.
+//   CompleteDataScheduler — this paper: DataScheduler + §4's inter-cluster
+//                           retention.  Shared data and shared results are
+//                           kept FB-resident in descending TF order as
+//                           long as every cluster still fits its FB set,
+//                           avoiding external-memory round trips.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "msys/arch/m1.hpp"
+#include "msys/dsched/alloc_driver.hpp"
+#include "msys/dsched/schedule_types.hpp"
+#include "msys/extract/analysis.hpp"
+
+namespace msys::dsched {
+
+class DataSchedulerBase {
+ public:
+  virtual ~DataSchedulerBase() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Produces the data schedule (possibly infeasible) for `analysis` on
+  /// machine `cfg`.
+  [[nodiscard]] virtual DataSchedule schedule(const extract::ScheduleAnalysis& analysis,
+                                              const arch::M1Config& cfg) const = 0;
+};
+
+class BasicScheduler final : public DataSchedulerBase {
+ public:
+  [[nodiscard]] std::string name() const override { return "Basic"; }
+  [[nodiscard]] DataSchedule schedule(const extract::ScheduleAnalysis& analysis,
+                                      const arch::M1Config& cfg) const override;
+};
+
+class DataScheduler final : public DataSchedulerBase {
+ public:
+  [[nodiscard]] std::string name() const override { return "DS"; }
+  [[nodiscard]] DataSchedule schedule(const extract::ScheduleAnalysis& analysis,
+                                      const arch::M1Config& cfg) const override;
+};
+
+class CompleteDataScheduler final : public DataSchedulerBase {
+ public:
+  /// Knobs for the ablation benchmarks; defaults reproduce the paper.
+  struct Options {
+    /// Retention ranking: the paper's TF ordering (absolute words saved),
+    /// or the ablation alternatives — candidate declaration order,
+    /// biggest-size-first, and savings *density* (transfers avoided per
+    /// occupied byte), which can beat plain TF when candidates compete
+    /// for FB space.
+    enum class Ranking { kTimeFactor, kDeclarationOrder, kSizeFirst, kDensity };
+    Ranking ranking{Ranking::kTimeFactor};
+    /// Paper behaviour (false): secure the cheapest RF first, then retain
+    /// greedily in whatever space is left.  Extension (true): evaluate the
+    /// greedy retention at *every* feasible RF and keep the (RF, retained
+    /// set) pair with the lowest predicted cost — a lower RF with more
+    /// retention often beats the maximal RF (see bench/ablation_joint).
+    bool joint_rf_retention{false};
+  };
+
+  CompleteDataScheduler() = default;
+  explicit CompleteDataScheduler(Options options) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "CDS"; }
+  [[nodiscard]] DataSchedule schedule(const extract::ScheduleAnalysis& analysis,
+                                      const arch::M1Config& cfg) const override;
+
+ private:
+  Options options_{};
+};
+
+/// Largest common RF (<= total_iterations) for which the Figure-4 walk
+/// succeeds on both FB sets with the given base options; returns 0 when
+/// even RF = 1 does not fit.
+[[nodiscard]] std::uint32_t compute_max_rf(const extract::ScheduleAnalysis& analysis,
+                                           const arch::M1Config& cfg,
+                                           DriverOptions base_options);
+
+/// All three schedulers, in Basic, DS, CDS order (reporting convenience).
+[[nodiscard]] std::vector<std::unique_ptr<DataSchedulerBase>> all_schedulers();
+
+}  // namespace msys::dsched

@@ -1,0 +1,30 @@
+// Plan-level validation of a DataSchedule, independent of both the
+// allocator walk that produced it and the simulator that executes it —
+// a third, structural line of defence.
+//
+// Checks (returned as human-readable violation strings; empty == valid):
+//   * every cluster input instance is either loaded by that cluster's
+//     plan or read in place from a retained residency;
+//   * loads cover only genuine cluster inputs, never in-cluster results;
+//   * every final result instance is stored exactly once; every result a
+//     later cluster must re-load is stored before that reload is possible;
+//   * every load/store references a placement, placements stay inside the
+//     FB set and use disjoint extents;
+//   * retained objects are retention candidates and respect their spans;
+//   * RF is within [1, total_iterations].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "msys/arch/m1.hpp"
+#include "msys/dsched/schedule_types.hpp"
+#include "msys/extract/analysis.hpp"
+
+namespace msys::dsched {
+
+[[nodiscard]] std::vector<std::string> validate_schedule(
+    const DataSchedule& schedule, const extract::ScheduleAnalysis& analysis,
+    const arch::M1Config& cfg);
+
+}  // namespace msys::dsched

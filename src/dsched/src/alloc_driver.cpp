@@ -1,0 +1,357 @@
+#include "msys/dsched/alloc_driver.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "msys/common/error.hpp"
+
+namespace msys::dsched {
+
+using alloc::AllocEnd;
+using alloc::Allocation;
+using alloc::FrameBufferAllocator;
+using extract::ClusterDataflow;
+using extract::ObjectInfo;
+using extract::RetentionCandidate;
+using extract::ScheduleAnalysis;
+using model::Cluster;
+
+namespace {
+
+/// Mutable walk state shared across clusters of the round.
+struct Walk {
+  const ScheduleAnalysis* analysis;
+  const DriverOptions* options;
+  FrameBufferAllocator allocators[2];
+  DriverResult result;
+  struct LiveAlloc {
+    Allocation alloc;
+    ClusterId placed_by;
+  };
+  /// Live allocations keyed by (FB set, data, iter): an instance may be
+  /// resident in both sets at once (e.g. a result retained on its
+  /// producer's set while the other set holds the copy it loaded through
+  /// external memory).
+  std::unordered_map<std::uint64_t, LiveAlloc> live;
+
+  [[nodiscard]] static std::uint64_t inst_key(FbSet set, ObjInstance inst) {
+    return (static_cast<std::uint64_t>(set) << 63) |
+           (static_cast<std::uint64_t>(inst.data.index()) << 32) | inst.iter;
+  }
+
+  Walk(const ScheduleAnalysis& a, SizeWords fbs, const DriverOptions& opt)
+      : analysis(&a),
+        options(&opt),
+        allocators{FrameBufferAllocator(fbs, opt.fit), FrameBufferAllocator(fbs, opt.fit)} {}
+
+  [[nodiscard]] const model::Application& app() const { return analysis->app(); }
+
+  [[nodiscard]] bool retained_here(DataId d, FbSet set) const {
+    return options->retained.contains(d) && analysis->is_candidate(d) &&
+           analysis->candidate_for(d).set == set;
+  }
+
+  /// True when a consumer on a cluster bound to `set` reads `d` in place
+  /// instead of loading a copy: the object is retained in this set, or
+  /// (cross-set extension) retained in the other set and the RC array can
+  /// reach across.
+  [[nodiscard]] bool reads_in_place(DataId d, FbSet set) const {
+    if (!options->retained.contains(d) || !analysis->is_candidate(d)) return false;
+    return analysis->candidate_for(d).set == set || analysis->cross_set_reads();
+  }
+
+  /// Allocates all `rf` instances of `d` from `end` into `set`; false on
+  /// out-of-space.  Consecutive instances get the §5 regularity hint: the
+  /// address right below (top end) / above (bottom end) of the previous
+  /// instance, so iterations land adjacently as in the paper's Figure 5.
+  bool allocate_instances(ClusterId cluster, DataId d, FbSet set, AllocEnd end) {
+    const SizeWords size = app().data(d).size;
+    FrameBufferAllocator& fb = allocators[static_cast<std::size_t>(set)];
+    for (std::uint32_t iter = 0; iter < options->rf; ++iter) {
+      std::vector<Extent> hint;
+      if (options->regularity_hints && iter > 0) {
+        const ObjInstance prev{d, iter - 1};
+        auto it = live.find(inst_key(set, prev));
+        if (it != live.end() && it->second.alloc.extents.size() == 1) {
+          const Extent& p = it->second.alloc.extents.front();
+          if (end == AllocEnd::kTop && p.begin() >= size.value()) {
+            hint.push_back(Extent{p.begin() - size.value(), size});
+          } else if (end == AllocEnd::kBottom) {
+            hint.push_back(Extent{p.end(), size});
+          }
+        }
+      }
+      std::optional<Allocation> a = fb.allocate(size, end, hint, options->allow_split);
+      if (!a) return false;
+      const ObjInstance inst{d, iter};
+      const bool fresh = live.emplace(inst_key(set, inst), LiveAlloc{*a, cluster}).second;
+      MSYS_REQUIRE(fresh, "instance allocated twice in the same FB set");
+      result.placements.emplace(DataSchedule::key(cluster, inst),
+                                Placement{.set = set, .extents = a->extents});
+    }
+    return true;
+  }
+
+  /// Frees the instance's FB words.  When `record_into` is non-null, a
+  /// ReleaseEvent replayable by code generation is appended to that plan.
+  void release_instance(DataId d, std::uint32_t iter, FbSet set,
+                        ClusterRoundPlan* record_into, std::uint32_t trigger_kernel,
+                        std::uint32_t trigger_iter) {
+    const ObjInstance inst{d, iter};
+    auto it = live.find(inst_key(set, inst));
+    MSYS_REQUIRE(it != live.end(), "releasing an instance that is not live");
+    allocators[static_cast<std::size_t>(set)].release(it->second.alloc);
+    if (record_into != nullptr) {
+      record_into->releases.push_back(ReleaseEvent{.trigger_kernel = trigger_kernel,
+                                                   .trigger_iter = trigger_iter,
+                                                   .inst = inst,
+                                                   .placement_cluster = it->second.placed_by});
+    }
+    live.erase(it);
+  }
+
+  void release_all_instances(DataId d, FbSet set, ClusterRoundPlan* record_into,
+                             std::uint32_t trigger_kernel, std::uint32_t trigger_iter) {
+    for (std::uint32_t iter = 0; iter < options->rf; ++iter) {
+      release_instance(d, iter, set, record_into, trigger_kernel, trigger_iter);
+    }
+  }
+
+  void fail(std::string reason) {
+    result.ok = false;
+    result.fail_reason = std::move(reason);
+  }
+
+  void fold_stats() {
+    for (std::size_t s = 0; s < 2; ++s) {
+      const FrameBufferAllocator::Stats& st = allocators[s].stats();
+      result.summary.allocations += st.allocations;
+      result.summary.splits += st.splits;
+      result.summary.preferred_hits += st.preferred_hits;
+      result.summary.preferred_misses += st.preferred_misses;
+      result.summary.peak_used_words[s] = st.peak_used_words;
+    }
+  }
+};
+
+/// Per-cluster precomputed bookkeeping.
+struct ClusterCtx {
+  const Cluster* cluster;
+  const ClusterDataflow* flow;
+  /// local index (0-based) of each kernel in the cluster
+  std::unordered_map<KernelId, std::uint32_t> local_of;
+
+  ClusterCtx(const ScheduleAnalysis& analysis, ClusterId id)
+      : cluster(&analysis.sched().cluster(id)), flow(&analysis.dataflow(id)) {
+    for (std::uint32_t i = 0; i < cluster->kernels.size(); ++i) {
+      local_of.emplace(cluster->kernels[i], i);
+    }
+  }
+
+  /// Local index of the last kernel in this cluster consuming `d`;
+  /// nullopt when no kernel here consumes it.
+  [[nodiscard]] std::optional<std::uint32_t> last_local_use(
+      const model::Application& app, DataId d) const {
+    std::optional<std::uint32_t> last;
+    for (KernelId consumer : app.data(d).consumers) {
+      auto it = local_of.find(consumer);
+      if (it == local_of.end()) continue;
+      if (!last || it->second > *last) last = it->second;
+    }
+    return last;
+  }
+};
+
+bool process_cluster(Walk& walk, ClusterId cluster_id) {
+  const ScheduleAnalysis& analysis = *walk.analysis;
+  const model::Application& app = walk.app();
+  const DriverOptions& opt = *walk.options;
+  ClusterCtx ctx(analysis, cluster_id);
+  const FbSet set = ctx.cluster->set;
+  ClusterRoundPlan& plan = walk.result.round_plan[cluster_id.index()];
+  plan.cluster = cluster_id;
+
+  // ---- Phase 1: input loading (overlapped with the previous slot). ----
+  // Partition the cluster's inputs into: retained objects already resident
+  // (no load), retained shared data making its first appearance (load,
+  // placed first, farthest-reaching first), and plain inputs (load,
+  // grouped by their last consuming kernel, last kernel first).
+  struct PendingLoad {
+    DataId data;
+    /// Sort key: shared data first by descending span end, then plain
+    /// inputs by descending last consuming kernel.
+    std::uint64_t priority;
+  };
+  std::vector<PendingLoad> pending;
+  for (DataId in : ctx.flow->inputs) {
+    if (walk.reads_in_place(in, set)) {
+      const RetentionCandidate& cand = analysis.candidate_for(in);
+      const bool first_here = !cand.is_result && cand.occupancy_span.front() == cluster_id;
+      if (!first_here) {
+        // Already resident in its home set — from an earlier cluster
+        // (retained data) or its producer (retained result): no transfer,
+        // no allocation.  With cross-set reads the home set may differ
+        // from this cluster's set.
+        for (std::uint32_t iter = 0; iter < opt.rf; ++iter) {
+          MSYS_REQUIRE(walk.live.contains(Walk::inst_key(cand.set, {in, iter})),
+                       "retained object must already be FB-resident");
+        }
+        continue;
+      }
+      // Shared data loaded once, before everything else, deepest span
+      // first (Figure 4's v = last cluster down to c+2 loop).
+      const std::uint64_t span_end = cand.occupancy_span.back().index();
+      pending.push_back({in, (1ULL << 32) | span_end});
+      continue;
+    }
+    const std::optional<std::uint32_t> last = ctx.last_local_use(app, in);
+    MSYS_REQUIRE(last.has_value(), "cluster input with no consumer in cluster");
+    pending.push_back({in, *last});
+  }
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingLoad& a, const PendingLoad& b) {
+                     return a.priority > b.priority;
+                   });
+  for (const PendingLoad& load : pending) {
+    if (!walk.allocate_instances(cluster_id, load.data, set, AllocEnd::kTop)) {
+      return false;
+    }
+    for (std::uint32_t iter = 0; iter < opt.rf; ++iter) {
+      plan.loads.push_back({load.data, iter});
+    }
+  }
+
+  // ---- Phase 2: execution with loop fission (kernel-major, RF minor). ----
+  for (std::uint32_t local = 0; local < ctx.cluster->kernels.size(); ++local) {
+    const model::Kernel& kernel = app.kernel(ctx.cluster->kernels[local]);
+    for (std::uint32_t iter = 0; iter < opt.rf; ++iter) {
+      // Allocate this execution's results.
+      for (DataId out : kernel.outputs) {
+        const bool retained = walk.retained_here(out, set);
+        // Shared (retained) results go to the top with the long-lived
+        // data; everything else accumulates at the bottom.
+        const AllocEnd end = retained ? AllocEnd::kTop : AllocEnd::kBottom;
+        const SizeWords size = app.data(out).size;
+        FrameBufferAllocator& fb = walk.allocators[static_cast<std::size_t>(set)];
+        std::vector<Extent> hint;
+        if (opt.regularity_hints && iter > 0) {
+          auto it = walk.live.find(Walk::inst_key(set, {out, iter - 1}));
+          if (it != walk.live.end() && it->second.alloc.extents.size() == 1) {
+            const Extent& p = it->second.alloc.extents.front();
+            if (end == AllocEnd::kTop && p.begin() >= size.value()) {
+              hint.push_back(Extent{p.begin() - size.value(), size});
+            } else if (end == AllocEnd::kBottom) {
+              hint.push_back(Extent{p.end(), size});
+            }
+          }
+        }
+        std::optional<Allocation> a = fb.allocate(size, end, hint, opt.allow_split);
+        if (!a) return false;
+        {
+          const bool fresh = walk.live
+                                 .emplace(Walk::inst_key(set, {out, iter}),
+                                          Walk::LiveAlloc{*a, cluster_id})
+                                 .second;
+          MSYS_REQUIRE(fresh, "result instance produced twice in the same FB set");
+        }
+        walk.result.placements.emplace(DataSchedule::key(cluster_id, {out, iter}),
+                                       Placement{.set = set, .extents = a->extents});
+      }
+      if (!opt.release_at_last_use) continue;
+      // release(c, k, iter): inputs and intermediates whose last use is
+      // this kernel die now (§3 replacement policy).  Retained objects and
+      // inputs of later kernels survive.
+      for (DataId in : ctx.flow->inputs) {
+        if (walk.reads_in_place(in, set)) continue;
+        if (ctx.last_local_use(app, in) == std::optional<std::uint32_t>{local}) {
+          walk.release_instance(in, iter, set, &plan, local, iter);
+        }
+      }
+      for (DataId mid : ctx.flow->intermediates) {
+        if (ctx.last_local_use(app, mid) == std::optional<std::uint32_t>{local}) {
+          walk.release_instance(mid, iter, set, &plan, local, iter);
+        }
+      }
+    }
+  }
+
+  // ---- Phase 3: cluster end — stores, then releases. ----
+  for (KernelId k : ctx.cluster->kernels) {
+    for (DataId out : app.kernel(k).outputs) {
+      const bool retained = walk.retained_here(out, set);
+      const bool is_outgoing =
+          std::find(ctx.flow->outgoing_results.begin(), ctx.flow->outgoing_results.end(),
+                    out) != ctx.flow->outgoing_results.end();
+      if (!is_outgoing) continue;
+      // Retained results skip the store unless something beyond this FB
+      // set (external memory, or a consumer on the other set) needs them.
+      const bool store_needed =
+          !retained || analysis.candidate_for(out).store_required;
+      if (store_needed) {
+        for (std::uint32_t iter = 0; iter < opt.rf; ++iter) {
+          plan.stores.push_back(StoreEvent{.inst = {out, iter}, .release_after = !retained});
+        }
+      }
+      if (!retained) {
+        // Freed by the store itself (release_after above): update the
+        // walk's allocator state without recording a ReleaseEvent.
+        walk.release_all_instances(out, set, nullptr, 0, 0);
+      }
+    }
+  }
+  const std::uint32_t last_kernel =
+      static_cast<std::uint32_t>(ctx.cluster->kernels.size()) - 1;
+  const std::uint32_t last_iter = opt.rf - 1;
+  if (!opt.release_at_last_use) {
+    // Basic Scheduler: everything not already released dies only now.
+    for (DataId in : ctx.flow->inputs) {
+      if (!walk.reads_in_place(in, set)) {
+        walk.release_all_instances(in, set, &plan, last_kernel, last_iter);
+      }
+    }
+    for (DataId mid : ctx.flow->intermediates) {
+      walk.release_all_instances(mid, set, &plan, last_kernel, last_iter);
+    }
+  }
+  // Retained objects whose occupancy span ends at this cluster die now.
+  for (DataId d : opt.retained) {
+    if (!walk.retained_here(d, set)) continue;
+    const RetentionCandidate& cand = analysis.candidate_for(d);
+    if (cand.occupancy_span.back() == cluster_id) {
+      walk.release_all_instances(d, set, &plan, last_kernel, last_iter);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+DriverResult plan_round(const ScheduleAnalysis& analysis, SizeWords fb_set_size,
+                        const DriverOptions& options) {
+  MSYS_REQUIRE(options.rf >= 1, "RF must be at least 1");
+  Walk walk(analysis, fb_set_size, options);
+  walk.result.round_plan.resize(analysis.sched().cluster_count());
+  walk.result.ok = true;
+
+  for (const Cluster& cluster : analysis.sched().clusters()) {
+    if (!process_cluster(walk, cluster.id)) {
+      std::ostringstream reason;
+      reason << "cluster Cl" << (cluster.id.index() + 1) << " does not fit a "
+             << fb_set_size.value() << "-word FB set at RF=" << options.rf;
+      walk.fail(reason.str());
+      walk.fold_stats();
+      return std::move(walk.result);
+    }
+  }
+
+  // A steady round must leave the FB empty: every retained span ends
+  // within the round, so a non-empty FB means a liveness bug.
+  MSYS_REQUIRE(walk.live.empty(), "objects leaked past the end of the round");
+  MSYS_REQUIRE(walk.allocators[0].all_free() && walk.allocators[1].all_free(),
+               "allocators must drain by round end");
+  walk.fold_stats();
+  return std::move(walk.result);
+}
+
+}  // namespace msys::dsched

@@ -1,0 +1,71 @@
+#include "msys/dsched/schedule_types.hpp"
+
+#include <sstream>
+
+#include "msys/common/error.hpp"
+#include "msys/common/strfmt.hpp"
+
+namespace msys::dsched {
+
+const Placement& DataSchedule::placement(ClusterId cluster, ObjInstance inst) const {
+  auto it = placements.find(key(cluster, inst));
+  MSYS_REQUIRE(it != placements.end(), "no placement for object instance");
+  return it->second;
+}
+
+std::uint32_t DataSchedule::round_count() const {
+  MSYS_REQUIRE(sched != nullptr, "schedule not bound to a kernel schedule");
+  const std::uint32_t n = sched->app().total_iterations();
+  return (n + rf - 1) / rf;
+}
+
+std::uint32_t DataSchedule::iterations_in_round(std::uint32_t round) const {
+  const std::uint32_t n = sched->app().total_iterations();
+  const std::uint32_t done = round * rf;
+  MSYS_REQUIRE(done < n, "round index out of range");
+  return std::min(rf, n - done);
+}
+
+SizeWords DataSchedule::round_load_words() const {
+  SizeWords total = SizeWords::zero();
+  for (const ClusterRoundPlan& plan : round_plan) {
+    for (ObjInstance inst : plan.loads) total += sched->app().data(inst.data).size;
+  }
+  return total;
+}
+
+SizeWords DataSchedule::round_store_words() const {
+  SizeWords total = SizeWords::zero();
+  for (const ClusterRoundPlan& plan : round_plan) {
+    for (const StoreEvent& store : plan.stores) {
+      total += sched->app().data(store.inst.data).size;
+    }
+  }
+  return total;
+}
+
+std::string DataSchedule::summary() const {
+  std::ostringstream out;
+  out << scheduler_name << " on " << sched->app().name();
+  if (!feasible) {
+    out << ": INFEASIBLE (" << infeasible_reason << ')';
+    return out.str();
+  }
+  out << ": RF=" << rf << ", retained=" << retained.size()
+      << ", round loads=" << size_kb(round_load_words())
+      << ", round stores=" << size_kb(round_store_words())
+      << ", splits=" << alloc_summary.splits;
+  return out.str();
+}
+
+DataSchedule infeasible(std::string scheduler_name, const model::KernelSchedule& sched,
+                        std::string reason) {
+  DataSchedule out;
+  out.scheduler_name = std::move(scheduler_name);
+  out.sched = &sched;
+  out.feasible = false;
+  out.infeasible_reason = std::move(reason);
+  return out;
+}
+
+}  // namespace msys::dsched

@@ -1,0 +1,204 @@
+#include "msys/dsched/schedulers.hpp"
+
+#include <algorithm>
+
+#include "msys/common/error.hpp"
+#include "msys/csched/context_plan.hpp"
+#include "msys/dsched/cost.hpp"
+
+namespace msys::dsched {
+
+using extract::RetentionCandidate;
+using extract::ScheduleAnalysis;
+
+namespace {
+
+/// Packs a successful driver result into a DataSchedule.
+DataSchedule finish(std::string name, const ScheduleAnalysis& analysis,
+                    const DriverOptions& options, DriverResult result) {
+  DataSchedule out;
+  out.scheduler_name = std::move(name);
+  out.sched = &analysis.sched();
+  out.feasible = true;
+  out.rf = options.rf;
+  out.retained = options.retained;
+  out.round_plan = std::move(result.round_plan);
+  out.placements = std::move(result.placements);
+  out.alloc_summary = result.summary;
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t compute_max_rf(const ScheduleAnalysis& analysis, const arch::M1Config& cfg,
+                             DriverOptions base_options) {
+  const std::uint32_t max_rf = analysis.app().total_iterations();
+  std::uint32_t best = 0;
+  for (std::uint32_t rf = 1; rf <= max_rf; ++rf) {
+    base_options.rf = rf;
+    const DriverResult result = plan_round(analysis, cfg.fb_set_size, base_options);
+    if (!result.ok) break;
+    best = rf;
+  }
+  return best;
+}
+
+namespace {
+
+/// The paper raises RF as high as the FB allows because each step divides
+/// the context reloads.  When the CM is large enough to make contexts
+/// persistent there is nothing to amortise and a high RF only lengthens
+/// the serial prologue, so instead of blindly maximising we evaluate the
+/// predicted cost of every feasible RF and keep the cheapest (ties go to
+/// the larger RF, the paper's preference).
+std::uint32_t pick_rf_by_cost(const ScheduleAnalysis& analysis, const arch::M1Config& cfg,
+                              DriverOptions options, std::uint32_t max_feasible_rf) {
+  const csched::ContextPlan ctx_plan =
+      csched::ContextPlan::build(analysis.sched(), cfg.cm_capacity_words);
+  if (!ctx_plan.feasible()) return max_feasible_rf;
+  std::uint32_t best_rf = 0;
+  Cycles best_cost = Cycles::max();
+  for (std::uint32_t rf = 1; rf <= max_feasible_rf; ++rf) {
+    options.rf = rf;
+    DriverResult result = plan_round(analysis, cfg.fb_set_size, options);
+    MSYS_REQUIRE(result.ok, "RF below the feasible maximum must plan");
+    DataSchedule tentative = finish("tentative", analysis, options, std::move(result));
+    const CostBreakdown cost = predict_cost(tentative, cfg, ctx_plan);
+    if (cost.feasible && (best_rf == 0 || cost.total <= best_cost)) {
+      best_cost = cost.total;
+      best_rf = rf;
+    }
+  }
+  return best_rf == 0 ? max_feasible_rf : best_rf;
+}
+
+}  // namespace
+
+DataSchedule BasicScheduler::schedule(const ScheduleAnalysis& analysis,
+                                      const arch::M1Config& cfg) const {
+  DriverOptions options;
+  options.rf = 1;
+  options.release_at_last_use = false;  // no replacement within a cluster
+  DriverResult result = plan_round(analysis, cfg.fb_set_size, options);
+  if (!result.ok) return infeasible(name(), analysis.sched(), result.fail_reason);
+  return finish(name(), analysis, options, std::move(result));
+}
+
+DataSchedule DataScheduler::schedule(const ScheduleAnalysis& analysis,
+                                     const arch::M1Config& cfg) const {
+  DriverOptions options;
+  options.release_at_last_use = true;
+  const std::uint32_t max_rf = compute_max_rf(analysis, cfg, options);
+  if (max_rf == 0) {
+    return infeasible(name(), analysis.sched(),
+                      "a cluster does not fit the FB set even at RF=1");
+  }
+  options.rf = pick_rf_by_cost(analysis, cfg, options, max_rf);
+  DriverResult result = plan_round(analysis, cfg.fb_set_size, options);
+  MSYS_REQUIRE(result.ok, "re-planning at the feasible RF must succeed");
+  return finish(name(), analysis, options, std::move(result));
+}
+
+DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
+                                             const arch::M1Config& cfg) const {
+  DriverOptions options;
+  options.release_at_last_use = true;
+  const std::uint32_t max_rf = compute_max_rf(analysis, cfg, options);
+  if (max_rf == 0) {
+    return infeasible(name(), analysis.sched(),
+                      "a cluster does not fit the FB set even at RF=1");
+  }
+
+  // Rank the retention candidates.
+  std::vector<RetentionCandidate> candidates = analysis.retention_candidates();
+  switch (options_.ranking) {
+    case Options::Ranking::kTimeFactor:
+      break;  // already sorted by descending TF
+    case Options::Ranking::kDeclarationOrder:
+      std::sort(candidates.begin(), candidates.end(),
+                [](const RetentionCandidate& a, const RetentionCandidate& b) {
+                  return a.data < b.data;
+                });
+      break;
+    case Options::Ranking::kSizeFirst:
+      std::sort(candidates.begin(), candidates.end(),
+                [&](const RetentionCandidate& a, const RetentionCandidate& b) {
+                  const SizeWords sa = analysis.app().data(a.data).size;
+                  const SizeWords sb = analysis.app().data(b.data).size;
+                  if (sa != sb) return sa > sb;
+                  return a.data < b.data;
+                });
+      break;
+    case Options::Ranking::kDensity:
+      // Words saved per word of FB space occupied == transfers_avoided.
+      std::sort(candidates.begin(), candidates.end(),
+                [](const RetentionCandidate& a, const RetentionCandidate& b) {
+                  if (a.transfers_avoided != b.transfers_avoided) {
+                    return a.transfers_avoided > b.transfers_avoided;
+                  }
+                  if (a.tf != b.tf) return a.tf > b.tf;
+                  return a.data < b.data;
+                });
+      break;
+  }
+
+  // Greedy §4 selection at a fixed RF: keep a candidate iff every cluster
+  // still fits (the Figure-4 walk is the ground-truth fit check).
+  auto retain_at_rf = [&](std::uint32_t rf) -> std::pair<DriverOptions, DriverResult> {
+    DriverOptions opt = options;
+    opt.rf = rf;
+    opt.retained.clear();
+    DriverResult best = plan_round(analysis, cfg.fb_set_size, opt);
+    MSYS_REQUIRE(best.ok, "re-planning at a feasible RF must succeed");
+    for (const RetentionCandidate& cand : candidates) {
+      opt.retained.insert(cand.data);
+      DriverResult attempt = plan_round(analysis, cfg.fb_set_size, opt);
+      if (attempt.ok) {
+        best = std::move(attempt);
+      } else {
+        opt.retained.erase(cand.data);
+      }
+    }
+    return {std::move(opt), std::move(best)};
+  };
+
+  if (!options_.joint_rf_retention) {
+    // §4: secure the cheapest RF first (context-transfer minimisation
+    // dominates), then spend remaining FB space on retention.
+    auto [opt, best] = retain_at_rf(pick_rf_by_cost(analysis, cfg, options, max_rf));
+    return finish(name(), analysis, opt, std::move(best));
+  }
+
+  // Extension: jointly pick (RF, retained set) by predicted cost.
+  const csched::ContextPlan ctx_plan =
+      csched::ContextPlan::build(analysis.sched(), cfg.cm_capacity_words);
+  std::optional<DataSchedule> best_schedule;
+  Cycles best_cost = Cycles::max();
+  for (std::uint32_t rf = 1; rf <= max_rf; ++rf) {
+    auto [opt, result] = retain_at_rf(rf);
+    DataSchedule candidate = finish(name(), analysis, opt, std::move(result));
+    if (!ctx_plan.feasible()) {
+      // No cost model available: fall back to the paper ordering (largest
+      // RF wins) by keeping the last feasible candidate.
+      best_schedule = std::move(candidate);
+      continue;
+    }
+    const CostBreakdown cost = predict_cost(candidate, cfg, ctx_plan);
+    if (cost.feasible && (!best_schedule || cost.total <= best_cost)) {
+      best_cost = cost.total;
+      best_schedule = std::move(candidate);
+    }
+  }
+  MSYS_REQUIRE(best_schedule.has_value(), "at least RF=1 must produce a schedule");
+  return std::move(*best_schedule);
+}
+
+std::vector<std::unique_ptr<DataSchedulerBase>> all_schedulers() {
+  std::vector<std::unique_ptr<DataSchedulerBase>> out;
+  out.push_back(std::make_unique<BasicScheduler>());
+  out.push_back(std::make_unique<DataScheduler>());
+  out.push_back(std::make_unique<CompleteDataScheduler>());
+  return out;
+}
+
+}  // namespace msys::dsched

@@ -1,0 +1,176 @@
+#include "msys/dsched/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace msys::dsched {
+
+using extract::ClusterDataflow;
+using extract::RetentionCandidate;
+using extract::ScheduleAnalysis;
+
+namespace {
+
+class Checker {
+ public:
+  Checker(const DataSchedule& schedule, const ScheduleAnalysis& analysis,
+          const arch::M1Config& cfg)
+      : schedule_(schedule), analysis_(analysis), cfg_(cfg) {}
+
+  std::vector<std::string> run() {
+    check_shape();
+    if (!violations_.empty()) return violations_;  // shape errors cascade
+    check_retained_set();
+    for (const model::Cluster& cluster : analysis_.sched().clusters()) {
+      check_cluster(cluster);
+    }
+    return violations_;
+  }
+
+ private:
+  void fail(const std::string& what) { violations_.push_back(what); }
+
+  [[nodiscard]] bool reads_in_place(DataId d, FbSet set) const {
+    if (!schedule_.retained.contains(d) || !analysis_.is_candidate(d)) return false;
+    const RetentionCandidate& cand = analysis_.candidate_for(d);
+    return cand.set == set || analysis_.cross_set_reads();
+  }
+
+  void check_shape() {
+    if (!schedule_.feasible) {
+      fail("schedule marked infeasible");
+      return;
+    }
+    if (schedule_.rf < 1 || schedule_.rf > analysis_.app().total_iterations()) {
+      fail("RF outside [1, total_iterations]");
+    }
+    if (schedule_.round_plan.size() != analysis_.sched().cluster_count()) {
+      fail("round plan does not cover every cluster");
+    }
+  }
+
+  void check_retained_set() {
+    for (DataId d : schedule_.retained) {
+      if (!analysis_.is_candidate(d)) {
+        fail("retained object '" + analysis_.app().data(d).name +
+             "' is not a retention candidate");
+      }
+    }
+  }
+
+  void check_placement(ClusterId cluster, ObjInstance inst, const char* role) {
+    const std::uint64_t key = DataSchedule::key(cluster, inst);
+    auto it = schedule_.placements.find(key);
+    if (it == schedule_.placements.end()) {
+      std::ostringstream out;
+      out << role << " of '" << analysis_.app().data(inst.data).name << "' iter "
+          << inst.iter << " in Cl" << (cluster.index() + 1) << " has no placement";
+      fail(out.str());
+      return;
+    }
+    const Placement& p = it->second;
+    if (!disjoint(p.extents)) fail("placement extents overlap themselves");
+    if (total_size(p.extents) != analysis_.app().data(inst.data).size) {
+      fail("placement size mismatch for '" + analysis_.app().data(inst.data).name + "'");
+    }
+    for (const Extent& e : p.extents) {
+      if (e.end() > cfg_.fb_set_size.value()) {
+        fail("placement of '" + analysis_.app().data(inst.data).name +
+             "' exceeds the FB set");
+      }
+    }
+  }
+
+  void check_cluster(const model::Cluster& cluster) {
+    const ClusterDataflow& flow = analysis_.dataflow(cluster.id);
+    const ClusterRoundPlan& plan = schedule_.round_plan[cluster.id.index()];
+
+    // Load coverage: every input instance loaded or read in place.
+    std::unordered_set<std::uint64_t> loaded;
+    for (ObjInstance inst : plan.loads) {
+      loaded.insert(DataSchedule::key(cluster.id, inst));
+      check_placement(cluster.id, inst, "load");
+      // Loads must be genuine cluster inputs.
+      if (std::find(flow.inputs.begin(), flow.inputs.end(), inst.data) ==
+          flow.inputs.end()) {
+        fail("Cl" + std::to_string(cluster.id.index() + 1) + " loads '" +
+             analysis_.app().data(inst.data).name + "' which is not an input");
+      }
+      if (reads_in_place(inst.data, cluster.set) && analysis_.is_candidate(inst.data) &&
+          analysis_.candidate_for(inst.data).occupancy_span.front() != cluster.id) {
+        fail("retained object '" + analysis_.app().data(inst.data).name +
+             "' re-loaded inside its span");
+      }
+    }
+    for (DataId in : flow.inputs) {
+      if (reads_in_place(in, cluster.set) &&
+          analysis_.candidate_for(in).occupancy_span.front() != cluster.id) {
+        continue;  // read in place, no load expected
+      }
+      for (std::uint32_t iter = 0; iter < schedule_.rf; ++iter) {
+        if (!loaded.contains(DataSchedule::key(cluster.id, {in, iter}))) {
+          fail("Cl" + std::to_string(cluster.id.index() + 1) + " never loads input '" +
+               analysis_.app().data(in).name + "' iter " + std::to_string(iter));
+        }
+      }
+    }
+
+    // Store coverage: finals always; results needed by later clusters
+    // unless retention makes every such read in-place.
+    std::unordered_set<std::uint64_t> stored;
+    for (const StoreEvent& store : plan.stores) {
+      stored.insert(DataSchedule::key(cluster.id, store.inst));
+      check_placement(cluster.id, store.inst, "store");
+    }
+    for (DataId out : flow.outgoing_results) {
+      const extract::ObjectInfo& info = analysis_.info(out);
+      bool store_needed = info.required_external;
+      for (ClusterId consumer : info.consumer_clusters) {
+        if (consumer == cluster.id) continue;
+        const FbSet consumer_set = analysis_.sched().cluster(consumer).set;
+        if (!reads_in_place(out, consumer_set)) store_needed = true;
+      }
+      if (!store_needed) continue;
+      for (std::uint32_t iter = 0; iter < schedule_.rf; ++iter) {
+        if (!stored.contains(DataSchedule::key(cluster.id, {out, iter}))) {
+          fail("Cl" + std::to_string(cluster.id.index() + 1) + " never stores '" +
+               analysis_.app().data(out).name + "' iter " + std::to_string(iter));
+        }
+      }
+    }
+
+    // Produced results must have placements.
+    for (KernelId k : cluster.kernels) {
+      for (DataId out : analysis_.app().kernel(k).outputs) {
+        for (std::uint32_t iter = 0; iter < schedule_.rf; ++iter) {
+          check_placement(cluster.id, {out, iter}, "result");
+        }
+      }
+    }
+
+    // Release events reference instances within RF bounds.
+    for (const ReleaseEvent& release : plan.releases) {
+      if (release.inst.iter >= schedule_.rf) {
+        fail("release of iter beyond RF in Cl" +
+             std::to_string(cluster.id.index() + 1));
+      }
+    }
+  }
+
+  const DataSchedule& schedule_;
+  const ScheduleAnalysis& analysis_;
+  const arch::M1Config& cfg_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace
+
+std::vector<std::string> validate_schedule(const DataSchedule& schedule,
+                                           const ScheduleAnalysis& analysis,
+                                           const arch::M1Config& cfg) {
+  Checker checker(schedule, analysis, cfg);
+  return checker.run();
+}
+
+}  // namespace msys::dsched

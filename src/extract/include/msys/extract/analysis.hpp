@@ -1,0 +1,142 @@
+// Information Extractor (paper §2, Fig. 2): derives from an Application and
+// a KernelSchedule everything the context and data schedulers consume —
+// per-object producer/consumer placement, per-cluster dataflow
+// classification, the §3 peak-footprint DS(C_c), and the §4 inter-cluster
+// sharing candidates with their TF factors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "msys/common/types.hpp"
+#include "msys/model/schedule.hpp"
+
+namespace msys::extract {
+
+/// Where a data object is produced and consumed, in schedule coordinates.
+struct ObjectInfo {
+  DataId id{};
+  SizeWords size{};
+  /// Producing cluster; nullopt for external inputs.
+  std::optional<ClusterId> producer_cluster;
+  /// Clusters containing at least one consumer, in execution order.
+  std::vector<ClusterId> consumer_clusters;
+  /// Global kernel position of the producer (nullopt for external inputs).
+  std::optional<std::uint32_t> producer_pos;
+  /// Global kernel positions of first/last consumer; nullopt if none.
+  std::optional<std::uint32_t> first_use_pos;
+  std::optional<std::uint32_t> last_use_pos;
+  bool required_external{false};
+};
+
+/// Classification of the objects one cluster touches (paper §3 vocabulary).
+struct ClusterDataflow {
+  ClusterId cluster{};
+  /// Objects that must be FB-resident before the cluster starts: external
+  /// inputs plus results of earlier clusters (which, absent retention,
+  /// arrive through external memory).
+  std::vector<DataId> inputs;
+  /// Outputs needed after the cluster: consumed by later clusters and/or
+  /// required in external memory ("rout" objects).  Absent retention they
+  /// are stored to external memory when the cluster finishes.
+  std::vector<DataId> outgoing_results;
+  /// Outputs produced and last consumed inside this cluster, needed
+  /// nowhere else ("r_jt" objects).  They never touch external memory.
+  std::vector<DataId> intermediates;
+};
+
+/// One §4 retention opportunity: an object that, if kept FB-resident across
+/// clusters of the same FB set, avoids external-memory transfers.
+struct RetentionCandidate {
+  DataId data{};
+  /// True for a shared *result* (R_{i,j..k}), false for shared *data*
+  /// (D_{i..j}).
+  bool is_result{false};
+  FbSet set{FbSet::kA};
+  /// Number of clusters that consume the object (the paper's N).
+  std::uint32_t n_users{0};
+  /// True when the result must reach external memory even if retained:
+  /// it is a final result, or a cluster on the *other* FB set consumes it
+  /// (the other set is only reachable through external memory).
+  bool store_required{false};
+  /// External-memory transfers of size `size` avoided by retention:
+  /// N-1 for shared data (one load instead of N); N+1 for a shared result
+  /// (store skipped and N reloads skipped) — N only when store_required,
+  /// where the store cannot be skipped.
+  std::uint32_t transfers_avoided{0};
+  /// Paper's time factor: size * transfers_avoided / TDS.  Candidates are
+  /// retained greedily in descending TF order.
+  double tf{0.0};
+  /// Clusters (ids, execution order) on `set` during which the retained
+  /// object occupies FB space: from load/production through last use.
+  std::vector<ClusterId> occupancy_span;
+};
+
+/// Set of retained objects (chosen by the Complete Data Scheduler).
+using RetainedSet = std::unordered_set<DataId>;
+
+/// Precomputed analysis over one (Application, KernelSchedule) pair.
+/// Holds a non-owning reference to the schedule, which must outlive it.
+class ScheduleAnalysis {
+ public:
+  /// `cross_set_reads` mirrors arch::M1Config::cross_set_reads: when true,
+  /// §4 candidates also count consumers on the other FB set (the paper's
+  /// future-work extension) — a retained object is then readable in place
+  /// from either set, and only external memory / no-safe-release cases
+  /// still force transfers.
+  explicit ScheduleAnalysis(const model::KernelSchedule& sched,
+                            bool cross_set_reads = false);
+
+  [[nodiscard]] bool cross_set_reads() const { return cross_set_reads_; }
+
+  [[nodiscard]] const model::KernelSchedule& sched() const { return *sched_; }
+  [[nodiscard]] const model::Application& app() const { return sched_->app(); }
+
+  [[nodiscard]] const ObjectInfo& info(DataId id) const;
+  [[nodiscard]] const ClusterDataflow& dataflow(ClusterId id) const;
+
+  /// Peak FB-set footprint of one iteration of `cluster` under the paper's
+  /// §3 policy (inputs loaded before the cluster starts, dead objects
+  /// replaced by results), in words.  Objects in `retained` are excluded —
+  /// the caller charges them separately for their full occupancy span.
+  [[nodiscard]] SizeWords cluster_footprint(ClusterId cluster,
+                                            const RetainedSet& retained) const;
+  [[nodiscard]] SizeWords cluster_footprint(ClusterId cluster) const;
+
+  /// §3 DS(C_c) scaled for RF consecutive iterations, plus the full-time
+  /// charge of every retained object whose occupancy span covers `cluster`.
+  [[nodiscard]] SizeWords cluster_footprint_rf(ClusterId cluster, std::uint32_t rf,
+                                               const RetainedSet& retained) const;
+
+  /// All §4 retention opportunities, sorted by descending TF (ties broken
+  /// by larger size, then smaller DataId, for determinism).
+  [[nodiscard]] const std::vector<RetentionCandidate>& retention_candidates() const {
+    return candidates_;
+  }
+  [[nodiscard]] const RetentionCandidate& candidate_for(DataId id) const;
+  [[nodiscard]] bool is_candidate(DataId id) const;
+
+  /// The paper's TDS: total data + result size over the application.
+  [[nodiscard]] SizeWords total_data_size() const { return tds_; }
+
+  /// Human-readable dump for debugging / examples.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void compute_object_info();
+  void compute_dataflow();
+  void compute_candidates();
+
+  const model::KernelSchedule* sched_;
+  bool cross_set_reads_{false};
+  std::vector<ObjectInfo> objects_;          // indexed by DataId
+  std::vector<ClusterDataflow> dataflow_;    // indexed by ClusterId
+  std::vector<RetentionCandidate> candidates_;
+  std::vector<std::int32_t> candidate_index_;  // DataId -> index or -1
+  SizeWords tds_{};
+};
+
+}  // namespace msys::extract

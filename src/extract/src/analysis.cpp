@@ -1,0 +1,354 @@
+#include "msys/extract/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "msys/common/error.hpp"
+#include "msys/common/strfmt.hpp"
+
+namespace msys::extract {
+
+using model::Application;
+using model::Cluster;
+using model::DataObject;
+using model::Kernel;
+using model::KernelSchedule;
+
+ScheduleAnalysis::ScheduleAnalysis(const KernelSchedule& sched, bool cross_set_reads)
+    : sched_(&sched), cross_set_reads_(cross_set_reads) {
+  tds_ = app().total_data_size();
+  compute_object_info();
+  compute_dataflow();
+  compute_candidates();
+}
+
+void ScheduleAnalysis::compute_object_info() {
+  const Application& a = app();
+  objects_.resize(a.data_count());
+  for (const DataObject& d : a.data_objects()) {
+    ObjectInfo info;
+    info.id = d.id;
+    info.size = d.size;
+    info.required_external = d.required_in_external_memory;
+    if (d.producer.valid()) {
+      info.producer_cluster = sched_->cluster_of(d.producer);
+      info.producer_pos = sched_->global_position(d.producer);
+    }
+    std::vector<std::uint32_t> use_positions;
+    use_positions.reserve(d.consumers.size());
+    for (KernelId consumer : d.consumers) {
+      use_positions.push_back(sched_->global_position(consumer));
+    }
+    std::sort(use_positions.begin(), use_positions.end());
+    if (!use_positions.empty()) {
+      info.first_use_pos = use_positions.front();
+      info.last_use_pos = use_positions.back();
+    }
+    // Consumer clusters in execution order, deduplicated.
+    std::vector<ClusterId> consumer_clusters;
+    for (std::uint32_t pos : use_positions) {
+      ClusterId c = sched_->cluster_of(sched_->flattened_order()[pos]);
+      if (consumer_clusters.empty() || consumer_clusters.back() != c) {
+        consumer_clusters.push_back(c);
+      }
+    }
+    info.consumer_clusters = std::move(consumer_clusters);
+    objects_[d.id.index()] = std::move(info);
+  }
+}
+
+void ScheduleAnalysis::compute_dataflow() {
+  dataflow_.resize(sched_->cluster_count());
+  for (const Cluster& cluster : sched_->clusters()) {
+    ClusterDataflow flow;
+    flow.cluster = cluster.id;
+    // Inputs: consumed here but produced elsewhere (external or earlier
+    // cluster).  Deduplicate across the cluster's kernels.
+    std::unordered_set<DataId> seen_inputs;
+    for (KernelId k : cluster.kernels) {
+      for (DataId in : app().kernel(k).inputs) {
+        const ObjectInfo& info = objects_[in.index()];
+        const bool produced_here =
+            info.producer_cluster.has_value() && *info.producer_cluster == cluster.id;
+        if (!produced_here && seen_inputs.insert(in).second) {
+          flow.inputs.push_back(in);
+        }
+      }
+    }
+    // Outputs: outgoing when needed beyond this cluster, intermediate when
+    // produced and fully consumed inside it.
+    for (KernelId k : cluster.kernels) {
+      for (DataId out : app().kernel(k).outputs) {
+        const ObjectInfo& info = objects_[out.index()];
+        const bool used_later = std::any_of(
+            info.consumer_clusters.begin(), info.consumer_clusters.end(),
+            [&](ClusterId c) { return c != cluster.id; });
+        if (info.required_external || used_later) {
+          flow.outgoing_results.push_back(out);
+        } else {
+          flow.intermediates.push_back(out);
+        }
+      }
+    }
+    dataflow_[cluster.id.index()] = std::move(flow);
+  }
+}
+
+void ScheduleAnalysis::compute_candidates() {
+  candidate_index_.assign(app().data_count(), -1);
+  const double tds = static_cast<double>(tds_.value());
+
+  auto clusters_on_set_between = [&](FbSet set, ClusterId first, ClusterId last) {
+    std::vector<ClusterId> span;
+    for (const Cluster& c : sched_->clusters()) {
+      if (c.set == set && c.id >= first && c.id <= last) span.push_back(c.id);
+    }
+    return span;
+  };
+  // The retained object may be released only once no cluster can still be
+  // reading it: when the last consumer sits on the *other* set, extend the
+  // span to the next home-set cluster (whose end postdates that read).
+  // Returns the span, or an empty vector when no safe release point exists
+  // within the round.
+  auto safe_span = [&](FbSet home, ClusterId first, ClusterId last_consumer) {
+    ClusterId release_at = last_consumer;
+    if (sched_->cluster(last_consumer).set != home) {
+      bool found = false;
+      for (const Cluster& c : sched_->clusters()) {
+        if (c.set == home && c.id > last_consumer) {
+          release_at = c.id;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return std::vector<ClusterId>{};
+    }
+    return clusters_on_set_between(home, first, release_at);
+  };
+
+  for (const DataObject& d : app().data_objects()) {
+    const ObjectInfo& info = objects_[d.id.index()];
+    RetentionCandidate cand;
+    cand.data = d.id;
+
+    if (!info.producer_cluster.has_value()) {
+      if (cross_set_reads_) {
+        // Extension: every consuming cluster counts; the object lives in
+        // its first consumer's set and is read across from the other.
+        if (info.consumer_clusters.size() < 2) continue;
+        const ClusterId first = info.consumer_clusters.front();
+        const ClusterId last = info.consumer_clusters.back();
+        const FbSet home = sched_->cluster(first).set;
+        std::vector<ClusterId> span = safe_span(home, first, last);
+        if (span.empty()) continue;  // no safe release point
+        cand.is_result = false;
+        cand.set = home;
+        cand.n_users = static_cast<std::uint32_t>(info.consumer_clusters.size());
+        cand.transfers_avoided = cand.n_users - 1;
+        cand.occupancy_span = std::move(span);
+        cand.tf = static_cast<double>(d.size.value()) * cand.transfers_avoided / tds;
+        candidates_.push_back(std::move(cand));
+        continue;
+      }
+      // Shared data D_{i..j}: an external input consumed by >= 2 clusters
+      // bound to the same FB set.  If it is consumed on both sets we pick
+      // the set with more consuming clusters (retention in the other set
+      // is the paper's future-work case, gated by cross_set_reads).
+      std::uint32_t users[2] = {0, 0};
+      ClusterId first[2], last[2];
+      for (ClusterId c : info.consumer_clusters) {
+        const auto s = static_cast<std::size_t>(sched_->cluster(c).set);
+        if (users[s]++ == 0) first[s] = c;
+        last[s] = c;
+      }
+      const std::size_t s = users[1] > users[0] ? 1 : 0;
+      if (users[s] < 2) continue;
+      cand.is_result = false;
+      cand.set = static_cast<FbSet>(s);
+      cand.n_users = users[s];
+      cand.transfers_avoided = cand.n_users - 1;
+      cand.occupancy_span = clusters_on_set_between(cand.set, first[s], last[s]);
+    } else if (cross_set_reads_) {
+      // Extension: a result is retained in its producer's set and read in
+      // place by consumers on both sets.
+      const ClusterId producer = *info.producer_cluster;
+      const FbSet home = sched_->cluster(producer).set;
+      std::uint32_t users = 0;
+      ClusterId last = producer;
+      for (ClusterId c : info.consumer_clusters) {
+        if (c == producer) continue;
+        ++users;
+        last = c;
+      }
+      if (users == 0) continue;
+      std::vector<ClusterId> span = safe_span(home, producer, last);
+      if (span.empty()) continue;
+      cand.is_result = true;
+      cand.set = home;
+      cand.n_users = users;
+      cand.store_required = info.required_external;
+      cand.transfers_avoided = users + (cand.store_required ? 0 : 1);
+      cand.occupancy_span = std::move(span);
+    } else {
+      // Shared result R_{i,j..k}: produced in cluster i, consumed by later
+      // clusters on the same FB set (a result can only be retained in the
+      // set it was written to).
+      const ClusterId producer = *info.producer_cluster;
+      const FbSet set = sched_->cluster(producer).set;
+      std::uint32_t users = 0;
+      ClusterId last = producer;
+      for (ClusterId c : info.consumer_clusters) {
+        if (c == producer) continue;
+        if (sched_->cluster(c).set != set) continue;
+        ++users;
+        last = c;
+      }
+      if (users == 0) continue;
+      cand.is_result = true;
+      cand.set = set;
+      cand.n_users = users;
+      // The store is avoidable only when nothing outside this FB set needs
+      // the result: not external memory, and no consumer on the other set.
+      bool store_required = info.required_external;
+      for (ClusterId c : info.consumer_clusters) {
+        if (sched_->cluster(c).set != set) store_required = true;
+      }
+      cand.store_required = store_required;
+      cand.transfers_avoided = users + (store_required ? 0 : 1);
+      cand.occupancy_span = clusters_on_set_between(set, producer, last);
+    }
+
+    cand.tf = static_cast<double>(d.size.value()) * cand.transfers_avoided / tds;
+    candidates_.push_back(std::move(cand));
+  }
+
+  std::sort(candidates_.begin(), candidates_.end(),
+            [&](const RetentionCandidate& a, const RetentionCandidate& b) {
+              if (a.tf != b.tf) return a.tf > b.tf;
+              const SizeWords sa = objects_[a.data.index()].size;
+              const SizeWords sb = objects_[b.data.index()].size;
+              if (sa != sb) return sa > sb;
+              return a.data < b.data;
+            });
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    candidate_index_[candidates_[i].data.index()] = static_cast<std::int32_t>(i);
+  }
+}
+
+const ObjectInfo& ScheduleAnalysis::info(DataId id) const {
+  MSYS_REQUIRE(id.index() < objects_.size(), "data id out of range");
+  return objects_[id.index()];
+}
+
+const ClusterDataflow& ScheduleAnalysis::dataflow(ClusterId id) const {
+  MSYS_REQUIRE(id.index() < dataflow_.size(), "cluster id out of range");
+  return dataflow_[id.index()];
+}
+
+const RetentionCandidate& ScheduleAnalysis::candidate_for(DataId id) const {
+  MSYS_REQUIRE(is_candidate(id), "object is not a retention candidate");
+  return candidates_[static_cast<std::size_t>(candidate_index_[id.index()])];
+}
+
+bool ScheduleAnalysis::is_candidate(DataId id) const {
+  return id.index() < candidate_index_.size() && candidate_index_[id.index()] >= 0;
+}
+
+SizeWords ScheduleAnalysis::cluster_footprint(ClusterId cluster_id,
+                                              const RetainedSet& retained) const {
+  const Cluster& cluster = sched_->cluster(cluster_id);
+  const ClusterDataflow& flow = dataflow_[cluster_id.index()];
+  const auto n = static_cast<std::uint32_t>(cluster.kernels.size());
+
+  // Local position (1-based) of each kernel in the cluster.
+  auto local_pos = [&](KernelId k) -> std::uint32_t {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (cluster.kernels[i] == k) return i + 1;
+    }
+    MSYS_REQUIRE(false, "kernel not in cluster");
+    return 0;
+  };
+  auto last_local_use = [&](DataId d) -> std::uint32_t {
+    std::uint32_t last = 0;
+    for (KernelId consumer : app().data(d).consumers) {
+      if (sched_->cluster_of(consumer) == cluster_id) {
+        last = std::max(last, local_pos(consumer));
+      }
+    }
+    return last;
+  };
+
+  // Live intervals [start, end] in local positions, following §3's policy:
+  // every input resident from before kernel 1 until its last in-cluster
+  // consumer; outgoing results resident from their producer to cluster
+  // end; intermediates from producer to last consumer.
+  struct Interval {
+    std::uint32_t start, end;
+    SizeWords size;
+  };
+  std::vector<Interval> intervals;
+  for (DataId in : flow.inputs) {
+    if (retained.contains(in)) continue;
+    intervals.push_back({1, last_local_use(in), app().data(in).size});
+  }
+  for (DataId out : flow.outgoing_results) {
+    if (retained.contains(out)) continue;
+    intervals.push_back({local_pos(app().data(out).producer), n, app().data(out).size});
+  }
+  for (DataId out : flow.intermediates) {
+    intervals.push_back(
+        {local_pos(app().data(out).producer), last_local_use(out), app().data(out).size});
+  }
+
+  SizeWords peak = SizeWords::zero();
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    SizeWords live = SizeWords::zero();
+    for (const Interval& iv : intervals) {
+      if (iv.start <= i && i <= iv.end) live += iv.size;
+    }
+    peak = std::max(peak, live);
+  }
+  return peak;
+}
+
+SizeWords ScheduleAnalysis::cluster_footprint(ClusterId cluster_id) const {
+  return cluster_footprint(cluster_id, RetainedSet{});
+}
+
+SizeWords ScheduleAnalysis::cluster_footprint_rf(ClusterId cluster_id, std::uint32_t rf,
+                                                 const RetainedSet& retained) const {
+  MSYS_REQUIRE(rf >= 1, "RF must be at least 1");
+  SizeWords base = cluster_footprint(cluster_id, retained) * rf;
+  // Retained objects occupy their full span — including this cluster if it
+  // lies inside — for all RF iteration instances.
+  for (DataId d : retained) {
+    if (!is_candidate(d)) continue;
+    const RetentionCandidate& cand = candidate_for(d);
+    if (std::find(cand.occupancy_span.begin(), cand.occupancy_span.end(), cluster_id) !=
+        cand.occupancy_span.end()) {
+      base += objects_[d.index()].size * rf;
+    }
+  }
+  return base;
+}
+
+std::string ScheduleAnalysis::summary() const {
+  std::ostringstream out;
+  out << "analysis of " << sched_->summary() << '\n';
+  for (const Cluster& c : sched_->clusters()) {
+    const ClusterDataflow& flow = dataflow_[c.id.index()];
+    out << "  Cl" << (c.id.index() + 1) << ": inputs=" << flow.inputs.size()
+        << " outgoing=" << flow.outgoing_results.size()
+        << " intermediates=" << flow.intermediates.size()
+        << " DS=" << size_kb(cluster_footprint(c.id)) << '\n';
+  }
+  out << "  retention candidates (desc TF):\n";
+  for (const RetentionCandidate& cand : candidates_) {
+    out << "    " << app().data(cand.data).name << (cand.is_result ? " [R]" : " [D]")
+        << " set=" << to_string(cand.set) << " N=" << cand.n_users
+        << " avoided=" << cand.transfers_avoided << " TF=" << fixed(cand.tf, 4) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace msys::extract

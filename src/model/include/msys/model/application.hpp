@@ -1,0 +1,109 @@
+// Application: a DAG of kernels connected through data objects, executed
+// `total_iterations` times over successive data blocks (the outer loop of a
+// multimedia pipeline: one iteration per macroblock / frame slice / image
+// chip).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "msys/common/types.hpp"
+#include "msys/model/data.hpp"
+#include "msys/model/kernel.hpp"
+
+namespace msys::model {
+
+class Application;
+
+/// Incrementally assembles an Application and validates it on build().
+///
+///   ApplicationBuilder b("mpeg", /*iterations=*/64);
+///   DataId frame = b.external_input("frame", SizeWords{256});
+///   KernelId dct = b.kernel("dct", 32, Cycles{400}, {frame});
+///   DataId coef = b.output(dct, "coef", SizeWords{256});
+///   ...
+///   Application app = b.build();
+class ApplicationBuilder {
+ public:
+  ApplicationBuilder(std::string name, std::uint32_t total_iterations);
+
+  /// Declares a data object produced outside the application.
+  DataId external_input(std::string name, SizeWords size);
+
+  /// Declares a kernel with its input objects; outputs are attached with
+  /// output() so that each object knows its unique producer.
+  KernelId kernel(std::string name, std::uint32_t context_words, Cycles exec_cycles,
+                  std::vector<DataId> inputs = {});
+
+  /// Declares an object produced by `producer`.
+  DataId output(KernelId producer, std::string name, SizeWords size,
+                bool required_in_external_memory = false);
+
+  /// Adds a further input to an already-declared kernel (for wiring an
+  /// earlier kernel's output into a later kernel).
+  void add_input(KernelId kernel, DataId data);
+
+  /// Marks an object as needed in external memory after the run.
+  void mark_final(DataId data);
+
+  /// Validates and returns the finished Application.  Throws msys::Error
+  /// on structural problems (unknown ids, cyclic dependencies, kernels
+  /// with zero latency, objects nobody reads or writes back, ...).
+  [[nodiscard]] Application build() &&;
+
+ private:
+  friend class Application;
+  std::string name_;
+  std::uint32_t total_iterations_;
+  std::vector<DataObject> data_;
+  std::vector<Kernel> kernels_;
+  bool built_{false};
+};
+
+/// Immutable, validated kernel/data DAG.
+class Application {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint32_t total_iterations() const { return total_iterations_; }
+
+  [[nodiscard]] std::size_t kernel_count() const { return kernels_.size(); }
+  [[nodiscard]] std::size_t data_count() const { return data_.size(); }
+
+  [[nodiscard]] const Kernel& kernel(KernelId id) const;
+  [[nodiscard]] const DataObject& data(DataId id) const;
+  [[nodiscard]] const std::vector<Kernel>& kernels() const { return kernels_; }
+  [[nodiscard]] const std::vector<DataObject>& data_objects() const { return data_; }
+
+  [[nodiscard]] std::optional<KernelId> find_kernel(std::string_view name) const;
+  [[nodiscard]] std::optional<DataId> find_data(std::string_view name) const;
+
+  /// Kernel ids in one valid topological order of the dependency DAG.
+  [[nodiscard]] const std::vector<KernelId>& topological_order() const {
+    return topo_order_;
+  }
+
+  /// True iff `order` (a permutation of all kernels) executes every
+  /// producer before each of its consumers.
+  [[nodiscard]] bool respects_dependencies(const std::vector<KernelId>& order) const;
+
+  /// Sum of all per-iteration object sizes (the paper's TDS denominator).
+  [[nodiscard]] SizeWords total_data_size() const;
+
+  /// Sum of context words over all kernels.
+  [[nodiscard]] std::uint32_t total_context_words() const;
+
+ private:
+  friend class ApplicationBuilder;
+  Application() = default;
+
+  std::string name_;
+  std::uint32_t total_iterations_{1};
+  std::vector<DataObject> data_;
+  std::vector<Kernel> kernels_;
+  std::vector<KernelId> topo_order_;
+};
+
+}  // namespace msys::model

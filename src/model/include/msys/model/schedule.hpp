@@ -1,0 +1,78 @@
+// Kernel schedule: the output of the Kernel Scheduler [7] and the input of
+// the context and data schedulers.
+//
+// A *cluster* is a set of kernels assigned to the same Frame Buffer set
+// whose components execute consecutively (paper §2).  Clusters alternate
+// between the two FB sets: while cluster c computes out of one set, the DMA
+// loads contexts and data of cluster c+1 into the Context Memory and the
+// other set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msys/common/types.hpp"
+#include "msys/model/application.hpp"
+
+namespace msys::model {
+
+struct Cluster {
+  ClusterId id{};
+  FbSet set{FbSet::kA};
+  /// Execution order inside the cluster.
+  std::vector<KernelId> kernels;
+};
+
+/// Validated ordered cluster sequence over an Application.  Holds a
+/// non-owning pointer to the Application, which must outlive the schedule.
+class KernelSchedule {
+ public:
+  /// Builds a schedule from an ordered partition of the application's
+  /// kernels.  Cluster i is bound to FB set i % 2 (set A first).  Throws
+  /// msys::Error unless the partition covers every kernel exactly once and
+  /// the concatenated order respects all data dependencies.
+  [[nodiscard]] static KernelSchedule from_partition(
+      const Application& app, std::vector<std::vector<KernelId>> partition);
+
+  /// Convenience: every kernel in its own cluster, in the given order (the
+  /// Basic Scheduler's trivial clustering when none is supplied).
+  [[nodiscard]] static KernelSchedule one_kernel_per_cluster(const Application& app,
+                                                             std::vector<KernelId> order);
+
+  [[nodiscard]] const Application& app() const { return *app_; }
+  [[nodiscard]] const std::vector<Cluster>& clusters() const { return clusters_; }
+  [[nodiscard]] const Cluster& cluster(ClusterId id) const;
+  [[nodiscard]] std::size_t cluster_count() const { return clusters_.size(); }
+
+  /// Cluster that executes `kernel`.
+  [[nodiscard]] ClusterId cluster_of(KernelId kernel) const;
+
+  /// Position of `kernel` in the flattened cluster-by-cluster order.
+  [[nodiscard]] std::uint32_t global_position(KernelId kernel) const;
+
+  /// All kernels in execution order, cluster by cluster.
+  [[nodiscard]] const std::vector<KernelId>& flattened_order() const { return flat_order_; }
+
+  /// Ids of the clusters bound to `set`, in execution order.
+  [[nodiscard]] std::vector<ClusterId> clusters_on(FbSet set) const;
+
+  /// Context words needed for every kernel of `cluster` simultaneously.
+  [[nodiscard]] std::uint32_t cluster_context_words(ClusterId cluster) const;
+
+  /// Largest kernel count over all clusters (Table 1's "n" column).
+  [[nodiscard]] std::uint32_t max_kernels_per_cluster() const;
+
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  KernelSchedule() = default;
+
+  const Application* app_{nullptr};
+  std::vector<Cluster> clusters_;
+  std::vector<KernelId> flat_order_;
+  std::vector<ClusterId> cluster_of_kernel_;   // indexed by KernelId
+  std::vector<std::uint32_t> position_of_kernel_;  // indexed by KernelId
+};
+
+}  // namespace msys::model

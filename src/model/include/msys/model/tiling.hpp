@@ -1,0 +1,58 @@
+// Extension (paper §7 future work): "data management within a kernel".
+//
+// The paper's schedulers treat a kernel's data as indivisible: when a
+// single kernel's working set exceeds the Frame Buffer set, nothing can
+// run (the MPEG-at-1K failure).  Tiling splits such a kernel into T
+// sub-kernels, each processing a 1/T slice of its sliceable operands, so
+// the data scheduler can stream the slices through the FB.
+//
+// Operands are split according to the caller's classification:
+//   kSliced     — divided into T contiguous slices (frame data, results);
+//   kReplicated — each sub-kernel reads the whole object (coefficient
+//                 tables, templates).  A replicated external input becomes
+//                 shared data across the sub-kernels — if the schedule
+//                 spreads them over clusters, it turns into a §4 retention
+//                 candidate, which is exactly how the two future-work
+//                 items compose.
+//
+// The transform rebuilds the whole Application (ids change); kernels other
+// than the target are preserved structurally, with their references to the
+// target's outputs rewired to consume every slice.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "msys/model/application.hpp"
+
+namespace msys::model {
+
+enum class TileMode : std::uint8_t { kSliced, kReplicated };
+
+struct TilingSpec {
+  KernelId kernel{};
+  std::uint32_t tiles{2};
+  /// Mode per operand of `kernel` (inputs and outputs); objects not
+  /// listed default to kSliced.
+  std::unordered_map<DataId, TileMode> modes;
+};
+
+struct TiledApplication {
+  Application app;
+  /// The sub-kernels replacing the tiled kernel, in slice order.
+  std::vector<KernelId> tile_kernels;
+  /// Old id -> new id for every untouched kernel.
+  std::unordered_map<KernelId, KernelId> kernel_map;
+  /// Old id -> new id for every untouched / replicated data object.
+  std::unordered_map<DataId, DataId> data_map;
+  /// Old sliced object -> its slices, in order.
+  std::unordered_map<DataId, std::vector<DataId>> slice_map;
+};
+
+/// Splits `spec.kernel` into `spec.tiles` sub-kernels.  Sliced operand
+/// sizes must be divisible by the tile count; execution cycles and context
+/// words are divided per tile (contexts rounded up, at least 1).  Throws
+/// msys::Error on indivisible sizes or invalid specs.
+[[nodiscard]] TiledApplication tile_kernel(const Application& app, const TilingSpec& spec);
+
+}  // namespace msys::model

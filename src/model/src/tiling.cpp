@@ -1,0 +1,130 @@
+#include "msys/model/tiling.hpp"
+
+#include <algorithm>
+
+#include "msys/common/error.hpp"
+
+namespace msys::model {
+
+namespace {
+
+TileMode mode_of(const TilingSpec& spec, DataId id) {
+  auto it = spec.modes.find(id);
+  return it == spec.modes.end() ? TileMode::kSliced : it->second;
+}
+
+}  // namespace
+
+TiledApplication tile_kernel(const Application& app, const TilingSpec& spec) {
+  MSYS_REQUIRE(spec.kernel.index() < app.kernel_count(), "tiling: unknown kernel");
+  MSYS_REQUIRE(spec.tiles >= 2, "tiling needs at least two tiles");
+  const Kernel& target = app.kernel(spec.kernel);
+  const std::uint32_t tiles = spec.tiles;
+
+  // Validate operand modes up front.
+  for (DataId in : target.inputs) {
+    const DataObject& d = app.data(in);
+    if (mode_of(spec, in) == TileMode::kSliced) {
+      MSYS_REQUIRE(!d.producer.valid(),
+                   "tiling: sliced input '" + d.name +
+                       "' is produced by another kernel; mark it replicated");
+      MSYS_REQUIRE(d.size.value() % tiles == 0,
+                   "tiling: size of '" + d.name + "' not divisible by tile count");
+    }
+  }
+  for (DataId out : target.outputs) {
+    const DataObject& d = app.data(out);
+    MSYS_REQUIRE(mode_of(spec, out) == TileMode::kSliced,
+                 "tiling: outputs must be sliced ('" + d.name + "')");
+    MSYS_REQUIRE(d.size.value() % tiles == 0,
+                 "tiling: size of '" + d.name + "' not divisible by tile count");
+  }
+
+  ApplicationBuilder b(app.name() + ".tiled", app.total_iterations());
+  std::vector<KernelId> tile_kernels;
+  std::unordered_map<KernelId, KernelId> kernel_map;
+  std::unordered_map<DataId, DataId> data_map;
+  std::unordered_map<DataId, std::vector<DataId>> slice_map;
+
+  // ---- External inputs. ----
+  auto is_target_operand = [&](DataId id) {
+    return std::find(target.inputs.begin(), target.inputs.end(), id) !=
+           target.inputs.end();
+  };
+  for (const DataObject& d : app.data_objects()) {
+    if (d.producer.valid()) continue;
+    if (is_target_operand(d.id) && mode_of(spec, d.id) == TileMode::kSliced) {
+      std::vector<DataId> slices;
+      const SizeWords slice_size{d.size.value() / tiles};
+      for (std::uint32_t t = 0; t < tiles; ++t) {
+        slices.push_back(
+            b.external_input(d.name + ".t" + std::to_string(t), slice_size));
+      }
+      slice_map.emplace(d.id, std::move(slices));
+    } else {
+      data_map.emplace(d.id, b.external_input(d.name, d.size));
+    }
+  }
+
+  // ---- Kernels in topological order; producers first. ----
+  auto mapped_inputs = [&](const Kernel& k) {
+    std::vector<DataId> inputs;
+    for (DataId in : k.inputs) {
+      auto sliced = slice_map.find(in);
+      if (sliced != slice_map.end()) {
+        // A non-target consumer of a sliced object reads every slice.
+        inputs.insert(inputs.end(), sliced->second.begin(), sliced->second.end());
+      } else {
+        inputs.push_back(data_map.at(in));
+      }
+    }
+    return inputs;
+  };
+
+  for (KernelId kid : app.topological_order()) {
+    const Kernel& k = app.kernel(kid);
+    if (kid != spec.kernel) {
+      KernelId nk = b.kernel(k.name, k.context_words, k.exec_cycles, mapped_inputs(k));
+      kernel_map.emplace(kid, nk);
+      for (DataId out : k.outputs) {
+        const DataObject& d = app.data(out);
+        data_map.emplace(out,
+                                b.output(nk, d.name, d.size, d.required_in_external_memory));
+      }
+      continue;
+    }
+    // The target becomes `tiles` sub-kernels.
+    const std::uint32_t ctx = std::max(1u, (k.context_words + tiles - 1) / tiles);
+    const Cycles exec{std::max<std::uint64_t>(1, (k.exec_cycles.value() + tiles - 1) /
+                                                     tiles)};
+    for (std::uint32_t t = 0; t < tiles; ++t) {
+      std::vector<DataId> inputs;
+      for (DataId in : k.inputs) {
+        auto sliced = slice_map.find(in);
+        if (sliced != slice_map.end()) {
+          inputs.push_back(sliced->second[t]);
+        } else {
+          inputs.push_back(data_map.at(in));
+        }
+      }
+      KernelId nk =
+          b.kernel(k.name + ".t" + std::to_string(t), ctx, exec, std::move(inputs));
+      tile_kernels.push_back(nk);
+      for (DataId out : k.outputs) {
+        const DataObject& d = app.data(out);
+        DataId slice = b.output(nk, d.name + ".t" + std::to_string(t),
+                                SizeWords{d.size.value() / tiles},
+                                d.required_in_external_memory);
+        slice_map[out].push_back(slice);
+      }
+    }
+  }
+
+  return TiledApplication{.app = std::move(b).build(),
+                          .tile_kernels = std::move(tile_kernels),
+                          .kernel_map = std::move(kernel_map),
+                          .data_map = std::move(data_map),
+                          .slice_map = std::move(slice_map)};
+}
+
+}  // namespace msys::model

@@ -1,0 +1,79 @@
+// Value-level execution of a scheduled program.
+//
+// The FunctionalMachine hooks into the event simulator's data effects and
+// maintains real contents for the external memory and both Frame Buffer
+// sets: loads copy words in, kernel executions run the bound RC-array
+// programs over the resident operands, stores copy results out.  After a
+// run, every final result in external memory can be compared against the
+// golden pipeline (`golden_iteration`), proving end to end that the data
+// scheduler's placements, replacements and retentions preserve values.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "msys/codegen/program.hpp"
+#include "msys/rcarray/kernels.hpp"
+#include "msys/sim/simulator.hpp"
+
+namespace msys::rcarray {
+
+/// Maps each model kernel to its RC implementation.  Operand order must
+/// match the model kernel's inputs/outputs; sizes must match the data
+/// objects' word counts.
+using Binding = std::unordered_map<KernelId, const KernelImpl*>;
+
+/// Deterministic external-input generator: word `idx` of `data`'s
+/// instance for global iteration `iter`.
+[[nodiscard]] Word external_input_word(std::uint64_t seed, DataId data,
+                                       std::uint32_t iter, std::uint32_t idx);
+
+/// Evaluates one global iteration of `app` directly (golden references,
+/// no scheduling): returns every data object's values.
+[[nodiscard]] std::unordered_map<DataId, Values> golden_iteration(
+    const model::Application& app, const Binding& binding, std::uint64_t seed,
+    std::uint32_t iter);
+
+class FunctionalMachine {
+ public:
+  /// Validates the binding against the application (operand counts and
+  /// sizes); throws msys::Error on mismatch.
+  FunctionalMachine(const codegen::ScheduleProgram& program, const arch::M1Config& cfg,
+                    Binding binding, std::uint64_t seed);
+
+  /// Installs data hooks on `simulator` and runs the program through it.
+  sim::SimReport run(sim::Simulator& simulator);
+
+  /// Value a store wrote to external memory for (data, global iteration);
+  /// throws if never stored.
+  [[nodiscard]] const Values& stored(DataId data, std::uint32_t iter) const;
+  [[nodiscard]] bool was_stored(DataId data, std::uint32_t iter) const;
+
+ private:
+  struct ResidencyKey {
+    // set(1) | data(32) | iter(16)
+    static std::uint64_t make(FbSet set, DataId data, std::uint32_t iter);
+  };
+
+  [[nodiscard]] Values gather(FbSet set, const std::vector<Extent>& extents) const;
+  void scatter(FbSet set, const std::vector<Extent>& extents, const Values& values);
+
+  void on_load(const codegen::Op& op, std::uint32_t round);
+  void on_store(const codegen::Op& op, std::uint32_t round);
+  void on_exec(const codegen::Op& op, const codegen::Slot& slot);
+
+  const codegen::ScheduleProgram* program_;
+  const arch::M1Config* cfg_;
+  Binding binding_;
+  std::uint64_t seed_;
+  RcArray array_;
+
+  std::vector<Word> fb_[2];
+  /// (set, data, iter-in-round) -> extents of the live placement.
+  std::unordered_map<std::uint64_t, std::vector<Extent>> residency_;
+  /// (data, global iteration) -> stored values.
+  std::unordered_map<std::uint64_t, Values> external_;
+};
+
+}  // namespace msys::rcarray

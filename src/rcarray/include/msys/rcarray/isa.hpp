@@ -1,0 +1,93 @@
+// Context-word ISA for the functional RC-array model.
+//
+// MorphoSys configures its 8x8 reconfigurable cells through 32-bit context
+// words broadcast row- or column-wise; a kernel is a short sequence of
+// contexts.  This model keeps that granularity — one ContextWord = one
+// array-wide SIMD step — with a small, regular instruction set sufficient
+// for the multimedia kernels the paper's workloads use (FIR, DCT,
+// quantisation, SAD motion estimation, correlation).
+//
+// Lane model: the 8x8 array is treated as 64 parallel lanes, each with a
+// 16-bit register file and a 40-bit accumulator.  Frame Buffer operands
+// are addressed as base + lane * stride, matching MorphoSys's per-column
+// data distribution; kBcast reads one FB word into every lane (the
+// express-lane broadcast).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msys::rcarray {
+
+inline constexpr std::uint32_t kLanes = 64;
+inline constexpr std::uint32_t kRegisters = 8;
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  // Data movement.  Lanes form the 8x8 array: row = lane / 8,
+  // col = lane % 8, so 2D operands are addressed naturally.
+  kLoadFb,   ///< r[dst] = fb[imm + lane * srcA]          (srcA = stride)
+  kLoadRc,   ///< r[dst] = fb[imm + row * srcA + col * srcB]
+  kStoreFb,  ///< fb[imm + lane * srcA] = r[srcB]
+  kBcast,    ///< r[dst] = fb[imm]                         (all lanes)
+  kMovI,     ///< r[dst] = imm
+  kMov,      ///< r[dst] = r[srcA]
+  // Lane ALU.
+  kAdd,      ///< r[dst] = r[srcA] + r[srcB]
+  kSub,      ///< r[dst] = r[srcA] - r[srcB]
+  kMul,      ///< r[dst] = r[srcA] * r[srcB]   (low 16 bits)
+  kAddI,     ///< r[dst] = r[srcA] + imm
+  kShr,      ///< r[dst] = r[srcA] >> imm      (arithmetic)
+  kAbsDiff,  ///< r[dst] = |r[srcA] - r[srcB]|
+  kMin,      ///< r[dst] = min(r[srcA], r[srcB])
+  kMax,      ///< r[dst] = max(r[srcA], r[srcB])
+  // Accumulator.
+  kAccClear, ///< acc = 0
+  kMac,      ///< acc += r[srcA] * r[srcB]
+  kAccAdd,   ///< acc += r[srcA]
+  kAccStore, ///< r[dst] = acc >> imm (arithmetic, saturated to 16 bits)
+  // Cross-lane (the express lanes / inter-cell network).
+  kLaneShift,///< r[dst] = r[srcA] of lane (lane + imm), 0 at the edges
+  kReduceMin,///< r[dst] = min over all lanes of r[srcA]  (same in every lane)
+  kReduceAdd,///< r[dst] = sum over all lanes of r[srcA]  (low 16 bits)
+};
+
+[[nodiscard]] std::string to_string(Opcode op);
+
+/// One SIMD step of the array.  Encodable into a 32-bit context word.
+struct ContextWord {
+  Opcode op{Opcode::kNop};
+  std::uint8_t dst{0};
+  std::uint8_t src_a{0};
+  std::uint8_t src_b{0};
+  std::int16_t imm{0};
+
+  /// 32-bit context encoding: op(5) dst(3) srcA(6) srcB(6) imm(12,
+  /// signed).  srcA/srcB double as stride fields for the FB ops.
+  [[nodiscard]] std::uint32_t encode() const;
+  [[nodiscard]] static ContextWord decode(std::uint32_t word);
+
+  friend bool operator==(const ContextWord&, const ContextWord&) = default;
+};
+
+/// A kernel's configuration: the contexts executed per invocation.
+using Program = std::vector<ContextWord>;
+
+/// Convenience constructors.
+[[nodiscard]] ContextWord load_fb(std::uint8_t dst, std::int16_t base, std::uint8_t stride);
+[[nodiscard]] ContextWord load_rc(std::uint8_t dst, std::int16_t base,
+                                  std::uint8_t row_stride, std::uint8_t col_stride);
+[[nodiscard]] ContextWord store_fb(std::uint8_t src, std::int16_t base, std::uint8_t stride);
+[[nodiscard]] ContextWord bcast(std::uint8_t dst, std::int16_t addr);
+[[nodiscard]] ContextWord mov_i(std::uint8_t dst, std::int16_t value);
+[[nodiscard]] ContextWord alu(Opcode op, std::uint8_t dst, std::uint8_t a, std::uint8_t b);
+[[nodiscard]] ContextWord add_i(std::uint8_t dst, std::uint8_t a, std::int16_t imm);
+[[nodiscard]] ContextWord shr(std::uint8_t dst, std::uint8_t a, std::int16_t amount);
+[[nodiscard]] ContextWord acc_clear();
+[[nodiscard]] ContextWord mac(std::uint8_t a, std::uint8_t b);
+[[nodiscard]] ContextWord acc_store(std::uint8_t dst, std::int16_t shift);
+[[nodiscard]] ContextWord lane_shift(std::uint8_t dst, std::uint8_t a, std::int16_t offset);
+[[nodiscard]] ContextWord reduce(Opcode op, std::uint8_t dst, std::uint8_t a);
+
+}  // namespace msys::rcarray

@@ -1,0 +1,66 @@
+// The kernel library (paper Fig. 2): RC-array programs for the multimedia
+// kernels the workloads use, each paired with a golden scalar reference.
+//
+// "The kernel programming is equivalent to specifying the mapping of
+// computation to the target architecture, and is done only once."  Each
+// KernelImpl fixes a window layout — its operands concatenated
+// [inputs..., outputs...] — and a Program whose FB addressing is relative
+// to that window.  The golden function computes the same integer result
+// without the array, bit-exactly (same truncation and saturation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "msys/rcarray/rc_array.hpp"
+
+namespace msys::rcarray {
+
+using Values = std::vector<Word>;
+
+struct KernelImpl {
+  std::string name;
+  Program program;
+  /// Operand word counts, in window order.
+  std::vector<std::uint32_t> input_sizes;
+  std::vector<std::uint32_t> output_sizes;
+  /// Scalar reference: outputs are pre-sized; must match the RC program
+  /// bit-exactly.
+  std::function<void(const std::vector<Values>& in, std::vector<Values>& out)> golden;
+
+  [[nodiscard]] std::uint32_t window_words() const;
+
+  /// Gathers inputs into a window, runs the program on `array`, scatters
+  /// the outputs.  Input sizes must match input_sizes.
+  [[nodiscard]] std::vector<Values> run_rc(RcArray& array,
+                                           const std::vector<Values>& inputs) const;
+  /// Runs the golden reference.
+  [[nodiscard]] std::vector<Values> run_golden(const std::vector<Values>& inputs) const;
+};
+
+/// out[i] = a[i] + b[i], 64 words each.
+[[nodiscard]] KernelImpl make_vadd64();
+
+/// out[i] = (in[i] * gain[0]) >> shift, 64 words.
+[[nodiscard]] KernelImpl make_scale64(std::int16_t shift);
+
+/// 64-tap-window FIR: out[i] = (sum_t in[i+t] * coef[t]) >> shift;
+/// in has 64+taps-1 words, coef has `taps` (taps <= 32).
+[[nodiscard]] KernelImpl make_fir64(std::uint32_t taps, std::int16_t shift);
+
+/// Eight 8-point DCT-like transforms: in[b*8+n] (8 blocks), coefT[n*8+k]
+/// (a 64-word transform table), out[b*8+k] = (sum_n in*coef) >> 8.
+[[nodiscard]] KernelImpl make_dct8x8();
+
+/// 8x8 SAD motion estimation over a 16x16 reference window: cur (64),
+/// ref (256); outputs: sad per candidate displacement (64) and the
+/// minimum SAD (1).
+[[nodiscard]] KernelImpl make_sad8x8();
+
+/// 8x8 correlation over a 16x16 window: tmpl (64), img (256); out:
+/// correlation score per displacement (64), sum >> 6.
+[[nodiscard]] KernelImpl make_corr8x8();
+
+}  // namespace msys::rcarray

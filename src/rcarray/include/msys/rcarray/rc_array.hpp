@@ -1,0 +1,48 @@
+// Functional interpreter for the RC array: executes a kernel Program over
+// a Frame Buffer window, lane-parallel.
+//
+// This is the value-level substrate beneath the schedulers: the data
+// schedulers never look at values, but the functional end-to-end tests do
+// — they run real kernels through generated schedules and compare against
+// golden scalar references, proving that placement, replacement and
+// retention never corrupt data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "msys/rcarray/isa.hpp"
+
+namespace msys::rcarray {
+
+/// Word type of the Frame Buffer in the functional model.
+using Word = std::int16_t;
+
+/// Executes `program` once over `fb` (a window of Frame Buffer words the
+/// kernel's operands were placed in).  All FB addressing in the program is
+/// relative to this window.  Throws msys::Error on out-of-window accesses
+/// or malformed programs.
+class RcArray {
+ public:
+  RcArray();
+
+  /// Resets registers and accumulators (a fresh kernel invocation).
+  void reset();
+
+  /// Runs the whole program; `fb` is read and written in place.
+  void run(const Program& program, std::span<Word> fb);
+
+  /// Runs a single context (exposed for tests/debugging).
+  void step(const ContextWord& cw, std::span<Word> fb);
+
+  /// Lane-visible state (for tests).
+  [[nodiscard]] Word reg(std::uint32_t lane, std::uint32_t r) const;
+  [[nodiscard]] std::int64_t acc(std::uint32_t lane) const;
+
+ private:
+  std::vector<Word> regs_;        // kLanes * kRegisters
+  std::vector<std::int64_t> acc_; // kLanes
+};
+
+}  // namespace msys::rcarray

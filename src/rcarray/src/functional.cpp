@@ -1,0 +1,199 @@
+#include "msys/rcarray/functional.hpp"
+
+#include <algorithm>
+
+#include "msys/common/error.hpp"
+
+namespace msys::rcarray {
+
+using codegen::Op;
+using codegen::OpKind;
+using codegen::ScheduleProgram;
+using dsched::Placement;
+
+Word external_input_word(std::uint64_t seed, DataId data, std::uint32_t iter,
+                         std::uint32_t idx) {
+  // SplitMix64-style hash of (seed, data, iter, idx), folded to a small
+  // signed range so multiply-accumulate chains stay informative.
+  std::uint64_t z = seed ^ (static_cast<std::uint64_t>(data.index()) << 40) ^
+                    (static_cast<std::uint64_t>(iter) << 20) ^ idx;
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<Word>(static_cast<std::int64_t>(z % 201) - 100);
+}
+
+namespace {
+
+Values generate_input(std::uint64_t seed, const model::DataObject& d, std::uint32_t iter) {
+  Values values(d.size.value());
+  for (std::uint32_t i = 0; i < values.size(); ++i) {
+    values[i] = external_input_word(seed, d.id, iter, i);
+  }
+  return values;
+}
+
+std::uint64_t external_key(DataId data, std::uint32_t iter) {
+  return (static_cast<std::uint64_t>(data.index()) << 24) | iter;
+}
+
+void check_binding(const model::Application& app, const Binding& binding) {
+  for (const model::Kernel& k : app.kernels()) {
+    auto it = binding.find(k.id);
+    MSYS_REQUIRE(it != binding.end(), "kernel '" + k.name + "' has no RC binding");
+    const KernelImpl& impl = *it->second;
+    MSYS_REQUIRE(impl.input_sizes.size() == k.inputs.size(),
+                 "kernel '" + k.name + "': operand count mismatch");
+    MSYS_REQUIRE(impl.output_sizes.size() == k.outputs.size(),
+                 "kernel '" + k.name + "': result count mismatch");
+    for (std::size_t i = 0; i < k.inputs.size(); ++i) {
+      MSYS_REQUIRE(app.data(k.inputs[i]).size.value() == impl.input_sizes[i],
+                   "kernel '" + k.name + "': input size mismatch");
+    }
+    for (std::size_t i = 0; i < k.outputs.size(); ++i) {
+      MSYS_REQUIRE(app.data(k.outputs[i]).size.value() == impl.output_sizes[i],
+                   "kernel '" + k.name + "': output size mismatch");
+    }
+  }
+}
+
+}  // namespace
+
+std::unordered_map<DataId, Values> golden_iteration(const model::Application& app,
+                                                    const Binding& binding,
+                                                    std::uint64_t seed,
+                                                    std::uint32_t iter) {
+  check_binding(app, binding);
+  std::unordered_map<DataId, Values> values;
+  for (const model::DataObject& d : app.data_objects()) {
+    if (!d.producer.valid()) values.emplace(d.id, generate_input(seed, d, iter));
+  }
+  for (KernelId kid : app.topological_order()) {
+    const model::Kernel& k = app.kernel(kid);
+    const KernelImpl& impl = *binding.at(kid);
+    std::vector<Values> inputs;
+    for (DataId in : k.inputs) inputs.push_back(values.at(in));
+    std::vector<Values> outputs = impl.run_golden(inputs);
+    for (std::size_t i = 0; i < k.outputs.size(); ++i) {
+      values[k.outputs[i]] = std::move(outputs[i]);
+    }
+  }
+  return values;
+}
+
+std::uint64_t FunctionalMachine::ResidencyKey::make(FbSet set, DataId data,
+                                                    std::uint32_t iter) {
+  return (static_cast<std::uint64_t>(set) << 60) |
+         (static_cast<std::uint64_t>(data.index()) << 24) | iter;
+}
+
+FunctionalMachine::FunctionalMachine(const ScheduleProgram& program,
+                                     const arch::M1Config& cfg, Binding binding,
+                                     std::uint64_t seed)
+    : program_(&program), cfg_(&cfg), binding_(std::move(binding)), seed_(seed) {
+  MSYS_REQUIRE(program.schedule != nullptr, "program not bound to a schedule");
+  check_binding(program.schedule->sched->app(), binding_);
+  fb_[0].assign(cfg.fb_set_size.value(), 0);
+  fb_[1].assign(cfg.fb_set_size.value(), 0);
+}
+
+Values FunctionalMachine::gather(FbSet set, const std::vector<Extent>& extents) const {
+  Values values;
+  for (const Extent& e : extents) {
+    for (FbAddr a = e.begin(); a < e.end(); ++a) {
+      values.push_back(fb_[static_cast<std::size_t>(set)][a]);
+    }
+  }
+  return values;
+}
+
+void FunctionalMachine::scatter(FbSet set, const std::vector<Extent>& extents,
+                                const Values& values) {
+  std::size_t idx = 0;
+  for (const Extent& e : extents) {
+    for (FbAddr a = e.begin(); a < e.end(); ++a) {
+      fb_[static_cast<std::size_t>(set)][a] = values[idx++];
+    }
+  }
+  MSYS_REQUIRE(idx == values.size(), "scatter size mismatch");
+}
+
+void FunctionalMachine::on_load(const Op& op, std::uint32_t round) {
+  const dsched::DataSchedule& schedule = *program_->schedule;
+  const model::Application& app = schedule.sched->app();
+  const Placement& p = schedule.placement(op.cluster, {op.data, op.iter});
+  const model::DataObject& d = app.data(op.data);
+  const std::uint32_t global_iter = round * schedule.rf + op.iter;
+
+  Values values;
+  if (!d.producer.valid()) {
+    values = generate_input(seed_, d, global_iter);
+  } else {
+    auto it = external_.find(external_key(op.data, global_iter));
+    MSYS_REQUIRE(it != external_.end(),
+                 "functional load of a result never stored: " + d.name);
+    values = it->second;
+  }
+  scatter(p.set, p.extents, values);
+  residency_[ResidencyKey::make(p.set, op.data, op.iter)] = p.extents;
+}
+
+void FunctionalMachine::on_store(const Op& op, std::uint32_t round) {
+  const dsched::DataSchedule& schedule = *program_->schedule;
+  const Placement& p = schedule.placement(op.cluster, {op.data, op.iter});
+  const std::uint32_t global_iter = round * schedule.rf + op.iter;
+  external_[external_key(op.data, global_iter)] = gather(p.set, p.extents);
+}
+
+void FunctionalMachine::on_exec(const Op& op, const codegen::Slot& slot) {
+  const dsched::DataSchedule& schedule = *program_->schedule;
+  const model::Application& app = schedule.sched->app();
+  const model::Kernel& kernel = app.kernel(op.kernel);
+  const FbSet set = schedule.sched->cluster(slot.cluster).set;
+  const KernelImpl& impl = *binding_.at(op.kernel);
+
+  std::vector<Values> inputs;
+  for (DataId in : kernel.inputs) {
+    auto it = residency_.find(ResidencyKey::make(set, in, op.iter));
+    if (it == residency_.end() && cfg_->cross_set_reads) {
+      it = residency_.find(ResidencyKey::make(other_set(set), in, op.iter));
+      if (it != residency_.end()) {
+        inputs.push_back(gather(other_set(set), it->second));
+        continue;
+      }
+    }
+    MSYS_REQUIRE(it != residency_.end(),
+                 "functional exec input not resident: " + app.data(in).name);
+    inputs.push_back(gather(set, it->second));
+  }
+
+  std::vector<Values> outputs = impl.run_rc(array_, inputs);
+  for (std::size_t i = 0; i < kernel.outputs.size(); ++i) {
+    const DataId out = kernel.outputs[i];
+    const Placement& p = schedule.placement(slot.cluster, {out, op.iter});
+    scatter(p.set, p.extents, outputs[i]);
+    residency_[ResidencyKey::make(p.set, out, op.iter)] = p.extents;
+  }
+}
+
+sim::SimReport FunctionalMachine::run(sim::Simulator& simulator) {
+  sim::DataHooks hooks;
+  hooks.on_load = [this](const Op& op, std::uint32_t round) { on_load(op, round); };
+  hooks.on_store = [this](const Op& op, std::uint32_t round) { on_store(op, round); };
+  hooks.on_exec = [this](const Op& op, const codegen::Slot& slot) { on_exec(op, slot); };
+  simulator.set_data_hooks(std::move(hooks));
+  return simulator.run(*program_);
+}
+
+const Values& FunctionalMachine::stored(DataId data, std::uint32_t iter) const {
+  auto it = external_.find(external_key(data, iter));
+  MSYS_REQUIRE(it != external_.end(), "instance was never stored to external memory");
+  return it->second;
+}
+
+bool FunctionalMachine::was_stored(DataId data, std::uint32_t iter) const {
+  return external_.contains(external_key(data, iter));
+}
+
+}  // namespace msys::rcarray

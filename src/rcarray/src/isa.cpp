@@ -1,0 +1,97 @@
+#include "msys/rcarray/isa.hpp"
+
+#include "msys/common/error.hpp"
+
+namespace msys::rcarray {
+
+std::string to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kLoadFb: return "ldfb";
+    case Opcode::kLoadRc: return "ldrc";
+    case Opcode::kStoreFb: return "stfb";
+    case Opcode::kBcast: return "bcast";
+    case Opcode::kMovI: return "movi";
+    case Opcode::kMov: return "mov";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kAddI: return "addi";
+    case Opcode::kShr: return "shr";
+    case Opcode::kAbsDiff: return "absd";
+    case Opcode::kMin: return "min";
+    case Opcode::kMax: return "max";
+    case Opcode::kAccClear: return "accclr";
+    case Opcode::kMac: return "mac";
+    case Opcode::kAccAdd: return "accadd";
+    case Opcode::kAccStore: return "accst";
+    case Opcode::kLaneShift: return "lsh";
+    case Opcode::kReduceMin: return "rmin";
+    case Opcode::kReduceAdd: return "radd";
+  }
+  return "?";
+}
+
+std::uint32_t ContextWord::encode() const {
+  MSYS_REQUIRE(static_cast<std::uint8_t>(op) < 32, "opcode out of range");
+  MSYS_REQUIRE(dst < kRegisters, "register index out of range");
+  MSYS_REQUIRE(src_a < 64 && src_b < 64, "src/stride field out of range");
+  MSYS_REQUIRE(imm >= -2048 && imm < 2048, "immediate out of range");
+  return (static_cast<std::uint32_t>(op) << 27) | (static_cast<std::uint32_t>(dst) << 24) |
+         (static_cast<std::uint32_t>(src_a) << 18) |
+         (static_cast<std::uint32_t>(src_b) << 12) |
+         (static_cast<std::uint32_t>(imm) & 0xfff);
+}
+
+ContextWord ContextWord::decode(std::uint32_t word) {
+  ContextWord cw;
+  cw.op = static_cast<Opcode>((word >> 27) & 0x1f);
+  cw.dst = static_cast<std::uint8_t>((word >> 24) & 0x7);
+  cw.src_a = static_cast<std::uint8_t>((word >> 18) & 0x3f);
+  cw.src_b = static_cast<std::uint8_t>((word >> 12) & 0x3f);
+  std::int16_t imm = static_cast<std::int16_t>(word & 0xfff);
+  if (imm & 0x800) imm = static_cast<std::int16_t>(imm - 0x1000);  // sign-extend 12 bits
+  cw.imm = imm;
+  return cw;
+}
+
+ContextWord load_fb(std::uint8_t dst, std::int16_t base, std::uint8_t stride) {
+  return ContextWord{Opcode::kLoadFb, dst, stride, 0, base};
+}
+ContextWord load_rc(std::uint8_t dst, std::int16_t base, std::uint8_t row_stride,
+                    std::uint8_t col_stride) {
+  return ContextWord{Opcode::kLoadRc, dst, row_stride, col_stride, base};
+}
+ContextWord store_fb(std::uint8_t src, std::int16_t base, std::uint8_t stride) {
+  return ContextWord{Opcode::kStoreFb, 0, stride, src, base};
+}
+ContextWord bcast(std::uint8_t dst, std::int16_t addr) {
+  return ContextWord{Opcode::kBcast, dst, 0, 0, addr};
+}
+ContextWord mov_i(std::uint8_t dst, std::int16_t value) {
+  return ContextWord{Opcode::kMovI, dst, 0, 0, value};
+}
+ContextWord alu(Opcode op, std::uint8_t dst, std::uint8_t a, std::uint8_t b) {
+  return ContextWord{op, dst, a, b, 0};
+}
+ContextWord add_i(std::uint8_t dst, std::uint8_t a, std::int16_t imm) {
+  return ContextWord{Opcode::kAddI, dst, a, 0, imm};
+}
+ContextWord shr(std::uint8_t dst, std::uint8_t a, std::int16_t amount) {
+  return ContextWord{Opcode::kShr, dst, a, 0, amount};
+}
+ContextWord acc_clear() { return ContextWord{Opcode::kAccClear, 0, 0, 0, 0}; }
+ContextWord mac(std::uint8_t a, std::uint8_t b) {
+  return ContextWord{Opcode::kMac, 0, a, b, 0};
+}
+ContextWord acc_store(std::uint8_t dst, std::int16_t shift) {
+  return ContextWord{Opcode::kAccStore, dst, 0, 0, shift};
+}
+ContextWord lane_shift(std::uint8_t dst, std::uint8_t a, std::int16_t offset) {
+  return ContextWord{Opcode::kLaneShift, dst, a, 0, offset};
+}
+ContextWord reduce(Opcode op, std::uint8_t dst, std::uint8_t a) {
+  return ContextWord{op, dst, a, 0, 0};
+}
+
+}  // namespace msys::rcarray

@@ -1,0 +1,219 @@
+#include "msys/rcarray/kernels.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "msys/common/error.hpp"
+
+namespace msys::rcarray {
+
+namespace {
+
+Word truncate16(std::int64_t v) { return static_cast<Word>(v); }
+
+Word saturate16(std::int64_t v) {
+  return static_cast<Word>(std::clamp<std::int64_t>(
+      v, std::numeric_limits<Word>::min(), std::numeric_limits<Word>::max()));
+}
+
+}  // namespace
+
+std::uint32_t KernelImpl::window_words() const {
+  std::uint32_t total = 0;
+  for (std::uint32_t n : input_sizes) total += n;
+  for (std::uint32_t n : output_sizes) total += n;
+  return total;
+}
+
+std::vector<Values> KernelImpl::run_rc(RcArray& array,
+                                       const std::vector<Values>& inputs) const {
+  MSYS_REQUIRE(inputs.size() == input_sizes.size(), name + ": wrong input count");
+  std::vector<Word> window(window_words(), 0);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    MSYS_REQUIRE(inputs[i].size() == input_sizes[i], name + ": input size mismatch");
+    std::copy(inputs[i].begin(), inputs[i].end(),
+              window.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += input_sizes[i];
+  }
+  array.reset();
+  array.run(program, window);
+  std::vector<Values> outputs;
+  for (std::uint32_t size : output_sizes) {
+    outputs.emplace_back(window.begin() + static_cast<std::ptrdiff_t>(offset),
+                         window.begin() + static_cast<std::ptrdiff_t>(offset + size));
+    offset += size;
+  }
+  return outputs;
+}
+
+std::vector<Values> KernelImpl::run_golden(const std::vector<Values>& inputs) const {
+  MSYS_REQUIRE(inputs.size() == input_sizes.size(), name + ": wrong input count");
+  std::vector<Values> outputs;
+  for (std::uint32_t size : output_sizes) outputs.emplace_back(size, 0);
+  golden(inputs, outputs);
+  return outputs;
+}
+
+KernelImpl make_vadd64() {
+  KernelImpl k;
+  k.name = "vadd64";
+  k.input_sizes = {64, 64};
+  k.output_sizes = {64};
+  k.program = {
+      load_fb(0, 0, 1),                 // a
+      load_fb(1, 64, 1),                // b
+      alu(Opcode::kAdd, 2, 0, 1),       //
+      store_fb(2, 128, 1),              // out
+  };
+  k.golden = [](const std::vector<Values>& in, std::vector<Values>& out) {
+    for (std::size_t i = 0; i < 64; ++i) {
+      out[0][i] = truncate16(static_cast<std::int64_t>(in[0][i]) + in[1][i]);
+    }
+  };
+  return k;
+}
+
+KernelImpl make_scale64(std::int16_t shift) {
+  KernelImpl k;
+  k.name = "scale64";
+  k.input_sizes = {64, 1};
+  k.output_sizes = {64};
+  k.program = {
+      load_fb(0, 0, 1),             // in
+      bcast(1, 64),                 // gain
+      alu(Opcode::kMul, 2, 0, 1),   // low 16 bits
+      shr(2, 2, shift),             //
+      store_fb(2, 65, 1),           // out
+  };
+  k.golden = [shift](const std::vector<Values>& in, std::vector<Values>& out) {
+    for (std::size_t i = 0; i < 64; ++i) {
+      const Word product = truncate16(static_cast<std::int64_t>(in[0][i]) * in[1][0]);
+      out[0][i] = static_cast<Word>(product >> shift);
+    }
+  };
+  return k;
+}
+
+KernelImpl make_fir64(std::uint32_t taps, std::int16_t shift) {
+  MSYS_REQUIRE(taps >= 1 && taps <= 32, "fir64 supports 1..32 taps");
+  KernelImpl k;
+  k.name = "fir64";
+  const std::uint32_t in_len = 64 + taps - 1;
+  k.input_sizes = {in_len, taps};
+  k.output_sizes = {64};
+  k.program.push_back(acc_clear());
+  for (std::uint32_t t = 0; t < taps; ++t) {
+    k.program.push_back(load_fb(0, static_cast<std::int16_t>(t), 1));  // in[i+t]
+    k.program.push_back(bcast(1, static_cast<std::int16_t>(in_len + t)));  // coef[t]
+    k.program.push_back(mac(0, 1));
+  }
+  k.program.push_back(acc_store(2, shift));
+  k.program.push_back(store_fb(2, static_cast<std::int16_t>(in_len + taps), 1));
+  k.golden = [taps, shift](const std::vector<Values>& in, std::vector<Values>& out) {
+    for (std::size_t i = 0; i < 64; ++i) {
+      std::int64_t acc = 0;
+      for (std::uint32_t t = 0; t < taps; ++t) {
+        acc += static_cast<std::int64_t>(in[0][i + t]) * in[1][t];
+      }
+      out[0][i] = saturate16(acc >> shift);
+    }
+  };
+  return k;
+}
+
+KernelImpl make_dct8x8() {
+  KernelImpl k;
+  k.name = "dct8x8";
+  k.input_sizes = {64, 64};  // in[b*8+n], coefT[n*8+kk]
+  k.output_sizes = {64};     // out[b*8+kk]
+  k.program.push_back(acc_clear());
+  for (std::int16_t n = 0; n < 8; ++n) {
+    // Lane (row=b, col=kk): x = in[b*8 + n], c = coefT[n*8 + kk].
+    k.program.push_back(load_rc(0, n, /*row_stride=*/8, /*col_stride=*/0));
+    k.program.push_back(load_rc(1, static_cast<std::int16_t>(64 + n * 8), 0, 1));
+    k.program.push_back(mac(0, 1));
+  }
+  k.program.push_back(acc_store(2, 8));
+  k.program.push_back(store_fb(2, 128, 1));
+  k.golden = [](const std::vector<Values>& in, std::vector<Values>& out) {
+    for (int b = 0; b < 8; ++b) {
+      for (int kk = 0; kk < 8; ++kk) {
+        std::int64_t acc = 0;
+        for (int n = 0; n < 8; ++n) {
+          acc += static_cast<std::int64_t>(in[0][b * 8 + n]) * in[1][n * 8 + kk];
+        }
+        out[0][b * 8 + kk] = saturate16(acc >> 8);
+      }
+    }
+  };
+  return k;
+}
+
+namespace {
+
+/// Shared skeleton of the 8x8-block-over-16x16-window kernels: lane
+/// (row=dy, col=dx) scans the 8x8 block against the window at
+/// displacement (dy, dx).
+KernelImpl make_block_match(std::string name, bool sad, std::int16_t shift) {
+  KernelImpl k;
+  k.name = std::move(name);
+  k.input_sizes = {64, 256};  // block (8x8), window (16x16)
+  k.output_sizes = sad ? std::vector<std::uint32_t>{64, 1} : std::vector<std::uint32_t>{64};
+  k.program.push_back(acc_clear());
+  for (std::int16_t p = 0; p < 64; ++p) {
+    const std::int16_t py = p / 8;
+    const std::int16_t px = p % 8;
+    k.program.push_back(bcast(0, p));  // block pixel
+    k.program.push_back(
+        load_rc(1, static_cast<std::int16_t>(64 + py * 16 + px), 16, 1));
+    if (sad) {
+      k.program.push_back(alu(Opcode::kAbsDiff, 2, 0, 1));
+      k.program.push_back(ContextWord{Opcode::kAccAdd, 0, 2, 0, 0});
+    } else {
+      k.program.push_back(mac(0, 1));
+    }
+  }
+  k.program.push_back(acc_store(3, shift));
+  k.program.push_back(store_fb(3, 320, 1));
+  if (sad) {
+    k.program.push_back(reduce(Opcode::kReduceMin, 4, 3));
+    k.program.push_back(store_fb(4, 384, 0));
+  }
+  const bool is_sad = sad;
+  k.golden = [is_sad, shift](const std::vector<Values>& in, std::vector<Values>& out) {
+    Word best = std::numeric_limits<Word>::max();
+    for (int dy = 0; dy < 8; ++dy) {
+      for (int dx = 0; dx < 8; ++dx) {
+        std::int64_t acc = 0;
+        for (int py = 0; py < 8; ++py) {
+          for (int px = 0; px < 8; ++px) {
+            const std::int64_t a = in[0][py * 8 + px];
+            const std::int64_t b = in[1][(py + dy) * 16 + (px + dx)];
+            if (is_sad) {
+              // AbsDiff truncates to 16 bits before accumulating, exactly
+              // like the cell ALU.
+              acc += truncate16(a > b ? a - b : b - a);
+            } else {
+              acc += a * b;
+            }
+          }
+        }
+        const Word value = saturate16(acc >> shift);
+        out[0][dy * 8 + dx] = value;
+        best = std::min(best, value);
+      }
+    }
+    if (is_sad) out[1][0] = best;
+  };
+  return k;
+}
+
+}  // namespace
+
+KernelImpl make_sad8x8() { return make_block_match("sad8x8", true, 0); }
+
+KernelImpl make_corr8x8() { return make_block_match("corr8x8", false, 6); }
+
+}  // namespace msys::rcarray

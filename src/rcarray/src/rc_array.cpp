@@ -1,0 +1,162 @@
+#include "msys/rcarray/rc_array.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "msys/common/error.hpp"
+
+namespace msys::rcarray {
+
+namespace {
+
+Word saturate(std::int64_t v) {
+  return static_cast<Word>(std::clamp<std::int64_t>(
+      v, std::numeric_limits<Word>::min(), std::numeric_limits<Word>::max()));
+}
+
+}  // namespace
+
+RcArray::RcArray() : regs_(kLanes * kRegisters, 0), acc_(kLanes, 0) {}
+
+void RcArray::reset() {
+  std::fill(regs_.begin(), regs_.end(), Word{0});
+  std::fill(acc_.begin(), acc_.end(), std::int64_t{0});
+}
+
+Word RcArray::reg(std::uint32_t lane, std::uint32_t r) const {
+  MSYS_REQUIRE(lane < kLanes && r < kRegisters, "lane/register out of range");
+  return regs_[lane * kRegisters + r];
+}
+
+std::int64_t RcArray::acc(std::uint32_t lane) const {
+  MSYS_REQUIRE(lane < kLanes, "lane out of range");
+  return acc_[lane];
+}
+
+void RcArray::run(const Program& program, std::span<Word> fb) {
+  for (const ContextWord& cw : program) step(cw, fb);
+}
+
+void RcArray::step(const ContextWord& cw, std::span<Word> fb) {
+  auto r = [&](std::uint32_t lane, std::uint32_t idx) -> Word& {
+    return regs_[lane * kRegisters + idx];
+  };
+  auto fb_at = [&](std::int64_t addr) -> Word& {
+    MSYS_REQUIRE(addr >= 0 && static_cast<std::size_t>(addr) < fb.size(),
+                 "RC array FB access out of window");
+    return fb[static_cast<std::size_t>(addr)];
+  };
+
+  switch (cw.op) {
+    case Opcode::kNop:
+      return;
+    case Opcode::kLoadFb:
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        r(lane, cw.dst) = fb_at(cw.imm + static_cast<std::int64_t>(lane) * cw.src_a);
+      }
+      return;
+    case Opcode::kLoadRc:
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        const std::int64_t row = lane / 8;
+        const std::int64_t col = lane % 8;
+        r(lane, cw.dst) = fb_at(cw.imm + row * cw.src_a + col * cw.src_b);
+      }
+      return;
+    case Opcode::kStoreFb:
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        fb_at(cw.imm + static_cast<std::int64_t>(lane) * cw.src_a) = r(lane, cw.src_b);
+      }
+      return;
+    case Opcode::kBcast: {
+      const Word value = fb_at(cw.imm);
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) r(lane, cw.dst) = value;
+      return;
+    }
+    case Opcode::kMovI:
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) r(lane, cw.dst) = cw.imm;
+      return;
+    case Opcode::kMov:
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        r(lane, cw.dst) = r(lane, cw.src_a);
+      }
+      return;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kAbsDiff:
+    case Opcode::kMin:
+    case Opcode::kMax:
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        const std::int64_t a = r(lane, cw.src_a);
+        const std::int64_t b = r(lane, cw.src_b);
+        std::int64_t out = 0;
+        switch (cw.op) {
+          case Opcode::kAdd: out = a + b; break;
+          case Opcode::kSub: out = a - b; break;
+          case Opcode::kMul: out = a * b; break;
+          case Opcode::kAbsDiff: out = a > b ? a - b : b - a; break;
+          case Opcode::kMin: out = std::min(a, b); break;
+          default: out = std::max(a, b); break;
+        }
+        r(lane, cw.dst) = static_cast<Word>(out);  // low 16 bits, like the cell ALU
+      }
+      return;
+    case Opcode::kAddI:
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        r(lane, cw.dst) = static_cast<Word>(r(lane, cw.src_a) + cw.imm);
+      }
+      return;
+    case Opcode::kShr:
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        r(lane, cw.dst) = static_cast<Word>(r(lane, cw.src_a) >> cw.imm);
+      }
+      return;
+    case Opcode::kAccClear:
+      std::fill(acc_.begin(), acc_.end(), std::int64_t{0});
+      return;
+    case Opcode::kMac:
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        acc_[lane] += static_cast<std::int64_t>(r(lane, cw.src_a)) * r(lane, cw.src_b);
+      }
+      return;
+    case Opcode::kAccAdd:
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) acc_[lane] += r(lane, cw.src_a);
+      return;
+    case Opcode::kAccStore:
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        r(lane, cw.dst) = saturate(acc_[lane] >> cw.imm);
+      }
+      return;
+    case Opcode::kLaneShift: {
+      std::vector<Word> shifted(kLanes, 0);
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        const std::int64_t from = static_cast<std::int64_t>(lane) + cw.imm;
+        if (from >= 0 && from < static_cast<std::int64_t>(kLanes)) {
+          shifted[lane] = r(static_cast<std::uint32_t>(from), cw.src_a);
+        }
+      }
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) r(lane, cw.dst) = shifted[lane];
+      return;
+    }
+    case Opcode::kReduceMin:
+    case Opcode::kReduceAdd: {
+      std::int64_t value = cw.op == Opcode::kReduceMin
+                               ? std::numeric_limits<std::int64_t>::max()
+                               : 0;
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        if (cw.op == Opcode::kReduceMin) {
+          value = std::min<std::int64_t>(value, r(lane, cw.src_a));
+        } else {
+          value += r(lane, cw.src_a);
+        }
+      }
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        r(lane, cw.dst) = static_cast<Word>(value);
+      }
+      return;
+    }
+  }
+  raise("unknown RC opcode");
+}
+
+}  // namespace msys::rcarray

@@ -1,0 +1,78 @@
+// Experiment runner: pushes one (application, kernel schedule, machine)
+// triple through all three data schedulers, generates code, executes it on
+// the simulator, cross-checks the analytic cost model against the measured
+// cycles, and derives the metrics Table 1 / Figure 6 report.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "msys/arch/m1.hpp"
+#include "msys/dsched/cost.hpp"
+#include "msys/dsched/schedulers.hpp"
+#include "msys/model/schedule.hpp"
+#include "msys/sim/simulator.hpp"
+
+namespace msys::report {
+
+/// One scheduler's end-to-end outcome on one experiment.
+struct SchedulerOutcome {
+  std::string scheduler;
+  dsched::DataSchedule schedule;
+  dsched::CostBreakdown predicted;
+  /// Present only when the schedule is feasible.
+  std::optional<sim::SimReport> measured;
+
+  [[nodiscard]] bool feasible() const { return schedule.feasible && predicted.feasible; }
+  /// Simulated cycles (predicted == measured is asserted by run_experiment).
+  [[nodiscard]] Cycles cycles() const;
+};
+
+struct ExperimentResult {
+  std::string name;
+  arch::M1Config cfg;
+  std::uint32_t n_clusters{0};
+  std::uint32_t max_kernels_per_cluster{0};
+  std::uint32_t total_iterations{0};
+  /// Paper's "DS" column: total data size per iteration.
+  SizeWords data_size_per_iteration{};
+
+  SchedulerOutcome basic;
+  SchedulerOutcome ds;
+  SchedulerOutcome cds;
+
+  /// Relative execution improvement over the Basic Scheduler, in [0, 1];
+  /// nullopt when either side is infeasible.
+  [[nodiscard]] std::optional<double> ds_improvement() const;
+  [[nodiscard]] std::optional<double> cds_improvement() const;
+
+  /// Paper's "DT": external-memory data words avoided per iteration by the
+  /// CDS relative to the Basic Scheduler (loads + stores).
+  [[nodiscard]] SizeWords dt_words_avoided_per_iteration() const;
+
+  /// Paper's "RF": the context-reuse factor DS/CDS achieved.
+  [[nodiscard]] std::uint32_t rf() const { return cds.schedule.rf; }
+};
+
+struct RunOptions {
+  /// Assert cycle-exact agreement between predict_cost and the simulator
+  /// (on by default; the ablation benches disable it when comparing
+  /// deliberately non-paper policies).
+  bool check_prediction{true};
+};
+
+/// Runs Basic, DS and CDS on the experiment.  Throws msys::Error on any
+/// simulator functional violation or prediction mismatch.
+[[nodiscard]] ExperimentResult run_experiment(std::string name,
+                                              const model::KernelSchedule& sched,
+                                              const arch::M1Config& cfg,
+                                              const RunOptions& options = {});
+
+/// Runs one specific scheduler end to end (used by ablations).
+[[nodiscard]] SchedulerOutcome run_scheduler(const dsched::DataSchedulerBase& scheduler,
+                                             const model::KernelSchedule& sched,
+                                             const arch::M1Config& cfg,
+                                             const RunOptions& options = {});
+
+}  // namespace msys::report

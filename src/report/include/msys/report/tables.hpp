@@ -1,0 +1,26 @@
+// Formatting of experiment results in the shape of the paper's Table 1 and
+// Figure 6.
+#pragma once
+
+#include <vector>
+
+#include "msys/common/table.hpp"
+#include "msys/report/runner.hpp"
+
+namespace msys::report {
+
+/// Paper Table 1: N, n, DS (data size/iteration), DT (data words avoided
+/// per iteration), RF, FB (one set size), DS and CDS relative execution
+/// improvement over the Basic Scheduler.
+[[nodiscard]] TextTable table1(const std::vector<ExperimentResult>& results);
+
+/// Paper Figure 6 as a text series: per experiment, the CDS and DS
+/// improvement percentages (the two bar heights) plus an ASCII bar chart.
+[[nodiscard]] TextTable fig6(const std::vector<ExperimentResult>& results);
+[[nodiscard]] std::string fig6_ascii(const std::vector<ExperimentResult>& results);
+
+/// Cycle-level detail: per scheduler, total/compute/stall cycles and the
+/// DMA traffic split (not in the paper; useful for analysis).
+[[nodiscard]] TextTable detail_table(const std::vector<ExperimentResult>& results);
+
+}  // namespace msys::report

@@ -1,0 +1,37 @@
+// ASCII Gantt rendering of a simulated execution: one lane for the RC
+// array and one for the DMA channel, so overlap (and the lack of it) is
+// visible at a glance.
+//
+//   RC  |--ME----|--PRED--|         |--DCT---| ...
+//   DMA |ctx|ld|ld|  |st|ld|ld|          ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "msys/arch/m1.hpp"
+#include "msys/codegen/program.hpp"
+#include "msys/csched/context_plan.hpp"
+
+namespace msys::report {
+
+struct TimelineOptions {
+  /// Characters available for the time axis.
+  std::size_t width{100};
+  /// Render only [from, to) cycles; to = 0 means the whole run.
+  Cycles from{};
+  Cycles to{};
+  /// Show a legend of lane symbols below the chart.
+  bool legend{true};
+};
+
+/// Runs `program` on a fresh simulator and renders both engine lanes.
+/// Each lane cell shows what occupied that slice of time: kernel initials
+/// on the RC lane; C (context load), L (data load), S (store) on the DMA
+/// lane; '.' for idle.  A trailing utilisation summary quantifies overlap.
+[[nodiscard]] std::string render_timeline(const codegen::ScheduleProgram& program,
+                                          const arch::M1Config& cfg,
+                                          const csched::ContextPlan& ctx_plan,
+                                          const TimelineOptions& options = {});
+
+}  // namespace msys::report

@@ -1,0 +1,96 @@
+#include "msys/report/runner.hpp"
+
+#include <sstream>
+
+#include "msys/codegen/program.hpp"
+#include "msys/common/error.hpp"
+#include "msys/dsched/validate.hpp"
+#include "msys/extract/analysis.hpp"
+
+namespace msys::report {
+
+Cycles SchedulerOutcome::cycles() const {
+  MSYS_REQUIRE(feasible(), "no cycle count for an infeasible schedule");
+  return predicted.total;
+}
+
+std::optional<double> ExperimentResult::ds_improvement() const {
+  if (!basic.feasible() || !ds.feasible()) return std::nullopt;
+  const double tb = static_cast<double>(basic.cycles().value());
+  const double td = static_cast<double>(ds.cycles().value());
+  return (tb - td) / tb;
+}
+
+std::optional<double> ExperimentResult::cds_improvement() const {
+  if (!basic.feasible() || !cds.feasible()) return std::nullopt;
+  const double tb = static_cast<double>(basic.cycles().value());
+  const double tc = static_cast<double>(cds.cycles().value());
+  return (tb - tc) / tb;
+}
+
+SizeWords ExperimentResult::dt_words_avoided_per_iteration() const {
+  if (!basic.feasible() || !cds.feasible()) return SizeWords::zero();
+  const std::uint64_t iterations = total_iterations;
+  const std::uint64_t b = basic.predicted.data_words_total();
+  const std::uint64_t c = cds.predicted.data_words_total();
+  return SizeWords{(b > c ? b - c : 0) / iterations};
+}
+
+SchedulerOutcome run_scheduler(const dsched::DataSchedulerBase& scheduler,
+                               const model::KernelSchedule& sched,
+                               const arch::M1Config& cfg, const RunOptions& options) {
+  const extract::ScheduleAnalysis analysis(sched, cfg.cross_set_reads);
+  const csched::ContextPlan ctx_plan =
+      csched::ContextPlan::build(sched, cfg.cm_capacity_words);
+
+  SchedulerOutcome outcome;
+  outcome.scheduler = scheduler.name();
+  outcome.schedule = scheduler.schedule(analysis, cfg);
+  outcome.predicted = dsched::predict_cost(outcome.schedule, cfg, ctx_plan);
+  if (!outcome.feasible()) return outcome;
+
+  // Structural validation of the plan itself (the simulator then checks
+  // the generated program operationally).
+  const std::vector<std::string> violations =
+      dsched::validate_schedule(outcome.schedule, analysis, cfg);
+  MSYS_REQUIRE(violations.empty(), scheduler.name() + " produced an invalid plan: " +
+                                       violations.front());
+
+  const codegen::ScheduleProgram program = codegen::generate(outcome.schedule, ctx_plan);
+  sim::Simulator simulator(cfg, ctx_plan);
+  outcome.measured = simulator.run(program);
+
+  if (options.check_prediction) {
+    const sim::SimReport& m = *outcome.measured;
+    const dsched::CostBreakdown& p = outcome.predicted;
+    std::ostringstream why;
+    why << scheduler.name() << " on " << sched.app().name() << ": predicted "
+        << p.summary() << " vs measured " << m.summary();
+    MSYS_REQUIRE(p.total == m.total, "cycle mismatch: " + why.str());
+    MSYS_REQUIRE(p.data_words_loaded == m.data_words_loaded,
+                 "load-word mismatch: " + why.str());
+    MSYS_REQUIRE(p.data_words_stored == m.data_words_stored,
+                 "store-word mismatch: " + why.str());
+    MSYS_REQUIRE(p.context_words == m.context_words, "context-word mismatch: " + why.str());
+    MSYS_REQUIRE(p.dma_requests == m.dma_requests, "request-count mismatch: " + why.str());
+  }
+  return outcome;
+}
+
+ExperimentResult run_experiment(std::string name, const model::KernelSchedule& sched,
+                                const arch::M1Config& cfg, const RunOptions& options) {
+  ExperimentResult result;
+  result.name = std::move(name);
+  result.cfg = cfg;
+  result.n_clusters = static_cast<std::uint32_t>(sched.cluster_count());
+  result.max_kernels_per_cluster = sched.max_kernels_per_cluster();
+  result.total_iterations = sched.app().total_iterations();
+  result.data_size_per_iteration = sched.app().total_data_size();
+
+  result.basic = run_scheduler(dsched::BasicScheduler{}, sched, cfg, options);
+  result.ds = run_scheduler(dsched::DataScheduler{}, sched, cfg, options);
+  result.cds = run_scheduler(dsched::CompleteDataScheduler{}, sched, cfg, options);
+  return result;
+}
+
+}  // namespace msys::report

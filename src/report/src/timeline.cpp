@@ -1,0 +1,98 @@
+#include "msys/report/timeline.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "msys/common/error.hpp"
+#include "msys/common/strfmt.hpp"
+#include "msys/sim/simulator.hpp"
+
+namespace msys::report {
+
+namespace {
+
+struct Span {
+  Cycles start, end;
+  char symbol;
+  bool is_rc;
+};
+
+char rc_symbol(const std::string& what) {
+  // "EXEC <kernel> ..." -> first letter of the kernel name, upper-cased.
+  const std::size_t space = what.find(' ');
+  if (space == std::string::npos || space + 1 >= what.size()) return '#';
+  const char c = what[space + 1];
+  return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+std::string render_timeline(const codegen::ScheduleProgram& program,
+                            const arch::M1Config& cfg,
+                            const csched::ContextPlan& ctx_plan,
+                            const TimelineOptions& options) {
+  MSYS_REQUIRE(options.width >= 10, "timeline needs at least 10 columns");
+
+  sim::Simulator simulator(cfg, ctx_plan);
+  std::vector<Span> spans;
+  simulator.set_trace([&](Cycles start, Cycles end, const std::string& what) {
+    if (start == end) return;  // zero-width bookkeeping (releases)
+    Span span{start, end, '?', false};
+    if (what.rfind("EXEC", 0) == 0) {
+      span.is_rc = true;
+      span.symbol = rc_symbol(what);
+    } else if (what.rfind("LOAD_CTX", 0) == 0) {
+      span.symbol = 'C';
+    } else if (what.rfind("LOAD", 0) == 0) {
+      span.symbol = 'L';
+    } else if (what.rfind("STORE", 0) == 0) {
+      span.symbol = 'S';
+    } else {
+      return;
+    }
+    spans.push_back(span);
+  });
+  const sim::SimReport report = simulator.run(program);
+
+  const Cycles from = options.from;
+  const Cycles to = options.to.value() > 0 ? options.to : report.total;
+  MSYS_REQUIRE(from < to, "empty timeline window");
+  const double cycles_per_cell =
+      static_cast<double>(to.value() - from.value()) / static_cast<double>(options.width);
+
+  std::string rc_lane(options.width, '.');
+  std::string dma_lane(options.width, '.');
+  for (const Span& span : spans) {
+    if (span.end <= from || span.start >= to) continue;
+    const auto clamp_start = std::max(span.start, from).value() - from.value();
+    const auto clamp_end = std::min(span.end, to).value() - from.value();
+    auto first = static_cast<std::size_t>(static_cast<double>(clamp_start) /
+                                          cycles_per_cell);
+    auto last = static_cast<std::size_t>(static_cast<double>(clamp_end) /
+                                         cycles_per_cell);
+    first = std::min(first, options.width - 1);
+    last = std::min(std::max(last, first + 1), options.width);
+    std::string& lane = span.is_rc ? rc_lane : dma_lane;
+    for (std::size_t i = first; i < last; ++i) lane[i] = span.symbol;
+  }
+
+  std::ostringstream out;
+  out << "cycles [" << from.value() << ", " << to.value() << ") of "
+      << report.total.value() << " ("
+      << fixed(cycles_per_cell, 1) << " cycles/cell)\n";
+  out << "RC  |" << rc_lane << "|\n";
+  out << "DMA |" << dma_lane << "|\n";
+  const double rc_util = static_cast<double>(report.compute.value()) /
+                         static_cast<double>(report.total.value());
+  const double dma_util = static_cast<double>(report.dma_busy.value()) /
+                          static_cast<double>(report.total.value());
+  out << "RC busy " << percent(rc_util) << ", DMA busy " << percent(dma_util) << '\n';
+  if (options.legend) {
+    out << "legend: RC lane = kernel initial; DMA lane: C=contexts L=load S=store "
+           ".=idle\n";
+  }
+  return out.str();
+}
+
+}  // namespace msys::report

@@ -1,0 +1,91 @@
+// Event-driven M1 simulator.
+//
+// Executes a ScheduleProgram on the modelled machine: a single-channel DMA
+// engine processing its stream in FIFO order, and the RC array processing
+// executions in program order.  Beyond timing, the simulator performs full
+// functional checking and throws msys::Error on any violation:
+//
+//   * a data load must target currently-free FB words;
+//   * a kernel execution must find every input instance resident in its
+//     cluster's FB set and its contexts resident in the CM;
+//   * produced results must land in free FB words;
+//   * a store must read a resident instance; double releases are rejected;
+//   * the CM may never hold more context words than its capacity.
+//
+// Timing discipline (identical to dsched::predict_cost, implemented
+// independently — the test suite asserts cycle-exact agreement):
+//   * DMA ops run one at a time, in stream order;
+//   * a context load under the per-slot-serial regime waits for the
+//     previous slot's execution (the CM is still in use);
+//   * the first data load of a slot waits until the previous same-set
+//     slot's execution has released the set;
+//   * a store waits for its slot's execution;
+//   * the first execution of a slot waits for the slot's full IN batch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "msys/arch/m1.hpp"
+#include "msys/codegen/program.hpp"
+#include "msys/csched/context_plan.hpp"
+
+namespace msys::sim {
+
+struct SimReport {
+  Cycles total{};
+  Cycles compute{};
+  Cycles stall{};
+  Cycles dma_busy{};
+
+  std::uint64_t data_words_loaded{0};
+  std::uint64_t data_words_stored{0};
+  std::uint64_t context_words{0};
+  std::uint64_t dma_requests{0};
+  std::uint64_t exec_count{0};
+  std::uint64_t release_count{0};
+
+  /// Peak FB words simultaneously resident, per set.
+  std::uint64_t max_resident_words[2] = {0, 0};
+  /// Peak CM words simultaneously resident.
+  std::uint32_t max_cm_words{0};
+
+  [[nodiscard]] std::uint64_t data_words_total() const {
+    return data_words_loaded + data_words_stored;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Optional value-level hooks, invoked in simulated-time order from the
+/// functional pass: the rcarray::FunctionalMachine uses these to move real
+/// data through the modelled machine.
+struct DataHooks {
+  std::function<void(const codegen::Op& op, std::uint32_t round)> on_load;
+  std::function<void(const codegen::Op& op, std::uint32_t round)> on_store;
+  std::function<void(const codegen::Op& op, const codegen::Slot& slot)> on_exec;
+};
+
+class Simulator {
+ public:
+  /// Called for every timed op when tracing: [start, end) and a one-line
+  /// description.
+  using TraceFn = std::function<void(Cycles start, Cycles end, const std::string& what)>;
+
+  Simulator(const arch::M1Config& cfg, const csched::ContextPlan& ctx_plan);
+
+  void set_trace(TraceFn trace) { trace_ = std::move(trace); }
+  void set_data_hooks(DataHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Runs the program to completion; throws msys::Error on any functional
+  /// violation.
+  [[nodiscard]] SimReport run(const codegen::ScheduleProgram& program);
+
+ private:
+  const arch::M1Config* cfg_;
+  const csched::ContextPlan* ctx_plan_;
+  TraceFn trace_;
+  DataHooks hooks_;
+};
+
+}  // namespace msys::sim

@@ -1,0 +1,440 @@
+#include "msys/sim/simulator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "msys/common/error.hpp"
+#include "msys/dsched/schedule_types.hpp"
+
+namespace msys::sim {
+
+using codegen::Op;
+using codegen::OpKind;
+using codegen::ScheduleProgram;
+using dsched::DataSchedule;
+using dsched::ObjInstance;
+using dsched::Placement;
+
+namespace {
+
+constexpr std::size_t kNone = SIZE_MAX;
+
+/// A timed op plus the timestamps the timing pass assigned.
+struct TimedOp {
+  const Op* op;
+  Cycles start{};
+  Cycles end{};
+};
+
+/// Functional FB-set state: which words are occupied by which instance.
+class FbState {
+ public:
+  explicit FbState(SizeWords capacity) : capacity_(capacity) {}
+
+  void insert(std::uint64_t key, const std::vector<Extent>& extents,
+              const std::string& what) {
+    MSYS_REQUIRE(!instances_.contains(key), "instance already resident: " + what);
+    for (const Extent& e : extents) {
+      MSYS_REQUIRE(e.end() <= capacity_.value(), "placement out of range: " + what);
+      for (const auto& [other_key, other] : instances_) {
+        for (const Extent& o : other) {
+          MSYS_REQUIRE(!e.overlaps(o), "FB words doubly occupied: " + what);
+        }
+      }
+    }
+    used_ += total_size(extents).value();
+    peak_ = std::max(peak_, used_);
+    instances_.emplace(key, extents);
+  }
+
+  void remove(std::uint64_t key, const std::string& what) {
+    auto it = instances_.find(key);
+    MSYS_REQUIRE(it != instances_.end(), "releasing a non-resident instance: " + what);
+    used_ -= total_size(it->second).value();
+    instances_.erase(it);
+  }
+
+  [[nodiscard]] bool resident(std::uint64_t key) const { return instances_.contains(key); }
+  [[nodiscard]] std::uint64_t peak_words() const { return peak_; }
+
+ private:
+  SizeWords capacity_;
+  std::unordered_map<std::uint64_t, std::vector<Extent>> instances_;
+  std::uint64_t used_{0};
+  std::uint64_t peak_{0};
+};
+
+/// Residency key for a (data, iter) instance within one FB set.
+std::uint64_t inst_key(DataId data, std::uint32_t iter) {
+  return (static_cast<std::uint64_t>(data.index()) << 32) | iter;
+}
+
+/// Functional Context Memory state.
+class CmState {
+ public:
+  CmState(std::uint32_t capacity, bool persistent) : capacity_(capacity),
+                                                     persistent_(persistent) {}
+
+  void load(KernelId kernel, std::uint32_t words, ClusterId cluster,
+            ClusterId prev_cluster, const model::KernelSchedule& sched) {
+    if (resident_.contains(kernel)) return;  // persistent regime reload
+    // Make room: evict kernels belonging to neither the loading cluster
+    // nor the one still executing (its contexts are live until its slot
+    // ends).  The per-slot-serial regime may additionally evict the
+    // previous cluster — its execution finished before this load started.
+    if (!persistent_) {
+      auto evictable = [&](KernelId k) {
+        const ClusterId c = sched.cluster_of(k);
+        return c != cluster && c != prev_cluster;
+      };
+      evict_if(evictable, words);
+      evict_if([&](KernelId k) { return sched.cluster_of(k) != cluster; }, words);
+    }
+    MSYS_REQUIRE(used_ + words <= capacity_,
+                 "context memory overflow loading kernel contexts");
+    resident_.emplace(kernel, words);
+    used_ += words;
+    peak_ = std::max(peak_, used_);
+  }
+
+  [[nodiscard]] bool resident(KernelId kernel) const { return resident_.contains(kernel); }
+  [[nodiscard]] std::uint32_t peak_words() const { return peak_; }
+
+ private:
+  template <class Pred>
+  void evict_if(Pred pred, std::uint32_t needed) {
+    if (used_ + needed <= capacity_) return;
+    for (auto it = resident_.begin(); it != resident_.end();) {
+      if (used_ + needed <= capacity_) return;
+      if (pred(it->first)) {
+        used_ -= it->second;
+        it = resident_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::uint32_t capacity_;
+  bool persistent_;
+  std::unordered_map<KernelId, std::uint32_t> resident_;
+  std::uint32_t used_{0};
+  std::uint32_t peak_{0};
+};
+
+}  // namespace
+
+std::string SimReport::summary() const {
+  std::ostringstream out;
+  out << "total=" << total.value() << "c compute=" << compute.value() << "c stall="
+      << stall.value() << "c dma=" << dma_busy.value() << "c loads=" << data_words_loaded
+      << "w stores=" << data_words_stored << "w ctx=" << context_words << "w execs="
+      << exec_count;
+  return out.str();
+}
+
+Simulator::Simulator(const arch::M1Config& cfg, const csched::ContextPlan& ctx_plan)
+    : cfg_(&cfg), ctx_plan_(&ctx_plan) {}
+
+SimReport Simulator::run(const ScheduleProgram& program) {
+  MSYS_REQUIRE(program.schedule != nullptr, "program not bound to a schedule");
+  const DataSchedule& schedule = *program.schedule;
+  const model::KernelSchedule& sched = *schedule.sched;
+  const model::Application& app = sched.app();
+  const std::size_t n_slots = program.slots.size();
+  MSYS_REQUIRE(n_slots > 0, "empty program");
+
+  SimReport report;
+
+  // ---- Static slot bookkeeping. ----
+  std::vector<std::size_t> prev_same_set(n_slots, kNone);
+  {
+    std::size_t last_on_set[2] = {kNone, kNone};
+    for (std::size_t s = 0; s < n_slots; ++s) {
+      const auto set = static_cast<std::size_t>(sched.cluster(program.slots[s].cluster).set);
+      prev_same_set[s] = last_on_set[set];
+      last_on_set[set] = s;
+    }
+  }
+  std::vector<std::uint32_t> in_remaining(n_slots, 0);
+  std::vector<std::uint32_t> exec_remaining(n_slots, 0);
+  for (const Op& op : program.dma_ops) {
+    if (op.kind == OpKind::kLoadContext || op.kind == OpKind::kLoadData) {
+      ++in_remaining[op.slot];
+    }
+  }
+  for (const Op& op : program.rc_ops) {
+    if (op.kind == OpKind::kExec) ++exec_remaining[op.slot];
+  }
+  for (std::size_t s = 0; s < n_slots; ++s) {
+    MSYS_REQUIRE(exec_remaining[s] > 0, "slot with no executions");
+  }
+
+  // in_done / exec_done become known when the slot's counters reach zero.
+  std::vector<Cycles> in_done(n_slots, Cycles::zero());
+  std::vector<bool> in_known(n_slots, false);
+  std::vector<Cycles> exec_done(n_slots, Cycles::zero());
+  std::vector<bool> exec_known(n_slots, false);
+  for (std::size_t s = 0; s < n_slots; ++s) {
+    if (in_remaining[s] == 0) in_known[s] = true;
+  }
+
+  auto op_duration = [&](const Op& op) -> Cycles {
+    switch (op.kind) {
+      case OpKind::kLoadContext:
+        return cfg_->dma.context_cycles(app.kernel(op.kernel).context_words);
+      case OpKind::kLoadData:
+      case OpKind::kStoreData:
+        return cfg_->dma.data_cycles(app.data(op.data).size);
+      case OpKind::kExec:
+        return app.kernel(op.kernel).exec_cycles;
+      case OpKind::kRelease:
+        return Cycles::zero();
+    }
+    return Cycles::zero();
+  };
+
+  // ---- Timing pass: two cursors over the FIFO streams, advancing
+  // whichever head op has all of its dependencies resolved. ----
+  const bool ctx_serial = !ctx_plan_->overlaps_compute();
+  const bool ctx_persistent =
+      ctx_plan_->regime() == csched::ContextRegime::kPersistent;
+  std::vector<TimedOp> timed;
+  timed.reserve(program.dma_ops.size() + program.rc_ops.size());
+
+  std::size_t di = 0;
+  std::size_t ri = 0;
+  Cycles dma_t = Cycles::zero();
+  Cycles rc_t = Cycles::zero();
+  std::vector<bool> slot_first_load_done(n_slots, false);
+
+  while (di < program.dma_ops.size() || ri < program.rc_ops.size()) {
+    bool progressed = false;
+
+    // RC head.
+    while (ri < program.rc_ops.size()) {
+      const Op& op = program.rc_ops[ri];
+      if (op.kind == OpKind::kExec) {
+        if (!in_known[op.slot]) break;
+        const Cycles start = std::max(rc_t, in_done[op.slot]);
+        const Cycles end = start + op_duration(op);
+        timed.push_back({&op, start, end});
+        rc_t = end;
+        report.compute += op_duration(op);
+        ++report.exec_count;
+        if (--exec_remaining[op.slot] == 0) {
+          exec_done[op.slot] = end;
+          exec_known[op.slot] = true;
+        }
+      } else {  // kRelease: bookkeeping at the current RC time
+        timed.push_back({&op, rc_t, rc_t});
+        ++report.release_count;
+      }
+      ++ri;
+      progressed = true;
+    }
+
+    // DMA head.
+    while (di < program.dma_ops.size()) {
+      const Op& op = program.dma_ops[di];
+      Cycles start = dma_t;
+      if (op.kind == OpKind::kLoadContext) {
+        if (ctx_serial && op.slot > 0) {
+          if (!exec_known[op.slot - 1]) break;
+          start = std::max(start, exec_done[op.slot - 1]);
+        } else if (!ctx_persistent && op.slot >= 2) {
+          // CM prefetch depth is one slot: see dsched::predict_cost.
+          if (!exec_known[op.slot - 2]) break;
+          start = std::max(start, exec_done[op.slot - 2]);
+        }
+      } else if (op.kind == OpKind::kLoadData) {
+        const std::size_t t = prev_same_set[op.slot];
+        if (!slot_first_load_done[op.slot] && t != kNone) {
+          if (!exec_known[t]) break;
+          start = std::max(start, exec_done[t]);
+        }
+        slot_first_load_done[op.slot] = true;
+      } else {  // kStoreData
+        if (!exec_known[op.slot]) break;
+        start = std::max(start, exec_done[op.slot]);
+      }
+      const Cycles end = start + op_duration(op);
+      timed.push_back({&op, start, end});
+      dma_t = end;
+      report.dma_busy += op_duration(op);
+      ++report.dma_requests;
+      if (op.kind == OpKind::kLoadContext) {
+        report.context_words += app.kernel(op.kernel).context_words;
+      } else if (op.kind == OpKind::kLoadData) {
+        report.data_words_loaded += app.data(op.data).size.value();
+      } else {
+        report.data_words_stored += app.data(op.data).size.value();
+      }
+      if ((op.kind == OpKind::kLoadContext || op.kind == OpKind::kLoadData) &&
+          --in_remaining[op.slot] == 0) {
+        in_done[op.slot] = end;
+        in_known[op.slot] = true;
+      }
+      ++di;
+      progressed = true;
+    }
+
+    MSYS_REQUIRE(progressed || (di >= program.dma_ops.size() && ri >= program.rc_ops.size()),
+                 "scheduling deadlock: circular dependency between DMA and RC streams");
+  }
+
+  report.total = std::max(dma_t, rc_t);
+  report.stall = report.total - report.compute;
+
+  // ---- Functional pass: apply effects in simulated-time order. ----
+  // Phases at equal timestamps: removals, then insertions, then checks.
+  enum Phase : int { kRemove = 0, kInsert = 1, kCheck = 2 };
+  struct Event {
+    Cycles time;
+    int phase;
+    std::size_t seq;  // stable order within a phase
+    const TimedOp* op;
+  };
+  std::vector<Event> events;
+  events.reserve(timed.size() * 2);
+  for (std::size_t i = 0; i < timed.size(); ++i) {
+    const TimedOp& t = timed[i];
+    switch (t.op->kind) {
+      case OpKind::kLoadData:
+        events.push_back({t.start, kCheck, i, &t});   // external availability
+        events.push_back({t.start, kInsert, i, &t});  // FB words occupied
+        break;
+      case OpKind::kExec:
+        events.push_back({t.start, kCheck, i, &t});   // inputs + contexts
+        events.push_back({t.start, kInsert, i, &t});  // outputs appear
+        break;
+      case OpKind::kStoreData:
+        events.push_back({t.start, kCheck, i, &t});   // instance resident
+        events.push_back({t.end, kInsert, i, &t});    // reaches external memory
+        if (t.op->release_after_store) events.push_back({t.end, kRemove, i, &t});
+        break;
+      case OpKind::kRelease:
+        events.push_back({t.start, kRemove, i, &t});
+        break;
+      case OpKind::kLoadContext:
+        events.push_back({t.end, kInsert, i, &t});
+        break;
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.phase != b.phase) return a.phase < b.phase;
+    return a.seq < b.seq;
+  });
+
+  FbState fb[2] = {FbState(cfg_->fb_set_size), FbState(cfg_->fb_set_size)};
+  CmState cm(cfg_->cm_capacity_words,
+             ctx_plan_->regime() == csched::ContextRegime::kPersistent);
+  // Results present in external memory, per round (each round produces
+  // fresh instances): a load of a produced object must follow its store.
+  std::unordered_set<std::uint64_t> in_external;
+  auto external_key = [&](std::uint32_t slot, DataId data, std::uint32_t iter) {
+    return (static_cast<std::uint64_t>(program.slots[slot].round) << 48) |
+           inst_key(data, iter);
+  };
+
+  auto describe = [&](const Op& op) {
+    std::ostringstream out;
+    out << to_string(op.kind) << ' '
+        << (op.kind == OpKind::kLoadContext || op.kind == OpKind::kExec
+                ? app.kernel(op.kernel).name
+                : app.data(op.data).name)
+        << " slot=" << op.slot << " iter=" << op.iter;
+    return out.str();
+  };
+
+  for (const Event& ev : events) {
+    const Op& op = *ev.op->op;
+    const codegen::Slot& slot = program.slots[op.slot];
+    const FbSet slot_set = sched.cluster(slot.cluster).set;
+    switch (op.kind) {
+      case OpKind::kLoadData: {
+        if (ev.phase == kCheck) {
+          // Data produced inside the application exists in external memory
+          // only once this round's store has completed.
+          const KernelId producer = app.data(op.data).producer;
+          MSYS_REQUIRE(!producer.valid() ||
+                           in_external.contains(external_key(op.slot, op.data, op.iter)),
+                       "loading a result before its store: " + describe(op));
+          break;
+        }
+        const Placement& p = schedule.placement(op.cluster, {op.data, op.iter});
+        fb[static_cast<std::size_t>(p.set)].insert(inst_key(op.data, op.iter), p.extents,
+                                                   describe(op));
+        if (hooks_.on_load) hooks_.on_load(op, program.slots[op.slot].round);
+        break;
+      }
+      case OpKind::kExec: {
+        const model::Kernel& kernel = app.kernel(op.kernel);
+        if (ev.phase == kCheck) {
+          MSYS_REQUIRE(cm.resident(op.kernel),
+                       "contexts not CM-resident for " + describe(op));
+          for (DataId in : kernel.inputs) {
+            const bool home = fb[static_cast<std::size_t>(slot_set)].resident(
+                inst_key(in, op.iter));
+            const bool across =
+                cfg_->cross_set_reads &&
+                fb[static_cast<std::size_t>(other_set(slot_set))].resident(
+                    inst_key(in, op.iter));
+            MSYS_REQUIRE(home || across, "input '" + app.data(in).name +
+                                             "' not resident for " + describe(op));
+          }
+        } else {
+          for (DataId out : kernel.outputs) {
+            const Placement& p = schedule.placement(slot.cluster, {out, op.iter});
+            fb[static_cast<std::size_t>(p.set)].insert(inst_key(out, op.iter), p.extents,
+                                                       describe(op));
+          }
+          if (hooks_.on_exec) hooks_.on_exec(op, slot);
+        }
+        break;
+      }
+      case OpKind::kStoreData: {
+        const std::size_t set = static_cast<std::size_t>(slot_set);
+        if (ev.phase == kCheck) {
+          MSYS_REQUIRE(fb[set].resident(inst_key(op.data, op.iter)),
+                       "storing a non-resident instance: " + describe(op));
+        } else if (ev.phase == kInsert) {
+          in_external.insert(external_key(op.slot, op.data, op.iter));
+          if (hooks_.on_store) hooks_.on_store(op, program.slots[op.slot].round);
+        } else {
+          fb[set].remove(inst_key(op.data, op.iter), describe(op));
+        }
+        break;
+      }
+      case OpKind::kRelease: {
+        const Placement& p = schedule.placement(op.cluster, {op.data, op.iter});
+        fb[static_cast<std::size_t>(p.set)].remove(inst_key(op.data, op.iter),
+                                                   describe(op));
+        break;
+      }
+      case OpKind::kLoadContext: {
+        const ClusterId prev =
+            op.slot > 0 ? program.slots[op.slot - 1].cluster : slot.cluster;
+        cm.load(op.kernel, app.kernel(op.kernel).context_words, slot.cluster, prev,
+                sched);
+        break;
+      }
+    }
+  }
+
+  report.max_resident_words[0] = fb[0].peak_words();
+  report.max_resident_words[1] = fb[1].peak_words();
+  report.max_cm_words = cm.peak_words();
+
+  if (trace_) {
+    for (const TimedOp& t : timed) trace_(t.start, t.end, describe(*t.op));
+  }
+  return report;
+}
+
+}  // namespace msys::sim

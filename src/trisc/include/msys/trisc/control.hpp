@@ -1,0 +1,74 @@
+// Control-program generation and execution for TinyRISC.
+//
+// emit_control_program() compiles a DataSchedule into a ControlProgram:
+// descriptor tables (round-relative work items for the DMA channel and the
+// RC array) plus a small TinyRISC loop that walks the rounds.  Program
+// size is O(one round's descriptors), independent of total_iterations.
+//
+// The TinyRiscMachine interprets the program and expands the two
+// instruction streams the engines would consume.  Descriptor predication
+// (hardware-side bounds checking) handles the irregular edges:
+//   * a descriptor whose target round >= total rounds is skipped (the
+//     last round's prefetches reach past the end);
+//   * a descriptor whose instance iteration >= the target round's
+//     iteration count is skipped (the final round may be partial).
+//
+// tests assert the expanded streams equal codegen::generate()'s output
+// op-for-op, so the looped control program and the flat lowering are
+// provably the same schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msys/codegen/program.hpp"
+#include "msys/trisc/isa.hpp"
+
+namespace msys::trisc {
+
+/// A round-relative work item: `op.slot` holds the cluster position
+/// within the round; the machine rebases it by (round + round_delta).
+struct Descriptor {
+  codegen::Op op;
+  /// 0 = this round, 1 = prefetch for the next round.
+  std::uint8_t round_delta{0};
+};
+
+struct ControlProgram {
+  const dsched::DataSchedule* schedule{nullptr};
+  Code code;
+  std::vector<Descriptor> dma_table;
+  std::vector<Descriptor> rc_table;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Compiles the schedule into the looped control program.
+[[nodiscard]] ControlProgram emit_control_program(const dsched::DataSchedule& schedule,
+                                                  const csched::ContextPlan& ctx_plan);
+
+/// The expanded engine streams (same types codegen::generate produces).
+struct ExpandedStreams {
+  std::vector<codegen::Op> dma_ops;
+  std::vector<codegen::Op> rc_ops;
+};
+
+class TinyRiscMachine {
+ public:
+  explicit TinyRiscMachine(const ControlProgram& program);
+
+  /// Interprets the program to completion (throws msys::Error on runaway
+  /// programs or malformed descriptor references) and returns the engine
+  /// streams.
+  [[nodiscard]] ExpandedStreams run();
+
+  /// Scalar instructions retired by the last run().
+  [[nodiscard]] std::uint64_t instructions_retired() const { return retired_; }
+
+ private:
+  const ControlProgram* program_;
+  std::uint64_t retired_{0};
+};
+
+}  // namespace msys::trisc

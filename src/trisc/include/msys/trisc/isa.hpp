@@ -1,0 +1,76 @@
+// TinyRISC: the control processor that sequences MorphoSys (paper Fig. 1:
+// "MorphoSys operation is controlled by a RISC processor").
+//
+// The subset modelled here is what schedule control needs: a small scalar
+// core (16 registers, r0 hardwired to zero) plus the MorphoSys-specific
+// machine instructions that enqueue work on the two engines:
+//
+//   DMAD  rs, imm  — enqueue DMA descriptor #(r[rs] + imm); the
+//                    descriptor's slot is biased by the round register
+//                    (see machine.hpp)
+//   CBX   rs, imm  — enqueue an RC-array operation (execute / release)
+//                    from the RC descriptor table, biased likewise
+//   SETRND rs      — round register = r[rs]
+//
+// Control programs are loops over execution rounds: the program size is
+// O(round template), independent of the application's iteration count —
+// the practical reason the real system keeps descriptor tables instead of
+// unrolled command lists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msys::trisc {
+
+inline constexpr std::uint32_t kRegisters = 16;
+
+enum class Op : std::uint8_t {
+  kHalt = 0,
+  kMovI,   ///< r[rd] = imm
+  kAdd,    ///< r[rd] = r[rs] + r[rt]
+  kAddI,   ///< r[rd] = r[rs] + imm
+  kBeq,    ///< if r[rs] == r[rt] jump to imm (absolute instruction index)
+  kBne,    ///< if r[rs] != r[rt] jump to imm
+  kJmp,    ///< jump to imm
+  kDmad,   ///< enqueue DMA descriptor r[rs] + imm
+  kCbx,    ///< enqueue RC descriptor r[rs] + imm
+  kSetRnd, ///< round register = r[rs] (bias applied to descriptor slots)
+};
+
+[[nodiscard]] std::string to_string(Op op);
+
+struct Instr {
+  Op op{Op::kHalt};
+  std::uint8_t rd{0};
+  std::uint8_t rs{0};
+  std::uint8_t rt{0};
+  std::int32_t imm{0};
+
+  /// 32-bit encoding: op(5) rd(4) rs(4) rt(4) imm(15, signed).
+  [[nodiscard]] std::uint32_t encode() const;
+  [[nodiscard]] static Instr decode(std::uint32_t word);
+  [[nodiscard]] std::string disassemble() const;
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+using Code = std::vector<Instr>;
+
+/// Renders a full listing with instruction indices.
+[[nodiscard]] std::string disassemble(const Code& code);
+
+// Convenience constructors.
+[[nodiscard]] Instr halt();
+[[nodiscard]] Instr mov_i(std::uint8_t rd, std::int32_t imm);
+[[nodiscard]] Instr add(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt);
+[[nodiscard]] Instr add_i(std::uint8_t rd, std::uint8_t rs, std::int32_t imm);
+[[nodiscard]] Instr beq(std::uint8_t rs, std::uint8_t rt, std::int32_t target);
+[[nodiscard]] Instr bne(std::uint8_t rs, std::uint8_t rt, std::int32_t target);
+[[nodiscard]] Instr jmp(std::int32_t target);
+[[nodiscard]] Instr dmad(std::uint8_t rs, std::int32_t imm);
+[[nodiscard]] Instr cbx(std::uint8_t rs, std::int32_t imm);
+[[nodiscard]] Instr set_rnd(std::uint8_t rs);
+
+}  // namespace msys::trisc

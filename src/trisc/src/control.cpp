@@ -1,0 +1,248 @@
+#include "msys/trisc/control.hpp"
+
+#include <sstream>
+
+#include "msys/common/error.hpp"
+
+namespace msys::trisc {
+
+using codegen::OpKind;
+using CgOp = codegen::Op;
+using dsched::ClusterRoundPlan;
+using dsched::DataSchedule;
+using dsched::ObjInstance;
+using dsched::ReleaseEvent;
+using dsched::StoreEvent;
+
+std::string ControlProgram::summary() const {
+  std::ostringstream out;
+  out << code.size() << " instructions, " << dma_table.size() << " DMA descriptors, "
+      << rc_table.size() << " RC descriptors";
+  return out.str();
+}
+
+ControlProgram emit_control_program(const DataSchedule& schedule,
+                                    const csched::ContextPlan& ctx_plan) {
+  MSYS_REQUIRE(schedule.feasible, "cannot emit control code for an infeasible schedule");
+  MSYS_REQUIRE(ctx_plan.feasible(), "cannot emit control code without a context plan");
+
+  const model::KernelSchedule& sched = *schedule.sched;
+  const std::uint32_t n_clusters = static_cast<std::uint32_t>(sched.cluster_count());
+  const bool ctx_persistent =
+      ctx_plan.regime() == csched::ContextRegime::kPersistent;
+
+  ControlProgram program;
+  program.schedule = &schedule;
+
+  // ---- Round-relative descriptor batches per cluster position. ----
+  // `op.slot` temporarily holds the cluster position; the machine rebases
+  // it with the round register.
+  std::vector<std::vector<Descriptor>> in_early(n_clusters);
+  std::vector<std::vector<Descriptor>> in_late(n_clusters);
+  std::vector<std::vector<Descriptor>> stores(n_clusters);
+  std::vector<std::vector<Descriptor>> rc(n_clusters);
+
+  for (std::uint32_t c = 0; c < n_clusters; ++c) {
+    const ClusterId cluster_id{c};
+    const model::Cluster& cluster = sched.cluster(cluster_id);
+    const ClusterRoundPlan& plan = schedule.round_plan[c];
+
+    if (ctx_plan.words_for_slot(0, cluster_id) > 0) {
+      for (KernelId k : cluster.kernels) {
+        in_early[c].push_back(
+            {CgOp{.kind = OpKind::kLoadContext, .slot = c, .kernel = k}, 0});
+      }
+    }
+    for (ObjInstance inst : plan.loads) {
+      const KernelId producer = sched.app().data(inst.data).producer;
+      const std::uint32_t prev = (c + n_clusters - 1) % n_clusters;
+      const bool produced_by_prev_slot =
+          producer.valid() && n_clusters > 1 &&
+          sched.cluster_of(producer) == ClusterId{prev} && c > 0;
+      auto& batch = produced_by_prev_slot ? in_late[c] : in_early[c];
+      batch.push_back({CgOp{.kind = OpKind::kLoadData,
+                          .slot = c,
+                          .cluster = cluster_id,
+                          .data = inst.data,
+                          .iter = inst.iter},
+                       0});
+    }
+    for (const StoreEvent& store : plan.stores) {
+      stores[c].push_back({CgOp{.kind = OpKind::kStoreData,
+                              .slot = c,
+                              .cluster = cluster_id,
+                              .data = store.inst.data,
+                              .iter = store.inst.iter,
+                              .release_after_store = store.release_after},
+                           0});
+    }
+    for (std::uint32_t local = 0; local < cluster.kernels.size(); ++local) {
+      for (std::uint32_t iter = 0; iter < schedule.rf; ++iter) {
+        rc[c].push_back({CgOp{.kind = OpKind::kExec,
+                            .slot = c,
+                            .kernel = cluster.kernels[local],
+                            .cluster = cluster_id,
+                            .iter = iter},
+                         0});
+        for (const ReleaseEvent& release : plan.releases) {
+          if (release.trigger_kernel != local || release.trigger_iter != iter) continue;
+          rc[c].push_back({CgOp{.kind = OpKind::kRelease,
+                              .slot = c,
+                              .cluster = release.placement_cluster,
+                              .data = release.inst.data,
+                              .iter = release.inst.iter},
+                           0});
+        }
+      }
+    }
+  }
+
+  // ---- DMA round template: the double-buffering weave, with the next
+  // round's prefetches carried as delta-1 descriptors. ----
+  auto push_batch = [&](std::vector<Descriptor>& table,
+                        const std::vector<Descriptor>& batch, std::uint8_t delta) {
+    for (Descriptor d : batch) {
+      d.round_delta = delta;
+      table.push_back(d);
+    }
+  };
+  // Prologue: IN_early(slot 0 of round 0) — emitted once, outside the loop.
+  const std::size_t prologue_dma = in_early[0].size();
+  push_batch(program.dma_table, in_early[0], 0);
+  // Loop body: per cluster position c, its group.
+  for (std::uint32_t c = 0; c < n_clusters; ++c) {
+    const std::uint32_t next = (c + 1) % n_clusters;
+    const std::uint8_t delta = (c + 1 == n_clusters) ? 1 : 0;
+    const FbSet set_c = sched.cluster(ClusterId{c}).set;
+    const FbSet set_next = sched.cluster(ClusterId{next}).set;
+    const bool prefetch = set_next != set_c;
+    if (prefetch) push_batch(program.dma_table, in_early[next], delta);
+    push_batch(program.dma_table, stores[c], 0);
+    if (!prefetch) push_batch(program.dma_table, in_early[next], delta);
+    push_batch(program.dma_table, in_late[next], delta);
+  }
+  // RC round template.
+  for (std::uint32_t c = 0; c < n_clusters; ++c) {
+    push_batch(program.rc_table, rc[c], 0);
+  }
+
+  // ---- The control loop.  r1 = round, r2 = total rounds. ----
+  // Layout:
+  //   0: movi r1, 0
+  //   1: movi r2, R
+  //   2..2+P-1: prologue DMADs
+  //   L: beq r1, r2, H
+  //      setrnd r1
+  //      body DMADs / CBXs
+  //      addi r1, r1, 1
+  //      jmp L
+  //   H: halt
+  Code& code = program.code;
+  code.push_back(mov_i(1, 0));
+  code.push_back(mov_i(2, static_cast<std::int32_t>(schedule.round_count())));
+  for (std::size_t i = 0; i < prologue_dma; ++i) {
+    code.push_back(dmad(0, static_cast<std::int32_t>(i)));
+  }
+  const auto loop_top = static_cast<std::int32_t>(code.size());
+  code.push_back(beq(1, 2, 0));  // target patched below
+  code.push_back(set_rnd(1));
+  for (std::size_t i = prologue_dma; i < program.dma_table.size(); ++i) {
+    code.push_back(dmad(0, static_cast<std::int32_t>(i)));
+  }
+  for (std::size_t i = 0; i < program.rc_table.size(); ++i) {
+    code.push_back(cbx(0, static_cast<std::int32_t>(i)));
+  }
+  code.push_back(add_i(1, 1, 1));
+  code.push_back(jmp(loop_top));
+  const auto halt_at = static_cast<std::int32_t>(code.size());
+  code.push_back(halt());
+  code[static_cast<std::size_t>(loop_top)].imm = halt_at;
+
+  // Persistent contexts load only in round 0: mark the descriptors.
+  if (ctx_persistent) {
+    // Handled by the machine through the context-plan-free rule below: the
+    // descriptor's iter field doubles as a "first round only" marker.
+    for (Descriptor& d : program.dma_table) {
+      if (d.op.kind == OpKind::kLoadContext) d.op.iter = 1;  // flag
+    }
+  }
+  return program;
+}
+
+TinyRiscMachine::TinyRiscMachine(const ControlProgram& program) : program_(&program) {}
+
+ExpandedStreams TinyRiscMachine::run() {
+  MSYS_REQUIRE(program_->schedule != nullptr, "control program not bound");
+  const DataSchedule& schedule = *program_->schedule;
+  const std::uint32_t n_clusters =
+      static_cast<std::uint32_t>(schedule.sched->cluster_count());
+  const std::uint32_t rounds = schedule.round_count();
+
+  ExpandedStreams streams;
+  std::int64_t regs[kRegisters] = {};
+  std::uint32_t round = 0;
+  std::size_t pc = 0;
+  retired_ = 0;
+  const std::uint64_t step_limit =
+      10'000'000ULL + static_cast<std::uint64_t>(program_->code.size()) * (rounds + 2);
+
+  auto enqueue = [&](const Descriptor& d, std::vector<CgOp>& out) {
+    const std::uint32_t target = round + d.round_delta;
+    if (target >= rounds) return;  // prefetch past the end
+    const std::uint32_t iters = schedule.iterations_in_round(target);
+    if (d.op.kind == OpKind::kLoadContext) {
+      if (d.op.iter != 0 && target != 0) return;  // persistent: round 0 only
+      CgOp op = d.op;
+      op.iter = 0;
+      op.slot = target * n_clusters + d.op.slot;
+      out.push_back(op);
+      return;
+    }
+    if (d.op.iter >= iters) return;  // partial final round
+    CgOp op = d.op;
+    op.slot = target * n_clusters + d.op.slot;
+    out.push_back(op);
+  };
+
+  while (true) {
+    MSYS_REQUIRE(pc < program_->code.size(), "TinyRISC fell off the program");
+    MSYS_REQUIRE(++retired_ <= step_limit, "TinyRISC runaway program");
+    const Instr& instr = program_->code[pc];
+    regs[0] = 0;
+    switch (instr.op) {
+      case Op::kHalt: return streams;
+      case Op::kMovI: regs[instr.rd] = instr.imm; ++pc; break;
+      case Op::kAdd: regs[instr.rd] = regs[instr.rs] + regs[instr.rt]; ++pc; break;
+      case Op::kAddI: regs[instr.rd] = regs[instr.rs] + instr.imm; ++pc; break;
+      case Op::kBeq:
+        pc = (regs[instr.rs] == regs[instr.rt]) ? static_cast<std::size_t>(instr.imm)
+                                                : pc + 1;
+        break;
+      case Op::kBne:
+        pc = (regs[instr.rs] != regs[instr.rt]) ? static_cast<std::size_t>(instr.imm)
+                                                : pc + 1;
+        break;
+      case Op::kJmp: pc = static_cast<std::size_t>(instr.imm); break;
+      case Op::kDmad: {
+        const auto idx = static_cast<std::size_t>(regs[instr.rs] + instr.imm);
+        MSYS_REQUIRE(idx < program_->dma_table.size(), "DMA descriptor out of range");
+        enqueue(program_->dma_table[idx], streams.dma_ops);
+        ++pc;
+        break;
+      }
+      case Op::kCbx: {
+        const auto idx = static_cast<std::size_t>(regs[instr.rs] + instr.imm);
+        MSYS_REQUIRE(idx < program_->rc_table.size(), "RC descriptor out of range");
+        enqueue(program_->rc_table[idx], streams.rc_ops);
+        ++pc;
+        break;
+      }
+      case Op::kSetRnd:
+        round = static_cast<std::uint32_t>(regs[instr.rs]);
+        ++pc;
+        break;
+    }
+  }
+}
+
+}  // namespace msys::trisc

@@ -1,0 +1,92 @@
+#include "msys/trisc/isa.hpp"
+
+#include <sstream>
+
+#include "msys/common/error.hpp"
+
+namespace msys::trisc {
+
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::kHalt: return "halt";
+    case Op::kMovI: return "movi";
+    case Op::kAdd: return "add";
+    case Op::kAddI: return "addi";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kJmp: return "jmp";
+    case Op::kDmad: return "dmad";
+    case Op::kCbx: return "cbx";
+    case Op::kSetRnd: return "setrnd";
+  }
+  return "?";
+}
+
+std::uint32_t Instr::encode() const {
+  MSYS_REQUIRE(static_cast<std::uint8_t>(op) < 32, "opcode out of range");
+  MSYS_REQUIRE(rd < kRegisters && rs < kRegisters && rt < kRegisters,
+               "register out of range");
+  MSYS_REQUIRE(imm >= -(1 << 14) && imm < (1 << 14), "immediate out of range");
+  return (static_cast<std::uint32_t>(op) << 27) | (static_cast<std::uint32_t>(rd) << 23) |
+         (static_cast<std::uint32_t>(rs) << 19) | (static_cast<std::uint32_t>(rt) << 15) |
+         (static_cast<std::uint32_t>(imm) & 0x7fff);
+}
+
+Instr Instr::decode(std::uint32_t word) {
+  Instr i;
+  i.op = static_cast<Op>((word >> 27) & 0x1f);
+  i.rd = static_cast<std::uint8_t>((word >> 23) & 0xf);
+  i.rs = static_cast<std::uint8_t>((word >> 19) & 0xf);
+  i.rt = static_cast<std::uint8_t>((word >> 15) & 0xf);
+  std::int32_t imm = static_cast<std::int32_t>(word & 0x7fff);
+  if (imm & 0x4000) imm -= 1 << 15;  // sign-extend 15 bits
+  i.imm = imm;
+  return i;
+}
+
+std::string Instr::disassemble() const {
+  std::ostringstream out;
+  out << to_string(op);
+  switch (op) {
+    case Op::kHalt: break;
+    case Op::kMovI: out << " r" << +rd << ", " << imm; break;
+    case Op::kAdd: out << " r" << +rd << ", r" << +rs << ", r" << +rt; break;
+    case Op::kAddI: out << " r" << +rd << ", r" << +rs << ", " << imm; break;
+    case Op::kBeq:
+    case Op::kBne: out << " r" << +rs << ", r" << +rt << ", @" << imm; break;
+    case Op::kJmp: out << " @" << imm; break;
+    case Op::kDmad:
+    case Op::kCbx: out << " [r" << +rs << " + " << imm << ']'; break;
+    case Op::kSetRnd: out << " r" << +rs; break;
+  }
+  return out.str();
+}
+
+std::string disassemble(const Code& code) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    out << i << ":\t" << code[i].disassemble() << '\n';
+  }
+  return out.str();
+}
+
+Instr halt() { return Instr{Op::kHalt, 0, 0, 0, 0}; }
+Instr mov_i(std::uint8_t rd, std::int32_t imm) { return Instr{Op::kMovI, rd, 0, 0, imm}; }
+Instr add(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt) {
+  return Instr{Op::kAdd, rd, rs, rt, 0};
+}
+Instr add_i(std::uint8_t rd, std::uint8_t rs, std::int32_t imm) {
+  return Instr{Op::kAddI, rd, rs, 0, imm};
+}
+Instr beq(std::uint8_t rs, std::uint8_t rt, std::int32_t target) {
+  return Instr{Op::kBeq, 0, rs, rt, target};
+}
+Instr bne(std::uint8_t rs, std::uint8_t rt, std::int32_t target) {
+  return Instr{Op::kBne, 0, rs, rt, target};
+}
+Instr jmp(std::int32_t target) { return Instr{Op::kJmp, 0, 0, 0, target}; }
+Instr dmad(std::uint8_t rs, std::int32_t imm) { return Instr{Op::kDmad, 0, rs, 0, imm}; }
+Instr cbx(std::uint8_t rs, std::int32_t imm) { return Instr{Op::kCbx, 0, rs, 0, imm}; }
+Instr set_rnd(std::uint8_t rs) { return Instr{Op::kSetRnd, 0, rs, 0, 0}; }
+
+}  // namespace msys::trisc

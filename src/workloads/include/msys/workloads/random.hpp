@@ -1,0 +1,48 @@
+// Seeded random application/schedule generator for property testing and
+// fuzzing the compilation pipeline.
+//
+// Generates layered DAGs: kernels in layers, each kernel consuming a
+// private external input plus a random subset of earlier kernels' results
+// and shared external inputs; a random subset of results is marked final.
+// The partition groups consecutive kernels of one topological order into
+// random-sized clusters.  Same seed => same workload, on every platform.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "msys/arch/m1.hpp"
+#include "msys/model/schedule.hpp"
+
+namespace msys::workloads {
+
+struct RandomSpec {
+  std::uint64_t seed{1};
+  std::uint32_t min_kernels{4};
+  std::uint32_t max_kernels{12};
+  std::uint32_t min_iterations{2};
+  std::uint32_t max_iterations{12};
+  /// Object sizes in words.
+  std::uint64_t min_size{8};
+  std::uint64_t max_size{160};
+  /// Chance (percent) that a kernel consumes a given earlier result.
+  std::uint32_t reuse_percent{25};
+  /// Chance (percent) that a result must reach external memory.
+  std::uint32_t final_percent{40};
+  /// Number of shared external inputs wired to random kernels.
+  std::uint32_t shared_inputs{2};
+};
+
+struct RandomExperiment {
+  std::unique_ptr<model::Application> app;
+  model::KernelSchedule sched;
+  /// A machine generously sized for the workload (both schedulers
+  /// feasible); tests shrink it for stress cases.
+  arch::M1Config cfg;
+};
+
+/// Generates the workload for `spec`.  The result is always structurally
+/// valid (builds and partitions without throwing).
+[[nodiscard]] RandomExperiment make_random(const RandomSpec& spec);
+
+}  // namespace msys::workloads

@@ -1,0 +1,149 @@
+// Automatic Target Recognition on MorphoSys (SAR imagery, after the
+// MorphoSys ATR case studies): an image chip is normalised once and then
+// correlated against a bank of target templates; independent clutter /
+// noise estimation kernels process auxiliary data; a detection kernel
+// fuses the correlation surfaces with the clutter maps.
+//
+// SLD (second-level detection) works on large chips with six template
+// correlations — big data, RF stays 1 and all CDS gains come from
+// retention.  FI (final identification) refines a small region against
+// four finer templates — small data, RF of 2..5 depending on FB size.
+//
+// The three SLD rows of Table 1 are three *kernel schedules* of the same
+// application at the same 8K FB (paper: "We have tested different kernel
+// schedules for a fixed memory size").  The schedules differ in how well
+// they align the pre-processed chip and the correlation scores with the
+// FB set the consumers run from:
+//   base ("ATR-SLD")  — correlators spread over both sets; the chip's
+//                       store stays necessary, two scores retained.
+//   "*"               — clutter kernels absorb the B-set slots so every
+//                       chip consumer runs from set A: the chip's store
+//                       disappears entirely and most scores are retained.
+//   "**"              — detection runs on the set where the fewest scores
+//                       are produced; retention helps least.
+#include "builders.hpp"
+#include "msys/model/application.hpp"
+
+namespace msys::workloads {
+
+using model::ApplicationBuilder;
+
+namespace {
+
+arch::M1Config atr_cfg(SizeWords fb, std::uint32_t cm) {
+  arch::M1Config cfg = arch::M1Config::m1_default();
+  cfg.fb_set_size = fb;
+  cfg.cm_capacity_words = cm;
+  return arch::M1Config::validated(cfg);
+}
+
+}  // namespace
+
+Experiment make_atr_sld(int variant) {
+  MSYS_REQUIRE(variant >= 0 && variant <= 2, "ATR-SLD variant must be 0, 1 or 2");
+  ApplicationBuilder b("ATR-SLD", /*total_iterations=*/16);
+
+  DataId chip = b.external_input("chip", SizeWords{2000});
+  KernelId prep = b.kernel("prep", 180, Cycles{600}, {chip});
+  DataId pchip = b.output(prep, "pchip", SizeWords{3400});
+
+  std::vector<DataId> fused_inputs;
+  for (int i = 1; i <= 6; ++i) {
+    DataId tmpl = b.external_input("t" + std::to_string(i), SizeWords{500});
+    KernelId k = b.kernel("corr" + std::to_string(i), 200, Cycles{700}, {pchip, tmpl});
+    fused_inputs.push_back(b.output(k, "s" + std::to_string(i), SizeWords{500}));
+  }
+
+  // Independent clutter estimation: no dependence on the chip, so a
+  // schedule may place these kernels on either set freely.
+  for (int i = 1; i <= 2; ++i) {
+    DataId raw = b.external_input("nraw" + std::to_string(i), SizeWords{300});
+    KernelId k = b.kernel("nse" + std::to_string(i), 160, Cycles{500}, {raw});
+    fused_inputs.push_back(b.output(k, "nmap" + std::to_string(i), SizeWords{200}));
+  }
+
+  KernelId detect = b.kernel("detect", 150, Cycles{400}, fused_inputs);
+  b.output(detect, "dets", SizeWords{200}, /*required_in_external_memory=*/true);
+  (void)detect;
+
+  std::vector<std::vector<std::string>> partition;
+  std::string name;
+  std::string description;
+  switch (variant) {
+    case 0:
+      name = "ATR-SLD";
+      description = "ATR second-level detection, base kernel schedule";
+      partition = {{"prep", "corr1"},
+                   {"corr2", "corr3"},
+                   {"corr4", "corr5"},
+                   {"corr6", "nse1"},
+                   {"nse2", "detect"}};
+      break;
+    case 1:
+      name = "ATR-SLD*";
+      description = "ATR second-level detection, retention-friendly schedule";
+      partition = {{"prep", "corr1"},
+                   {"nse1"},
+                   {"corr2", "corr3", "corr4"},
+                   {"nse2"},
+                   {"corr5", "corr6", "detect"}};
+      break;
+    default:
+      name = "ATR-SLD**";
+      description = "ATR second-level detection, retention-hostile schedule";
+      partition = {{"prep", "corr1", "corr2"},
+                   {"corr3", "corr4"},
+                   {"corr5", "corr6"},
+                   {"nse1", "nse2", "detect"}};
+      break;
+  }
+  return detail::finish(name, description, std::move(b).build(), partition,
+                        atr_cfg(kilowords(8), 1024));
+}
+
+Experiment make_atr_fi(int variant) {
+  MSYS_REQUIRE(variant >= 0 && variant <= 2, "ATR-FI variant must be 0, 1 or 2");
+  ApplicationBuilder b("ATR-FI", /*total_iterations=*/40);
+
+  DataId chip2 = b.external_input("chip2", SizeWords{160});
+  KernelId prep2 = b.kernel("prep2", 230, Cycles{200}, {chip2});
+  DataId fchip = b.output(prep2, "fchip", SizeWords{150});
+
+  std::vector<DataId> fscores;
+  for (int i = 1; i <= 4; ++i) {
+    DataId tmpl = b.external_input("ft" + std::to_string(i), SizeWords{92});
+    KernelId k = b.kernel("fcorr" + std::to_string(i), 260, Cycles{250}, {fchip, tmpl});
+    fscores.push_back(b.output(k, "fs" + std::to_string(i), SizeWords{40}));
+  }
+
+  KernelId decide = b.kernel("decide", 200, Cycles{150}, fscores);
+  b.output(decide, "rpt", SizeWords{40}, /*required_in_external_memory=*/true);
+  (void)decide;
+
+  std::vector<std::vector<std::string>> partition;
+  std::string name;
+  SizeWords fb = kilowords(1);
+  std::string description;
+  switch (variant) {
+    case 0:
+      name = "ATR-FI";
+      description = "ATR final identification, base schedule, 1K FB";
+      partition = {{"prep2", "fcorr1"}, {"fcorr2", "fcorr3"}, {"fcorr4", "decide"}};
+      break;
+    case 1:
+      name = "ATR-FI*";
+      description = "ATR final identification, base schedule, 2K FB (higher RF)";
+      partition = {{"prep2", "fcorr1"}, {"fcorr2", "fcorr3"}, {"fcorr4", "decide"}};
+      fb = kilowords(2);
+      break;
+    default:
+      name = "ATR-FI**";
+      description = "ATR final identification, alternative schedule, 1K FB";
+      partition = {{"prep2"}, {"fcorr1", "fcorr2"}, {"fcorr3", "fcorr4", "decide"}};
+      break;
+  }
+  return detail::finish(name, description, std::move(b).build(), partition,
+                        atr_cfg(fb, 1024));
+}
+
+}  // namespace msys::workloads

@@ -1,0 +1,19 @@
+// Internal helpers shared by the workload builders.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "msys/common/error.hpp"
+#include "msys/workloads/experiments.hpp"
+
+namespace msys::workloads::detail {
+
+/// Builds the Experiment from a finished application and a partition given
+/// by kernel names (clusters in execution order).
+[[nodiscard]] Experiment finish(std::string name, std::string description,
+                                model::Application app,
+                                const std::vector<std::vector<std::string>>& partition,
+                                arch::M1Config cfg);
+
+}  // namespace msys::workloads::detail

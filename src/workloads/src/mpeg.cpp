@@ -1,0 +1,72 @@
+// MPEG-2 encoder pipeline on MorphoSys (after Singh et al., DAC'00, which
+// maps MPEG motion estimation and DCT onto the RC array).
+//
+// One iteration processes one macroblock group.  Kernel chain:
+//
+//   ME   (cur, ref)        -> mv            motion estimation
+//   PRED (ref, mv)         -> pred          motion-compensated prediction
+//   DCT  (cur, pred)       -> coefs         residual transform
+//   Q    (coefs)           -> qcoefs        quantisation
+//   IQ   (qcoefs)          -> dq            inverse quantisation
+//   IDCT (dq)              -> resid         inverse transform
+//   REC  (pred, resid)     -> recon [final] reference reconstruction
+//   VLC  (qcoefs)          -> bits  [final] entropy coding
+//
+// Clusters: {ME,PRED}(A) {DCT,Q}(B) {IQ,IDCT,REC}(A) {VLC}(B).  The
+// retention opportunities the CDS exploits: `pred` is produced on set A
+// and re-read by REC on set A (its store to external memory is still
+// needed because DCT reads it from set B), and `qcoefs` is produced on
+// set B and re-read by VLC on set B (store still needed for IQ on A).
+#include "builders.hpp"
+#include "msys/model/application.hpp"
+
+namespace msys::workloads {
+
+using model::ApplicationBuilder;
+
+Experiment make_mpeg(SizeWords fb_set_size) {
+  const std::uint32_t kBlock = 295;  // words per macroblock-group buffer
+  ApplicationBuilder b("MPEG", /*total_iterations=*/32);
+
+  DataId cur = b.external_input("cur", SizeWords{kBlock});
+  DataId ref = b.external_input("ref", SizeWords{360});
+
+  KernelId me = b.kernel("ME", 350, Cycles{450}, {cur, ref});
+  DataId mv = b.output(me, "mv", SizeWords{16});
+
+  KernelId pred_k = b.kernel("PRED", 260, Cycles{170}, {ref, mv});
+  DataId pred = b.output(pred_k, "pred", SizeWords{kBlock});
+
+  KernelId dct = b.kernel("DCT", 330, Cycles{300}, {cur, pred});
+  DataId coefs = b.output(dct, "coefs", SizeWords{kBlock});
+
+  KernelId q = b.kernel("Q", 170, Cycles{130}, {coefs});
+  DataId qcoefs = b.output(q, "qcoefs", SizeWords{kBlock});
+
+  KernelId iq = b.kernel("IQ", 170, Cycles{130}, {qcoefs});
+  DataId dq = b.output(iq, "dq", SizeWords{kBlock});
+
+  KernelId idct = b.kernel("IDCT", 330, Cycles{300}, {dq});
+  DataId resid = b.output(idct, "resid", SizeWords{kBlock});
+
+  KernelId rec = b.kernel("REC", 200, Cycles{130}, {pred, resid});
+  b.output(rec, "recon", SizeWords{kBlock}, /*required_in_external_memory=*/true);
+
+  KernelId vlc = b.kernel("VLC", 280, Cycles{200}, {qcoefs});
+  b.output(vlc, "bits", SizeWords{136}, /*required_in_external_memory=*/true);
+  (void)vlc;
+
+  arch::M1Config cfg = arch::M1Config::m1_default();
+  cfg.fb_set_size = fb_set_size;
+  cfg.cm_capacity_words = 1536;
+  // MorphoSys streams 32-bit context words over the 16-bit external bus:
+  // two cycles per context word.
+  cfg.dma.cycles_per_context_word = Cycles{2};
+
+  return detail::finish("MPEG", "MPEG-2 encoder macroblock pipeline",
+                        std::move(b).build(),
+                        {{"ME", "PRED"}, {"DCT", "Q"}, {"IQ", "IDCT", "REC"}, {"VLC"}},
+                        std::move(cfg));
+}
+
+}  // namespace msys::workloads

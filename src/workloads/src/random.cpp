@@ -1,0 +1,100 @@
+#include "msys/workloads/random.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "msys/common/error.hpp"
+#include "msys/common/rng.hpp"
+#include "msys/model/application.hpp"
+
+namespace msys::workloads {
+
+RandomExperiment make_random(const RandomSpec& spec) {
+  MSYS_REQUIRE(spec.min_kernels >= 1 && spec.min_kernels <= spec.max_kernels,
+               "bad kernel-count range");
+  MSYS_REQUIRE(spec.min_size >= 1 && spec.min_size <= spec.max_size, "bad size range");
+  Rng rng(spec.seed);
+
+  const auto n_kernels =
+      static_cast<std::uint32_t>(rng.uniform(spec.min_kernels, spec.max_kernels));
+  const auto iterations = static_cast<std::uint32_t>(
+      rng.uniform(spec.min_iterations, spec.max_iterations));
+
+  model::ApplicationBuilder b("random-" + std::to_string(spec.seed), iterations);
+
+  std::vector<DataId> shared;
+  for (std::uint32_t i = 0; i < spec.shared_inputs; ++i) {
+    shared.push_back(b.external_input("shared" + std::to_string(i),
+                                      SizeWords{rng.uniform(spec.min_size, spec.max_size)}));
+  }
+
+  std::vector<KernelId> kernels;
+  std::vector<DataId> results;           // one per kernel, in order
+  std::vector<bool> result_consumed(0);  // tracks dead results to fix up
+  for (std::uint32_t i = 0; i < n_kernels; ++i) {
+    DataId priv = b.external_input("in" + std::to_string(i),
+                                   SizeWords{rng.uniform(spec.min_size, spec.max_size)});
+    KernelId k = b.kernel("k" + std::to_string(i),
+                          static_cast<std::uint32_t>(rng.uniform(8, 64)),
+                          Cycles{rng.uniform(50, 600)}, {priv});
+    // Random reuse of earlier results.
+    for (std::uint32_t j = 0; j < i; ++j) {
+      if (rng.chance(spec.reuse_percent, 100)) {
+        b.add_input(k, results[j]);
+        result_consumed[j] = true;
+      }
+    }
+    // Random shared inputs.
+    for (DataId s : shared) {
+      if (rng.chance(30, 100)) b.add_input(k, s);
+    }
+    const bool final_result = rng.chance(spec.final_percent, 100);
+    DataId out = b.output(k, "r" + std::to_string(i),
+                          SizeWords{rng.uniform(spec.min_size, spec.max_size)},
+                          final_result);
+    kernels.push_back(k);
+    results.push_back(out);
+    result_consumed.push_back(false);
+  }
+  // Every shared input must have a consumer; wire leftovers to kernel 0.
+  for (std::size_t i = 0; i < shared.size(); ++i) {
+    b.add_input(kernels[rng.uniform(0, kernels.size() - 1)], shared[i]);
+  }
+  // A result that nobody consumes and that is not final would be invalid:
+  // mark such results final.
+  for (std::uint32_t i = 0; i < n_kernels; ++i) {
+    if (!result_consumed[i]) b.mark_final(results[i]);
+  }
+
+  auto app = std::make_unique<model::Application>(std::move(b).build());
+
+  // Random contiguous partition of the declaration order (which is a
+  // topological order: kernel i only reads results of j < i).
+  std::vector<std::vector<KernelId>> partition;
+  std::size_t pos = 0;
+  while (pos < kernels.size()) {
+    const std::size_t take =
+        std::min<std::size_t>(rng.uniform(1, 3), kernels.size() - pos);
+    partition.emplace_back(kernels.begin() + static_cast<std::ptrdiff_t>(pos),
+                           kernels.begin() + static_cast<std::ptrdiff_t>(pos + take));
+    pos += take;
+  }
+  model::KernelSchedule sched = model::KernelSchedule::from_partition(*app, partition);
+
+  // Machine sized so that even the Basic Scheduler fits: sum of all object
+  // sizes bounds any cluster's no-release footprint, and the CM holds any
+  // adjacent cluster pair (with headroom) but not the whole application.
+  std::uint32_t max_cluster_ctx = 0;
+  for (const model::Cluster& c : sched.clusters()) {
+    max_cluster_ctx = std::max(max_cluster_ctx, sched.cluster_context_words(c.id));
+  }
+  arch::M1Config cfg = arch::M1Config::m1_default();
+  cfg.fb_set_size = app->total_data_size() + SizeWords{64};
+  cfg.cm_capacity_words =
+      std::max(app->total_context_words() / 2 + 70, 2 * max_cluster_ctx + 16);
+  cfg = arch::M1Config::validated(cfg);
+  return RandomExperiment{std::move(app), std::move(sched), cfg};
+}
+
+}  // namespace msys::workloads

@@ -1,0 +1,68 @@
+#include <algorithm>
+
+#include "builders.hpp"
+#include "msys/workloads/experiments.hpp"
+
+namespace msys::workloads {
+
+namespace detail {
+
+Experiment finish(std::string name, std::string description, model::Application app,
+                  const std::vector<std::vector<std::string>>& partition,
+                  arch::M1Config cfg) {
+  auto owned = std::make_unique<model::Application>(std::move(app));
+  std::vector<std::vector<KernelId>> ids;
+  ids.reserve(partition.size());
+  for (const std::vector<std::string>& cluster : partition) {
+    std::vector<KernelId> kernel_ids;
+    for (const std::string& kernel_name : cluster) {
+      auto id = owned->find_kernel(kernel_name);
+      MSYS_REQUIRE(id.has_value(), "unknown kernel in partition: " + kernel_name);
+      kernel_ids.push_back(*id);
+    }
+    ids.push_back(std::move(kernel_ids));
+  }
+  model::KernelSchedule sched = model::KernelSchedule::from_partition(*owned, std::move(ids));
+  return Experiment{.name = std::move(name),
+                    .description = std::move(description),
+                    .app = std::move(owned),
+                    .sched = std::move(sched),
+                    .cfg = arch::M1Config::validated(std::move(cfg))};
+}
+
+}  // namespace detail
+
+const std::vector<std::string>& table1_experiment_names() {
+  static const std::vector<std::string> names = {
+      "E1",      "E1*",      "E2",        "E3",     "MPEG",    "MPEG*",
+      "ATR-SLD", "ATR-SLD*", "ATR-SLD**", "ATR-FI", "ATR-FI*", "ATR-FI**",
+  };
+  return names;
+}
+
+namespace {
+
+Experiment renamed(Experiment exp, std::string_view name) {
+  exp.name = std::string(name);
+  return exp;
+}
+
+}  // namespace
+
+Experiment make_experiment(std::string_view name) {
+  if (name == "E1") return make_e1(false);
+  if (name == "E1*") return make_e1(true);
+  if (name == "E2") return make_e2();
+  if (name == "E3") return make_e3();
+  if (name == "MPEG") return renamed(make_mpeg(kilowords(2)), name);
+  if (name == "MPEG*") return renamed(make_mpeg(kilowords(3)), name);
+  if (name == "ATR-SLD") return make_atr_sld(0);
+  if (name == "ATR-SLD*") return make_atr_sld(1);
+  if (name == "ATR-SLD**") return make_atr_sld(2);
+  if (name == "ATR-FI") return make_atr_fi(0);
+  if (name == "ATR-FI*") return make_atr_fi(1);
+  if (name == "ATR-FI**") return make_atr_fi(2);
+  raise("unknown experiment: " + std::string(name));
+}
+
+}  // namespace msys::workloads

@@ -1,0 +1,153 @@
+// Synthetic experiments E1/E1*, E2 and E3.
+//
+// "Synthetic experiments have been generated manually in order to consider
+// additional features that are not present in the analyzed real
+// applications" (paper §6).  Each is a set of per-cluster kernel chains
+// (private external input -> chain of intermediates -> final result) plus
+// explicitly planted inter-cluster sharing: shared external data consumed
+// by two clusters of the same FB set, and shared results produced on one
+// cluster and consumed on a later same-set cluster.
+#include "builders.hpp"
+#include "msys/model/application.hpp"
+
+namespace msys::workloads {
+
+using model::ApplicationBuilder;
+
+namespace {
+
+struct Chain {
+  std::vector<std::string> names;
+  std::vector<KernelId> kernels;
+};
+
+/// Builds one cluster's kernel chain: `kernels` kernels named
+/// <prefix>_k1.., each with a private external input of `in_size`, chained
+/// through intermediates of `mid_size`, ending in a final result of
+/// `out_size`.
+Chain add_chain(ApplicationBuilder& b, const std::string& prefix, std::uint32_t kernels,
+                SizeWords in_size, SizeWords mid_size, SizeWords out_size,
+                std::uint32_t ctx_words, Cycles exec) {
+  Chain chain;
+  DataId carry{};
+  for (std::uint32_t i = 1; i <= kernels; ++i) {
+    const std::string kname = prefix + "_k" + std::to_string(i);
+    DataId priv = b.external_input(prefix + "_in" + std::to_string(i), in_size);
+    KernelId k = b.kernel(kname, ctx_words, exec, {priv});
+    if (i > 1) b.add_input(k, carry);
+    if (i < kernels) {
+      carry = b.output(k, prefix + "_mid" + std::to_string(i), mid_size);
+    } else {
+      b.output(k, prefix + "_out", out_size, /*required_in_external_memory=*/true);
+    }
+    chain.names.push_back(kname);
+    chain.kernels.push_back(k);
+  }
+  return chain;
+}
+
+arch::M1Config cfg_with(SizeWords fb, std::uint32_t cm_words) {
+  arch::M1Config cfg = arch::M1Config::m1_default();
+  cfg.fb_set_size = fb;
+  cfg.cm_capacity_words = cm_words;
+  return arch::M1Config::validated(cfg);
+}
+
+}  // namespace
+
+Experiment make_e1(bool bigger_fb) {
+  // 4 clusters x 3 kernels, 24 iterations.  Sharing planted on both FB
+  // sets: one shared external input and one shared result per set,
+  // between the set's two clusters (Cl1/Cl3 on A, Cl2/Cl4 on B).  At a 1K
+  // FB set only RF=1 fits (paper row E1: DS gains nothing, CDS gains from
+  // retention); at 2K RF=3 fits (row E1*).
+  ApplicationBuilder b(bigger_fb ? "E1*" : "E1", /*total_iterations=*/24);
+  const SizeWords in{60}, mid{45}, out{80};
+  const std::uint32_t ctx = 350;
+  const Cycles exec{200};
+
+  Chain c1 = add_chain(b, "c1", 3, in, mid, out, ctx, exec);
+  Chain c2 = add_chain(b, "c2", 3, in, mid, out, ctx, exec);
+  Chain c3 = add_chain(b, "c3", 3, in, mid, out, ctx, exec);
+  Chain c4 = add_chain(b, "c4", 3, in, mid, out, ctx, exec);
+
+  // Shared external data (set A: Cl1+Cl3, set B: Cl2+Cl4).
+  DataId shared_a = b.external_input("shared_a", SizeWords{260});
+  b.add_input(c1.kernels[0], shared_a);
+  b.add_input(c3.kernels[0], shared_a);
+  DataId shared_b = b.external_input("shared_b", SizeWords{260});
+  b.add_input(c2.kernels[0], shared_b);
+  b.add_input(c4.kernels[0], shared_b);
+
+  // Shared results: produced mid-cluster, consumed by the set's later
+  // cluster only (store avoidable when retained).
+  DataId sr_a = b.output(c1.kernels[1], "sr_a", SizeWords{190});
+  b.add_input(c3.kernels[1], sr_a);
+  DataId sr_b = b.output(c2.kernels[1], "sr_b", SizeWords{190});
+  b.add_input(c4.kernels[1], sr_b);
+
+  return detail::finish(
+      bigger_fb ? "E1*" : "E1",
+      "synthetic: 4 clusters x 3 kernels, shared data + shared results on both sets",
+      std::move(b).build(), {c1.names, c2.names, c3.names, c4.names},
+      cfg_with(bigger_fb ? kilowords(2) : kilowords(1), /*cm=*/2176));
+}
+
+Experiment make_e2() {
+  // 6 clusters x 2 kernels, 24 iterations, 2K FB (RF=3).  Context-heavy
+  // traffic with only a small amount of inter-cluster sharing: DS already
+  // captures most of the improvement; CDS adds a few points (paper row
+  // E2: 44% vs 48%).
+  ApplicationBuilder b("E2", /*total_iterations=*/24);
+  const SizeWords in{200}, mid{80}, out{120};
+  const std::uint32_t ctx = 590;
+  const Cycles exec{300};
+
+  std::vector<Chain> chains;
+  std::vector<std::vector<std::string>> partition;
+  for (int c = 1; c <= 6; ++c) {
+    chains.push_back(add_chain(b, "c" + std::to_string(c), 2, in, mid, out, ctx, exec));
+    partition.push_back(chains.back().names);
+  }
+
+  // Small shared input across three set-A clusters (Cl1, Cl3, Cl5).
+  DataId shared_a = b.external_input("shared_a", SizeWords{100});
+  b.add_input(chains[0].kernels[0], shared_a);
+  b.add_input(chains[2].kernels[0], shared_a);
+  b.add_input(chains[4].kernels[0], shared_a);
+  // Small shared result on set B (Cl2 -> Cl4, Cl6).
+  DataId sr_b = b.output(chains[1].kernels[0], "sr_b", SizeWords{60});
+  b.add_input(chains[3].kernels[0], sr_b);
+  b.add_input(chains[5].kernels[0], sr_b);
+
+  return detail::finish("E2",
+                        "synthetic: 6 clusters x 2 kernels, context-dominated, small sharing",
+                        std::move(b).build(), partition, cfg_with(kilowords(2), 2432));
+}
+
+Experiment make_e3() {
+  // 4 clusters x 2 kernels, 44 iterations, 3K FB.  Tiny per-iteration
+  // footprint so RF grows to 11; context traffic dominates (paper row E3:
+  // DS 67%, CDS 76%).  One small shared result per set.
+  ApplicationBuilder b("E3", /*total_iterations=*/44);
+  const SizeWords in{85}, mid{25}, out{35};
+  const std::uint32_t ctx = 430;
+  const Cycles exec{150};
+
+  Chain c1 = add_chain(b, "c1", 2, in, mid, out, ctx, exec);
+  Chain c2 = add_chain(b, "c2", 2, in, mid, out, ctx, exec);
+  Chain c3 = add_chain(b, "c3", 2, in, mid, out, ctx, exec);
+  Chain c4 = add_chain(b, "c4", 2, in, mid, out, ctx, exec);
+
+  DataId sr_a = b.output(c1.kernels[0], "sr_a", SizeWords{95});
+  b.add_input(c3.kernels[1], sr_a);
+  DataId sr_b = b.output(c2.kernels[0], "sr_b", SizeWords{95});
+  b.add_input(c4.kernels[1], sr_b);
+
+  return detail::finish("E3",
+                        "synthetic: 4 clusters x 2 kernels, tiny footprint, RF-dominated",
+                        std::move(b).build(), {c1.names, c2.names, c3.names, c4.names},
+                        cfg_with(kilowords(3), 1792));
+}
+
+}  // namespace msys::workloads

@@ -1,0 +1,186 @@
+#include "msys/alloc/fb_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/common/error.hpp"
+
+namespace msys::alloc {
+namespace {
+
+TEST(FbAllocator, StartsAllFree) {
+  FrameBufferAllocator fb(SizeWords{100});
+  EXPECT_TRUE(fb.all_free());
+  EXPECT_EQ(fb.free_words(), SizeWords{100});
+  EXPECT_EQ(fb.largest_free_block(), SizeWords{100});
+  EXPECT_EQ(fb.free_block_count(), 1u);
+}
+
+TEST(FbAllocator, TopAllocationTakesUpperAddresses) {
+  FrameBufferAllocator fb(SizeWords{100});
+  auto a = fb.allocate(SizeWords{10}, AllocEnd::kTop);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_EQ(a->extents.size(), 1u);
+  EXPECT_EQ(a->extents[0], (Extent{90, SizeWords{10}}));
+}
+
+TEST(FbAllocator, BottomAllocationTakesLowerAddresses) {
+  FrameBufferAllocator fb(SizeWords{100});
+  auto a = fb.allocate(SizeWords{10}, AllocEnd::kBottom);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->extents[0], (Extent{0, SizeWords{10}}));
+}
+
+TEST(FbAllocator, TopAndBottomGrowTowardEachOther) {
+  FrameBufferAllocator fb(SizeWords{100});
+  auto t1 = fb.allocate(SizeWords{10}, AllocEnd::kTop);
+  auto b1 = fb.allocate(SizeWords{10}, AllocEnd::kBottom);
+  auto t2 = fb.allocate(SizeWords{10}, AllocEnd::kTop);
+  auto b2 = fb.allocate(SizeWords{10}, AllocEnd::kBottom);
+  EXPECT_EQ(t1->extents[0].begin(), 90u);
+  EXPECT_EQ(t2->extents[0].begin(), 80u);
+  EXPECT_EQ(b1->extents[0].begin(), 0u);
+  EXPECT_EQ(b2->extents[0].begin(), 10u);
+  EXPECT_EQ(fb.free_words(), SizeWords{60});
+  EXPECT_EQ(fb.free_block_count(), 1u);
+}
+
+TEST(FbAllocator, ReleaseCoalesces) {
+  FrameBufferAllocator fb(SizeWords{100});
+  auto a = fb.allocate(SizeWords{30}, AllocEnd::kTop);
+  auto b = fb.allocate(SizeWords{30}, AllocEnd::kTop);
+  fb.release(*a);
+  fb.release(*b);
+  EXPECT_TRUE(fb.all_free());
+  EXPECT_EQ(fb.free_block_count(), 1u);
+}
+
+TEST(FbAllocator, ExactFitConsumesBlock) {
+  FrameBufferAllocator fb(SizeWords{64});
+  auto a = fb.allocate(SizeWords{64}, AllocEnd::kTop);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(fb.free_words(), SizeWords::zero());
+  EXPECT_EQ(fb.free_block_count(), 0u);
+  EXPECT_FALSE(fb.allocate(SizeWords{1}, AllocEnd::kTop).has_value());
+}
+
+TEST(FbAllocator, FirstFitSkipsTooSmallBlocks) {
+  FrameBufferAllocator fb(SizeWords{100});
+  auto top = fb.allocate(SizeWords{10}, AllocEnd::kTop);    // [90,100)
+  auto mid = fb.allocate(SizeWords{50}, AllocEnd::kTop);    // [40,90)
+  auto low = fb.allocate(SizeWords{30}, AllocEnd::kBottom); // [0,30)
+  fb.release(*top);  // free: [30,40) and [90,100)
+  (void)mid;
+  (void)low;
+  // kTop first-fit for 8 words: highest block [90,100) fits.
+  auto a = fb.allocate(SizeWords{8}, AllocEnd::kTop);
+  EXPECT_EQ(a->extents[0], (Extent{92, SizeWords{8}}));
+  // kTop for 9 more words: [90,92) left is too small, use [30,40).
+  auto b = fb.allocate(SizeWords{9}, AllocEnd::kTop);
+  EXPECT_EQ(b->extents[0], (Extent{31, SizeWords{9}}));
+}
+
+TEST(FbAllocator, PreferredExtentsHonoured) {
+  FrameBufferAllocator fb(SizeWords{100});
+  auto a = fb.allocate(SizeWords{10}, AllocEnd::kTop);
+  fb.release(*a);
+  const std::vector<Extent> hint = {{90, SizeWords{10}}};
+  auto b = fb.allocate(SizeWords{10}, AllocEnd::kBottom, hint);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->extents, hint);
+  EXPECT_EQ(fb.stats().preferred_hits, 1u);
+}
+
+TEST(FbAllocator, PreferredExtentsFallBackWhenOccupied) {
+  FrameBufferAllocator fb(SizeWords{100});
+  auto a = fb.allocate(SizeWords{10}, AllocEnd::kTop);  // occupies [90,100)
+  const std::vector<Extent> hint = {{90, SizeWords{10}}};
+  auto b = fb.allocate(SizeWords{10}, AllocEnd::kTop, hint);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->extents[0], (Extent{80, SizeWords{10}}));
+  EXPECT_EQ(fb.stats().preferred_misses, 1u);
+  (void)a;
+}
+
+TEST(FbAllocator, SplitsAcrossBlocksAsLastResort) {
+  FrameBufferAllocator fb(SizeWords{100});
+  auto a = fb.allocate(SizeWords{20}, AllocEnd::kBottom);  // [0,20)
+  auto b = fb.allocate(SizeWords{60}, AllocEnd::kBottom);  // [20,80)
+  fb.release(*a);  // free: [0,20) + [80,100)
+  (void)b;
+  auto c = fb.allocate(SizeWords{30}, AllocEnd::kBottom);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(c->split());
+  EXPECT_EQ(c->size(), SizeWords{30});
+  EXPECT_TRUE(disjoint(c->extents));
+  EXPECT_EQ(fb.stats().splits, 1u);
+}
+
+TEST(FbAllocator, SplitRefusedWhenDisallowed) {
+  FrameBufferAllocator fb(SizeWords{100});
+  auto a = fb.allocate(SizeWords{20}, AllocEnd::kBottom);
+  auto b = fb.allocate(SizeWords{60}, AllocEnd::kBottom);
+  fb.release(*a);
+  (void)b;
+  EXPECT_FALSE(fb.allocate(SizeWords{30}, AllocEnd::kBottom, {}, false).has_value());
+}
+
+TEST(FbAllocator, FailsWhenNoSpace) {
+  FrameBufferAllocator fb(SizeWords{50});
+  auto a = fb.allocate(SizeWords{40}, AllocEnd::kTop);
+  (void)a;
+  EXPECT_FALSE(fb.allocate(SizeWords{20}, AllocEnd::kTop).has_value());
+}
+
+TEST(FbAllocator, DoubleFreeDetected) {
+  FrameBufferAllocator fb(SizeWords{50});
+  auto a = fb.allocate(SizeWords{10}, AllocEnd::kTop);
+  fb.release(*a);
+  EXPECT_THROW(fb.release(*a), Error);
+}
+
+TEST(FbAllocator, ReleaseOutOfRangeRejected) {
+  FrameBufferAllocator fb(SizeWords{50});
+  Allocation bogus{{Extent{45, SizeWords{10}}}};
+  EXPECT_THROW(fb.release(bogus), Error);
+}
+
+TEST(FbAllocator, RejectsZeroAllocation) {
+  FrameBufferAllocator fb(SizeWords{50});
+  EXPECT_THROW((void)fb.allocate(SizeWords{0}, AllocEnd::kTop), Error);
+}
+
+TEST(FbAllocator, RejectsZeroCapacity) {
+  EXPECT_THROW(FrameBufferAllocator(SizeWords{0}), Error);
+}
+
+TEST(FbAllocator, BestFitPolicyPicksSmallestBlock) {
+  FrameBufferAllocator fb(SizeWords{100}, FitPolicy::kBestFit);
+  auto a = fb.allocate(SizeWords{10}, AllocEnd::kBottom);  // [0,10)
+  auto b = fb.allocate(SizeWords{30}, AllocEnd::kBottom);  // [10,40)
+  auto c = fb.allocate(SizeWords{12}, AllocEnd::kBottom);  // [40,52)
+  fb.release(*a);  // small hole [0,10)
+  fb.release(*c);  // hole [40,52); big tail [52,100)
+  (void)b;
+  // Best-fit for 9 words picks the 10-word hole, not the 12 or the tail.
+  auto d = fb.allocate(SizeWords{9}, AllocEnd::kBottom);
+  EXPECT_EQ(d->extents[0], (Extent{0, SizeWords{9}}));
+}
+
+TEST(FbAllocator, PeakUsageTracked) {
+  FrameBufferAllocator fb(SizeWords{100});
+  auto a = fb.allocate(SizeWords{60}, AllocEnd::kTop);
+  fb.release(*a);
+  auto b = fb.allocate(SizeWords{10}, AllocEnd::kTop);
+  (void)b;
+  EXPECT_EQ(fb.stats().peak_used_words, 60u);
+}
+
+TEST(FbAllocator, ResetRestoresPristineState) {
+  FrameBufferAllocator fb(SizeWords{100});
+  (void)fb.allocate(SizeWords{60}, AllocEnd::kTop);
+  fb.reset();
+  EXPECT_TRUE(fb.all_free());
+}
+
+}  // namespace
+}  // namespace msys::alloc

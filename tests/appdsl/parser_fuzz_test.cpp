@@ -1,0 +1,86 @@
+// Parser robustness: random mutations of valid sources must either parse
+// or throw msys::Error with a line-numbered message — never crash, hang or
+// produce an invalid Application.
+#include <gtest/gtest.h>
+
+#include "msys/appdsl/parser.hpp"
+#include "msys/common/error.hpp"
+#include "msys/common/rng.hpp"
+#include "msys/workloads/random.hpp"
+
+namespace msys::appdsl {
+namespace {
+
+std::string valid_source(std::uint64_t seed) {
+  workloads::RandomSpec spec;
+  spec.seed = seed;
+  workloads::RandomExperiment exp = workloads::make_random(spec);
+  std::vector<std::vector<std::string>> partition;
+  for (const model::Cluster& c : exp.sched.clusters()) {
+    std::vector<std::string> names;
+    for (KernelId k : c.kernels) names.push_back(exp.app->kernel(k).name);
+    partition.push_back(std::move(names));
+  }
+  return write(*exp.app, partition, exp.cfg);
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, RandomWorkloadsRoundTrip) {
+  const std::string text = valid_source(GetParam());
+  ParsedExperiment parsed = parse(text);
+  // Re-emitting the parse must be a fixed point.
+  const std::string again = write(parsed.app, parsed.partition, parsed.cfg);
+  EXPECT_EQ(text, again);
+  // The schedule builds.
+  model::KernelSchedule sched = parsed.schedule();
+  EXPECT_GT(sched.cluster_count(), 0u);
+}
+
+TEST_P(ParserFuzz, MutatedSourcesNeverCrash) {
+  const std::string base = valid_source(GetParam());
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = base;
+    const int mutations = static_cast<int>(rng.uniform(1, 6));
+    for (int m = 0; m < mutations; ++m) {
+      if (text.empty()) break;
+      const std::size_t pos = rng.uniform(0, text.size() - 1);
+      switch (rng.uniform(0, 3)) {
+        case 0:  // flip a character
+          text[pos] = static_cast<char>(rng.uniform(32, 126));
+          break;
+        case 1:  // delete a span
+          text.erase(pos, rng.uniform(1, 20));
+          break;
+        case 2:  // duplicate a span
+          text.insert(pos, text.substr(pos, rng.uniform(1, 20)));
+          break;
+        default:  // insert noise
+          text.insert(pos, "\nkernel ");
+          break;
+      }
+    }
+    try {
+      ParsedExperiment parsed = parse(text);
+      // If it parsed, the application must be structurally sound.
+      EXPECT_GT(parsed.app.kernel_count(), 0u);
+      if (!parsed.partition.empty()) {
+        try {
+          model::KernelSchedule sched = parsed.schedule();
+          EXPECT_GT(sched.cluster_count(), 0u);
+        } catch (const Error&) {
+          // A mutated partition may be invalid; that is an acceptable
+          // rejection.
+        }
+      }
+    } catch (const Error&) {
+      // Expected rejection path.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace msys::appdsl

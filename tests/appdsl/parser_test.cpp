@@ -1,0 +1,154 @@
+#include "msys/appdsl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/common/error.hpp"
+#include "msys/workloads/experiments.hpp"
+
+namespace msys::appdsl {
+namespace {
+
+constexpr const char* kDemo = R"(
+# demo pipeline
+app demo iterations 8
+input a 64
+input b 32
+kernel k1 ctx 16 cycles 100 in a out t:24
+kernel k2 ctx 16 cycles 150 in t b out r:8:final
+cluster k1
+cluster k2
+fbset 512
+cm 96
+ctxcost 2
+)";
+
+TEST(Parser, ParsesDemo) {
+  ParsedExperiment parsed = parse(kDemo);
+  EXPECT_EQ(parsed.app.name(), "demo");
+  EXPECT_EQ(parsed.app.total_iterations(), 8u);
+  EXPECT_EQ(parsed.app.kernel_count(), 2u);
+  EXPECT_EQ(parsed.app.data_count(), 4u);
+  EXPECT_EQ(parsed.cfg.fb_set_size, SizeWords{512});
+  EXPECT_EQ(parsed.cfg.cm_capacity_words, 96u);
+  EXPECT_EQ(parsed.cfg.dma.cycles_per_context_word, Cycles{2});
+}
+
+TEST(Parser, KernelDetails) {
+  ParsedExperiment parsed = parse(kDemo);
+  const model::Kernel& k2 = parsed.app.kernel(*parsed.app.find_kernel("k2"));
+  EXPECT_EQ(k2.context_words, 16u);
+  EXPECT_EQ(k2.exec_cycles, Cycles{150});
+  EXPECT_EQ(k2.inputs.size(), 2u);
+  const model::DataObject& r = parsed.app.data(*parsed.app.find_data("r"));
+  EXPECT_TRUE(r.required_in_external_memory);
+  EXPECT_EQ(r.size, SizeWords{8});
+}
+
+TEST(Parser, BuildsSchedule) {
+  ParsedExperiment parsed = parse(kDemo);
+  model::KernelSchedule sched = parsed.schedule();
+  EXPECT_EQ(sched.cluster_count(), 2u);
+  EXPECT_EQ(sched.cluster(ClusterId{1}).set, FbSet::kB);
+}
+
+TEST(Parser, CommentsAndBlanksIgnored) {
+  ParsedExperiment parsed = parse("app x iterations 1   # trailing\n\n"
+                                  "input d 4 # comment\n"
+                                  "kernel k ctx 1 cycles 1 in d out o:1:final\n");
+  EXPECT_EQ(parsed.app.kernel_count(), 1u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse("app x iterations 1\nbogus line here\n");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnknownData) {
+  EXPECT_THROW((void)parse("app x iterations 1\nkernel k ctx 1 cycles 1 in nope\n"),
+               Error);
+}
+
+TEST(Parser, RejectsDuplicateNames) {
+  EXPECT_THROW((void)parse("app x iterations 1\ninput d 4\ninput d 4\n"), Error);
+  EXPECT_THROW((void)parse("app x iterations 1\ninput d 4\n"
+                           "kernel k ctx 1 cycles 1 in d out o:1:final\n"
+                           "kernel k ctx 1 cycles 1 in d\n"),
+               Error);
+}
+
+TEST(Parser, RejectsMissingApp) {
+  EXPECT_THROW((void)parse("input d 4\n"), Error);
+  EXPECT_THROW((void)parse(""), Error);
+}
+
+TEST(Parser, RejectsBadOutSpec) {
+  EXPECT_THROW((void)parse("app x iterations 1\ninput d 4\n"
+                           "kernel k ctx 1 cycles 1 in d out broken\n"),
+               Error);
+  EXPECT_THROW((void)parse("app x iterations 1\ninput d 4\n"
+                           "kernel k ctx 1 cycles 1 in d out o:1:banana\n"),
+               Error);
+}
+
+TEST(Parser, RejectsNonNumeric) {
+  EXPECT_THROW((void)parse("app x iterations many\n"), Error);
+  EXPECT_THROW((void)parse("app x iterations 1\ninput d four\n"), Error);
+}
+
+TEST(Parser, RejectsUnknownClusterKernel) {
+  EXPECT_THROW((void)parse("app x iterations 1\ninput d 4\n"
+                           "kernel k ctx 1 cycles 1 in d out o:1:final\ncluster nope\n"),
+               Error);
+}
+
+TEST(Writer, RoundTripsDemo) {
+  ParsedExperiment parsed = parse(kDemo);
+  const std::string text = write(parsed.app, parsed.partition, parsed.cfg);
+  ParsedExperiment again = parse(text);
+  EXPECT_EQ(again.app.name(), parsed.app.name());
+  EXPECT_EQ(again.app.kernel_count(), parsed.app.kernel_count());
+  EXPECT_EQ(again.app.data_count(), parsed.app.data_count());
+  EXPECT_EQ(again.app.total_data_size(), parsed.app.total_data_size());
+  EXPECT_EQ(again.cfg.fb_set_size, parsed.cfg.fb_set_size);
+  EXPECT_EQ(again.partition, parsed.partition);
+}
+
+class RegistryRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryRoundTrip, WriteParsePreservesStructure) {
+  workloads::Experiment exp = workloads::make_experiment(GetParam());
+  std::vector<std::vector<std::string>> partition;
+  for (const model::Cluster& c : exp.sched.clusters()) {
+    std::vector<std::string> names;
+    for (KernelId k : c.kernels) names.push_back(exp.app->kernel(k).name);
+    partition.push_back(std::move(names));
+  }
+  const std::string text = write(*exp.app, partition, exp.cfg);
+  ParsedExperiment again = parse(text);
+  EXPECT_EQ(again.app.kernel_count(), exp.app->kernel_count());
+  EXPECT_EQ(again.app.data_count(), exp.app->data_count());
+  EXPECT_EQ(again.app.total_data_size(), exp.app->total_data_size());
+  EXPECT_EQ(again.app.total_context_words(), exp.app->total_context_words());
+  EXPECT_EQ(again.cfg.fb_set_size, exp.cfg.fb_set_size);
+  EXPECT_EQ(again.cfg.cm_capacity_words, exp.cfg.cm_capacity_words);
+  model::KernelSchedule sched = again.schedule();
+  EXPECT_EQ(sched.cluster_count(), exp.sched.cluster_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExperiments, RegistryRoundTrip,
+                         ::testing::ValuesIn(workloads::table1_experiment_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '*') c = 's';
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace msys::appdsl

@@ -1,0 +1,72 @@
+#include "msys/arch/m1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/common/error.hpp"
+
+namespace msys::arch {
+namespace {
+
+TEST(DmaModel, DataCyclesIncludeSetup) {
+  DmaModel dma;
+  dma.cycles_per_data_word = Cycles{2};
+  dma.transfer_setup = Cycles{8};
+  EXPECT_EQ(dma.data_cycles(SizeWords{10}), Cycles{28});
+}
+
+TEST(DmaModel, ZeroWordsCostNothing) {
+  DmaModel dma;
+  EXPECT_EQ(dma.data_cycles(SizeWords{0}), Cycles::zero());
+  EXPECT_EQ(dma.context_cycles(0), Cycles::zero());
+}
+
+TEST(DmaModel, ContextCycles) {
+  DmaModel dma;
+  dma.cycles_per_context_word = Cycles{2};
+  dma.transfer_setup = Cycles{4};
+  EXPECT_EQ(dma.context_cycles(16), Cycles{36});
+}
+
+TEST(M1Config, DefaultIsValid) {
+  const M1Config cfg = M1Config::m1_default();
+  EXPECT_EQ(cfg.rc_rows, 8u);
+  EXPECT_EQ(cfg.rc_cols, 8u);
+  EXPECT_GT(cfg.fb_set_size.value(), 0u);
+}
+
+TEST(M1Config, ValidationRejectsZeroFb) {
+  M1Config cfg = M1Config::m1_default();
+  cfg.fb_set_size = SizeWords{0};
+  EXPECT_THROW(M1Config::validated(cfg), Error);
+}
+
+TEST(M1Config, ValidationRejectsZeroCm) {
+  M1Config cfg = M1Config::m1_default();
+  cfg.cm_capacity_words = 0;
+  EXPECT_THROW(M1Config::validated(cfg), Error);
+}
+
+TEST(M1Config, ValidationRejectsFreeTransfers) {
+  M1Config cfg = M1Config::m1_default();
+  cfg.dma.cycles_per_data_word = Cycles{0};
+  EXPECT_THROW(M1Config::validated(cfg), Error);
+}
+
+TEST(M1Config, WithFbSetSize) {
+  const M1Config cfg = M1Config::m1_default().with_fb_set_size(kilowords(8));
+  EXPECT_EQ(cfg.fb_set_size, kilowords(8));
+  EXPECT_THROW(M1Config::m1_default().with_fb_set_size(SizeWords{0}), Error);
+}
+
+TEST(M1Config, WithCmCapacity) {
+  EXPECT_EQ(M1Config::m1_default().with_cm_capacity(2048).cm_capacity_words, 2048u);
+}
+
+TEST(M1Config, SummaryMentionsGeometry) {
+  const std::string s = M1Config::m1_default().summary();
+  EXPECT_NE(s.find("8x8"), std::string::npos);
+  EXPECT_NE(s.find("2K"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msys::arch

@@ -1,0 +1,39 @@
+#include "msys/common/strfmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msys {
+namespace {
+
+TEST(StrFmt, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+TEST(StrFmt, Percent) {
+  EXPECT_EQ(percent(0.195), "19.5%");
+  EXPECT_EQ(percent(0.0), "0.0%");
+  EXPECT_EQ(percent(1.0), "100.0%");
+}
+
+TEST(StrFmt, SizeKbExactMultiples) {
+  EXPECT_EQ(size_kb(kilowords(1)), "1K");
+  EXPECT_EQ(size_kb(kilowords(8)), "8K");
+  EXPECT_EQ(size_kb(SizeWords{2048}), "2K");
+}
+
+TEST(StrFmt, SizeKbFractional) {
+  EXPECT_EQ(size_kb(SizeWords{1536}), "1.5K");
+  EXPECT_EQ(size_kb(SizeWords{819}), "819");  // below 1K: plain words
+  EXPECT_EQ(size_kb(SizeWords{0}), "0");
+}
+
+TEST(StrFmt, Pad) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // no truncation
+}
+
+}  // namespace
+}  // namespace msys

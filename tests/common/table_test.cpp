@@ -1,0 +1,44 @@
+#include "msys/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/common/error.hpp"
+
+namespace msys {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "x"});
+  t.add_row({"a", "100"});
+  t.add_row({"long-name", "1"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name       x"), std::string::npos);
+  EXPECT_NE(s.find("a          100"), std::string::npos);
+  EXPECT_NE(s.find("long-name  1"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, RejectsEmptyHeader) { EXPECT_THROW(TextTable({}), Error); }
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_rule();  // rules are not emitted in CSV
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  t.add_rule();
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace msys

@@ -1,0 +1,86 @@
+#include "msys/common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace msys {
+namespace {
+
+TEST(Quantity, DefaultIsZero) {
+  EXPECT_EQ(SizeWords{}.value(), 0u);
+  EXPECT_EQ(Cycles{}.value(), 0u);
+}
+
+TEST(Quantity, Arithmetic) {
+  SizeWords a{100};
+  SizeWords b{20};
+  EXPECT_EQ((a + b).value(), 120u);
+  EXPECT_EQ((a - b).value(), 80u);
+  EXPECT_EQ((a * 3).value(), 300u);
+  EXPECT_EQ((3 * a).value(), 300u);
+  EXPECT_EQ(a / b, 5u);
+}
+
+TEST(Quantity, CompoundAssignment) {
+  Cycles c{10};
+  c += Cycles{5};
+  EXPECT_EQ(c.value(), 15u);
+  c -= Cycles{3};
+  EXPECT_EQ(c.value(), 12u);
+  c *= 2;
+  EXPECT_EQ(c.value(), 24u);
+}
+
+TEST(Quantity, Comparison) {
+  EXPECT_LT(SizeWords{1}, SizeWords{2});
+  EXPECT_EQ(SizeWords{7}, SizeWords{7});
+  EXPECT_GT(SizeWords{9}, SizeWords{2});
+  EXPECT_EQ(std::max(SizeWords{3}, SizeWords{8}), SizeWords{8});
+}
+
+TEST(Quantity, ZeroAndMax) {
+  EXPECT_EQ(SizeWords::zero().value(), 0u);
+  EXPECT_GT(SizeWords::max(), SizeWords{1'000'000'000});
+}
+
+TEST(Quantity, Kilowords) {
+  EXPECT_EQ(kilowords(1).value(), 1024u);
+  EXPECT_EQ(kilowords(8).value(), 8192u);
+}
+
+TEST(Id, InvalidByDefault) {
+  KernelId k;
+  EXPECT_FALSE(k.valid());
+  EXPECT_TRUE(KernelId{0}.valid());
+}
+
+TEST(Id, Comparison) {
+  EXPECT_LT(DataId{1}, DataId{2});
+  EXPECT_EQ(DataId{5}, DataId{5});
+  EXPECT_NE(DataId{5}, DataId{6});
+}
+
+TEST(Id, Hashable) {
+  std::unordered_set<DataId> set;
+  set.insert(DataId{1});
+  set.insert(DataId{2});
+  set.insert(DataId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Id, DistinctTagTypesDoNotMix) {
+  // Compile-time property: KernelId and DataId are different types.
+  static_assert(!std::is_same_v<KernelId, DataId>);
+  static_assert(!std::is_same_v<SizeWords, Cycles>);
+}
+
+TEST(FbSet, OtherSet) {
+  EXPECT_EQ(other_set(FbSet::kA), FbSet::kB);
+  EXPECT_EQ(other_set(FbSet::kB), FbSet::kA);
+  EXPECT_EQ(to_string(FbSet::kA), "A");
+  EXPECT_EQ(to_string(FbSet::kB), "B");
+}
+
+}  // namespace
+}  // namespace msys

@@ -1,0 +1,209 @@
+#include "msys/dsched/alloc_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "msys/extract/analysis.hpp"
+#include "testing/apps.hpp"
+
+namespace msys::dsched {
+namespace {
+
+using extract::ScheduleAnalysis;
+using testing::RetentionApp;
+using testing::TwoClusterApp;
+
+TEST(AllocDriver, PlansFeasibleRound) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  DriverOptions opt;
+  DriverResult result = plan_round(analysis, SizeWords{512}, opt);
+  ASSERT_TRUE(result.ok) << result.fail_reason;
+  EXPECT_EQ(result.round_plan.size(), 2u);
+  EXPECT_EQ(result.summary.splits, 0u);
+}
+
+TEST(AllocDriver, LoadsCoverClusterInputs) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  DriverResult result = plan_round(analysis, SizeWords{512}, DriverOptions{});
+  ASSERT_TRUE(result.ok);
+  const ClusterRoundPlan& plan = result.round_plan[0];
+  std::vector<DataId> loaded;
+  for (ObjInstance inst : plan.loads) loaded.push_back(inst.data);
+  for (const char* name : {"a", "b", "shared"}) {
+    EXPECT_TRUE(std::count(loaded.begin(), loaded.end(), *t.app->find_data(name)))
+        << name;
+  }
+  // The intermediate is never loaded.
+  EXPECT_FALSE(std::count(loaded.begin(), loaded.end(), *t.app->find_data("t")));
+}
+
+TEST(AllocDriver, StoresCoverOutgoingOnly) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  DriverResult result = plan_round(analysis, SizeWords{512}, DriverOptions{});
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.round_plan[0].stores.size(), 1u);
+  EXPECT_EQ(result.round_plan[0].stores[0].inst.data, *t.app->find_data("r1"));
+  EXPECT_TRUE(result.round_plan[0].stores[0].release_after);
+}
+
+TEST(AllocDriver, RfMultipliesInstances) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  DriverOptions opt;
+  opt.rf = 3;
+  DriverResult result = plan_round(analysis, SizeWords{1024}, opt);
+  ASSERT_TRUE(result.ok) << result.fail_reason;
+  // 3 inputs x 3 iterations.
+  EXPECT_EQ(result.round_plan[0].loads.size(), 9u);
+  EXPECT_EQ(result.round_plan[0].stores.size(), 3u);
+}
+
+TEST(AllocDriver, FailsCleanlyWhenTooSmall) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  DriverResult result = plan_round(analysis, SizeWords{128}, DriverOptions{});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.fail_reason.find("does not fit"), std::string::npos);
+}
+
+TEST(AllocDriver, BasicModeNeedsMoreSpace) {
+  // With release_at_last_use=false (Basic), the same workload needs a
+  // strictly larger FB than with the §3 replacement policy.
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  DriverOptions ds_mode;
+  DriverOptions basic_mode;
+  basic_mode.release_at_last_use = false;
+  // Cl1 total = a(100)+b(50)+shared(40)+t(60)+r1(70) = 320 for Basic;
+  // DS peak is 250 (see extract tests).
+  EXPECT_TRUE(plan_round(analysis, SizeWords{320}, basic_mode).ok);
+  EXPECT_FALSE(plan_round(analysis, SizeWords{319}, basic_mode).ok);
+  EXPECT_TRUE(plan_round(analysis, SizeWords{250}, ds_mode).ok);
+  EXPECT_FALSE(plan_round(analysis, SizeWords{249}, ds_mode).ok);
+}
+
+TEST(AllocDriver, RetainedObjectLoadedOnceAndReleasedAtSpanEnd) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  DriverOptions opt;
+  opt.retained = {*r.app->find_data("d"), *r.app->find_data("sr")};
+  DriverResult result = plan_round(analysis, SizeWords{512}, opt);
+  ASSERT_TRUE(result.ok) << result.fail_reason;
+  // d loaded only by Cl1 (its first span cluster).
+  auto count_loads = [&](ClusterId c, const char* name) {
+    const DataId id = *r.app->find_data(name);
+    return std::count_if(result.round_plan[c.index()].loads.begin(),
+                         result.round_plan[c.index()].loads.end(),
+                         [&](ObjInstance i) { return i.data == id; });
+  };
+  EXPECT_EQ(count_loads(ClusterId{0}, "d"), 1);
+  EXPECT_EQ(count_loads(ClusterId{2}, "d"), 0);
+  EXPECT_EQ(count_loads(ClusterId{2}, "sr"), 0);
+  // sr's store disappears (consumed only on its own set, not final).
+  EXPECT_TRUE(std::none_of(result.round_plan[0].stores.begin(),
+                           result.round_plan[0].stores.end(), [&](const StoreEvent& s) {
+                             return s.inst.data == *r.app->find_data("sr");
+                           }));
+  // Span-end releases recorded in Cl3's plan for both retained objects.
+  const auto& releases = result.round_plan[2].releases;
+  EXPECT_TRUE(std::any_of(releases.begin(), releases.end(), [&](const ReleaseEvent& e) {
+    return e.inst.data == *r.app->find_data("d");
+  }));
+  EXPECT_TRUE(std::any_of(releases.begin(), releases.end(), [&](const ReleaseEvent& e) {
+    return e.inst.data == *r.app->find_data("sr");
+  }));
+}
+
+TEST(AllocDriver, WithoutRetentionSharedDataLoadedTwice) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  DriverResult result = plan_round(analysis, SizeWords{512}, DriverOptions{});
+  ASSERT_TRUE(result.ok);
+  const DataId d = *r.app->find_data("d");
+  int loads = 0;
+  for (const ClusterRoundPlan& plan : result.round_plan) {
+    for (ObjInstance inst : plan.loads) {
+      if (inst.data == d) ++loads;
+    }
+  }
+  EXPECT_EQ(loads, 2);
+  // And sr is stored by Cl1 and loaded by Cl3.
+  EXPECT_EQ(result.round_plan[0].stores.size(), 2u);  // out1 + sr
+}
+
+TEST(AllocDriver, PlacementsAreDisjointPerSet) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  DriverOptions opt;
+  opt.rf = 2;
+  DriverResult result = plan_round(analysis, SizeWords{512}, opt);
+  ASSERT_TRUE(result.ok);
+  for (const auto& [key, placement] : result.placements) {
+    EXPECT_TRUE(disjoint(placement.extents));
+    for (const Extent& e : placement.extents) {
+      EXPECT_LE(e.end(), 512u);
+    }
+  }
+}
+
+TEST(AllocDriver, RegularityHintsGiveAdjacentIterations) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  DriverOptions opt;
+  opt.rf = 3;
+  DriverResult result = plan_round(analysis, SizeWords{1024}, opt);
+  ASSERT_TRUE(result.ok);
+  // Consecutive iterations of input `a` in Cl1 occupy adjacent descending
+  // addresses (Figure 5's layout).
+  const DataId a = *t.app->find_data("a");
+  const Placement& p0 = result.placements.at(DataSchedule::key(ClusterId{0}, {a, 0}));
+  const Placement& p1 = result.placements.at(DataSchedule::key(ClusterId{0}, {a, 1}));
+  const Placement& p2 = result.placements.at(DataSchedule::key(ClusterId{0}, {a, 2}));
+  ASSERT_EQ(p0.extents.size(), 1u);
+  EXPECT_EQ(p1.extents[0].end(), p0.extents[0].begin());
+  EXPECT_EQ(p2.extents[0].end(), p1.extents[0].begin());
+  EXPECT_GT(result.summary.preferred_hits, 0u);
+}
+
+TEST(AllocDriver, RegularityCanBeDisabled) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  DriverOptions opt;
+  opt.rf = 3;
+  opt.regularity_hints = false;
+  DriverResult result = plan_round(analysis, SizeWords{1024}, opt);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.summary.preferred_hits, 0u);
+  EXPECT_EQ(result.summary.preferred_misses, 0u);
+}
+
+TEST(AllocDriver, InputsPlacedTopResultsPlacedBottom) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  DriverResult result = plan_round(analysis, SizeWords{512}, DriverOptions{});
+  ASSERT_TRUE(result.ok);
+  // Inputs go to the top, longest-lived first: b (consumed by the last
+  // kernel) sits topmost, then a and shared below it.
+  const Placement& a =
+      result.placements.at(DataSchedule::key(ClusterId{0}, {*t.app->find_data("a"), 0}));
+  const Placement& b =
+      result.placements.at(DataSchedule::key(ClusterId{0}, {*t.app->find_data("b"), 0}));
+  const Placement& final_result =
+      result.placements.at(DataSchedule::key(ClusterId{0}, {*t.app->find_data("r1"), 0}));
+  const Placement& t_mid =
+      result.placements.at(DataSchedule::key(ClusterId{0}, {*t.app->find_data("t"), 0}));
+  EXPECT_EQ(b.extents[0].end(), 512u);  // top first-fit, last consumer first
+  EXPECT_EQ(a.extents[0].end(), b.extents[0].begin());
+  // Results grow from the bottom: the intermediate t first, then r1 right
+  // above it (t is still live when r1 is produced).
+  EXPECT_EQ(t_mid.extents[0].begin(), 0u);
+  EXPECT_EQ(final_result.extents[0].begin(), t_mid.extents[0].end());
+  EXPECT_GT(a.extents[0].begin(), final_result.extents[0].end());
+}
+
+}  // namespace
+}  // namespace msys::dsched

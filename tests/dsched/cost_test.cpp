@@ -1,0 +1,134 @@
+#include "msys/dsched/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/dsched/schedulers.hpp"
+#include "msys/extract/analysis.hpp"
+#include "testing/apps.hpp"
+
+namespace msys::dsched {
+namespace {
+
+using extract::ScheduleAnalysis;
+using testing::RetentionApp;
+using testing::TwoClusterApp;
+using testing::test_cfg;
+
+struct Pipeline {
+  DataSchedule schedule;
+  csched::ContextPlan ctx_plan;
+  CostBreakdown cost;
+};
+
+Pipeline run(const model::KernelSchedule& sched, const arch::M1Config& cfg,
+             const DataSchedulerBase& scheduler) {
+  ScheduleAnalysis analysis(sched);
+  Pipeline p{scheduler.schedule(analysis, cfg),
+             csched::ContextPlan::build(sched, cfg.cm_capacity_words), CostBreakdown{}};
+  p.cost = predict_cost(p.schedule, cfg, p.ctx_plan);
+  return p;
+}
+
+TEST(Cost, InfeasibleSchedulePropagates) {
+  TwoClusterApp t = TwoClusterApp::make();
+  Pipeline p = run(t.sched, test_cfg(100), BasicScheduler{});
+  EXPECT_FALSE(p.cost.feasible);
+  EXPECT_FALSE(p.cost.infeasible_reason.empty());
+}
+
+TEST(Cost, InfeasibleContextPlanPropagates) {
+  TwoClusterApp t = TwoClusterApp::make();
+  Pipeline p = run(t.sched, test_cfg(4096, /*cm=*/10), BasicScheduler{});
+  EXPECT_FALSE(p.cost.feasible);
+}
+
+TEST(Cost, ComputeMatchesKernelLatencies) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/4);
+  Pipeline p = run(t.sched, test_cfg(4096), BasicScheduler{});
+  ASSERT_TRUE(p.cost.feasible);
+  // 4 kernels x 100 cycles x 4 iterations.
+  EXPECT_EQ(p.cost.compute, Cycles{1600});
+  EXPECT_EQ(p.cost.stall, p.cost.total - p.cost.compute);
+}
+
+TEST(Cost, WordCountsMatchPlan) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/4);
+  Pipeline p = run(t.sched, test_cfg(4096), BasicScheduler{});
+  ASSERT_TRUE(p.cost.feasible);
+  // Per iteration: loads a+b+shared+c+shared = 100+50+40+80+40 = 310;
+  // stores r1+r2 = 90.
+  EXPECT_EQ(p.cost.data_words_loaded, 310u * 4);
+  EXPECT_EQ(p.cost.data_words_stored, 90u * 4);
+  // Persistent CM regime (128 <= 256): contexts loaded once.
+  EXPECT_EQ(p.cost.context_words, 128u);
+}
+
+TEST(Cost, TotalAtLeastComputeAndDma) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/6);
+  for (const auto& scheduler : all_schedulers()) {
+    Pipeline p = run(t.sched, test_cfg(4096), *scheduler);
+    ASSERT_TRUE(p.cost.feasible);
+    EXPECT_GE(p.cost.total, p.cost.compute);
+    // The single DMA channel is the other lower bound.
+    EXPECT_GE(p.cost.total, p.cost.dma_busy);
+  }
+}
+
+TEST(Cost, HigherRfReducesContextTraffic) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/8);
+  const arch::M1Config cfg = test_cfg(2048, /*cm=*/127);  // per-slot reloads
+  Pipeline basic = run(t.sched, cfg, BasicScheduler{});
+  Pipeline ds = run(t.sched, cfg, DataScheduler{});
+  ASSERT_TRUE(basic.cost.feasible);
+  ASSERT_TRUE(ds.cost.feasible);
+  EXPECT_GT(ds.schedule.rf, 1u);
+  EXPECT_LT(ds.cost.context_words, basic.cost.context_words);
+  EXPECT_EQ(ds.cost.data_words_loaded, basic.cost.data_words_loaded);
+  EXPECT_LE(ds.cost.total, basic.cost.total);
+}
+
+TEST(Cost, RetentionReducesDataTraffic) {
+  RetentionApp r = RetentionApp::make(/*iterations=*/6);
+  const arch::M1Config cfg = test_cfg(4096);
+  Pipeline ds = run(r.sched, cfg, DataScheduler{});
+  Pipeline cds = run(r.sched, cfg, CompleteDataScheduler{});
+  ASSERT_TRUE(ds.cost.feasible);
+  ASSERT_TRUE(cds.cost.feasible);
+  EXPECT_LT(cds.cost.data_words_loaded, ds.cost.data_words_loaded);
+  EXPECT_LT(cds.cost.data_words_stored, ds.cost.data_words_stored);
+  EXPECT_LE(cds.cost.total, ds.cost.total);
+}
+
+TEST(Cost, PartialLastRoundCostsLess) {
+  // 5 iterations at RF=2: rounds of 2,2,1 — the last round moves less.
+  TwoClusterApp t5 = TwoClusterApp::make(/*iterations=*/5);
+  TwoClusterApp t6 = TwoClusterApp::make(/*iterations=*/6);
+  ScheduleAnalysis a5(t5.sched);
+  ScheduleAnalysis a6(t6.sched);
+  const arch::M1Config cfg = test_cfg(600, /*cm=*/127);  // RF=2 fits and pays off
+  DataSchedule s5 = DataScheduler{}.schedule(a5, cfg);
+  DataSchedule s6 = DataScheduler{}.schedule(a6, cfg);
+  ASSERT_TRUE(s5.feasible);
+  ASSERT_TRUE(s6.feasible);
+  ASSERT_EQ(s5.rf, 2u);
+  ASSERT_EQ(s5.round_count(), 3u);
+  const csched::ContextPlan plan5 = csched::ContextPlan::build(t5.sched, 127);
+  const csched::ContextPlan plan6 = csched::ContextPlan::build(t6.sched, 127);
+  const CostBreakdown c5 = predict_cost(s5, cfg, plan5);
+  const CostBreakdown c6 = predict_cost(s6, cfg, plan6);
+  EXPECT_LT(c5.data_words_loaded, c6.data_words_loaded);
+  EXPECT_LT(c5.total, c6.total);
+  // 5 iterations' compute exactly: 4 kernels x 100 x 5.
+  EXPECT_EQ(c5.compute, Cycles{2000});
+}
+
+TEST(Cost, SummaryMentionsTotals) {
+  TwoClusterApp t = TwoClusterApp::make();
+  Pipeline p = run(t.sched, test_cfg(4096), BasicScheduler{});
+  EXPECT_NE(p.cost.summary().find("total="), std::string::npos);
+  Pipeline bad = run(t.sched, test_cfg(100), BasicScheduler{});
+  EXPECT_NE(bad.cost.summary().find("infeasible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msys::dsched

@@ -1,0 +1,187 @@
+#include "msys/dsched/schedulers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/extract/analysis.hpp"
+#include "testing/apps.hpp"
+
+namespace msys::dsched {
+namespace {
+
+using extract::ScheduleAnalysis;
+using testing::RetentionApp;
+using testing::TwoClusterApp;
+using testing::test_cfg;
+
+TEST(BasicScheduler, AlwaysRfOne) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/8);
+  ScheduleAnalysis analysis(t.sched);
+  DataSchedule s = BasicScheduler{}.schedule(analysis, test_cfg(4096));
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.rf, 1u);
+  EXPECT_TRUE(s.retained.empty());
+  EXPECT_EQ(s.round_count(), 8u);
+}
+
+TEST(BasicScheduler, InfeasibleWhenClusterExceedsFb) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  DataSchedule s = BasicScheduler{}.schedule(analysis, test_cfg(300));
+  EXPECT_FALSE(s.feasible);
+  EXPECT_FALSE(s.infeasible_reason.empty());
+}
+
+TEST(DataScheduler, RaisesRfWhenContextsReload) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/8);
+  ScheduleAnalysis analysis(t.sched);
+  // Per-slot context reloads (CM 127 < 128): RF > 1 amortises them.
+  DataSchedule s = DataScheduler{}.schedule(analysis, test_cfg(1024, /*cm=*/127));
+  ASSERT_TRUE(s.feasible);
+  EXPECT_GE(s.rf, 2u);
+  EXPECT_LE(s.rf, 8u);
+  EXPECT_TRUE(s.retained.empty());
+}
+
+TEST(DataScheduler, KeepsRfLowWhenContextsPersist) {
+  // With a persistent CM there is nothing for RF to amortise; the cheapest
+  // RF wins (a high RF only lengthens the serial prologue).
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/8);
+  ScheduleAnalysis analysis(t.sched);
+  DataSchedule persistent = DataScheduler{}.schedule(analysis, test_cfg(1024, 256));
+  DataSchedule reloading = DataScheduler{}.schedule(analysis, test_cfg(1024, 127));
+  ASSERT_TRUE(persistent.feasible);
+  ASSERT_TRUE(reloading.feasible);
+  EXPECT_LE(persistent.rf, reloading.rf);
+}
+
+TEST(DataScheduler, RfCappedByIterations) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/2);
+  ScheduleAnalysis analysis(t.sched);
+  DataSchedule s = DataScheduler{}.schedule(analysis, test_cfg(65536, /*cm=*/127));
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.rf, 2u);
+}
+
+TEST(DataScheduler, FeasibleWhereBasicIsNot) {
+  // The paper's MPEG@1K effect in miniature: Basic needs 320 words, the
+  // §3 replacement policy only 250.
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  EXPECT_FALSE(BasicScheduler{}.schedule(analysis, test_cfg(300)).feasible);
+  EXPECT_TRUE(DataScheduler{}.schedule(analysis, test_cfg(300)).feasible);
+}
+
+TEST(Cds, RetainsWhenSpacePermits) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  DataSchedule s = CompleteDataScheduler{}.schedule(analysis, test_cfg(4096));
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.retained.size(), 2u);
+  EXPECT_TRUE(s.retained.contains(*r.app->find_data("d")));
+  EXPECT_TRUE(s.retained.contains(*r.app->find_data("sr")));
+}
+
+TEST(Cds, RetainsNothingWhenTight) {
+  // d is shared by Cl1 and Cl5 (set A), but Cl3 (also set A) is nearly as
+  // large as the FB set: keeping d resident across the span would
+  // overflow Cl3, so the greedy must drop the candidate and fall back to
+  // reloading.
+  model::ApplicationBuilder b("tight", 2);
+  DataId d = b.external_input("d", SizeWords{150});
+  std::vector<KernelId> ks;
+  for (int i = 1; i <= 5; ++i) {
+    const std::uint64_t in_size = (i == 3) ? 420 : 50;
+    DataId priv = b.external_input("in" + std::to_string(i), SizeWords{in_size});
+    KernelId k = b.kernel("k" + std::to_string(i), 24, Cycles{100}, {priv});
+    b.output(k, "out" + std::to_string(i), SizeWords{25}, true);
+    ks.push_back(k);
+  }
+  b.add_input(ks[0], d);
+  b.add_input(ks[4], d);
+  model::Application app = std::move(b).build();
+  model::KernelSchedule sched = model::KernelSchedule::from_partition(
+      app, {{ks[0]}, {ks[1]}, {ks[2]}, {ks[3]}, {ks[4]}});
+  ScheduleAnalysis analysis(sched);
+  DataSchedule s = CompleteDataScheduler{}.schedule(analysis, test_cfg(512));
+  ASSERT_TRUE(s.feasible);
+  EXPECT_TRUE(s.retained.empty());
+  // With a roomier FB the same candidate is retained.
+  DataSchedule roomy = CompleteDataScheduler{}.schedule(analysis, test_cfg(2048));
+  ASSERT_TRUE(roomy.feasible);
+  EXPECT_EQ(roomy.retained.size(), 1u);
+}
+
+TEST(Cds, SameRfAsDataScheduler) {
+  RetentionApp r = RetentionApp::make(/*iterations=*/12);
+  ScheduleAnalysis analysis(r.sched);
+  const arch::M1Config cfg = test_cfg(1024);
+  DataSchedule ds = DataScheduler{}.schedule(analysis, cfg);
+  DataSchedule cds = CompleteDataScheduler{}.schedule(analysis, cfg);
+  ASSERT_TRUE(ds.feasible);
+  ASSERT_TRUE(cds.feasible);
+  EXPECT_EQ(ds.rf, cds.rf);
+}
+
+TEST(Cds, ReducesRoundTraffic) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  const arch::M1Config cfg = test_cfg(4096);
+  DataSchedule ds = DataScheduler{}.schedule(analysis, cfg);
+  DataSchedule cds = CompleteDataScheduler{}.schedule(analysis, cfg);
+  EXPECT_LT(cds.round_load_words(), ds.round_load_words());
+  EXPECT_LE(cds.round_store_words(), ds.round_store_words());
+}
+
+TEST(Cds, RankingAblationsStillFeasible) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  const arch::M1Config cfg = test_cfg(4096);
+  for (auto ranking : {CompleteDataScheduler::Options::Ranking::kDeclarationOrder,
+                       CompleteDataScheduler::Options::Ranking::kSizeFirst}) {
+    CompleteDataScheduler cds({.ranking = ranking});
+    DataSchedule s = cds.schedule(analysis, cfg);
+    EXPECT_TRUE(s.feasible);
+  }
+}
+
+TEST(ComputeMaxRf, ZeroWhenNothingFits) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  EXPECT_EQ(compute_max_rf(analysis, test_cfg(100), DriverOptions{}), 0u);
+}
+
+TEST(ComputeMaxRf, MonotonicInFbSize) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/64);
+  ScheduleAnalysis analysis(t.sched);
+  std::uint32_t prev = 0;
+  for (std::uint64_t fb : {256, 512, 1024, 2048, 4096}) {
+    const std::uint32_t rf = compute_max_rf(analysis, test_cfg(fb), DriverOptions{});
+    EXPECT_GE(rf, prev) << "RF must not shrink when the FB grows (fb=" << fb << ")";
+    prev = rf;
+  }
+  EXPECT_GT(prev, 1u);
+}
+
+TEST(DataSchedule, RoundAccounting) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/7);
+  ScheduleAnalysis analysis(t.sched);
+  DataSchedule s = DataScheduler{}.schedule(analysis, test_cfg(1024));
+  ASSERT_TRUE(s.feasible);
+  std::uint32_t total = 0;
+  for (std::uint32_t round = 0; round < s.round_count(); ++round) {
+    total += s.iterations_in_round(round);
+    EXPECT_LE(s.iterations_in_round(round), s.rf);
+  }
+  EXPECT_EQ(total, 7u);
+}
+
+TEST(AllSchedulers, ListsThree) {
+  auto schedulers = all_schedulers();
+  ASSERT_EQ(schedulers.size(), 3u);
+  EXPECT_EQ(schedulers[0]->name(), "Basic");
+  EXPECT_EQ(schedulers[1]->name(), "DS");
+  EXPECT_EQ(schedulers[2]->name(), "CDS");
+}
+
+}  // namespace
+}  // namespace msys::dsched

@@ -1,0 +1,125 @@
+#include "msys/dsched/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/dsched/schedulers.hpp"
+#include "testing/apps.hpp"
+
+namespace msys::dsched {
+namespace {
+
+using extract::ScheduleAnalysis;
+using testing::RetentionApp;
+using testing::TwoClusterApp;
+using testing::test_cfg;
+
+TEST(Validate, CleanSchedulesPass) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  const arch::M1Config cfg = test_cfg(4096);
+  for (const auto& scheduler : all_schedulers()) {
+    DataSchedule s = scheduler->schedule(analysis, cfg);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_TRUE(validate_schedule(s, analysis, cfg).empty()) << scheduler->name();
+  }
+}
+
+TEST(Validate, DetectsMissingLoad) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  const arch::M1Config cfg = test_cfg(1024);
+  DataSchedule s = DataScheduler{}.schedule(analysis, cfg);
+  ASSERT_TRUE(s.feasible);
+  s.round_plan[0].loads.pop_back();
+  const std::vector<std::string> violations = validate_schedule(s, analysis, cfg);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("never loads"), std::string::npos);
+}
+
+TEST(Validate, DetectsMissingStore) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  const arch::M1Config cfg = test_cfg(1024);
+  DataSchedule s = DataScheduler{}.schedule(analysis, cfg);
+  s.round_plan[0].stores.clear();
+  const std::vector<std::string> violations = validate_schedule(s, analysis, cfg);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("never stores"), std::string::npos);
+}
+
+TEST(Validate, DetectsBogusLoad) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  const arch::M1Config cfg = test_cfg(1024);
+  DataSchedule s = DataScheduler{}.schedule(analysis, cfg);
+  // Load an object that is produced inside the cluster.
+  const DataId mid = *t.app->find_data("t");
+  s.round_plan[0].loads.push_back({mid, 0});
+  s.placements.emplace(DataSchedule::key(ClusterId{0}, {mid, 0}),
+                       Placement{.set = FbSet::kA, .extents = {{0, SizeWords{60}}}});
+  const std::vector<std::string> violations = validate_schedule(s, analysis, cfg);
+  bool found = false;
+  for (const std::string& v : violations) {
+    if (v.find("not an input") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DetectsOutOfRangePlacement) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  const arch::M1Config cfg = test_cfg(1024);
+  DataSchedule s = DataScheduler{}.schedule(analysis, cfg);
+  const DataId a = *t.app->find_data("a");
+  s.placements.at(DataSchedule::key(ClusterId{0}, {a, 0})).extents = {
+      Extent{1000, SizeWords{100}}};
+  const std::vector<std::string> violations = validate_schedule(s, analysis, cfg);
+  bool found = false;
+  for (const std::string& v : violations) {
+    if (v.find("exceeds the FB set") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DetectsPlacementSizeMismatch) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  const arch::M1Config cfg = test_cfg(1024);
+  DataSchedule s = DataScheduler{}.schedule(analysis, cfg);
+  const DataId a = *t.app->find_data("a");
+  s.placements.at(DataSchedule::key(ClusterId{0}, {a, 0})).extents = {
+      Extent{0, SizeWords{10}}};  // a is 100 words
+  const std::vector<std::string> violations = validate_schedule(s, analysis, cfg);
+  bool found = false;
+  for (const std::string& v : violations) {
+    if (v.find("size mismatch") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DetectsNonCandidateRetention) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  const arch::M1Config cfg = test_cfg(1024);
+  DataSchedule s = DataScheduler{}.schedule(analysis, cfg);
+  s.retained.insert(*t.app->find_data("a"));  // plain input, not a candidate
+  const std::vector<std::string> violations = validate_schedule(s, analysis, cfg);
+  bool found = false;
+  for (const std::string& v : violations) {
+    if (v.find("not a retention candidate") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, InfeasibleScheduleReported) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  const arch::M1Config cfg = test_cfg(100);
+  DataSchedule s = BasicScheduler{}.schedule(analysis, cfg);
+  const std::vector<std::string> violations = validate_schedule(s, analysis, cfg);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations.front().find("infeasible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msys::dsched

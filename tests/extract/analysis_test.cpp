@@ -1,0 +1,125 @@
+#include "msys/extract/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/apps.hpp"
+
+namespace msys::extract {
+namespace {
+
+using testing::RetentionApp;
+using testing::TwoClusterApp;
+
+TEST(ObjectInfo, PlacementOfProducersAndConsumers) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  const ObjectInfo& tinfo = analysis.info(*t.app->find_data("t"));
+  EXPECT_EQ(tinfo.producer_cluster, ClusterId{0});
+  EXPECT_EQ(tinfo.producer_pos, 0u);
+  ASSERT_EQ(tinfo.consumer_clusters.size(), 1u);
+  EXPECT_EQ(tinfo.consumer_clusters[0], ClusterId{0});
+  EXPECT_EQ(tinfo.first_use_pos, 1u);
+  EXPECT_EQ(tinfo.last_use_pos, 1u);
+}
+
+TEST(ObjectInfo, ExternalInputHasNoProducer) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  const ObjectInfo& info = analysis.info(*t.app->find_data("shared"));
+  EXPECT_FALSE(info.producer_cluster.has_value());
+  ASSERT_EQ(info.consumer_clusters.size(), 2u);
+}
+
+TEST(ClusterDataflow, ClassifiesInputsIntermediatesOutgoing) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  const ClusterDataflow& fl = analysis.dataflow(ClusterId{0});
+  // inputs: a, shared, b (t produced in-cluster).
+  EXPECT_EQ(fl.inputs.size(), 3u);
+  // t is intermediate (consumed only by p2), r1 is outgoing (final).
+  ASSERT_EQ(fl.intermediates.size(), 1u);
+  EXPECT_EQ(fl.intermediates[0], *t.app->find_data("t"));
+  ASSERT_EQ(fl.outgoing_results.size(), 1u);
+  EXPECT_EQ(fl.outgoing_results[0], *t.app->find_data("r1"));
+}
+
+TEST(ClusterDataflow, ResultConsumedByLaterClusterIsOutgoing) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  const ClusterDataflow& fl = analysis.dataflow(ClusterId{0});
+  // k1 outputs: out1 (final) and sr (consumed by Cl3) — both outgoing.
+  EXPECT_EQ(fl.outgoing_results.size(), 2u);
+  EXPECT_TRUE(fl.intermediates.empty());
+  // Cl3 sees sr and d as inputs along with its private input.
+  const ClusterDataflow& fl3 = analysis.dataflow(ClusterId{2});
+  EXPECT_EQ(fl3.inputs.size(), 3u);
+}
+
+TEST(Footprint, HandComputedPeak) {
+  // Cl1 = {p1, p2}: inputs a(100) b(50) shared(40) alive from start;
+  // during p1: a+b+shared + t(60) = 250; during p2: b + t + r1(70) = 180
+  // (a and shared die after p1).  Peak = 250.
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  EXPECT_EQ(analysis.cluster_footprint(ClusterId{0}), SizeWords{250});
+  // Cl2 = {q1, q2}: during q1: c(80)+shared(40)+u(30) = 150;
+  // during q2: u(30)+r2(20) = 50.  Peak = 150.
+  EXPECT_EQ(analysis.cluster_footprint(ClusterId{1}), SizeWords{150});
+}
+
+TEST(Footprint, RetainedObjectsExcludedFromSweep) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  // Cl3 = {k3}: inputs in3(50) + d(40) + sr(30), output out3(25): peak 145.
+  EXPECT_EQ(analysis.cluster_footprint(ClusterId{2}), SizeWords{145});
+  RetainedSet retained = {*r.app->find_data("d"), *r.app->find_data("sr")};
+  EXPECT_EQ(analysis.cluster_footprint(ClusterId{2}, retained), SizeWords{75});
+}
+
+TEST(Footprint, RfScalesAndChargesRetention) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  const RetainedSet none;
+  EXPECT_EQ(analysis.cluster_footprint_rf(ClusterId{2}, 2, none), SizeWords{290});
+  RetainedSet retained = {*r.app->find_data("d")};
+  // Excluding d: peak 105; at RF=2: 210 + retained charge 2*40 = 290.
+  EXPECT_EQ(analysis.cluster_footprint_rf(ClusterId{2}, 2, retained), SizeWords{290});
+  // Retained charge also applies to spanned clusters that do not consume
+  // the object: Cl1 consumes d; Cl2 is on the other set (no charge).
+  EXPECT_EQ(analysis.cluster_footprint_rf(ClusterId{1}, 2, retained),
+            analysis.cluster_footprint(ClusterId{1}) * 2);
+}
+
+TEST(Footprint, BasicGreaterOrEqualAcrossRegistry) {
+  // The §3 replacement policy can only reduce the peak.
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  for (const model::Cluster& c : r.sched.clusters()) {
+    SizeWords ds_peak = analysis.cluster_footprint(c.id);
+    SizeWords all = SizeWords::zero();
+    const ClusterDataflow& fl = analysis.dataflow(c.id);
+    for (DataId d : fl.inputs) all += r.app->data(d).size;
+    for (DataId d : fl.outgoing_results) all += r.app->data(d).size;
+    for (DataId d : fl.intermediates) all += r.app->data(d).size;
+    EXPECT_LE(ds_peak, all);
+  }
+}
+
+TEST(Analysis, TotalDataSizeMatchesApp) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  EXPECT_EQ(analysis.total_data_size(), t.app->total_data_size());
+}
+
+TEST(Analysis, SummaryMentionsCandidates) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  const std::string s = analysis.summary();
+  EXPECT_NE(s.find("retention candidates"), std::string::npos);
+  EXPECT_NE(s.find("sr"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msys::extract

@@ -1,0 +1,167 @@
+// Retention candidate (§4) and TF factor tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "msys/extract/analysis.hpp"
+#include "testing/apps.hpp"
+
+namespace msys::extract {
+namespace {
+
+using testing::RetentionApp;
+using testing::TwoClusterApp;
+
+TEST(Candidates, CrossSetSharingIsNotACandidate) {
+  // `shared` is read by Cl1 (A) and Cl2 (B) only: one cluster per set, so
+  // no same-set reuse exists.
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  EXPECT_TRUE(analysis.retention_candidates().empty());
+  EXPECT_FALSE(analysis.is_candidate(*t.app->find_data("shared")));
+}
+
+TEST(Candidates, SharedDataAndResultDetected) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  ASSERT_EQ(analysis.retention_candidates().size(), 2u);
+  EXPECT_TRUE(analysis.is_candidate(*r.app->find_data("d")));
+  EXPECT_TRUE(analysis.is_candidate(*r.app->find_data("sr")));
+}
+
+TEST(Candidates, SharedDataFactors) {
+  RetentionApp r = RetentionApp::make(6, /*shared_size=*/40, /*sr_size=*/30);
+  ScheduleAnalysis analysis(r.sched);
+  const RetentionCandidate& d = analysis.candidate_for(*r.app->find_data("d"));
+  EXPECT_FALSE(d.is_result);
+  EXPECT_EQ(d.set, FbSet::kA);
+  EXPECT_EQ(d.n_users, 2u);
+  EXPECT_EQ(d.transfers_avoided, 1u);  // N-1
+  const double tds = static_cast<double>(r.app->total_data_size().value());
+  EXPECT_DOUBLE_EQ(d.tf, 40.0 * 1 / tds);
+  // Span: the set-A clusters from first to last use (Cl1, Cl3).
+  ASSERT_EQ(d.occupancy_span.size(), 2u);
+  EXPECT_EQ(d.occupancy_span[0], ClusterId{0});
+  EXPECT_EQ(d.occupancy_span[1], ClusterId{2});
+}
+
+TEST(Candidates, SharedResultFactors) {
+  RetentionApp r = RetentionApp::make(6, 40, 30);
+  ScheduleAnalysis analysis(r.sched);
+  const RetentionCandidate& sr = analysis.candidate_for(*r.app->find_data("sr"));
+  EXPECT_TRUE(sr.is_result);
+  EXPECT_EQ(sr.n_users, 1u);
+  // Consumed only on the producing set and not final: store avoided too.
+  EXPECT_FALSE(sr.store_required);
+  EXPECT_EQ(sr.transfers_avoided, 2u);  // N+1
+  const double tds = static_cast<double>(r.app->total_data_size().value());
+  EXPECT_DOUBLE_EQ(sr.tf, 30.0 * 2 / tds);
+}
+
+TEST(Candidates, SortedByDescendingTf) {
+  RetentionApp r = RetentionApp::make(6, /*shared_size=*/100, /*sr_size=*/10);
+  ScheduleAnalysis analysis(r.sched);
+  const std::vector<RetentionCandidate>& cands = analysis.retention_candidates();
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_GE(cands[0].tf, cands[1].tf);
+  EXPECT_EQ(cands[0].data, *r.app->find_data("d"));  // 100*1 > 10*2
+}
+
+TEST(Candidates, ResultNeededByOtherSetKeepsStore) {
+  // sr consumed by k3 (set A, same set) AND k4 (set B): the store cannot
+  // be skipped; only the same-set reload is avoided.
+  model::ApplicationBuilder b("x", 2);
+  std::vector<KernelId> ks;
+  for (int i = 1; i <= 4; ++i) {
+    DataId priv = b.external_input("in" + std::to_string(i), SizeWords{20});
+    KernelId k = b.kernel("k" + std::to_string(i), 8, Cycles{50}, {priv});
+    b.output(k, "out" + std::to_string(i), SizeWords{10}, true);
+    ks.push_back(k);
+  }
+  DataId sr = b.output(ks[0], "sr", SizeWords{30});
+  b.add_input(ks[2], sr);  // Cl3, set A
+  b.add_input(ks[3], sr);  // Cl4, set B
+  model::Application app = std::move(b).build();
+  model::KernelSchedule sched =
+      model::KernelSchedule::from_partition(app, {{ks[0]}, {ks[1]}, {ks[2]}, {ks[3]}});
+  ScheduleAnalysis analysis(sched);
+  const RetentionCandidate& cand = analysis.candidate_for(sr);
+  EXPECT_TRUE(cand.store_required);
+  EXPECT_EQ(cand.n_users, 1u);          // only the same-set consumer counts
+  EXPECT_EQ(cand.transfers_avoided, 1u);  // store must stay
+}
+
+TEST(Candidates, FinalSharedResultKeepsStore) {
+  model::ApplicationBuilder b("x", 2);
+  std::vector<KernelId> ks;
+  for (int i = 1; i <= 3; ++i) {
+    DataId priv = b.external_input("in" + std::to_string(i), SizeWords{20});
+    KernelId k = b.kernel("k" + std::to_string(i), 8, Cycles{50}, {priv});
+    b.output(k, "out" + std::to_string(i), SizeWords{10}, true);
+    ks.push_back(k);
+  }
+  DataId sr = b.output(ks[0], "sr", SizeWords{30}, /*required_in_external_memory=*/true);
+  b.add_input(ks[2], sr);  // same set (Cl1 -> Cl3)
+  model::Application app = std::move(b).build();
+  model::KernelSchedule sched =
+      model::KernelSchedule::from_partition(app, {{ks[0]}, {ks[1]}, {ks[2]}});
+  ScheduleAnalysis analysis(sched);
+  const RetentionCandidate& cand = analysis.candidate_for(sr);
+  EXPECT_TRUE(cand.store_required);
+  EXPECT_EQ(cand.transfers_avoided, 1u);
+}
+
+TEST(Candidates, DataSharedByThreeClustersAvoidsTwoLoads) {
+  model::ApplicationBuilder b("x", 2);
+  DataId d = b.external_input("d", SizeWords{64});
+  std::vector<KernelId> ks;
+  for (int i = 1; i <= 5; ++i) {
+    DataId priv = b.external_input("in" + std::to_string(i), SizeWords{20});
+    KernelId k = b.kernel("k" + std::to_string(i), 8, Cycles{50}, {priv});
+    b.output(k, "out" + std::to_string(i), SizeWords{10}, true);
+    ks.push_back(k);
+  }
+  b.add_input(ks[0], d);  // Cl1 (A)
+  b.add_input(ks[2], d);  // Cl3 (A)
+  b.add_input(ks[4], d);  // Cl5 (A)
+  model::Application app = std::move(b).build();
+  model::KernelSchedule sched = model::KernelSchedule::from_partition(
+      app, {{ks[0]}, {ks[1]}, {ks[2]}, {ks[3]}, {ks[4]}});
+  ScheduleAnalysis analysis(sched);
+  const RetentionCandidate& cand = analysis.candidate_for(d);
+  EXPECT_EQ(cand.n_users, 3u);
+  EXPECT_EQ(cand.transfers_avoided, 2u);
+  EXPECT_EQ(cand.occupancy_span.size(), 3u);  // Cl1, Cl3, Cl5
+}
+
+TEST(Candidates, MixedSetDataPicksBusierSet) {
+  // d consumed on A by two clusters and on B by one: candidate lives on A.
+  model::ApplicationBuilder b("x", 2);
+  DataId d = b.external_input("d", SizeWords{64});
+  std::vector<KernelId> ks;
+  for (int i = 1; i <= 4; ++i) {
+    DataId priv = b.external_input("in" + std::to_string(i), SizeWords{20});
+    KernelId k = b.kernel("k" + std::to_string(i), 8, Cycles{50}, {priv});
+    b.output(k, "out" + std::to_string(i), SizeWords{10}, true);
+    ks.push_back(k);
+  }
+  b.add_input(ks[0], d);  // Cl1 (A)
+  b.add_input(ks[1], d);  // Cl2 (B)
+  b.add_input(ks[2], d);  // Cl3 (A)
+  model::Application app = std::move(b).build();
+  model::KernelSchedule sched =
+      model::KernelSchedule::from_partition(app, {{ks[0]}, {ks[1]}, {ks[2]}, {ks[3]}});
+  ScheduleAnalysis analysis(sched);
+  const RetentionCandidate& cand = analysis.candidate_for(d);
+  EXPECT_EQ(cand.set, FbSet::kA);
+  EXPECT_EQ(cand.n_users, 2u);
+}
+
+TEST(Candidates, IntraClusterResultIsNotACandidate) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  EXPECT_FALSE(analysis.is_candidate(*t.app->find_data("t")));
+}
+
+}  // namespace
+}  // namespace msys::extract

@@ -1,0 +1,96 @@
+// Property relations between the analytic §3 footprint and the allocator
+// walk, over the registry and random workloads.
+#include <gtest/gtest.h>
+
+#include "msys/dsched/alloc_driver.hpp"
+#include "msys/extract/analysis.hpp"
+#include "msys/workloads/experiments.hpp"
+#include "msys/workloads/random.hpp"
+
+namespace msys::extract {
+namespace {
+
+/// The allocator's measured peak usage never exceeds the analytic RF-scaled
+/// footprint bound summed per set (staggered per-iteration releases can
+/// only lower it), and the analytic footprint is itself a lower bound on
+/// what the Basic (no-release) policy needs.
+void check_relations(const model::KernelSchedule& sched) {
+  ScheduleAnalysis analysis(sched);
+  for (std::uint32_t rf : {1u, 2u}) {
+    // A generous FB so planning succeeds.
+    const SizeWords fbs = sched.app().total_data_size() * (2 * rf) + SizeWords{64};
+    dsched::DriverOptions opt;
+    opt.rf = rf;
+    dsched::DriverResult result = plan_round(analysis, fbs, opt);
+    if (!result.ok) continue;
+    // Analytic per-cluster bound, maxed per set.
+    SizeWords bound[2] = {SizeWords::zero(), SizeWords::zero()};
+    for (const model::Cluster& c : sched.clusters()) {
+      const SizeWords f = analysis.cluster_footprint_rf(c.id, rf, {});
+      auto& b = bound[static_cast<std::size_t>(c.set)];
+      b = std::max(b, f);
+    }
+    EXPECT_LE(result.summary.peak_used_words[0], bound[0].value()) << "set A rf=" << rf;
+    EXPECT_LE(result.summary.peak_used_words[1], bound[1].value()) << "set B rf=" << rf;
+  }
+}
+
+class FootprintRegistry : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FootprintRegistry, AllocatorPeakWithinAnalyticBound) {
+  workloads::Experiment exp = workloads::make_experiment(GetParam());
+  check_relations(exp.sched);
+}
+
+TEST_P(FootprintRegistry, FootprintMonotoneInRf) {
+  workloads::Experiment exp = workloads::make_experiment(GetParam());
+  ScheduleAnalysis analysis(exp.sched);
+  for (const model::Cluster& c : exp.sched.clusters()) {
+    SizeWords prev = SizeWords::zero();
+    for (std::uint32_t rf = 1; rf <= 4; ++rf) {
+      const SizeWords f = analysis.cluster_footprint_rf(c.id, rf, {});
+      EXPECT_GE(f, prev);
+      prev = f;
+    }
+    // Exactly linear in RF without retention.
+    EXPECT_EQ(analysis.cluster_footprint_rf(c.id, 3, {}),
+              analysis.cluster_footprint(c.id) * 3);
+  }
+}
+
+TEST_P(FootprintRegistry, RetentionExclusionNeverGrowsSweep) {
+  workloads::Experiment exp = workloads::make_experiment(GetParam());
+  ScheduleAnalysis analysis(exp.sched);
+  RetainedSet all;
+  for (const RetentionCandidate& cand : analysis.retention_candidates()) {
+    all.insert(cand.data);
+  }
+  for (const model::Cluster& c : exp.sched.clusters()) {
+    EXPECT_LE(analysis.cluster_footprint(c.id, all), analysis.cluster_footprint(c.id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExperiments, FootprintRegistry,
+                         ::testing::ValuesIn(workloads::table1_experiment_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '*') c = 's';
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+class FootprintRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FootprintRandom, AllocatorPeakWithinAnalyticBound) {
+  workloads::RandomSpec spec;
+  spec.seed = GetParam() * 131 + 17;
+  workloads::RandomExperiment exp = workloads::make_random(spec);
+  check_relations(exp.sched);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FootprintRandom, ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace msys::extract

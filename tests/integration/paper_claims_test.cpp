@@ -1,0 +1,109 @@
+// Row-level reproduction checks of the paper's §6 observations (shape, not
+// absolute numbers — see EXPERIMENTS.md for the full comparison).
+#include <gtest/gtest.h>
+
+#include "msys/report/runner.hpp"
+#include "msys/report/tables.hpp"
+#include "msys/workloads/experiments.hpp"
+
+namespace msys::report {
+namespace {
+
+ExperimentResult run(const workloads::Experiment& exp) {
+  return run_experiment(exp.name, exp.sched, exp.cfg);
+}
+
+TEST(PaperClaims, E1AtOneKGainsOnlyFromRetention) {
+  // Table 1 row E1: RF=1, DS improves 0%, CDS improves ~19%.
+  workloads::Experiment exp = workloads::make_experiment("E1");
+  ExperimentResult r = run(exp);
+  EXPECT_EQ(r.rf(), 1u);
+  ASSERT_TRUE(r.ds_improvement().has_value());
+  EXPECT_DOUBLE_EQ(*r.ds_improvement(), 0.0);
+  EXPECT_GT(*r.cds_improvement(), 0.10);
+}
+
+TEST(PaperClaims, BiggerFbRaisesRfAndImprovement) {
+  // "A bigger memory allows reusing contexts for an increased number of
+  // iterations (RF)": E1->E1*, MPEG->MPEG*, ATR-FI->ATR-FI*.
+  for (const auto& [small_name, big_name] :
+       {std::pair{"E1", "E1*"}, {"MPEG", "MPEG*"}, {"ATR-FI", "ATR-FI*"}}) {
+    workloads::Experiment small = workloads::make_experiment(small_name);
+    workloads::Experiment big = workloads::make_experiment(big_name);
+    ExperimentResult rs = run(small);
+    ExperimentResult rb = run(big);
+    EXPECT_GT(rb.rf(), rs.rf()) << small_name;
+    EXPECT_GT(*rb.ds_improvement(), *rs.ds_improvement()) << small_name;
+    EXPECT_GT(*rb.cds_improvement(), *rs.cds_improvement()) << small_name;
+  }
+}
+
+TEST(PaperClaims, BasicCannotExecuteMpegAtOneK) {
+  // §6: "Basic Scheduler cannot execute MPEG if memory size is 1K.
+  // Whereas, the Data Scheduler and the Complete Data Scheduler achieve
+  // MPEG execution with memory size less than 1K."
+  workloads::Experiment exp = workloads::make_mpeg(kilowords(1));
+  ExperimentResult r = run_experiment("MPEG(1K)", exp.sched, exp.cfg);
+  EXPECT_FALSE(r.basic.feasible());
+  EXPECT_TRUE(r.ds.feasible());
+  EXPECT_TRUE(r.cds.feasible());
+  EXPECT_FALSE(r.ds_improvement().has_value());
+}
+
+TEST(PaperClaims, AtrSldScheduleVariantsChangeRetentionGains) {
+  // The three ATR-SLD rows share application and memory but differ in the
+  // kernel schedule; the paper's ordering is * > base > **.
+  ExperimentResult base = run(workloads::make_experiment("ATR-SLD"));
+  ExperimentResult star = run(workloads::make_experiment("ATR-SLD*"));
+  ExperimentResult star2 = run(workloads::make_experiment("ATR-SLD**"));
+  ASSERT_TRUE(base.cds_improvement() && star.cds_improvement() && star2.cds_improvement());
+  EXPECT_GT(*star.cds_improvement(), *base.cds_improvement());
+  EXPECT_GT(*base.cds_improvement(), *star2.cds_improvement());
+  // All SLD rows run at RF = 1 (Table 1): the gains are pure retention.
+  EXPECT_EQ(base.rf(), 1u);
+  EXPECT_EQ(star.rf(), 1u);
+  EXPECT_EQ(star2.rf(), 1u);
+}
+
+TEST(PaperClaims, Table1RfValuesReproduce) {
+  const std::pair<const char*, std::uint32_t> expected[] = {
+      {"E1", 1},   {"E1*", 3},     {"E2", 3},        {"E3", 11},
+      {"MPEG", 2}, {"MPEG*", 4},   {"ATR-SLD", 1},   {"ATR-SLD*", 1},
+      {"ATR-SLD**", 1}, {"ATR-FI", 2}, {"ATR-FI*", 5}, {"ATR-FI**", 2},
+  };
+  for (const auto& [name, rf] : expected) {
+    workloads::Experiment exp = workloads::make_experiment(name);
+    ExperimentResult r = run(exp);
+    EXPECT_EQ(r.rf(), rf) << name;
+  }
+}
+
+TEST(PaperClaims, CdsAvoidsDataTransfersEverywhereSharingExists) {
+  // Table 1's DT column is non-zero on every row.
+  for (const std::string& name : workloads::table1_experiment_names()) {
+    workloads::Experiment exp = workloads::make_experiment(name);
+    ExperimentResult r = run(exp);
+    if (!r.basic.feasible()) continue;
+    EXPECT_GT(r.dt_words_avoided_per_iteration().value(), 0u) << name;
+  }
+}
+
+TEST(PaperClaims, TablesRenderForAllRows) {
+  std::vector<workloads::Experiment> experiments;
+  std::vector<ExperimentResult> results;
+  for (const std::string& name : {"E1", "MPEG"}) {
+    experiments.push_back(workloads::make_experiment(name));
+    results.push_back(run(experiments.back()));
+  }
+  const std::string t1 = table1(results).to_string();
+  EXPECT_NE(t1.find("E1"), std::string::npos);
+  EXPECT_NE(t1.find("CDS%"), std::string::npos);
+  const std::string f6 = fig6_ascii(results);
+  EXPECT_NE(f6.find("MPEG"), std::string::npos);
+  EXPECT_NE(f6.find('#'), std::string::npos);
+  const std::string detail = detail_table(results).to_string();
+  EXPECT_NE(detail.find("Basic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msys::report

@@ -1,0 +1,84 @@
+#include "msys/report/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/codegen/program.hpp"
+#include "msys/common/error.hpp"
+#include "msys/dsched/schedulers.hpp"
+#include "msys/extract/analysis.hpp"
+#include "testing/apps.hpp"
+
+namespace msys::report {
+namespace {
+
+using extract::ScheduleAnalysis;
+using testing::TwoClusterApp;
+using testing::test_cfg;
+
+struct Prepared {
+  dsched::DataSchedule schedule;
+  csched::ContextPlan plan;
+  codegen::ScheduleProgram program;
+};
+
+Prepared prepare(const model::KernelSchedule& sched, const arch::M1Config& cfg) {
+  ScheduleAnalysis analysis(sched);
+  Prepared p{dsched::CompleteDataScheduler{}.schedule(analysis, cfg),
+             csched::ContextPlan::build(sched, cfg.cm_capacity_words), {}};
+  p.program = codegen::generate(p.schedule, p.plan);
+  return p;
+}
+
+TEST(Timeline, RendersBothLanes) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/2);
+  const arch::M1Config cfg = test_cfg(1024, 127);
+  Prepared p = prepare(t.sched, cfg);
+  const std::string chart = render_timeline(p.program, cfg, p.plan);
+  EXPECT_NE(chart.find("RC  |"), std::string::npos);
+  EXPECT_NE(chart.find("DMA |"), std::string::npos);
+  EXPECT_NE(chart.find("legend"), std::string::npos);
+  // Kernel initials P and Q appear on the RC lane; C/L/S on the DMA lane.
+  EXPECT_NE(chart.find('P'), std::string::npos);
+  EXPECT_NE(chart.find('Q'), std::string::npos);
+  EXPECT_NE(chart.find('L'), std::string::npos);
+  EXPECT_NE(chart.find('S'), std::string::npos);
+  EXPECT_NE(chart.find('C'), std::string::npos);
+}
+
+TEST(Timeline, WindowRestrictsOutput) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/2);
+  const arch::M1Config cfg = test_cfg(1024, 127);
+  Prepared p = prepare(t.sched, cfg);
+  TimelineOptions options;
+  options.from = Cycles{0};
+  options.to = Cycles{100};
+  options.legend = false;
+  const std::string chart = render_timeline(p.program, cfg, p.plan, options);
+  EXPECT_NE(chart.find("[0, 100)"), std::string::npos);
+  EXPECT_EQ(chart.find("legend"), std::string::npos);
+}
+
+TEST(Timeline, RejectsDegenerateWindow) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/2);
+  const arch::M1Config cfg = test_cfg(1024, 127);
+  Prepared p = prepare(t.sched, cfg);
+  TimelineOptions options;
+  options.from = Cycles{100};
+  options.to = Cycles{100};
+  EXPECT_THROW((void)render_timeline(p.program, cfg, p.plan, options), Error);
+  TimelineOptions narrow;
+  narrow.width = 4;
+  EXPECT_THROW((void)render_timeline(p.program, cfg, p.plan, narrow), Error);
+}
+
+TEST(Timeline, UtilisationReported) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/2);
+  const arch::M1Config cfg = test_cfg(1024, 127);
+  Prepared p = prepare(t.sched, cfg);
+  const std::string chart = render_timeline(p.program, cfg, p.plan);
+  EXPECT_NE(chart.find("RC busy"), std::string::npos);
+  EXPECT_NE(chart.find("DMA busy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msys::report

@@ -1,0 +1,94 @@
+#include "msys/model/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/common/error.hpp"
+#include "testing/apps.hpp"
+
+namespace msys::model {
+namespace {
+
+using testing::TwoClusterApp;
+
+TEST(KernelSchedule, FromPartitionBasics) {
+  TwoClusterApp t = TwoClusterApp::make();
+  EXPECT_EQ(t.sched.cluster_count(), 2u);
+  EXPECT_EQ(t.sched.cluster(ClusterId{0}).set, FbSet::kA);
+  EXPECT_EQ(t.sched.cluster(ClusterId{1}).set, FbSet::kB);
+  EXPECT_EQ(t.sched.flattened_order().size(), 4u);
+}
+
+TEST(KernelSchedule, ClusterOfAndPosition) {
+  TwoClusterApp t = TwoClusterApp::make();
+  const KernelId p2 = *t.app->find_kernel("p2");
+  const KernelId q1 = *t.app->find_kernel("q1");
+  EXPECT_EQ(t.sched.cluster_of(p2), ClusterId{0});
+  EXPECT_EQ(t.sched.cluster_of(q1), ClusterId{1});
+  EXPECT_EQ(t.sched.global_position(p2), 1u);
+  EXPECT_EQ(t.sched.global_position(q1), 2u);
+}
+
+TEST(KernelSchedule, ClustersOnSet) {
+  TwoClusterApp t = TwoClusterApp::make();
+  EXPECT_EQ(t.sched.clusters_on(FbSet::kA), std::vector<ClusterId>{ClusterId{0}});
+  EXPECT_EQ(t.sched.clusters_on(FbSet::kB), std::vector<ClusterId>{ClusterId{1}});
+}
+
+TEST(KernelSchedule, ContextWords) {
+  TwoClusterApp t = TwoClusterApp::make();
+  EXPECT_EQ(t.sched.cluster_context_words(ClusterId{0}), 64u);
+  EXPECT_EQ(t.sched.max_kernels_per_cluster(), 2u);
+}
+
+TEST(KernelSchedule, RejectsIncompletePartition) {
+  TwoClusterApp t = TwoClusterApp::make();
+  const KernelId p1 = *t.app->find_kernel("p1");
+  EXPECT_THROW(KernelSchedule::from_partition(*t.app, {{p1}}), Error);
+}
+
+TEST(KernelSchedule, RejectsDuplicateKernel) {
+  TwoClusterApp t = TwoClusterApp::make();
+  const KernelId p1 = *t.app->find_kernel("p1");
+  const KernelId p2 = *t.app->find_kernel("p2");
+  const KernelId q1 = *t.app->find_kernel("q1");
+  const KernelId q2 = *t.app->find_kernel("q2");
+  EXPECT_THROW(KernelSchedule::from_partition(*t.app, {{p1, p1}, {p2, q1, q2}}), Error);
+}
+
+TEST(KernelSchedule, RejectsDependencyViolation) {
+  TwoClusterApp t = TwoClusterApp::make();
+  const KernelId p1 = *t.app->find_kernel("p1");
+  const KernelId p2 = *t.app->find_kernel("p2");
+  const KernelId q1 = *t.app->find_kernel("q1");
+  const KernelId q2 = *t.app->find_kernel("q2");
+  // p2 consumes p1's output: p2 before p1 is invalid.
+  EXPECT_THROW(KernelSchedule::from_partition(*t.app, {{p2, p1}, {q1, q2}}), Error);
+}
+
+TEST(KernelSchedule, RejectsEmptyCluster) {
+  TwoClusterApp t = TwoClusterApp::make();
+  EXPECT_THROW(KernelSchedule::from_partition(*t.app, {{}}), Error);
+}
+
+TEST(KernelSchedule, OneKernelPerCluster) {
+  TwoClusterApp t = TwoClusterApp::make();
+  KernelSchedule sched =
+      KernelSchedule::one_kernel_per_cluster(*t.app, t.app->topological_order());
+  EXPECT_EQ(sched.cluster_count(), 4u);
+  // Sets alternate.
+  EXPECT_EQ(sched.cluster(ClusterId{0}).set, FbSet::kA);
+  EXPECT_EQ(sched.cluster(ClusterId{1}).set, FbSet::kB);
+  EXPECT_EQ(sched.cluster(ClusterId{2}).set, FbSet::kA);
+  EXPECT_EQ(sched.cluster(ClusterId{3}).set, FbSet::kB);
+}
+
+TEST(KernelSchedule, SummaryListsClusters) {
+  TwoClusterApp t = TwoClusterApp::make();
+  const std::string s = t.sched.summary();
+  EXPECT_NE(s.find("Cl1"), std::string::npos);
+  EXPECT_NE(s.find("p1"), std::string::npos);
+  EXPECT_NE(s.find("(B)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msys::model

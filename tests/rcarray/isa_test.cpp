@@ -1,0 +1,56 @@
+#include "msys/rcarray/isa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/common/error.hpp"
+
+namespace msys::rcarray {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundTrip) {
+  const ContextWord words[] = {
+      load_fb(3, 120, 1),
+      load_rc(1, 64, 16, 1),
+      store_fb(2, -5, 8),
+      bcast(0, 2047),
+      mov_i(7, -2048),
+      alu(Opcode::kAbsDiff, 4, 5, 6),
+      add_i(1, 2, -7),
+      shr(3, 3, 6),
+      acc_clear(),
+      mac(1, 2),
+      acc_store(5, 8),
+      lane_shift(0, 1, -8),
+      reduce(Opcode::kReduceMin, 2, 3),
+  };
+  for (const ContextWord& cw : words) {
+    EXPECT_EQ(ContextWord::decode(cw.encode()), cw) << to_string(cw.op);
+  }
+}
+
+TEST(Isa, EncodeRejectsOutOfRange) {
+  ContextWord cw = mov_i(0, 0);
+  cw.dst = 8;
+  EXPECT_THROW((void)cw.encode(), Error);
+  cw = mov_i(0, 0);
+  cw.imm = 2048;
+  EXPECT_THROW((void)cw.encode(), Error);
+  cw = load_fb(0, 0, 1);
+  cw.src_a = 64;
+  EXPECT_THROW((void)cw.encode(), Error);
+}
+
+TEST(Isa, DistinctEncodings) {
+  EXPECT_NE(load_fb(0, 0, 1).encode(), load_fb(1, 0, 1).encode());
+  EXPECT_NE(load_fb(0, 0, 1).encode(), load_fb(0, 1, 1).encode());
+  EXPECT_NE(load_fb(0, 0, 1).encode(), load_rc(0, 0, 1, 0).encode());
+}
+
+TEST(Isa, OpcodesHaveNames) {
+  EXPECT_EQ(to_string(Opcode::kMac), "mac");
+  EXPECT_EQ(to_string(Opcode::kLoadRc), "ldrc");
+  EXPECT_EQ(to_string(Opcode::kReduceAdd), "radd");
+}
+
+}  // namespace
+}  // namespace msys::rcarray

@@ -1,0 +1,114 @@
+// RC-array kernel programs vs their golden scalar references, bit-exact,
+// over seeded random operands.
+#include "msys/rcarray/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/common/error.hpp"
+#include "msys/common/rng.hpp"
+
+namespace msys::rcarray {
+namespace {
+
+Values random_values(Rng& rng, std::size_t n, std::int64_t lo = -100,
+                     std::int64_t hi = 100) {
+  Values v(n);
+  for (auto& w : v) {
+    w = static_cast<Word>(static_cast<std::int64_t>(rng.uniform(0, hi - lo)) + lo);
+  }
+  return v;
+}
+
+class KernelVsGolden : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void check(const KernelImpl& impl, const std::vector<Values>& inputs) {
+    RcArray array;
+    const std::vector<Values> rc = impl.run_rc(array, inputs);
+    const std::vector<Values> golden = impl.run_golden(inputs);
+    ASSERT_EQ(rc.size(), golden.size());
+    for (std::size_t o = 0; o < rc.size(); ++o) {
+      ASSERT_EQ(rc[o].size(), golden[o].size()) << impl.name;
+      for (std::size_t i = 0; i < rc[o].size(); ++i) {
+        ASSERT_EQ(rc[o][i], golden[o][i])
+            << impl.name << " output " << o << " word " << i;
+      }
+    }
+  }
+};
+
+TEST_P(KernelVsGolden, Vadd64) {
+  Rng rng(GetParam());
+  check(make_vadd64(), {random_values(rng, 64, -30000, 30000),
+                        random_values(rng, 64, -30000, 30000)});
+}
+
+TEST_P(KernelVsGolden, Scale64) {
+  Rng rng(GetParam() ^ 1);
+  check(make_scale64(4), {random_values(rng, 64, -2000, 2000),
+                          random_values(rng, 1, -64, 64)});
+}
+
+TEST_P(KernelVsGolden, Fir64) {
+  Rng rng(GetParam() ^ 2);
+  for (std::uint32_t taps : {1u, 4u, 8u, 16u}) {
+    const KernelImpl impl = make_fir64(taps, 4);
+    check(impl, {random_values(rng, 64 + taps - 1), random_values(rng, taps)});
+  }
+}
+
+TEST_P(KernelVsGolden, Dct8x8) {
+  Rng rng(GetParam() ^ 3);
+  check(make_dct8x8(), {random_values(rng, 64, -255, 255),
+                        random_values(rng, 64, -181, 181)});
+}
+
+TEST_P(KernelVsGolden, Sad8x8) {
+  Rng rng(GetParam() ^ 4);
+  check(make_sad8x8(), {random_values(rng, 64, 0, 255),
+                        random_values(rng, 256, 0, 255)});
+}
+
+TEST_P(KernelVsGolden, Corr8x8) {
+  Rng rng(GetParam() ^ 5);
+  check(make_corr8x8(), {random_values(rng, 64, -50, 50),
+                         random_values(rng, 256, -50, 50)});
+}
+
+TEST_P(KernelVsGolden, ExtremeOperandsStillAgree) {
+  // Saturation / truncation corners must match bit-exactly too.
+  Rng rng(GetParam() ^ 6);
+  check(make_fir64(8, 0),
+        {random_values(rng, 71, -32768, 32767), random_values(rng, 8, -128, 127)});
+  check(make_sad8x8(), {random_values(rng, 64, -32768, 32767),
+                        random_values(rng, 256, -32768, 32767)});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelVsGolden, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Kernels, WindowAccounting) {
+  EXPECT_EQ(make_vadd64().window_words(), 192u);
+  EXPECT_EQ(make_scale64(4).window_words(), 129u);
+  EXPECT_EQ(make_fir64(8, 4).window_words(), 64u + 7 + 8 + 64);
+  EXPECT_EQ(make_sad8x8().window_words(), 64u + 256 + 64 + 1);
+}
+
+TEST(Kernels, ProgramsEncodeToContextWords) {
+  // Every kernel program survives the 32-bit context encoding.
+  for (const KernelImpl& impl :
+       {make_vadd64(), make_scale64(4), make_fir64(8, 4), make_dct8x8(),
+        make_sad8x8(), make_corr8x8()}) {
+    for (const ContextWord& cw : impl.program) {
+      EXPECT_EQ(ContextWord::decode(cw.encode()), cw) << impl.name;
+    }
+  }
+}
+
+TEST(Kernels, RejectsWrongOperandCount) {
+  RcArray array;
+  const KernelImpl impl = make_vadd64();
+  EXPECT_THROW((void)impl.run_rc(array, {Values(64, 0)}), Error);
+  EXPECT_THROW((void)impl.run_golden({Values(64, 0)}), Error);
+}
+
+}  // namespace
+}  // namespace msys::rcarray

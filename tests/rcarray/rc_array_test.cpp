@@ -1,0 +1,123 @@
+#include "msys/rcarray/rc_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "msys/common/error.hpp"
+
+namespace msys::rcarray {
+namespace {
+
+std::vector<Word> iota_fb(std::size_t size, Word start = 0) {
+  std::vector<Word> fb(size);
+  std::iota(fb.begin(), fb.end(), start);
+  return fb;
+}
+
+TEST(RcArray, LoadStoreRoundTrip) {
+  RcArray rc;
+  std::vector<Word> fb = iota_fb(128);
+  rc.run({load_fb(0, 0, 1), store_fb(0, 64, 1)}, fb);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(fb[64 + i], static_cast<Word>(i));
+}
+
+TEST(RcArray, LoadRcAddressing) {
+  RcArray rc;
+  std::vector<Word> fb = iota_fb(256);
+  rc.run({load_rc(0, 0, 16, 2)}, fb);
+  // lane (row, col) reads fb[row*16 + col*2].
+  EXPECT_EQ(rc.reg(0, 0), 0);
+  EXPECT_EQ(rc.reg(1, 0), 2);    // row 0, col 1
+  EXPECT_EQ(rc.reg(8, 0), 16);   // row 1, col 0
+  EXPECT_EQ(rc.reg(63, 0), 7 * 16 + 7 * 2);
+}
+
+TEST(RcArray, BroadcastHitsAllLanes) {
+  RcArray rc;
+  std::vector<Word> fb = {42};
+  rc.run({bcast(3, 0)}, fb);
+  for (std::uint32_t lane = 0; lane < kLanes; ++lane) EXPECT_EQ(rc.reg(lane, 3), 42);
+}
+
+TEST(RcArray, AluOps) {
+  RcArray rc;
+  std::vector<Word> fb(1);
+  rc.run({mov_i(0, 7), mov_i(1, -3)}, fb);
+  rc.step(alu(Opcode::kAdd, 2, 0, 1), fb);
+  EXPECT_EQ(rc.reg(0, 2), 4);
+  rc.step(alu(Opcode::kSub, 2, 0, 1), fb);
+  EXPECT_EQ(rc.reg(0, 2), 10);
+  rc.step(alu(Opcode::kMul, 2, 0, 1), fb);
+  EXPECT_EQ(rc.reg(0, 2), -21);
+  rc.step(alu(Opcode::kAbsDiff, 2, 0, 1), fb);
+  EXPECT_EQ(rc.reg(0, 2), 10);
+  rc.step(alu(Opcode::kMin, 2, 0, 1), fb);
+  EXPECT_EQ(rc.reg(0, 2), -3);
+  rc.step(alu(Opcode::kMax, 2, 0, 1), fb);
+  EXPECT_EQ(rc.reg(0, 2), 7);
+  rc.step(add_i(2, 0, 100), fb);
+  EXPECT_EQ(rc.reg(0, 2), 107);
+  rc.step(shr(2, 1, 1), fb);
+  EXPECT_EQ(rc.reg(0, 2), -2);  // arithmetic shift of -3
+}
+
+TEST(RcArray, MulTruncatesToSixteenBits) {
+  RcArray rc;
+  std::vector<Word> fb(1);
+  rc.run({mov_i(0, 300), mov_i(1, 300), alu(Opcode::kMul, 2, 0, 1)}, fb);
+  EXPECT_EQ(rc.reg(0, 2), static_cast<Word>(90000));  // wraps like the cell ALU
+}
+
+TEST(RcArray, MacAccumulatesWide) {
+  RcArray rc;
+  std::vector<Word> fb(1);
+  rc.run({acc_clear(), mov_i(0, 1000), mov_i(1, 1000)}, fb);
+  for (int i = 0; i < 10; ++i) rc.step(mac(0, 1), fb);
+  EXPECT_EQ(rc.acc(0), 10'000'000);
+  rc.step(acc_store(2, 0), fb);
+  EXPECT_EQ(rc.reg(0, 2), 32767);  // saturated on store
+  rc.step(acc_store(2, 9), fb);
+  EXPECT_EQ(rc.reg(0, 2), 10'000'000 >> 9);
+}
+
+TEST(RcArray, LaneShiftZeroFillsEdges) {
+  RcArray rc;
+  std::vector<Word> fb = iota_fb(64, 1);
+  rc.run({load_fb(0, 0, 1), lane_shift(1, 0, 1)}, fb);
+  EXPECT_EQ(rc.reg(0, 1), 2);   // takes lane 1's value
+  EXPECT_EQ(rc.reg(62, 1), 64);
+  EXPECT_EQ(rc.reg(63, 1), 0);  // edge
+}
+
+TEST(RcArray, Reductions) {
+  RcArray rc;
+  std::vector<Word> fb = iota_fb(64, 5);
+  rc.run({load_fb(0, 0, 1), reduce(Opcode::kReduceMin, 1, 0),
+          reduce(Opcode::kReduceAdd, 2, 0)}, fb);
+  for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+    EXPECT_EQ(rc.reg(lane, 1), 5);
+    EXPECT_EQ(rc.reg(lane, 2), static_cast<Word>((5 + 68) * 64 / 2));
+  }
+}
+
+TEST(RcArray, OutOfWindowAccessThrows) {
+  RcArray rc;
+  std::vector<Word> fb(32);
+  EXPECT_THROW(rc.run({load_fb(0, 0, 1)}, fb), Error);  // lane 32+ out of range
+  EXPECT_THROW(rc.run({bcast(0, 32)}, fb), Error);
+  EXPECT_THROW(rc.run({load_fb(0, -1, 0)}, fb), Error);
+}
+
+TEST(RcArray, ResetClearsState) {
+  RcArray rc;
+  std::vector<Word> fb(1);
+  rc.run({mov_i(0, 9), acc_clear(), mov_i(1, 2), mac(0, 1)}, fb);
+  EXPECT_NE(rc.acc(0), 0);
+  rc.reset();
+  EXPECT_EQ(rc.reg(0, 0), 0);
+  EXPECT_EQ(rc.acc(0), 0);
+}
+
+}  // namespace
+}  // namespace msys::rcarray

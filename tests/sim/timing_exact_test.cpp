@@ -1,0 +1,129 @@
+// Hand-computed cycle-exact scenarios: small enough that the expected
+// totals can be derived on paper, pinning the timing discipline (weave
+// order, overlap, guards) against regressions in BOTH the cost model and
+// the simulator (the two are asserted equal elsewhere; here the absolute
+// numbers are checked).
+#include <gtest/gtest.h>
+
+#include "msys/codegen/program.hpp"
+#include "msys/dsched/cost.hpp"
+#include "msys/dsched/schedulers.hpp"
+#include "msys/extract/analysis.hpp"
+#include "msys/sim/simulator.hpp"
+
+namespace msys::sim {
+namespace {
+
+/// Two single-kernel clusters:
+///   kA: input a (100 words) -> result ra (50, final)
+///   kB: input b (80 words)  -> result rb (40, final)
+/// DMA: 1 cycle/word, setup 0 (so arithmetic stays trivial); exec 500 each.
+struct Scenario {
+  std::unique_ptr<model::Application> app;
+  std::optional<model::KernelSchedule> sched;
+  arch::M1Config cfg;
+
+  static Scenario make(std::uint32_t iterations, Cycles exec, std::uint32_t cm_words) {
+    Scenario s;
+    model::ApplicationBuilder b("timing", iterations);
+    DataId a = b.external_input("a", SizeWords{100});
+    KernelId ka = b.kernel("kA", 10, exec, {a});
+    b.output(ka, "ra", SizeWords{50}, true);
+    DataId bb = b.external_input("b", SizeWords{80});
+    KernelId kb = b.kernel("kB", 10, exec, {bb});
+    b.output(kb, "rb", SizeWords{40}, true);
+    s.app = std::make_unique<model::Application>(std::move(b).build());
+    s.sched.emplace(model::KernelSchedule::from_partition(*s.app, {{ka}, {kb}}));
+    arch::M1Config cfg = arch::M1Config::m1_default();
+    cfg.fb_set_size = SizeWords{512};
+    cfg.cm_capacity_words = cm_words;
+    cfg.dma.transfer_setup = Cycles{0};
+    s.cfg = arch::M1Config::validated(cfg);
+    return s;
+  }
+
+  SimReport run_basic() const {
+    extract::ScheduleAnalysis analysis(*sched);
+    dsched::DataSchedule schedule = dsched::BasicScheduler{}.schedule(analysis, cfg);
+    csched::ContextPlan plan = csched::ContextPlan::build(*sched, cfg.cm_capacity_words);
+    Simulator simulator(cfg, plan);
+    return simulator.run(codegen::generate(schedule, plan));
+  }
+};
+
+TEST(TimingExact, SingleIterationPersistentCm) {
+  // One iteration, contexts persistent (20 <= 64 CM words).
+  // DMA order: ctxA(10) ldA(100) ctxB(10) ldB(80) stA(50) stB(40)
+  // t=0..10 ctxA; 10..110 ldA; exec A 110..610.
+  // ctxB 110..120, ldB 120..200 (other set, no guard).
+  // exec B start max(610, 200) = 610, ends 1110.
+  // stA at max(dma=200, execA=610) = 610..660; stB 1110..1150.
+  // total = max(execB=1110, dma=1150) = 1150.
+  Scenario s = Scenario::make(1, Cycles{500}, 64);
+  const SimReport r = s.run_basic();
+  EXPECT_EQ(r.total, Cycles{1150});
+  EXPECT_EQ(r.compute, Cycles{1000});
+  EXPECT_EQ(r.dma_busy, Cycles{290});
+  EXPECT_EQ(r.data_words_loaded, 180u);
+  EXPECT_EQ(r.data_words_stored, 90u);
+  EXPECT_EQ(r.context_words, 20u);
+}
+
+TEST(TimingExact, DmaBoundWhenExecTiny) {
+  // Same machine, exec = 10 cycles: everything serialises on the DMA.
+  // ctxA 0..10, ldA 10..110, execA 110..120.
+  // ctxB 110..120, ldB 120..200; stA max(200, 120)=200..250;
+  // execB max(120, 200)=200..210; stB max(250,210)=250..290.
+  Scenario s = Scenario::make(1, Cycles{10}, 64);
+  const SimReport r = s.run_basic();
+  EXPECT_EQ(r.total, Cycles{290});
+  EXPECT_EQ(r.compute, Cycles{20});
+  EXPECT_EQ(r.stall, Cycles{270});
+}
+
+TEST(TimingExact, TwoIterationsOverlapPipeline) {
+  // Two iterations (4 slots A,B,A,B), persistent CM.
+  // Slot loads fully overlap the 500-cycle execs after the prologue:
+  // execA1 110..610, execB1 610..1110, execA2 1110..1610, execB2 1610..2110.
+  // DMA tail: stB2 after 2110 (+40) -> but stA2's 50 words precede it.
+  // Walk: in2(A,100) must wait exec of slot0 (same set, 610) -> 610..710;
+  // st0 at 610? FIFO: after in1 (200): st0 610..660, in2 660..760,
+  // st1 1110..1160, in3 1160..1240, st2 1610..1660, st3 2110..2150.
+  // total 2150.
+  Scenario s = Scenario::make(2, Cycles{500}, 64);
+  const SimReport r = s.run_basic();
+  EXPECT_EQ(r.total, Cycles{2150});
+  EXPECT_EQ(r.compute, Cycles{2000});
+}
+
+TEST(TimingExact, SerialContextRegimeAddsStalls) {
+  // CM of 12 words holds only one cluster (10): context loads cannot
+  // overlap the previous slot's execution.
+  // ctxA 0..10, ldA 10..110, execA 110..610.
+  // ctxB waits execA: 610..620; ldB 620..700; execB 700..1200.
+  // stA max(700, 610)=700..750; stB 1200..1240. total 1240.
+  Scenario s = Scenario::make(1, Cycles{500}, 12);
+  const SimReport r = s.run_basic();
+  EXPECT_EQ(r.total, Cycles{1240});
+}
+
+TEST(TimingExact, SetupCostCountsPerRequest) {
+  Scenario s = Scenario::make(1, Cycles{500}, 64);
+  arch::M1Config cfg = s.cfg;
+  cfg.dma.transfer_setup = Cycles{5};
+  cfg = arch::M1Config::validated(cfg);
+  extract::ScheduleAnalysis analysis(*s.sched);
+  dsched::DataSchedule schedule = dsched::BasicScheduler{}.schedule(analysis, cfg);
+  csched::ContextPlan plan = csched::ContextPlan::build(*s.sched, cfg.cm_capacity_words);
+  Simulator simulator(cfg, plan);
+  const SimReport r = simulator.run(codegen::generate(schedule, plan));
+  // 6 DMA requests x 5 extra cycles on the same critical path as the
+  // no-setup scenario... but only the requests on the critical path move
+  // the total: ctxA + ldA (prologue) and stB (epilogue) = 3 requests.
+  EXPECT_EQ(r.dma_requests, 6u);
+  EXPECT_EQ(r.dma_busy, Cycles{290 + 30});
+  EXPECT_EQ(r.total, Cycles{1150 + 15});
+}
+
+}  // namespace
+}  // namespace msys::sim

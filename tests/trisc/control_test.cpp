@@ -1,0 +1,179 @@
+// TinyRISC control programs: ISA round trips, and — the load-bearing
+// property — the looped control program expands to EXACTLY the flat
+// instruction streams codegen::generate produces, across the registry,
+// random workloads, partial rounds and every context regime.
+#include "msys/trisc/control.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/common/error.hpp"
+#include "msys/dsched/schedulers.hpp"
+#include "msys/extract/analysis.hpp"
+#include "msys/sim/simulator.hpp"
+#include "msys/workloads/experiments.hpp"
+#include "msys/workloads/random.hpp"
+#include "testing/apps.hpp"
+
+namespace msys::trisc {
+namespace {
+
+using testing::TwoClusterApp;
+using testing::test_cfg;
+
+bool ops_equal(const codegen::Op& a, const codegen::Op& b) {
+  return a.kind == b.kind && a.slot == b.slot && a.kernel == b.kernel &&
+         a.cluster == b.cluster && a.data == b.data && a.iter == b.iter &&
+         a.release_after_store == b.release_after_store;
+}
+
+void expect_streams_match(const model::KernelSchedule& sched, const arch::M1Config& cfg,
+                          const dsched::DataSchedulerBase& scheduler,
+                          const char* label) {
+  extract::ScheduleAnalysis analysis(sched, cfg.cross_set_reads);
+  dsched::DataSchedule schedule = scheduler.schedule(analysis, cfg);
+  if (!schedule.feasible) return;
+  csched::ContextPlan plan = csched::ContextPlan::build(sched, cfg.cm_capacity_words);
+  if (!plan.feasible()) return;
+
+  const codegen::ScheduleProgram flat = codegen::generate(schedule, plan);
+  ControlProgram control = emit_control_program(schedule, plan);
+  TinyRiscMachine machine(control);
+  const ExpandedStreams expanded = machine.run();
+
+  ASSERT_EQ(expanded.dma_ops.size(), flat.dma_ops.size()) << label;
+  for (std::size_t i = 0; i < flat.dma_ops.size(); ++i) {
+    ASSERT_TRUE(ops_equal(expanded.dma_ops[i], flat.dma_ops[i]))
+        << label << " DMA op " << i << ": " << to_string(expanded.dma_ops[i].kind)
+        << " slot " << expanded.dma_ops[i].slot << " vs "
+        << to_string(flat.dma_ops[i].kind) << " slot " << flat.dma_ops[i].slot;
+  }
+  ASSERT_EQ(expanded.rc_ops.size(), flat.rc_ops.size()) << label;
+  for (std::size_t i = 0; i < flat.rc_ops.size(); ++i) {
+    ASSERT_TRUE(ops_equal(expanded.rc_ops[i], flat.rc_ops[i])) << label << " RC op " << i;
+  }
+}
+
+TEST(TriscIsa, EncodeDecodeRoundTrip) {
+  const Instr instrs[] = {halt(),        mov_i(3, -5000),  add(1, 2, 3),
+                          add_i(4, 5, 9), beq(1, 2, 37),    bne(3, 0, 2),
+                          jmp(99),        dmad(0, 1234),    cbx(7, -1),
+                          set_rnd(1)};
+  for (const Instr& i : instrs) {
+    EXPECT_EQ(Instr::decode(i.encode()), i) << i.disassemble();
+  }
+}
+
+TEST(TriscIsa, EncodeRejectsOutOfRange) {
+  Instr bad = mov_i(3, 1 << 14);
+  EXPECT_THROW((void)bad.encode(), Error);
+  bad = add(1, 2, 3);
+  bad.rd = 16;
+  EXPECT_THROW((void)bad.encode(), Error);
+}
+
+TEST(TriscIsa, DisassemblyIsReadable) {
+  EXPECT_EQ(mov_i(1, 5).disassemble(), "movi r1, 5");
+  EXPECT_EQ(dmad(0, 12).disassemble(), "dmad [r0 + 12]");
+  EXPECT_EQ(beq(1, 2, 9).disassemble(), "beq r1, r2, @9");
+  const std::string listing = disassemble({mov_i(1, 0), halt()});
+  EXPECT_NE(listing.find("0:\tmovi r1, 0"), std::string::npos);
+  EXPECT_NE(listing.find("1:\thalt"), std::string::npos);
+}
+
+TEST(TriscControl, MatchesFlatLoweringOnSmallApp) {
+  for (std::uint32_t iterations : {1u, 2u, 4u, 5u, 7u}) {
+    TwoClusterApp t = TwoClusterApp::make(iterations);
+    for (std::uint32_t cm : {100u, 127u, 256u}) {  // serial / overlap / persistent
+      const arch::M1Config cfg = test_cfg(1024, cm);
+      for (const auto& scheduler : dsched::all_schedulers()) {
+        expect_streams_match(t.sched, cfg, *scheduler, "two-cluster");
+      }
+    }
+  }
+}
+
+TEST(TriscControl, ProgramSizeIndependentOfIterations) {
+  TwoClusterApp few = TwoClusterApp::make(2);
+  TwoClusterApp many = TwoClusterApp::make(64);
+  const arch::M1Config cfg = test_cfg(1024, 127);
+  extract::ScheduleAnalysis a1(few.sched);
+  extract::ScheduleAnalysis a2(many.sched);
+  dsched::DataSchedule s1 = dsched::BasicScheduler{}.schedule(a1, cfg);
+  dsched::DataSchedule s2 = dsched::BasicScheduler{}.schedule(a2, cfg);
+  csched::ContextPlan p1 = csched::ContextPlan::build(few.sched, 127);
+  csched::ContextPlan p2 = csched::ContextPlan::build(many.sched, 127);
+  ControlProgram c1 = emit_control_program(s1, p1);
+  ControlProgram c2 = emit_control_program(s2, p2);
+  EXPECT_EQ(c1.code.size(), c2.code.size());
+  EXPECT_EQ(c1.dma_table.size(), c2.dma_table.size());
+  // While the flat lowering grows linearly:
+  const auto flat1 = codegen::generate(s1, p1);
+  const auto flat2 = codegen::generate(s2, p2);
+  EXPECT_GT(flat2.dma_ops.size(), 16 * c2.code.size() / 4);
+  EXPECT_GT(flat2.dma_ops.size(), flat1.dma_ops.size() * 16);
+}
+
+TEST(TriscControl, ExpandedStreamsSimulateIdentically) {
+  TwoClusterApp t = TwoClusterApp::make(5);
+  const arch::M1Config cfg = test_cfg(1024, 127);
+  extract::ScheduleAnalysis analysis(t.sched);
+  dsched::DataSchedule schedule = dsched::DataScheduler{}.schedule(analysis, cfg);
+  csched::ContextPlan plan = csched::ContextPlan::build(t.sched, 127);
+  codegen::ScheduleProgram flat = codegen::generate(schedule, plan);
+
+  ControlProgram control = emit_control_program(schedule, plan);
+  TinyRiscMachine machine(control);
+  ExpandedStreams expanded = machine.run();
+  EXPECT_GT(machine.instructions_retired(), 0u);
+
+  // Substitute the expanded streams into the program and simulate.
+  codegen::ScheduleProgram substituted = flat;
+  substituted.dma_ops = expanded.dma_ops;
+  substituted.rc_ops = expanded.rc_ops;
+  sim::Simulator sim_a(cfg, plan);
+  sim::Simulator sim_b(cfg, plan);
+  const sim::SimReport ra = sim_a.run(flat);
+  const sim::SimReport rb = sim_b.run(substituted);
+  EXPECT_EQ(ra.total, rb.total);
+  EXPECT_EQ(ra.data_words_loaded, rb.data_words_loaded);
+  EXPECT_EQ(ra.exec_count, rb.exec_count);
+}
+
+class TriscRegistry : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TriscRegistry, MatchesFlatLowering) {
+  workloads::Experiment exp = workloads::make_experiment(GetParam());
+  for (const auto& scheduler : dsched::all_schedulers()) {
+    expect_streams_match(exp.sched, exp.cfg, *scheduler, GetParam().c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExperiments, TriscRegistry,
+                         ::testing::ValuesIn(workloads::table1_experiment_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '*') c = 's';
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+class TriscRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriscRandom, MatchesFlatLowering) {
+  workloads::RandomSpec spec;
+  spec.seed = GetParam() * 613 + 3;
+  workloads::RandomExperiment exp = workloads::make_random(spec);
+  for (const auto& scheduler : dsched::all_schedulers()) {
+    expect_streams_match(exp.sched, exp.cfg, *scheduler, "random");
+  }
+  // Also under cross-set reads.
+  expect_streams_match(exp.sched, exp.cfg.with_cross_set_reads(true),
+                       dsched::CompleteDataScheduler{}, "random-xset");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriscRandom, ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace msys::trisc

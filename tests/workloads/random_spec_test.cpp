@@ -1,0 +1,86 @@
+#include "msys/workloads/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/common/error.hpp"
+
+namespace msys::workloads {
+namespace {
+
+TEST(RandomSpec, RespectsKernelCountRange) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomSpec spec;
+    spec.seed = seed;
+    spec.min_kernels = 3;
+    spec.max_kernels = 5;
+    RandomExperiment exp = make_random(spec);
+    EXPECT_GE(exp.app->kernel_count(), 3u);
+    EXPECT_LE(exp.app->kernel_count(), 5u);
+    EXPECT_GE(exp.app->total_iterations(), spec.min_iterations);
+    EXPECT_LE(exp.app->total_iterations(), spec.max_iterations);
+  }
+}
+
+TEST(RandomSpec, SizesWithinBounds) {
+  RandomSpec spec;
+  spec.seed = 7;
+  spec.min_size = 16;
+  spec.max_size = 48;
+  RandomExperiment exp = make_random(spec);
+  for (const model::DataObject& d : exp.app->data_objects()) {
+    EXPECT_GE(d.size.value(), 16u);
+    EXPECT_LE(d.size.value(), 48u);
+  }
+}
+
+TEST(RandomSpec, SharedInputsPresent) {
+  RandomSpec spec;
+  spec.seed = 3;
+  spec.shared_inputs = 4;
+  RandomExperiment exp = make_random(spec);
+  int shared_found = 0;
+  for (const model::DataObject& d : exp.app->data_objects()) {
+    if (d.name.rfind("shared", 0) == 0) {
+      ++shared_found;
+      EXPECT_FALSE(d.consumers.empty());
+    }
+  }
+  EXPECT_EQ(shared_found, 4);
+}
+
+TEST(RandomSpec, ZeroReuseMakesChains) {
+  RandomSpec spec;
+  spec.seed = 5;
+  spec.reuse_percent = 0;
+  spec.shared_inputs = 0;
+  RandomExperiment exp = make_random(spec);
+  // Every result must then be final (nothing consumes them).
+  for (const model::DataObject& d : exp.app->data_objects()) {
+    if (d.producer.valid()) {
+      EXPECT_TRUE(d.required_in_external_memory) << d.name;
+    }
+  }
+}
+
+TEST(RandomSpec, InvalidRangesRejected) {
+  RandomSpec spec;
+  spec.min_kernels = 5;
+  spec.max_kernels = 3;
+  EXPECT_THROW((void)make_random(spec), Error);
+  spec = RandomSpec{};
+  spec.min_size = 0;
+  EXPECT_THROW((void)make_random(spec), Error);
+}
+
+TEST(RandomSpec, MachineAlwaysFitsBasic) {
+  // The generated machine is sized so even the no-release policy fits.
+  for (std::uint64_t seed = 50; seed < 60; ++seed) {
+    RandomSpec spec;
+    spec.seed = seed;
+    RandomExperiment exp = make_random(spec);
+    EXPECT_GE(exp.cfg.fb_set_size, exp.app->total_data_size());
+  }
+}
+
+}  // namespace
+}  // namespace msys::workloads

@@ -1,0 +1,103 @@
+#include "msys/workloads/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/common/error.hpp"
+#include "msys/extract/analysis.hpp"
+
+namespace msys::workloads {
+namespace {
+
+TEST(Registry, ListsTwelveExperiments) {
+  EXPECT_EQ(table1_experiment_names().size(), 12u);
+}
+
+TEST(Registry, RejectsUnknownName) {
+  EXPECT_THROW((void)make_experiment("nope"), Error);
+}
+
+TEST(Registry, StarVariantsShareApplicationStructure) {
+  Experiment e1 = make_experiment("E1");
+  Experiment e1s = make_experiment("E1*");
+  EXPECT_EQ(e1.app->kernel_count(), e1s.app->kernel_count());
+  EXPECT_EQ(e1.app->total_data_size(), e1s.app->total_data_size());
+  EXPECT_LT(e1.cfg.fb_set_size, e1s.cfg.fb_set_size);
+
+  Experiment sld = make_experiment("ATR-SLD");
+  Experiment slds = make_experiment("ATR-SLD*");
+  EXPECT_EQ(sld.app->kernel_count(), slds.app->kernel_count());
+  EXPECT_EQ(sld.cfg.fb_set_size, slds.cfg.fb_set_size);  // same memory
+  // The '*' variant is a different kernel schedule over the same app.
+  std::vector<std::vector<std::string>> p1, p2;
+  for (const model::Cluster& c : sld.sched.clusters()) {
+    std::vector<std::string> names;
+    for (KernelId k : c.kernels) names.push_back(sld.app->kernel(k).name);
+    p1.push_back(names);
+  }
+  for (const model::Cluster& c : slds.sched.clusters()) {
+    std::vector<std::string> names;
+    for (KernelId k : c.kernels) names.push_back(slds.app->kernel(k).name);
+    p2.push_back(names);
+  }
+  EXPECT_NE(p1, p2);
+}
+
+TEST(Registry, MpegVariesOnlyFbSize) {
+  Experiment m = make_experiment("MPEG");
+  Experiment ms = make_experiment("MPEG*");
+  EXPECT_EQ(m.cfg.fb_set_size, kilowords(2));
+  EXPECT_EQ(ms.cfg.fb_set_size, kilowords(3));
+  EXPECT_EQ(m.sched.cluster_count(), ms.sched.cluster_count());
+}
+
+class RegistryInvariants : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryInvariants, WellFormed) {
+  Experiment exp = make_experiment(GetParam());
+  EXPECT_EQ(exp.name, GetParam());
+  EXPECT_FALSE(exp.description.empty());
+  EXPECT_GT(exp.app->kernel_count(), 0u);
+  EXPECT_GT(exp.app->total_iterations(), 1u);
+  EXPECT_GE(exp.sched.cluster_count(), 3u)
+      << "inter-cluster sharing needs >= 3 clusters";
+  EXPECT_TRUE(exp.app->respects_dependencies(exp.sched.flattened_order()));
+}
+
+TEST_P(RegistryInvariants, HasRetentionOpportunities) {
+  Experiment exp = make_experiment(GetParam());
+  extract::ScheduleAnalysis analysis(exp.sched);
+  EXPECT_FALSE(analysis.retention_candidates().empty())
+      << "every Table-1 workload exercises §4 retention";
+}
+
+TEST_P(RegistryInvariants, EveryKernelHasWork) {
+  Experiment exp = make_experiment(GetParam());
+  for (const model::Kernel& k : exp.app->kernels()) {
+    EXPECT_FALSE(k.inputs.empty()) << k.name;
+    EXPECT_GT(k.exec_cycles.value(), 0u) << k.name;
+    EXPECT_GT(k.context_words, 0u) << k.name;
+  }
+}
+
+TEST_P(RegistryInvariants, SomeFinalResultExists) {
+  Experiment exp = make_experiment(GetParam());
+  bool any_final = false;
+  for (const model::DataObject& d : exp.app->data_objects()) {
+    if (d.required_in_external_memory) any_final = true;
+  }
+  EXPECT_TRUE(any_final);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExperiments, RegistryInvariants,
+                         ::testing::ValuesIn(table1_experiment_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '*') c = 's';
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace msys::workloads

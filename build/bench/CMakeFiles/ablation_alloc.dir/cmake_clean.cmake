@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alloc.dir/ablation_alloc.cpp.o"
+  "CMakeFiles/ablation_alloc.dir/ablation_alloc.cpp.o.d"
+  "ablation_alloc"
+  "ablation_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_joint.dir/ablation_joint.cpp.o"
+  "CMakeFiles/ablation_joint.dir/ablation_joint.cpp.o.d"
+  "ablation_joint"
+  "ablation_joint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

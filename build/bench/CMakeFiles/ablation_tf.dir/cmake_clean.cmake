@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tf.dir/ablation_tf.cpp.o"
+  "CMakeFiles/ablation_tf.dir/ablation_tf.cpp.o.d"
+  "ablation_tf"
+  "ablation_tf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cross_set.dir/ext_cross_set.cpp.o"
+  "CMakeFiles/ext_cross_set.dir/ext_cross_set.cpp.o.d"
+  "ext_cross_set"
+  "ext_cross_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cross_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tiling.dir/ext_tiling.cpp.o"
+  "CMakeFiles/ext_tiling.dir/ext_tiling.cpp.o.d"
+  "ext_tiling"
+  "ext_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

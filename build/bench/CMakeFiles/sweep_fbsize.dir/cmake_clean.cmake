@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_fbsize.dir/sweep_fbsize.cpp.o"
+  "CMakeFiles/sweep_fbsize.dir/sweep_fbsize.cpp.o.d"
+  "sweep_fbsize"
+  "sweep_fbsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_fbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atr_design_space.dir/atr_design_space.cpp.o"
+  "CMakeFiles/atr_design_space.dir/atr_design_space.cpp.o.d"
+  "atr_design_space"
+  "atr_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atr_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpeg_pipeline.dir/mpeg_pipeline.cpp.o"
+  "CMakeFiles/mpeg_pipeline.dir/mpeg_pipeline.cpp.o.d"
+  "mpeg_pipeline"
+  "mpeg_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpeg_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msysc.dir/msysc.cpp.o"
+  "CMakeFiles/msysc.dir/msysc.cpp.o.d"
+  "msysc"
+  "msysc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msysc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

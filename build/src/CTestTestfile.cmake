@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("arch")
+subdirs("model")
+subdirs("appdsl")
+subdirs("extract")
+subdirs("alloc")
+subdirs("dsched")
+subdirs("ksched")
+subdirs("csched")
+subdirs("codegen")
+subdirs("sim")
+subdirs("rcarray")
+subdirs("trisc")
+subdirs("workloads")
+subdirs("report")

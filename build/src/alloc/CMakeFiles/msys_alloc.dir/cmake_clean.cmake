@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_alloc.dir/src/fb_allocator.cpp.o"
+  "CMakeFiles/msys_alloc.dir/src/fb_allocator.cpp.o.d"
+  "libmsys_alloc.a"
+  "libmsys_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_appdsl.dir/src/parser.cpp.o"
+  "CMakeFiles/msys_appdsl.dir/src/parser.cpp.o.d"
+  "libmsys_appdsl.a"
+  "libmsys_appdsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_appdsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

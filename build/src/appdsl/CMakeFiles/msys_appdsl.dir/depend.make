@@ -1,0 +1,2 @@
+# Empty dependencies file for msys_appdsl.
+# This may be replaced when dependencies are built.

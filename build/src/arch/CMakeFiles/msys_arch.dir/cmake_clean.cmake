@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_arch.dir/src/m1.cpp.o"
+  "CMakeFiles/msys_arch.dir/src/m1.cpp.o.d"
+  "libmsys_arch.a"
+  "libmsys_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

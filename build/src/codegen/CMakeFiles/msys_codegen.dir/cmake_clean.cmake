@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_codegen.dir/src/program.cpp.o"
+  "CMakeFiles/msys_codegen.dir/src/program.cpp.o.d"
+  "libmsys_codegen.a"
+  "libmsys_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_common.dir/src/error.cpp.o"
+  "CMakeFiles/msys_common.dir/src/error.cpp.o.d"
+  "CMakeFiles/msys_common.dir/src/extent.cpp.o"
+  "CMakeFiles/msys_common.dir/src/extent.cpp.o.d"
+  "CMakeFiles/msys_common.dir/src/strfmt.cpp.o"
+  "CMakeFiles/msys_common.dir/src/strfmt.cpp.o.d"
+  "CMakeFiles/msys_common.dir/src/table.cpp.o"
+  "CMakeFiles/msys_common.dir/src/table.cpp.o.d"
+  "libmsys_common.a"
+  "libmsys_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csched/src/context_plan.cpp" "src/csched/CMakeFiles/msys_csched.dir/src/context_plan.cpp.o" "gcc" "src/csched/CMakeFiles/msys_csched.dir/src/context_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/msys_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/msys_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msys_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_csched.dir/src/context_plan.cpp.o"
+  "CMakeFiles/msys_csched.dir/src/context_plan.cpp.o.d"
+  "libmsys_csched.a"
+  "libmsys_csched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_csched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for msys_csched.
+# This may be replaced when dependencies are built.

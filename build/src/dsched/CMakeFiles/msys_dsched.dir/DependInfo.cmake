@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsched/src/alloc_driver.cpp" "src/dsched/CMakeFiles/msys_dsched.dir/src/alloc_driver.cpp.o" "gcc" "src/dsched/CMakeFiles/msys_dsched.dir/src/alloc_driver.cpp.o.d"
+  "/root/repo/src/dsched/src/cost.cpp" "src/dsched/CMakeFiles/msys_dsched.dir/src/cost.cpp.o" "gcc" "src/dsched/CMakeFiles/msys_dsched.dir/src/cost.cpp.o.d"
+  "/root/repo/src/dsched/src/schedule_types.cpp" "src/dsched/CMakeFiles/msys_dsched.dir/src/schedule_types.cpp.o" "gcc" "src/dsched/CMakeFiles/msys_dsched.dir/src/schedule_types.cpp.o.d"
+  "/root/repo/src/dsched/src/schedulers.cpp" "src/dsched/CMakeFiles/msys_dsched.dir/src/schedulers.cpp.o" "gcc" "src/dsched/CMakeFiles/msys_dsched.dir/src/schedulers.cpp.o.d"
+  "/root/repo/src/dsched/src/validate.cpp" "src/dsched/CMakeFiles/msys_dsched.dir/src/validate.cpp.o" "gcc" "src/dsched/CMakeFiles/msys_dsched.dir/src/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extract/CMakeFiles/msys_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/msys_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/csched/CMakeFiles/msys_csched.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/msys_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/msys_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msys_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_dsched.dir/src/alloc_driver.cpp.o"
+  "CMakeFiles/msys_dsched.dir/src/alloc_driver.cpp.o.d"
+  "CMakeFiles/msys_dsched.dir/src/cost.cpp.o"
+  "CMakeFiles/msys_dsched.dir/src/cost.cpp.o.d"
+  "CMakeFiles/msys_dsched.dir/src/schedule_types.cpp.o"
+  "CMakeFiles/msys_dsched.dir/src/schedule_types.cpp.o.d"
+  "CMakeFiles/msys_dsched.dir/src/schedulers.cpp.o"
+  "CMakeFiles/msys_dsched.dir/src/schedulers.cpp.o.d"
+  "CMakeFiles/msys_dsched.dir/src/validate.cpp.o"
+  "CMakeFiles/msys_dsched.dir/src/validate.cpp.o.d"
+  "libmsys_dsched.a"
+  "libmsys_dsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_dsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

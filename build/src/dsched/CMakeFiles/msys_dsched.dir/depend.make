@@ -1,0 +1,2 @@
+# Empty dependencies file for msys_dsched.
+# This may be replaced when dependencies are built.

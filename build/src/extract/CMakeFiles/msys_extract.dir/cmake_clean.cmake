@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_extract.dir/src/analysis.cpp.o"
+  "CMakeFiles/msys_extract.dir/src/analysis.cpp.o.d"
+  "libmsys_extract.a"
+  "libmsys_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

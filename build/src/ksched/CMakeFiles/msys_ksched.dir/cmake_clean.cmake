@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_ksched.dir/src/kernel_scheduler.cpp.o"
+  "CMakeFiles/msys_ksched.dir/src/kernel_scheduler.cpp.o.d"
+  "libmsys_ksched.a"
+  "libmsys_ksched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_ksched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

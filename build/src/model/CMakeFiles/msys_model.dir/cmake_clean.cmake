@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_model.dir/src/application.cpp.o"
+  "CMakeFiles/msys_model.dir/src/application.cpp.o.d"
+  "CMakeFiles/msys_model.dir/src/schedule.cpp.o"
+  "CMakeFiles/msys_model.dir/src/schedule.cpp.o.d"
+  "CMakeFiles/msys_model.dir/src/tiling.cpp.o"
+  "CMakeFiles/msys_model.dir/src/tiling.cpp.o.d"
+  "libmsys_model.a"
+  "libmsys_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

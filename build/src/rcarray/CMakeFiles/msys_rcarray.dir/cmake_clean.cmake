@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_rcarray.dir/src/functional.cpp.o"
+  "CMakeFiles/msys_rcarray.dir/src/functional.cpp.o.d"
+  "CMakeFiles/msys_rcarray.dir/src/isa.cpp.o"
+  "CMakeFiles/msys_rcarray.dir/src/isa.cpp.o.d"
+  "CMakeFiles/msys_rcarray.dir/src/kernels.cpp.o"
+  "CMakeFiles/msys_rcarray.dir/src/kernels.cpp.o.d"
+  "CMakeFiles/msys_rcarray.dir/src/rc_array.cpp.o"
+  "CMakeFiles/msys_rcarray.dir/src/rc_array.cpp.o.d"
+  "libmsys_rcarray.a"
+  "libmsys_rcarray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_rcarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_report.dir/src/runner.cpp.o"
+  "CMakeFiles/msys_report.dir/src/runner.cpp.o.d"
+  "CMakeFiles/msys_report.dir/src/tables.cpp.o"
+  "CMakeFiles/msys_report.dir/src/tables.cpp.o.d"
+  "CMakeFiles/msys_report.dir/src/timeline.cpp.o"
+  "CMakeFiles/msys_report.dir/src/timeline.cpp.o.d"
+  "libmsys_report.a"
+  "libmsys_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_sim.dir/src/simulator.cpp.o"
+  "CMakeFiles/msys_sim.dir/src/simulator.cpp.o.d"
+  "libmsys_sim.a"
+  "libmsys_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trisc/src/control.cpp" "src/trisc/CMakeFiles/msys_trisc.dir/src/control.cpp.o" "gcc" "src/trisc/CMakeFiles/msys_trisc.dir/src/control.cpp.o.d"
+  "/root/repo/src/trisc/src/isa.cpp" "src/trisc/CMakeFiles/msys_trisc.dir/src/isa.cpp.o" "gcc" "src/trisc/CMakeFiles/msys_trisc.dir/src/isa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/msys_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsched/CMakeFiles/msys_dsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/csched/CMakeFiles/msys_csched.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/msys_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msys_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/msys_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/msys_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/msys_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_trisc.dir/src/control.cpp.o"
+  "CMakeFiles/msys_trisc.dir/src/control.cpp.o.d"
+  "CMakeFiles/msys_trisc.dir/src/isa.cpp.o"
+  "CMakeFiles/msys_trisc.dir/src/isa.cpp.o.d"
+  "libmsys_trisc.a"
+  "libmsys_trisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_trisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsys_trisc.a"
+)

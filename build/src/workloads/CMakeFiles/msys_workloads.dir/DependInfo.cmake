@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/src/atr.cpp" "src/workloads/CMakeFiles/msys_workloads.dir/src/atr.cpp.o" "gcc" "src/workloads/CMakeFiles/msys_workloads.dir/src/atr.cpp.o.d"
+  "/root/repo/src/workloads/src/mpeg.cpp" "src/workloads/CMakeFiles/msys_workloads.dir/src/mpeg.cpp.o" "gcc" "src/workloads/CMakeFiles/msys_workloads.dir/src/mpeg.cpp.o.d"
+  "/root/repo/src/workloads/src/random.cpp" "src/workloads/CMakeFiles/msys_workloads.dir/src/random.cpp.o" "gcc" "src/workloads/CMakeFiles/msys_workloads.dir/src/random.cpp.o.d"
+  "/root/repo/src/workloads/src/registry.cpp" "src/workloads/CMakeFiles/msys_workloads.dir/src/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/msys_workloads.dir/src/registry.cpp.o.d"
+  "/root/repo/src/workloads/src/synthetic.cpp" "src/workloads/CMakeFiles/msys_workloads.dir/src/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/msys_workloads.dir/src/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/msys_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/msys_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msys_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

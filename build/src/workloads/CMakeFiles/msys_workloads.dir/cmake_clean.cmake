@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msys_workloads.dir/src/atr.cpp.o"
+  "CMakeFiles/msys_workloads.dir/src/atr.cpp.o.d"
+  "CMakeFiles/msys_workloads.dir/src/mpeg.cpp.o"
+  "CMakeFiles/msys_workloads.dir/src/mpeg.cpp.o.d"
+  "CMakeFiles/msys_workloads.dir/src/random.cpp.o"
+  "CMakeFiles/msys_workloads.dir/src/random.cpp.o.d"
+  "CMakeFiles/msys_workloads.dir/src/registry.cpp.o"
+  "CMakeFiles/msys_workloads.dir/src/registry.cpp.o.d"
+  "CMakeFiles/msys_workloads.dir/src/synthetic.cpp.o"
+  "CMakeFiles/msys_workloads.dir/src/synthetic.cpp.o.d"
+  "libmsys_workloads.a"
+  "libmsys_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msys_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appdsl_test.dir/appdsl/parser_fuzz_test.cpp.o"
+  "CMakeFiles/appdsl_test.dir/appdsl/parser_fuzz_test.cpp.o.d"
+  "CMakeFiles/appdsl_test.dir/appdsl/parser_test.cpp.o"
+  "CMakeFiles/appdsl_test.dir/appdsl/parser_test.cpp.o.d"
+  "appdsl_test"
+  "appdsl_test.pdb"
+  "appdsl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appdsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

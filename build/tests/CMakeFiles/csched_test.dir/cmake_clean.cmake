@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csched_test.dir/csched/context_plan_test.cpp.o"
+  "CMakeFiles/csched_test.dir/csched/context_plan_test.cpp.o.d"
+  "csched_test"
+  "csched_test.pdb"
+  "csched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsched_test.dir/dsched/alloc_driver_test.cpp.o"
+  "CMakeFiles/dsched_test.dir/dsched/alloc_driver_test.cpp.o.d"
+  "CMakeFiles/dsched_test.dir/dsched/cost_test.cpp.o"
+  "CMakeFiles/dsched_test.dir/dsched/cost_test.cpp.o.d"
+  "CMakeFiles/dsched_test.dir/dsched/schedulers_test.cpp.o"
+  "CMakeFiles/dsched_test.dir/dsched/schedulers_test.cpp.o.d"
+  "CMakeFiles/dsched_test.dir/dsched/validate_test.cpp.o"
+  "CMakeFiles/dsched_test.dir/dsched/validate_test.cpp.o.d"
+  "dsched_test"
+  "dsched_test.pdb"
+  "dsched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksched_test.dir/ksched/kernel_scheduler_test.cpp.o"
+  "CMakeFiles/ksched_test.dir/ksched/kernel_scheduler_test.cpp.o.d"
+  "ksched_test"
+  "ksched_test.pdb"
+  "ksched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcarray_test.dir/rcarray/functional_test.cpp.o"
+  "CMakeFiles/rcarray_test.dir/rcarray/functional_test.cpp.o.d"
+  "CMakeFiles/rcarray_test.dir/rcarray/isa_test.cpp.o"
+  "CMakeFiles/rcarray_test.dir/rcarray/isa_test.cpp.o.d"
+  "CMakeFiles/rcarray_test.dir/rcarray/kernels_test.cpp.o"
+  "CMakeFiles/rcarray_test.dir/rcarray/kernels_test.cpp.o.d"
+  "CMakeFiles/rcarray_test.dir/rcarray/rc_array_test.cpp.o"
+  "CMakeFiles/rcarray_test.dir/rcarray/rc_array_test.cpp.o.d"
+  "rcarray_test"
+  "rcarray_test.pdb"
+  "rcarray_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcarray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trisc_test.dir/trisc/control_test.cpp.o"
+  "CMakeFiles/trisc_test.dir/trisc/control_test.cpp.o.d"
+  "trisc_test"
+  "trisc_test.pdb"
+  "trisc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trisc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

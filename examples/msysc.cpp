@@ -9,6 +9,14 @@
 //   $ ./build/examples/msysc --control examples/apps/demo.mapp # TinyRISC listing
 //   $ ./build/examples/msysc --search examples/apps/demo.mapp  # ignore clusters,
 //                                                              # let ksched pick
+//   $ ./build/examples/msysc --validate examples/apps/demo.mapp
+//
+// All diagnostics go to stderr.  Exit codes:
+//   0  success
+//   1  usage error (bad flags, no input file)
+//   2  the input did not parse (parser diagnostics on stderr)
+//   3  the application does not fit the machine (structured infeasibility)
+//   4  internal invariant broken (validator violation, prediction mismatch)
 //
 // The text format is documented in msys/appdsl/parser.hpp.
 #include <iostream>
@@ -17,12 +25,23 @@
 #include "msys/appdsl/parser.hpp"
 #include "msys/codegen/program.hpp"
 #include "msys/common/strfmt.hpp"
+#include "msys/dsched/validate.hpp"
 #include "msys/extract/analysis.hpp"
 #include "msys/ksched/kernel_scheduler.hpp"
 #include "msys/report/runner.hpp"
 #include "msys/report/tables.hpp"
 #include "msys/report/timeline.hpp"
 #include "msys/trisc/control.hpp"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitParse = 2;
+constexpr int kExitInfeasible = 3;
+constexpr int kExitInternal = 4;
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace msys;
@@ -31,6 +50,7 @@ int main(int argc, char** argv) {
   bool cross_set = false;
   bool search = false;
   bool control = false;
+  bool validate = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -44,24 +64,31 @@ int main(int argc, char** argv) {
       search = true;
     } else if (arg == "--control") {
       control = true;
+    } else if (arg == "--validate") {
+      validate = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "msysc: unknown flag " << arg << "\n";
-      return 2;
+      return kExitUsage;
     } else {
       path = arg;
     }
   }
   if (path.empty()) {
-    std::cerr << "usage: msysc [--emit|--timeline|--cross-set|--search|--control]"
-                 " <file.mapp>\n";
-    return 2;
+    std::cerr << "usage: msysc [--emit|--timeline|--cross-set|--search|--control|"
+                 "--validate] <file.mapp>\n";
+    return kExitUsage;
   }
 
   try {
-    appdsl::ParsedExperiment parsed = appdsl::parse_file(path);
+    appdsl::ParseResult parse_result = appdsl::parse_file_collect(path);
+    if (!parse_result.ok()) {
+      std::cerr << render(parse_result.diagnostics) << '\n';
+      return kExitParse;
+    }
+    appdsl::ParsedExperiment& parsed = *parse_result.experiment;
     if (emit) {
       std::cout << appdsl::write(parsed.app, parsed.partition, parsed.cfg);
-      return 0;
+      return kExitOk;
     }
 
     if (cross_set) parsed.cfg = parsed.cfg.with_cross_set_reads(true);
@@ -69,22 +96,33 @@ int main(int argc, char** argv) {
     if (parsed.partition.empty() || search) {
       // No cluster lines: let the Kernel Scheduler find one.
       std::cout << "no schedule in file; searching...\n";
-      ksched::SearchResult search = ksched::find_best_schedule(parsed.app, parsed.cfg);
-      if (!search.found()) {
-        std::cerr << "no feasible kernel schedule on this machine\n";
-        return 1;
+      ksched::SearchResult found = ksched::find_best_schedule(parsed.app, parsed.cfg);
+      if (!found.found()) {
+        std::cerr << "msysc: no feasible kernel schedule on this machine\n";
+        return kExitInfeasible;
       }
-      std::cout << "picked: " << search.best->summary() << "\n\n";
+      std::cout << "picked: " << found.best->summary() << "\n\n";
       report::ExperimentResult r =
-          report::run_experiment(parsed.app.name(), *search.best, parsed.cfg);
+          report::run_experiment(parsed.app.name(), *found.best, parsed.cfg);
       report::detail_table({r}).print(std::cout);
-      return 0;
+      return kExitOk;
     }
 
     model::KernelSchedule sched = parsed.schedule();
     std::cout << "schedule: " << sched.summary() << "\n\n";
-    extract::ScheduleAnalysis analysis(sched);
+    extract::ScheduleAnalysis analysis(sched, parsed.cfg.cross_set_reads);
     std::cout << analysis.summary() << '\n';
+
+    // The degradation chain decides feasibility: CDS -> DS -> Basic ->
+    // DS+split, with every rung's outcome recorded.
+    report::FallbackRunResult fb = report::run_with_fallback(sched, parsed.cfg);
+    std::cout << "fallback chain: " << fb.outcome.chain_summary() << '\n';
+    if (!fb.feasible()) {
+      std::cerr << "msysc: application does not fit this machine:\n"
+                << render(fb.outcome.diagnostics) << '\n';
+      return kExitInfeasible;
+    }
+    std::cout << "scheduled by: " << fb.outcome.chosen_rung() << "\n\n";
 
     report::ExperimentResult r =
         report::run_experiment(parsed.app.name(), sched, parsed.cfg);
@@ -93,6 +131,25 @@ int main(int argc, char** argv) {
       std::cout << "\nDS  improvement over Basic: " << percent(*r.ds_improvement());
       std::cout << "\nCDS improvement over Basic: " << percent(*r.cds_improvement())
                 << '\n';
+    }
+    if (validate) {
+      // Re-run the structural validator over every feasible scheduler's
+      // plan and report explicitly (run_experiment already asserts this;
+      // the flag makes the check visible and survives future refactors).
+      for (const report::SchedulerOutcome* o : {&r.basic, &r.ds, &r.cds}) {
+        if (!o->feasible()) {
+          std::cout << "validate: " << o->scheduler << ": skipped (infeasible)\n";
+          continue;
+        }
+        const Diagnostics violations =
+            dsched::validate_schedule(o->schedule, analysis, parsed.cfg);
+        if (!violations.empty()) {
+          std::cerr << "msysc: " << o->scheduler << " plan is invalid:\n"
+                    << render(violations) << '\n';
+          return kExitInternal;
+        }
+        std::cout << "validate: " << o->scheduler << ": clean\n";
+      }
     }
     if (timeline && r.cds.feasible()) {
       csched::ContextPlan plan =
@@ -109,8 +166,10 @@ int main(int argc, char** argv) {
                 << trisc::disassemble(cp.code);
     }
   } catch (const std::exception& e) {
-    std::cerr << "msysc: " << e.what() << '\n';
-    return 1;
+    // Anything that escapes to here is a broken internal invariant, not a
+    // bad input: bad inputs surface as parse or infeasibility diagnostics.
+    std::cerr << "msysc: internal error: " << e.what() << '\n';
+    return kExitInternal;
   }
-  return 0;
+  return kExitOk;
 }

@@ -28,11 +28,13 @@
 //   fbset 1024
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "msys/arch/m1.hpp"
+#include "msys/common/diagnostic.hpp"
 #include "msys/model/schedule.hpp"
 
 namespace msys::appdsl {
@@ -51,11 +53,34 @@ struct ParsedExperiment {
   [[nodiscard]] model::KernelSchedule schedule() const;
 };
 
-/// Parses the format above.  Throws msys::Error with a line-numbered
-/// message on any syntax or semantic problem.
+/// Parse outcome: either a finished experiment, or the complete list of
+/// problems found.  Unlike the throwing parse() below, the collecting
+/// parser recovers after each bad line, so one call reports *every* error
+/// in the text (diagnostic codes: "parse.syntax", "parse.number.*",
+/// "parse.duplicate", "parse.unknown-ref", "parse.semantic", "app.invalid",
+/// "io.open").
+struct ParseResult {
+  /// Present iff no error-severity diagnostic was produced.
+  std::optional<ParsedExperiment> experiment;
+  Diagnostics diagnostics;
+
+  [[nodiscard]] bool ok() const { return experiment.has_value(); }
+};
+
+/// Parses the format above, collecting all diagnostics instead of stopping
+/// at the first problem.  Never throws on malformed input.
+[[nodiscard]] ParseResult parse_collect(std::string_view text,
+                                        std::string file = "<input>");
+
+/// Reads and parses a file, collecting diagnostics (an unreadable file
+/// yields a single "io.open" diagnostic).
+[[nodiscard]] ParseResult parse_file_collect(const std::string& path);
+
+/// Parses the format above.  Throws msys::Error carrying every collected
+/// diagnostic on any syntax or semantic problem.
 [[nodiscard]] ParsedExperiment parse(std::string_view text);
 
-/// Reads and parses a file.
+/// Reads and parses a file.  Throws msys::Error on I/O or parse problems.
 [[nodiscard]] ParsedExperiment parse_file(const std::string& path);
 
 /// Serialises an application + schedule + machine back to the text format

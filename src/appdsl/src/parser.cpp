@@ -1,6 +1,8 @@
 #include "msys/appdsl/parser.hpp"
 
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <unordered_map>
@@ -32,19 +34,12 @@ std::vector<std::string> tokenize(std::string_view line) {
   return tokens;
 }
 
-[[noreturn]] void fail(int line, const std::string& message) {
-  raise("appdsl: line " + std::to_string(line) + ": " + message);
-}
-
-std::uint64_t parse_u64(int line, const std::string& token, const char* what) {
-  std::uint64_t value = 0;
-  for (char c : token) {
-    if (c < '0' || c > '9') fail(line, std::string(what) + " must be a number: " + token);
-    value = value * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  if (token.empty()) fail(line, std::string(what) + " missing");
-  return value;
-}
+/// Internal control flow only: aborts the current *line*, never escapes
+/// parse_collect (the per-line dispatcher catches it and records the
+/// diagnostic, then continues with the next line).
+struct LineAbort {
+  Diagnostic diagnostic;
+};
 
 struct OutSpec {
   std::string name;
@@ -52,23 +47,247 @@ struct OutSpec {
   bool final{false};
 };
 
-OutSpec parse_out_spec(int line, const std::string& token) {
-  OutSpec spec;
-  std::size_t first = token.find(':');
-  if (first == std::string::npos) fail(line, "out spec needs <name>:<size>: " + token);
-  spec.name = token.substr(0, first);
-  std::size_t second = token.find(':', first + 1);
-  std::string size_str = second == std::string::npos
-                             ? token.substr(first + 1)
-                             : token.substr(first + 1, second - first - 1);
-  spec.size = SizeWords{parse_u64(line, size_str, "out size")};
-  if (second != std::string::npos) {
-    const std::string flag = token.substr(second + 1);
-    if (flag != "final") fail(line, "unknown out flag: " + flag);
-    spec.final = true;
+/// Parser state threaded through the line handlers.
+class Parser {
+ public:
+  explicit Parser(std::string file) : file_(std::move(file)) {}
+
+  ParseResult run(std::string_view text) {
+    std::istringstream stream{std::string(text)};
+    std::string line;
+    while (std::getline(stream, line)) {
+      ++line_no_;
+      const std::vector<std::string> tok = tokenize(line);
+      if (tok.empty()) continue;
+      try {
+        dispatch(tok);
+      } catch (const LineAbort& abort) {
+        diags_.push_back(abort.diagnostic);
+      }
+    }
+    return finish();
   }
-  return spec;
-}
+
+ private:
+  [[noreturn]] void fail(std::string code, const std::string& message) const {
+    throw LineAbort{make_error(std::move(code), "appdsl: " + message,
+                               SourceLoc{file_, line_no_})};
+  }
+
+  std::uint64_t parse_u64(const std::string& token, const char* what) const {
+    if (token.empty()) fail("parse.number.missing", std::string(what) + " missing");
+    if (token[0] == '-') {
+      fail("parse.number.negative",
+           std::string(what) + " must not be negative: " + token);
+    }
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t value = 0;
+    for (char c : token) {
+      if (c < '0' || c > '9') {
+        fail("parse.number.garbage", std::string(what) + " must be a number: " + token);
+      }
+      const auto digit = static_cast<std::uint64_t>(c - '0');
+      if (value > (kMax - digit) / 10) {
+        fail("parse.number.overflow", std::string(what) + " overflows: " + token);
+      }
+      value = value * 10 + digit;
+    }
+    return value;
+  }
+
+  /// Bounded number with an explicit inclusive range; every numeric field
+  /// of the format has a hard floor of 1 (zero-iteration apps, zero-size
+  /// objects and zero-latency kernels are all structurally invalid).
+  std::uint64_t parse_bounded(const std::string& token, const char* what,
+                              std::uint64_t min, std::uint64_t max) const {
+    const std::uint64_t value = parse_u64(token, what);
+    if (value < min) {
+      fail("parse.number.range",
+           std::string(what) + " must be at least " + std::to_string(min) + ": " + token);
+    }
+    if (value > max) {
+      fail("parse.number.overflow", std::string(what) + " exceeds the supported maximum " +
+                                        std::to_string(max) + ": " + token);
+    }
+    return value;
+  }
+
+  std::uint32_t parse_u32(const std::string& token, const char* what,
+                          std::uint64_t min = 1) const {
+    return static_cast<std::uint32_t>(
+        parse_bounded(token, what, min, std::numeric_limits<std::uint32_t>::max()));
+  }
+
+  OutSpec parse_out_spec(const std::string& token) const {
+    OutSpec spec;
+    std::size_t first = token.find(':');
+    if (first == std::string::npos) {
+      fail("parse.syntax", "out spec needs <name>:<size>: " + token);
+    }
+    spec.name = token.substr(0, first);
+    if (spec.name.empty()) fail("parse.syntax", "out spec has an empty name: " + token);
+    std::size_t second = token.find(':', first + 1);
+    std::string size_str = second == std::string::npos
+                               ? token.substr(first + 1)
+                               : token.substr(first + 1, second - first - 1);
+    spec.size = SizeWords{
+        parse_bounded(size_str, "out size", 1, std::numeric_limits<std::uint64_t>::max())};
+    if (second != std::string::npos) {
+      const std::string flag = token.substr(second + 1);
+      if (flag != "final") fail("parse.syntax", "unknown out flag: " + flag);
+      spec.final = true;
+    }
+    return spec;
+  }
+
+  void dispatch(const std::vector<std::string>& tok) {
+    const std::string& kw = tok[0];
+    if (kw == "app") {
+      handle_app(tok);
+      return;
+    }
+    if (!builder_.has_value()) {
+      fail("parse.syntax", "first declaration must be an app line");
+    }
+    if (kw == "input") {
+      handle_input(tok);
+    } else if (kw == "kernel") {
+      handle_kernel(tok);
+    } else if (kw == "cluster") {
+      handle_cluster(tok);
+    } else if (kw == "fbset") {
+      if (tok.size() != 2) fail("parse.syntax", "expected: fbset <words>");
+      cfg_.fb_set_size = SizeWords{
+          parse_bounded(tok[1], "fbset", 1, std::numeric_limits<std::uint64_t>::max())};
+    } else if (kw == "cm") {
+      if (tok.size() != 2) fail("parse.syntax", "expected: cm <words>");
+      cfg_.cm_capacity_words = parse_u32(tok[1], "cm");
+    } else if (kw == "ctxcost") {
+      if (tok.size() != 2) fail("parse.syntax", "expected: ctxcost <cycles>");
+      cfg_.dma.cycles_per_context_word = Cycles{parse_bounded(
+          tok[1], "ctxcost", 1, std::numeric_limits<std::uint64_t>::max())};
+    } else {
+      fail("parse.syntax", "unknown keyword: " + kw);
+    }
+  }
+
+  void handle_app(const std::vector<std::string>& tok) {
+    if (builder_.has_value()) fail("parse.duplicate", "duplicate app line");
+    if (tok.size() != 4 || tok[2] != "iterations") {
+      fail("parse.syntax", "expected: app <name> iterations <count>");
+    }
+    // On a bad iteration count, still install a placeholder builder so the
+    // rest of the file parses and its own problems are reported too.
+    std::uint32_t iterations = 1;
+    try {
+      iterations = parse_u32(tok[3], "iterations");
+    } catch (const LineAbort&) {
+      builder_.emplace(tok[1], 1u);
+      throw;
+    }
+    builder_.emplace(tok[1], iterations);
+  }
+
+  void handle_input(const std::vector<std::string>& tok) {
+    if (tok.size() != 3) fail("parse.syntax", "expected: input <name> <size>");
+    if (data_by_name_.contains(tok[1])) {
+      fail("parse.duplicate", "duplicate data name: " + tok[1]);
+    }
+    const SizeWords size{parse_bounded(tok[2], "input size", 1,
+                                       std::numeric_limits<std::uint64_t>::max())};
+    data_by_name_.emplace(tok[1], builder_->external_input(tok[1], size));
+  }
+
+  void handle_kernel(const std::vector<std::string>& tok) {
+    // kernel <name> ctx <words> cycles <cycles> in <data>... [out <spec>...]
+    if (tok.size() < 7 || tok[2] != "ctx" || tok[4] != "cycles" || tok[6] != "in") {
+      fail("parse.syntax",
+           "expected: kernel <name> ctx <w> cycles <c> in <data>... [out ...]");
+    }
+    if (kernels_by_name_.contains(tok[1])) {
+      fail("parse.duplicate", "duplicate kernel name: " + tok[1]);
+    }
+    const std::uint32_t ctx_words = parse_u32(tok[3], "ctx words");
+    const Cycles cycles{parse_bounded(tok[5], "cycles", 1,
+                                      std::numeric_limits<std::uint64_t>::max())};
+    std::size_t i = 7;
+    std::vector<DataId> inputs;
+    for (; i < tok.size() && tok[i] != "out"; ++i) {
+      auto it = data_by_name_.find(tok[i]);
+      if (it == data_by_name_.end()) {
+        fail("parse.unknown-ref", "unknown data object: " + tok[i]);
+      }
+      inputs.push_back(it->second);
+    }
+    if (inputs.empty()) fail("parse.syntax", "kernel needs at least one input");
+    // Validate the out specs *before* mutating the builder, so a bad spec
+    // does not leave a half-declared kernel behind.
+    std::vector<OutSpec> specs;
+    if (i < tok.size()) {
+      ++i;  // skip "out"
+      if (i >= tok.size()) fail("parse.syntax", "out with no specs");
+      for (; i < tok.size(); ++i) {
+        OutSpec spec = parse_out_spec(tok[i]);
+        if (data_by_name_.contains(spec.name)) {
+          fail("parse.duplicate", "duplicate data name: " + spec.name);
+        }
+        for (const OutSpec& earlier : specs) {
+          if (earlier.name == spec.name) {
+            fail("parse.duplicate", "duplicate data name: " + spec.name);
+          }
+        }
+        specs.push_back(std::move(spec));
+      }
+    }
+    KernelId k = builder_->kernel(tok[1], ctx_words, cycles, std::move(inputs));
+    kernels_by_name_.emplace(tok[1], k);
+    for (const OutSpec& spec : specs) {
+      data_by_name_.emplace(spec.name,
+                            builder_->output(k, spec.name, spec.size, spec.final));
+    }
+  }
+
+  void handle_cluster(const std::vector<std::string>& tok) {
+    if (tok.size() < 2) fail("parse.syntax", "cluster needs at least one kernel");
+    for (std::size_t i = 1; i < tok.size(); ++i) {
+      if (!kernels_by_name_.contains(tok[i])) {
+        fail("parse.unknown-ref", "cluster references unknown kernel: " + tok[i]);
+      }
+    }
+    partition_.emplace_back(tok.begin() + 1, tok.end());
+  }
+
+  ParseResult finish() {
+    ParseResult result;
+    result.diagnostics = std::move(diags_);
+    if (!builder_.has_value()) {
+      result.diagnostics.push_back(make_error(
+          "parse.syntax", "appdsl: empty input (no app line)", SourceLoc{file_, 0}));
+      return result;
+    }
+    if (has_errors(result.diagnostics)) return result;
+    // Whole-application validation (unconsumed objects, cycles, ...) —
+    // surfaced as a diagnostic rather than a raw throw.
+    try {
+      ParsedExperiment parsed{std::move(*builder_).build(), std::move(partition_),
+                              arch::M1Config::validated(std::move(cfg_))};
+      result.experiment.emplace(std::move(parsed));
+    } catch (const Error& e) {
+      result.diagnostics.push_back(
+          make_error("app.invalid", e.what(), SourceLoc{file_, 0}));
+    }
+    return result;
+  }
+
+  std::string file_;
+  int line_no_{0};
+  Diagnostics diags_;
+  std::optional<ApplicationBuilder> builder_;
+  std::unordered_map<std::string, DataId> data_by_name_;
+  std::unordered_map<std::string, KernelId> kernels_by_name_;
+  std::vector<std::vector<std::string>> partition_;
+  arch::M1Config cfg_ = arch::M1Config::m1_default();
+};
 
 }  // namespace
 
@@ -87,106 +306,34 @@ model::KernelSchedule ParsedExperiment::schedule() const {
   return model::KernelSchedule::from_partition(app, std::move(ids));
 }
 
-ParsedExperiment parse(std::string_view text) {
-  std::optional<ApplicationBuilder> builder;
-  std::unordered_map<std::string, DataId> data_by_name;
-  std::unordered_map<std::string, KernelId> kernels_by_name;
-  std::vector<std::vector<std::string>> partition;
-  arch::M1Config cfg = arch::M1Config::m1_default();
+ParseResult parse_collect(std::string_view text, std::string file) {
+  Parser parser(std::move(file));
+  return parser.run(text);
+}
 
-  std::istringstream stream{std::string(text)};
-  std::string line;
-  int line_no = 0;
-  while (std::getline(stream, line)) {
-    ++line_no;
-    const std::vector<std::string> tok = tokenize(line);
-    if (tok.empty()) continue;
-    const std::string& kw = tok[0];
-
-    if (kw == "app") {
-      if (builder.has_value()) fail(line_no, "duplicate app line");
-      if (tok.size() != 4 || tok[2] != "iterations") {
-        fail(line_no, "expected: app <name> iterations <count>");
-      }
-      builder.emplace(tok[1],
-                      static_cast<std::uint32_t>(parse_u64(line_no, tok[3], "iterations")));
-      continue;
-    }
-    if (!builder.has_value()) fail(line_no, "first declaration must be an app line");
-
-    if (kw == "input") {
-      if (tok.size() != 3) fail(line_no, "expected: input <name> <size>");
-      if (data_by_name.contains(tok[1])) fail(line_no, "duplicate data name: " + tok[1]);
-      data_by_name.emplace(
-          tok[1], builder->external_input(tok[1], SizeWords{parse_u64(line_no, tok[2],
-                                                                      "input size")}));
-    } else if (kw == "kernel") {
-      // kernel <name> ctx <words> cycles <cycles> in <data>... [out <spec>...]
-      if (tok.size() < 7 || tok[2] != "ctx" || tok[4] != "cycles" || tok[6] != "in") {
-        fail(line_no, "expected: kernel <name> ctx <w> cycles <c> in <data>... [out ...]");
-      }
-      if (kernels_by_name.contains(tok[1])) {
-        fail(line_no, "duplicate kernel name: " + tok[1]);
-      }
-      std::size_t i = 7;
-      std::vector<DataId> inputs;
-      for (; i < tok.size() && tok[i] != "out"; ++i) {
-        auto it = data_by_name.find(tok[i]);
-        if (it == data_by_name.end()) fail(line_no, "unknown data object: " + tok[i]);
-        inputs.push_back(it->second);
-      }
-      if (inputs.empty()) fail(line_no, "kernel needs at least one input");
-      KernelId k = builder->kernel(
-          tok[1], static_cast<std::uint32_t>(parse_u64(line_no, tok[3], "ctx words")),
-          Cycles{parse_u64(line_no, tok[5], "cycles")}, std::move(inputs));
-      kernels_by_name.emplace(tok[1], k);
-      if (i < tok.size()) {
-        ++i;  // skip "out"
-        if (i >= tok.size()) fail(line_no, "out with no specs");
-        for (; i < tok.size(); ++i) {
-          OutSpec spec = parse_out_spec(line_no, tok[i]);
-          if (data_by_name.contains(spec.name)) {
-            fail(line_no, "duplicate data name: " + spec.name);
-          }
-          data_by_name.emplace(spec.name,
-                               builder->output(k, spec.name, spec.size, spec.final));
-        }
-      }
-    } else if (kw == "cluster") {
-      if (tok.size() < 2) fail(line_no, "cluster needs at least one kernel");
-      for (std::size_t i = 1; i < tok.size(); ++i) {
-        if (!kernels_by_name.contains(tok[i])) {
-          fail(line_no, "cluster references unknown kernel: " + tok[i]);
-        }
-      }
-      partition.emplace_back(tok.begin() + 1, tok.end());
-    } else if (kw == "fbset") {
-      if (tok.size() != 2) fail(line_no, "expected: fbset <words>");
-      cfg.fb_set_size = SizeWords{parse_u64(line_no, tok[1], "fbset")};
-    } else if (kw == "cm") {
-      if (tok.size() != 2) fail(line_no, "expected: cm <words>");
-      cfg.cm_capacity_words =
-          static_cast<std::uint32_t>(parse_u64(line_no, tok[1], "cm"));
-    } else if (kw == "ctxcost") {
-      if (tok.size() != 2) fail(line_no, "expected: ctxcost <cycles>");
-      cfg.dma.cycles_per_context_word = Cycles{parse_u64(line_no, tok[1], "ctxcost")};
-    } else {
-      fail(line_no, "unknown keyword: " + kw);
-    }
+ParseResult parse_file_collect(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    ParseResult result;
+    result.diagnostics.push_back(
+        make_error("io.open", "cannot open " + path, SourceLoc{path, 0}));
+    return result;
   }
-  if (!builder.has_value()) raise("appdsl: empty input (no app line)");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_collect(text.str(), path);
+}
 
-  ParsedExperiment parsed{std::move(*builder).build(), std::move(partition),
-                          arch::M1Config::validated(std::move(cfg))};
-  return parsed;
+ParsedExperiment parse(std::string_view text) {
+  ParseResult result = parse_collect(text);
+  if (!result.ok()) raise(render(result.diagnostics));
+  return std::move(*result.experiment);
 }
 
 ParsedExperiment parse_file(const std::string& path) {
-  std::ifstream in(path);
-  MSYS_REQUIRE(in.good(), "cannot open " + path);
-  std::ostringstream text;
-  text << in.rdbuf();
-  return parse(text.str());
+  ParseResult result = parse_file_collect(path);
+  if (!result.ok()) raise(render(result.diagnostics));
+  return std::move(*result.experiment);
 }
 
 std::string write(const Application& app,

@@ -1,0 +1,54 @@
+// Structured diagnostics: the project-wide carrier for *expected* bad
+// outcomes — malformed input text, infeasible schedules, plan-validation
+// violations.  A Diagnostic is data, not control flow; exceptions
+// (msys::Error) remain reserved for programming errors (see error.hpp and
+// the "Error-handling contract" section of README.md).
+//
+// Every diagnostic carries a stable machine-readable `code` (dotted slug,
+// e.g. "parse.number.overflow") so that tools and tests can match on the
+// kind of problem without parsing English prose.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msys {
+
+enum class Severity { kError, kWarning, kNote };
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+/// Where the problem was found.  `file` is empty for non-file inputs
+/// (in-memory text, generated workloads); `line` is 0 when the problem has
+/// no meaningful line (e.g. whole-application validation).
+struct SourceLoc {
+  std::string file;
+  int line{0};
+
+  [[nodiscard]] bool known() const { return !file.empty() || line > 0; }
+};
+
+struct Diagnostic {
+  std::string code;
+  Severity severity{Severity::kError};
+  SourceLoc loc;
+  std::string message;
+
+  /// "file:line: error[code]: message" (location omitted when unknown).
+  [[nodiscard]] std::string to_string() const;
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+[[nodiscard]] Diagnostic make_error(std::string code, std::string message,
+                                    SourceLoc loc = {});
+[[nodiscard]] Diagnostic make_warning(std::string code, std::string message,
+                                      SourceLoc loc = {});
+
+[[nodiscard]] bool has_errors(const Diagnostics& diags);
+[[nodiscard]] std::size_t error_count(const Diagnostics& diags);
+
+/// One diagnostic per line, in order.
+[[nodiscard]] std::string render(const Diagnostics& diags);
+
+}  // namespace msys

@@ -1,0 +1,62 @@
+#include "msys/common/diagnostic.hpp"
+
+#include <sstream>
+
+namespace msys {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream out;
+  if (loc.known()) {
+    out << (loc.file.empty() ? "<input>" : loc.file);
+    if (loc.line > 0) out << ':' << loc.line;
+    out << ": ";
+  }
+  out << msys::to_string(severity);
+  if (!code.empty()) out << '[' << code << ']';
+  out << ": " << message;
+  return out.str();
+}
+
+Diagnostic make_error(std::string code, std::string message, SourceLoc loc) {
+  return Diagnostic{.code = std::move(code),
+                    .severity = Severity::kError,
+                    .loc = std::move(loc),
+                    .message = std::move(message)};
+}
+
+Diagnostic make_warning(std::string code, std::string message, SourceLoc loc) {
+  return Diagnostic{.code = std::move(code),
+                    .severity = Severity::kWarning,
+                    .loc = std::move(loc),
+                    .message = std::move(message)};
+}
+
+bool has_errors(const Diagnostics& diags) { return error_count(diags) > 0; }
+
+std::size_t error_count(const Diagnostics& diags) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::string render(const Diagnostics& diags) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    if (i > 0) out << '\n';
+    out << diags[i].to_string();
+  }
+  return out.str();
+}
+
+}  // namespace msys

@@ -1,0 +1,68 @@
+// Graceful degradation for the data-scheduler stack.
+//
+// The paper's pitch is that the CDS always wins when it fits — but a
+// production front end must also survive workloads where it does *not*
+// fit.  schedule_with_fallback() walks a ladder of progressively less
+// ambitious schedulers and reports the whole walk as data:
+//
+//   1. CDS          — retention + RF (the paper's Complete Data Scheduler)
+//   2. DS           — RF only, no inter-cluster retention
+//   3. Basic        — RF = 1, no within-cluster replacement
+//   4. DS+split     — RF = 1 with best-fit placement and multi-extent
+//                     splitting forced on: the last-resort packing mode
+//                     for workloads that first-fit fragmentation kills
+//
+// Every rung records whether it was attempted, whether it succeeded and
+// why it failed, so callers (report::runner, msysc) can print the chain.
+// Internal scheduler exceptions are converted into diagnostics — an
+// infeasible or adversarial input never escapes as a raw throw.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "msys/common/diagnostic.hpp"
+#include "msys/dsched/schedulers.hpp"
+
+namespace msys::dsched {
+
+/// One rung of the degradation ladder.
+struct FallbackAttempt {
+  std::string rung;
+  bool attempted{false};
+  bool succeeded{false};
+  /// Failure reason, or "selected" for the winning rung, or "not reached".
+  std::string reason;
+};
+
+/// Outcome of a fallback run: the chosen schedule (possibly infeasible
+/// when every rung failed) plus the full attempt record.  "Does not fit"
+/// is data here, not control flow.
+struct ScheduleOutcome {
+  DataSchedule schedule;
+  std::vector<FallbackAttempt> attempts;
+  /// Non-empty exactly when no rung produced a feasible schedule; also
+  /// carries converted internal errors (code "schedule.internal").
+  Diagnostics diagnostics;
+
+  [[nodiscard]] bool feasible() const { return schedule.feasible; }
+  /// Name of the winning rung; empty when infeasible.
+  [[nodiscard]] std::string chosen_rung() const;
+  /// One line, e.g. "CDS:fit-failed -> DS:ok(selected)".
+  [[nodiscard]] std::string chain_summary() const;
+};
+
+struct FallbackOptions {
+  CompleteDataScheduler::Options cds{};
+  /// Disable the final best-fit/split rung (ablation convenience).
+  bool enable_split_rung{true};
+};
+
+/// Runs the CDS -> DS -> Basic -> DS+split ladder, stopping at the first
+/// feasible rung.  Never throws for infeasible or adversarial inputs; the
+/// returned outcome always explains what was tried.
+[[nodiscard]] ScheduleOutcome schedule_with_fallback(
+    const extract::ScheduleAnalysis& analysis, const arch::M1Config& cfg,
+    const FallbackOptions& options = {});
+
+}  // namespace msys::dsched

@@ -2,7 +2,7 @@
 // allocator walk that produced it and the simulator that executes it —
 // a third, structural line of defence.
 //
-// Checks (returned as human-readable violation strings; empty == valid):
+// Checks (returned as structured diagnostics; empty == valid):
 //   * every cluster input instance is either loaded by that cluster's
 //     plan or read in place from a retained residency;
 //   * loads cover only genuine cluster inputs, never in-cluster results;
@@ -12,19 +12,21 @@
 //     FB set and use disjoint extents;
 //   * retained objects are retention candidates and respect their spans;
 //   * RF is within [1, total_iterations].
+//
+// Diagnostic codes: "validate.shape", "validate.retained",
+// "validate.placement", "validate.load", "validate.store",
+// "validate.release", "validate.infeasible".
 #pragma once
 
-#include <string>
-#include <vector>
-
 #include "msys/arch/m1.hpp"
+#include "msys/common/diagnostic.hpp"
 #include "msys/dsched/schedule_types.hpp"
 #include "msys/extract/analysis.hpp"
 
 namespace msys::dsched {
 
-[[nodiscard]] std::vector<std::string> validate_schedule(
-    const DataSchedule& schedule, const extract::ScheduleAnalysis& analysis,
-    const arch::M1Config& cfg);
+[[nodiscard]] Diagnostics validate_schedule(const DataSchedule& schedule,
+                                            const extract::ScheduleAnalysis& analysis,
+                                            const arch::M1Config& cfg);
 
 }  // namespace msys::dsched

@@ -1,0 +1,131 @@
+#include "msys/dsched/fallback.hpp"
+
+#include <functional>
+#include <sstream>
+#include <utility>
+
+#include "msys/common/error.hpp"
+#include "msys/dsched/alloc_driver.hpp"
+
+namespace msys::dsched {
+
+namespace {
+
+/// Rung 4: the last-resort packing mode.  RF = 1 keeps the footprint
+/// minimal; best-fit plus forced multi-extent splitting recovers workloads
+/// that the paper's first-fit policy loses to fragmentation.
+DataSchedule split_rung_schedule(const extract::ScheduleAnalysis& analysis,
+                                 const arch::M1Config& cfg) {
+  DriverOptions options;
+  options.rf = 1;
+  options.release_at_last_use = true;
+  options.regularity_hints = false;
+  options.fit = alloc::FitPolicy::kBestFit;
+  options.allow_split = true;
+  DriverResult result = plan_round(analysis, cfg.fb_set_size, options);
+  if (!result.ok) {
+    return infeasible("DS+split", analysis.sched(), result.fail_reason);
+  }
+  DataSchedule out;
+  out.scheduler_name = "DS+split";
+  out.sched = &analysis.sched();
+  out.feasible = true;
+  out.rf = 1;
+  out.round_plan = std::move(result.round_plan);
+  out.placements = std::move(result.placements);
+  out.alloc_summary = result.summary;
+  return out;
+}
+
+}  // namespace
+
+std::string ScheduleOutcome::chosen_rung() const {
+  for (const FallbackAttempt& a : attempts) {
+    if (a.succeeded) return a.rung;
+  }
+  return {};
+}
+
+std::string ScheduleOutcome::chain_summary() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    if (i > 0) out << " -> ";
+    const FallbackAttempt& a = attempts[i];
+    out << a.rung << ':';
+    if (!a.attempted) {
+      out << "skipped";
+    } else if (a.succeeded) {
+      out << "ok";
+    } else {
+      out << "failed(" << a.reason << ')';
+    }
+  }
+  return out.str();
+}
+
+ScheduleOutcome schedule_with_fallback(const extract::ScheduleAnalysis& analysis,
+                                       const arch::M1Config& cfg,
+                                       const FallbackOptions& options) {
+  ScheduleOutcome outcome;
+
+  // Rung factories, tried in order of decreasing ambition.
+  struct Rung {
+    std::string name;
+    std::function<DataSchedule()> run;
+  };
+  std::vector<Rung> rungs;
+  rungs.push_back({"CDS", [&] {
+                     return CompleteDataScheduler{options.cds}.schedule(analysis, cfg);
+                   }});
+  rungs.push_back({"DS", [&] { return DataScheduler{}.schedule(analysis, cfg); }});
+  rungs.push_back({"Basic", [&] { return BasicScheduler{}.schedule(analysis, cfg); }});
+  if (options.enable_split_rung) {
+    rungs.push_back({"DS+split", [&] { return split_rung_schedule(analysis, cfg); }});
+  }
+
+  for (const Rung& rung : rungs) {
+    FallbackAttempt attempt;
+    attempt.rung = rung.name;
+    if (outcome.feasible()) {
+      attempt.attempted = false;
+      attempt.reason = "not reached";
+      outcome.attempts.push_back(std::move(attempt));
+      continue;
+    }
+    attempt.attempted = true;
+    try {
+      DataSchedule candidate = rung.run();
+      if (candidate.feasible) {
+        attempt.succeeded = true;
+        attempt.reason = "selected";
+        outcome.schedule = std::move(candidate);
+      } else {
+        attempt.reason = candidate.infeasible_reason.empty()
+                             ? "infeasible"
+                             : candidate.infeasible_reason;
+        // Keep the most ambitious rung's record as the reported schedule
+        // so the caller still sees scheduler_name/reason when all fail.
+        if (outcome.schedule.scheduler_name.empty()) {
+          outcome.schedule = std::move(candidate);
+        }
+      }
+    } catch (const Error& e) {
+      // A scheduler invariant tripped on this input: demote to the next
+      // rung instead of crashing the caller, but record it loudly.
+      attempt.reason = std::string("internal: ") + e.what();
+      outcome.diagnostics.push_back(
+          make_error("schedule.internal", rung.name + ": " + e.what()));
+    }
+    outcome.attempts.push_back(std::move(attempt));
+  }
+
+  if (!outcome.feasible()) {
+    std::ostringstream why;
+    why << "no scheduler rung fits this workload on " << cfg.name << " (fbset="
+        << cfg.fb_set_size.value() << " words): " << outcome.chain_summary();
+    outcome.diagnostics.push_back(make_error("schedule.infeasible", why.str()));
+  }
+  return outcome;
+}
+
+}  // namespace msys::dsched

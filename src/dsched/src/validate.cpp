@@ -18,7 +18,7 @@ class Checker {
           const arch::M1Config& cfg)
       : schedule_(schedule), analysis_(analysis), cfg_(cfg) {}
 
-  std::vector<std::string> run() {
+  Diagnostics run() {
     check_shape();
     if (!violations_.empty()) return violations_;  // shape errors cascade
     check_retained_set();
@@ -29,7 +29,9 @@ class Checker {
   }
 
  private:
-  void fail(const std::string& what) { violations_.push_back(what); }
+  void fail(std::string code, const std::string& what) {
+    violations_.push_back(make_error(std::move(code), what));
+  }
 
   [[nodiscard]] bool reads_in_place(DataId d, FbSet set) const {
     if (!schedule_.retained.contains(d) || !analysis_.is_candidate(d)) return false;
@@ -39,22 +41,22 @@ class Checker {
 
   void check_shape() {
     if (!schedule_.feasible) {
-      fail("schedule marked infeasible");
+      fail("validate.infeasible", "schedule marked infeasible: " + schedule_.infeasible_reason);
       return;
     }
     if (schedule_.rf < 1 || schedule_.rf > analysis_.app().total_iterations()) {
-      fail("RF outside [1, total_iterations]");
+      fail("validate.shape", "RF outside [1, total_iterations]");
     }
     if (schedule_.round_plan.size() != analysis_.sched().cluster_count()) {
-      fail("round plan does not cover every cluster");
+      fail("validate.shape", "round plan does not cover every cluster");
     }
   }
 
   void check_retained_set() {
     for (DataId d : schedule_.retained) {
       if (!analysis_.is_candidate(d)) {
-        fail("retained object '" + analysis_.app().data(d).name +
-             "' is not a retention candidate");
+        fail("validate.retained", "retained object '" + analysis_.app().data(d).name +
+                                    "' is not a retention candidate");
       }
     }
   }
@@ -66,18 +68,21 @@ class Checker {
       std::ostringstream out;
       out << role << " of '" << analysis_.app().data(inst.data).name << "' iter "
           << inst.iter << " in Cl" << (cluster.index() + 1) << " has no placement";
-      fail(out.str());
+      fail("validate.placement", out.str());
       return;
     }
     const Placement& p = it->second;
-    if (!disjoint(p.extents)) fail("placement extents overlap themselves");
+    if (!disjoint(p.extents)) {
+      fail("validate.placement", "placement extents overlap themselves");
+    }
     if (total_size(p.extents) != analysis_.app().data(inst.data).size) {
-      fail("placement size mismatch for '" + analysis_.app().data(inst.data).name + "'");
+      fail("validate.placement",
+           "placement size mismatch for '" + analysis_.app().data(inst.data).name + "'");
     }
     for (const Extent& e : p.extents) {
       if (e.end() > cfg_.fb_set_size.value()) {
-        fail("placement of '" + analysis_.app().data(inst.data).name +
-             "' exceeds the FB set");
+        fail("validate.placement", "placement of '" + analysis_.app().data(inst.data).name +
+                                        "' exceeds the FB set");
       }
     }
   }
@@ -94,13 +99,15 @@ class Checker {
       // Loads must be genuine cluster inputs.
       if (std::find(flow.inputs.begin(), flow.inputs.end(), inst.data) ==
           flow.inputs.end()) {
-        fail("Cl" + std::to_string(cluster.id.index() + 1) + " loads '" +
-             analysis_.app().data(inst.data).name + "' which is not an input");
+        fail("validate.load", "Cl" + std::to_string(cluster.id.index() + 1) + " loads '" +
+                                  analysis_.app().data(inst.data).name +
+                                  "' which is not an input");
       }
       if (reads_in_place(inst.data, cluster.set) && analysis_.is_candidate(inst.data) &&
           analysis_.candidate_for(inst.data).occupancy_span.front() != cluster.id) {
-        fail("retained object '" + analysis_.app().data(inst.data).name +
-             "' re-loaded inside its span");
+        fail("validate.retained", "retained object '" +
+                                      analysis_.app().data(inst.data).name +
+                                      "' re-loaded inside its span");
       }
     }
     for (DataId in : flow.inputs) {
@@ -110,8 +117,9 @@ class Checker {
       }
       for (std::uint32_t iter = 0; iter < schedule_.rf; ++iter) {
         if (!loaded.contains(DataSchedule::key(cluster.id, {in, iter}))) {
-          fail("Cl" + std::to_string(cluster.id.index() + 1) + " never loads input '" +
-               analysis_.app().data(in).name + "' iter " + std::to_string(iter));
+          fail("validate.load", "Cl" + std::to_string(cluster.id.index() + 1) +
+                                    " never loads input '" + analysis_.app().data(in).name +
+                                    "' iter " + std::to_string(iter));
         }
       }
     }
@@ -134,8 +142,9 @@ class Checker {
       if (!store_needed) continue;
       for (std::uint32_t iter = 0; iter < schedule_.rf; ++iter) {
         if (!stored.contains(DataSchedule::key(cluster.id, {out, iter}))) {
-          fail("Cl" + std::to_string(cluster.id.index() + 1) + " never stores '" +
-               analysis_.app().data(out).name + "' iter " + std::to_string(iter));
+          fail("validate.store", "Cl" + std::to_string(cluster.id.index() + 1) +
+                                     " never stores '" + analysis_.app().data(out).name +
+                                     "' iter " + std::to_string(iter));
         }
       }
     }
@@ -152,8 +161,8 @@ class Checker {
     // Release events reference instances within RF bounds.
     for (const ReleaseEvent& release : plan.releases) {
       if (release.inst.iter >= schedule_.rf) {
-        fail("release of iter beyond RF in Cl" +
-             std::to_string(cluster.id.index() + 1));
+        fail("validate.release", "release of iter beyond RF in Cl" +
+                                     std::to_string(cluster.id.index() + 1));
       }
     }
   }
@@ -161,14 +170,14 @@ class Checker {
   const DataSchedule& schedule_;
   const ScheduleAnalysis& analysis_;
   const arch::M1Config& cfg_;
-  std::vector<std::string> violations_;
+  Diagnostics violations_;
 };
 
 }  // namespace
 
-std::vector<std::string> validate_schedule(const DataSchedule& schedule,
-                                           const ScheduleAnalysis& analysis,
-                                           const arch::M1Config& cfg) {
+Diagnostics validate_schedule(const DataSchedule& schedule,
+                              const ScheduleAnalysis& analysis,
+                              const arch::M1Config& cfg) {
   Checker checker(schedule, analysis, cfg);
   return checker.run();
 }

@@ -1,0 +1,111 @@
+// Deterministic adversarial fuzzing / differential-testing harness for the
+// whole scheduler stack.
+//
+// A FuzzCase is canonically a `.mapp` text (the appdsl format), so every
+// case doubles as a repro file.  make_case(seed) deterministically derives
+// an adversarial scenario class from the seed — tiny Frame Buffers, single
+// objects larger than one FB set, huge iteration counts, deep
+// inter-cluster reuse chains, degenerate single-kernel clusters, word-size
+// extremes, and malformed texts that must die as parser diagnostics.
+//
+// run_case() pushes the case through all three schedulers plus the
+// CDS->DS->Basic->DS+split fallback chain and cross-checks every feasible
+// schedule three independent ways:
+//   1. dsched::validate_schedule must report no violations,
+//   2. the event-driven simulator must complete without functional faults,
+//   3. dsched::predict_cost must agree with the simulator cycle-exactly
+//      (and word- and request-exactly).
+// Infeasible inputs must resolve into structured diagnostics — an uncaught
+// throw anywhere is itself a failure ("uncaught-throw").
+//
+// shrink_text() greedily minimises a failing case while a caller-supplied
+// predicate holds: drop the last cluster, drop the last kernel, halve
+// object sizes, halve the FB set, halve iterations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "msys/common/diagnostic.hpp"
+
+namespace msys::fuzzing {
+
+/// One generated scenario.  `text` is a complete .mapp source.
+struct FuzzCase {
+  std::string name;
+  std::uint64_t seed{0};
+  std::string text;
+};
+
+/// One broken cross-check on one scheduler run.
+struct CheckFailure {
+  std::string scheduler;
+  /// "validator" | "simulator" | "cost-mismatch" | "uncaught-throw" |
+  /// "missing-diagnostic" | "internal"
+  std::string kind;
+  std::string detail;
+};
+
+struct CaseResult {
+  std::string name;
+  bool parse_ok{false};
+  Diagnostics parse_diagnostics;
+  /// Of the three paper schedulers, how many produced a feasible schedule.
+  int feasible_schedulers{0};
+  bool fallback_feasible{false};
+  /// Winning rung of the fallback chain ("" when infeasible).
+  std::string fallback_rung;
+  std::string fallback_chain;
+  /// Structured infeasibility diagnostics from the fallback chain.
+  Diagnostics infeasibility;
+  std::vector<CheckFailure> failures;
+
+  [[nodiscard]] bool clean() const { return failures.empty(); }
+};
+
+/// Number of distinct adversarial scenario classes make_case cycles over.
+inline constexpr std::uint64_t kScenarioClasses = 8;
+
+/// Deterministic: same seed => same case, on every platform.
+[[nodiscard]] FuzzCase make_case(std::uint64_t seed);
+
+/// Runs every scheduler and the fallback chain on the case with full
+/// cross-checking.  Never throws.
+[[nodiscard]] CaseResult run_case(const FuzzCase& c);
+
+/// Keep-predicate over .mapp texts for shrinking; must be deterministic.
+using Predicate = std::function<bool(const std::string& mapp_text)>;
+
+/// Greedy structural minimisation: repeatedly applies the cheapest
+/// transformation that keeps `keep(text)` true; stops after `max_steps`
+/// accepted steps or when no transformation preserves the predicate.
+[[nodiscard]] std::string shrink_text(std::string text, const Predicate& keep,
+                                      int max_steps = 200);
+
+/// One campaign failure: the raw failing case plus its minimised repro.
+struct CampaignFailure {
+  FuzzCase original;
+  CaseResult result;
+  std::string shrunk_mapp;
+};
+
+struct CampaignStats {
+  std::uint64_t cases{0};
+  std::uint64_t parse_rejected{0};
+  std::uint64_t all_feasible{0};
+  std::uint64_t degraded{0};    // fallback succeeded below the CDS rung
+  std::uint64_t infeasible{0};  // structured infeasibility (no rung fits)
+  std::vector<CampaignFailure> failures;
+
+  [[nodiscard]] bool clean() const { return failures.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs seeds [base_seed, base_seed + n_cases) and shrinks every failure
+/// into a minimised .mapp repro.
+[[nodiscard]] CampaignStats run_campaign(std::uint64_t base_seed,
+                                         std::uint64_t n_cases);
+
+}  // namespace msys::fuzzing

@@ -10,6 +10,7 @@
 
 #include "msys/arch/m1.hpp"
 #include "msys/dsched/cost.hpp"
+#include "msys/dsched/fallback.hpp"
 #include "msys/dsched/schedulers.hpp"
 #include "msys/model/schedule.hpp"
 #include "msys/sim/simulator.hpp"
@@ -74,5 +75,26 @@ struct RunOptions {
                                              const model::KernelSchedule& sched,
                                              const arch::M1Config& cfg,
                                              const RunOptions& options = {});
+
+/// End-to-end run of the CDS -> DS -> Basic -> DS+split degradation chain:
+/// schedules via dsched::schedule_with_fallback, then (when a rung fits)
+/// validates, generates code and simulates the winning schedule exactly as
+/// run_scheduler does.  Infeasibility is data: the returned outcome
+/// carries the per-rung attempts and structured diagnostics; nothing
+/// throws for a machine that is merely too small.
+struct FallbackRunResult {
+  dsched::ScheduleOutcome outcome;
+  dsched::CostBreakdown predicted;
+  /// Present only when a rung produced a feasible, simulatable schedule.
+  std::optional<sim::SimReport> measured;
+
+  [[nodiscard]] bool feasible() const {
+    return outcome.feasible() && predicted.feasible;
+  }
+};
+
+[[nodiscard]] FallbackRunResult run_with_fallback(const model::KernelSchedule& sched,
+                                                  const arch::M1Config& cfg,
+                                                  const RunOptions& options = {});
 
 }  // namespace msys::report

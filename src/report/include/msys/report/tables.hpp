@@ -2,6 +2,8 @@
 // Figure 6.
 #pragma once
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "msys/common/table.hpp"
@@ -22,5 +24,11 @@ namespace msys::report {
 /// Cycle-level detail: per scheduler, total/compute/stall cycles and the
 /// DMA traffic split (not in the paper; useful for analysis).
 [[nodiscard]] TextTable detail_table(const std::vector<ExperimentResult>& results);
+
+/// Degradation-chain report: per experiment, the rung that won
+/// (CDS/DS/Basic/DS+split or "infeasible"), every attempted rung with its
+/// failure reason, and the winning rung's cycle count.
+[[nodiscard]] TextTable fallback_table(
+    const std::vector<std::pair<std::string, FallbackRunResult>>& runs);
 
 }  // namespace msys::report

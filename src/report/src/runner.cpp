@@ -51,10 +51,10 @@ SchedulerOutcome run_scheduler(const dsched::DataSchedulerBase& scheduler,
 
   // Structural validation of the plan itself (the simulator then checks
   // the generated program operationally).
-  const std::vector<std::string> violations =
+  const Diagnostics violations =
       dsched::validate_schedule(outcome.schedule, analysis, cfg);
   MSYS_REQUIRE(violations.empty(), scheduler.name() + " produced an invalid plan: " +
-                                       violations.front());
+                                       violations.front().message);
 
   const codegen::ScheduleProgram program = codegen::generate(outcome.schedule, ctx_plan);
   sim::Simulator simulator(cfg, ctx_plan);
@@ -75,6 +75,49 @@ SchedulerOutcome run_scheduler(const dsched::DataSchedulerBase& scheduler,
     MSYS_REQUIRE(p.dma_requests == m.dma_requests, "request-count mismatch: " + why.str());
   }
   return outcome;
+}
+
+FallbackRunResult run_with_fallback(const model::KernelSchedule& sched,
+                                    const arch::M1Config& cfg,
+                                    const RunOptions& options) {
+  const extract::ScheduleAnalysis analysis(sched, cfg.cross_set_reads);
+  const csched::ContextPlan ctx_plan =
+      csched::ContextPlan::build(sched, cfg.cm_capacity_words);
+
+  FallbackRunResult result;
+  result.outcome = dsched::schedule_with_fallback(analysis, cfg);
+  if (!result.outcome.feasible()) return result;
+
+  result.predicted = dsched::predict_cost(result.outcome.schedule, cfg, ctx_plan);
+  if (!result.predicted.feasible) return result;
+
+  const Diagnostics violations =
+      dsched::validate_schedule(result.outcome.schedule, analysis, cfg);
+  MSYS_REQUIRE(violations.empty(),
+               result.outcome.chosen_rung() + " (via fallback) produced an invalid plan: " +
+                   violations.front().message);
+
+  const codegen::ScheduleProgram program =
+      codegen::generate(result.outcome.schedule, ctx_plan);
+  sim::Simulator simulator(cfg, ctx_plan);
+  result.measured = simulator.run(program);
+
+  if (options.check_prediction) {
+    const sim::SimReport& m = *result.measured;
+    const dsched::CostBreakdown& p = result.predicted;
+    std::ostringstream why;
+    why << result.outcome.chosen_rung() << " (via fallback) on " << sched.app().name()
+        << ": predicted " << p.summary() << " vs measured " << m.summary();
+    MSYS_REQUIRE(p.total == m.total, "cycle mismatch: " + why.str());
+    MSYS_REQUIRE(p.data_words_loaded == m.data_words_loaded,
+                 "load-word mismatch: " + why.str());
+    MSYS_REQUIRE(p.data_words_stored == m.data_words_stored,
+                 "store-word mismatch: " + why.str());
+    MSYS_REQUIRE(p.context_words == m.context_words,
+                 "context-word mismatch: " + why.str());
+    MSYS_REQUIRE(p.dma_requests == m.dma_requests, "request-count mismatch: " + why.str());
+  }
+  return result;
 }
 
 ExperimentResult run_experiment(std::string name, const model::KernelSchedule& sched,

@@ -91,4 +91,32 @@ TextTable detail_table(const std::vector<ExperimentResult>& results) {
   return table;
 }
 
+TextTable fallback_table(
+    const std::vector<std::pair<std::string, FallbackRunResult>>& runs) {
+  TextTable table({"Experiment", "Rung", "Attempt", "Outcome", "Cycles"});
+  for (const auto& [name, run] : runs) {
+    bool first = true;
+    for (const dsched::FallbackAttempt& attempt : run.outcome.attempts) {
+      std::string outcome;
+      if (!attempt.attempted) {
+        outcome = attempt.reason.empty() ? "not reached" : attempt.reason;
+      } else if (attempt.succeeded) {
+        outcome = "ok";
+      } else {
+        outcome = attempt.reason;
+      }
+      const bool winner = attempt.succeeded && run.feasible();
+      table.add_row({first ? name : "", attempt.rung,
+                     attempt.attempted ? "tried" : "-", outcome,
+                     winner ? std::to_string(run.predicted.total.value()) : "-"});
+      first = false;
+    }
+    if (!run.outcome.feasible()) {
+      table.add_row({first ? name : "", "-", "-", "infeasible on every rung", "-"});
+    }
+    table.add_rule();
+  }
+  return table;
+}
+
 }  // namespace msys::report

@@ -25,10 +25,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "msys/arch/m1.hpp"
 #include "msys/codegen/program.hpp"
+#include "msys/common/diagnostic.hpp"
 #include "msys/csched/context_plan.hpp"
 
 namespace msys::sim {
@@ -80,6 +82,17 @@ class Simulator {
   /// Runs the program to completion; throws msys::Error on any functional
   /// violation.
   [[nodiscard]] SimReport run(const codegen::ScheduleProgram& program);
+
+  /// Non-throwing variant for adversarial inputs (the fuzz harness):
+  /// functional violations come back as "sim.fault" diagnostics instead of
+  /// exceptions.  `report` is present iff `diagnostics` is empty.
+  struct Outcome {
+    std::optional<SimReport> report;
+    Diagnostics diagnostics;
+
+    [[nodiscard]] bool ok() const { return report.has_value(); }
+  };
+  [[nodiscard]] Outcome try_run(const codegen::ScheduleProgram& program);
 
  private:
   const arch::M1Config* cfg_;

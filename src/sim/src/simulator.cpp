@@ -437,4 +437,14 @@ SimReport Simulator::run(const ScheduleProgram& program) {
   return report;
 }
 
+Simulator::Outcome Simulator::try_run(const ScheduleProgram& program) {
+  Outcome outcome;
+  try {
+    outcome.report = run(program);
+  } catch (const Error& e) {
+    outcome.diagnostics.push_back(make_error("sim.fault", e.what()));
+  }
+  return outcome;
+}
+
 }  // namespace msys::sim

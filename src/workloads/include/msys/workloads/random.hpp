@@ -31,6 +31,20 @@ struct RandomSpec {
   std::uint32_t final_percent{40};
   /// Number of shared external inputs wired to random kernels.
   std::uint32_t shared_inputs{2};
+
+  // --- Adversarial knobs (defaults reproduce the historical generator) ---
+  /// Cluster sizes drawn uniformly from [min, max]; min == max == 1 yields
+  /// the degenerate all-singleton partition.
+  std::uint32_t min_cluster_size{1};
+  std::uint32_t max_cluster_size{3};
+  /// FB set size as a percentage of the "generous" machine (100 keeps the
+  /// historical always-feasible sizing; small values starve the
+  /// schedulers; the floor of 16 words still applies).
+  std::uint32_t fb_scale_percent{100};
+  /// When non-zero, one extra external input of exactly this many words is
+  /// wired into the first kernel — set it above the FB set size to create
+  /// a single object that can never fit.
+  std::uint64_t oversized_input_words{0};
 };
 
 struct RandomExperiment {

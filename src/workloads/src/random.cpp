@@ -14,6 +14,10 @@ RandomExperiment make_random(const RandomSpec& spec) {
   MSYS_REQUIRE(spec.min_kernels >= 1 && spec.min_kernels <= spec.max_kernels,
                "bad kernel-count range");
   MSYS_REQUIRE(spec.min_size >= 1 && spec.min_size <= spec.max_size, "bad size range");
+  MSYS_REQUIRE(spec.min_cluster_size >= 1 &&
+                   spec.min_cluster_size <= spec.max_cluster_size,
+               "bad cluster-size range");
+  MSYS_REQUIRE(spec.fb_scale_percent >= 1, "fb_scale_percent must be at least 1");
   Rng rng(spec.seed);
 
   const auto n_kernels =
@@ -66,6 +70,11 @@ RandomExperiment make_random(const RandomSpec& spec) {
   for (std::uint32_t i = 0; i < n_kernels; ++i) {
     if (!result_consumed[i]) b.mark_final(results[i]);
   }
+  // Adversarial: a single object that may dwarf the Frame Buffer.
+  if (spec.oversized_input_words > 0) {
+    b.add_input(kernels[0],
+                b.external_input("oversized", SizeWords{spec.oversized_input_words}));
+  }
 
   auto app = std::make_unique<model::Application>(std::move(b).build());
 
@@ -74,8 +83,8 @@ RandomExperiment make_random(const RandomSpec& spec) {
   std::vector<std::vector<KernelId>> partition;
   std::size_t pos = 0;
   while (pos < kernels.size()) {
-    const std::size_t take =
-        std::min<std::size_t>(rng.uniform(1, 3), kernels.size() - pos);
+    const std::size_t take = std::min<std::size_t>(
+        rng.uniform(spec.min_cluster_size, spec.max_cluster_size), kernels.size() - pos);
     partition.emplace_back(kernels.begin() + static_cast<std::ptrdiff_t>(pos),
                            kernels.begin() + static_cast<std::ptrdiff_t>(pos + take));
     pos += take;
@@ -90,7 +99,9 @@ RandomExperiment make_random(const RandomSpec& spec) {
     max_cluster_ctx = std::max(max_cluster_ctx, sched.cluster_context_words(c.id));
   }
   arch::M1Config cfg = arch::M1Config::m1_default();
-  cfg.fb_set_size = app->total_data_size() + SizeWords{64};
+  const std::uint64_t generous = app->total_data_size().value() + 64;
+  cfg.fb_set_size = SizeWords{std::max<std::uint64_t>(
+      generous * spec.fb_scale_percent / 100, 16)};
   cfg.cm_capacity_words =
       std::max(app->total_context_words() / 2 + 70, 2 * max_cluster_ctx + 16);
   cfg = arch::M1Config::validated(cfg);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "msys/common/error.hpp"
 #include "msys/workloads/experiments.hpp"
 
@@ -63,8 +66,75 @@ TEST(Parser, ErrorsCarryLineNumbers) {
     (void)parse("app x iterations 1\nbogus line here\n");
     FAIL() << "expected throw";
   } catch (const Error& e) {
-    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos);
   }
+}
+
+TEST(Parser, CollectReportsEveryError) {
+  // One call reports all four problems, each with its own line number.
+  const ParseResult result = appdsl::parse_collect(
+      "app x iterations 1\n"
+      "input d -4\n"                        // line 2: negative number (d stays undefined)
+      "input d 4\n"                         // line 3: fine, defines d
+      "bogus line here\n"                   // line 4: unknown keyword
+      "input d 8\n"                         // line 5: duplicate name
+      "kernel k ctx 1 cycles 1 in nope\n",  // line 6: unknown data
+      "test.mapp");
+  EXPECT_FALSE(result.ok());
+  ASSERT_GE(result.diagnostics.size(), 4u);
+  std::vector<int> lines;
+  for (const Diagnostic& d : result.diagnostics) {
+    EXPECT_EQ(d.loc.file, "test.mapp");
+    lines.push_back(d.loc.line);
+  }
+  EXPECT_NE(std::find(lines.begin(), lines.end(), 2), lines.end());
+  EXPECT_NE(std::find(lines.begin(), lines.end(), 4), lines.end());
+  EXPECT_NE(std::find(lines.begin(), lines.end(), 5), lines.end());
+  EXPECT_NE(std::find(lines.begin(), lines.end(), 6), lines.end());
+}
+
+TEST(Parser, CollectSucceedsOnCleanInput) {
+  const ParseResult result = appdsl::parse_collect(kDemo);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.experiment->app.kernel_count(), 2u);
+}
+
+TEST(Parser, NumberDiagnosticsAreStructured) {
+  struct Case {
+    const char* text;
+    const char* expected_code;
+  };
+  const Case cases[] = {
+      {"app x iterations 99999999999999999999999\n", "parse.number.overflow"},
+      {"app x iterations 0\n", "parse.number.range"},
+      {"app x iterations -3\n", "parse.number.negative"},
+      {"app x iterations many\n", "parse.number.garbage"},
+      {"app x iterations 1\ninput d 4x\n", "parse.number.garbage"},
+      {"app x iterations 1\ninput d 0\n", "parse.number.range"},
+  };
+  for (const Case& c : cases) {
+    const ParseResult result = appdsl::parse_collect(c.text);
+    EXPECT_FALSE(result.ok()) << c.text;
+    bool found = false;
+    for (const Diagnostic& d : result.diagnostics) {
+      if (d.code == c.expected_code) found = true;
+    }
+    EXPECT_TRUE(found) << c.text << " => " << render(result.diagnostics);
+  }
+}
+
+TEST(Parser, DuplicateNamesAreStructured) {
+  const ParseResult result = appdsl::parse_collect(
+      "app x iterations 1\ninput d 4\ninput d 4\n"
+      "kernel k ctx 1 cycles 1 in d out o:1:final\n"
+      "kernel k ctx 1 cycles 1 in d\n");
+  EXPECT_FALSE(result.ok());
+  int duplicates = 0;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == "parse.duplicate") ++duplicates;
+  }
+  EXPECT_EQ(duplicates, 2);
 }
 
 TEST(Parser, RejectsUnknownData) {

@@ -1,0 +1,91 @@
+#include "msys/dsched/fallback.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/dsched/validate.hpp"
+#include "testing/apps.hpp"
+
+namespace msys::dsched {
+namespace {
+
+using extract::ScheduleAnalysis;
+using testing::RetentionApp;
+using testing::TwoClusterApp;
+using testing::test_cfg;
+
+TEST(Fallback, GenerousMachineStopsAtCds) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  const arch::M1Config cfg = test_cfg(4096);
+  const ScheduleOutcome outcome = schedule_with_fallback(analysis, cfg);
+  ASSERT_TRUE(outcome.feasible());
+  EXPECT_EQ(outcome.chosen_rung(), "CDS");
+  EXPECT_TRUE(outcome.diagnostics.empty());
+  ASSERT_EQ(outcome.attempts.size(), 4u);
+  EXPECT_TRUE(outcome.attempts[0].attempted);
+  EXPECT_TRUE(outcome.attempts[0].succeeded);
+  for (std::size_t i = 1; i < outcome.attempts.size(); ++i) {
+    EXPECT_FALSE(outcome.attempts[i].attempted) << outcome.attempts[i].rung;
+    EXPECT_EQ(outcome.attempts[i].reason, "not reached");
+  }
+  // The winning schedule is a real schedule, not just a flag.
+  EXPECT_TRUE(validate_schedule(outcome.schedule, analysis, cfg).empty());
+}
+
+TEST(Fallback, HopelessMachineIsStructuredInfeasibility) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  const arch::M1Config cfg = test_cfg(100);  // largest cluster needs far more
+  const ScheduleOutcome outcome = schedule_with_fallback(analysis, cfg);
+  EXPECT_FALSE(outcome.feasible());
+  EXPECT_EQ(outcome.chosen_rung(), "");
+  // Every rung was actually tried and left a reason behind.
+  ASSERT_EQ(outcome.attempts.size(), 4u);
+  for (const FallbackAttempt& attempt : outcome.attempts) {
+    EXPECT_TRUE(attempt.attempted) << attempt.rung;
+    EXPECT_FALSE(attempt.succeeded) << attempt.rung;
+    EXPECT_FALSE(attempt.reason.empty()) << attempt.rung;
+  }
+  // And the outcome carries a structured diagnostic naming the chain.
+  ASSERT_TRUE(has_errors(outcome.diagnostics));
+  const Diagnostic& d = outcome.diagnostics.back();
+  EXPECT_EQ(d.code, "schedule.infeasible");
+  EXPECT_NE(d.message.find("CDS"), std::string::npos);
+  EXPECT_NE(d.message.find("DS+split"), std::string::npos);
+}
+
+TEST(Fallback, ChainSummaryNamesEveryRung) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  const ScheduleOutcome ok = schedule_with_fallback(analysis, test_cfg(4096));
+  EXPECT_EQ(ok.chain_summary(),
+            "CDS:ok -> DS:skipped -> Basic:skipped -> DS+split:skipped");
+  const ScheduleOutcome bad = schedule_with_fallback(analysis, test_cfg(16));
+  EXPECT_NE(bad.chain_summary().find("CDS:failed("), std::string::npos);
+  EXPECT_NE(bad.chain_summary().find("DS+split:failed("), std::string::npos);
+}
+
+TEST(Fallback, SplitRungCanBeDisabled) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  FallbackOptions options;
+  options.enable_split_rung = false;
+  const ScheduleOutcome outcome =
+      schedule_with_fallback(analysis, test_cfg(100), options);
+  EXPECT_EQ(outcome.attempts.size(), 3u);
+  EXPECT_FALSE(outcome.feasible());
+}
+
+TEST(Fallback, KeepsMostAmbitiousInfeasibleRecord) {
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  const ScheduleOutcome outcome = schedule_with_fallback(analysis, test_cfg(100));
+  ASSERT_FALSE(outcome.feasible());
+  // The reported schedule is the CDS attempt, reason and all, so callers
+  // see what the most capable scheduler said.
+  EXPECT_EQ(outcome.schedule.scheduler_name, "CDS");
+  EXPECT_FALSE(outcome.schedule.infeasible_reason.empty());
+}
+
+}  // namespace
+}  // namespace msys::dsched

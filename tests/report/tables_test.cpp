@@ -86,5 +86,29 @@ TEST(Tables, SchedulerOutcomeCyclesThrowsWhenInfeasible) {
   EXPECT_THROW((void)r.basic.cycles(), Error);
 }
 
+TEST(Tables, FallbackTableShowsWinningRungAndCycles) {
+  TwoClusterApp t = TwoClusterApp::make();
+  const FallbackRunResult run = run_with_fallback(t.sched, test_cfg(1024));
+  ASSERT_TRUE(run.feasible());
+  ASSERT_TRUE(run.measured.has_value());
+  EXPECT_EQ(run.predicted.total, run.measured->total);
+  TextTable table = fallback_table({{"demo", run}});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("demo,CDS,tried,ok," + std::to_string(run.predicted.total.value())),
+            std::string::npos);
+  EXPECT_NE(csv.find("DS,-,not reached"), std::string::npos);
+}
+
+TEST(Tables, FallbackTableShowsStructuredInfeasibility) {
+  TwoClusterApp t = TwoClusterApp::make();
+  const FallbackRunResult run = run_with_fallback(t.sched, test_cfg(100));
+  EXPECT_FALSE(run.feasible());
+  EXPECT_TRUE(has_errors(run.outcome.diagnostics));
+  TextTable table = fallback_table({{"tight", run}});
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("infeasible on every rung"), std::string::npos);
+  EXPECT_NE(s.find("DS+split"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace msys::report

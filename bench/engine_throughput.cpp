@@ -1,0 +1,196 @@
+// Engine throughput bench: jobs/sec and cache hit-rate scaling of the
+// batch-scheduling engine from 1 to N threads, cold cache vs warm cache.
+//
+// The workload set is a deterministic family of seeded synthetic
+// applications (workloads::make_random), each compiled through the full
+// CDS -> DS -> Basic -> DS+split fallback chain — the design-space-
+// exploration shape the engine exists for: many independent compilations,
+// frequently of content-identical inputs (here each distinct workload
+// appears `--dup` times per batch, so even the cold pass exercises the
+// content-addressed cache the way a mapping search would).
+//
+//   $ ./build/bench/engine_throughput                # human-readable table
+//   $ ./build/bench/engine_throughput --json out.json  # + machine record
+//
+// Rows report speedup against the serial cold pass.  On a single-core
+// container only the warm-cache rows can beat 1x; on real multicore
+// hardware the cold rows scale with threads as well (the JSON records
+// hardware_threads so trajectories stay comparable).
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "msys/common/error.hpp"
+#include "msys/common/table.hpp"
+#include "msys/engine/batch_runner.hpp"
+#include "msys/workloads/random.hpp"
+
+namespace {
+
+using namespace msys;
+
+/// One measured configuration.
+struct Row {
+  unsigned threads{1};
+  std::string cache;  // "cold" | "warm" | "none"
+  double millis{0.0};
+  double jobs_per_sec{0.0};
+  double hit_rate{0.0};
+  double speedup{1.0};
+};
+
+std::vector<engine::Job> build_jobs(std::size_t n_workloads, std::size_t dup) {
+  std::vector<engine::Job> jobs;
+  jobs.reserve(n_workloads * dup);
+  for (std::size_t d = 0; d < dup; ++d) {
+    for (std::size_t i = 0; i < n_workloads; ++i) {
+      workloads::RandomSpec spec;
+      spec.seed = 1000 + i;  // same seeds every dup round => cache-identical
+      spec.min_kernels = 8;
+      spec.max_kernels = 14;
+      spec.min_iterations = 8;
+      spec.max_iterations = 32;
+      spec.reuse_percent = 60;
+      spec.shared_inputs = 3;
+      workloads::RandomExperiment exp = workloads::make_random(spec);
+      engine::Job job;
+      std::vector<std::vector<KernelId>> partition;
+      for (const model::Cluster& c : exp.sched.clusters()) partition.push_back(c.kernels);
+      job.input = engine::make_input(std::move(*exp.app), std::move(partition), exp.cfg);
+      job.kind = engine::SchedulerKind::kFallback;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+/// Fingerprint of a batch's semantic output, used to assert that every
+/// configuration produced identical results in identical order.
+std::string result_fingerprint(const std::vector<engine::JobResult>& results) {
+  std::ostringstream out;
+  for (const engine::JobResult& r : results) {
+    out << r.result->outcome.chosen_rung() << ':'
+        << (r.feasible() ? r.result->predicted.total.value() : 0) << ';';
+  }
+  return out.str();
+}
+
+Row measure(const std::vector<engine::Job>& jobs, unsigned threads,
+            engine::ScheduleCache* cache, const std::string& label,
+            std::string* fingerprint) {
+  engine::ThreadPool pool(threads);
+  engine::BatchRunner runner(pool, cache);
+  const std::uint64_t hits_before = cache != nullptr ? cache->stats().hits : 0;
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<engine::JobResult> results = runner.run(jobs);
+  const auto end = std::chrono::steady_clock::now();
+
+  Row row;
+  row.threads = threads;
+  row.cache = label;
+  row.millis =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end - start)
+          .count();
+  row.jobs_per_sec =
+      row.millis > 0.0 ? static_cast<double>(jobs.size()) / (row.millis / 1000.0) : 0.0;
+  if (cache != nullptr) {
+    const std::uint64_t hits = cache->stats().hits - hits_before;
+    row.hit_rate = static_cast<double>(hits) / static_cast<double>(jobs.size());
+  }
+  const std::string fp = result_fingerprint(results);
+  if (fingerprint->empty()) {
+    *fingerprint = fp;
+  } else {
+    MSYS_REQUIRE(fp == *fingerprint,
+                 "batch results diverged across thread counts / cache states");
+  }
+  return row;
+}
+
+std::string fmt(double v, int decimals = 1) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(decimals);
+  out << v;
+  return out.str();
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                std::size_t n_jobs) {
+  std::ofstream out(path);
+  MSYS_REQUIRE(out.good(), "cannot open " + path);
+  out << "{\n  \"bench\": \"engine_throughput\",\n";
+  out << "  \"jobs_per_batch\": " << n_jobs << ",\n";
+  out << "  \"hardware_threads\": " << engine::ThreadPool::hardware_threads() << ",\n";
+  out << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"threads\": " << r.threads << ", \"cache\": \"" << r.cache
+        << "\", \"millis\": " << fmt(r.millis, 3)
+        << ", \"jobs_per_sec\": " << fmt(r.jobs_per_sec, 1)
+        << ", \"hit_rate\": " << fmt(r.hit_rate, 3)
+        << ", \"speedup_vs_serial_cold\": " << fmt(r.speedup, 2) << "}"
+        << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n_workloads = 12;
+  std::size_t dup = 3;
+  unsigned max_threads = 4;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--workloads" && i + 1 < argc) {
+      n_workloads = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--dup" && i + 1 < argc) {
+      dup = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--max-threads" && i + 1 < argc) {
+      max_threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else {
+      std::cerr << "usage: engine_throughput [--workloads N] [--dup N] "
+                   "[--max-threads N] [--json <path>]\n";
+      return 1;
+    }
+  }
+
+  const std::vector<engine::Job> jobs = build_jobs(n_workloads, dup);
+  std::cout << "engine throughput: " << jobs.size() << " jobs/batch ("
+            << n_workloads << " distinct workloads x" << dup << "), "
+            << engine::ThreadPool::hardware_threads() << " hardware threads\n\n";
+
+  std::string fingerprint;
+  std::vector<Row> rows;
+  for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+    // Cold: fresh cache (only the in-batch duplicates can hit).
+    engine::ScheduleCache cache;
+    rows.push_back(measure(jobs, threads, &cache, "cold", &fingerprint));
+    // Warm: every job is already cached.
+    rows.push_back(measure(jobs, threads, &cache, "warm", &fingerprint));
+  }
+  const double base = rows.front().jobs_per_sec;
+  for (Row& r : rows) r.speedup = base > 0.0 ? r.jobs_per_sec / base : 0.0;
+
+  TextTable table({"Threads", "Cache", "ms/batch", "jobs/sec", "hit rate", "speedup"});
+  for (const Row& r : rows) {
+    table.add_row({std::to_string(r.threads), r.cache, fmt(r.millis), fmt(r.jobs_per_sec),
+                   fmt(r.hit_rate * 100.0) + "%", fmt(r.speedup, 2) + "x"});
+  }
+  table.print(std::cout);
+
+  if (!json_path.empty()) {
+    write_json(json_path, rows, jobs.size());
+    std::cout << "\nwrote " << json_path << '\n';
+  }
+  return 0;
+}

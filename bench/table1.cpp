@@ -19,10 +19,11 @@ int main() {
   experiments.push_back(workloads::make_mpeg(kilowords(1)));
   experiments.back().name = "MPEG(1K)";
 
-  std::vector<report::ExperimentResult> results;
+  std::vector<report::ExperimentSpec> specs;
   for (const workloads::Experiment& exp : experiments) {
-    results.push_back(report::run_experiment(exp.name, exp.sched, exp.cfg));
+    specs.push_back({exp.name, &exp.sched, exp.cfg});
   }
+  const std::vector<report::ExperimentResult> results = report::run_all(specs);
 
   std::cout << "Table 1. experimental results\n\n";
   report::table1(results).print(std::cout);

@@ -10,6 +10,8 @@
 //   $ ./build/examples/msysc --search examples/apps/demo.mapp  # ignore clusters,
 //                                                              # let ksched pick
 //   $ ./build/examples/msysc --validate examples/apps/demo.mapp
+//   $ ./build/examples/msysc --batch examples/apps -j 4        # every .mapp in
+//                                                              # the dir, 4 workers
 //
 // All diagnostics go to stderr.  Exit codes:
 //   0  success
@@ -18,14 +20,23 @@
 //   3  the application does not fit the machine (structured infeasibility)
 //   4  internal invariant broken (validator violation, prediction mismatch)
 //
+// --batch compiles every file through the engine's BatchRunner (shared
+// schedule cache, -j N worker threads), prints one summary table instead of
+// interleaved per-file output, and exits with the worst per-file code.
+//
 // The text format is documented in msys/appdsl/parser.hpp.
+#include <algorithm>
+#include <filesystem>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "msys/appdsl/parser.hpp"
 #include "msys/codegen/program.hpp"
 #include "msys/common/strfmt.hpp"
+#include "msys/common/table.hpp"
 #include "msys/dsched/validate.hpp"
+#include "msys/engine/batch_runner.hpp"
 #include "msys/extract/analysis.hpp"
 #include "msys/ksched/kernel_scheduler.hpp"
 #include "msys/report/runner.hpp"
@@ -41,6 +52,123 @@ constexpr int kExitParse = 2;
 constexpr int kExitInfeasible = 3;
 constexpr int kExitInternal = 4;
 
+/// Compiles every .mapp under `dir` on the batch engine and prints one
+/// File/Scheduler/RF/Cycles/Cache/Status summary table.  Returns the worst
+/// per-file exit code (internal > infeasible > parse error > ok).
+int run_batch(const std::string& dir, unsigned n_threads) {
+  namespace fs = std::filesystem;
+  using namespace msys;
+
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::cerr << "msysc: --batch " << dir << " is not a directory\n";
+    return kExitUsage;
+  }
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".mapp") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::cerr << "msysc: no .mapp files in " << dir << '\n';
+    return kExitUsage;
+  }
+
+  // Per-file front end (parse + optional kernel-schedule search) stays
+  // serial — it is cheap; the scheduling itself fans out below.
+  struct FileCase {
+    std::string path;
+    int exit_code{kExitOk};
+    std::string status{"ok"};
+    /// Index into `jobs` when the file reached the engine, else -1.
+    int job_index{-1};
+  };
+  std::vector<FileCase> files;
+  std::vector<engine::Job> jobs;
+  for (const std::string& path : paths) {
+    FileCase fc;
+    fc.path = path;
+    appdsl::ParseResult parsed = appdsl::parse_file_collect(path);
+    if (!parsed.ok()) {
+      std::cerr << render(parsed.diagnostics) << '\n';
+      fc.exit_code = kExitParse;
+      fc.status = "parse-error";
+      files.push_back(std::move(fc));
+      continue;
+    }
+    std::vector<std::vector<KernelId>> partition;
+    if (parsed.experiment->partition.empty()) {
+      // No cluster lines: let the Kernel Scheduler pick one, as the
+      // single-file path does.
+      ksched::SearchResult found =
+          ksched::find_best_schedule(parsed.experiment->app, parsed.experiment->cfg);
+      if (!found.found()) {
+        fc.exit_code = kExitInfeasible;
+        fc.status = "no-schedule";
+        files.push_back(std::move(fc));
+        continue;
+      }
+      for (const model::Cluster& c : found.best->clusters()) partition.push_back(c.kernels);
+    } else {
+      for (const std::vector<std::string>& cluster : parsed.experiment->partition) {
+        std::vector<KernelId> ids;
+        for (const std::string& name : cluster) {
+          ids.push_back(*parsed.experiment->app.find_kernel(name));
+        }
+        partition.push_back(std::move(ids));
+      }
+    }
+    engine::Job job;
+    job.input = engine::make_input(std::move(parsed.experiment->app),
+                                   std::move(partition), parsed.experiment->cfg);
+    job.kind = engine::SchedulerKind::kFallback;
+    fc.job_index = static_cast<int>(jobs.size());
+    jobs.push_back(std::move(job));
+    files.push_back(std::move(fc));
+  }
+
+  engine::ThreadPool pool(n_threads);
+  engine::ScheduleCache cache;
+  engine::BatchRunner runner(pool, &cache);
+  const std::vector<engine::JobResult> results = runner.run(jobs);
+
+  TextTable table({"File", "Scheduler", "RF", "Cycles", "Cache", "Status"});
+  int worst = kExitOk;
+  for (FileCase& fc : files) {
+    std::string scheduler = "-", rf = "-", cycles = "-", hit = "-";
+    if (fc.job_index >= 0) {
+      const engine::JobResult& r = results[static_cast<std::size_t>(fc.job_index)];
+      hit = r.cache_hit ? "hit" : "miss";
+      if (r.feasible()) {
+        scheduler = r.result->outcome.chosen_rung();
+        rf = std::to_string(r.result->outcome.schedule.rf);
+        cycles = std::to_string(r.result->predicted.total.value());
+      } else {
+        const Diagnostics& diags = r.result->outcome.diagnostics;
+        std::cerr << fc.path << ":\n" << render(diags) << '\n';
+        const bool internal =
+            std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+              return d.code == "schedule.internal";
+            });
+        fc.exit_code = internal ? kExitInternal : kExitInfeasible;
+        fc.status = internal ? "internal-error" : "infeasible";
+      }
+    }
+    fc.status += " (" + std::to_string(fc.exit_code) + ")";
+    table.add_row({fs::path(fc.path).filename().string(), scheduler, rf, cycles, hit,
+                   fc.status});
+    worst = std::max(worst, fc.exit_code);
+  }
+  const engine::ScheduleCache::Stats stats = cache.stats();
+  std::cout << "batch: " << files.size() << " files, " << pool.size()
+            << " threads, cache " << stats.hits << " hits / " << stats.misses
+            << " misses\n\n";
+  table.print(std::cout);
+  return worst;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,6 +179,8 @@ int main(int argc, char** argv) {
   bool search = false;
   bool control = false;
   bool validate = false;
+  std::string batch_dir;
+  unsigned n_threads = 1;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +196,25 @@ int main(int argc, char** argv) {
       control = true;
     } else if (arg == "--validate") {
       validate = true;
+    } else if (arg == "--batch") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: --batch needs a directory\n";
+        return kExitUsage;
+      }
+      batch_dir = argv[++i];
+    } else if (arg == "-j") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: -j needs a thread count\n";
+        return kExitUsage;
+      }
+      try {
+        const int n = std::stoi(argv[++i]);
+        if (n < 1) throw std::invalid_argument("non-positive");
+        n_threads = static_cast<unsigned>(n);
+      } catch (const std::exception&) {
+        std::cerr << "msysc: bad -j value\n";
+        return kExitUsage;
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "msysc: unknown flag " << arg << "\n";
       return kExitUsage;
@@ -73,9 +222,18 @@ int main(int argc, char** argv) {
       path = arg;
     }
   }
+  if (!batch_dir.empty()) {
+    try {
+      return run_batch(batch_dir, n_threads);
+    } catch (const std::exception& e) {
+      std::cerr << "msysc: internal error: " << e.what() << '\n';
+      return kExitInternal;
+    }
+  }
   if (path.empty()) {
     std::cerr << "usage: msysc [--emit|--timeline|--cross-set|--search|--control|"
-                 "--validate] <file.mapp>\n";
+                 "--validate] <file.mapp>\n"
+                 "       msysc --batch <dir> [-j N]\n";
     return kExitUsage;
   }
 

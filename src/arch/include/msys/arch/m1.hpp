@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "msys/common/hash.hpp"
 #include "msys/common/types.hpp"
 
 namespace msys::arch {
@@ -73,5 +74,10 @@ struct M1Config {
 
   [[nodiscard]] std::string summary() const;
 };
+
+/// Canonical content encodings for cache keys (every field that can change
+/// scheduling behaviour contributes; see msys/common/hash.hpp).
+void hash_append(Hasher& h, const DmaModel& dma);
+void hash_append(Hasher& h, const M1Config& cfg);
 
 }  // namespace msys::arch

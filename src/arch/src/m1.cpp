@@ -50,6 +50,23 @@ M1Config M1Config::with_cross_set_reads(bool enabled) const {
   return validated(cfg);
 }
 
+void hash_append(Hasher& h, const DmaModel& dma) {
+  hash_append(h, dma.cycles_per_data_word.value());
+  hash_append(h, dma.cycles_per_context_word.value());
+  hash_append(h, dma.transfer_setup.value());
+}
+
+void hash_append(Hasher& h, const M1Config& cfg) {
+  hash_append(h, "msys.arch.M1Config/v1");
+  hash_append(h, cfg.name);
+  hash_append(h, cfg.rc_rows);
+  hash_append(h, cfg.rc_cols);
+  hash_append(h, cfg.fb_set_size.value());
+  hash_append(h, cfg.cm_capacity_words);
+  hash_append(h, cfg.dma);
+  hash_append(h, cfg.cross_set_reads);
+}
+
 std::string M1Config::summary() const {
   std::ostringstream out;
   out << name << ": RC " << rc_rows << 'x' << rc_cols << ", FB set " << size_kb(fb_set_size)

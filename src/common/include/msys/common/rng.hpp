@@ -1,6 +1,16 @@
 // Deterministic pseudo-random source for synthetic workload generation and
 // property tests.  SplitMix64: tiny, fast, reproducible across platforms
 // (std::mt19937 distributions are not bit-stable across library versions).
+//
+// Thread-safety: an Rng is a single 8-byte value with no shared state, so
+// the supported multi-threaded pattern is one Rng *by value per thread* —
+// never one instance shared across threads (next_u64 is a read-modify-write
+// and would race).  Workers that must stay deterministic regardless of
+// scheduling derive their own stream from a common seed with split():
+//
+//   Rng root(seed);
+//   // worker i, any thread:
+//   Rng mine = root.split(i);   // same (seed, i) => same stream, always
 #pragma once
 
 #include <cstdint>
@@ -28,6 +38,20 @@ class Rng {
   /// Bernoulli with probability num/den.
   constexpr bool chance(std::uint64_t num, std::uint64_t den) {
     return next_u64() % den < num;
+  }
+
+  /// Derives an independent deterministic sub-stream: same (parent state,
+  /// stream_id) => same child sequence on every platform, and distinct
+  /// stream_ids give decorrelated sequences.  Does not advance the parent,
+  /// so N workers can each take split(i) from one shared seed without any
+  /// coordination.  The child seed runs the parent state and the id through
+  /// the SplitMix64 output function (not a plain xor, which would make
+  /// split(a) of seed s collide with split(b) of seed s ^ (a-b)-ish deltas).
+  [[nodiscard]] constexpr Rng split(std::uint64_t stream_id) const {
+    std::uint64_t z = state_ + (stream_id + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
   }
 
  private:

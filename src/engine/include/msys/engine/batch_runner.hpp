@@ -1,0 +1,50 @@
+// BatchRunner: fans a vector of compilation jobs across a ThreadPool
+// through the ScheduleCache and returns results in deterministic input
+// order, whatever order the workers finished in.
+//
+// Per-job failure is data: an infeasible (or internally erroring) job
+// yields a JobResult whose outcome carries diagnostics — one bad job never
+// aborts the batch.  The runner also runs correctly with no cache (every
+// job computed) and with a pool of one thread (serial semantics), which is
+// how the determinism tests pin "parallel == serial".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "msys/engine/job.hpp"
+#include "msys/engine/schedule_cache.hpp"
+#include "msys/engine/thread_pool.hpp"
+
+namespace msys::engine {
+
+/// One job's outcome plus how the engine produced it.
+struct JobResult {
+  /// Never null after BatchRunner::run.
+  std::shared_ptr<const CompiledResult> result;
+  std::uint64_t key{0};
+  bool cache_hit{false};
+
+  [[nodiscard]] bool feasible() const { return result != nullptr && result->feasible(); }
+};
+
+class BatchRunner {
+ public:
+  /// `cache` may be null: every job is then computed.  Both referents must
+  /// outlive the runner.
+  explicit BatchRunner(ThreadPool& pool, ScheduleCache* cache = nullptr)
+      : pool_(&pool), cache_(cache) {}
+
+  /// Runs every job; results[i] always corresponds to jobs[i].  Blocks
+  /// until the whole batch finished.  Thread-safe for the caller in the
+  /// sense that concurrent run() calls on one runner share the pool and
+  /// cache but keep their batches separate.
+  [[nodiscard]] std::vector<JobResult> run(const std::vector<Job>& jobs);
+
+ private:
+  ThreadPool* pool_;
+  ScheduleCache* cache_;
+};
+
+}  // namespace msys::engine

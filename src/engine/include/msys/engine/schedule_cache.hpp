@@ -1,0 +1,98 @@
+// Content-addressed memoization cache for compiled schedules.
+//
+// Keys are the canonical 64-bit job hashes from engine::cache_key — two
+// jobs with the same key are semantically identical compilations, so a hit
+// returns the previously computed CompiledResult by shared_ptr (entries
+// carry their own keep-alive for the application/schedule they reference;
+// see job.hpp).
+//
+// Concurrency: the key space is split across `shards` independently locked
+// LRU maps (shard = mixed key bits), so concurrent lookups on different
+// keys rarely contend on one mutex.  Each shard is LRU-bounded at
+// capacity/shards entries; hit/miss/eviction/insert counters are kept per
+// shard and summed on stats().
+//
+// The cache itself is value-agnostic about races: two threads that miss on
+// the same key both compute and both insert; the second insert is dropped
+// (first-writer-wins) so every subsequent hit observes one canonical
+// result.  compile_job is pure, so both computed results are identical and
+// no caller can tell the difference — this keeps the fast path lock-free
+// of any per-key in-flight bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "msys/engine/job.hpp"
+
+namespace msys::engine {
+
+class ScheduleCache {
+ public:
+  struct Config {
+    /// Total entry bound across all shards (>= 1 enforced).
+    std::size_t capacity{1024};
+    /// Independently locked LRU segments (>= 1 enforced; default suits a
+    /// handful of worker threads).
+    std::size_t shards{8};
+  };
+
+  struct Stats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t evictions{0};
+    std::uint64_t inserts{0};
+    std::uint64_t entries{0};
+
+    [[nodiscard]] double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  ScheduleCache() : ScheduleCache(Config()) {}
+  explicit ScheduleCache(Config config);
+
+  /// Returns the cached result for `key` (refreshing its LRU position), or
+  /// nullptr on miss.  Counts one hit or one miss.
+  [[nodiscard]] std::shared_ptr<const CompiledResult> lookup(std::uint64_t key);
+
+  /// Inserts `result` under `key` unless the key is already present
+  /// (first-writer-wins); evicts the shard's least-recently-used entry
+  /// when the shard is at capacity.
+  void insert(std::uint64_t key, std::shared_ptr<const CompiledResult> result);
+
+  /// Memoized compile: lookup, compute-and-insert on miss.  `*was_hit`
+  /// (optional) reports which path was taken.
+  [[nodiscard]] std::shared_ptr<const CompiledResult> get_or_compile(
+      const Job& job, bool* was_hit = nullptr);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t key{0};
+    std::shared_ptr<const CompiledResult> result;
+  };
+  /// One locked LRU segment: list front == most recently used.
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    Stats stats;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t key);
+
+  std::size_t capacity_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace msys::engine

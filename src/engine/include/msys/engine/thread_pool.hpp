@@ -1,0 +1,64 @@
+// Fixed-size worker pool with an MPMC job queue — the execution substrate
+// of the batch engine.
+//
+// Design points (deliberately boring, in the best way):
+//   * submit() may be called from any thread, including from inside a
+//     running job (workers never block on the queue lock while executing).
+//   * wait_idle() blocks until the queue is empty AND no job is mid-flight,
+//     so "submit a wave, wait, read results" is race-free.
+//   * The destructor drains every queued job, then joins; nothing is
+//     silently dropped.  Jobs must not throw — the pool has no channel to
+//     report an exception, so a throwing job terminates (callers wrap
+//     fallible work, e.g. engine::compile_job converts everything to data).
+//
+// Determinism contract: the pool makes no ordering promises — callers that
+// need deterministic output (BatchRunner, the fuzz campaign) index results
+// by input position and fold serially afterwards.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msys::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (clamped to >= 1).
+  explicit ThreadPool(unsigned n_threads);
+
+  /// Drains the queue, then stops and joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one job.  Throws msys::Error after shutdown began.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished (queue empty, no worker
+  /// mid-job).  Safe to call repeatedly; new submits restart the wait.
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Best-effort hardware thread count (>= 1 even when unknown).
+  [[nodiscard]] static unsigned hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for jobs
+  std::condition_variable idle_cv_;   // wait_idle waits here
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_{0};
+  bool stopping_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace msys::engine

@@ -1,0 +1,39 @@
+#include "msys/engine/batch_runner.hpp"
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace msys::engine {
+
+std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs) {
+  std::vector<JobResult> results(jobs.size());
+
+  // Per-batch completion latch: concurrent run() calls may share the pool,
+  // so pool.wait_idle() would over-wait; count down our own jobs instead.
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t remaining = jobs.size();
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pool_->submit([this, &jobs, &results, &mu, &done_cv, &remaining, i] {
+      const Job& job = jobs[i];
+      JobResult& out = results[i];
+      if (cache_ != nullptr) {
+        out.key = cache_key(job);
+        out.result = cache_->get_or_compile(job, &out.cache_hit);
+      } else {
+        out.key = cache_key(job);
+        out.result = compile_job(job);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  return results;
+}
+
+}  // namespace msys::engine

@@ -1,0 +1,142 @@
+#include "msys/engine/job.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "msys/common/diagnostic.hpp"
+#include "msys/common/error.hpp"
+#include "msys/common/hash.hpp"
+#include "msys/csched/context_plan.hpp"
+#include "msys/dsched/schedulers.hpp"
+#include "msys/extract/analysis.hpp"
+#include "msys/model/canonical.hpp"
+
+namespace msys::engine {
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kBasic: return "Basic";
+    case SchedulerKind::kDS: return "DS";
+    case SchedulerKind::kCDS: return "CDS";
+    case SchedulerKind::kFallback: return "fallback";
+  }
+  return "?";
+}
+
+CompileInput make_input(model::Application app,
+                        std::vector<std::vector<KernelId>> partition,
+                        arch::M1Config cfg) {
+  CompileInput input;
+  input.app = std::make_shared<const model::Application>(std::move(app));
+  input.sched = std::make_shared<const model::KernelSchedule>(
+      model::KernelSchedule::from_partition(*input.app, std::move(partition)));
+  input.cfg = std::move(cfg);
+  return input;
+}
+
+CompileInput make_input(model::Application app,
+                        const std::vector<std::vector<std::string>>& partition_names,
+                        arch::M1Config cfg) {
+  std::vector<std::vector<KernelId>> partition;
+  partition.reserve(partition_names.size());
+  for (const std::vector<std::string>& cluster : partition_names) {
+    std::vector<KernelId> ids;
+    ids.reserve(cluster.size());
+    for (const std::string& name : cluster) {
+      const auto id = app.find_kernel(name);
+      MSYS_REQUIRE(id.has_value(), "unknown kernel in partition: " + name);
+      ids.push_back(*id);
+    }
+    partition.push_back(std::move(ids));
+  }
+  return make_input(std::move(app), std::move(partition), std::move(cfg));
+}
+
+std::uint64_t cache_key(const Job& job) {
+  Hasher h;
+  hash_append(h, "msys.engine.Job/v1");
+  model::hash_append(h, *job.input.sched);
+  arch::hash_append(h, job.input.cfg);
+  hash_append(h, job.kind);
+  hash_append(h, job.options.cds.ranking);
+  hash_append(h, job.options.cds.joint_rf_retention);
+  hash_append(h, job.options.enable_split_rung);
+  return h.finalize();
+}
+
+namespace {
+
+/// Wraps one non-chained scheduler run in the ScheduleOutcome shape so
+/// that every SchedulerKind yields the same result type.
+dsched::ScheduleOutcome run_single(const dsched::DataSchedulerBase& scheduler,
+                                   const extract::ScheduleAnalysis& analysis,
+                                   const arch::M1Config& cfg) {
+  dsched::ScheduleOutcome outcome;
+  dsched::FallbackAttempt attempt;
+  attempt.rung = scheduler.name();
+  attempt.attempted = true;
+  outcome.schedule = scheduler.schedule(analysis, cfg);
+  attempt.succeeded = outcome.schedule.feasible;
+  attempt.reason =
+      attempt.succeeded ? "selected" : outcome.schedule.infeasible_reason;
+  if (!attempt.succeeded) {
+    outcome.diagnostics.push_back(make_error(
+        "schedule.infeasible",
+        scheduler.name() + " cannot run this workload on " + cfg.name + ": " +
+            outcome.schedule.infeasible_reason));
+  }
+  outcome.attempts.push_back(std::move(attempt));
+  return outcome;
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledResult> compile_job(const Job& job) {
+  auto result = std::make_shared<CompiledResult>();
+  result->input = job.input;
+  try {
+    const extract::ScheduleAnalysis analysis(*job.input.sched,
+                                             job.input.cfg.cross_set_reads);
+    switch (job.kind) {
+      case SchedulerKind::kBasic:
+        result->outcome = run_single(dsched::BasicScheduler{}, analysis, job.input.cfg);
+        break;
+      case SchedulerKind::kDS:
+        result->outcome = run_single(dsched::DataScheduler{}, analysis, job.input.cfg);
+        break;
+      case SchedulerKind::kCDS:
+        result->outcome = run_single(dsched::CompleteDataScheduler{job.options.cds},
+                                     analysis, job.input.cfg);
+        break;
+      case SchedulerKind::kFallback:
+        result->outcome =
+            dsched::schedule_with_fallback(analysis, job.input.cfg, job.options);
+        break;
+    }
+    if (result->outcome.feasible()) {
+      const csched::ContextPlan ctx_plan = csched::ContextPlan::build(
+          *job.input.sched, job.input.cfg.cm_capacity_words);
+      result->predicted =
+          dsched::predict_cost(result->outcome.schedule, job.input.cfg, ctx_plan);
+      if (!result->predicted.feasible) {
+        result->outcome.diagnostics.push_back(make_error(
+            "schedule.infeasible", "context plan / cost model rejects the schedule: " +
+                                       result->predicted.infeasible_reason));
+      }
+    } else {
+      result->predicted.feasible = false;
+      result->predicted.infeasible_reason = "no feasible schedule";
+    }
+  } catch (const std::exception& e) {
+    // A scheduler invariant tripped: per-job failure data, never a batch
+    // abort (mirrors the fallback chain's "schedule.internal" convention).
+    result->outcome.schedule.feasible = false;
+    result->predicted.feasible = false;
+    result->predicted.infeasible_reason = e.what();
+    result->outcome.diagnostics.push_back(
+        make_error("schedule.internal", to_string(job.kind) + ": " + e.what()));
+  }
+  return result;
+}
+
+}  // namespace msys::engine

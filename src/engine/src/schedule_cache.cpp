@@ -1,0 +1,79 @@
+#include "msys/engine/schedule_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace msys::engine {
+
+ScheduleCache::ScheduleCache(Config config) {
+  capacity_ = std::max<std::size_t>(1, config.capacity);
+  const std::size_t n_shards =
+      std::min(std::max<std::size_t>(1, config.shards), capacity_);
+  per_shard_capacity_ = (capacity_ + n_shards - 1) / n_shards;
+  shards_.reserve(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ScheduleCache::Shard& ScheduleCache::shard_for(std::uint64_t key) {
+  // cache_key finalizes through splitmix64, so any bit range is well
+  // mixed; fold high into low to stay shard-count-agnostic.
+  return *shards_[(key ^ (key >> 32)) % shards_.size()];
+}
+
+std::shared_ptr<const CompiledResult> ScheduleCache::lookup(std::uint64_t key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return nullptr;
+  }
+  ++shard.stats.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->result;
+}
+
+void ScheduleCache::insert(std::uint64_t key,
+                           std::shared_ptr<const CompiledResult> result) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.index.contains(key)) return;  // first writer wins
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+  shard.lru.push_front(Entry{key, std::move(result)});
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.stats.inserts;
+}
+
+std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(const Job& job,
+                                                                    bool* was_hit) {
+  const std::uint64_t key = cache_key(job);
+  if (std::shared_ptr<const CompiledResult> cached = lookup(key)) {
+    if (was_hit != nullptr) *was_hit = true;
+    return cached;
+  }
+  std::shared_ptr<const CompiledResult> computed = compile_job(job);
+  insert(key, computed);
+  if (was_hit != nullptr) *was_hit = false;
+  return computed;
+}
+
+ScheduleCache::Stats ScheduleCache::stats() const {
+  Stats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+    total.inserts += shard->stats.inserts;
+    total.entries += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace msys::engine

@@ -108,4 +108,13 @@ struct CampaignStats {
 [[nodiscard]] CampaignStats run_campaign(std::uint64_t base_seed,
                                          std::uint64_t n_cases);
 
+/// Same campaign on the batch engine: cases fan out across `n_threads`
+/// workers (engine::ThreadPool) and the stats fold back in seed order, so
+/// the report — every counter, every failure, every shrunk repro — is
+/// byte-identical to the serial run at any thread count.  run_case is pure
+/// and shrinking happens in the deterministic fold, which is what makes
+/// that guarantee cheap rather than heroic.
+[[nodiscard]] CampaignStats run_campaign(std::uint64_t base_seed,
+                                         std::uint64_t n_cases, unsigned n_threads);
+
 }  // namespace msys::fuzzing

@@ -13,6 +13,7 @@
 #include "msys/dsched/cost.hpp"
 #include "msys/dsched/fallback.hpp"
 #include "msys/dsched/validate.hpp"
+#include "msys/engine/thread_pool.hpp"
 #include "msys/sim/simulator.hpp"
 #include "msys/workloads/random.hpp"
 
@@ -470,10 +471,35 @@ std::string CampaignStats::summary() const {
 }
 
 CampaignStats run_campaign(std::uint64_t base_seed, std::uint64_t n_cases) {
+  return run_campaign(base_seed, n_cases, /*n_threads=*/1);
+}
+
+CampaignStats run_campaign(std::uint64_t base_seed, std::uint64_t n_cases,
+                           unsigned n_threads) {
+  // Phase 1 — run every case, results indexed by seed offset.  run_case is
+  // pure, so the worker interleaving cannot influence any result.
+  std::vector<FuzzCase> cases;
+  cases.reserve(n_cases);
+  for (std::uint64_t i = 0; i < n_cases; ++i) cases.push_back(make_case(base_seed + i));
+
+  std::vector<CaseResult> results(cases.size());
+  if (n_threads <= 1) {
+    for (std::size_t i = 0; i < cases.size(); ++i) results[i] = run_case(cases[i]);
+  } else {
+    engine::ThreadPool pool(n_threads);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      pool.submit([&cases, &results, i] { results[i] = run_case(cases[i]); });
+    }
+    pool.wait_idle();
+  }
+
+  // Phase 2 — fold in seed order.  Shrinking (which re-runs cases) stays in
+  // this serial fold, so failure repros are byte-identical at any thread
+  // count.
   CampaignStats stats;
-  for (std::uint64_t i = 0; i < n_cases; ++i) {
-    FuzzCase c = make_case(base_seed + i);
-    CaseResult r = run_case(c);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    FuzzCase& c = cases[i];
+    CaseResult& r = results[i];
     ++stats.cases;
     if (!r.parse_ok) {
       ++stats.parse_rejected;

@@ -12,6 +12,7 @@
 #include "msys/dsched/cost.hpp"
 #include "msys/dsched/fallback.hpp"
 #include "msys/dsched/schedulers.hpp"
+#include "msys/engine/thread_pool.hpp"
 #include "msys/model/schedule.hpp"
 #include "msys/sim/simulator.hpp"
 
@@ -96,5 +97,27 @@ struct FallbackRunResult {
 [[nodiscard]] FallbackRunResult run_with_fallback(const model::KernelSchedule& sched,
                                                   const arch::M1Config& cfg,
                                                   const RunOptions& options = {});
+
+/// One experiment of a run_all batch.  `sched` is non-owning; the caller's
+/// experiment objects must outlive the call (the Table-1/Fig-6 benches
+/// keep their workloads::Experiment vector alive for exactly this reason).
+struct ExperimentSpec {
+  std::string name;
+  const model::KernelSchedule* sched{nullptr};
+  arch::M1Config cfg;
+};
+
+/// Runs every spec through run_experiment, in order.
+[[nodiscard]] std::vector<ExperimentResult> run_all(
+    const std::vector<ExperimentSpec>& specs, const RunOptions& options = {});
+
+/// Parallel overload: fans the specs across `pool`, returning results in
+/// spec order regardless of completion order (results are deterministic —
+/// identical to the serial overload).  A spec that fails run_experiment's
+/// internal invariants rethrows after the batch drains, earliest spec
+/// first, exactly as the serial loop would have thrown it.
+[[nodiscard]] std::vector<ExperimentResult> run_all(
+    const std::vector<ExperimentSpec>& specs, engine::ThreadPool& pool,
+    const RunOptions& options = {});
 
 }  // namespace msys::report

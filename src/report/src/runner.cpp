@@ -1,6 +1,10 @@
 #include "msys/report/runner.hpp"
 
+#include <condition_variable>
+#include <exception>
+#include <mutex>
 #include <sstream>
+#include <utility>
 
 #include "msys/codegen/program.hpp"
 #include "msys/common/error.hpp"
@@ -134,6 +138,51 @@ ExperimentResult run_experiment(std::string name, const model::KernelSchedule& s
   result.ds = run_scheduler(dsched::DataScheduler{}, sched, cfg, options);
   result.cds = run_scheduler(dsched::CompleteDataScheduler{}, sched, cfg, options);
   return result;
+}
+
+std::vector<ExperimentResult> run_all(const std::vector<ExperimentSpec>& specs,
+                                      const RunOptions& options) {
+  std::vector<ExperimentResult> results;
+  results.reserve(specs.size());
+  for (const ExperimentSpec& spec : specs) {
+    MSYS_REQUIRE(spec.sched != nullptr, "ExperimentSpec without a schedule");
+    results.push_back(run_experiment(spec.name, *spec.sched, spec.cfg, options));
+  }
+  return results;
+}
+
+std::vector<ExperimentResult> run_all(const std::vector<ExperimentSpec>& specs,
+                                      engine::ThreadPool& pool,
+                                      const RunOptions& options) {
+  std::vector<ExperimentResult> results(specs.size());
+  std::vector<std::exception_ptr> errors(specs.size());
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t remaining = specs.size();
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    pool.submit([&, i] {
+      try {
+        const ExperimentSpec& spec = specs[i];
+        MSYS_REQUIRE(spec.sched != nullptr, "ExperimentSpec without a schedule");
+        results[i] = run_experiment(spec.name, *spec.sched, spec.cfg, options);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  // Rethrow in spec order so parallel failures read like serial ones.
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
 }
 
 }  // namespace msys::report

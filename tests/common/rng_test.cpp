@@ -53,5 +53,38 @@ TEST(Rng, ChanceRoughlyFair) {
   EXPECT_LT(hits, 5500);
 }
 
+TEST(Rng, SplitIsDeterministic) {
+  Rng parent(42);
+  Rng a = parent.split(3);
+  Rng b = Rng(42).split(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitDoesNotAdvanceTheParent) {
+  Rng parent(42);
+  Rng reference(42);
+  (void)parent.split(0);
+  (void)parent.split(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(parent.next_u64(), reference.next_u64());
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  // Different stream ids from one parent, and the parent itself, must all
+  // produce (essentially) disjoint sequences — workers seeded by split()
+  // then explore independent randomness.
+  Rng parent(42);
+  Rng s0 = parent.split(0);
+  Rng s1 = parent.split(1);
+  int same01 = 0, same0p = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v0 = s0.next_u64();
+    const std::uint64_t v1 = s1.next_u64();
+    if (v0 == v1) ++same01;
+    if (v0 == parent.next_u64()) ++same0p;
+  }
+  EXPECT_LT(same01, 3);
+  EXPECT_LT(same0p, 3);
+}
+
 }  // namespace
 }  // namespace msys

@@ -1,0 +1,177 @@
+// ScheduleCache: canonical-key behaviour, LRU bounding, counters, and the
+// concurrent hammer (N threads, one shared cache, results identical to a
+// serial reference run).
+#include "msys/engine/schedule_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "msys/engine/thread_pool.hpp"
+#include "testing/apps.hpp"
+
+namespace msys::engine {
+namespace {
+
+/// A fresh job compiling the shared RetentionApp; `iterations` perturbs
+/// the content when distinct jobs are needed.
+Job retention_job(std::uint32_t iterations = 6) {
+  testing::RetentionApp made = testing::RetentionApp::make(iterations);
+  std::vector<std::vector<KernelId>> partition;
+  for (const model::Cluster& c : made.sched.clusters()) partition.push_back(c.kernels);
+  Job job;
+  job.input =
+      make_input(std::move(*made.app), std::move(partition), testing::test_cfg());
+  job.kind = SchedulerKind::kFallback;
+  return job;
+}
+
+TEST(CacheKey, IdenticalContentIdenticalKey) {
+  // Two separately built inputs with the same content must collide — that
+  // is the whole point of content addressing.
+  EXPECT_EQ(cache_key(retention_job()), cache_key(retention_job()));
+}
+
+TEST(CacheKey, DiffersByContentMachineKindAndOptions) {
+  const Job base = retention_job();
+  const std::uint64_t base_key = cache_key(base);
+
+  EXPECT_NE(base_key, cache_key(retention_job(7)));  // app content
+
+  Job machine = base;
+  machine.input.cfg = machine.input.cfg.with_fb_set_size(SizeWords{2048});
+  EXPECT_NE(base_key, cache_key(machine));
+
+  Job kind = base;
+  kind.kind = SchedulerKind::kCDS;
+  EXPECT_NE(base_key, cache_key(kind));
+
+  Job options = base;
+  options.options.enable_split_rung = false;
+  EXPECT_NE(base_key, cache_key(options));
+
+  Job ranking = base;
+  ranking.options.cds.ranking =
+      dsched::CompleteDataScheduler::Options::Ranking::kDensity;
+  EXPECT_NE(base_key, cache_key(ranking));
+}
+
+TEST(ScheduleCache, MissThenHitReturnsSameResultObject) {
+  ScheduleCache cache;
+  const Job job = retention_job();
+  bool hit = true;
+  const auto first = cache.get_or_compile(job, &hit);
+  ASSERT_NE(first, nullptr);
+  EXPECT_FALSE(hit);
+  const auto second = cache.get_or_compile(job, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // memoized, not recomputed
+
+  const ScheduleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(ScheduleCache, CachedResultOutlivesTheInputThatComputedIt) {
+  // The cache entry carries its own keep-alive: the app/schedule the job
+  // was built from can die and a later hit must still be safe to read.
+  ScheduleCache cache;
+  std::uint64_t key = 0;
+  {
+    const Job job = retention_job();
+    key = cache_key(job);
+    (void)cache.get_or_compile(job);
+  }  // job's shared_ptrs dropped; the cache keeps the result's copies alive
+  const auto cached = cache.lookup(key);
+  ASSERT_NE(cached, nullptr);
+  ASSERT_TRUE(cached->feasible());
+  // Touch the internal pointers: schedule -> kernel schedule -> app.
+  EXPECT_EQ(cached->outcome.schedule.sched->app().name(), "retention");
+  EXPECT_GT(cached->predicted.total.value(), 0u);
+}
+
+TEST(ScheduleCache, LruEvictsOldestAtCapacity) {
+  // Single shard so the LRU order is globally observable.
+  ScheduleCache cache({/*capacity=*/3, /*shards=*/1});
+  const auto result = compile_job(retention_job());
+  cache.insert(1, result);
+  cache.insert(2, result);
+  cache.insert(3, result);
+  // Refresh key 1, then overflow: key 2 is now the LRU victim.
+  EXPECT_NE(cache.lookup(1), nullptr);
+  cache.insert(4, result);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  EXPECT_NE(cache.lookup(4), nullptr);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ScheduleCache, InsertIsFirstWriterWins) {
+  ScheduleCache cache({4, 1});
+  const auto a = compile_job(retention_job());
+  const auto b = compile_job(retention_job());
+  ASSERT_NE(a.get(), b.get());
+  cache.insert(7, a);
+  cache.insert(7, b);
+  EXPECT_EQ(cache.lookup(7).get(), a.get());
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ScheduleCache, ConcurrentHammerMatchesSerial) {
+  // Serial reference: distinct jobs compiled once, no cache.
+  constexpr int kDistinct = 4;
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 25;
+  std::vector<std::shared_ptr<const CompiledResult>> reference;
+  for (int i = 0; i < kDistinct; ++i) {
+    reference.push_back(compile_job(retention_job(6 + i)));
+  }
+
+  ScheduleCache cache({64, 4});
+  std::vector<std::vector<std::shared_ptr<const CompiledResult>>> seen(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t, &cache, &seen] {
+        for (int round = 0; round < kRoundsPerThread; ++round) {
+          const int which = (t + round) % kDistinct;
+          const Job job = retention_job(6 + which);
+          seen[t].push_back(cache.get_or_compile(job));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Every observed result matches the serial reference semantically.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int round = 0; round < kRoundsPerThread; ++round) {
+      const int which = (t + round) % kDistinct;
+      const CompiledResult& got = *seen[t][round];
+      const CompiledResult& want = *reference[which];
+      ASSERT_EQ(got.outcome.feasible(), want.outcome.feasible());
+      EXPECT_EQ(got.outcome.chosen_rung(), want.outcome.chosen_rung());
+      EXPECT_EQ(got.outcome.schedule.rf, want.outcome.schedule.rf);
+      EXPECT_EQ(got.predicted.total, want.predicted.total);
+      EXPECT_EQ(got.predicted.data_words_loaded, want.predicted.data_words_loaded);
+      EXPECT_EQ(got.predicted.data_words_stored, want.predicted.data_words_stored);
+    }
+  }
+  const ScheduleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads * kRoundsPerThread));
+  // At most a handful of racing first-misses per distinct job; far more
+  // hits than misses overall.
+  EXPECT_GT(stats.hits, stats.misses);
+  EXPECT_LE(stats.entries, 64u);
+}
+
+}  // namespace
+}  // namespace msys::engine

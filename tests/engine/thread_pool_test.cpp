@@ -1,0 +1,95 @@
+#include "msys/engine/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "msys/common/error.hpp"
+
+namespace msys::engine {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 1000; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 1000);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait_idle: the destructor must finish the queue, not drop it.
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, WaitIdleIsReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int wave = 1; wave <= 3; ++wave) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), wave * 50);
+  }
+}
+
+TEST(ThreadPool, SubmitFromInsideAJob) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&pool, &count] {
+    count.fetch_add(1, std::memory_order_relaxed);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPool, UsesMultipleWorkerThreads) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&mu, &seen] {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  // All 200 ran; at least one worker did (single-core schedulers may well
+  // serve everything from one thread, so only the lower bound is portable).
+  EXPECT_GE(seen.size(), 1u);
+  EXPECT_LE(seen.size(), 4u);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace msys::engine

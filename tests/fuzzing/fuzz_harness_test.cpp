@@ -66,6 +66,27 @@ TEST(FuzzHarness, CampaignOf500IsClean) {
   EXPECT_GT(stats.all_feasible, 0u) << "no case was fully feasible";
 }
 
+// Parallel campaigns must be bit-for-bit equal to the serial run: same
+// counters, same failure list, same summary text, whatever the worker
+// count.  (The engine computes cases in parallel but folds the stats in
+// seed order — see fuzzing.cpp.)
+TEST(FuzzHarness, ParallelCampaignIsByteIdenticalToSerial) {
+  const CampaignStats serial = run_campaign(/*base_seed=*/77, /*n_cases=*/96);
+  for (unsigned threads : {2u, 4u}) {
+    const CampaignStats parallel = run_campaign(77, 96, threads);
+    EXPECT_EQ(parallel.cases, serial.cases);
+    EXPECT_EQ(parallel.parse_rejected, serial.parse_rejected);
+    EXPECT_EQ(parallel.infeasible, serial.infeasible);
+    EXPECT_EQ(parallel.all_feasible, serial.all_feasible);
+    EXPECT_EQ(parallel.summary(), serial.summary());
+    ASSERT_EQ(parallel.failures.size(), serial.failures.size());
+    for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+      EXPECT_EQ(parallel.failures[i].original.name, serial.failures[i].original.name);
+      EXPECT_EQ(parallel.failures[i].shrunk_mapp, serial.failures[i].shrunk_mapp);
+    }
+  }
+}
+
 TEST(FuzzShrink, ReducesToMinimalCaseUnderTrivialPredicate) {
   const FuzzCase c = make_case(0);  // control class: several clusters
   // Keep anything that still parses with at least one kernel: the shrinker

@@ -1,0 +1,141 @@
+// Canonical content hashing: declaration-order independence, sensitivity
+// to every semantic field, and round-trip stability through the DSL.
+#include "msys/model/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/appdsl/parser.hpp"
+#include "msys/arch/m1.hpp"
+#include "msys/model/application.hpp"
+
+namespace msys::model {
+namespace {
+
+/// The reference app: a -> k1 -> t -> k2 -> r(final), plus input b to k2.
+Application reference_app() {
+  ApplicationBuilder b("demo", 8);
+  DataId a = b.external_input("a", SizeWords{64});
+  DataId bb = b.external_input("b", SizeWords{32});
+  KernelId k1 = b.kernel("k1", 16, Cycles{100}, {a});
+  DataId t = b.output(k1, "t", SizeWords{48});
+  KernelId k2 = b.kernel("k2", 24, Cycles{200}, {t, bb});
+  b.output(k2, "r", SizeWords{16}, true);
+  return std::move(b).build();
+}
+
+TEST(CanonicalHash, StableAcrossCalls) {
+  const Application app = reference_app();
+  EXPECT_EQ(canonical_hash(app), canonical_hash(app));
+  EXPECT_EQ(canonical_hash(app), canonical_hash(reference_app()));
+}
+
+TEST(CanonicalHash, IndependentOfDeclarationOrder) {
+  // Same DAG assembled in a different builder order: inputs declared in a
+  // different sequence and k2's second input wired via add_input instead of
+  // the constructor list.  Ids differ; content does not.
+  ApplicationBuilder b("demo", 8);
+  DataId bb = b.external_input("b", SizeWords{32});
+  DataId a = b.external_input("a", SizeWords{64});
+  KernelId k1 = b.kernel("k1", 16, Cycles{100}, {a});
+  DataId t = b.output(k1, "t", SizeWords{48});
+  KernelId k2 = b.kernel("k2", 24, Cycles{200}, {t});
+  b.add_input(k2, bb);
+  b.output(k2, "r", SizeWords{16}, true);
+  const Application reordered = std::move(b).build();
+
+  EXPECT_EQ(canonical_hash(reference_app()), canonical_hash(reordered));
+}
+
+TEST(CanonicalHash, StableThroughDslRoundTrip) {
+  // Building by hand and re-parsing the emitted text are the paradigmatic
+  // "two ways to build the same app".
+  const Application app = reference_app();
+  const std::string text = appdsl::write(app, {}, arch::M1Config::m1_default());
+  const appdsl::ParsedExperiment parsed = appdsl::parse(text);
+  EXPECT_EQ(canonical_hash(app), canonical_hash(parsed.app));
+}
+
+// Every semantic field change must move the hash.
+TEST(CanonicalHash, SensitiveToEveryField) {
+  const std::uint64_t base = canonical_hash(reference_app());
+
+  // App name.
+  {
+    ApplicationBuilder b("demo2", 8);
+    DataId a = b.external_input("a", SizeWords{64});
+    DataId bb = b.external_input("b", SizeWords{32});
+    KernelId k1 = b.kernel("k1", 16, Cycles{100}, {a});
+    DataId t = b.output(k1, "t", SizeWords{48});
+    KernelId k2 = b.kernel("k2", 24, Cycles{200}, {t, bb});
+    b.output(k2, "r", SizeWords{16}, true);
+    EXPECT_NE(base, canonical_hash(std::move(b).build()));
+  }
+  // Iteration count / object size / context words / latency / final flag /
+  // an extra edge — one mutation per variant.
+  struct Variant {
+    const char* what;
+    std::uint32_t iterations{8};
+    std::uint64_t a_size{64};
+    std::uint32_t k1_ctx{16};
+    std::uint64_t k2_cycles{200};
+    // `t` is consumed by k2, so additionally marking it final is a legal
+    // mutation (unlike un-finaling `r`, which would orphan the result).
+    bool t_final{false};
+    bool extra_edge{false};
+  };
+  const Variant variants[] = {
+      {"iterations", 9, 64, 16, 200, false, false},
+      {"object size", 8, 65, 16, 200, false, false},
+      {"context words", 8, 64, 17, 200, false, false},
+      {"latency", 8, 64, 16, 201, false, false},
+      {"final flag", 8, 64, 16, 200, true, false},
+      {"extra edge", 8, 64, 16, 200, false, true},
+  };
+  for (const Variant& v : variants) {
+    ApplicationBuilder b("demo", v.iterations);
+    DataId a = b.external_input("a", SizeWords{v.a_size});
+    DataId bb = b.external_input("b", SizeWords{32});
+    KernelId k1 = b.kernel("k1", v.k1_ctx, Cycles{100}, {a});
+    DataId t = b.output(k1, "t", SizeWords{48}, v.t_final);
+    std::vector<DataId> k2_in = {t, bb};
+    if (v.extra_edge) k2_in.push_back(a);
+    KernelId k2 = b.kernel("k2", 24, Cycles{v.k2_cycles}, k2_in);
+    b.output(k2, "r", SizeWords{16}, true);
+    EXPECT_NE(base, canonical_hash(std::move(b).build())) << v.what;
+  }
+}
+
+TEST(CanonicalHash, ScheduleHashCoversPartition) {
+  const Application app = reference_app();
+  const KernelId k1 = *app.find_kernel("k1");
+  const KernelId k2 = *app.find_kernel("k2");
+  const KernelSchedule one =
+      KernelSchedule::from_partition(app, {{k1}, {k2}});
+  const KernelSchedule merged = KernelSchedule::from_partition(app, {{k1, k2}});
+  EXPECT_NE(canonical_hash(one), canonical_hash(merged));
+  EXPECT_EQ(canonical_hash(one),
+            canonical_hash(KernelSchedule::from_partition(app, {{k1}, {k2}})));
+}
+
+TEST(CanonicalHash, M1ConfigSensitivity) {
+  const arch::M1Config base = arch::M1Config::m1_default();
+  Hasher h0;
+  arch::hash_append(h0, base);
+  const std::uint64_t base_hash = h0.finalize();
+
+  const auto hash_cfg = [](const arch::M1Config& cfg) {
+    Hasher h;
+    arch::hash_append(h, cfg);
+    return h.finalize();
+  };
+  EXPECT_EQ(base_hash, hash_cfg(arch::M1Config::m1_default()));
+  EXPECT_NE(base_hash, hash_cfg(base.with_fb_set_size(SizeWords{4096})));
+  EXPECT_NE(base_hash, hash_cfg(base.with_cm_capacity(1024)));
+  EXPECT_NE(base_hash, hash_cfg(base.with_cross_set_reads(true)));
+  arch::M1Config dma = base;
+  dma.dma.transfer_setup = Cycles{9};
+  EXPECT_NE(base_hash, hash_cfg(dma));
+}
+
+}  // namespace
+}  // namespace msys::model

@@ -42,6 +42,11 @@ struct Row {
   double jobs_per_sec{0.0};
   double hit_rate{0.0};
   double speedup{1.0};
+  /// Per-job worker latency split by cache outcome (BatchStats).
+  double avg_hit_ms{0.0};
+  double avg_miss_ms{0.0};
+  /// Deepest the pool queue got during this row's batch.
+  std::size_t queue_depth_peak{0};
 };
 
 std::vector<engine::Job> build_jobs(std::size_t n_workloads, std::size_t dup) {
@@ -86,8 +91,9 @@ Row measure(const std::vector<engine::Job>& jobs, unsigned threads,
   engine::ThreadPool pool(threads);
   engine::BatchRunner runner(pool, cache);
   const std::uint64_t hits_before = cache != nullptr ? cache->stats().hits : 0;
+  engine::BatchStats stats;
   const auto start = std::chrono::steady_clock::now();
-  const std::vector<engine::JobResult> results = runner.run(jobs);
+  const std::vector<engine::JobResult> results = runner.run(jobs, &stats);
   const auto end = std::chrono::steady_clock::now();
 
   Row row;
@@ -102,6 +108,9 @@ Row measure(const std::vector<engine::Job>& jobs, unsigned threads,
     const std::uint64_t hits = cache->stats().hits - hits_before;
     row.hit_rate = static_cast<double>(hits) / static_cast<double>(jobs.size());
   }
+  row.avg_hit_ms = stats.avg_hit_ms();
+  row.avg_miss_ms = stats.avg_miss_ms();
+  row.queue_depth_peak = pool.queue_depth_peak();
   const std::string fp = result_fingerprint(results);
   if (fingerprint->empty()) {
     *fingerprint = fp;
@@ -134,6 +143,9 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         << "\", \"millis\": " << fmt(r.millis, 3)
         << ", \"jobs_per_sec\": " << fmt(r.jobs_per_sec, 1)
         << ", \"hit_rate\": " << fmt(r.hit_rate, 3)
+        << ", \"avg_hit_ms\": " << fmt(r.avg_hit_ms, 4)
+        << ", \"avg_miss_ms\": " << fmt(r.avg_miss_ms, 4)
+        << ", \"queue_depth_peak\": " << r.queue_depth_peak
         << ", \"speedup_vs_serial_cold\": " << fmt(r.speedup, 2) << "}"
         << (i + 1 < rows.size() ? "," : "") << '\n';
   }
@@ -181,10 +193,13 @@ int main(int argc, char** argv) {
   const double base = rows.front().jobs_per_sec;
   for (Row& r : rows) r.speedup = base > 0.0 ? r.jobs_per_sec / base : 0.0;
 
-  TextTable table({"Threads", "Cache", "ms/batch", "jobs/sec", "hit rate", "speedup"});
+  TextTable table({"Threads", "Cache", "ms/batch", "jobs/sec", "hit rate", "hit ms",
+                   "miss ms", "peak q", "speedup"});
   for (const Row& r : rows) {
     table.add_row({std::to_string(r.threads), r.cache, fmt(r.millis), fmt(r.jobs_per_sec),
-                   fmt(r.hit_rate * 100.0) + "%", fmt(r.speedup, 2) + "x"});
+                   fmt(r.hit_rate * 100.0) + "%", fmt(r.avg_hit_ms, 3),
+                   fmt(r.avg_miss_ms, 3), std::to_string(r.queue_depth_peak),
+                   fmt(r.speedup, 2) + "x"});
   }
   table.print(std::cout);
 

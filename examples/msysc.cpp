@@ -12,6 +12,8 @@
 //   $ ./build/examples/msysc --validate examples/apps/demo.mapp
 //   $ ./build/examples/msysc --batch examples/apps -j 4        # every .mapp in
 //                                                              # the dir, 4 workers
+//   $ ./build/examples/msysc --trace out.json --stats examples/apps/demo.mapp
+//                                       # Chrome-trace JSON + counter table
 //
 // All diagnostics go to stderr.  Exit codes:
 //   0  success
@@ -26,8 +28,11 @@
 //
 // The text format is documented in msys/appdsl/parser.hpp.
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +44,9 @@
 #include "msys/engine/batch_runner.hpp"
 #include "msys/extract/analysis.hpp"
 #include "msys/ksched/kernel_scheduler.hpp"
+#include "msys/obs/chrome_trace.hpp"
+#include "msys/obs/metrics.hpp"
+#include "msys/obs/trace.hpp"
 #include "msys/report/runner.hpp"
 #include "msys/report/tables.hpp"
 #include "msys/report/timeline.hpp"
@@ -132,7 +140,8 @@ int run_batch(const std::string& dir, unsigned n_threads) {
   engine::ThreadPool pool(n_threads);
   engine::ScheduleCache cache;
   engine::BatchRunner runner(pool, &cache);
-  const std::vector<engine::JobResult> results = runner.run(jobs);
+  engine::BatchStats batch_stats;
+  const std::vector<engine::JobResult> results = runner.run(jobs, &batch_stats);
 
   TextTable table({"File", "Scheduler", "RF", "Cycles", "Cache", "Status"});
   int worst = kExitOk;
@@ -164,79 +173,17 @@ int run_batch(const std::string& dir, unsigned n_threads) {
   const engine::ScheduleCache::Stats stats = cache.stats();
   std::cout << "batch: " << files.size() << " files, " << pool.size()
             << " threads, cache " << stats.hits << " hits / " << stats.misses
-            << " misses\n\n";
+            << " misses\n";
+  std::cout << "batch: " << batch_stats.summary() << "\n\n";
   table.print(std::cout);
   return worst;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// Single-file flow: parse, schedule (with the fallback chain), simulate,
+/// and print the requested reports.
+int run_single(const std::string& path, bool emit, bool timeline, bool cross_set,
+               bool search, bool control, bool validate) {
   using namespace msys;
-  bool emit = false;
-  bool timeline = false;
-  bool cross_set = false;
-  bool search = false;
-  bool control = false;
-  bool validate = false;
-  std::string batch_dir;
-  unsigned n_threads = 1;
-  std::string path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--emit") {
-      emit = true;
-    } else if (arg == "--timeline") {
-      timeline = true;
-    } else if (arg == "--cross-set") {
-      cross_set = true;
-    } else if (arg == "--search") {
-      search = true;
-    } else if (arg == "--control") {
-      control = true;
-    } else if (arg == "--validate") {
-      validate = true;
-    } else if (arg == "--batch") {
-      if (i + 1 >= argc) {
-        std::cerr << "msysc: --batch needs a directory\n";
-        return kExitUsage;
-      }
-      batch_dir = argv[++i];
-    } else if (arg == "-j") {
-      if (i + 1 >= argc) {
-        std::cerr << "msysc: -j needs a thread count\n";
-        return kExitUsage;
-      }
-      try {
-        const int n = std::stoi(argv[++i]);
-        if (n < 1) throw std::invalid_argument("non-positive");
-        n_threads = static_cast<unsigned>(n);
-      } catch (const std::exception&) {
-        std::cerr << "msysc: bad -j value\n";
-        return kExitUsage;
-      }
-    } else if (arg.rfind("--", 0) == 0) {
-      std::cerr << "msysc: unknown flag " << arg << "\n";
-      return kExitUsage;
-    } else {
-      path = arg;
-    }
-  }
-  if (!batch_dir.empty()) {
-    try {
-      return run_batch(batch_dir, n_threads);
-    } catch (const std::exception& e) {
-      std::cerr << "msysc: internal error: " << e.what() << '\n';
-      return kExitInternal;
-    }
-  }
-  if (path.empty()) {
-    std::cerr << "usage: msysc [--emit|--timeline|--cross-set|--search|--control|"
-                 "--validate] <file.mapp>\n"
-                 "       msysc --batch <dir> [-j N]\n";
-    return kExitUsage;
-  }
-
   try {
     appdsl::ParseResult parse_result = appdsl::parse_file_collect(path);
     if (!parse_result.ok()) {
@@ -330,4 +277,145 @@ int main(int argc, char** argv) {
     return kExitInternal;
   }
   return kExitOk;
+}
+
+/// Prints every counter and gauge in `delta` as a two-column table.
+void print_stats(const msys::obs::MetricsSnapshot& delta) {
+  msys::TextTable table({"Metric", "Value"});
+  for (const auto& [name, value] : delta.counters) {
+    table.add_row({name, std::to_string(value)});
+  }
+  for (const auto& [name, value] : delta.gauges) {
+    table.add_row({name + " (gauge)", std::to_string(value)});
+  }
+  std::cout << "\nobservability counters (this run):\n";
+  if (delta.empty()) {
+    std::cout << "  (none)\n";
+    return;
+  }
+  table.print(std::cout);
+}
+
+/// `-j` must be a positive base-10 integer: std::stoi would accept "4abc"
+/// or "+4xyz", so parse strictly and reject anything else loudly.
+bool parse_thread_count(const std::string& value, unsigned* out) {
+  if (value.empty() ||
+      !std::all_of(value.begin(), value.end(),
+                   [](unsigned char c) { return std::isdigit(c) != 0; })) {
+    return false;
+  }
+  try {
+    const int n = std::stoi(value);
+    if (n < 1) return false;
+    *out = static_cast<unsigned>(n);
+    return true;
+  } catch (const std::exception&) {
+    return false;  // out of range
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msys;
+  bool emit = false;
+  bool timeline = false;
+  bool cross_set = false;
+  bool search = false;
+  bool control = false;
+  bool validate = false;
+  bool stats = false;
+  std::string trace_path;
+  std::string batch_dir;
+  unsigned n_threads = 1;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--emit") {
+      emit = true;
+    } else if (arg == "--timeline") {
+      timeline = true;
+    } else if (arg == "--cross-set") {
+      cross_set = true;
+    } else if (arg == "--search") {
+      search = true;
+    } else if (arg == "--control") {
+      control = true;
+    } else if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: --trace needs an output file\n";
+        return kExitUsage;
+      }
+      trace_path = argv[++i];
+    } else if (arg == "--batch") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: --batch needs a directory\n";
+        return kExitUsage;
+      }
+      batch_dir = argv[++i];
+    } else if (arg == "-j") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: -j needs a thread count\n";
+        return kExitUsage;
+      }
+      if (!parse_thread_count(argv[++i], &n_threads)) {
+        std::cerr << "msysc: bad -j value '" << argv[i]
+                  << "' (want a positive integer)\n";
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "msysc: unknown flag " << arg << "\n";
+      return kExitUsage;
+    } else {
+      path = arg;
+    }
+  }
+  if (batch_dir.empty() && path.empty()) {
+    std::cerr << "usage: msysc [--emit|--timeline|--cross-set|--search|--control|"
+                 "--validate] [--trace out.json] [--stats] <file.mapp>\n"
+                 "       msysc --batch <dir> [-j N] [--trace out.json] [--stats]\n";
+    return kExitUsage;
+  }
+
+  // Observability bracket around the whole run: the counter delta and the
+  // trace cover exactly the work this invocation did.
+  const obs::MetricsSnapshot before = obs::snapshot();
+  std::optional<obs::TraceRecorder> recorder;
+  std::optional<obs::TraceSession> session;
+  if (!trace_path.empty()) {
+    recorder.emplace();
+    session.emplace(*recorder);
+  }
+
+  int code;
+  if (!batch_dir.empty()) {
+    try {
+      code = run_batch(batch_dir, n_threads);
+    } catch (const std::exception& e) {
+      std::cerr << "msysc: internal error: " << e.what() << '\n';
+      code = kExitInternal;
+    }
+  } else {
+    code = run_single(path, emit, timeline, cross_set, search, control, validate);
+  }
+
+  session.reset();  // stop recording before exporting
+  const obs::MetricsSnapshot delta = obs::snapshot().since(before);
+  if (recorder) {
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "msysc: cannot write trace to " << trace_path << '\n';
+      code = std::max(code, kExitUsage);
+    } else {
+      obs::write_chrome_trace(out, *recorder, &delta);
+      std::cerr << "msysc: wrote " << recorder->event_count() << " trace events to "
+                << trace_path << '\n';
+    }
+  }
+  if (stats) print_stats(delta);
+  return code;
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI-style verification: configure + build + ctest for the default preset
+# and for ThreadSanitizer, both with warnings promoted to errors.
+#
+#   scripts/check.sh            # default + tsan
+#   scripts/check.sh default    # just one preset
+#   scripts/check.sh tsan
+#
+# Exits non-zero on the first failing step.  Build directories follow the
+# presets (build/, build-tsan/), so a plain developer build and a check
+# run do not clobber each other's cache variables: the script always
+# re-runs configure with -DMSYS_WERROR=ON.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+presets=("${@:-default}")
+if [ "$#" -eq 0 ]; then
+  presets=(default tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> [$preset] configure (warnings as errors)"
+  cmake --preset "$preset" -DMSYS_WERROR=ON
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> [$preset] test"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "==> all checks passed: ${presets[*]}"

@@ -3,8 +3,30 @@
 #include <algorithm>
 
 #include "msys/common/error.hpp"
+#include "msys/obs/metrics.hpp"
 
 namespace msys::alloc {
+
+namespace {
+
+/// Process-wide mirrors of the per-instance Stats, so `msysc --stats` and
+/// the obs cross-check tests can see allocator behaviour without plumbing
+/// every FrameBufferAllocator instance to the surface.
+struct AllocMetrics {
+  obs::Counter& allocations = obs::counter("alloc.allocations");
+  obs::Counter& failures = obs::counter("alloc.failures");
+  obs::Counter& preferred_hits = obs::counter("alloc.preferred_hits");
+  obs::Counter& preferred_misses = obs::counter("alloc.preferred_misses");
+  obs::Counter& splits = obs::counter("alloc.splits");
+  obs::Counter& releases = obs::counter("alloc.releases");
+
+  static AllocMetrics& get() {
+    static AllocMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 FrameBufferAllocator::FrameBufferAllocator(SizeWords capacity, FitPolicy policy)
     : capacity_(capacity), policy_(policy) {
@@ -70,11 +92,17 @@ std::optional<Allocation> FrameBufferAllocator::allocate(SizeWords size, AllocEn
       for (const Extent& e : preferred) carve(e);
       ++stats_.allocations;
       ++stats_.preferred_hits;
-      if (preferred.size() > 1) ++stats_.splits;
+      AllocMetrics::get().allocations.add();
+      AllocMetrics::get().preferred_hits.add();
+      if (preferred.size() > 1) {
+        ++stats_.splits;
+        AllocMetrics::get().splits.add();
+      }
       note_usage();
       return Allocation{preferred};
     }
     ++stats_.preferred_misses;
+    AllocMetrics::get().preferred_misses.add();
   }
 
   // 2. First-fit from the requested end: kTop scans blocks from the highest
@@ -120,6 +148,7 @@ std::optional<Allocation> FrameBufferAllocator::allocate(SizeWords size, AllocEn
   if (chosen) {
     carve(*chosen);
     ++stats_.allocations;
+    AllocMetrics::get().allocations.add();
     note_usage();
     return Allocation{{*chosen}};
   }
@@ -127,7 +156,10 @@ std::optional<Allocation> FrameBufferAllocator::allocate(SizeWords size, AllocEn
   // 3. Last resort (paper §5): split across several free blocks, gathered
   // in scan order, so the object still fits when fragmentation leaves no
   // single block large enough.
-  if (!allow_split || free_words() < size) return std::nullopt;
+  if (!allow_split || free_words() < size) {
+    AllocMetrics::get().failures.add();
+    return std::nullopt;
+  }
   std::vector<Extent> pieces;
   SizeWords remaining = size;
   scan([&](const Extent& f) {
@@ -140,6 +172,8 @@ std::optional<Allocation> FrameBufferAllocator::allocate(SizeWords size, AllocEn
   for (const Extent& e : pieces) carve(e);
   ++stats_.allocations;
   ++stats_.splits;
+  AllocMetrics::get().allocations.add();
+  AllocMetrics::get().splits.add();
   note_usage();
   return Allocation{std::move(pieces)};
 }
@@ -156,6 +190,7 @@ void FrameBufferAllocator::release(const Allocation& allocation) {
   }
   free_ = normalized(std::move(free_));
   ++stats_.releases;
+  AllocMetrics::get().releases.add();
 }
 
 }  // namespace msys::alloc

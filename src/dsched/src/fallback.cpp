@@ -6,6 +6,8 @@
 
 #include "msys/common/error.hpp"
 #include "msys/dsched/alloc_driver.hpp"
+#include "msys/obs/metrics.hpp"
+#include "msys/obs/trace.hpp"
 
 namespace msys::dsched {
 
@@ -66,6 +68,11 @@ std::string ScheduleOutcome::chain_summary() const {
 ScheduleOutcome schedule_with_fallback(const extract::ScheduleAnalysis& analysis,
                                        const arch::M1Config& cfg,
                                        const FallbackOptions& options) {
+  MSYS_TRACE_SPAN(span, "dsched.fallback", "dsched");
+  static obs::Counter& chains = obs::counter("dsched.fallback.chains");
+  static obs::Counter& demotions = obs::counter("dsched.fallback.demotions");
+  static obs::Counter& exhausted = obs::counter("dsched.fallback.exhausted");
+  chains.add();
   ScheduleOutcome outcome;
 
   // Rung factories, tried in order of decreasing ambition.
@@ -93,12 +100,15 @@ ScheduleOutcome schedule_with_fallback(const extract::ScheduleAnalysis& analysis
       continue;
     }
     attempt.attempted = true;
+    MSYS_TRACE_SPAN(rung_span, "dsched.rung", "dsched");
+    if (rung_span.active()) rung_span.add_arg(obs::arg("rung", rung.name));
     try {
       DataSchedule candidate = rung.run();
       if (candidate.feasible) {
         attempt.succeeded = true;
         attempt.reason = "selected";
         outcome.schedule = std::move(candidate);
+        obs::counter("dsched.fallback.selected." + rung.name).add();
       } else {
         attempt.reason = candidate.infeasible_reason.empty()
                              ? "infeasible"
@@ -116,14 +126,27 @@ ScheduleOutcome schedule_with_fallback(const extract::ScheduleAnalysis& analysis
       outcome.diagnostics.push_back(
           make_error("schedule.internal", rung.name + ": " + e.what()));
     }
+    if (!attempt.succeeded) {
+      // A rung transition: this rung was tried and lost, the chain moves on.
+      demotions.add();
+      MSYS_TRACE_INSTANT("dsched.fallback.demote", "dsched",
+                         obs::arg("rung", attempt.rung),
+                         obs::arg("reason", attempt.reason));
+    }
     outcome.attempts.push_back(std::move(attempt));
   }
 
   if (!outcome.feasible()) {
+    exhausted.add();
     std::ostringstream why;
     why << "no scheduler rung fits this workload on " << cfg.name << " (fbset="
         << cfg.fb_set_size.value() << " words): " << outcome.chain_summary();
     outcome.diagnostics.push_back(make_error("schedule.infeasible", why.str()));
+  }
+  if (span.active()) {
+    span.add_arg(obs::arg("chosen", outcome.chosen_rung()));
+    span.add_arg(obs::arg("feasible",
+                          std::string(outcome.feasible() ? "yes" : "no")));
   }
   return outcome;
 }

@@ -5,6 +5,8 @@
 #include "msys/common/error.hpp"
 #include "msys/csched/context_plan.hpp"
 #include "msys/dsched/cost.hpp"
+#include "msys/obs/metrics.hpp"
+#include "msys/obs/trace.hpp"
 
 namespace msys::dsched {
 
@@ -53,6 +55,8 @@ namespace {
 /// the larger RF, the paper's preference).
 std::uint32_t pick_rf_by_cost(const ScheduleAnalysis& analysis, const arch::M1Config& cfg,
                               DriverOptions options, std::uint32_t max_feasible_rf) {
+  MSYS_TRACE_SPAN(span, "dsched.pick_rf", "dsched");
+  static obs::Counter& rf_evaluated = obs::counter("dsched.rf.candidates_evaluated");
   const csched::ContextPlan ctx_plan =
       csched::ContextPlan::build(analysis.sched(), cfg.cm_capacity_words);
   if (!ctx_plan.feasible()) return max_feasible_rf;
@@ -64,18 +68,26 @@ std::uint32_t pick_rf_by_cost(const ScheduleAnalysis& analysis, const arch::M1Co
     MSYS_REQUIRE(result.ok, "RF below the feasible maximum must plan");
     DataSchedule tentative = finish("tentative", analysis, options, std::move(result));
     const CostBreakdown cost = predict_cost(tentative, cfg, ctx_plan);
+    rf_evaluated.add();
     if (cost.feasible && (best_rf == 0 || cost.total <= best_cost)) {
       best_cost = cost.total;
       best_rf = rf;
     }
   }
-  return best_rf == 0 ? max_feasible_rf : best_rf;
+  const std::uint32_t chosen = best_rf == 0 ? max_feasible_rf : best_rf;
+  if (span.active()) {
+    span.add_arg(obs::arg("max_feasible_rf", std::uint64_t{max_feasible_rf}));
+    span.add_arg(obs::arg("chosen_rf", std::uint64_t{chosen}));
+  }
+  return chosen;
 }
 
 }  // namespace
 
 DataSchedule BasicScheduler::schedule(const ScheduleAnalysis& analysis,
                                       const arch::M1Config& cfg) const {
+  MSYS_TRACE_SPAN(span, "dsched.basic", "dsched");
+  obs::counter("dsched.runs.basic").add();
   DriverOptions options;
   options.rf = 1;
   options.release_at_last_use = false;  // no replacement within a cluster
@@ -86,6 +98,8 @@ DataSchedule BasicScheduler::schedule(const ScheduleAnalysis& analysis,
 
 DataSchedule DataScheduler::schedule(const ScheduleAnalysis& analysis,
                                      const arch::M1Config& cfg) const {
+  MSYS_TRACE_SPAN(span, "dsched.ds", "dsched");
+  obs::counter("dsched.runs.ds").add();
   DriverOptions options;
   options.release_at_last_use = true;
   const std::uint32_t max_rf = compute_max_rf(analysis, cfg, options);
@@ -94,6 +108,7 @@ DataSchedule DataScheduler::schedule(const ScheduleAnalysis& analysis,
                       "a cluster does not fit the FB set even at RF=1");
   }
   options.rf = pick_rf_by_cost(analysis, cfg, options, max_rf);
+  if (span.active()) span.add_arg(obs::arg("rf", std::uint64_t{options.rf}));
   DriverResult result = plan_round(analysis, cfg.fb_set_size, options);
   MSYS_REQUIRE(result.ok, "re-planning at the feasible RF must succeed");
   return finish(name(), analysis, options, std::move(result));
@@ -101,6 +116,8 @@ DataSchedule DataScheduler::schedule(const ScheduleAnalysis& analysis,
 
 DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
                                              const arch::M1Config& cfg) const {
+  MSYS_TRACE_SPAN(span, "dsched.cds", "dsched");
+  obs::counter("dsched.runs.cds").add();
   DriverOptions options;
   options.release_at_last_use = true;
   const std::uint32_t max_rf = compute_max_rf(analysis, cfg, options);
@@ -144,6 +161,8 @@ DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
 
   // Greedy §4 selection at a fixed RF: keep a candidate iff every cluster
   // still fits (the Figure-4 walk is the ground-truth fit check).
+  static obs::Counter& retention_kept = obs::counter("dsched.retention.kept");
+  static obs::Counter& retention_rejected = obs::counter("dsched.retention.rejected");
   auto retain_at_rf = [&](std::uint32_t rf) -> std::pair<DriverOptions, DriverResult> {
     DriverOptions opt = options;
     opt.rf = rf;
@@ -155,8 +174,16 @@ DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
       DriverResult attempt = plan_round(analysis, cfg.fb_set_size, opt);
       if (attempt.ok) {
         best = std::move(attempt);
+        retention_kept.add();
+        MSYS_TRACE_INSTANT("dsched.retain.keep", "dsched",
+                           obs::arg("data", std::uint64_t{cand.data.index()}),
+                           obs::arg("tf", cand.tf), obs::arg("rf", std::uint64_t{rf}));
       } else {
         opt.retained.erase(cand.data);
+        retention_rejected.add();
+        MSYS_TRACE_INSTANT("dsched.retain.reject", "dsched",
+                           obs::arg("data", std::uint64_t{cand.data.index()}),
+                           obs::arg("tf", cand.tf), obs::arg("rf", std::uint64_t{rf}));
       }
     }
     return {std::move(opt), std::move(best)};

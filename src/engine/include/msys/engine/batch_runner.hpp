@@ -29,6 +29,34 @@ struct JobResult {
   [[nodiscard]] bool feasible() const { return result != nullptr && result->feasible(); }
 };
 
+/// Per-batch accounting, filled by BatchRunner::run.  Latencies are the
+/// per-job wall time inside the worker (cache lookup + compile on a miss),
+/// so avg_hit_ms()/avg_miss_ms() separate "served from cache" cost from
+/// "had to schedule" cost for exactly this batch — unlike the global obs
+/// counters, which aggregate across every concurrent batch.
+struct BatchStats {
+  std::size_t jobs{0};
+  std::size_t cache_hits{0};
+  std::size_t cache_misses{0};
+  std::size_t infeasible{0};
+  /// Wall time of the whole run() call.
+  double wall_ms{0.0};
+  double hit_latency_ms_total{0.0};
+  double miss_latency_ms_total{0.0};
+
+  [[nodiscard]] double hit_rate() const {
+    return jobs == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(jobs);
+  }
+  [[nodiscard]] double avg_hit_ms() const {
+    return cache_hits == 0 ? 0.0 : hit_latency_ms_total / static_cast<double>(cache_hits);
+  }
+  [[nodiscard]] double avg_miss_ms() const {
+    return cache_misses == 0 ? 0.0
+                             : miss_latency_ms_total / static_cast<double>(cache_misses);
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
 class BatchRunner {
  public:
   /// `cache` may be null: every job is then computed.  Both referents must
@@ -39,8 +67,10 @@ class BatchRunner {
   /// Runs every job; results[i] always corresponds to jobs[i].  Blocks
   /// until the whole batch finished.  Thread-safe for the caller in the
   /// sense that concurrent run() calls on one runner share the pool and
-  /// cache but keep their batches separate.
-  [[nodiscard]] std::vector<JobResult> run(const std::vector<Job>& jobs);
+  /// cache but keep their batches separate.  `stats`, when given, receives
+  /// this batch's accounting (overwritten, not accumulated).
+  [[nodiscard]] std::vector<JobResult> run(const std::vector<Job>& jobs,
+                                           BatchStats* stats = nullptr);
 
  private:
   ThreadPool* pool_;

@@ -17,7 +17,11 @@
 // (first-writer-wins) so every subsequent hit observes one canonical
 // result.  compile_job is pure, so both computed results are identical and
 // no caller can tell the difference — this keeps the fast path lock-free
-// of any per-key in-flight bookkeeping.
+// of any per-key in-flight bookkeeping.  A dropped duplicate still counts
+// (Stats::duplicate_inserts — the wasted-compute signal a capacity planner
+// watches) and refreshes the entry's LRU recency: the duplicate insert IS
+// a use of that entry, and before this refresh a hot entry hammered by
+// concurrent compiles could be evicted as "cold" mid-storm.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +50,9 @@ class ScheduleCache {
     std::uint64_t misses{0};
     std::uint64_t evictions{0};
     std::uint64_t inserts{0};
+    /// insert() calls dropped because the key was already present — each
+    /// one is a concurrent compilation whose work was thrown away.
+    std::uint64_t duplicate_inserts{0};
     std::uint64_t entries{0};
 
     [[nodiscard]] double hit_rate() const {
@@ -63,7 +70,9 @@ class ScheduleCache {
 
   /// Inserts `result` under `key` unless the key is already present
   /// (first-writer-wins); evicts the shard's least-recently-used entry
-  /// when the shard is at capacity.
+  /// when the shard is at capacity.  A duplicate insert is dropped but
+  /// counted (Stats::duplicate_inserts) and refreshes the existing
+  /// entry's LRU recency.
   void insert(std::uint64_t key, std::shared_ptr<const CompiledResult> result);
 
   /// Memoized compile: lookup, compute-and-insert on miss.  `*was_hit`

@@ -6,10 +6,16 @@
 //     running job (workers never block on the queue lock while executing).
 //   * wait_idle() blocks until the queue is empty AND no job is mid-flight,
 //     so "submit a wave, wait, read results" is race-free.
-//   * The destructor drains every queued job, then joins; nothing is
-//     silently dropped.  Jobs must not throw — the pool has no channel to
-//     report an exception, so a throwing job terminates (callers wrap
-//     fallible work, e.g. engine::compile_job converts everything to data).
+//   * The destructor drains every *accepted* job, then joins; nothing
+//     accepted is silently dropped.  Once shutdown has begun, submit()
+//     rejects new work by returning false instead of throwing: a job that
+//     re-submits while the destructor drains gets a well-defined refusal,
+//     not an exception inside a worker (which would std::terminate).
+//     Accept-and-drain was rejected deliberately — a self-perpetuating job
+//     chain would then block shutdown forever.
+//   * Jobs must not throw — the pool has no channel to report an
+//     exception, so a throwing job terminates (callers wrap fallible work,
+//     e.g. engine::compile_job converts everything to data).
 //
 // Determinism contract: the pool makes no ordering promises — callers that
 // need deterministic output (BatchRunner, the fuzz campaign) index results
@@ -37,8 +43,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues one job.  Throws msys::Error after shutdown began.
-  void submit(std::function<void()> job);
+  /// Enqueues one job and returns true.  After shutdown began (the
+  /// destructor is draining), the job is NOT enqueued and submit returns
+  /// false — never throws, so re-entrant submits from draining workers are
+  /// safe.  Callers that require acceptance (a live pool they own) may
+  /// assert on the result.  (Not [[nodiscard]]: fire-and-forget on a pool
+  /// the caller owns and keeps alive is sound — acceptance is guaranteed
+  /// before ~ThreadPool starts.)
+  bool submit(std::function<void()> job);
 
   /// Blocks until every submitted job has finished (queue empty, no worker
   /// mid-job).  Safe to call repeatedly; new submits restart the wait.
@@ -46,17 +58,24 @@ class ThreadPool {
 
   [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// Deepest the queue has been over this pool's lifetime (an admission-
+  /// control signal: how far submission outran the workers).  The global
+  /// `engine.pool.queue_depth_peak` gauge aggregates across pools; this
+  /// accessor scopes it to one instance, e.g. one bench row.
+  [[nodiscard]] std::size_t queue_depth_peak() const;
+
   /// Best-effort hardware thread count (>= 1 even when unknown).
   [[nodiscard]] static unsigned hardware_threads();
 
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait here for jobs
   std::condition_variable idle_cv_;   // wait_idle waits here
   std::deque<std::function<void()>> queue_;
   std::size_t active_{0};
+  std::size_t depth_peak_{0};
   bool stopping_{false};
   std::vector<std::thread> workers_;
 };

@@ -1,13 +1,41 @@
 #include "msys/engine/batch_runner.hpp"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+#include <sstream>
+
+#include "msys/common/error.hpp"
+#include "msys/obs/trace.hpp"
 
 namespace msys::engine {
 
-std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs) {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::string BatchStats::summary() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << jobs << " jobs in " << wall_ms << "ms: " << cache_hits << " hits ("
+      << avg_hit_ms() << "ms avg), " << cache_misses << " compiles (" << avg_miss_ms()
+      << "ms avg), " << infeasible << " infeasible";
+  return out.str();
+}
+
+std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs, BatchStats* stats) {
+  MSYS_TRACE_SPAN(span, "engine.batch", "engine");
+  const auto batch_start = std::chrono::steady_clock::now();
   std::vector<JobResult> results(jobs.size());
+  std::vector<double> latency_ms(jobs.size(), 0.0);
 
   // Per-batch completion latch: concurrent run() calls may share the pool,
   // so pool.wait_idle() would over-wait; count down our own jobs instead.
@@ -15,24 +43,59 @@ std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs) {
   std::condition_variable done_cv;
   std::size_t remaining = jobs.size();
 
+  std::size_t accepted = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    pool_->submit([this, &jobs, &results, &mu, &done_cv, &remaining, i] {
-      const Job& job = jobs[i];
-      JobResult& out = results[i];
-      if (cache_ != nullptr) {
-        out.key = cache_key(job);
-        out.result = cache_->get_or_compile(job, &out.cache_hit);
-      } else {
-        out.key = cache_key(job);
-        out.result = compile_job(job);
-      }
-      std::lock_guard<std::mutex> lock(mu);
-      if (--remaining == 0) done_cv.notify_all();
-    });
+    const bool ok =
+        pool_->submit([this, &jobs, &results, &latency_ms, &mu, &done_cv, &remaining, i] {
+          const auto job_start = std::chrono::steady_clock::now();
+          const Job& job = jobs[i];
+          JobResult& out = results[i];
+          if (cache_ != nullptr) {
+            out.key = cache_key(job);
+            out.result = cache_->get_or_compile(job, &out.cache_hit);
+          } else {
+            out.key = cache_key(job);
+            out.result = compile_job(job);
+          }
+          latency_ms[i] = ms_since(job_start);
+          std::lock_guard<std::mutex> lock(mu);
+          if (--remaining == 0) done_cv.notify_all();
+        });
+    if (!ok) break;
+    ++accepted;
   }
 
-  std::unique_lock<std::mutex> lock(mu);
-  done_cv.wait(lock, [&] { return remaining == 0; });
+  {
+    // Wait for every *accepted* job even when a submit was rejected:
+    // in-flight jobs reference this frame, so it must not unwind early.
+    std::unique_lock<std::mutex> lock(mu);
+    remaining -= jobs.size() - accepted;
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  // The caller owns the pool and keeps it alive across run(), so a
+  // rejected submit means "run() during pool shutdown" — a caller bug
+  // surfaced here rather than as a silent hang or a half-null result set.
+  MSYS_REQUIRE(accepted == jobs.size(),
+               "BatchRunner::run on a ThreadPool that is shutting down");
+
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->jobs = jobs.size();
+    stats->wall_ms = ms_since(batch_start);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (results[i].cache_hit) {
+        ++stats->cache_hits;
+        stats->hit_latency_ms_total += latency_ms[i];
+      } else {
+        ++stats->cache_misses;
+        stats->miss_latency_ms_total += latency_ms[i];
+      }
+      if (!results[i].feasible()) ++stats->infeasible;
+    }
+  }
+  if (span.active()) {
+    span.add_arg(obs::arg("jobs", static_cast<std::uint64_t>(jobs.size())));
+  }
   return results;
 }
 

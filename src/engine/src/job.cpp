@@ -10,6 +10,8 @@
 #include "msys/dsched/schedulers.hpp"
 #include "msys/extract/analysis.hpp"
 #include "msys/model/canonical.hpp"
+#include "msys/obs/metrics.hpp"
+#include "msys/obs/trace.hpp"
 
 namespace msys::engine {
 
@@ -92,6 +94,16 @@ dsched::ScheduleOutcome run_single(const dsched::DataSchedulerBase& scheduler,
 }  // namespace
 
 std::shared_ptr<const CompiledResult> compile_job(const Job& job) {
+  MSYS_TRACE_SPAN(span, "engine.compile", "engine");
+  if (span.active()) {
+    span.add_arg(obs::arg("kind", to_string(job.kind)));
+    span.add_arg(obs::arg("app", job.input.app->name()));
+  }
+  static obs::Counter& compiled = obs::counter("engine.jobs.compiled");
+  static obs::Counter& infeasible = obs::counter("engine.jobs.infeasible");
+  static obs::Counter& internal = obs::counter("engine.jobs.internal_error");
+  compiled.add();
+
   auto result = std::make_shared<CompiledResult>();
   result->input = job.input;
   try {
@@ -135,6 +147,15 @@ std::shared_ptr<const CompiledResult> compile_job(const Job& job) {
     result->predicted.infeasible_reason = e.what();
     result->outcome.diagnostics.push_back(
         make_error("schedule.internal", to_string(job.kind) + ": " + e.what()));
+    internal.add();
+  }
+  if (!result->feasible()) infeasible.add();
+  if (span.active()) {
+    span.add_arg(obs::arg("feasible", std::string(result->feasible() ? "yes" : "no")));
+    if (result->feasible()) {
+      span.add_arg(obs::arg("rung", result->outcome.chosen_rung()));
+      span.add_arg(obs::arg("cycles", result->predicted.total.value()));
+    }
   }
   return result;
 }

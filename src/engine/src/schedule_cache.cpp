@@ -1,9 +1,39 @@
 #include "msys/engine/schedule_cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "msys/obs/metrics.hpp"
+
 namespace msys::engine {
+
+namespace {
+
+/// Global mirrors of the per-shard stats plus the hit/miss latency sums
+/// the bench and `msysc --stats` report (sums + counts; consumers divide).
+struct CacheMetrics {
+  obs::Counter& hits = obs::counter("engine.cache.hits");
+  obs::Counter& misses = obs::counter("engine.cache.misses");
+  obs::Counter& inserts = obs::counter("engine.cache.inserts");
+  obs::Counter& duplicate_inserts = obs::counter("engine.cache.duplicate_inserts");
+  obs::Counter& evictions = obs::counter("engine.cache.evictions");
+  obs::Counter& hit_latency_ns = obs::counter("engine.cache.hit_latency_ns");
+  obs::Counter& miss_latency_ns = obs::counter("engine.cache.miss_latency_ns");
+
+  static CacheMetrics& get() {
+    static CacheMetrics metrics;
+    return metrics;
+  }
+};
+
+std::uint64_t ns_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - start)
+                                        .count());
+}
+
+}  // namespace
 
 ScheduleCache::ScheduleCache(Config config) {
   capacity_ = std::max<std::size_t>(1, config.capacity);
@@ -28,9 +58,11 @@ std::shared_ptr<const CompiledResult> ScheduleCache::lookup(std::uint64_t key) {
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.stats.misses;
+    CacheMetrics::get().misses.add();
     return nullptr;
   }
   ++shard.stats.hits;
+  CacheMetrics::get().hits.add();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->result;
 }
@@ -39,26 +71,40 @@ void ScheduleCache::insert(std::uint64_t key,
                            std::shared_ptr<const CompiledResult> result) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.index.contains(key)) return;  // first writer wins
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // First writer wins, but the loser's insert is still a *use* of the
+    // entry: count it and refresh recency so a hot key under concurrent
+    // double-compute cannot age to the LRU tail invisibly.
+    ++shard.stats.duplicate_inserts;
+    CacheMetrics::get().duplicate_inserts.add();
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
   if (shard.lru.size() >= per_shard_capacity_) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.stats.evictions;
+    CacheMetrics::get().evictions.add();
   }
   shard.lru.push_front(Entry{key, std::move(result)});
   shard.index.emplace(key, shard.lru.begin());
   ++shard.stats.inserts;
+  CacheMetrics::get().inserts.add();
 }
 
 std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(const Job& job,
                                                                     bool* was_hit) {
   const std::uint64_t key = cache_key(job);
+  const auto start = std::chrono::steady_clock::now();
   if (std::shared_ptr<const CompiledResult> cached = lookup(key)) {
+    CacheMetrics::get().hit_latency_ns.add(ns_since(start));
     if (was_hit != nullptr) *was_hit = true;
     return cached;
   }
   std::shared_ptr<const CompiledResult> computed = compile_job(job);
   insert(key, computed);
+  CacheMetrics::get().miss_latency_ns.add(ns_since(start));
   if (was_hit != nullptr) *was_hit = false;
   return computed;
 }
@@ -71,6 +117,7 @@ ScheduleCache::Stats ScheduleCache::stats() const {
     total.misses += shard->stats.misses;
     total.evictions += shard->stats.evictions;
     total.inserts += shard->stats.inserts;
+    total.duplicate_inserts += shard->stats.duplicate_inserts;
     total.entries += shard->lru.size();
   }
   return total;

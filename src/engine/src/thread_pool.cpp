@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <utility>
 
-#include "msys/common/error.hpp"
+#include "msys/obs/metrics.hpp"
 
 namespace msys::engine {
+
+namespace {
+
+/// Queue-depth instrumentation, sampled at every submit and pop (handles
+/// resolved once; one relaxed store per sample afterwards).
+struct PoolMetrics {
+  obs::Counter& submitted = obs::counter("engine.pool.jobs_submitted");
+  obs::Counter& rejected = obs::counter("engine.pool.jobs_rejected");
+  obs::Counter& completed = obs::counter("engine.pool.jobs_completed");
+  obs::Gauge& queue_depth = obs::gauge("engine.pool.queue_depth");
+  obs::Gauge& queue_depth_peak = obs::gauge("engine.pool.queue_depth_peak");
+
+  static PoolMetrics& get() {
+    static PoolMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned n_threads) {
   const unsigned n = std::max(1u, n_threads);
@@ -24,13 +43,23 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> job) {
+bool ThreadPool::submit(std::function<void()> job) {
+  PoolMetrics& metrics = PoolMetrics::get();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    MSYS_REQUIRE(!stopping_, "submit() on a ThreadPool that is shutting down");
+    if (stopping_) {
+      metrics.rejected.add();
+      return false;
+    }
     queue_.push_back(std::move(job));
+    const std::size_t depth = queue_.size();
+    depth_peak_ = std::max(depth_peak_, depth);
+    metrics.queue_depth.set(static_cast<std::int64_t>(depth));
+    metrics.queue_depth_peak.update_max(static_cast<std::int64_t>(depth));
   }
+  metrics.submitted.add();
   work_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::wait_idle() {
@@ -38,11 +67,17 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+std::size_t ThreadPool::queue_depth_peak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_peak_;
+}
+
 unsigned ThreadPool::hardware_threads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
 void ThreadPool::worker_loop() {
+  PoolMetrics& metrics = PoolMetrics::get();
   for (;;) {
     std::function<void()> job;
     {
@@ -52,9 +87,11 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;
       job = std::move(queue_.front());
       queue_.pop_front();
+      metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
       ++active_;
     }
     job();
+    metrics.completed.add();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

@@ -488,7 +488,11 @@ CampaignStats run_campaign(std::uint64_t base_seed, std::uint64_t n_cases,
   } else {
     engine::ThreadPool pool(n_threads);
     for (std::size_t i = 0; i < cases.size(); ++i) {
-      pool.submit([&cases, &results, i] { results[i] = run_case(cases[i]); });
+      // The pool is local and alive, so submit cannot be rejected; assert
+      // rather than silently leave results[i] default-initialised.
+      const bool accepted =
+          pool.submit([&cases, &results, i] { results[i] = run_case(cases[i]); });
+      MSYS_REQUIRE(accepted, "fuzz campaign pool rejected a job");
     }
     pool.wait_idle();
   }

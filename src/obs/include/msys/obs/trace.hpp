@@ -1,0 +1,189 @@
+// Low-overhead tracing for the scheduling stack.
+//
+// A TraceRecorder collects timestamped events from any thread; the
+// chrome_trace.hpp exporter turns them into chrome://tracing / Perfetto
+// JSON.  Two clocks coexist, exported as two Chrome "processes":
+//
+//   * wall time  (pid 1) — span/instant events from the schedulers, the
+//     allocator driver and the engine, timestamped with steady_clock
+//     nanoseconds since the recorder was created, one Chrome thread row
+//     per real thread;
+//   * simulated time (pid 2) — the M1 simulator's per-op busy intervals
+//     in cycles, on two fixed lanes (RC array and DMA channel) mirroring
+//     report::render_timeline.
+//
+// Cost model: tracing is off unless a recorder is installed with
+// TraceSession (or set_active).  Disabled sites pay exactly one relaxed
+// atomic load — MSYS_TRACE_SPAN expands to a guard whose constructor reads
+// TraceRecorder::active() and does nothing else when it is null; name/arg
+// expressions behind `span.active()` are never evaluated.  Defining
+// MSYS_OBS_DISABLE removes the macros at compile time for builds that want
+// provably zero overhead.
+//
+// Enabled-path threading: events are appended under one mutex.  The
+// recorder is built for post-mortem export, not for sustained production
+// logging of millions of events; the layers instrumented here emit a few
+// hundred events per compilation, where one uncontended lock per event is
+// noise against scheduler work.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace msys::obs {
+
+/// One "key":"value" annotation on an event.  `numeric` values are
+/// exported unquoted so Perfetto treats them as numbers.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool numeric{false};
+};
+
+[[nodiscard]] TraceArg arg(std::string key, std::string value);
+[[nodiscard]] TraceArg arg(std::string key, std::uint64_t value);
+[[nodiscard]] TraceArg arg(std::string key, std::int64_t value);
+[[nodiscard]] TraceArg arg(std::string key, double value);
+
+/// The simulator's two engine lanes (Chrome tids under the simulated-time
+/// process).
+enum class SimLane : std::uint32_t { kRc = 1, kDma = 2 };
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  /// 'X' (complete: ts + dur) or 'i' (instant).
+  char phase{'X'};
+  /// false: `ts`/`dur` are wall nanoseconds; true: simulated cycles.
+  bool sim_time{false};
+  std::uint64_t ts{0};
+  std::uint64_t dur{0};
+  /// Wall events: dense per-thread id (1, 2, ...).  Sim events: SimLane.
+  std::uint32_t tid{0};
+  std::vector<TraceArg> args;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  /// The recorder instrumentation writes to, or nullptr when tracing is
+  /// off.  One relaxed load — this is the whole disabled-path cost.
+  [[nodiscard]] static TraceRecorder* active() {
+    return active_.load(std::memory_order_relaxed);
+  }
+  /// Installs (or, with nullptr, removes) the process-wide recorder.
+  /// Prefer the RAII TraceSession.
+  static void set_active(TraceRecorder* recorder) {
+    active_.store(recorder, std::memory_order_release);
+  }
+
+  /// Wall nanoseconds since this recorder was constructed.
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Records a completed wall-time span [start_ns, start_ns + dur_ns).
+  void complete(std::string name, std::string category, std::uint64_t start_ns,
+                std::uint64_t dur_ns, std::vector<TraceArg> args = {});
+  /// Records a point event at the current wall time.
+  void instant(std::string name, std::string category, std::vector<TraceArg> args = {});
+  /// Records a simulated-time busy interval on an engine lane.
+  void sim_complete(std::string name, std::string category, std::uint64_t start_cycles,
+                    std::uint64_t dur_cycles, SimLane lane,
+                    std::vector<TraceArg> args = {});
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t event_count() const;
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+ private:
+  void push(TraceEvent event, bool assign_wall_tid);
+
+  static std::atomic<TraceRecorder*> active_;
+
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, std::uint32_t> wall_tids_;
+};
+
+/// Installs `recorder` as the process-wide trace sink for its scope.
+class TraceSession {
+ public:
+  explicit TraceSession(TraceRecorder& recorder) { TraceRecorder::set_active(&recorder); }
+  ~TraceSession() { TraceRecorder::set_active(nullptr); }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+};
+
+/// RAII span guard: captures the start time on construction (when tracing
+/// is on) and records one complete event on destruction.  `name` and
+/// `category` must outlive the guard (string literals at every call site).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category)
+      : recorder_(TraceRecorder::active()), name_(name), category_(category) {
+    if (recorder_ != nullptr) start_ns_ = recorder_->now_ns();
+  }
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->complete(name_, category_, start_ns_,
+                          recorder_->now_ns() - start_ns_, std::move(args_));
+    }
+  }
+
+  /// True when the span will be recorded; gate arg construction on it.
+  [[nodiscard]] bool active() const { return recorder_ != nullptr; }
+  void add_arg(TraceArg a) {
+    if (recorder_ != nullptr) args_.push_back(std::move(a));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_ns_{0};
+  std::vector<TraceArg> args_;
+};
+
+/// Drop-in stand-in for ScopedSpan when MSYS_OBS_DISABLE compiles the
+/// macros out: every call folds to nothing.
+struct NullSpan {
+  [[nodiscard]] constexpr bool active() const { return false; }
+  constexpr void add_arg(const TraceArg&) const {}
+};
+
+}  // namespace msys::obs
+
+#ifndef MSYS_OBS_DISABLE
+/// Traces the enclosing scope as one complete event.  Usage:
+///   MSYS_TRACE_SPAN(span, "CDS.schedule", "dsched");
+///   if (span.active()) span.add_arg(obs::arg("rf", rf));
+#define MSYS_TRACE_SPAN(var, name, category) \
+  ::msys::obs::ScopedSpan var((name), (category))
+/// Records a point event (args evaluated only when tracing is on).
+#define MSYS_TRACE_INSTANT(name, category, ...)                                \
+  do {                                                                         \
+    if (::msys::obs::TraceRecorder* msys_rec_ =                                \
+            ::msys::obs::TraceRecorder::active()) {                            \
+      msys_rec_->instant((name), (category), {__VA_ARGS__});                   \
+    }                                                                          \
+  } while (false)
+#else
+#define MSYS_TRACE_SPAN(var, name, category) \
+  const ::msys::obs::NullSpan var {}
+#define MSYS_TRACE_INSTANT(name, category, ...) \
+  do {                                          \
+  } while (false)
+#endif

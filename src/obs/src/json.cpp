@@ -1,0 +1,391 @@
+#include "msys/obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "msys/common/error.hpp"
+
+namespace msys::obs {
+
+JsonValue::JsonValue(JsonArray a)
+    : kind_(Kind::kArray), array_(std::make_shared<const JsonArray>(std::move(a))) {}
+
+JsonValue::JsonValue(JsonObject o)
+    : kind_(Kind::kObject), object_(std::make_shared<const JsonObject>(std::move(o))) {}
+
+bool JsonValue::as_bool() const {
+  MSYS_REQUIRE(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  MSYS_REQUIRE(is_number(), "JSON value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  MSYS_REQUIRE(is_string(), "JSON value is not a string");
+  return string_;
+}
+
+const JsonArray& JsonValue::as_array() const {
+  MSYS_REQUIRE(is_array(), "JSON value is not an array");
+  return *array_;
+}
+
+const JsonObject& JsonValue::as_object() const {
+  MSYS_REQUIRE(is_object(), "JSON value is not an object");
+  return *object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_->find(std::string(key));
+  return it == object_->end() ? nullptr : &it->second;
+}
+
+bool operator==(const JsonValue& a, const JsonValue& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case JsonValue::Kind::kNull: return true;
+    case JsonValue::Kind::kBool: return a.bool_ == b.bool_;
+    case JsonValue::Kind::kNumber: return a.number_ == b.number_;
+    case JsonValue::Kind::kString: return a.string_ == b.string_;
+    case JsonValue::Kind::kArray: return *a.array_ == *b.array_;
+    case JsonValue::Kind::kObject: return *a.object_ == *b.object_;
+  }
+  return false;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult result;
+    JsonValue value;
+    if (!parse_value(value)) {
+      result.error = error_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = fail("trailing characters after JSON document");
+      return result;
+    }
+    result.value = std::move(value);
+    return result;
+  }
+
+ private:
+  std::string fail(const std::string& what) {
+    if (error_.empty()) {
+      std::ostringstream out;
+      out << what << " at offset " << pos_;
+      error_ = out.str();
+    }
+    return error_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': return parse_string_value(out);
+      case 't':
+      case 'f': return parse_bool(out);
+      case 'n': return parse_null(out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      fail("invalid literal");
+      return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_null(JsonValue& out) {
+    if (!parse_literal("null")) return false;
+    out = JsonValue();
+    return true;
+  }
+
+  bool parse_bool(JsonValue& out) {
+    if (text_[pos_] == 't') {
+      if (!parse_literal("true")) return false;
+      out = JsonValue(true);
+    } else {
+      if (!parse_literal("false")) return false;
+      out = JsonValue(false);
+    }
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    // RFC 8259: no leading zeros ("01" is two tokens, not a number).
+    std::size_t digits = start;
+    if (digits < text_.size() && text_[digits] == '-') ++digits;
+    if (digits + 1 < pos_ && text_[digits] == '0' &&
+        std::isdigit(static_cast<unsigned char>(text_[digits + 1]))) {
+      pos_ = start;
+      fail("invalid number");
+      return false;
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc() || end != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      fail("invalid number");
+      return false;
+    }
+    out = JsonValue(value);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) {
+      fail("expected '\"'");
+      return false;
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned code = 0;
+            const auto [end, ec] =
+                std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+            if (ec != std::errc() || end != text_.data() + pos_ + 4) {
+              fail("invalid \\u escape");
+              return false;
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (the exporter never emits
+            // surrogate pairs; reject them rather than mis-decode).
+            if (code >= 0xD800 && code <= 0xDFFF) {
+              fail("surrogate \\u escapes are not supported");
+              return false;
+            }
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("invalid escape character"); return false;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_string_value(JsonValue& out) {
+    std::string s;
+    if (!parse_string(s)) return false;
+    out = JsonValue(std::move(s));
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    ++pos_;  // '['
+    JsonArray items;
+    skip_ws();
+    if (eat(']')) {
+      out = JsonValue(std::move(items));
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      if (!parse_value(item)) return false;
+      items.push_back(std::move(item));
+      skip_ws();
+      if (eat(']')) break;
+      if (!eat(',')) {
+        fail("expected ',' or ']' in array");
+        return false;
+      }
+    }
+    out = JsonValue(std::move(items));
+    return true;
+  }
+
+  bool parse_object(JsonValue& out) {
+    ++pos_;  // '{'
+    JsonObject members;
+    skip_ws();
+    if (eat('}')) {
+      out = JsonValue(std::move(members));
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) {
+        fail("expected ':' after object key");
+        return false;
+      }
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      members.insert_or_assign(std::move(key), std::move(value));
+      skip_ws();
+      if (eat('}')) break;
+      if (!eat(',')) {
+        fail("expected ',' or '}' in object");
+        return false;
+      }
+    }
+    out = JsonValue(std::move(members));
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+  std::string error_;
+};
+
+void write_value(std::ostream& out, const JsonValue& value);
+
+void write_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_number(std::ostream& out, double n) {
+  // Integers (the exporter's common case) print without a fraction.
+  if (n == std::floor(n) && std::abs(n) < 9.007199254740992e15) {
+    out << static_cast<long long>(n);
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << n;
+  out << tmp.str();
+}
+
+void write_value(std::ostream& out, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull: out << "null"; break;
+    case JsonValue::Kind::kBool: out << (value.as_bool() ? "true" : "false"); break;
+    case JsonValue::Kind::kNumber: write_number(out, value.as_number()); break;
+    case JsonValue::Kind::kString: write_string(out, value.as_string()); break;
+    case JsonValue::Kind::kArray: {
+      out << '[';
+      const JsonArray& items = value.as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out << ',';
+        write_value(out, items[i]);
+      }
+      out << ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out << '{';
+      bool first = true;
+      for (const auto& [key, member] : value.as_object()) {
+        if (!first) out << ',';
+        first = false;
+        write_string(out, key);
+        out << ':';
+        write_value(out, member);
+      }
+      out << '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+JsonParseResult parse_json(std::string_view text) { return Parser(text).run(); }
+
+std::string write_json(const JsonValue& value) {
+  std::ostringstream out;
+  write_value(out, value);
+  return out.str();
+}
+
+}  // namespace msys::obs

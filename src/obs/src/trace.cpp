@@ -1,0 +1,93 @@
+#include "msys/obs/trace.hpp"
+
+#include <utility>
+
+namespace msys::obs {
+
+std::atomic<TraceRecorder*> TraceRecorder::active_{nullptr};
+
+TraceArg arg(std::string key, std::string value) {
+  return TraceArg{std::move(key), std::move(value), false};
+}
+
+TraceArg arg(std::string key, std::uint64_t value) {
+  return TraceArg{std::move(key), std::to_string(value), true};
+}
+
+TraceArg arg(std::string key, std::int64_t value) {
+  return TraceArg{std::move(key), std::to_string(value), true};
+}
+
+TraceArg arg(std::string key, double value) {
+  return TraceArg{std::move(key), std::to_string(value), true};
+}
+
+TraceRecorder::TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - origin_)
+                                        .count());
+}
+
+void TraceRecorder::push(TraceEvent event, bool assign_wall_tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (assign_wall_tid) {
+    const auto [it, inserted] = wall_tids_.emplace(
+        std::this_thread::get_id(), static_cast<std::uint32_t>(wall_tids_.size() + 1));
+    (void)inserted;
+    event.tid = it->second;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::complete(std::string name, std::string category,
+                             std::uint64_t start_ns, std::uint64_t dur_ns,
+                             std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.ts = start_ns;
+  event.dur = dur_ns;
+  event.args = std::move(args);
+  push(std::move(event), /*assign_wall_tid=*/true);
+}
+
+void TraceRecorder::instant(std::string name, std::string category,
+                            std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'i';
+  event.ts = now_ns();
+  event.args = std::move(args);
+  push(std::move(event), /*assign_wall_tid=*/true);
+}
+
+void TraceRecorder::sim_complete(std::string name, std::string category,
+                                 std::uint64_t start_cycles, std::uint64_t dur_cycles,
+                                 SimLane lane, std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.sim_time = true;
+  event.ts = start_cycles;
+  event.dur = dur_cycles;
+  event.tid = static_cast<std::uint32_t>(lane);
+  event.args = std::move(args);
+  push(std::move(event), /*assign_wall_tid=*/false);
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+}  // namespace msys::obs

@@ -161,8 +161,9 @@ std::vector<ExperimentResult> run_all(const std::vector<ExperimentSpec>& specs,
   std::condition_variable done_cv;
   std::size_t remaining = specs.size();
 
+  std::size_t accepted = 0;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    pool.submit([&, i] {
+    const bool ok = pool.submit([&, i] {
       try {
         const ExperimentSpec& spec = specs[i];
         MSYS_REQUIRE(spec.sched != nullptr, "ExperimentSpec without a schedule");
@@ -173,11 +174,18 @@ std::vector<ExperimentResult> run_all(const std::vector<ExperimentSpec>& specs,
       std::lock_guard<std::mutex> lock(mu);
       if (--remaining == 0) done_cv.notify_all();
     });
+    if (!ok) break;
+    ++accepted;
   }
   {
+    // Drain the accepted jobs before any throw below: in-flight jobs
+    // reference this frame.
     std::unique_lock<std::mutex> lock(mu);
+    remaining -= specs.size() - accepted;
     done_cv.wait(lock, [&] { return remaining == 0; });
   }
+  MSYS_REQUIRE(accepted == specs.size(),
+               "run_all on a ThreadPool that is shutting down");
   // Rethrow in spec order so parallel failures read like serial ones.
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);

@@ -9,6 +9,8 @@
 
 #include "msys/common/error.hpp"
 #include "msys/dsched/schedule_types.hpp"
+#include "msys/obs/metrics.hpp"
+#include "msys/obs/trace.hpp"
 
 namespace msys::sim {
 
@@ -141,6 +143,7 @@ Simulator::Simulator(const arch::M1Config& cfg, const csched::ContextPlan& ctx_p
     : cfg_(&cfg), ctx_plan_(&ctx_plan) {}
 
 SimReport Simulator::run(const ScheduleProgram& program) {
+  MSYS_TRACE_SPAN(span, "sim.run", "sim");
   MSYS_REQUIRE(program.schedule != nullptr, "program not bound to a schedule");
   const DataSchedule& schedule = *program.schedule;
   const model::KernelSchedule& sched = *schedule.sched;
@@ -433,6 +436,42 @@ SimReport Simulator::run(const ScheduleProgram& program) {
 
   if (trace_) {
     for (const TimedOp& t : timed) trace_(t.start, t.end, describe(*t.op));
+  }
+
+  // ---- Observability. ----  Counters mirror the SimReport fields so the
+  // obs cross-check tests can reconcile the two; the trace recorder gets
+  // the same per-op busy intervals render_timeline draws, on the sim-time
+  // clock (pid 2): EXEC on the RC-array lane, transfers on the DMA lane.
+  {
+    static obs::Counter& runs = obs::counter("sim.runs");
+    static obs::Counter& cycles_total = obs::counter("sim.cycles.total");
+    static obs::Counter& cycles_compute = obs::counter("sim.cycles.compute");
+    static obs::Counter& cycles_dma = obs::counter("sim.cycles.dma_busy");
+    static obs::Counter& cycles_stall = obs::counter("sim.cycles.stall");
+    static obs::Counter& words_loaded = obs::counter("sim.words.loaded");
+    static obs::Counter& words_stored = obs::counter("sim.words.stored");
+    static obs::Counter& words_context = obs::counter("sim.words.context");
+    runs.add();
+    cycles_total.add(report.total.value());
+    cycles_compute.add(report.compute.value());
+    cycles_dma.add(report.dma_busy.value());
+    cycles_stall.add(report.stall.value());
+    words_loaded.add(report.data_words_loaded);
+    words_stored.add(report.data_words_stored);
+    words_context.add(report.context_words);
+  }
+  if (obs::TraceRecorder* rec = obs::TraceRecorder::active()) {
+    for (const TimedOp& t : timed) {
+      if (t.op->kind == OpKind::kRelease || t.start == t.end) continue;
+      const obs::SimLane lane =
+          t.op->kind == OpKind::kExec ? obs::SimLane::kRc : obs::SimLane::kDma;
+      rec->sim_complete(describe(*t.op), "sim", t.start.value(),
+                        (t.end - t.start).value(), lane);
+    }
+  }
+  if (span.active()) {
+    span.add_arg(obs::arg("total_cycles", report.total.value()));
+    span.add_arg(obs::arg("execs", std::uint64_t{report.exec_count}));
   }
   return report;
 }

@@ -62,7 +62,9 @@ TEST_P(AllocatorFuzz, InvariantsHoldUnderRandomWorkload) {
       auto a = fb.allocate(size, end, {}, params.allow_split);
       if (a.has_value()) {
         ASSERT_EQ(a->size(), size);
-        if (!params.allow_split) ASSERT_EQ(a->extents.size(), 1u);
+        if (!params.allow_split) {
+          ASSERT_EQ(a->extents.size(), 1u);
+        }
         live.emplace(next_id++, *a);
       } else {
         // Failure legitimate only when the request genuinely cannot be

@@ -1,0 +1,110 @@
+// End-to-end contract for the msysc binary: exit codes for usage errors,
+// the hardened --batch / -j argument handling, and the --trace output
+// (which must parse and pass the Chrome-trace schema check).
+//
+// The binary path and the example app locations come in as compile
+// definitions (MSYSC_BIN, MSYS_DEMO_APP, MSYS_APPS_DIR) so the test runs
+// from any working directory.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "msys/obs/chrome_trace.hpp"
+#include "msys/obs/json.hpp"
+
+namespace msys {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Runs `msysc <args>` with stdout/stderr discarded; returns the exit code
+/// (or -1 if the process did not exit normally).
+int msysc(const std::string& args) {
+  const std::string cmd = std::string(MSYSC_BIN) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// A unique scratch path under the test's temp directory.
+fs::path scratch(const std::string& leaf) {
+  const fs::path dir =
+      fs::temp_directory_path() / "msysc_cli_test" /
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  fs::create_directories(dir);
+  return dir / leaf;
+}
+
+TEST(MsyscCli, NoArgumentsIsAUsageError) { EXPECT_EQ(msysc(""), 1); }
+
+TEST(MsyscCli, UnknownFlagIsAUsageError) {
+  EXPECT_EQ(msysc("--no-such-flag " MSYS_DEMO_APP), 1);
+}
+
+TEST(MsyscCli, SingleFileRunSucceeds) { EXPECT_EQ(msysc(MSYS_DEMO_APP), 0); }
+
+TEST(MsyscCli, MissingInputIsAParseError) {
+  EXPECT_EQ(msysc("/no/such/file.mapp"), 2);
+}
+
+TEST(MsyscCli, BadThreadCountsAreRejected) {
+  // Strict parse: positive base-10 integers only.  stoi-style prefixes
+  // ("4abc"), signs, zero, and out-of-range values all fail loudly.
+  for (const char* bad : {"0", "-1", "4abc", "+4", "''", "99999999999999999999"}) {
+    EXPECT_EQ(msysc(std::string("--batch " MSYS_APPS_DIR " -j ") + bad), 1)
+        << "-j " << bad << " was accepted";
+  }
+  EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " -j"), 1);  // missing value
+}
+
+TEST(MsyscCli, BatchRejectsMissingAndEmptyDirectories) {
+  EXPECT_EQ(msysc("--batch /no/such/dir"), 1);
+  const fs::path empty = scratch("empty-dir");
+  fs::create_directories(empty);
+  EXPECT_EQ(msysc("--batch " + empty.string()), 1);  // no .mapp files
+  EXPECT_EQ(msysc("--batch"), 1);                    // missing operand
+}
+
+TEST(MsyscCli, BatchOverTheExampleAppsSucceeds) {
+  EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " -j 2"), 0);
+}
+
+TEST(MsyscCli, TraceOutputIsValidChromeTraceJson) {
+  const fs::path trace = scratch("out.json");
+  ASSERT_EQ(msysc("--trace " + trace.string() + " --stats " MSYS_DEMO_APP), 0);
+  std::ifstream in(trace);
+  ASSERT_TRUE(in.good()) << "trace file was not written: " << trace;
+  std::ostringstream text;
+  text << in.rdbuf();
+  obs::JsonParseResult parsed = obs::parse_json(text.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const Diagnostics violations = obs::validate_chrome_trace(*parsed.value);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().message);
+  // The run compiled and simulated the demo app, so both clocks and the
+  // counter sidecar must be populated.
+  const obs::JsonValue* events = parsed.value->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->as_array().size(), 10u);
+  const obs::JsonValue* other = parsed.value->find("otherData");
+  ASSERT_NE(other, nullptr);
+  const obs::JsonValue* counters = other->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* sim_total = counters->find("sim.cycles.total");
+  ASSERT_NE(sim_total, nullptr);
+  EXPECT_GT(sim_total->as_number(), 0.0);
+}
+
+TEST(MsyscCli, TraceToAnUnwritablePathFails) {
+  EXPECT_EQ(msysc("--trace /no/such/dir/out.json " MSYS_DEMO_APP), 1);
+}
+
+TEST(MsyscCli, TraceWithoutAFileIsAUsageError) { EXPECT_EQ(msysc("--trace"), 1); }
+
+}  // namespace
+}  // namespace msys

@@ -120,8 +120,62 @@ TEST(ScheduleCache, InsertIsFirstWriterWins) {
   cache.insert(7, a);
   cache.insert(7, b);
   EXPECT_EQ(cache.lookup(7).get(), a.get());
+  // Regression: the losing insert used to vanish from the stats entirely;
+  // it is now counted as wasted compute.
   EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_EQ(cache.stats().duplicate_inserts, 1u);
   EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ScheduleCache, DuplicateInsertRefreshesLruRecency) {
+  // Regression: the duplicate-key path used to skip the recency splice, so
+  // a key kept hot by concurrent double-computes could still age to the
+  // LRU tail and be evicted first.
+  ScheduleCache cache({/*capacity=*/3, /*shards=*/1});
+  const auto result = compile_job(retention_job());
+  cache.insert(1, result);
+  cache.insert(2, result);
+  cache.insert(3, result);
+  cache.insert(1, result);  // duplicate: must move key 1 to the front
+  cache.insert(4, result);  // overflow: victim must be key 2, not key 1
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  EXPECT_NE(cache.lookup(4), nullptr);
+  EXPECT_EQ(cache.stats().duplicate_inserts, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ScheduleCache, ConcurrentDoubleComputeIsCountedAsDuplicates) {
+  // N threads race get_or_compile on one fresh key: several may miss and
+  // compile, but exactly one insert lands; the rest must show up as
+  // duplicate_inserts so the wasted compute is visible.
+  constexpr int kThreads = 8;
+  ScheduleCache cache({16, 4});
+  std::vector<std::shared_ptr<const CompiledResult>> seen(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t, &cache, &seen] {
+        seen[static_cast<std::size_t>(t)] = cache.get_or_compile(retention_job());
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  // Read the stats before the canonical-result check below: lookup()
+  // itself counts a hit.
+  const ScheduleCache::Stats stats = cache.stats();
+
+  // Everyone observed a live result for the same key.
+  const auto canonical = cache.lookup(cache_key(retention_job()));
+  ASSERT_NE(canonical, nullptr);
+  for (const auto& r : seen) ASSERT_NE(r, nullptr);
+
+  EXPECT_EQ(stats.hits + stats.misses, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  // Every miss attempted an insert; all but the winner were duplicates.
+  EXPECT_EQ(stats.inserts + stats.duplicate_inserts, stats.misses);
 }
 
 TEST(ScheduleCache, ConcurrentHammerMatchesSerial) {

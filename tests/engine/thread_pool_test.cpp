@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
+#include <memory>
 #include <set>
 #include <thread>
 
@@ -89,6 +91,53 @@ TEST(ThreadPool, UsesMultipleWorkerThreads) {
 
 TEST(ThreadPool, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsTrueOnALivePool) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.submit([] {}));
+  pool.wait_idle();
+}
+
+// Regression: a job that re-submits while the destructor drains used to
+// trip MSYS_REQUIRE(!stopping_) inside a worker — an exception with no
+// handler on that stack, i.e. std::terminate.  The contract is now a
+// well-defined refusal: submit() returns false and the worker carries on.
+TEST(ThreadPool, ResubmitDuringShutdownIsRefusedNotTerminate) {
+  std::atomic<int> executed{0};
+  std::atomic<int> refused{0};
+  // Declared before the pool so the chain's state outlives the drain.
+  auto chain = std::make_shared<std::function<void()>>();
+  {
+    ThreadPool pool(2);
+    std::weak_ptr<std::function<void()>> weak = chain;  // break the self-cycle
+    *chain = [&pool, &executed, &refused, weak] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      if (const auto self = weak.lock()) {
+        if (!pool.submit(*self)) refused.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    ASSERT_TRUE(pool.submit(*chain));
+    // Let the chain establish itself, then destroy the pool mid-flight.
+    while (executed.load(std::memory_order_relaxed) < 3) std::this_thread::yield();
+  }
+  // The chain ran at least until we saw it, and ended with exactly one
+  // refusal (a single self-perpetuating chain dies on its first rejection).
+  EXPECT_GE(executed.load(), 3);
+  EXPECT_EQ(refused.load(), 1);
+}
+
+TEST(ThreadPool, QueueDepthPeakTracksBacklog) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.submit([&release] {
+    while (!release.load(std::memory_order_relaxed)) std::this_thread::yield();
+  });
+  for (int i = 0; i < 8; ++i) pool.submit([] {});
+  release.store(true, std::memory_order_relaxed);
+  pool.wait_idle();
+  // The blocker held the single worker, so all 8 queued behind it.
+  EXPECT_GE(pool.queue_depth_peak(), 8u);
 }
 
 }  // namespace

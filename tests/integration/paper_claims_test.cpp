@@ -91,7 +91,7 @@ TEST(PaperClaims, CdsAvoidsDataTransfersEverywhereSharingExists) {
 TEST(PaperClaims, TablesRenderForAllRows) {
   std::vector<workloads::Experiment> experiments;
   std::vector<ExperimentResult> results;
-  for (const std::string& name : {"E1", "MPEG"}) {
+  for (const char* name : {"E1", "MPEG"}) {
     experiments.push_back(workloads::make_experiment(name));
     results.push_back(run(experiments.back()));
   }

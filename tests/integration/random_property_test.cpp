@@ -78,7 +78,9 @@ TEST_P(RandomPipeline, ShrunkMachineDegradesGracefully) {
       EXPECT_LE(r.cds.cycles(), r.ds.cycles());
     }
     // The §3 replacement policy never needs more space than no-release.
-    if (r.basic.feasible()) EXPECT_TRUE(r.ds.feasible());
+    if (r.basic.feasible()) {
+      EXPECT_TRUE(r.ds.feasible());
+    }
   }
 }
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 #include "msys/codegen/program.hpp"
 #include "msys/common/error.hpp"
 #include "msys/dsched/schedulers.hpp"
@@ -69,6 +72,53 @@ TEST(Timeline, RejectsDegenerateWindow) {
   TimelineOptions narrow;
   narrow.width = 4;
   EXPECT_THROW((void)render_timeline(p.program, cfg, p.plan, narrow), Error);
+}
+
+TEST(Timeline, ExplicitToZeroMeansWholeRun) {
+  // `to = 0` is the documented "whole run" sentinel: spelling it out must
+  // produce exactly the default rendering.
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/2);
+  const arch::M1Config cfg = test_cfg(1024, 127);
+  Prepared p = prepare(t.sched, cfg);
+  TimelineOptions options;
+  options.from = Cycles{0};
+  options.to = Cycles{0};
+  EXPECT_EQ(render_timeline(p.program, cfg, p.plan, options),
+            render_timeline(p.program, cfg, p.plan));
+}
+
+TEST(Timeline, RejectsInvertedWindow) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/2);
+  const arch::M1Config cfg = test_cfg(1024, 127);
+  Prepared p = prepare(t.sched, cfg);
+  TimelineOptions options;
+  options.from = Cycles{200};
+  options.to = Cycles{100};
+  EXPECT_THROW((void)render_timeline(p.program, cfg, p.plan, options), Error);
+}
+
+TEST(Timeline, WindowPastTheEndRendersIdleLanes) {
+  TwoClusterApp t = TwoClusterApp::make(/*iterations=*/2);
+  const arch::M1Config cfg = test_cfg(1024, 127);
+  Prepared p = prepare(t.sched, cfg);
+  // Learn the run length from the default header: "cycles [0, N) of N".
+  const std::string whole = render_timeline(p.program, cfg, p.plan);
+  const std::size_t of = whole.find(") of ");
+  ASSERT_NE(of, std::string::npos);
+  const std::uint64_t total = std::stoull(whole.substr(of + 5));
+  ASSERT_GT(total, 0u);
+
+  TimelineOptions options;
+  options.width = 20;
+  options.from = Cycles{total + 100};
+  options.to = Cycles{total + 200};
+  options.legend = false;
+  const std::string chart = render_timeline(p.program, cfg, p.plan, options);
+  // A window with no activity is valid output, not an error: both lanes
+  // render as pure idle.
+  const std::string idle(options.width, '.');
+  EXPECT_NE(chart.find("RC  |" + idle + "|"), std::string::npos) << chart;
+  EXPECT_NE(chart.find("DMA |" + idle + "|"), std::string::npos) << chart;
 }
 
 TEST(Timeline, UtilisationReported) {

@@ -44,7 +44,9 @@ TEST(KernelScheduler, BestBeatsOrEqualsEveryCandidate) {
   SearchResult result = find_best_schedule(app, test_cfg(1024), options);
   ASSERT_TRUE(result.found());
   for (const Candidate& cand : result.candidates) {
-    if (cand.feasible) EXPECT_LE(result.best_cycles, cand.cycles);
+    if (cand.feasible) {
+      EXPECT_LE(result.best_cycles, cand.cycles);
+    }
   }
 }
 
@@ -56,7 +58,9 @@ TEST(KernelScheduler, CandidatesSortedFeasibleFirst) {
   bool seen_infeasible = false;
   for (const Candidate& cand : result.candidates) {
     if (!cand.feasible) seen_infeasible = true;
-    if (seen_infeasible) EXPECT_FALSE(cand.feasible);
+    if (seen_infeasible) {
+      EXPECT_FALSE(cand.feasible);
+    }
   }
 }
 

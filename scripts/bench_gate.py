@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Bench regression gate for BENCH_engine.json.
+
+Compares a freshly measured engine_throughput record against the committed
+baseline and fails (exit 1) when any watched field of any matching
+(threads, cache) row regresses by more than the threshold:
+
+  * jobs_per_sec         — regression = current below baseline
+  * avg_hit_ms           — regression = current above baseline
+  * avg_miss_ms          — regression = current above baseline
+  * queue_depth_peak     — regression = current above baseline
+
+The per-job latency columns use a wider band (--latency-threshold,
+default 1.0 = 2x): at the ~10us (hit) and ~1ms (miss) scales a
+preemption on a shared box moves a single measurement far more than 30%,
+while the regressions the gate exists to catch (e.g. losing single-flight
+coalescing re-grows miss latency ~5x at 4 threads) clear 2x easily.
+Throughput and queue depth aggregate a whole batch and hold the tight
+threshold.
+
+Latency baselines below MIN_MS (warm rows report avg_miss_ms = 0) carry no
+signal at millisecond resolution and are skipped.  Rows present in only
+one file are reported but do not fail the gate — a sweep with a different
+--max-threads is a different experiment, not a regression.
+
+Usage:
+  scripts/bench_gate.py BASELINE.json CURRENT.json [--threshold 0.30]
+
+Exit codes: 0 ok, 1 regression, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+WATCHED = {
+    "jobs_per_sec": "higher",
+    "avg_hit_ms": "lower",
+    "avg_miss_ms": "lower",
+    "queue_depth_peak": "lower",
+}
+
+LATENCY_FIELDS = {"avg_hit_ms", "avg_miss_ms"}
+
+# Latency baselines below this are noise at the recorded resolution.
+MIN_MS = 0.001
+
+
+def load_rows(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_gate: cannot read {path}: {e}")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        sys.exit(f"bench_gate: {path} has no rows")
+    indexed = {}
+    for row in rows:
+        key = (row.get("threads"), row.get("cache"))
+        if None in key:
+            sys.exit(f"bench_gate: {path} row missing threads/cache: {row}")
+        indexed[key] = row
+    return indexed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed relative regression (default 0.30)")
+    parser.add_argument("--latency-threshold", type=float, default=1.00,
+                        help="allowed relative regression for per-job "
+                             "latency fields (default 1.00, i.e. 2x)")
+    args = parser.parse_args()
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+
+    regressions = []
+    checked = 0
+    for key in sorted(base.keys() | cur.keys()):
+        label = f"threads={key[0]} cache={key[1]}"
+        if key not in base or key not in cur:
+            where = "baseline" if key not in cur else "current"
+            print(f"bench_gate: note: row [{label}] only in {where}; skipped")
+            continue
+        for field, direction in WATCHED.items():
+            b, c = base[key].get(field), cur[key].get(field)
+            if b is None or c is None:
+                continue
+            if direction == "lower" and field.endswith("_ms") and b < MIN_MS:
+                continue
+            if b <= 0:
+                continue
+            delta = (b - c) / b if direction == "higher" else (c - b) / b
+            limit = (args.latency_threshold if field in LATENCY_FIELDS
+                     else args.threshold)
+            checked += 1
+            if delta > limit:
+                regressions.append(
+                    f"[{label}] {field}: baseline {b} -> current {c} "
+                    f"({delta:+.0%}, limit {limit:.0%})")
+
+    if checked == 0:
+        sys.exit("bench_gate: no comparable fields found")
+    if regressions:
+        print(f"bench_gate: FAIL — {len(regressions)} regression(s) "
+              f"of {checked} checks:")
+        for r in regressions:
+            print("  " + r)
+        return 1
+    print(f"bench_gate: ok — {checked} checks within limits "
+          f"({args.threshold:.0%}, latency {args.latency_threshold:.0%}) "
+          f"of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,11 @@
 # presets (build/, build-tsan/), so a plain developer build and a check
 # run do not clobber each other's cache variables: the script always
 # re-runs configure with -DMSYS_WERROR=ON.
+#
+# After a green default-preset run the engine throughput bench is measured
+# and gated against the committed BENCH_engine.json (>30% regression on
+# any latency/throughput column fails).  Set MSYS_SKIP_BENCH_GATE=1 to
+# skip the gate (e.g. on loaded CI machines where timings are noise).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,6 +32,22 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "$preset" -j "$jobs"
   echo "==> [$preset] test"
   ctest --preset "$preset" -j "$jobs"
+
+  if [ "$preset" = "default" ] && [ "${MSYS_SKIP_BENCH_GATE:-0}" != "1" ]; then
+    echo "==> [$preset] bench gate (engine throughput vs BENCH_engine.json)"
+    # Timings on a loaded box are noisy; a regression must reproduce on
+    # three fresh measurements before the gate fails the run.
+    gate_ok=0
+    for attempt in 1 2 3; do
+      ./build/bench/engine_throughput --json /tmp/bench_engine_current.json >/dev/null
+      if python3 scripts/bench_gate.py BENCH_engine.json /tmp/bench_engine_current.json; then
+        gate_ok=1
+        break
+      fi
+      echo "==> bench gate attempt $attempt regressed; remeasuring"
+    done
+    [ "$gate_ok" = "1" ]
+  fi
 done
 
 echo "==> all checks passed: ${presets[*]}"

@@ -60,8 +60,13 @@ class FrameBufferAllocator {
                                                    const std::vector<Extent>& preferred = {},
                                                    bool allow_split = true);
 
-  /// Returns an allocation's words to the free list (coalescing).  Throws
-  /// on double-free or out-of-range extents.
+  /// Returns an allocation's words to the free list, merging with the
+  /// address-adjacent neighbours in place (the list stays sorted and
+  /// coalesced at all times, so no re-sort happens).  Throws on
+  /// double-free or out-of-range extents — the double-free check falls
+  /// out of the sorted insert (only the two neighbours of the insertion
+  /// point can overlap), so it costs O(log n) rather than a scan of the
+  /// whole free list per extent.
   void release(const Allocation& allocation);
 
   [[nodiscard]] SizeWords capacity() const { return capacity_; }
@@ -90,12 +95,21 @@ class FrameBufferAllocator {
 
  private:
   [[nodiscard]] bool extent_free(const Extent& e) const;
+  /// First free block whose end lies strictly above `addr` — the only
+  /// block that can contain an extent starting at `addr` (the list is
+  /// sorted and disjoint).  O(log n).
+  [[nodiscard]] std::vector<Extent>::const_iterator block_above(FbAddr addr) const;
   void carve(const Extent& e);
+  void release_extent(const Extent& e);
   void note_usage();
 
   SizeWords capacity_;
   FitPolicy policy_;
-  std::vector<Extent> free_;  // sorted by address, coalesced
+  std::vector<Extent> free_;  // sorted by address, coalesced — invariant
+  /// Words currently allocated, tracked incrementally by carve/release so
+  /// free_words() and the peak-usage update are O(1) instead of a free
+  /// list sum per allocation.
+  std::uint64_t used_words_{0};
   Stats stats_;
 };
 

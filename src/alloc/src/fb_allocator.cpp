@@ -34,7 +34,9 @@ FrameBufferAllocator::FrameBufferAllocator(SizeWords capacity, FitPolicy policy)
   free_.push_back(Extent{0, capacity});
 }
 
-SizeWords FrameBufferAllocator::free_words() const { return total_size(free_); }
+SizeWords FrameBufferAllocator::free_words() const {
+  return SizeWords{capacity_.value() - used_words_};
+}
 
 SizeWords FrameBufferAllocator::largest_free_block() const {
   SizeWords largest = SizeWords::zero();
@@ -49,34 +51,43 @@ bool FrameBufferAllocator::all_free() const {
 void FrameBufferAllocator::reset() {
   free_.clear();
   free_.push_back(Extent{0, capacity_});
+  used_words_ = 0;
+}
+
+std::vector<Extent>::const_iterator FrameBufferAllocator::block_above(FbAddr addr) const {
+  return std::upper_bound(free_.begin(), free_.end(), addr,
+                          [](FbAddr a, const Extent& f) { return a < f.end(); });
 }
 
 bool FrameBufferAllocator::extent_free(const Extent& e) const {
-  return std::any_of(free_.begin(), free_.end(),
-                     [&](const Extent& f) { return f.contains(e); });
+  const auto it = block_above(e.begin());
+  return it != free_.end() && it->contains(e);
 }
 
 void FrameBufferAllocator::carve(const Extent& e) {
-  for (std::size_t i = 0; i < free_.size(); ++i) {
-    Extent& f = free_[i];
-    if (!f.contains(e)) continue;
-    // Split the containing free block into up to two remainders.
-    const Extent before{f.addr, SizeWords{e.begin() - f.begin()}};
-    const Extent after{e.end(), SizeWords{f.end() - e.end()}};
-    std::vector<Extent> replacement;
-    if (!before.empty()) replacement.push_back(before);
-    if (!after.empty()) replacement.push_back(after);
-    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
-    free_.insert(free_.begin() + static_cast<std::ptrdiff_t>(i), replacement.begin(),
-                 replacement.end());
-    return;
+  // The free list is sorted and disjoint, so only the first block ending
+  // above e.begin() can contain e.
+  const auto cit = block_above(e.begin());
+  MSYS_REQUIRE(cit != free_.end() && cit->contains(e), "carve(): extent is not free");
+  const auto it = free_.begin() + (cit - free_.begin());
+  const Extent before{it->addr, SizeWords{e.begin() - it->begin()}};
+  const Extent after{e.end(), SizeWords{it->end() - e.end()}};
+  // Split the containing free block into up to two remainders in place.
+  if (before.empty() && after.empty()) {
+    free_.erase(it);
+  } else if (after.empty()) {
+    *it = before;
+  } else if (before.empty()) {
+    *it = after;
+  } else {
+    *it = before;
+    free_.insert(it + 1, after);
   }
-  MSYS_REQUIRE(false, "carve(): extent is not free");
+  used_words_ += e.size.value();
 }
 
 void FrameBufferAllocator::note_usage() {
-  const std::uint64_t used = capacity_.value() - free_words().value();
-  stats_.peak_used_words = std::max(stats_.peak_used_words, used);
+  stats_.peak_used_words = std::max(stats_.peak_used_words, used_words_);
 }
 
 std::optional<Allocation> FrameBufferAllocator::allocate(SizeWords size, AllocEnd end,
@@ -178,17 +189,44 @@ std::optional<Allocation> FrameBufferAllocator::allocate(SizeWords size, AllocEn
   return Allocation{std::move(pieces)};
 }
 
+void FrameBufferAllocator::release_extent(const Extent& e) {
+  // Insertion point: `it` is the first block ending at or above e.begin().
+  // In a sorted, disjoint list only `it` and its successor can touch the
+  // released words, so the neighbour inspection below doubles as the
+  // double-free check — O(log n), instead of the full free-list scan per
+  // extent this replaces — and merging in place keeps the list sorted and
+  // coalesced with no normalized() re-sort.
+  const auto it = free_.begin() +
+                  (std::lower_bound(free_.begin(), free_.end(), e.begin(),
+                                    [](const Extent& f, FbAddr a) { return f.end() < a; }) -
+                   free_.begin());
+  MSYS_REQUIRE(it == free_.end() || !it->overlaps(e), "release(): double free detected");
+  const bool merge_left = it != free_.end() && it->end() == e.begin();
+  const auto right = merge_left ? it + 1 : it;
+  MSYS_REQUIRE(right == free_.end() || !right->overlaps(e),
+               "release(): double free detected");
+  const bool merge_right = right != free_.end() && right->begin() == e.end();
+  if (merge_left && merge_right) {
+    it->size += e.size + right->size;
+    free_.erase(right);
+  } else if (merge_left) {
+    it->size += e.size;
+  } else if (merge_right) {
+    right->addr = e.begin();
+    right->size += e.size;
+  } else {
+    free_.insert(right, e);
+  }
+  used_words_ -= e.size.value();
+}
+
 void FrameBufferAllocator::release(const Allocation& allocation) {
   MSYS_REQUIRE(!allocation.extents.empty(), "cannot release an empty allocation");
   for (const Extent& e : allocation.extents) {
     MSYS_REQUIRE(!e.empty(), "cannot release an empty extent");
     MSYS_REQUIRE(e.end() <= capacity_.value(), "release(): extent out of range");
-    for (const Extent& f : free_) {
-      MSYS_REQUIRE(!f.overlaps(e), "release(): double free detected");
-    }
-    free_.push_back(e);
+    release_extent(e);
   }
-  free_ = normalized(std::move(free_));
   ++stats_.releases;
   AllocMetrics::get().releases.add();
 }

@@ -1,0 +1,80 @@
+// Memoization of the Figure-4 planning walk over one scheduler run.
+//
+// A single cold schedule() performs many plan_round calls over a small
+// option space: compute_max_rf probes RF feasibility, pick_rf_by_cost
+// re-plans every candidate RF, and §4's greedy retention re-plans after
+// every accepted/rejected candidate.  Several of those calls repeat an
+// (RF, retained-set) pair the walk has already planned — most notably the
+// final re-plan at the chosen RF, and the empty-retained-set plan at each
+// RF the feasibility search already probed.  PlanCache memoizes the walk
+// on exactly the options that vary within one schedule() call (RF, the
+// retained set, and the driver flags), so identical options return the
+// stored DriverResult instead of re-running an O(clusters · kernels · RF)
+// walk that drives the allocator.
+//
+// plan_round is a pure function of (analysis, fb_set_size, options), so a
+// memo hit is byte-identical to a recompute — the schedulers' outputs are
+// provably unchanged (tests/dsched/rf_search_property_test.cpp replays the
+// fuzz corpus against unmemoized references).
+//
+// Scope: one PlanCache per schedule() call, on the stack.  Not
+// thread-safe; concurrent schedule() calls each own their cache.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "msys/dsched/alloc_driver.hpp"
+#include "msys/extract/analysis.hpp"
+
+namespace msys::dsched {
+
+class PlanCache {
+ public:
+  PlanCache(const extract::ScheduleAnalysis& analysis, SizeWords fb_set_size)
+      : analysis_(&analysis), fb_set_size_(fb_set_size) {}
+
+  /// The memoized Figure-4 walk for `options`; computes and stores on
+  /// miss.  The reference stays valid until the next plan() call that
+  /// misses past the entry bound (callers copy what they keep).
+  [[nodiscard]] const DriverResult& plan(const DriverOptions& options);
+
+  struct Stats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+ private:
+  /// Everything of DriverOptions that varies within one scheduler run.
+  /// The retained set is kept sorted so the key is order-independent.
+  struct Key {
+    std::uint32_t rf{0};
+    std::uint8_t flags{0};
+    std::vector<std::uint32_t> retained;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const;
+  };
+
+  [[nodiscard]] static Key make_key(const DriverOptions& options);
+
+  /// Entry bound: past it, results are computed into `overflow_` instead
+  /// of stored, so a degenerate option space cannot hold every walk ever
+  /// planned in memory.
+  static constexpr std::size_t kMaxEntries = 4096;
+
+  const extract::ScheduleAnalysis* analysis_;
+  SizeWords fb_set_size_;
+  std::unordered_map<Key, DriverResult, KeyHash> memo_;
+  DriverResult overflow_;
+  Stats stats_;
+};
+
+}  // namespace msys::dsched

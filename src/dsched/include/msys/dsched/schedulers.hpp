@@ -82,12 +82,23 @@ class CompleteDataScheduler final : public DataSchedulerBase {
   Options options_{};
 };
 
+class PlanCache;
+
 /// Largest common RF (<= total_iterations) for which the Figure-4 walk
 /// succeeds on both FB sets with the given base options; returns 0 when
-/// even RF = 1 does not fit.
+/// even RF = 1 does not fit.  Feasibility is monotone in RF, so the search
+/// is an exponential probe + binary search — O(log max_rf) walks, not the
+/// O(max_rf) linear scan it replaces (behaviour-identical; see
+/// tests/dsched/rf_search_property_test.cpp).
 [[nodiscard]] std::uint32_t compute_max_rf(const extract::ScheduleAnalysis& analysis,
                                            const arch::M1Config& cfg,
                                            DriverOptions base_options);
+
+/// Same search against a caller-owned plan memo, so a scheduler's later
+/// re-plans at probed RFs become cache hits instead of fresh walks.
+[[nodiscard]] std::uint32_t compute_max_rf(const extract::ScheduleAnalysis& analysis,
+                                           const arch::M1Config& cfg,
+                                           DriverOptions base_options, PlanCache& plans);
 
 /// All three schedulers, in Basic, DS, CDS order (reporting convenience).
 [[nodiscard]] std::vector<std::unique_ptr<DataSchedulerBase>> all_schedulers();

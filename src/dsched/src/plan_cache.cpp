@@ -1,0 +1,65 @@
+#include "msys/dsched/plan_cache.hpp"
+
+#include <algorithm>
+
+#include "msys/common/hash.hpp"
+#include "msys/obs/metrics.hpp"
+
+namespace msys::dsched {
+
+namespace {
+
+/// Process-wide mirrors so `msysc --stats` and the bench see memoization
+/// behaviour without plumbing every PlanCache instance to the surface.
+struct PlanCacheMetrics {
+  obs::Counter& hits = obs::counter("dsched.plan_cache.hits");
+  obs::Counter& misses = obs::counter("dsched.plan_cache.misses");
+
+  static PlanCacheMetrics& get() {
+    static PlanCacheMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+std::size_t PlanCache::KeyHash::operator()(const Key& k) const {
+  Hasher h;
+  h.update_u64(k.rf);
+  h.update_u64(k.flags);
+  h.update_u64(k.retained.size());
+  for (std::uint32_t d : k.retained) h.update_u64(d);
+  return static_cast<std::size_t>(h.finalize());
+}
+
+PlanCache::Key PlanCache::make_key(const DriverOptions& options) {
+  Key key;
+  key.rf = options.rf;
+  key.flags = static_cast<std::uint8_t>(
+      (options.release_at_last_use ? 1U : 0U) | (options.regularity_hints ? 2U : 0U) |
+      (options.allow_split ? 4U : 0U) |
+      (options.fit == alloc::FitPolicy::kBestFit ? 8U : 0U));
+  key.retained.reserve(options.retained.size());
+  for (DataId d : options.retained) key.retained.push_back(d.index());
+  std::sort(key.retained.begin(), key.retained.end());
+  return key;
+}
+
+const DriverResult& PlanCache::plan(const DriverOptions& options) {
+  Key key = make_key(options);
+  if (const auto it = memo_.find(key); it != memo_.end()) {
+    ++stats_.hits;
+    PlanCacheMetrics::get().hits.add();
+    return it->second;
+  }
+  ++stats_.misses;
+  PlanCacheMetrics::get().misses.add();
+  DriverResult result = plan_round(*analysis_, fb_set_size_, options);
+  if (memo_.size() >= kMaxEntries) {
+    overflow_ = std::move(result);
+    return overflow_;
+  }
+  return memo_.emplace(std::move(key), std::move(result)).first->second;
+}
+
+}  // namespace msys::dsched

@@ -5,6 +5,7 @@
 #include "msys/common/error.hpp"
 #include "msys/csched/context_plan.hpp"
 #include "msys/dsched/cost.hpp"
+#include "msys/dsched/plan_cache.hpp"
 #include "msys/obs/metrics.hpp"
 #include "msys/obs/trace.hpp"
 
@@ -34,15 +35,47 @@ DataSchedule finish(std::string name, const ScheduleAnalysis& analysis,
 
 std::uint32_t compute_max_rf(const ScheduleAnalysis& analysis, const arch::M1Config& cfg,
                              DriverOptions base_options) {
+  PlanCache plans(analysis, cfg.fb_set_size);
+  return compute_max_rf(analysis, cfg, std::move(base_options), plans);
+}
+
+std::uint32_t compute_max_rf(const ScheduleAnalysis& analysis,
+                             const arch::M1Config& /*cfg: PlanCache carries fb_set_size*/,
+                             DriverOptions base_options, PlanCache& plans) {
   const std::uint32_t max_rf = analysis.app().total_iterations();
-  std::uint32_t best = 0;
-  for (std::uint32_t rf = 1; rf <= max_rf; ++rf) {
+  if (max_rf == 0) return 0;
+  auto feasible = [&](std::uint32_t rf) {
     base_options.rf = rf;
-    const DriverResult result = plan_round(analysis, cfg.fb_set_size, base_options);
-    if (!result.ok) break;
-    best = rf;
+    return plans.plan(base_options).ok;
+  };
+  // RF feasibility is monotone: RF+1 keeps strictly more instances live at
+  // every point of the walk than RF, so once a walk fails every larger RF
+  // fails too (the linear scan this replaces stopped at the first failure
+  // for the same reason; tests/dsched/rf_search_property_test.cpp pins the
+  // equivalence over the fuzz corpus).  Exponential probing finds an
+  // infeasible upper bound in O(log max_rf) walks and the binary search
+  // pins the largest feasible RF in O(log max_rf) more — against the
+  // seed's O(max_rf) walks per call.
+  if (!feasible(1)) return 0;
+  std::uint64_t lo = 1;                                    // known feasible
+  std::uint64_t hi = static_cast<std::uint64_t>(max_rf) + 1;  // first known-bad
+  for (std::uint64_t probe = 2; probe < hi; probe *= 2) {
+    if (feasible(static_cast<std::uint32_t>(probe))) {
+      lo = probe;
+    } else {
+      hi = probe;
+      break;
+    }
   }
-  return best;
+  while (hi - lo > 1) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (feasible(static_cast<std::uint32_t>(mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<std::uint32_t>(lo);
 }
 
 namespace {
@@ -54,7 +87,8 @@ namespace {
 /// predicted cost of every feasible RF and keep the cheapest (ties go to
 /// the larger RF, the paper's preference).
 std::uint32_t pick_rf_by_cost(const ScheduleAnalysis& analysis, const arch::M1Config& cfg,
-                              DriverOptions options, std::uint32_t max_feasible_rf) {
+                              DriverOptions options, std::uint32_t max_feasible_rf,
+                              PlanCache& plans) {
   MSYS_TRACE_SPAN(span, "dsched.pick_rf", "dsched");
   static obs::Counter& rf_evaluated = obs::counter("dsched.rf.candidates_evaluated");
   const csched::ContextPlan ctx_plan =
@@ -64,7 +98,7 @@ std::uint32_t pick_rf_by_cost(const ScheduleAnalysis& analysis, const arch::M1Co
   Cycles best_cost = Cycles::max();
   for (std::uint32_t rf = 1; rf <= max_feasible_rf; ++rf) {
     options.rf = rf;
-    DriverResult result = plan_round(analysis, cfg.fb_set_size, options);
+    DriverResult result = plans.plan(options);
     MSYS_REQUIRE(result.ok, "RF below the feasible maximum must plan");
     DataSchedule tentative = finish("tentative", analysis, options, std::move(result));
     const CostBreakdown cost = predict_cost(tentative, cfg, ctx_plan);
@@ -102,14 +136,15 @@ DataSchedule DataScheduler::schedule(const ScheduleAnalysis& analysis,
   obs::counter("dsched.runs.ds").add();
   DriverOptions options;
   options.release_at_last_use = true;
-  const std::uint32_t max_rf = compute_max_rf(analysis, cfg, options);
+  PlanCache plans(analysis, cfg.fb_set_size);
+  const std::uint32_t max_rf = compute_max_rf(analysis, cfg, options, plans);
   if (max_rf == 0) {
     return infeasible(name(), analysis.sched(),
                       "a cluster does not fit the FB set even at RF=1");
   }
-  options.rf = pick_rf_by_cost(analysis, cfg, options, max_rf);
+  options.rf = pick_rf_by_cost(analysis, cfg, options, max_rf, plans);
   if (span.active()) span.add_arg(obs::arg("rf", std::uint64_t{options.rf}));
-  DriverResult result = plan_round(analysis, cfg.fb_set_size, options);
+  DriverResult result = plans.plan(options);  // memo hit from the RF scan
   MSYS_REQUIRE(result.ok, "re-planning at the feasible RF must succeed");
   return finish(name(), analysis, options, std::move(result));
 }
@@ -120,7 +155,8 @@ DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
   obs::counter("dsched.runs.cds").add();
   DriverOptions options;
   options.release_at_last_use = true;
-  const std::uint32_t max_rf = compute_max_rf(analysis, cfg, options);
+  PlanCache plans(analysis, cfg.fb_set_size);
+  const std::uint32_t max_rf = compute_max_rf(analysis, cfg, options, plans);
   if (max_rf == 0) {
     return infeasible(name(), analysis.sched(),
                       "a cluster does not fit the FB set even at RF=1");
@@ -167,13 +203,13 @@ DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
     DriverOptions opt = options;
     opt.rf = rf;
     opt.retained.clear();
-    DriverResult best = plan_round(analysis, cfg.fb_set_size, opt);
+    DriverResult best = plans.plan(opt);
     MSYS_REQUIRE(best.ok, "re-planning at a feasible RF must succeed");
     for (const RetentionCandidate& cand : candidates) {
       opt.retained.insert(cand.data);
-      DriverResult attempt = plan_round(analysis, cfg.fb_set_size, opt);
+      const DriverResult& attempt = plans.plan(opt);
       if (attempt.ok) {
-        best = std::move(attempt);
+        best = attempt;
         retention_kept.add();
         MSYS_TRACE_INSTANT("dsched.retain.keep", "dsched",
                            obs::arg("data", std::uint64_t{cand.data.index()}),
@@ -192,7 +228,7 @@ DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
   if (!options_.joint_rf_retention) {
     // §4: secure the cheapest RF first (context-transfer minimisation
     // dominates), then spend remaining FB space on retention.
-    auto [opt, best] = retain_at_rf(pick_rf_by_cost(analysis, cfg, options, max_rf));
+    auto [opt, best] = retain_at_rf(pick_rf_by_cost(analysis, cfg, options, max_rf, plans));
     return finish(name(), analysis, opt, std::move(best));
   }
 

@@ -12,19 +12,29 @@
 // capacity/shards entries; hit/miss/eviction/insert counters are kept per
 // shard and summed on stats().
 //
-// The cache itself is value-agnostic about races: two threads that miss on
-// the same key both compute and both insert; the second insert is dropped
-// (first-writer-wins) so every subsequent hit observes one canonical
-// result.  compile_job is pure, so both computed results are identical and
-// no caller can tell the difference — this keeps the fast path lock-free
-// of any per-key in-flight bookkeeping.  A dropped duplicate still counts
-// (Stats::duplicate_inserts — the wasted-compute signal a capacity planner
-// watches) and refreshes the entry's LRU recency: the duplicate insert IS
-// a use of that entry, and before this refresh a hot entry hammered by
-// concurrent compiles could be evicted as "cold" mid-storm.
+// Cold misses are *single-flight*: the first thread to miss on a key
+// registers an in-flight entry and computes; every later arrival on the
+// same key blocks on that entry's shared_future instead of recompiling
+// (Stats::inflight_coalesced counts the recompiles avoided,
+// Stats::inflight_waits the arrivals that actually had to block).  The
+// winner inserts the result *before* retiring the in-flight entry, so
+// there is no window in which a key is neither cached nor in flight.  On a
+// cold batch of duplicated jobs this is the difference between negative
+// and positive thread scaling: without it every worker that misses burns a
+// full compile on work another worker is already doing.
+//
+// insert() itself stays first-writer-wins for direct users: a duplicate
+// insert is dropped but counted (Stats::duplicate_inserts — the
+// wasted-compute signal a capacity planner watches; ~0 now that
+// get_or_compile coalesces) and refreshes the entry's LRU recency: the
+// duplicate insert IS a use of that entry, and before this refresh a hot
+// entry hammered by concurrent compiles could be evicted as "cold"
+// mid-storm.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -53,6 +63,12 @@ class ScheduleCache {
     /// insert() calls dropped because the key was already present — each
     /// one is a concurrent compilation whose work was thrown away.
     std::uint64_t duplicate_inserts{0};
+    /// get_or_compile() misses that found the key already in flight and
+    /// reused that computation — each one is a recompile avoided.
+    std::uint64_t inflight_coalesced{0};
+    /// Coalesced misses that actually blocked (the in-flight result was
+    /// not ready yet when they arrived).
+    std::uint64_t inflight_waits{0};
     std::uint64_t entries{0};
 
     [[nodiscard]] double hit_rate() const {
@@ -75,10 +91,24 @@ class ScheduleCache {
   /// entry's LRU recency.
   void insert(std::uint64_t key, std::shared_ptr<const CompiledResult> result);
 
-  /// Memoized compile: lookup, compute-and-insert on miss.  `*was_hit`
-  /// (optional) reports which path was taken.
+  /// Memoized compile: lookup, compute-and-insert on miss.  Concurrent
+  /// misses on one key are single-flight — exactly one caller runs
+  /// compile_job, the rest block on its result.  `*was_hit` (optional)
+  /// reports whether the result came from the cache (a coalesced wait
+  /// reports a miss: the caller arrived before the value existed).
   [[nodiscard]] std::shared_ptr<const CompiledResult> get_or_compile(
       const Job& job, bool* was_hit = nullptr);
+
+  /// Produces a result for a key on the first miss.  Must be pure with
+  /// respect to the key: every caller racing on one key receives the one
+  /// result the in-flight winner computed.
+  using ComputeFn = std::function<std::shared_ptr<const CompiledResult>()>;
+
+  /// Single-flight core, exposed for callers (and tests) that key jobs
+  /// themselves: behaves exactly like get_or_compile(job) with
+  /// `key == cache_key(job)` and `compute == [&]{ return compile_job(job); }`.
+  [[nodiscard]] std::shared_ptr<const CompiledResult> get_or_compile(
+      std::uint64_t key, const ComputeFn& compute, bool* was_hit = nullptr);
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -89,11 +119,19 @@ class ScheduleCache {
     std::uint64_t key{0};
     std::shared_ptr<const CompiledResult> result;
   };
+  /// One in-flight computation: waiters hold the shared_future, the winner
+  /// fulfils the promise after inserting into the cache.
+  struct InFlight {
+    std::promise<std::shared_ptr<const CompiledResult>> promise;
+    std::shared_future<std::shared_ptr<const CompiledResult>> future{
+        promise.get_future().share()};
+  };
   /// One locked LRU segment: list front == most recently used.
   struct Shard {
     mutable std::mutex mu;
     std::list<Entry> lru;
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight;
     Stats stats;
   };
 

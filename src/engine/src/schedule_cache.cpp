@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "msys/obs/metrics.hpp"
+#include "msys/obs/trace.hpp"
 
 namespace msys::engine {
 
@@ -17,6 +18,8 @@ struct CacheMetrics {
   obs::Counter& misses = obs::counter("engine.cache.misses");
   obs::Counter& inserts = obs::counter("engine.cache.inserts");
   obs::Counter& duplicate_inserts = obs::counter("engine.cache.duplicate_inserts");
+  obs::Counter& inflight_coalesced = obs::counter("engine.cache.inflight_coalesced");
+  obs::Counter& inflight_waits = obs::counter("engine.cache.inflight_waits");
   obs::Counter& evictions = obs::counter("engine.cache.evictions");
   obs::Counter& hit_latency_ns = obs::counter("engine.cache.hit_latency_ns");
   obs::Counter& miss_latency_ns = obs::counter("engine.cache.miss_latency_ns");
@@ -95,15 +98,84 @@ void ScheduleCache::insert(std::uint64_t key,
 
 std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(const Job& job,
                                                                     bool* was_hit) {
-  const std::uint64_t key = cache_key(job);
+  return get_or_compile(
+      cache_key(job), [&job] { return compile_job(job); }, was_hit);
+}
+
+std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
+    std::uint64_t key, const ComputeFn& compute, bool* was_hit) {
   const auto start = std::chrono::steady_clock::now();
-  if (std::shared_ptr<const CompiledResult> cached = lookup(key)) {
-    CacheMetrics::get().hit_latency_ns.add(ns_since(start));
-    if (was_hit != nullptr) *was_hit = true;
-    return cached;
+  Shard& shard = shard_for(key);
+
+  // One lock acquisition decides the path: hit, coalesce onto an in-flight
+  // computation, or become the in-flight winner for this key.
+  std::shared_future<std::shared_ptr<const CompiledResult>> wait_on;
+  std::shared_ptr<InFlight> mine;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      ++shard.stats.hits;
+      CacheMetrics::get().hits.add();
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      std::shared_ptr<const CompiledResult> cached = it->second->result;
+      CacheMetrics::get().hit_latency_ns.add(ns_since(start));
+      if (was_hit != nullptr) *was_hit = true;
+      return cached;
+    }
+    ++shard.stats.misses;
+    CacheMetrics::get().misses.add();
+    const auto fit = shard.inflight.find(key);
+    if (fit != shard.inflight.end()) {
+      wait_on = fit->second->future;
+      ++shard.stats.inflight_coalesced;
+      CacheMetrics::get().inflight_coalesced.add();
+    } else {
+      mine = std::make_shared<InFlight>();
+      shard.inflight.emplace(key, mine);
+    }
   }
-  std::shared_ptr<const CompiledResult> computed = compile_job(job);
+
+  if (wait_on.valid()) {
+    // Coalesced miss: reuse the winner's computation.  Only count (and
+    // trace) a wait when the result is not ready yet.
+    if (wait_on.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        ++shard.stats.inflight_waits;
+      }
+      CacheMetrics::get().inflight_waits.add();
+      MSYS_TRACE_SPAN(wait_span, "engine.cache.inflight_wait", "engine");
+      wait_on.wait();
+    }
+    std::shared_ptr<const CompiledResult> result = wait_on.get();
+    CacheMetrics::get().miss_latency_ns.add(ns_since(start));
+    if (was_hit != nullptr) *was_hit = false;
+    return result;
+  }
+
+  // In-flight winner: compute outside the lock, publish to the cache
+  // *before* retiring the in-flight entry so there is no window in which
+  // the key is neither cached nor in flight.
+  std::shared_ptr<const CompiledResult> computed;
+  try {
+    computed = compute();
+  } catch (...) {
+    // Never strand waiters: retire the entry and hand the exception to
+    // everyone already blocked on the future.
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.inflight.erase(key);
+    }
+    mine->promise.set_exception(std::current_exception());
+    throw;
+  }
   insert(key, computed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.inflight.erase(key);
+  }
+  mine->promise.set_value(computed);
   CacheMetrics::get().miss_latency_ns.add(ns_since(start));
   if (was_hit != nullptr) *was_hit = false;
   return computed;
@@ -118,6 +190,8 @@ ScheduleCache::Stats ScheduleCache::stats() const {
     total.evictions += shard->stats.evictions;
     total.inserts += shard->stats.inserts;
     total.duplicate_inserts += shard->stats.duplicate_inserts;
+    total.inflight_coalesced += shard->stats.inflight_coalesced;
+    total.inflight_waits += shard->stats.inflight_waits;
     total.entries += shard->lru.size();
   }
   return total;

@@ -138,6 +138,60 @@ TEST(FbAllocator, DoubleFreeDetected) {
   EXPECT_THROW(fb.release(*a), Error);
 }
 
+TEST(FbAllocator, DoubleFreeDetectedAfterNeighbourMerge) {
+  // The release merges with both neighbours into one big block; a second
+  // release of the same extent now lands in the *middle* of that block —
+  // the sorted-insert overlap check must still trap it.
+  FrameBufferAllocator fb(SizeWords{60});
+  auto a = fb.allocate(SizeWords{20}, AllocEnd::kBottom);  // [0,20)
+  auto b = fb.allocate(SizeWords{20}, AllocEnd::kBottom);  // [20,40)
+  auto c = fb.allocate(SizeWords{20}, AllocEnd::kBottom);  // [40,60)
+  fb.release(*a);
+  fb.release(*c);
+  fb.release(*b);  // merges left and right: free list is one [0,60) block
+  EXPECT_TRUE(fb.all_free());
+  EXPECT_THROW(fb.release(*b), Error);
+  EXPECT_THROW(fb.release(*a), Error);
+  EXPECT_THROW(fb.release(*c), Error);
+}
+
+TEST(FbAllocator, PartialOverlapWithFreeBlockDetected) {
+  // An extent that straddles a free/used boundary is a corruption, not a
+  // legitimate release; the neighbour check must catch partial overlaps,
+  // not just exact re-releases.
+  FrameBufferAllocator fb(SizeWords{60});
+  auto a = fb.allocate(SizeWords{20}, AllocEnd::kBottom);  // [0,20)
+  auto b = fb.allocate(SizeWords{20}, AllocEnd::kBottom);  // [20,40)
+  fb.release(*a);  // free: [0,20) + [40,60)
+  (void)b;
+  Allocation straddle_left{{Extent{10, SizeWords{15}}}};   // overlaps [0,20)
+  Allocation straddle_right{{Extent{35, SizeWords{10}}}};  // overlaps [40,60)
+  EXPECT_THROW(fb.release(straddle_left), Error);
+  EXPECT_THROW(fb.release(straddle_right), Error);
+}
+
+TEST(FbAllocator, ReleaseKeepsFreeListSortedAndCoalesced) {
+  // Out-of-order releases with every merge shape (none, left-only,
+  // right-only, both): the list must stay sorted and fully coalesced
+  // after every step, with free_words tracking exactly.
+  FrameBufferAllocator fb(SizeWords{100});
+  std::vector<Allocation> live;
+  for (int i = 0; i < 10; ++i) {
+    live.push_back(*fb.allocate(SizeWords{10}, AllocEnd::kBottom));
+  }
+  EXPECT_EQ(fb.free_words(), SizeWords{0});
+  for (const int i : {1, 8, 3, 5, 0, 2, 9, 7, 4, 6}) {
+    fb.release(live[static_cast<std::size_t>(i)]);
+    const std::vector<Extent>& fl = fb.free_list();
+    for (std::size_t k = 1; k < fl.size(); ++k) {
+      ASSERT_LT(fl[k - 1].end(), fl[k].begin());  // sorted, gap between
+    }
+    ASSERT_EQ(total_size(fl), fb.free_words());
+  }
+  EXPECT_TRUE(fb.all_free());
+  EXPECT_EQ(fb.free_block_count(), 1u);
+}
+
 TEST(FbAllocator, ReleaseOutOfRangeRejected) {
   FrameBufferAllocator fb(SizeWords{50});
   Allocation bogus{{Extent{45, SizeWords{10}}}};

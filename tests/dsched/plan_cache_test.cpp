@@ -1,0 +1,106 @@
+// PlanCache: memo hits only on exactly-equal option keys, retained-set
+// order independence, and hit results identical to fresh walks.
+#include "msys/dsched/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msys/dsched/alloc_driver.hpp"
+#include "msys/extract/analysis.hpp"
+#include "testing/apps.hpp"
+
+namespace msys::dsched {
+namespace {
+
+using testing::RetentionApp;
+using testing::test_cfg;
+
+TEST(PlanCache, RepeatedOptionsHitWithoutRecompute) {
+  RetentionApp made = RetentionApp::make(/*iterations=*/6);
+  const extract::ScheduleAnalysis analysis(made.sched);
+  PlanCache plans(analysis, test_cfg(4096).fb_set_size);
+
+  DriverOptions options;
+  options.rf = 2;
+  const DriverResult& first = plans.plan(options);
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(plans.stats().hits, 0u);
+  EXPECT_EQ(plans.stats().misses, 1u);
+
+  // Same options again: same stored object, no new walk.
+  const DriverResult& again = plans.plan(options);
+  EXPECT_EQ(&again, &first);
+  EXPECT_EQ(plans.stats().hits, 1u);
+  EXPECT_EQ(plans.stats().misses, 1u);
+}
+
+TEST(PlanCache, DistinctRfAndFlagsAndRetainedMiss) {
+  RetentionApp made = RetentionApp::make(/*iterations=*/6);
+  const extract::ScheduleAnalysis analysis(made.sched);
+  PlanCache plans(analysis, test_cfg(4096).fb_set_size);
+
+  DriverOptions options;
+  options.rf = 1;
+  (void)plans.plan(options);
+  options.rf = 2;
+  (void)plans.plan(options);  // rf differs
+  options.release_at_last_use = false;
+  (void)plans.plan(options);  // flags differ
+  options.release_at_last_use = true;
+  const std::vector<extract::RetentionCandidate> cands = analysis.retention_candidates();
+  ASSERT_FALSE(cands.empty());
+  options.retained.insert(cands.front().data);
+  (void)plans.plan(options);  // retained set differs
+  EXPECT_EQ(plans.stats().hits, 0u);
+  EXPECT_EQ(plans.stats().misses, 4u);
+}
+
+TEST(PlanCache, RetainedSetKeyIsOrderIndependent) {
+  RetentionApp made = RetentionApp::make(/*iterations=*/6);
+  const extract::ScheduleAnalysis analysis(made.sched);
+  PlanCache plans(analysis, test_cfg(8192).fb_set_size);
+
+  const std::vector<extract::RetentionCandidate> cands = analysis.retention_candidates();
+  ASSERT_GE(cands.size(), 2u);
+  DriverOptions forward;
+  forward.retained.insert(cands[0].data);
+  forward.retained.insert(cands[1].data);
+  DriverOptions backward;
+  backward.retained.insert(cands[1].data);
+  backward.retained.insert(cands[0].data);
+
+  const DriverResult& first = plans.plan(forward);
+  const DriverResult& second = plans.plan(backward);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(plans.stats().hits, 1u);
+  EXPECT_EQ(plans.stats().misses, 1u);
+}
+
+TEST(PlanCache, HitIsByteEquivalentToFreshWalk) {
+  RetentionApp made = RetentionApp::make(/*iterations=*/6);
+  const extract::ScheduleAnalysis analysis(made.sched);
+  const arch::M1Config cfg = test_cfg(4096);
+  PlanCache plans(analysis, cfg.fb_set_size);
+
+  DriverOptions options;
+  options.rf = 3;
+  (void)plans.plan(options);        // prime
+  const DriverResult& hit = plans.plan(options);
+  const DriverResult fresh = plan_round(analysis, cfg.fb_set_size, options);
+  ASSERT_EQ(hit.ok, fresh.ok);
+  ASSERT_EQ(hit.round_plan.size(), fresh.round_plan.size());
+  for (std::size_t i = 0; i < hit.round_plan.size(); ++i) {
+    EXPECT_EQ(hit.round_plan[i].loads, fresh.round_plan[i].loads);
+    EXPECT_EQ(hit.round_plan[i].stores.size(), fresh.round_plan[i].stores.size());
+    EXPECT_EQ(hit.round_plan[i].releases.size(), fresh.round_plan[i].releases.size());
+  }
+  EXPECT_EQ(hit.placements.size(), fresh.placements.size());
+  for (const auto& [key, placement] : fresh.placements) {
+    const auto it = hit.placements.find(key);
+    ASSERT_NE(it, hit.placements.end());
+    EXPECT_EQ(it->second.set, placement.set);
+    EXPECT_EQ(it->second.extents, placement.extents);
+  }
+}
+
+}  // namespace
+}  // namespace msys::dsched

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -146,10 +149,12 @@ TEST(ScheduleCache, DuplicateInsertRefreshesLruRecency) {
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
-TEST(ScheduleCache, ConcurrentDoubleComputeIsCountedAsDuplicates) {
-  // N threads race get_or_compile on one fresh key: several may miss and
-  // compile, but exactly one insert lands; the rest must show up as
-  // duplicate_inserts so the wasted compute is visible.
+TEST(ScheduleCache, ConcurrentDoubleComputeIsCoalescedBySingleFlight) {
+  // N threads race get_or_compile on one fresh key.  Pre-single-flight,
+  // several threads would miss, compile, and collide on insert (visible as
+  // duplicate_inserts).  Now exactly one thread computes; everyone who
+  // arrived during the compute coalesces onto it, so the duplicate-insert
+  // count stays at zero no matter how the race interleaves.
   constexpr int kThreads = 8;
   ScheduleCache cache({16, 4});
   std::vector<std::shared_ptr<const CompiledResult>> seen(kThreads);
@@ -166,16 +171,95 @@ TEST(ScheduleCache, ConcurrentDoubleComputeIsCountedAsDuplicates) {
   // itself counts a hit.
   const ScheduleCache::Stats stats = cache.stats();
 
-  // Everyone observed a live result for the same key.
+  // Everyone observed a live result for the same key — the same object,
+  // since only one compute ran and everyone else shared it.
   const auto canonical = cache.lookup(cache_key(retention_job()));
   ASSERT_NE(canonical, nullptr);
-  for (const auto& r : seen) ASSERT_NE(r, nullptr);
+  for (const auto& r : seen) ASSERT_EQ(r.get(), canonical.get());
 
   EXPECT_EQ(stats.hits + stats.misses, static_cast<std::uint64_t>(kThreads));
   EXPECT_EQ(stats.inserts, 1u);
   EXPECT_EQ(stats.entries, 1u);
-  // Every miss attempted an insert; all but the winner were duplicates.
-  EXPECT_EQ(stats.inserts + stats.duplicate_inserts, stats.misses);
+  EXPECT_EQ(stats.duplicate_inserts, 0u);
+  // Coalesced arrivals are counted as misses (they waited a full compile),
+  // and every miss beyond the winner's is one of them.
+  EXPECT_EQ(stats.misses, 1u + stats.inflight_coalesced);
+}
+
+TEST(ScheduleCache, SingleFlightCoalescesAllWaitersOntoOneCompute) {
+  // Deterministic single-flight stress: the winner's compute-fn refuses to
+  // finish until the stats show every other thread has coalesced onto the
+  // in-flight entry, so the outcome (1 compute, N-1 coalesced, N-1 waits)
+  // is forced, not left to scheduling luck.
+  constexpr int kThreads = 6;
+  ScheduleCache cache({16, 1});
+  const auto precomputed = compile_job(retention_job());
+  std::atomic<int> computes{0};
+
+  const ScheduleCache::ComputeFn compute = [&]() {
+    computes.fetch_add(1);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (cache.stats().inflight_coalesced <
+           static_cast<std::uint64_t>(kThreads - 1)) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        ADD_FAILURE() << "waiters never coalesced";
+        break;
+      }
+      std::this_thread::yield();
+    }
+    return precomputed;
+  };
+
+  std::vector<std::shared_ptr<const CompiledResult>> seen(kThreads);
+  // char, not bool: vector<bool> packs bits, so per-thread writes to
+  // distinct elements would race on the shared word.
+  std::vector<char> hit(kThreads, 1);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t, &cache, &compute, &seen, &hit] {
+        bool was_hit = true;
+        seen[static_cast<std::size_t>(t)] =
+            cache.get_or_compile(/*key=*/42, compute, &was_hit);
+        hit[static_cast<std::size_t>(t)] = was_hit ? 1 : 0;
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  EXPECT_EQ(computes.load(), 1);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)].get(), precomputed.get());
+    EXPECT_FALSE(hit[static_cast<std::size_t>(t)]);  // all paid a miss
+  }
+  const ScheduleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.duplicate_inserts, 0u);
+  EXPECT_EQ(stats.inflight_coalesced, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.inflight_waits, static_cast<std::uint64_t>(kThreads - 1));
+  // A later call is a plain hit — the in-flight entry fully retired.
+  bool was_hit = false;
+  EXPECT_EQ(cache.get_or_compile(42, compute, &was_hit).get(), precomputed.get());
+  EXPECT_TRUE(was_hit);
+  EXPECT_EQ(computes.load(), 1);
+}
+
+TEST(ScheduleCache, SingleFlightPropagatesComputeExceptionToAllWaiters) {
+  // A throwing compute must not wedge the in-flight entry: the winner and
+  // every coalesced waiter see the exception, and the key stays absent so
+  // a retry can succeed.
+  ScheduleCache cache({16, 1});
+  const ScheduleCache::ComputeFn boom = []() -> std::shared_ptr<const CompiledResult> {
+    throw std::runtime_error("compile failed");
+  };
+  EXPECT_THROW((void)cache.get_or_compile(7, boom), std::runtime_error);
+  EXPECT_EQ(cache.lookup(7), nullptr);
+  // Retry with a working compute succeeds — no poisoned in-flight entry.
+  const auto good = compile_job(retention_job());
+  bool was_hit = true;
+  EXPECT_EQ(cache.get_or_compile(7, [&] { return good; }, &was_hit).get(), good.get());
+  EXPECT_FALSE(was_hit);
 }
 
 TEST(ScheduleCache, ConcurrentHammerMatchesSerial) {

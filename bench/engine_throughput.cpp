@@ -18,6 +18,12 @@
 //                      # compile spans, and the cache's single-flight
 //                      # inflight_wait spans, plus the sweep's counter
 //                      # delta in otherData
+//   $ ./build/bench/engine_throughput --store /tmp/msr
+//                      # adds a "disk" row per thread count: a fresh
+//                      # memory cache over a pre-populated persistent
+//                      # store, measuring the decode-replay tier between
+//                      # warm (memory) and cold (full compile).  The
+//                      # default JSON schema is unchanged without --store.
 //
 // Rows report speedup against the serial cold pass.  On a single-core
 // container only the warm-cache rows can beat 1x; on real multicore
@@ -39,6 +45,7 @@
 #include "msys/obs/chrome_trace.hpp"
 #include "msys/obs/metrics.hpp"
 #include "msys/obs/trace.hpp"
+#include "msys/store/disk_store.hpp"
 #include "msys/workloads/random.hpp"
 
 namespace {
@@ -179,6 +186,7 @@ int main(int argc, char** argv) {
   std::size_t repeats = 3;
   std::string json_path;
   std::string trace_path;
+  std::string store_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
@@ -193,10 +201,12 @@ int main(int argc, char** argv) {
       max_threads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (arg == "--repeat" && i + 1 < argc) {
       repeats = std::max<std::size_t>(1, std::stoul(argv[++i]));
+    } else if (arg == "--store" && i + 1 < argc) {
+      store_dir = argv[++i];
     } else {
       std::cerr << "usage: engine_throughput [--workloads N] [--dup N] "
                    "[--max-threads N] [--repeat N] [--json <path>] "
-                   "[--trace <path>]\n";
+                   "[--trace <path>] [--store <dir>]\n";
       return 1;
     }
   }
@@ -219,6 +229,23 @@ int main(int argc, char** argv) {
   }
 
   std::string fingerprint;
+
+  // Optional persistent tier: populate the store once (unmeasured), then
+  // each thread count gains a "disk" row — a fresh memory cache whose
+  // every miss is served by decode-replay from the store.
+  std::shared_ptr<store::DiskScheduleStore> disk_store;
+  if (!store_dir.empty()) {
+    store::StoreConfig store_cfg;
+    store_cfg.dir = store_dir;
+    std::string store_error;
+    disk_store = store::DiskScheduleStore::open(store_cfg, &store_error);
+    MSYS_REQUIRE(disk_store != nullptr, "cannot open --store: " + store_error);
+    engine::ScheduleCache::Config populate_cfg;
+    populate_cfg.store = disk_store;
+    engine::ScheduleCache populate(populate_cfg);
+    (void)measure(jobs, 1, &populate, "populate", &fingerprint);
+  }
+
   std::vector<Row> rows;
   for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
     // Best of `repeats` per configuration: the min-wall-clock repetition
@@ -226,6 +253,7 @@ int main(int argc, char** argv) {
     // machine), the standard way to make a throughput bench reproducible.
     std::optional<Row> best_cold;
     std::optional<Row> best_warm;
+    std::optional<Row> best_disk;
     for (std::size_t rep = 0; rep < repeats; ++rep) {
       // Cold: fresh cache (only the in-batch duplicates can hit).
       engine::ScheduleCache cache;
@@ -234,9 +262,19 @@ int main(int argc, char** argv) {
       Row warm = measure(jobs, threads, &cache, "warm", &fingerprint);
       if (!best_cold || cold.millis < best_cold->millis) best_cold = cold;
       if (!best_warm || warm.millis < best_warm->millis) best_warm = warm;
+      if (disk_store != nullptr) {
+        // Disk: empty memory tier over the populated store — every
+        // distinct workload is one persisted-schedule replay.
+        engine::ScheduleCache::Config disk_cfg;
+        disk_cfg.store = disk_store;
+        engine::ScheduleCache replay(disk_cfg);
+        Row disk = measure(jobs, threads, &replay, "disk", &fingerprint);
+        if (!best_disk || disk.millis < best_disk->millis) best_disk = disk;
+      }
     }
     rows.push_back(*best_cold);
     rows.push_back(*best_warm);
+    if (best_disk) rows.push_back(*best_disk);
   }
   const double base = rows.front().jobs_per_sec;
   for (Row& r : rows) r.speedup = base > 0.0 ? r.jobs_per_sec / base : 0.0;

@@ -12,6 +12,12 @@
 //   $ ./build/examples/msysc --validate examples/apps/demo.mapp
 //   $ ./build/examples/msysc --batch examples/apps -j 4        # every .mapp in
 //                                                              # the dir, 4 workers
+//   $ ./build/examples/msysc --batch examples/apps --store /tmp/msr
+//                                       # persistent schedule store (crash-safe;
+//                                       # a rerun is served from disk)
+//   $ ./build/examples/msysc --batch examples/apps --deadline-ms 50 --retries 1
+//                                       # per-job wall-clock budget + retry
+//   $ ./build/examples/msysc --verify-store /tmp/msr           # fsck sweep
 //   $ ./build/examples/msysc --trace out.json --stats examples/apps/demo.mapp
 //                                       # Chrome-trace JSON + counter table
 //
@@ -20,11 +26,17 @@
 //   1  usage error (bad flags, no input file)
 //   2  the input did not parse (parser diagnostics on stderr)
 //   3  the application does not fit the machine (structured infeasibility)
+//      — a per-job deadline timeout lands here too: the job did not fit
+//      its wall-clock budget, and that is data, not an internal error
 //   4  internal invariant broken (validator violation, prediction mismatch)
 //
 // --batch compiles every file through the engine's BatchRunner (shared
 // schedule cache, -j N worker threads), prints one summary table instead of
 // interleaved per-file output, and exits with the worst per-file code.
+//
+// $MSYS_FAULTS (see msys/common/fault_injector.hpp) arms deterministic
+// fault injection for smoke tests: store corruption, short writes, compile
+// stalls.  A malformed spec is a usage error, never a silent no-op.
 //
 // The text format is documented in msys/appdsl/parser.hpp.
 #include <algorithm>
@@ -38,6 +50,7 @@
 
 #include "msys/appdsl/parser.hpp"
 #include "msys/codegen/program.hpp"
+#include "msys/common/fault_injector.hpp"
 #include "msys/common/strfmt.hpp"
 #include "msys/common/table.hpp"
 #include "msys/dsched/validate.hpp"
@@ -50,6 +63,7 @@
 #include "msys/report/runner.hpp"
 #include "msys/report/tables.hpp"
 #include "msys/report/timeline.hpp"
+#include "msys/store/disk_store.hpp"
 #include "msys/trisc/control.hpp"
 
 namespace {
@@ -60,10 +74,20 @@ constexpr int kExitParse = 2;
 constexpr int kExitInfeasible = 3;
 constexpr int kExitInternal = 4;
 
+/// Fault-tolerance knobs for --batch (all off by default).
+struct BatchFtOptions {
+  /// Persistent schedule store directory ("" => memory-only cache).
+  std::string store_dir;
+  /// Per-job wall-clock deadline in milliseconds (0 => none).
+  int deadline_ms{0};
+  /// Extra attempts for deadline-expired jobs.
+  int retries{0};
+};
+
 /// Compiles every .mapp under `dir` on the batch engine and prints one
 /// File/Scheduler/RF/Cycles/Cache/Status summary table.  Returns the worst
 /// per-file exit code (internal > infeasible > parse error > ok).
-int run_batch(const std::string& dir, unsigned n_threads) {
+int run_batch(const std::string& dir, unsigned n_threads, const BatchFtOptions& ft) {
   namespace fs = std::filesystem;
   using namespace msys;
 
@@ -137,11 +161,31 @@ int run_batch(const std::string& dir, unsigned n_threads) {
     files.push_back(std::move(fc));
   }
 
+  engine::ScheduleCache::Config cache_cfg;
+  cache_cfg.name = "msysc";
+  if (!ft.store_dir.empty()) {
+    store::StoreConfig store_cfg;
+    store_cfg.dir = ft.store_dir;
+    std::string store_error;
+    cache_cfg.store = store::DiskScheduleStore::open(store_cfg, &store_error);
+    if (cache_cfg.store == nullptr) {
+      std::cerr << "msysc: cannot open --store " << ft.store_dir << ": " << store_error
+                << '\n';
+      return kExitUsage;
+    }
+  }
+
   engine::ThreadPool pool(n_threads);
-  engine::ScheduleCache cache;
+  engine::ScheduleCache cache(cache_cfg);
   engine::BatchRunner runner(pool, &cache);
+  engine::RunOptions run_options;
+  if (ft.deadline_ms > 0) {
+    run_options.job_deadline = std::chrono::milliseconds(ft.deadline_ms);
+  }
+  run_options.retries = ft.retries;
   engine::BatchStats batch_stats;
-  const std::vector<engine::JobResult> results = runner.run(jobs, &batch_stats);
+  const std::vector<engine::JobResult> results =
+      runner.run(jobs, run_options, &batch_stats);
 
   TextTable table({"File", "Scheduler", "RF", "Cycles", "Cache", "Status"});
   int worst = kExitOk;
@@ -149,7 +193,7 @@ int run_batch(const std::string& dir, unsigned n_threads) {
     std::string scheduler = "-", rf = "-", cycles = "-", hit = "-";
     if (fc.job_index >= 0) {
       const engine::JobResult& r = results[static_cast<std::size_t>(fc.job_index)];
-      hit = r.cache_hit ? "hit" : "miss";
+      hit = r.cache_hit ? "hit" : (r.tier == engine::CacheTier::kDisk ? "disk" : "miss");
       if (r.feasible()) {
         scheduler = r.result->outcome.chosen_rung();
         rf = std::to_string(r.result->outcome.schedule.rf);
@@ -157,12 +201,21 @@ int run_batch(const std::string& dir, unsigned n_threads) {
       } else {
         const Diagnostics& diags = r.result->outcome.diagnostics;
         std::cerr << fc.path << ":\n" << render(diags) << '\n';
-        const bool internal =
-            std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
-              return d.code == "schedule.internal";
-            });
-        fc.exit_code = internal ? kExitInternal : kExitInfeasible;
-        fc.status = internal ? "internal-error" : "infeasible";
+        if (r.cancelled()) {
+          // The job did not fit its wall-clock budget: structured data,
+          // same exit class as "does not fit the machine".
+          fc.exit_code = kExitInfeasible;
+          fc.status = r.result->outcome.cancel_cause == CancelCause::kDeadline
+                          ? "timeout"
+                          : "cancelled";
+        } else {
+          const bool internal =
+              std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+                return d.code == "schedule.internal";
+              });
+          fc.exit_code = internal ? kExitInternal : kExitInfeasible;
+          fc.status = internal ? "internal-error" : "infeasible";
+        }
       }
     }
     fc.status += " (" + std::to_string(fc.exit_code) + ")";
@@ -174,9 +227,41 @@ int run_batch(const std::string& dir, unsigned n_threads) {
   std::cout << "batch: " << files.size() << " files, " << pool.size()
             << " threads, cache " << stats.hits << " hits / " << stats.misses
             << " misses\n";
-  std::cout << "batch: " << batch_stats.summary() << "\n\n";
+  std::cout << "batch: " << batch_stats.summary() << '\n';
+  if (cache_cfg.store != nullptr) {
+    const store::StoreStats ss = cache_cfg.store->stats();
+    std::cout << "store: " << ss.hits << " hits / " << ss.misses << " misses, "
+              << ss.saves << " saves (" << ss.save_failures << " failed), "
+              << ss.quarantined << " quarantined, " << ss.retry_attempts
+              << " retried ops; " << cache_cfg.store->entry_count()
+              << " entries in " << ft.store_dir << '\n';
+  }
+  std::cout << '\n';
   table.print(std::cout);
   return worst;
+}
+
+/// --verify-store: full fsck sweep over a store directory.  Quarantining a
+/// bad entry and removing stale temp files *is* the repair, so the sweep
+/// itself exits 0 whenever it completed; only an unopenable directory is
+/// an error.
+int run_verify_store(const std::string& dir) {
+  using namespace msys;
+  store::StoreConfig store_cfg;
+  store_cfg.dir = dir;
+  std::string store_error;
+  const std::unique_ptr<store::DiskScheduleStore> disk =
+      store::DiskScheduleStore::open(store_cfg, &store_error);
+  if (disk == nullptr) {
+    std::cerr << "msysc: cannot open store " << dir << ": " << store_error << '\n';
+    return kExitUsage;
+  }
+  const store::FsckReport report = disk->verify_store();
+  std::cout << "verify-store " << dir << ": " << report.scanned << " scanned, "
+            << report.valid << " valid, " << report.quarantined << " quarantined, "
+            << report.removed_tmp << " temp files removed — "
+            << (report.clean() ? "clean" : "repaired") << '\n';
+  return kExitOk;
 }
 
 /// Single-file flow: parse, schedule (with the fallback chain), simulate,
@@ -314,10 +399,34 @@ bool parse_thread_count(const std::string& value, unsigned* out) {
   }
 }
 
+/// Strict non-negative integer for --deadline-ms / --retries (0 allowed —
+/// it means "off").
+bool parse_nonneg(const std::string& value, int* out) {
+  if (value.empty() ||
+      !std::all_of(value.begin(), value.end(),
+                   [](unsigned char c) { return std::isdigit(c) != 0; })) {
+    return false;
+  }
+  try {
+    *out = std::stoi(value);
+    return true;
+  } catch (const std::exception&) {
+    return false;  // out of range
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace msys;
+
+  // Arm deterministic fault injection from $MSYS_FAULTS before any work:
+  // a malformed spec is a usage error, never a silently disarmed run.
+  if (std::string fault_error; !FaultInjector::arm_global_from_env(&fault_error)) {
+    std::cerr << "msysc: bad MSYS_FAULTS: " << fault_error << '\n';
+    return kExitUsage;
+  }
+
   bool emit = false;
   bool timeline = false;
   bool cross_set = false;
@@ -327,6 +436,8 @@ int main(int argc, char** argv) {
   bool stats = false;
   std::string trace_path;
   std::string batch_dir;
+  std::string verify_store_dir;
+  BatchFtOptions ft;
   unsigned n_threads = 1;
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -357,6 +468,30 @@ int main(int argc, char** argv) {
         return kExitUsage;
       }
       batch_dir = argv[++i];
+    } else if (arg == "--store") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: --store needs a directory\n";
+        return kExitUsage;
+      }
+      ft.store_dir = argv[++i];
+    } else if (arg == "--verify-store") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: --verify-store needs a directory\n";
+        return kExitUsage;
+      }
+      verify_store_dir = argv[++i];
+    } else if (arg == "--deadline-ms") {
+      if (i + 1 >= argc || !parse_nonneg(argv[i + 1], &ft.deadline_ms)) {
+        std::cerr << "msysc: --deadline-ms needs a non-negative integer\n";
+        return kExitUsage;
+      }
+      ++i;
+    } else if (arg == "--retries") {
+      if (i + 1 >= argc || !parse_nonneg(argv[i + 1], &ft.retries)) {
+        std::cerr << "msysc: --retries needs a non-negative integer\n";
+        return kExitUsage;
+      }
+      ++i;
     } else if (arg == "-j") {
       if (i + 1 >= argc) {
         std::cerr << "msysc: -j needs a thread count\n";
@@ -374,10 +509,15 @@ int main(int argc, char** argv) {
       path = arg;
     }
   }
+  if (!verify_store_dir.empty()) {
+    return run_verify_store(verify_store_dir);
+  }
   if (batch_dir.empty() && path.empty()) {
     std::cerr << "usage: msysc [--emit|--timeline|--cross-set|--search|--control|"
                  "--validate] [--trace out.json] [--stats] <file.mapp>\n"
-                 "       msysc --batch <dir> [-j N] [--trace out.json] [--stats]\n";
+                 "       msysc --batch <dir> [-j N] [--store dir] [--deadline-ms N]\n"
+                 "             [--retries N] [--trace out.json] [--stats]\n"
+                 "       msysc --verify-store <dir>\n";
     return kExitUsage;
   }
 
@@ -394,7 +534,7 @@ int main(int argc, char** argv) {
   int code;
   if (!batch_dir.empty()) {
     try {
-      code = run_batch(batch_dir, n_threads);
+      code = run_batch(batch_dir, n_threads, ft);
     } catch (const std::exception& e) {
       std::cerr << "msysc: internal error: " << e.what() << '\n';
       code = kExitInternal;

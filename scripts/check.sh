@@ -33,6 +33,32 @@ for preset in "${presets[@]}"; do
   echo "==> [$preset] test"
   ctest --preset "$preset" -j "$jobs"
 
+  # Fault-tolerance smoke: the persistent store round-trips across
+  # processes, injected torn writes are quarantined and repaired, and a
+  # stalled compile under --deadline-ms exits as structured infeasibility
+  # (3), never a crash.  Runs under every preset so the cancellation and
+  # single-flight paths also get a ThreadSanitizer pass.
+  echo "==> [$preset] fault-tolerance smoke (store / faults / deadline)"
+  bindir="build"
+  [ "$preset" = "tsan" ] && bindir="build-tsan"
+  msysc="./$bindir/examples/msysc"
+  smoke=$(mktemp -d)
+  "$msysc" --batch examples/apps --store "$smoke/store" >/dev/null
+  "$msysc" --batch examples/apps --store "$smoke/store" | grep -q "from store"
+  "$msysc" --verify-store "$smoke/store" >/dev/null
+  MSYS_FAULTS="seed=3;store.write.torn=always" \
+    "$msysc" --batch examples/apps --store "$smoke/torn" >/dev/null
+  "$msysc" --verify-store "$smoke/torn" >/dev/null
+  "$msysc" --batch examples/apps --store "$smoke/torn" >/dev/null
+  rc=0
+  MSYS_FAULTS="seed=7;engine.compile.stall=always:200" \
+    "$msysc" --batch examples/apps --deadline-ms 25 >/dev/null || rc=$?
+  [ "$rc" = "3" ]
+  rc=0
+  MSYS_FAULTS="garbage" "$msysc" --batch examples/apps >/dev/null 2>&1 || rc=$?
+  [ "$rc" = "1" ]
+  rm -rf "$smoke"
+
   if [ "$preset" = "default" ] && [ "${MSYS_SKIP_BENCH_GATE:-0}" != "1" ]; then
     echo "==> [$preset] bench gate (engine throughput vs BENCH_engine.json)"
     # Timings on a loaded box are noisy; a regression must reproduce on

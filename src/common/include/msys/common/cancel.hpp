@@ -1,0 +1,93 @@
+// Cooperative cancellation and wall-clock deadlines for long-running work.
+//
+// A CancelToken is a cheap, copyable view of a cancellation request: the
+// default-constructed token can never cancel (can_cancel() == false) and
+// costs nothing to check, so every API can accept one unconditionally.
+// Armed tokens come from two places:
+//
+//   * CancelSource — explicit cancellation.  The owner calls
+//     request_cancel(); every token handed out by the source observes it.
+//   * with_timeout()/with_deadline() — a *child* token that additionally
+//     fires when a wall-clock deadline passes.  The child still observes
+//     its parent, so "batch-wide cancel + per-job deadline" is one token.
+//
+// Checking is cooperative: workers poll cancelled() at loop boundaries
+// (the dsched RF scan and retention loops, the engine's in-flight waits)
+// and convert a firing into *structured data* — a "schedule.timeout" /
+// "schedule.cancelled" diagnostic — never into an exception.  cause()
+// reports which way the token fired; a deadline observed once is latched,
+// so every later check agrees.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace msys {
+
+/// Why a token fired (kNone while it has not).
+enum class CancelCause : std::uint8_t { kNone = 0, kCancelled = 1, kDeadline = 2 };
+
+[[nodiscard]] const char* to_string(CancelCause cause);
+
+namespace detail {
+struct CancelState;
+}  // namespace detail
+
+class CancelToken {
+ public:
+  /// The null token: can_cancel() is false and cancelled() is always
+  /// false, with no atomic or clock cost.
+  CancelToken() = default;
+
+  /// True when this token could ever fire (it has state to observe).
+  [[nodiscard]] bool can_cancel() const { return state_ != nullptr; }
+
+  /// True once the source cancelled or a deadline on the chain passed.
+  /// Latches: once true, always true, with a consistent cause().
+  [[nodiscard]] bool cancelled() const;
+
+  [[nodiscard]] CancelCause cause() const;
+
+  /// Human-readable cause ("" while not cancelled): "cancelled" or
+  /// "deadline exceeded" — the string the schedulers put in
+  /// infeasible_reason.
+  [[nodiscard]] const char* reason() const { return to_string(cause()); }
+
+  /// Child token that additionally fires at `deadline`; still observes
+  /// this token's source/deadlines.
+  [[nodiscard]] CancelToken with_deadline(
+      std::chrono::steady_clock::time_point deadline) const;
+  /// Convenience: deadline `budget` from now.
+  [[nodiscard]] CancelToken with_timeout(std::chrono::milliseconds budget) const;
+
+  /// A parentless deadline token (equivalent to
+  /// CancelToken{}.with_timeout(budget)).
+  [[nodiscard]] static CancelToken deadline_after(std::chrono::milliseconds budget);
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<detail::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// Owner side of explicit cancellation.  Copyable (copies share the
+/// request flag); thread-safe.
+class CancelSource {
+ public:
+  CancelSource();
+
+  [[nodiscard]] CancelToken token() const { return CancelToken{state_}; }
+
+  /// Idempotent; visible to every token derived from this source.
+  void request_cancel();
+
+  [[nodiscard]] bool cancel_requested() const;
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+}  // namespace msys

@@ -1,0 +1,49 @@
+// Bounded retry with exponential backoff and deterministic jitter, for
+// transient failures on cold paths (store I/O, nothing hotter).
+//
+// The policy is a *per-class budget*: each failure class (store reads,
+// store writes, ...) carries its own RetryPolicy, so one misbehaving class
+// cannot starve another's budget.  Jitter is drawn from a caller-supplied
+// Rng — deterministic under test, decorrelated across workers via
+// Rng::split in production.
+//
+// retry_with_backoff never throws and never swallows work: the operation
+// itself reports success/failure by returning bool (exceptions inside the
+// operation propagate — a throwing operation is a programming error, per
+// the project error contract).
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+#include "msys/common/cancel.hpp"
+#include "msys/common/rng.hpp"
+
+namespace msys {
+
+struct RetryPolicy {
+  /// Total tries including the first (>= 1 enforced).
+  int max_attempts{3};
+  /// Sleep before retry k (k >= 1) is min(base << (k-1), max_delay) plus
+  /// jitter in [0, that/2].
+  std::chrono::milliseconds base_delay{1};
+  std::chrono::milliseconds max_delay{50};
+};
+
+struct RetryStats {
+  int attempts{0};
+  std::chrono::milliseconds slept{std::chrono::milliseconds::zero()};
+  /// True when the loop stopped because `cancel` fired, not because the
+  /// budget ran out.
+  bool cancelled{false};
+};
+
+/// Runs `op` until it returns true, the attempt budget is spent, or
+/// `cancel` fires (checked before every attempt and during backoff
+/// sleeps).  Returns whether any attempt succeeded.
+bool retry_with_backoff(const RetryPolicy& policy, Rng& rng,
+                        const std::function<bool()>& op,
+                        const CancelToken& cancel = {},
+                        RetryStats* stats = nullptr);
+
+}  // namespace msys

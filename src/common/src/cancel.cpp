@@ -1,0 +1,83 @@
+#include "msys/common/cancel.hpp"
+
+#include <atomic>
+
+namespace msys {
+
+const char* to_string(CancelCause cause) {
+  switch (cause) {
+    case CancelCause::kNone: return "";
+    case CancelCause::kCancelled: return "cancelled";
+    case CancelCause::kDeadline: return "deadline exceeded";
+  }
+  return "";
+}
+
+namespace detail {
+
+/// One node of a cancellation chain: an explicit-cancel flag (shared by a
+/// CancelSource and its tokens) and/or a deadline added by with_deadline.
+/// `cause` latches the first observed firing so repeated checks agree.
+struct CancelState {
+  std::atomic<std::uint8_t> cause{0};
+  bool has_deadline{false};
+  std::chrono::steady_clock::time_point deadline{};
+  std::shared_ptr<CancelState> parent;
+
+  [[nodiscard]] CancelCause check() {
+    const std::uint8_t latched = cause.load(std::memory_order_relaxed);
+    if (latched != 0) return static_cast<CancelCause>(latched);
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      std::uint8_t expected = 0;
+      cause.compare_exchange_strong(
+          expected, static_cast<std::uint8_t>(CancelCause::kDeadline),
+          std::memory_order_relaxed);
+      return static_cast<CancelCause>(cause.load(std::memory_order_relaxed));
+    }
+    if (parent != nullptr) return parent->check();
+    return CancelCause::kNone;
+  }
+};
+
+}  // namespace detail
+
+bool CancelToken::cancelled() const {
+  return state_ != nullptr && state_->check() != CancelCause::kNone;
+}
+
+CancelCause CancelToken::cause() const {
+  return state_ == nullptr ? CancelCause::kNone : state_->check();
+}
+
+CancelToken CancelToken::with_deadline(
+    std::chrono::steady_clock::time_point deadline) const {
+  auto child = std::make_shared<detail::CancelState>();
+  child->has_deadline = true;
+  child->deadline = deadline;
+  child->parent = state_;
+  return CancelToken{std::move(child)};
+}
+
+CancelToken CancelToken::with_timeout(std::chrono::milliseconds budget) const {
+  return with_deadline(std::chrono::steady_clock::now() + budget);
+}
+
+CancelToken CancelToken::deadline_after(std::chrono::milliseconds budget) {
+  return CancelToken{}.with_timeout(budget);
+}
+
+CancelSource::CancelSource() : state_(std::make_shared<detail::CancelState>()) {}
+
+void CancelSource::request_cancel() {
+  std::uint8_t expected = 0;
+  state_->cause.compare_exchange_strong(
+      expected, static_cast<std::uint8_t>(CancelCause::kCancelled),
+      std::memory_order_relaxed);
+}
+
+bool CancelSource::cancel_requested() const {
+  return state_->cause.load(std::memory_order_relaxed) ==
+         static_cast<std::uint8_t>(CancelCause::kCancelled);
+}
+
+}  // namespace msys

@@ -1,0 +1,64 @@
+#include "msys/common/retry.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace msys {
+
+namespace {
+
+// Sleeps `total`, waking every few milliseconds to honour `cancel` so a
+// deadline firing mid-backoff does not pin the worker for the whole delay.
+// Returns false when the sleep was cut short by cancellation.
+bool interruptible_sleep(std::chrono::milliseconds total,
+                         const CancelToken& cancel) {
+  using std::chrono::milliseconds;
+  const auto deadline = std::chrono::steady_clock::now() + total;
+  const milliseconds slice{2};
+  while (true) {
+    if (cancel.cancelled()) return false;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return true;
+    const auto left =
+        std::chrono::duration_cast<milliseconds>(deadline - now);
+    std::this_thread::sleep_for(std::min(cancel.can_cancel() ? slice : left,
+                                         std::max(left, milliseconds{0})));
+  }
+}
+
+}  // namespace
+
+bool retry_with_backoff(const RetryPolicy& policy, Rng& rng,
+                        const std::function<bool()>& op,
+                        const CancelToken& cancel, RetryStats* stats) {
+  const int budget = std::max(policy.max_attempts, 1);
+  RetryStats local;
+  RetryStats& out = stats != nullptr ? *stats : local;
+  out = RetryStats{};
+
+  for (int attempt = 0; attempt < budget; ++attempt) {
+    if (cancel.cancelled()) {
+      out.cancelled = true;
+      return false;
+    }
+    if (attempt > 0) {
+      // min(base << (k-1), max) plus jitter in [0, delay/2] to decorrelate
+      // concurrent retriers hammering the same store.
+      auto delay = policy.base_delay;
+      for (int k = 1; k < attempt && delay < policy.max_delay; ++k) delay += delay;
+      delay = std::min(delay, policy.max_delay);
+      delay += std::chrono::milliseconds(static_cast<std::int64_t>(
+          rng.uniform(0, static_cast<std::uint64_t>(delay.count()) / 2)));
+      out.slept += delay;
+      if (!interruptible_sleep(delay, cancel)) {
+        out.cancelled = true;
+        return false;
+      }
+    }
+    ++out.attempts;
+    if (op()) return true;
+  }
+  return false;
+}
+
+}  // namespace msys

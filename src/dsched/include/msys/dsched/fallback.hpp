@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "msys/common/cancel.hpp"
 #include "msys/common/diagnostic.hpp"
 #include "msys/dsched/schedulers.hpp"
 
@@ -44,8 +45,14 @@ struct ScheduleOutcome {
   /// Non-empty exactly when no rung produced a feasible schedule; also
   /// carries converted internal errors (code "schedule.internal").
   Diagnostics diagnostics;
+  /// Why the chain was cut short, when it was: kDeadline for a per-job
+  /// deadline ("schedule.timeout" diagnostic), kCancelled for an explicit
+  /// cancel ("schedule.cancelled").  kNone for a chain that ran to its end.
+  CancelCause cancel_cause{CancelCause::kNone};
 
   [[nodiscard]] bool feasible() const { return schedule.feasible; }
+  /// True when the chain stopped at a cancellation/deadline checkpoint.
+  [[nodiscard]] bool cancelled() const { return cancel_cause != CancelCause::kNone; }
   /// Name of the winning rung; empty when infeasible.
   [[nodiscard]] std::string chosen_rung() const;
   /// One line, e.g. "CDS:fit-failed -> DS:ok(selected)".
@@ -60,9 +67,12 @@ struct FallbackOptions {
 
 /// Runs the CDS -> DS -> Basic -> DS+split ladder, stopping at the first
 /// feasible rung.  Never throws for infeasible or adversarial inputs; the
-/// returned outcome always explains what was tried.
+/// returned outcome always explains what was tried.  `cancel` is checked
+/// before every rung and inside the schedulers' loop checkpoints; a firing
+/// stops the ladder and reports a "schedule.timeout"/"schedule.cancelled"
+/// diagnostic with cancel_cause set — failure as data, never an exception.
 [[nodiscard]] ScheduleOutcome schedule_with_fallback(
     const extract::ScheduleAnalysis& analysis, const arch::M1Config& cfg,
-    const FallbackOptions& options = {});
+    const FallbackOptions& options = {}, const CancelToken& cancel = {});
 
 }  // namespace msys::dsched

@@ -92,6 +92,12 @@ struct DataSchedule {
   /// given machine (e.g. Basic Scheduler with MPEG in a 1K FB set).
   bool feasible{false};
   std::string infeasible_reason;
+  /// True when the scheduler stopped at a cooperative cancellation
+  /// checkpoint (deadline or explicit cancel) instead of finishing — the
+  /// schedule is then infeasible *because the work was cut short*, not
+  /// because the workload does not fit, and the fallback chain must stop
+  /// demoting rather than try cheaper rungs.
+  bool cancelled{false};
 
   /// Context-reuse factor actually achieved.
   std::uint32_t rf{1};
@@ -133,5 +139,11 @@ struct DataSchedule {
 [[nodiscard]] DataSchedule infeasible(std::string scheduler_name,
                                       const model::KernelSchedule& sched,
                                       std::string reason);
+
+/// Marks a schedule cut short by cancellation (helper for schedulers'
+/// cooperative checkpoints); `reason` is CancelToken::reason().
+[[nodiscard]] DataSchedule cancelled_schedule(std::string scheduler_name,
+                                              const model::KernelSchedule& sched,
+                                              std::string reason);
 
 }  // namespace msys::dsched

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "msys/arch/m1.hpp"
+#include "msys/common/cancel.hpp"
 #include "msys/dsched/alloc_driver.hpp"
 #include "msys/dsched/schedule_types.hpp"
 #include "msys/extract/analysis.hpp"
@@ -33,23 +34,35 @@ class DataSchedulerBase {
   virtual ~DataSchedulerBase() = default;
   [[nodiscard]] virtual std::string name() const = 0;
   /// Produces the data schedule (possibly infeasible) for `analysis` on
-  /// machine `cfg`.
+  /// machine `cfg`.  `cancel` is polled at the RF-scan and retention-loop
+  /// boundaries; a firing yields a cancelled (infeasible) schedule rather
+  /// than an exception.
   [[nodiscard]] virtual DataSchedule schedule(const extract::ScheduleAnalysis& analysis,
-                                              const arch::M1Config& cfg) const = 0;
+                                              const arch::M1Config& cfg,
+                                              const CancelToken& cancel) const = 0;
+  /// Convenience overload with no cancellation.
+  [[nodiscard]] DataSchedule schedule(const extract::ScheduleAnalysis& analysis,
+                                      const arch::M1Config& cfg) const {
+    return schedule(analysis, cfg, CancelToken{});
+  }
 };
 
 class BasicScheduler final : public DataSchedulerBase {
  public:
+  using DataSchedulerBase::schedule;
   [[nodiscard]] std::string name() const override { return "Basic"; }
   [[nodiscard]] DataSchedule schedule(const extract::ScheduleAnalysis& analysis,
-                                      const arch::M1Config& cfg) const override;
+                                      const arch::M1Config& cfg,
+                                      const CancelToken& cancel) const override;
 };
 
 class DataScheduler final : public DataSchedulerBase {
  public:
+  using DataSchedulerBase::schedule;
   [[nodiscard]] std::string name() const override { return "DS"; }
   [[nodiscard]] DataSchedule schedule(const extract::ScheduleAnalysis& analysis,
-                                      const arch::M1Config& cfg) const override;
+                                      const arch::M1Config& cfg,
+                                      const CancelToken& cancel) const override;
 };
 
 class CompleteDataScheduler final : public DataSchedulerBase {
@@ -74,9 +87,11 @@ class CompleteDataScheduler final : public DataSchedulerBase {
   CompleteDataScheduler() = default;
   explicit CompleteDataScheduler(Options options) : options_(options) {}
 
+  using DataSchedulerBase::schedule;
   [[nodiscard]] std::string name() const override { return "CDS"; }
   [[nodiscard]] DataSchedule schedule(const extract::ScheduleAnalysis& analysis,
-                                      const arch::M1Config& cfg) const override;
+                                      const arch::M1Config& cfg,
+                                      const CancelToken& cancel) const override;
 
  private:
   Options options_{};
@@ -89,16 +104,20 @@ class PlanCache;
 /// even RF = 1 does not fit.  Feasibility is monotone in RF, so the search
 /// is an exponential probe + binary search — O(log max_rf) walks, not the
 /// O(max_rf) linear scan it replaces (behaviour-identical; see
-/// tests/dsched/rf_search_property_test.cpp).
+/// tests/dsched/rf_search_property_test.cpp).  If `cancel` fires mid-search
+/// the best *known-feasible* RF so far is returned (conservative, never
+/// wrong); the caller's own checkpoint decides whether to abandon the run.
 [[nodiscard]] std::uint32_t compute_max_rf(const extract::ScheduleAnalysis& analysis,
                                            const arch::M1Config& cfg,
-                                           DriverOptions base_options);
+                                           DriverOptions base_options,
+                                           const CancelToken& cancel = {});
 
 /// Same search against a caller-owned plan memo, so a scheduler's later
 /// re-plans at probed RFs become cache hits instead of fresh walks.
 [[nodiscard]] std::uint32_t compute_max_rf(const extract::ScheduleAnalysis& analysis,
                                            const arch::M1Config& cfg,
-                                           DriverOptions base_options, PlanCache& plans);
+                                           DriverOptions base_options, PlanCache& plans,
+                                           const CancelToken& cancel = {});
 
 /// All three schedulers, in Basic, DS, CDS order (reporting convenience).
 [[nodiscard]] std::vector<std::unique_ptr<DataSchedulerBase>> all_schedulers();

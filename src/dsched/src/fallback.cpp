@@ -67,11 +67,13 @@ std::string ScheduleOutcome::chain_summary() const {
 
 ScheduleOutcome schedule_with_fallback(const extract::ScheduleAnalysis& analysis,
                                        const arch::M1Config& cfg,
-                                       const FallbackOptions& options) {
+                                       const FallbackOptions& options,
+                                       const CancelToken& cancel) {
   MSYS_TRACE_SPAN(span, "dsched.fallback", "dsched");
   static obs::Counter& chains = obs::counter("dsched.fallback.chains");
   static obs::Counter& demotions = obs::counter("dsched.fallback.demotions");
   static obs::Counter& exhausted = obs::counter("dsched.fallback.exhausted");
+  static obs::Counter& cancelled_chains = obs::counter("dsched.fallback.cancelled");
   chains.add();
   ScheduleOutcome outcome;
 
@@ -82,10 +84,13 @@ ScheduleOutcome schedule_with_fallback(const extract::ScheduleAnalysis& analysis
   };
   std::vector<Rung> rungs;
   rungs.push_back({"CDS", [&] {
-                     return CompleteDataScheduler{options.cds}.schedule(analysis, cfg);
+                     return CompleteDataScheduler{options.cds}.schedule(analysis, cfg,
+                                                                        cancel);
                    }});
-  rungs.push_back({"DS", [&] { return DataScheduler{}.schedule(analysis, cfg); }});
-  rungs.push_back({"Basic", [&] { return BasicScheduler{}.schedule(analysis, cfg); }});
+  rungs.push_back(
+      {"DS", [&] { return DataScheduler{}.schedule(analysis, cfg, cancel); }});
+  rungs.push_back(
+      {"Basic", [&] { return BasicScheduler{}.schedule(analysis, cfg, cancel); }});
   if (options.enable_split_rung) {
     rungs.push_back({"DS+split", [&] { return split_rung_schedule(analysis, cfg); }});
   }
@@ -96,6 +101,17 @@ ScheduleOutcome schedule_with_fallback(const extract::ScheduleAnalysis& analysis
     if (outcome.feasible()) {
       attempt.attempted = false;
       attempt.reason = "not reached";
+      outcome.attempts.push_back(std::move(attempt));
+      continue;
+    }
+    // A deadline or cancel that fired stops the ladder: a cheaper rung
+    // would only burn more of a budget that is already spent, and a result
+    // computed after the deadline is a lie about what the deadline bought.
+    if (outcome.cancelled() || cancel.cancelled()) {
+      outcome.cancel_cause =
+          outcome.cancelled() ? outcome.cancel_cause : cancel.cause();
+      attempt.attempted = false;
+      attempt.reason = "cancelled";
       outcome.attempts.push_back(std::move(attempt));
       continue;
     }
@@ -113,9 +129,17 @@ ScheduleOutcome schedule_with_fallback(const extract::ScheduleAnalysis& analysis
         attempt.reason = candidate.infeasible_reason.empty()
                              ? "infeasible"
                              : candidate.infeasible_reason;
-        // Keep the most ambitious rung's record as the reported schedule
-        // so the caller still sees scheduler_name/reason when all fail.
-        if (outcome.schedule.scheduler_name.empty()) {
+        if (candidate.cancelled) {
+          // The rung was cut short, not beaten: latch the cause so the
+          // remaining rungs are skipped, and prefer the cut-short record
+          // as the reported schedule (it names the cancellation).
+          outcome.cancel_cause = cancel.can_cancel() && cancel.cancelled()
+                                     ? cancel.cause()
+                                     : CancelCause::kCancelled;
+          outcome.schedule = std::move(candidate);
+        } else if (outcome.schedule.scheduler_name.empty()) {
+          // Keep the most ambitious rung's record as the reported schedule
+          // so the caller still sees scheduler_name/reason when all fail.
           outcome.schedule = std::move(candidate);
         }
       }
@@ -137,11 +161,22 @@ ScheduleOutcome schedule_with_fallback(const extract::ScheduleAnalysis& analysis
   }
 
   if (!outcome.feasible()) {
-    exhausted.add();
-    std::ostringstream why;
-    why << "no scheduler rung fits this workload on " << cfg.name << " (fbset="
-        << cfg.fb_set_size.value() << " words): " << outcome.chain_summary();
-    outcome.diagnostics.push_back(make_error("schedule.infeasible", why.str()));
+    if (outcome.cancelled()) {
+      cancelled_chains.add();
+      std::ostringstream why;
+      why << "scheduling " << to_string(outcome.cancel_cause) << " on " << cfg.name
+          << ": " << outcome.chain_summary();
+      outcome.diagnostics.push_back(make_error(
+          outcome.cancel_cause == CancelCause::kDeadline ? "schedule.timeout"
+                                                         : "schedule.cancelled",
+          why.str()));
+    } else {
+      exhausted.add();
+      std::ostringstream why;
+      why << "no scheduler rung fits this workload on " << cfg.name << " (fbset="
+          << cfg.fb_set_size.value() << " words): " << outcome.chain_summary();
+      outcome.diagnostics.push_back(make_error("schedule.infeasible", why.str()));
+    }
   }
   if (span.active()) {
     span.add_arg(obs::arg("chosen", outcome.chosen_rung()));

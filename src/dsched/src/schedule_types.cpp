@@ -68,4 +68,12 @@ DataSchedule infeasible(std::string scheduler_name, const model::KernelSchedule&
   return out;
 }
 
+DataSchedule cancelled_schedule(std::string scheduler_name,
+                                const model::KernelSchedule& sched,
+                                std::string reason) {
+  DataSchedule out = infeasible(std::move(scheduler_name), sched, std::move(reason));
+  out.cancelled = true;
+  return out;
+}
+
 }  // namespace msys::dsched

@@ -34,14 +34,15 @@ DataSchedule finish(std::string name, const ScheduleAnalysis& analysis,
 }  // namespace
 
 std::uint32_t compute_max_rf(const ScheduleAnalysis& analysis, const arch::M1Config& cfg,
-                             DriverOptions base_options) {
+                             DriverOptions base_options, const CancelToken& cancel) {
   PlanCache plans(analysis, cfg.fb_set_size);
-  return compute_max_rf(analysis, cfg, std::move(base_options), plans);
+  return compute_max_rf(analysis, cfg, std::move(base_options), plans, cancel);
 }
 
 std::uint32_t compute_max_rf(const ScheduleAnalysis& analysis,
                              const arch::M1Config& /*cfg: PlanCache carries fb_set_size*/,
-                             DriverOptions base_options, PlanCache& plans) {
+                             DriverOptions base_options, PlanCache& plans,
+                             const CancelToken& cancel) {
   const std::uint32_t max_rf = analysis.app().total_iterations();
   if (max_rf == 0) return 0;
   auto feasible = [&](std::uint32_t rf) {
@@ -60,6 +61,9 @@ std::uint32_t compute_max_rf(const ScheduleAnalysis& analysis,
   std::uint64_t lo = 1;                                    // known feasible
   std::uint64_t hi = static_cast<std::uint64_t>(max_rf) + 1;  // first known-bad
   for (std::uint64_t probe = 2; probe < hi; probe *= 2) {
+    // Cancellation checkpoint: `lo` is always a *verified* feasible RF, so
+    // abandoning the search here returns correct (merely suboptimal) data.
+    if (cancel.cancelled()) return static_cast<std::uint32_t>(lo);
     if (feasible(static_cast<std::uint32_t>(probe))) {
       lo = probe;
     } else {
@@ -68,6 +72,7 @@ std::uint32_t compute_max_rf(const ScheduleAnalysis& analysis,
     }
   }
   while (hi - lo > 1) {
+    if (cancel.cancelled()) return static_cast<std::uint32_t>(lo);
     const std::uint64_t mid = lo + (hi - lo) / 2;
     if (feasible(static_cast<std::uint32_t>(mid))) {
       lo = mid;
@@ -88,7 +93,7 @@ namespace {
 /// the larger RF, the paper's preference).
 std::uint32_t pick_rf_by_cost(const ScheduleAnalysis& analysis, const arch::M1Config& cfg,
                               DriverOptions options, std::uint32_t max_feasible_rf,
-                              PlanCache& plans) {
+                              PlanCache& plans, const CancelToken& cancel = {}) {
   MSYS_TRACE_SPAN(span, "dsched.pick_rf", "dsched");
   static obs::Counter& rf_evaluated = obs::counter("dsched.rf.candidates_evaluated");
   const csched::ContextPlan ctx_plan =
@@ -97,6 +102,9 @@ std::uint32_t pick_rf_by_cost(const ScheduleAnalysis& analysis, const arch::M1Co
   std::uint32_t best_rf = 0;
   Cycles best_cost = Cycles::max();
   for (std::uint32_t rf = 1; rf <= max_feasible_rf; ++rf) {
+    // Checkpoint per candidate: every RF already costed is usable, so the
+    // scan degrades to "best of what was evaluated".
+    if (cancel.cancelled()) break;
     options.rf = rf;
     DriverResult result = plans.plan(options);
     MSYS_REQUIRE(result.ok, "RF below the feasible maximum must plan");
@@ -119,9 +127,13 @@ std::uint32_t pick_rf_by_cost(const ScheduleAnalysis& analysis, const arch::M1Co
 }  // namespace
 
 DataSchedule BasicScheduler::schedule(const ScheduleAnalysis& analysis,
-                                      const arch::M1Config& cfg) const {
+                                      const arch::M1Config& cfg,
+                                      const CancelToken& cancel) const {
   MSYS_TRACE_SPAN(span, "dsched.basic", "dsched");
   obs::counter("dsched.runs.basic").add();
+  if (cancel.cancelled()) {
+    return cancelled_schedule(name(), analysis.sched(), cancel.reason());
+  }
   DriverOptions options;
   options.rf = 1;
   options.release_at_last_use = false;  // no replacement within a cluster
@@ -131,18 +143,28 @@ DataSchedule BasicScheduler::schedule(const ScheduleAnalysis& analysis,
 }
 
 DataSchedule DataScheduler::schedule(const ScheduleAnalysis& analysis,
-                                     const arch::M1Config& cfg) const {
+                                     const arch::M1Config& cfg,
+                                     const CancelToken& cancel) const {
   MSYS_TRACE_SPAN(span, "dsched.ds", "dsched");
   obs::counter("dsched.runs.ds").add();
+  if (cancel.cancelled()) {
+    return cancelled_schedule(name(), analysis.sched(), cancel.reason());
+  }
   DriverOptions options;
   options.release_at_last_use = true;
   PlanCache plans(analysis, cfg.fb_set_size);
-  const std::uint32_t max_rf = compute_max_rf(analysis, cfg, options, plans);
+  const std::uint32_t max_rf = compute_max_rf(analysis, cfg, options, plans, cancel);
   if (max_rf == 0) {
+    if (cancel.cancelled()) {
+      return cancelled_schedule(name(), analysis.sched(), cancel.reason());
+    }
     return infeasible(name(), analysis.sched(),
                       "a cluster does not fit the FB set even at RF=1");
   }
-  options.rf = pick_rf_by_cost(analysis, cfg, options, max_rf, plans);
+  options.rf = pick_rf_by_cost(analysis, cfg, options, max_rf, plans, cancel);
+  if (cancel.cancelled()) {
+    return cancelled_schedule(name(), analysis.sched(), cancel.reason());
+  }
   if (span.active()) span.add_arg(obs::arg("rf", std::uint64_t{options.rf}));
   DriverResult result = plans.plan(options);  // memo hit from the RF scan
   MSYS_REQUIRE(result.ok, "re-planning at the feasible RF must succeed");
@@ -150,14 +172,21 @@ DataSchedule DataScheduler::schedule(const ScheduleAnalysis& analysis,
 }
 
 DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
-                                             const arch::M1Config& cfg) const {
+                                             const arch::M1Config& cfg,
+                                             const CancelToken& cancel) const {
   MSYS_TRACE_SPAN(span, "dsched.cds", "dsched");
   obs::counter("dsched.runs.cds").add();
+  if (cancel.cancelled()) {
+    return cancelled_schedule(name(), analysis.sched(), cancel.reason());
+  }
   DriverOptions options;
   options.release_at_last_use = true;
   PlanCache plans(analysis, cfg.fb_set_size);
-  const std::uint32_t max_rf = compute_max_rf(analysis, cfg, options, plans);
+  const std::uint32_t max_rf = compute_max_rf(analysis, cfg, options, plans, cancel);
   if (max_rf == 0) {
+    if (cancel.cancelled()) {
+      return cancelled_schedule(name(), analysis.sched(), cancel.reason());
+    }
     return infeasible(name(), analysis.sched(),
                       "a cluster does not fit the FB set even at RF=1");
   }
@@ -206,6 +235,10 @@ DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
     DriverResult best = plans.plan(opt);
     MSYS_REQUIRE(best.ok, "re-planning at a feasible RF must succeed");
     for (const RetentionCandidate& cand : candidates) {
+      // Checkpoint per retention candidate: the set kept so far already
+      // re-planned feasibly, so breaking leaves (opt, best) consistent;
+      // the caller's checkpoint turns the firing into a cancelled result.
+      if (cancel.cancelled()) break;
       opt.retained.insert(cand.data);
       const DriverResult& attempt = plans.plan(opt);
       if (attempt.ok) {
@@ -228,7 +261,11 @@ DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
   if (!options_.joint_rf_retention) {
     // §4: secure the cheapest RF first (context-transfer minimisation
     // dominates), then spend remaining FB space on retention.
-    auto [opt, best] = retain_at_rf(pick_rf_by_cost(analysis, cfg, options, max_rf, plans));
+    auto [opt, best] =
+        retain_at_rf(pick_rf_by_cost(analysis, cfg, options, max_rf, plans, cancel));
+    if (cancel.cancelled()) {
+      return cancelled_schedule(name(), analysis.sched(), cancel.reason());
+    }
     return finish(name(), analysis, opt, std::move(best));
   }
 
@@ -238,6 +275,7 @@ DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
   std::optional<DataSchedule> best_schedule;
   Cycles best_cost = Cycles::max();
   for (std::uint32_t rf = 1; rf <= max_rf; ++rf) {
+    if (cancel.cancelled()) break;
     auto [opt, result] = retain_at_rf(rf);
     DataSchedule candidate = finish(name(), analysis, opt, std::move(result));
     if (!ctx_plan.feasible()) {
@@ -251,6 +289,9 @@ DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
       best_cost = cost.total;
       best_schedule = std::move(candidate);
     }
+  }
+  if (cancel.cancelled()) {
+    return cancelled_schedule(name(), analysis.sched(), cancel.reason());
   }
   MSYS_REQUIRE(best_schedule.has_value(), "at least RF=1 must produce a schedule");
   return std::move(*best_schedule);

@@ -4,15 +4,21 @@
 //
 // Per-job failure is data: an infeasible (or internally erroring) job
 // yields a JobResult whose outcome carries diagnostics — one bad job never
-// aborts the batch.  The runner also runs correctly with no cache (every
-// job computed) and with a pool of one thread (serial semantics), which is
-// how the determinism tests pin "parallel == serial".
+// aborts the batch.  The same convention covers the fault-tolerance paths:
+// a job whose per-job deadline expires yields a "schedule.timeout" result
+// (optionally retried, RunOptions::retries), and a job the pool refuses
+// (shutdown race) yields an "engine.pool.refused" result — both counted in
+// BatchStats, neither aborting the batch.  The runner also runs correctly
+// with no cache (every job computed) and with a pool of one thread (serial
+// semantics), which is how the determinism tests pin "parallel == serial".
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "msys/common/cancel.hpp"
 #include "msys/engine/job.hpp"
 #include "msys/engine/schedule_cache.hpp"
 #include "msys/engine/thread_pool.hpp"
@@ -25,8 +31,29 @@ struct JobResult {
   std::shared_ptr<const CompiledResult> result;
   std::uint64_t key{0};
   bool cache_hit{false};
+  /// Which tier served the result (kCompute for a fresh compile, a
+  /// synthesized timeout, or a refused job).
+  CacheTier tier{CacheTier::kCompute};
 
   [[nodiscard]] bool feasible() const { return result != nullptr && result->feasible(); }
+  /// True when the job's outcome was cut short by a deadline/cancel.
+  [[nodiscard]] bool cancelled() const {
+    return result != nullptr && result->outcome.cancelled();
+  }
+};
+
+/// Knobs for one run() call.
+struct RunOptions {
+  /// Batch-wide cancellation (e.g. the CLI's Ctrl-C source); per-job
+  /// deadlines chain onto it.
+  CancelToken cancel;
+  /// Wall-clock budget per job attempt, measured from the moment a worker
+  /// picks the job up; zero => no deadline.
+  std::chrono::milliseconds job_deadline{0};
+  /// Extra attempts for a job whose attempt was cut short by its *own*
+  /// deadline (each retry gets a fresh deadline).  Batch-wide cancellation
+  /// is never retried — that budget is gone.
+  int retries{0};
 };
 
 /// Per-batch accounting, filled by BatchRunner::run.  Latencies are the
@@ -39,6 +66,16 @@ struct BatchStats {
   std::size_t cache_hits{0};
   std::size_t cache_misses{0};
   std::size_t infeasible{0};
+  /// Memory misses served from the persistent store.
+  std::size_t disk_hits{0};
+  /// Jobs whose final result is a deadline timeout ("schedule.timeout").
+  std::size_t timeouts{0};
+  /// Jobs cut short by batch-wide cancellation ("schedule.cancelled").
+  std::size_t cancelled{0};
+  /// Deadline re-attempts actually run (RunOptions::retries).
+  std::size_t retries{0};
+  /// Jobs the pool refused at submit (answered with "engine.pool.refused").
+  std::size_t submit_refused{0};
   /// Wall time of the whole run() call.
   double wall_ms{0.0};
   double hit_latency_ms_total{0.0};
@@ -64,13 +101,20 @@ class BatchRunner {
   explicit BatchRunner(ThreadPool& pool, ScheduleCache* cache = nullptr)
       : pool_(&pool), cache_(cache) {}
 
-  /// Runs every job; results[i] always corresponds to jobs[i].  Blocks
-  /// until the whole batch finished.  Thread-safe for the caller in the
-  /// sense that concurrent run() calls on one runner share the pool and
-  /// cache but keep their batches separate.  `stats`, when given, receives
-  /// this batch's accounting (overwritten, not accumulated).
+  /// Runs every job; results[i] always corresponds to jobs[i] and
+  /// results[i].result is never null — timeouts, cancellations and pool
+  /// refusals come back as structured per-job results.  Blocks until the
+  /// whole batch finished.  Thread-safe for the caller in the sense that
+  /// concurrent run() calls on one runner share the pool and cache but
+  /// keep their batches separate.  `stats`, when given, receives this
+  /// batch's accounting (overwritten, not accumulated).
   [[nodiscard]] std::vector<JobResult> run(const std::vector<Job>& jobs,
+                                           const RunOptions& options,
                                            BatchStats* stats = nullptr);
+  [[nodiscard]] std::vector<JobResult> run(const std::vector<Job>& jobs,
+                                           BatchStats* stats = nullptr) {
+    return run(jobs, RunOptions{}, stats);
+  }
 
  private:
   ThreadPool* pool_;

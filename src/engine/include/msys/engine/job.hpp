@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "msys/arch/m1.hpp"
+#include "msys/common/cancel.hpp"
 #include "msys/dsched/cost.hpp"
 #include "msys/dsched/fallback.hpp"
 #include "msys/model/application.hpp"
@@ -88,7 +89,21 @@ struct CompiledResult {
 /// Executes one job.  Pure (same job content => same result) and total:
 /// infeasibility and internal scheduler errors come back as data in the
 /// outcome's diagnostics ("schedule.infeasible" / "schedule.internal"),
-/// never as an exception.
-[[nodiscard]] std::shared_ptr<const CompiledResult> compile_job(const Job& job);
+/// never as an exception.  `cancel` is threaded into the schedulers'
+/// cooperative checkpoints; a firing yields a result whose outcome carries
+/// cancel_cause and a "schedule.timeout"/"schedule.cancelled" diagnostic.
+[[nodiscard]] std::shared_ptr<const CompiledResult> compile_job(
+    const Job& job, const CancelToken& cancel = {});
+
+/// Synthesizes the structured result for a job whose compute never ran (or
+/// whose waiter stopped waiting) because `cause` fired: infeasible,
+/// outcome.cancel_cause set, one "schedule.timeout"/"schedule.cancelled"
+/// diagnostic.  Used by BatchRunner for deadline expiry — failure as data.
+[[nodiscard]] std::shared_ptr<const CompiledResult> make_cancelled_result(
+    const Job& job, CancelCause cause);
+
+/// Synthesizes the structured result for a job the ThreadPool refused to
+/// accept (pool shutting down): one "engine.pool.refused" diagnostic.
+[[nodiscard]] std::shared_ptr<const CompiledResult> make_refused_result(const Job& job);
 
 }  // namespace msys::engine

@@ -9,8 +9,11 @@
 // Concurrency: the key space is split across `shards` independently locked
 // LRU maps (shard = mixed key bits), so concurrent lookups on different
 // keys rarely contend on one mutex.  Each shard is LRU-bounded at
-// capacity/shards entries; hit/miss/eviction/insert counters are kept per
-// shard and summed on stats().
+// capacity/shards entries.  Statistics are instance-level relaxed atomics
+// (not per-shard structs): stats() is a lock-free read, and a named cache
+// (Config::name) additionally mirrors every event into tagged obs
+// counters ("engine.cache.<name>.*") so long-running processes can watch
+// per-cache rates, not just the process-wide aggregate.
 //
 // Cold misses are *single-flight*: the first thread to miss on a key
 // registers an in-flight entry and computes; every later arrival on the
@@ -23,6 +26,22 @@
 // and positive thread scaling: without it every worker that misses burns a
 // full compile on work another worker is already doing.
 //
+// Persistence: a cache constructed with Config::store gains a disk tier.
+// The single-flight winner consults the store before compiling (so a
+// thundering herd on one key costs at most one disk read) and persists
+// freshly computed, persistable results after inserting them; a payload
+// that frames correctly but fails semantic decoding is quarantined exactly
+// like a checksum failure and recomputed.  The store is strictly
+// second-tier: memory hits never touch it.
+//
+// Cancellation: get_or_compile takes a CancelToken.  The winner threads it
+// into the compute (compile_job's cooperative checkpoints); a *waiter*
+// whose token fires while the winner is still computing stops waiting and
+// returns nullptr — the caller synthesizes a structured timeout result.
+// Cancelled results are never inserted into the cache or the store (the
+// key stays retryable); waiters coalesced onto a winner still receive
+// whatever the winner produced.
+//
 // insert() itself stays first-writer-wins for direct users: a duplicate
 // insert is dropped but counted (Stats::duplicate_inserts — the
 // wasted-compute signal a capacity planner watches; ~0 now that
@@ -32,27 +51,50 @@
 // mid-storm.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "msys/common/cancel.hpp"
 #include "msys/engine/job.hpp"
+#include "msys/store/disk_store.hpp"
+
+namespace msys::obs {
+class Counter;
+}  // namespace msys::obs
 
 namespace msys::engine {
+
+/// Where a get_or_compile result came from (cheapest to costliest).
+enum class CacheTier : std::uint8_t { kMemory, kDisk, kCompute };
+
+[[nodiscard]] const char* to_string(CacheTier tier);
 
 class ScheduleCache {
  public:
   struct Config {
+    Config() = default;
+    Config(std::size_t capacity_in, std::size_t shards_in)
+        : capacity(capacity_in), shards(shards_in) {}
+
     /// Total entry bound across all shards (>= 1 enforced).
     std::size_t capacity{1024};
     /// Independently locked LRU segments (>= 1 enforced; default suits a
     /// handful of worker threads).
     std::size_t shards{8};
+    /// Optional persistent second tier (see file comment); shared so
+    /// several caches/processes may point at one directory.
+    std::shared_ptr<store::DiskScheduleStore> store;
+    /// Non-empty => mirror stats into "engine.cache.<name>.*" obs
+    /// counters, tagging this instance in long-run metrics snapshots.
+    std::string name;
   };
 
   struct Stats {
@@ -69,6 +111,8 @@ class ScheduleCache {
     /// Coalesced misses that actually blocked (the in-flight result was
     /// not ready yet when they arrived).
     std::uint64_t inflight_waits{0};
+    /// Memory misses served by decoding a persisted entry (disk tier).
+    std::uint64_t disk_hits{0};
     std::uint64_t entries{0};
 
     [[nodiscard]] double hit_rate() const {
@@ -81,7 +125,7 @@ class ScheduleCache {
   explicit ScheduleCache(Config config);
 
   /// Returns the cached result for `key` (refreshing its LRU position), or
-  /// nullptr on miss.  Counts one hit or one miss.
+  /// nullptr on miss.  Counts one hit or one miss.  Memory tier only.
   [[nodiscard]] std::shared_ptr<const CompiledResult> lookup(std::uint64_t key);
 
   /// Inserts `result` under `key` unless the key is already present
@@ -91,28 +135,38 @@ class ScheduleCache {
   /// entry's LRU recency.
   void insert(std::uint64_t key, std::shared_ptr<const CompiledResult> result);
 
-  /// Memoized compile: lookup, compute-and-insert on miss.  Concurrent
-  /// misses on one key are single-flight — exactly one caller runs
-  /// compile_job, the rest block on its result.  `*was_hit` (optional)
-  /// reports whether the result came from the cache (a coalesced wait
-  /// reports a miss: the caller arrived before the value existed).
+  /// Memoized compile: lookup, compute-and-insert on miss, with the disk
+  /// tier consulted between the two when configured.  Concurrent misses on
+  /// one key are single-flight — exactly one caller runs compile_job, the
+  /// rest block on its result.  `*was_hit` (optional) reports whether the
+  /// result came from the in-memory cache (a coalesced wait or a disk hit
+  /// reports a miss); `*tier` (optional) reports the serving tier.
+  /// Returns nullptr only when `cancel` fired while this caller was
+  /// waiting on another thread's computation.
   [[nodiscard]] std::shared_ptr<const CompiledResult> get_or_compile(
-      const Job& job, bool* was_hit = nullptr);
+      const Job& job, bool* was_hit = nullptr, const CancelToken& cancel = {},
+      CacheTier* tier = nullptr);
 
   /// Produces a result for a key on the first miss.  Must be pure with
   /// respect to the key: every caller racing on one key receives the one
-  /// result the in-flight winner computed.
+  /// result the in-flight winner computed.  May return nullptr (e.g. a
+  /// cancelled compute); nullptr is handed to waiters but never cached.
   using ComputeFn = std::function<std::shared_ptr<const CompiledResult>()>;
 
   /// Single-flight core, exposed for callers (and tests) that key jobs
   /// themselves: behaves exactly like get_or_compile(job) with
-  /// `key == cache_key(job)` and `compute == [&]{ return compile_job(job); }`.
+  /// `key == cache_key(job)` and `compute == [&]{ return compile_job(job); }`,
+  /// except that the disk tier is NOT consulted (the caller's compute owns
+  /// the whole miss path).
   [[nodiscard]] std::shared_ptr<const CompiledResult> get_or_compile(
-      std::uint64_t key, const ComputeFn& compute, bool* was_hit = nullptr);
+      std::uint64_t key, const ComputeFn& compute, bool* was_hit = nullptr,
+      const CancelToken& cancel = {});
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// The disk tier, or nullptr when this cache is memory-only.
+  [[nodiscard]] store::DiskScheduleStore* store() const { return config_.store.get(); }
 
  private:
   struct Entry {
@@ -126,20 +180,50 @@ class ScheduleCache {
     std::shared_future<std::shared_ptr<const CompiledResult>> future{
         promise.get_future().share()};
   };
-  /// One locked LRU segment: list front == most recently used.
+  /// One locked LRU segment: list front == most recently used.  Statistics
+  /// live on the instance (StatCells), not here.
   struct Shard {
     mutable std::mutex mu;
     std::list<Entry> lru;
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
     std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight;
-    Stats stats;
   };
+  /// Instance-level event cells: relaxed atomics bumped lock-free from any
+  /// shard, read wholesale by stats().
+  struct StatCells {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> inserts{0};
+    std::atomic<std::uint64_t> duplicate_inserts{0};
+    std::atomic<std::uint64_t> inflight_coalesced{0};
+    std::atomic<std::uint64_t> inflight_waits{0};
+    std::atomic<std::uint64_t> disk_hits{0};
+  };
+
+  enum class Event : std::uint8_t {
+    kHit,
+    kMiss,
+    kEviction,
+    kInsert,
+    kDuplicateInsert,
+    kInflightCoalesced,
+    kInflightWait,
+    kDiskHit,
+  };
+  /// Bumps the instance cell, the process-wide counter and (when named)
+  /// the tagged counter for one event.
+  void count(Event event);
 
   [[nodiscard]] Shard& shard_for(std::uint64_t key);
 
+  Config config_;
   std::size_t capacity_;
   std::size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  StatCells cells_;
+  /// Tagged per-instance counters, index == Event; empty when unnamed.
+  std::vector<obs::Counter*> tagged_;
 };
 
 }  // namespace msys::engine

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "msys/common/error.hpp"
+#include "msys/obs/metrics.hpp"
 #include "msys/obs/trace.hpp"
 
 namespace msys::engine {
@@ -28,14 +29,25 @@ std::string BatchStats::summary() const {
   out << jobs << " jobs in " << wall_ms << "ms: " << cache_hits << " hits ("
       << avg_hit_ms() << "ms avg), " << cache_misses << " compiles (" << avg_miss_ms()
       << "ms avg), " << infeasible << " infeasible";
+  if (disk_hits > 0) out << ", " << disk_hits << " from store";
+  if (timeouts > 0) out << ", " << timeouts << " timed out";
+  if (cancelled > 0) out << ", " << cancelled << " cancelled";
+  if (retries > 0) out << ", " << retries << " retries";
+  if (submit_refused > 0) out << ", " << submit_refused << " refused";
   return out.str();
 }
 
-std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs, BatchStats* stats) {
+std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs,
+                                        const RunOptions& options, BatchStats* stats) {
   MSYS_TRACE_SPAN(span, "engine.batch", "engine");
+  static obs::Counter& timeouts_counter = obs::counter("engine.jobs.timeouts");
+  static obs::Counter& cancelled_counter = obs::counter("engine.jobs.cancelled");
+  static obs::Counter& retry_counter = obs::counter("engine.retry.attempts");
+  static obs::Counter& refused_counter = obs::counter("engine.pool.submit_refused");
   const auto batch_start = std::chrono::steady_clock::now();
   std::vector<JobResult> results(jobs.size());
   std::vector<double> latency_ms(jobs.size(), 0.0);
+  std::vector<std::uint32_t> retry_attempts(jobs.size(), 0);
 
   // Per-batch completion latch: concurrent run() calls may share the pool,
   // so pool.wait_idle() would over-wait; count down our own jobs instead.
@@ -43,45 +55,100 @@ std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs, BatchStats
   std::condition_variable done_cv;
   std::size_t remaining = jobs.size();
 
+  auto run_one = [this, &jobs, &results, &latency_ms, &retry_attempts,
+                  &options](std::size_t i) {
+    const auto job_start = std::chrono::steady_clock::now();
+    const Job& job = jobs[i];
+    JobResult& out = results[i];
+    out.key = cache_key(job);
+    // One attempt per deadline budget: a fresh attempt (and fresh token)
+    // for each retry, so the Nth retry is not born already expired.
+    // Batch-wide cancellation is checked between attempts and stops them —
+    // only a *per-job* deadline earns another try.
+    const int budget = 1 + std::max(options.retries, 0);
+    for (int attempt = 0; attempt < budget; ++attempt) {
+      if (attempt > 0) retry_attempts[i] = static_cast<std::uint32_t>(attempt);
+      if (options.cancel.cancelled()) {
+        out.result = make_cancelled_result(job, options.cancel.cause());
+        out.tier = CacheTier::kCompute;
+        break;
+      }
+      CancelToken token = options.job_deadline.count() > 0
+                              ? options.cancel.with_timeout(options.job_deadline)
+                              : options.cancel;
+      if (cache_ != nullptr) {
+        out.result = cache_->get_or_compile(job, &out.cache_hit, token, &out.tier);
+      } else {
+        out.result = compile_job(job, token);
+        out.tier = CacheTier::kCompute;
+      }
+      if (out.result == nullptr) {
+        // Waiter cut loose mid-wait: synthesize the structured result.
+        out.result = make_cancelled_result(job, token.cause());
+        out.cache_hit = false;
+        out.tier = CacheTier::kCompute;
+      }
+      if (!out.result->outcome.cancelled()) break;
+      // A deadline spent on *this* attempt: retry only if that is what
+      // fired (not the batch-wide cancel, which the loop head re-checks).
+    }
+    latency_ms[i] = ms_since(job_start);
+  };
+
   std::size_t accepted = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const bool ok =
-        pool_->submit([this, &jobs, &results, &latency_ms, &mu, &done_cv, &remaining, i] {
-          const auto job_start = std::chrono::steady_clock::now();
-          const Job& job = jobs[i];
-          JobResult& out = results[i];
-          if (cache_ != nullptr) {
-            out.key = cache_key(job);
-            out.result = cache_->get_or_compile(job, &out.cache_hit);
-          } else {
-            out.key = cache_key(job);
-            out.result = compile_job(job);
-          }
-          latency_ms[i] = ms_since(job_start);
-          std::lock_guard<std::mutex> lock(mu);
-          if (--remaining == 0) done_cv.notify_all();
-        });
+    const bool ok = pool_->submit([&run_one, &mu, &done_cv, &remaining, i] {
+      run_one(i);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done_cv.notify_all();
+    });
     if (!ok) break;
     ++accepted;
   }
 
+  // A refused submit means the pool is shutting down under us.  That used
+  // to abort the whole batch via MSYS_REQUIRE; now every refused job gets
+  // a structured "engine.pool.refused" result — counted, never silent.
+  for (std::size_t i = accepted; i < jobs.size(); ++i) {
+    results[i].key = cache_key(jobs[i]);
+    results[i].result = make_refused_result(jobs[i]);
+    results[i].tier = CacheTier::kCompute;
+    refused_counter.add();
+  }
+
   {
-    // Wait for every *accepted* job even when a submit was rejected:
+    // Wait for every *accepted* job even when a submit was refused:
     // in-flight jobs reference this frame, so it must not unwind early.
     std::unique_lock<std::mutex> lock(mu);
     remaining -= jobs.size() - accepted;
     done_cv.wait(lock, [&] { return remaining == 0; });
   }
-  // The caller owns the pool and keeps it alive across run(), so a
-  // rejected submit means "run() during pool shutdown" — a caller bug
-  // surfaced here rather than as a silent hang or a half-null result set.
-  MSYS_REQUIRE(accepted == jobs.size(),
-               "BatchRunner::run on a ThreadPool that is shutting down");
+
+  std::size_t batch_timeouts = 0;
+  std::size_t batch_cancelled = 0;
+  std::size_t batch_retries = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (results[i].cancelled()) {
+      if (results[i].result->outcome.cancel_cause == CancelCause::kDeadline) {
+        ++batch_timeouts;
+      } else {
+        ++batch_cancelled;
+      }
+    }
+    batch_retries += retry_attempts[i];
+  }
+  timeouts_counter.add(batch_timeouts);
+  cancelled_counter.add(batch_cancelled);
+  retry_counter.add(batch_retries);
 
   if (stats != nullptr) {
     *stats = BatchStats{};
     stats->jobs = jobs.size();
     stats->wall_ms = ms_since(batch_start);
+    stats->timeouts = batch_timeouts;
+    stats->cancelled = batch_cancelled;
+    stats->retries = batch_retries;
+    stats->submit_refused = jobs.size() - accepted;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       if (results[i].cache_hit) {
         ++stats->cache_hits;
@@ -90,6 +157,7 @@ std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs, BatchStats
         ++stats->cache_misses;
         stats->miss_latency_ms_total += latency_ms[i];
       }
+      if (results[i].tier == CacheTier::kDisk) ++stats->disk_hits;
       if (!results[i].feasible()) ++stats->infeasible;
     }
   }

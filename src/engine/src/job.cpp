@@ -1,10 +1,13 @@
 #include "msys/engine/job.hpp"
 
+#include <chrono>
 #include <exception>
+#include <thread>
 #include <utility>
 
 #include "msys/common/diagnostic.hpp"
 #include "msys/common/error.hpp"
+#include "msys/common/fault_injector.hpp"
 #include "msys/common/hash.hpp"
 #include "msys/csched/context_plan.hpp"
 #include "msys/dsched/schedulers.hpp"
@@ -72,16 +75,24 @@ namespace {
 /// that every SchedulerKind yields the same result type.
 dsched::ScheduleOutcome run_single(const dsched::DataSchedulerBase& scheduler,
                                    const extract::ScheduleAnalysis& analysis,
-                                   const arch::M1Config& cfg) {
+                                   const arch::M1Config& cfg,
+                                   const CancelToken& cancel) {
   dsched::ScheduleOutcome outcome;
   dsched::FallbackAttempt attempt;
   attempt.rung = scheduler.name();
   attempt.attempted = true;
-  outcome.schedule = scheduler.schedule(analysis, cfg);
+  outcome.schedule = scheduler.schedule(analysis, cfg, cancel);
   attempt.succeeded = outcome.schedule.feasible;
   attempt.reason =
       attempt.succeeded ? "selected" : outcome.schedule.infeasible_reason;
-  if (!attempt.succeeded) {
+  if (outcome.schedule.cancelled) {
+    outcome.cancel_cause =
+        cancel.cancelled() ? cancel.cause() : CancelCause::kCancelled;
+    outcome.diagnostics.push_back(make_error(
+        outcome.cancel_cause == CancelCause::kDeadline ? "schedule.timeout"
+                                                       : "schedule.cancelled",
+        scheduler.name() + " " + to_string(outcome.cancel_cause) + " on " + cfg.name));
+  } else if (!attempt.succeeded) {
     outcome.diagnostics.push_back(make_error(
         "schedule.infeasible",
         scheduler.name() + " cannot run this workload on " + cfg.name + ": " +
@@ -93,7 +104,8 @@ dsched::ScheduleOutcome run_single(const dsched::DataSchedulerBase& scheduler,
 
 }  // namespace
 
-std::shared_ptr<const CompiledResult> compile_job(const Job& job) {
+std::shared_ptr<const CompiledResult> compile_job(const Job& job,
+                                                  const CancelToken& cancel) {
   MSYS_TRACE_SPAN(span, "engine.compile", "engine");
   if (span.active()) {
     span.add_arg(obs::arg("kind", to_string(job.kind)));
@@ -102,7 +114,17 @@ std::shared_ptr<const CompiledResult> compile_job(const Job& job) {
   static obs::Counter& compiled = obs::counter("engine.jobs.compiled");
   static obs::Counter& infeasible = obs::counter("engine.jobs.infeasible");
   static obs::Counter& internal = obs::counter("engine.jobs.internal_error");
+  static obs::Counter& stalled = obs::counter("engine.jobs.fault_stalled");
   compiled.add();
+
+  // Fault site: a deterministic stall before scheduling, so deadline tests
+  // can force a compile to outlive its budget without timing races.
+  if (auto& faults = FaultInjector::global(); faults.armed()) {
+    if (const std::uint64_t ms = faults.fire_param("engine.compile.stall"); ms != 0) {
+      stalled.add();
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  }
 
   auto result = std::make_shared<CompiledResult>();
   result->input = job.input;
@@ -111,18 +133,20 @@ std::shared_ptr<const CompiledResult> compile_job(const Job& job) {
                                              job.input.cfg.cross_set_reads);
     switch (job.kind) {
       case SchedulerKind::kBasic:
-        result->outcome = run_single(dsched::BasicScheduler{}, analysis, job.input.cfg);
+        result->outcome =
+            run_single(dsched::BasicScheduler{}, analysis, job.input.cfg, cancel);
         break;
       case SchedulerKind::kDS:
-        result->outcome = run_single(dsched::DataScheduler{}, analysis, job.input.cfg);
+        result->outcome =
+            run_single(dsched::DataScheduler{}, analysis, job.input.cfg, cancel);
         break;
       case SchedulerKind::kCDS:
         result->outcome = run_single(dsched::CompleteDataScheduler{job.options.cds},
-                                     analysis, job.input.cfg);
+                                     analysis, job.input.cfg, cancel);
         break;
       case SchedulerKind::kFallback:
-        result->outcome =
-            dsched::schedule_with_fallback(analysis, job.input.cfg, job.options);
+        result->outcome = dsched::schedule_with_fallback(analysis, job.input.cfg,
+                                                         job.options, cancel);
         break;
     }
     if (result->outcome.feasible()) {
@@ -157,6 +181,37 @@ std::shared_ptr<const CompiledResult> compile_job(const Job& job) {
       span.add_arg(obs::arg("cycles", result->predicted.total.value()));
     }
   }
+  return result;
+}
+
+std::shared_ptr<const CompiledResult> make_cancelled_result(const Job& job,
+                                                            CancelCause cause) {
+  auto result = std::make_shared<CompiledResult>();
+  result->input = job.input;
+  result->outcome.cancel_cause =
+      cause == CancelCause::kNone ? CancelCause::kCancelled : cause;
+  result->outcome.schedule = dsched::cancelled_schedule(
+      to_string(job.kind), *job.input.sched, to_string(result->outcome.cancel_cause));
+  result->outcome.diagnostics.push_back(make_error(
+      result->outcome.cancel_cause == CancelCause::kDeadline ? "schedule.timeout"
+                                                             : "schedule.cancelled",
+      to_string(job.kind) + " job " + to_string(result->outcome.cancel_cause) +
+          " before a schedule was produced"));
+  result->predicted.feasible = false;
+  result->predicted.infeasible_reason = to_string(result->outcome.cancel_cause);
+  return result;
+}
+
+std::shared_ptr<const CompiledResult> make_refused_result(const Job& job) {
+  auto result = std::make_shared<CompiledResult>();
+  result->input = job.input;
+  result->outcome.schedule = dsched::infeasible(
+      to_string(job.kind), *job.input.sched, "thread pool refused the job");
+  result->outcome.diagnostics.push_back(make_error(
+      "engine.pool.refused",
+      to_string(job.kind) + " job refused: thread pool is shutting down"));
+  result->predicted.feasible = false;
+  result->predicted.infeasible_reason = "thread pool refused the job";
   return result;
 }
 

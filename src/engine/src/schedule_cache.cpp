@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "msys/engine/result_codec.hpp"
 #include "msys/obs/metrics.hpp"
 #include "msys/obs/trace.hpp"
 
@@ -11,7 +12,7 @@ namespace msys::engine {
 
 namespace {
 
-/// Global mirrors of the per-shard stats plus the hit/miss latency sums
+/// Global mirrors of the per-instance stats plus the hit/miss latency sums
 /// the bench and `msysc --stats` report (sums + counts; consumers divide).
 struct CacheMetrics {
   obs::Counter& hits = obs::counter("engine.cache.hits");
@@ -21,6 +22,8 @@ struct CacheMetrics {
   obs::Counter& inflight_coalesced = obs::counter("engine.cache.inflight_coalesced");
   obs::Counter& inflight_waits = obs::counter("engine.cache.inflight_waits");
   obs::Counter& evictions = obs::counter("engine.cache.evictions");
+  obs::Counter& disk_hits = obs::counter("engine.cache.disk_hits");
+  obs::Counter& wait_cancelled = obs::counter("engine.cache.wait_cancelled");
   obs::Counter& hit_latency_ns = obs::counter("engine.cache.hit_latency_ns");
   obs::Counter& miss_latency_ns = obs::counter("engine.cache.miss_latency_ns");
 
@@ -28,6 +31,11 @@ struct CacheMetrics {
     static CacheMetrics metrics;
     return metrics;
   }
+};
+
+constexpr const char* kEventNames[] = {
+    "hits",      "misses",           "evictions",          "inserts",
+    "duplicate_inserts", "inflight_coalesced", "inflight_waits", "disk_hits",
 };
 
 std::uint64_t ns_since(std::chrono::steady_clock::time_point start) {
@@ -38,15 +46,72 @@ std::uint64_t ns_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-ScheduleCache::ScheduleCache(Config config) {
-  capacity_ = std::max<std::size_t>(1, config.capacity);
+const char* to_string(CacheTier tier) {
+  switch (tier) {
+    case CacheTier::kMemory: return "memory";
+    case CacheTier::kDisk: return "disk";
+    case CacheTier::kCompute: return "compute";
+  }
+  return "?";
+}
+
+ScheduleCache::ScheduleCache(Config config) : config_(std::move(config)) {
+  capacity_ = std::max<std::size_t>(1, config_.capacity);
   const std::size_t n_shards =
-      std::min(std::max<std::size_t>(1, config.shards), capacity_);
+      std::min(std::max<std::size_t>(1, config_.shards), capacity_);
   per_shard_capacity_ = (capacity_ + n_shards - 1) / n_shards;
   shards_.reserve(n_shards);
   for (std::size_t i = 0; i < n_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  if (!config_.name.empty()) {
+    // Tagged mirrors: one obs counter per event, named once here; count()
+    // then bumps by index with no name lookups on the hot path.
+    tagged_.reserve(std::size(kEventNames));
+    for (const char* event : kEventNames) {
+      tagged_.push_back(
+          &obs::counter("engine.cache." + config_.name + "." + event));
+    }
+  }
+}
+
+void ScheduleCache::count(Event event) {
+  auto& m = CacheMetrics::get();
+  switch (event) {
+    case Event::kHit:
+      cells_.hits.fetch_add(1, std::memory_order_relaxed);
+      m.hits.add();
+      break;
+    case Event::kMiss:
+      cells_.misses.fetch_add(1, std::memory_order_relaxed);
+      m.misses.add();
+      break;
+    case Event::kEviction:
+      cells_.evictions.fetch_add(1, std::memory_order_relaxed);
+      m.evictions.add();
+      break;
+    case Event::kInsert:
+      cells_.inserts.fetch_add(1, std::memory_order_relaxed);
+      m.inserts.add();
+      break;
+    case Event::kDuplicateInsert:
+      cells_.duplicate_inserts.fetch_add(1, std::memory_order_relaxed);
+      m.duplicate_inserts.add();
+      break;
+    case Event::kInflightCoalesced:
+      cells_.inflight_coalesced.fetch_add(1, std::memory_order_relaxed);
+      m.inflight_coalesced.add();
+      break;
+    case Event::kInflightWait:
+      cells_.inflight_waits.fetch_add(1, std::memory_order_relaxed);
+      m.inflight_waits.add();
+      break;
+    case Event::kDiskHit:
+      cells_.disk_hits.fetch_add(1, std::memory_order_relaxed);
+      m.disk_hits.add();
+      break;
+  }
+  if (!tagged_.empty()) tagged_[static_cast<std::size_t>(event)]->add();
 }
 
 ScheduleCache::Shard& ScheduleCache::shard_for(std::uint64_t key) {
@@ -60,12 +125,10 @@ std::shared_ptr<const CompiledResult> ScheduleCache::lookup(std::uint64_t key) {
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    ++shard.stats.misses;
-    CacheMetrics::get().misses.add();
+    count(Event::kMiss);
     return nullptr;
   }
-  ++shard.stats.hits;
-  CacheMetrics::get().hits.add();
+  count(Event::kHit);
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->result;
 }
@@ -79,33 +142,63 @@ void ScheduleCache::insert(std::uint64_t key,
     // First writer wins, but the loser's insert is still a *use* of the
     // entry: count it and refresh recency so a hot key under concurrent
     // double-compute cannot age to the LRU tail invisibly.
-    ++shard.stats.duplicate_inserts;
-    CacheMetrics::get().duplicate_inserts.add();
+    count(Event::kDuplicateInsert);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
   if (shard.lru.size() >= per_shard_capacity_) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
-    ++shard.stats.evictions;
-    CacheMetrics::get().evictions.add();
+    count(Event::kEviction);
   }
   shard.lru.push_front(Entry{key, std::move(result)});
   shard.index.emplace(key, shard.lru.begin());
-  ++shard.stats.inserts;
-  CacheMetrics::get().inserts.add();
-}
-
-std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(const Job& job,
-                                                                    bool* was_hit) {
-  return get_or_compile(
-      cache_key(job), [&job] { return compile_job(job); }, was_hit);
+  count(Event::kInsert);
 }
 
 std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
-    std::uint64_t key, const ComputeFn& compute, bool* was_hit) {
+    const Job& job, bool* was_hit, const CancelToken& cancel, CacheTier* tier) {
+  store::DiskScheduleStore* disk = config_.store.get();
+  const std::uint64_t key = cache_key(job);
+  CacheTier served = CacheTier::kCompute;
+  // The disk probe runs inside the single-flight compute, so a thundering
+  // herd on one key costs at most one disk read + decode, and a coalesced
+  // waiter can receive a disk-decoded result transparently.
+  std::shared_ptr<const CompiledResult> result = get_or_compile(
+      key,
+      [&]() -> std::shared_ptr<const CompiledResult> {
+        if (disk != nullptr) {
+          if (std::optional<std::string> payload = disk->load(key, cancel)) {
+            if (auto decoded = decode_result(*payload, job)) {
+              served = CacheTier::kDisk;
+              count(Event::kDiskHit);
+              return decoded;
+            }
+            // Framed fine, decoded wrong: semantically corrupt — same
+            // contract as a checksum failure.
+            disk->quarantine(key);
+          }
+        }
+        auto computed = compile_job(job, cancel);
+        if (disk != nullptr && computed != nullptr && persistable(*computed)) {
+          // Best-effort: a failed save leaves the entry absent, nothing more.
+          (void)disk->save(key, encode_result(*computed), cancel);
+        }
+        return computed;
+      },
+      was_hit, cancel);
+  if (tier != nullptr) {
+    *tier = (was_hit != nullptr && *was_hit) ? CacheTier::kMemory : served;
+  }
+  return result;
+}
+
+std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
+    std::uint64_t key, const ComputeFn& compute, bool* was_hit,
+    const CancelToken& cancel) {
   const auto start = std::chrono::steady_clock::now();
   Shard& shard = shard_for(key);
+  if (was_hit != nullptr) *was_hit = false;
 
   // One lock acquisition decides the path: hit, coalesce onto an in-flight
   // computation, or become the in-flight winner for this key.
@@ -115,21 +208,18 @@ std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
-      ++shard.stats.hits;
-      CacheMetrics::get().hits.add();
+      count(Event::kHit);
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       std::shared_ptr<const CompiledResult> cached = it->second->result;
       CacheMetrics::get().hit_latency_ns.add(ns_since(start));
       if (was_hit != nullptr) *was_hit = true;
       return cached;
     }
-    ++shard.stats.misses;
-    CacheMetrics::get().misses.add();
+    count(Event::kMiss);
     const auto fit = shard.inflight.find(key);
     if (fit != shard.inflight.end()) {
       wait_on = fit->second->future;
-      ++shard.stats.inflight_coalesced;
-      CacheMetrics::get().inflight_coalesced.add();
+      count(Event::kInflightCoalesced);
     } else {
       mine = std::make_shared<InFlight>();
       shard.inflight.emplace(key, mine);
@@ -140,17 +230,25 @@ std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
     // Coalesced miss: reuse the winner's computation.  Only count (and
     // trace) a wait when the result is not ready yet.
     if (wait_on.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
-      {
-        std::lock_guard<std::mutex> lock(shard.mu);
-        ++shard.stats.inflight_waits;
-      }
-      CacheMetrics::get().inflight_waits.add();
+      count(Event::kInflightWait);
       MSYS_TRACE_SPAN(wait_span, "engine.cache.inflight_wait", "engine");
-      wait_on.wait();
+      if (cancel.can_cancel()) {
+        // Poll so a deadline firing mid-wait frees this caller: the winner
+        // keeps computing (its work still lands in the cache), but *we*
+        // stop burning our budget on it and report the cancellation.
+        while (wait_on.wait_for(std::chrono::milliseconds(2)) !=
+               std::future_status::ready) {
+          if (cancel.cancelled()) {
+            CacheMetrics::get().wait_cancelled.add();
+            return nullptr;
+          }
+        }
+      } else {
+        wait_on.wait();
+      }
     }
     std::shared_ptr<const CompiledResult> result = wait_on.get();
     CacheMetrics::get().miss_latency_ns.add(ns_since(start));
-    if (was_hit != nullptr) *was_hit = false;
     return result;
   }
 
@@ -170,28 +268,34 @@ std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
     mine->promise.set_exception(std::current_exception());
     throw;
   }
-  insert(key, computed);
+  // A cancelled (or absent) result reflects this run's budget, not the
+  // key's semantics: hand it to the waiters already coalesced onto us, but
+  // leave the cache empty so the next caller retries the compile.
+  const bool cacheable =
+      computed != nullptr && !computed->outcome.cancelled() &&
+      !computed->outcome.schedule.cancelled;
+  if (cacheable) insert(key, computed);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.inflight.erase(key);
   }
   mine->promise.set_value(computed);
   CacheMetrics::get().miss_latency_ns.add(ns_since(start));
-  if (was_hit != nullptr) *was_hit = false;
   return computed;
 }
 
 ScheduleCache::Stats ScheduleCache::stats() const {
   Stats total;
+  total.hits = cells_.hits.load(std::memory_order_relaxed);
+  total.misses = cells_.misses.load(std::memory_order_relaxed);
+  total.evictions = cells_.evictions.load(std::memory_order_relaxed);
+  total.inserts = cells_.inserts.load(std::memory_order_relaxed);
+  total.duplicate_inserts = cells_.duplicate_inserts.load(std::memory_order_relaxed);
+  total.inflight_coalesced = cells_.inflight_coalesced.load(std::memory_order_relaxed);
+  total.inflight_waits = cells_.inflight_waits.load(std::memory_order_relaxed);
+  total.disk_hits = cells_.disk_hits.load(std::memory_order_relaxed);
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    total.hits += shard->stats.hits;
-    total.misses += shard->stats.misses;
-    total.evictions += shard->stats.evictions;
-    total.inserts += shard->stats.inserts;
-    total.duplicate_inserts += shard->stats.duplicate_inserts;
-    total.inflight_coalesced += shard->stats.inflight_coalesced;
-    total.inflight_waits += shard->stats.inflight_waits;
     total.entries += shard->lru.size();
   }
   return total;

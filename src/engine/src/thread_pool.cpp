@@ -13,7 +13,10 @@ namespace {
 /// resolved once; one relaxed store per sample afterwards).
 struct PoolMetrics {
   obs::Counter& submitted = obs::counter("engine.pool.jobs_submitted");
-  obs::Counter& rejected = obs::counter("engine.pool.jobs_rejected");
+  // Every refusal is counted here at the pool, whatever the caller does
+  // with the false return; BatchRunner additionally surfaces its own
+  // refusals in BatchStats::submit_refused and per-job results.
+  obs::Counter& rejected = obs::counter("engine.pool.submit_refused");
   obs::Counter& completed = obs::counter("engine.pool.jobs_completed");
   obs::Gauge& queue_depth = obs::gauge("engine.pool.queue_depth");
   obs::Gauge& queue_depth_peak = obs::gauge("engine.pool.queue_depth_peak");

@@ -23,12 +23,14 @@
 // object sizes, halve the FB set, halve iterations.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "msys/common/diagnostic.hpp"
+#include "msys/obs/metrics.hpp"
 
 namespace msys::fuzzing {
 
@@ -43,7 +45,7 @@ struct FuzzCase {
 struct CheckFailure {
   std::string scheduler;
   /// "validator" | "simulator" | "cost-mismatch" | "uncaught-throw" |
-  /// "missing-diagnostic" | "internal"
+  /// "missing-diagnostic" | "internal" | "store-divergence"
   std::string kind;
   std::string detail;
 };
@@ -58,6 +60,9 @@ struct CaseResult {
   /// Winning rung of the fallback chain ("" when infeasible).
   std::string fallback_rung;
   std::string fallback_chain;
+  /// Predicted total cycles of the winning fallback schedule (0 when
+  /// infeasible); the store-backed engine pass cross-checks against this.
+  std::uint64_t fallback_total_cycles{0};
   /// Structured infeasibility diagnostics from the fallback chain.
   Diagnostics infeasibility;
   std::vector<CheckFailure> failures;
@@ -97,10 +102,45 @@ struct CampaignStats {
   std::uint64_t all_feasible{0};
   std::uint64_t degraded{0};    // fallback succeeded below the CDS rung
   std::uint64_t infeasible{0};  // structured infeasibility (no rung fits)
+  /// Store-backed engine pass accounting (CampaignOptions::store_dir):
+  /// cases replayed through the persistent cache / served from disk /
+  /// attempts cut short by the per-job deadline (not divergences).
+  std::uint64_t store_checked{0};
+  std::uint64_t store_disk_hits{0};
+  std::uint64_t store_timeouts{0};
+  /// Metrics snapshots emitted by the sampler (CampaignOptions).
+  std::uint64_t snapshots{0};
   std::vector<CampaignFailure> failures;
 
   [[nodiscard]] bool clean() const { return failures.empty(); }
   [[nodiscard]] std::string summary() const;
+};
+
+/// Knobs for one campaign; the default-constructed value reproduces the
+/// historical serial campaign exactly.
+struct CampaignOptions {
+  /// Phase-1 fan-out width (1 => serial).  The report is byte-identical at
+  /// any width; see run_campaign below.
+  unsigned n_threads{1};
+  /// When positive (and on_snapshot is set), a sampler thread emits obs
+  /// metrics deltas at this interval during phase 1, plus one final delta
+  /// when the phase drains — so short campaigns still get one snapshot.
+  /// Purely observational: snapshots never influence results.
+  std::chrono::milliseconds snapshot_interval{0};
+  /// Receives the counter deltas since the previous snapshot and the
+  /// number of cases completed so far.  Called from the sampler thread.
+  std::function<void(const obs::MetricsSnapshot& delta, std::uint64_t completed)>
+      on_snapshot;
+  /// When non-empty, a serial post-pass replays every schedulable case
+  /// through a DiskScheduleStore-backed ScheduleCache rooted here and
+  /// cross-checks the served result against the direct fallback run —
+  /// feasibility, winning rung, and predicted total cycles must agree.
+  /// A disagreement is a "store-divergence" CheckFailure on that case.
+  std::string store_dir;
+  /// Per-job wall-clock deadline for the store pass (0 => none).  A
+  /// deadline expiry is structured data (counted in store_timeouts), not
+  /// a divergence.
+  std::chrono::milliseconds job_deadline{0};
 };
 
 /// Runs seeds [base_seed, base_seed + n_cases) and shrinks every failure
@@ -116,5 +156,13 @@ struct CampaignStats {
 /// that guarantee cheap rather than heroic.
 [[nodiscard]] CampaignStats run_campaign(std::uint64_t base_seed,
                                          std::uint64_t n_cases, unsigned n_threads);
+
+/// Full-control campaign: fan-out width, periodic metrics snapshots, and
+/// the store-backed cross-check pass.  Snapshots are observational and the
+/// store pass is serial in seed order, so campaign results stay
+/// deterministic for a given (base_seed, n_cases, store contents).
+[[nodiscard]] CampaignStats run_campaign(std::uint64_t base_seed,
+                                         std::uint64_t n_cases,
+                                         const CampaignOptions& options);
 
 }  // namespace msys::fuzzing

@@ -1,20 +1,27 @@
 #include "msys/fuzzing/fuzzing.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
 
 #include "msys/appdsl/parser.hpp"
 #include "msys/codegen/program.hpp"
+#include "msys/common/cancel.hpp"
 #include "msys/common/error.hpp"
 #include "msys/common/rng.hpp"
 #include "msys/csched/context_plan.hpp"
 #include "msys/dsched/cost.hpp"
 #include "msys/dsched/fallback.hpp"
 #include "msys/dsched/validate.hpp"
+#include "msys/engine/schedule_cache.hpp"
 #include "msys/engine/thread_pool.hpp"
 #include "msys/sim/simulator.hpp"
+#include "msys/store/disk_store.hpp"
 #include "msys/workloads/random.hpp"
 
 namespace msys::fuzzing {
@@ -243,6 +250,9 @@ CaseResult run_case(const FuzzCase& c) {
         failure->scheduler = "fallback/" + failure->scheduler;
         result.failures.push_back(std::move(*failure));
       }
+      const dsched::CostBreakdown predicted =
+          dsched::predict_cost(outcome.schedule, cfg, ctx_plan);
+      if (predicted.feasible) result.fallback_total_cycles = predicted.total.value();
     } else {
       result.infeasibility = outcome.diagnostics;
       if (!has_errors(outcome.diagnostics)) {
@@ -467,6 +477,10 @@ std::string CampaignStats::summary() const {
   out << cases << " cases: " << all_feasible << " all-feasible, " << degraded
       << " degraded, " << infeasible << " infeasible (structured), " << parse_rejected
       << " parse-rejected, " << failures.size() << " FAILURES";
+  if (store_checked > 0) {
+    out << "; store pass: " << store_checked << " checked, " << store_disk_hits
+        << " from disk, " << store_timeouts << " timed out";
+  }
   return out.str();
 }
 
@@ -476,31 +490,156 @@ CampaignStats run_campaign(std::uint64_t base_seed, std::uint64_t n_cases) {
 
 CampaignStats run_campaign(std::uint64_t base_seed, std::uint64_t n_cases,
                            unsigned n_threads) {
+  CampaignOptions options;
+  options.n_threads = n_threads;
+  return run_campaign(base_seed, n_cases, options);
+}
+
+namespace {
+
+/// Replays one schedulable case through the store-backed cache and
+/// reports any disagreement with the direct fallback run as a
+/// "store-divergence" failure.  Serial, seed order, never throws.
+void store_cross_check(const FuzzCase& c, CaseResult& r, engine::ScheduleCache& cache,
+                       const CampaignOptions& options, CampaignStats& stats) {
+  try {
+    appdsl::ParseResult parsed = appdsl::parse_collect(c.text, c.name);
+    if (!parsed.ok() || parsed.experiment->partition.empty()) return;
+    engine::Job job;
+    job.input = engine::make_input(std::move(parsed.experiment->app),
+                                   parsed.experiment->partition,
+                                   std::move(parsed.experiment->cfg));
+    job.kind = engine::SchedulerKind::kFallback;
+    const CancelToken cancel = options.job_deadline.count() > 0
+                                   ? CancelToken::deadline_after(options.job_deadline)
+                                   : CancelToken{};
+    bool was_hit = false;
+    engine::CacheTier tier = engine::CacheTier::kCompute;
+    const std::shared_ptr<const engine::CompiledResult> served =
+        cache.get_or_compile(job, &was_hit, cancel, &tier);
+    ++stats.store_checked;
+    if (served == nullptr || served->outcome.cancelled()) {
+      ++stats.store_timeouts;  // structured deadline data, not a divergence
+      return;
+    }
+    if (tier == engine::CacheTier::kDisk) ++stats.store_disk_hits;
+    std::ostringstream why;
+    if (served->feasible() != r.fallback_feasible) {
+      why << "feasibility: direct=" << (r.fallback_feasible ? "yes" : "no")
+          << " store-served=" << (served->feasible() ? "yes" : "no");
+    } else if (served->feasible()) {
+      if (served->outcome.chosen_rung() != r.fallback_rung) {
+        why << "rung: direct=" << r.fallback_rung
+            << " store-served=" << served->outcome.chosen_rung();
+      } else if (served->predicted.total.value() != r.fallback_total_cycles) {
+        why << "total cycles: direct=" << r.fallback_total_cycles
+            << " store-served=" << served->predicted.total.value();
+      }
+    }
+    if (const std::string detail = why.str(); !detail.empty()) {
+      r.failures.push_back({"engine-store", "store-divergence",
+                            detail + " [tier=" + to_string(tier) + "]"});
+    }
+  } catch (const std::exception& e) {
+    r.failures.push_back({"engine-store", "store-divergence",
+                          std::string("uncaught throw in store pass: ") + e.what()});
+  }
+}
+
+}  // namespace
+
+CampaignStats run_campaign(std::uint64_t base_seed, std::uint64_t n_cases,
+                           const CampaignOptions& options) {
   // Phase 1 — run every case, results indexed by seed offset.  run_case is
   // pure, so the worker interleaving cannot influence any result.
   std::vector<FuzzCase> cases;
   cases.reserve(n_cases);
   for (std::uint64_t i = 0; i < n_cases; ++i) cases.push_back(make_case(base_seed + i));
 
+  CampaignStats stats;
   std::vector<CaseResult> results(cases.size());
-  if (n_threads <= 1) {
-    for (std::size_t i = 0; i < cases.size(); ++i) results[i] = run_case(cases[i]);
+  std::atomic<std::uint64_t> completed{0};
+
+  // Observational sampler: periodic counter deltas while phase 1 runs,
+  // plus one final delta when the phase drains.  It only reads the obs
+  // registry and the completion counter, so it cannot perturb any result.
+  std::atomic<bool> phase1_done{false};
+  std::thread sampler;
+  const bool sampling = options.snapshot_interval.count() > 0 && options.on_snapshot;
+  if (sampling) {
+    sampler = std::thread([&] {
+      obs::MetricsSnapshot prev = obs::snapshot();
+      auto next_tick = std::chrono::steady_clock::now() + options.snapshot_interval;
+      while (!phase1_done.load(std::memory_order_acquire)) {
+        if (std::chrono::steady_clock::now() < next_tick) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        next_tick += options.snapshot_interval;
+        obs::MetricsSnapshot now = obs::snapshot();
+        options.on_snapshot(now.since(prev), completed.load(std::memory_order_relaxed));
+        ++stats.snapshots;  // sampler-thread-only until join
+        prev = std::move(now);
+      }
+      options.on_snapshot(obs::snapshot().since(prev),
+                          completed.load(std::memory_order_relaxed));
+      ++stats.snapshots;
+    });
+  }
+
+  if (options.n_threads <= 1) {
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      results[i] = run_case(cases[i]);
+      completed.fetch_add(1, std::memory_order_relaxed);
+    }
   } else {
-    engine::ThreadPool pool(n_threads);
+    engine::ThreadPool pool(options.n_threads);
     for (std::size_t i = 0; i < cases.size(); ++i) {
       // The pool is local and alive, so submit cannot be rejected; assert
       // rather than silently leave results[i] default-initialised.
-      const bool accepted =
-          pool.submit([&cases, &results, i] { results[i] = run_case(cases[i]); });
+      const bool accepted = pool.submit([&cases, &results, &completed, i] {
+        results[i] = run_case(cases[i]);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      });
       MSYS_REQUIRE(accepted, "fuzz campaign pool rejected a job");
     }
     pool.wait_idle();
+  }
+  if (sampling) {
+    phase1_done.store(true, std::memory_order_release);
+    sampler.join();
+  }
+
+  // Store-backed cross-check pass — serial, seed order, before the fold so
+  // divergences shrink like any other failure.  A store that cannot open
+  // is itself a structured campaign failure, never a crash.
+  if (!options.store_dir.empty()) {
+    store::StoreConfig store_cfg;
+    store_cfg.dir = options.store_dir;
+    std::string store_error;
+    std::shared_ptr<store::DiskScheduleStore> disk =
+        store::DiskScheduleStore::open(store_cfg, &store_error);
+    if (disk == nullptr) {
+      CampaignFailure failure;
+      failure.original = FuzzCase{"store-open", 0, ""};
+      failure.result.name = "store-open";
+      failure.result.failures.push_back(
+          {"engine-store", "store-divergence", "store open failed: " + store_error});
+      stats.failures.push_back(std::move(failure));
+    } else {
+      engine::ScheduleCache::Config cache_cfg;
+      cache_cfg.store = disk;
+      cache_cfg.name = "fuzz";
+      engine::ScheduleCache cache(cache_cfg);
+      for (std::size_t i = 0; i < cases.size(); ++i) {
+        store_cross_check(cases[i], results[i], cache, options, stats);
+      }
+    }
   }
 
   // Phase 2 — fold in seed order.  Shrinking (which re-runs cases) stays in
   // this serial fold, so failure repros are byte-identical at any thread
   // count.
-  CampaignStats stats;
   for (std::size_t i = 0; i < cases.size(); ++i) {
     FuzzCase& c = cases[i];
     CaseResult& r = results[i];

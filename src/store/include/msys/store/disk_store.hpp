@@ -1,0 +1,143 @@
+// Crash-safe persistent schedule store: the disk tier behind the engine's
+// in-memory ScheduleCache.
+//
+// The store is a flat directory of per-entry files addressed by the same
+// canonical 64-bit content hash the in-memory cache uses — one entry per
+// `<16-hex-key>.msr` file.  The payload is opaque bytes (the engine's
+// result codec owns the schema); this layer only guarantees integrity and
+// atomicity:
+//
+//   * Framed records — magic "MSR1", key, payload length and a canonical
+//     checksum (Hasher over key + payload), so a torn or bit-flipped entry
+//     is always *detected*, never returned.
+//   * Atomic publication — writes land in a temp file first and reach the
+//     final name via rename(2), so a reader never observes a half-written
+//     entry and a crash mid-write leaves at worst a stale `.tmp` that
+//     verify_store() sweeps up.
+//   * Corruption is data, not death — a bad entry is moved into the
+//     `quarantine/` subdirectory (preserved for post-mortems) and reported
+//     as a miss; the caller recomputes and overwrites.  The store never
+//     throws for bad bytes on disk.
+//
+// Transient I/O failures are retried with per-class budgets (reads and
+// writes each carry their own RetryPolicy) using exponential backoff with
+// deterministic jitter; the `store.*` obs counters expose every outcome.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "msys/common/cancel.hpp"
+#include "msys/common/retry.hpp"
+
+namespace msys::store {
+
+struct StoreConfig {
+  /// Directory holding the entries; created (with its quarantine/
+  /// subdirectory) by open() when absent.
+  std::string dir;
+  /// Transient-failure budgets, one per I/O class so a flaky read path
+  /// cannot exhaust the write budget or vice versa.
+  RetryPolicy read_retry{.max_attempts = 3,
+                         .base_delay = std::chrono::milliseconds{1},
+                         .max_delay = std::chrono::milliseconds{20}};
+  RetryPolicy write_retry{.max_attempts = 4,
+                          .base_delay = std::chrono::milliseconds{1},
+                          .max_delay = std::chrono::milliseconds{50}};
+  /// Seed for the backoff jitter streams (split per operation, so retries
+  /// stay deterministic under test yet decorrelated across threads).
+  std::uint64_t retry_seed{0x5eed5eedULL};
+};
+
+/// Instance-level tallies (the `store.*` obs counters are the process-wide
+/// mirror).
+struct StoreStats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  std::uint64_t saves{0};
+  std::uint64_t save_failures{0};
+  std::uint64_t quarantined{0};
+  std::uint64_t retry_attempts{0};
+};
+
+/// What a verify_store() sweep found and did.
+struct FsckReport {
+  std::uint64_t scanned{0};
+  std::uint64_t valid{0};
+  std::uint64_t quarantined{0};
+  std::uint64_t removed_tmp{0};
+  /// True when every scanned entry validated and nothing needed cleanup.
+  [[nodiscard]] bool clean() const {
+    return quarantined == 0 && removed_tmp == 0;
+  }
+};
+
+class DiskScheduleStore {
+ public:
+  /// Opens (creating if needed) the store at config.dir.  Returns nullptr
+  /// and explains into *error when the directory cannot be created or is
+  /// not writable.
+  [[nodiscard]] static std::unique_ptr<DiskScheduleStore> open(
+      StoreConfig config, std::string* error = nullptr);
+
+  /// Persists `payload` under `key`, overwriting any existing entry.
+  /// Retries transient I/O per the write budget; false when the budget is
+  /// exhausted or `cancel` fired (a failed save is never fatal — the entry
+  /// simply stays absent).
+  bool save(std::uint64_t key, std::string_view payload,
+            const CancelToken& cancel = {});
+
+  /// Loads the payload stored under `key`.  nullopt on miss, on a
+  /// corrupt entry (which is quarantined first) or when the read budget /
+  /// `cancel` ran out.  Never throws for bad bytes.
+  [[nodiscard]] std::optional<std::string> load(std::uint64_t key,
+                                                const CancelToken& cancel = {});
+
+  /// Moves `key`'s entry into quarantine/ (no-op when absent).  The engine
+  /// calls this when the bytes framed fine but failed *semantic* decoding
+  /// — same contract as frame-level corruption: preserve, then recompute.
+  void quarantine(std::uint64_t key);
+
+  /// Full-store fsck: validates every entry (quarantining failures) and
+  /// removes temp files left by crashed writers.
+  FsckReport verify_store();
+
+  /// Number of (non-quarantined) entries currently on disk.
+  [[nodiscard]] std::uint64_t entry_count() const;
+
+  [[nodiscard]] StoreStats stats() const;
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  explicit DiskScheduleStore(StoreConfig config);
+
+  [[nodiscard]] std::filesystem::path entry_path(std::uint64_t key) const;
+  /// Moves `path` into quarantine/ under a unique name; best-effort
+  /// (falls back to remove if even the rename fails).
+  void quarantine_file(const std::filesystem::path& path);
+  /// One write attempt: temp file + rename.  False on I/O error.
+  bool save_attempt(std::uint64_t key, std::string_view payload);
+  /// One read attempt.  False = transient I/O error (retry); true with
+  /// nullopt in *out = definitive miss/corrupt (no retry).
+  bool load_attempt(std::uint64_t key, std::optional<std::string>* out);
+
+  StoreConfig config_;
+  std::filesystem::path dir_;
+  std::filesystem::path quarantine_dir_;
+  std::atomic<std::uint64_t> op_counter_{0};
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> saves_{0};
+  mutable std::atomic<std::uint64_t> save_failures_{0};
+  mutable std::atomic<std::uint64_t> quarantined_{0};
+  mutable std::atomic<std::uint64_t> retry_attempts_{0};
+};
+
+}  // namespace msys::store

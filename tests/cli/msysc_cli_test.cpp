@@ -7,8 +7,12 @@
 // from any working directory.
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <fcntl.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -24,10 +28,26 @@ namespace {
 namespace fs = std::filesystem;
 
 /// Runs `msysc <args>` with stdout/stderr discarded; returns the exit code
-/// (or -1 if the process did not exit normally).
-int msysc(const std::string& args) {
-  const std::string cmd = std::string(MSYSC_BIN) + " " + args + " >/dev/null 2>&1";
+/// (or -1 if the process did not exit normally).  `env` is an optional
+/// VAR=value prefix (the command runs through the shell).
+int msysc(const std::string& args, const std::string& env = "") {
+  const std::string cmd = (env.empty() ? "" : env + " ") + std::string(MSYSC_BIN) +
+                          " " + args + " >/dev/null 2>&1";
   const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// msysc() that also captures combined stdout+stderr into *out.
+int msysc_capture(const std::string& args, std::string* out,
+                  const std::string& env = "") {
+  const std::string cmd =
+      (env.empty() ? "" : env + " ") + std::string(MSYSC_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  out->clear();
+  char buf[4096];
+  for (std::size_t n; (n = fread(buf, 1, sizeof buf, pipe)) > 0;) out->append(buf, n);
+  const int status = pclose(pipe);
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
@@ -37,7 +57,9 @@ fs::path scratch(const std::string& leaf) {
       fs::temp_directory_path() / "msysc_cli_test" /
       ::testing::UnitTest::GetInstance()->current_test_info()->name();
   fs::create_directories(dir);
-  return dir / leaf;
+  const fs::path path = dir / leaf;
+  fs::remove_all(path);  // never inherit state from a previous suite run
+  return path;
 }
 
 TEST(MsyscCli, NoArgumentsIsAUsageError) { EXPECT_EQ(msysc(""), 1); }
@@ -105,6 +127,113 @@ TEST(MsyscCli, TraceToAnUnwritablePathFails) {
 }
 
 TEST(MsyscCli, TraceWithoutAFileIsAUsageError) { EXPECT_EQ(msysc("--trace"), 1); }
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: persistent store, deadlines, fault injection, crash
+// recovery.
+// ---------------------------------------------------------------------------
+
+TEST(MsyscCli, StoreFlagsRejectMissingOperands) {
+  EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " --store"), 1);
+  EXPECT_EQ(msysc("--verify-store"), 1);
+  EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " --deadline-ms"), 1);
+  EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " --deadline-ms -5"), 1);
+  EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " --retries nope"), 1);
+}
+
+TEST(MsyscCli, MalformedFaultSpecIsAUsageError) {
+  EXPECT_EQ(msysc(MSYS_DEMO_APP, "MSYS_FAULTS=garbage"), 1);
+  EXPECT_EQ(msysc(MSYS_DEMO_APP, "MSYS_FAULTS='seed=1;x=1/0'"), 1);
+}
+
+TEST(MsyscCli, SecondBatchRunIsServedFromTheStore) {
+  const fs::path store = scratch("store");
+  ASSERT_EQ(msysc("--batch " MSYS_APPS_DIR " --store " + store.string()), 0);
+  std::string out;
+  ASSERT_EQ(msysc_capture("--batch " MSYS_APPS_DIR " --store " + store.string(), &out),
+            0);
+  // The warm run must report disk-tier service, not a recompute.
+  EXPECT_NE(out.find("from store"), std::string::npos) << out;
+  EXPECT_EQ(msysc("--verify-store " + store.string()), 0);
+}
+
+TEST(MsyscCli, TornWritesAreQuarantinedAndRecomputedOnRerun) {
+  const fs::path store = scratch("store");
+  // Every save publishes a truncated record (simulated crash mid-write).
+  ASSERT_EQ(msysc("--batch " MSYS_APPS_DIR " --store " + store.string(),
+                  "MSYS_FAULTS='seed=3;store.write.torn=always'"),
+            0);
+  // The rerun must detect the corruption, quarantine, recompute, and still
+  // succeed — corruption is a miss, never a crash.
+  std::string out;
+  ASSERT_EQ(msysc_capture("--batch " MSYS_APPS_DIR " --store " + store.string(), &out),
+            0);
+  // Every entry was torn, so the rerun quarantined at least one — the
+  // stats line must not report "0 quarantined".
+  EXPECT_EQ(out.find("0 quarantined"), std::string::npos) << out;
+  EXPECT_EQ(out.find("from store"), std::string::npos) << out;
+  EXPECT_EQ(msysc("--verify-store " + store.string()), 0);
+}
+
+TEST(MsyscCli, DeadlineTimeoutIsAStructuredInfeasibleExit) {
+  // A forced 200ms stall against a 25ms budget: exit 3 (does not fit the
+  // wall-clock budget), with a "timeout" status — never exit 4.
+  std::string out;
+  EXPECT_EQ(msysc_capture("--batch " MSYS_APPS_DIR " --deadline-ms 25", &out,
+                          "MSYS_FAULTS='seed=7;engine.compile.stall=always:200'"),
+            3);
+  EXPECT_NE(out.find("timeout"), std::string::npos) << out;
+  EXPECT_NE(out.find("timed out"), std::string::npos) << out;
+}
+
+TEST(MsyscCli, RetriesRecoverAnIntermittentStall) {
+  // With seed=2 at rate 1/2, some first-attempt draws fire and the retry
+  // draws do not (the injector is a pure function of seed/site/occurrence,
+  // so this is deterministic for this apps dir, not flaky): without
+  // retries the batch times out, with retries a clean attempt lands.
+  const std::string faults = "MSYS_FAULTS='seed=2;engine.compile.stall=1/2:200'";
+  EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " --deadline-ms 50", faults), 3);
+  EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " --deadline-ms 50 --retries 2", faults), 0);
+}
+
+TEST(MsyscCli, VerifyStoreOnAFreshDirectoryIsCleanAndExitsZero) {
+  const fs::path store = scratch("fresh");
+  std::string out;
+  EXPECT_EQ(msysc_capture("--verify-store " + store.string(), &out), 0);
+  EXPECT_NE(out.find("clean"), std::string::npos) << out;
+}
+
+TEST(MsyscCli, KilledBatchRunRecoversOnRerunWithTheSameStore) {
+  const fs::path store = scratch("store");
+  fs::create_directories(store);
+
+  // Child: a batch run pinned in a 5s compile stall so the SIGKILL always
+  // lands mid-run (a crashed writer, as far as the store is concerned).
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::setenv("MSYS_FAULTS", "seed=1;engine.compile.stall=always:5000", 1);
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, 1);
+      ::dup2(devnull, 2);
+    }
+    ::execl(MSYSC_BIN, "msysc", "--batch", MSYS_APPS_DIR, "--store",
+            store.c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  ::usleep(400 * 1000);  // let it start compiling, then crash it hard
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited before the kill landed";
+
+  // Recovery: the fsck sweep and a clean rerun against the same store
+  // directory must both succeed.
+  EXPECT_EQ(msysc("--verify-store " + store.string()), 0);
+  EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " --store " + store.string()), 0);
+  EXPECT_EQ(msysc("--verify-store " + store.string()), 0);
+}
 
 }  // namespace
 }  // namespace msys

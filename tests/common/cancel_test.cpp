@@ -1,0 +1,95 @@
+// CancelToken / CancelSource contract: the null token is free and inert,
+// sources fan out to every token, deadlines latch with a consistent
+// cause, and child tokens observe the whole parent chain.
+#include "msys/common/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace msys {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(CancelToken, DefaultTokenCanNeverCancel) {
+  const CancelToken token;
+  EXPECT_FALSE(token.can_cancel());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.cause(), CancelCause::kNone);
+  EXPECT_STREQ(token.reason(), "");
+}
+
+TEST(CancelToken, SourceCancellationReachesEveryToken) {
+  CancelSource source;
+  const CancelToken a = source.token();
+  const CancelToken b = source.token();
+  EXPECT_TRUE(a.can_cancel());
+  EXPECT_FALSE(a.cancelled());
+  EXPECT_FALSE(source.cancel_requested());
+
+  source.request_cancel();
+  source.request_cancel();  // idempotent
+  EXPECT_TRUE(source.cancel_requested());
+  for (const CancelToken* t : {&a, &b}) {
+    EXPECT_TRUE(t->cancelled());
+    EXPECT_EQ(t->cause(), CancelCause::kCancelled);
+    EXPECT_STREQ(t->reason(), "cancelled");
+  }
+}
+
+TEST(CancelToken, DeadlineFiresAndLatches) {
+  const CancelToken token = CancelToken::deadline_after(5ms);
+  EXPECT_TRUE(token.can_cancel());
+  std::this_thread::sleep_for(20ms);
+  ASSERT_TRUE(token.cancelled());
+  EXPECT_EQ(token.cause(), CancelCause::kDeadline);
+  EXPECT_STREQ(token.reason(), "deadline exceeded");
+  // Latched: the cause never changes once observed.
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.cause(), CancelCause::kDeadline);
+}
+
+TEST(CancelToken, GenerousDeadlineDoesNotFire) {
+  const CancelToken token = CancelToken::deadline_after(10min);
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.cause(), CancelCause::kNone);
+}
+
+TEST(CancelToken, ChildTokenObservesParentCancellation) {
+  CancelSource source;
+  const CancelToken child = source.token().with_timeout(10min);
+  EXPECT_FALSE(child.cancelled());
+  source.request_cancel();
+  ASSERT_TRUE(child.cancelled());
+  // The parent's explicit cancel wins over the (unexpired) deadline.
+  EXPECT_EQ(child.cause(), CancelCause::kCancelled);
+}
+
+TEST(CancelToken, ChildDeadlineDoesNotFireTheParent) {
+  CancelSource source;
+  const CancelToken parent = source.token();
+  const CancelToken child = parent.with_timeout(5ms);
+  std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_EQ(child.cause(), CancelCause::kDeadline);
+  EXPECT_FALSE(parent.cancelled());
+  EXPECT_FALSE(source.cancel_requested());
+}
+
+TEST(CancelToken, WithDeadlineAcceptsExplicitTimePoints) {
+  const CancelToken already =
+      CancelToken{}.with_deadline(std::chrono::steady_clock::now() - 1ms);
+  EXPECT_TRUE(already.cancelled());
+  EXPECT_EQ(already.cause(), CancelCause::kDeadline);
+}
+
+TEST(CancelCauseNames, AreStable) {
+  EXPECT_STREQ(to_string(CancelCause::kNone), "");
+  EXPECT_STREQ(to_string(CancelCause::kCancelled), "cancelled");
+  EXPECT_STREQ(to_string(CancelCause::kDeadline), "deadline exceeded");
+}
+
+}  // namespace
+}  // namespace msys

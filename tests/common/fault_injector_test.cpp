@@ -1,0 +1,122 @@
+// FaultInjector contract: disarmed is free and inert, decisions are a
+// pure function of (seed, site, occurrence), rates hold over many draws,
+// and the MSYS_FAULTS spec parser rejects malformed directives loudly.
+#include "msys/common/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msys {
+namespace {
+
+TEST(FaultInjector, DisarmedNeverFires) {
+  FaultInjector faults;
+  EXPECT_FALSE(faults.armed());
+  EXPECT_FALSE(faults.should_fail("store.write.torn"));
+  EXPECT_EQ(faults.fire_param("engine.compile.stall"), 0u);
+  EXPECT_EQ(faults.total_injected(), 0u);
+}
+
+TEST(FaultInjector, AlwaysSiteFiresEveryOccurrenceWithItsParam) {
+  FaultInjector faults;
+  faults.arm(42);
+  faults.set_site("engine.compile.stall", {1, 1, 50});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(faults.fire_param("engine.compile.stall"), 50u);
+  }
+  EXPECT_EQ(faults.injected_count("engine.compile.stall"), 10u);
+  EXPECT_EQ(faults.total_injected(), 10u);
+}
+
+TEST(FaultInjector, FiringWithoutAParamReportsOne) {
+  FaultInjector faults;
+  faults.arm(42);
+  faults.set_site("store.write.torn", {1, 1, 0});
+  EXPECT_EQ(faults.fire_param("store.write.torn"), 1u);
+  EXPECT_TRUE(faults.should_fail("store.write.torn"));
+}
+
+TEST(FaultInjector, UnarmedSitesNeverFire) {
+  FaultInjector faults;
+  faults.arm(42);
+  faults.set_site("store.read.corrupt", {1, 1, 0});
+  EXPECT_FALSE(faults.should_fail("some.other.site"));
+  EXPECT_EQ(faults.injected_count("some.other.site"), 0u);
+}
+
+TEST(FaultInjector, DecisionsAreAPureFunctionOfSeedSiteOccurrence) {
+  // Two independent injectors with the same seed and arming replay the
+  // same decision sequence; a different seed diverges somewhere.
+  auto draw_sequence = [](std::uint64_t seed) {
+    FaultInjector faults;
+    faults.arm(seed);
+    faults.set_site("store.write.io_error", {1, 3, 0});
+    std::vector<bool> fired;
+    fired.reserve(64);
+    for (int i = 0; i < 64; ++i) fired.push_back(faults.should_fail("store.write.io_error"));
+    return fired;
+  };
+  EXPECT_EQ(draw_sequence(7), draw_sequence(7));
+  EXPECT_NE(draw_sequence(7), draw_sequence(8));
+}
+
+TEST(FaultInjector, RateRoughlyHoldsOverManyDraws) {
+  FaultInjector faults;
+  faults.arm(1234);
+  faults.set_site("store.read.io_error", {1, 4, 0});
+  for (int i = 0; i < 4000; ++i) (void)faults.should_fail("store.read.io_error");
+  const std::uint64_t injected = faults.injected_count("store.read.io_error");
+  // 1/4 of 4000 = 1000 expected; allow a wide deterministic band.
+  EXPECT_GT(injected, 800u);
+  EXPECT_LT(injected, 1200u);
+}
+
+TEST(FaultInjector, DisarmClearsSitesAndCounts) {
+  FaultInjector faults;
+  faults.arm(42);
+  faults.set_site("store.write.torn", {1, 1, 0});
+  (void)faults.should_fail("store.write.torn");
+  faults.disarm();
+  EXPECT_FALSE(faults.armed());
+  EXPECT_FALSE(faults.should_fail("store.write.torn"));
+  EXPECT_EQ(faults.total_injected(), 0u);
+}
+
+TEST(FaultInjectorSpec, ParsesRatesParamsAndSeed) {
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.arm_from_spec(
+      "seed=42;store.write.torn=1/8;engine.compile.stall=always:50", &error))
+      << error;
+  EXPECT_TRUE(faults.armed());
+  EXPECT_EQ(faults.fire_param("engine.compile.stall"), 50u);
+  // never => armed but inert.
+  ASSERT_TRUE(faults.arm_from_spec("seed=1;store.read.corrupt=never", &error)) << error;
+  for (int i = 0; i < 16; ++i) EXPECT_FALSE(faults.should_fail("store.read.corrupt"));
+}
+
+TEST(FaultInjectorSpec, MalformedSpecsDisarmAndExplain) {
+  FaultInjector faults;
+  for (const char* bad :
+       {"garbage", "seed=abc", "site=1/0", "site=one/two", "site=1/2:xyz", "site="}) {
+    std::string error;
+    faults.arm(9);  // the failed parse must also tear this arming down
+    faults.set_site("x", {1, 1, 0});
+    EXPECT_FALSE(faults.arm_from_spec(bad, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+    EXPECT_FALSE(faults.armed()) << bad;
+  }
+}
+
+TEST(FaultInjectorSpec, EmptySpecDisarms) {
+  FaultInjector faults;
+  faults.arm(9);
+  EXPECT_TRUE(faults.arm_from_spec(""));
+  EXPECT_FALSE(faults.armed());
+}
+
+}  // namespace
+}  // namespace msys

@@ -1,0 +1,96 @@
+// retry_with_backoff contract: first-try success costs nothing, the
+// attempt budget is exact, backoff sleeps grow and are jittered from the
+// caller's Rng, and cancellation cuts both attempts and sleeps short.
+#include "msys/common/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace msys {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Retry, FirstTrySuccessDoesNotSleep) {
+  Rng rng(1);
+  RetryStats stats;
+  int calls = 0;
+  EXPECT_TRUE(retry_with_backoff({}, rng, [&] { ++calls; return true; }, {}, &stats));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.slept, 0ms);
+  EXPECT_FALSE(stats.cancelled);
+}
+
+TEST(Retry, RetriesUntilTheOperationSucceeds) {
+  Rng rng(1);
+  RetryPolicy policy{.max_attempts = 5, .base_delay = 1ms, .max_delay = 4ms};
+  RetryStats stats;
+  int calls = 0;
+  EXPECT_TRUE(retry_with_backoff(
+      policy, rng, [&] { return ++calls == 3; }, {}, &stats));
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_GE(stats.slept, 2ms);  // two backoff sleeps happened
+}
+
+TEST(Retry, ExhaustedBudgetReturnsFalseWithExactAttemptCount) {
+  Rng rng(1);
+  RetryPolicy policy{.max_attempts = 4, .base_delay = 1ms, .max_delay = 2ms};
+  RetryStats stats;
+  int calls = 0;
+  EXPECT_FALSE(retry_with_backoff(policy, rng, [&] { ++calls; return false; }, {}, &stats));
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(stats.attempts, 4);
+  EXPECT_FALSE(stats.cancelled);
+}
+
+TEST(Retry, AtLeastOneAttemptEvenWithAZeroBudget) {
+  Rng rng(1);
+  RetryPolicy policy{.max_attempts = 0};
+  int calls = 0;
+  EXPECT_TRUE(retry_with_backoff(policy, rng, [&] { ++calls; return true; }));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, PreFiredCancelRunsNothing) {
+  Rng rng(1);
+  CancelSource source;
+  source.request_cancel();
+  RetryStats stats;
+  int calls = 0;
+  EXPECT_FALSE(retry_with_backoff({}, rng, [&] { ++calls; return true; },
+                                  source.token(), &stats));
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(stats.attempts, 0);
+  EXPECT_TRUE(stats.cancelled);
+}
+
+TEST(Retry, DeadlineCutsTheBackoffSleepShort) {
+  Rng rng(1);
+  // A long mandatory sleep between attempts vs a short deadline: the loop
+  // must report cancellation rather than sleeping the whole delay.
+  RetryPolicy policy{.max_attempts = 3, .base_delay = 200ms, .max_delay = 200ms};
+  RetryStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(retry_with_backoff(policy, rng, [] { return false; },
+                                  CancelToken::deadline_after(20ms), &stats));
+  const auto wall = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_LT(wall, 150ms);  // far below one full 200ms backoff
+}
+
+TEST(Retry, JitterIsDeterministicForAGivenRngSeed) {
+  auto slept_with_seed = [](std::uint64_t seed) {
+    Rng rng(seed);
+    RetryPolicy policy{.max_attempts = 6, .base_delay = 2ms, .max_delay = 16ms};
+    RetryStats stats;
+    (void)retry_with_backoff(policy, rng, [] { return false; }, {}, &stats);
+    return stats.slept;
+  };
+  EXPECT_EQ(slept_with_seed(99), slept_with_seed(99));
+}
+
+}  // namespace
+}  // namespace msys

@@ -116,7 +116,7 @@ TEST(ScheduleCache, LruEvictsOldestAtCapacity) {
 }
 
 TEST(ScheduleCache, InsertIsFirstWriterWins) {
-  ScheduleCache cache({4, 1});
+  ScheduleCache cache({/*capacity=*/4, /*shards=*/1});
   const auto a = compile_job(retention_job());
   const auto b = compile_job(retention_job());
   ASSERT_NE(a.get(), b.get());
@@ -156,7 +156,7 @@ TEST(ScheduleCache, ConcurrentDoubleComputeIsCoalescedBySingleFlight) {
   // arrived during the compute coalesces onto it, so the duplicate-insert
   // count stays at zero no matter how the race interleaves.
   constexpr int kThreads = 8;
-  ScheduleCache cache({16, 4});
+  ScheduleCache cache({/*capacity=*/16, /*shards=*/4});
   std::vector<std::shared_ptr<const CompiledResult>> seen(kThreads);
   {
     std::vector<std::thread> threads;
@@ -192,7 +192,7 @@ TEST(ScheduleCache, SingleFlightCoalescesAllWaitersOntoOneCompute) {
   // in-flight entry, so the outcome (1 compute, N-1 coalesced, N-1 waits)
   // is forced, not left to scheduling luck.
   constexpr int kThreads = 6;
-  ScheduleCache cache({16, 1});
+  ScheduleCache cache({/*capacity=*/16, /*shards=*/1});
   const auto precomputed = compile_job(retention_job());
   std::atomic<int> computes{0};
 
@@ -249,7 +249,7 @@ TEST(ScheduleCache, SingleFlightPropagatesComputeExceptionToAllWaiters) {
   // A throwing compute must not wedge the in-flight entry: the winner and
   // every coalesced waiter see the exception, and the key stays absent so
   // a retry can succeed.
-  ScheduleCache cache({16, 1});
+  ScheduleCache cache({/*capacity=*/16, /*shards=*/1});
   const ScheduleCache::ComputeFn boom = []() -> std::shared_ptr<const CompiledResult> {
     throw std::runtime_error("compile failed");
   };
@@ -272,7 +272,7 @@ TEST(ScheduleCache, ConcurrentHammerMatchesSerial) {
     reference.push_back(compile_job(retention_job(6 + i)));
   }
 
-  ScheduleCache cache({64, 4});
+  ScheduleCache cache({/*capacity=*/64, /*shards=*/4});
   std::vector<std::vector<std::shared_ptr<const CompiledResult>>> seen(kThreads);
   {
     std::vector<std::thread> threads;

@@ -17,7 +17,14 @@
 //                                       # a rerun is served from disk)
 //   $ ./build/examples/msysc --batch examples/apps --deadline-ms 50 --retries 1
 //                                       # per-job wall-clock budget + retry
+//   $ ./build/examples/msysc --batch examples/apps --dist /tmp/mex --workers 3
+//                                       # distributed: shard the batch into a
+//                                       # lease exchange, spawn 3 msysd
+//                                       # processes, merge results in input
+//                                       # order (byte-identical to -j 1)
 //   $ ./build/examples/msysc --verify-store /tmp/msr           # fsck sweep
+//   $ ./build/examples/msysc --verify-store /tmp/msr --dist /tmp/mex
+//                                       # ... plus the lease/heartbeat sweep
 //   $ ./build/examples/msysc --trace out.json --stats examples/apps/demo.mapp
 //                                       # Chrome-trace JSON + counter table
 //
@@ -45,6 +52,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -53,6 +61,7 @@
 #include "msys/common/fault_injector.hpp"
 #include "msys/common/strfmt.hpp"
 #include "msys/common/table.hpp"
+#include "msys/dist/driver.hpp"
 #include "msys/dsched/validate.hpp"
 #include "msys/engine/batch_runner.hpp"
 #include "msys/extract/analysis.hpp"
@@ -82,12 +91,22 @@ struct BatchFtOptions {
   int deadline_ms{0};
   /// Extra attempts for deadline-expired jobs.
   int retries{0};
+  /// Lease exchange directory ("" => run the batch in this process).
+  std::string dist_dir;
+  /// Worker processes for --dist (0 => attach to externally started ones).
+  int workers{3};
+  /// msysd binary ("" => next to this msysc).
+  std::string msysd_path;
+  /// Canonical per-job result lines are written here when non-empty.
+  std::string results_out;
 };
 
-/// Compiles every .mapp under `dir` on the batch engine and prints one
-/// File/Scheduler/RF/Cycles/Cache/Status summary table.  Returns the worst
-/// per-file exit code (internal > infeasible > parse error > ok).
-int run_batch(const std::string& dir, unsigned n_threads, const BatchFtOptions& ft) {
+/// Compiles every .mapp under `dir` — on the in-process batch engine, or
+/// through the distributed lease exchange when --dist is set — and prints
+/// one File/Scheduler/RF/Cycles/Cache/Status summary table.  Returns the
+/// worst per-file exit code (internal > infeasible > parse error > ok).
+int run_batch(const std::string& dir, unsigned n_threads, const BatchFtOptions& ft,
+              const std::string& argv0) {
   namespace fs = std::filesystem;
   using namespace msys;
 
@@ -108,136 +127,171 @@ int run_batch(const std::string& dir, unsigned n_threads, const BatchFtOptions& 
     return kExitUsage;
   }
 
-  // Per-file front end (parse + optional kernel-schedule search) stays
-  // serial — it is cheap; the scheduling itself fans out below.
-  struct FileCase {
-    std::string path;
-    int exit_code{kExitOk};
-    std::string status{"ok"};
-    /// Index into `jobs` when the file reached the engine, else -1.
-    int job_index{-1};
-  };
-  std::vector<FileCase> files;
-  std::vector<engine::Job> jobs;
-  for (const std::string& path : paths) {
-    FileCase fc;
-    fc.path = path;
-    appdsl::ParseResult parsed = appdsl::parse_file_collect(path);
-    if (!parsed.ok()) {
-      std::cerr << render(parsed.diagnostics) << '\n';
-      fc.exit_code = kExitParse;
-      fc.status = "parse-error";
-      files.push_back(std::move(fc));
+  // Shared front end: read every file once.  An unreadable file gets its
+  // record here, identically in both modes, so local and distributed runs
+  // stay byte-comparable even on that path.
+  std::vector<dist::JobSpec> specs(paths.size());
+  std::vector<std::optional<dist::ResultRecord>> overrides(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    specs[i].name = paths[i];
+    std::ifstream in(paths[i], std::ios::binary);
+    if (!in) {
+      dist::ResultRecord record;
+      record.index = i;
+      record.name = fs::path(paths[i]).filename().string();
+      record.status = "parse-error";
+      record.exit_code = kExitParse;
+      record.diagnostics.push_back(
+          make_error("io.open", "cannot open " + paths[i], SourceLoc{paths[i], 0})
+              .to_string());
+      overrides[i] = std::move(record);
       continue;
     }
-    std::vector<std::vector<KernelId>> partition;
-    if (parsed.experiment->partition.empty()) {
-      // No cluster lines: let the Kernel Scheduler pick one, as the
-      // single-file path does.
-      ksched::SearchResult found =
-          ksched::find_best_schedule(parsed.experiment->app, parsed.experiment->cfg);
-      if (!found.found()) {
-        fc.exit_code = kExitInfeasible;
-        fc.status = "no-schedule";
-        files.push_back(std::move(fc));
-        continue;
-      }
-      for (const model::Cluster& c : found.best->clusters()) partition.push_back(c.kernels);
-    } else {
-      for (const std::vector<std::string>& cluster : parsed.experiment->partition) {
-        std::vector<KernelId> ids;
-        for (const std::string& name : cluster) {
-          ids.push_back(*parsed.experiment->app.find_kernel(name));
-        }
-        partition.push_back(std::move(ids));
-      }
-    }
-    engine::Job job;
-    job.input = engine::make_input(std::move(parsed.experiment->app),
-                                   std::move(partition), parsed.experiment->cfg);
-    job.kind = engine::SchedulerKind::kFallback;
-    fc.job_index = static_cast<int>(jobs.size());
-    jobs.push_back(std::move(job));
-    files.push_back(std::move(fc));
+    std::ostringstream text;
+    text << in.rdbuf();
+    specs[i].text = text.str();
   }
 
-  engine::ScheduleCache::Config cache_cfg;
-  cache_cfg.name = "msysc";
-  if (!ft.store_dir.empty()) {
-    store::StoreConfig store_cfg;
-    store_cfg.dir = ft.store_dir;
-    std::string store_error;
-    cache_cfg.store = store::DiskScheduleStore::open(store_cfg, &store_error);
-    if (cache_cfg.store == nullptr) {
-      std::cerr << "msysc: cannot open --store " << ft.store_dir << ": " << store_error
-                << '\n';
+  std::vector<dist::ResultRecord> records;
+  bool printed_engine_lines = false;
+  engine::ScheduleCache::Stats cache_stats;
+  engine::BatchStats batch_stats;
+  std::shared_ptr<store::DiskScheduleStore> store_handle;
+
+  if (!ft.dist_dir.empty()) {
+    // Distributed mode: shard into the exchange and let the fleet race.
+    dist::DriverConfig cfg;
+    cfg.dir = ft.dist_dir;
+    cfg.workers = ft.workers;
+    cfg.store_dir = ft.store_dir;
+    cfg.deadline_ms = ft.deadline_ms;
+    cfg.retries = ft.retries;
+    cfg.msysd_path = ft.msysd_path;
+    if (cfg.msysd_path.empty()) {
+      const fs::path self(argv0);
+      cfg.msysd_path = (self.has_parent_path() ? self.parent_path() / "msysd"
+                                               : fs::path("msysd"))
+                           .string();
+    }
+    std::string error;
+    const std::unique_ptr<dist::Driver> driver = dist::Driver::create(cfg, &error);
+    if (driver == nullptr) {
+      std::cerr << "msysc: cannot open --dist " << ft.dist_dir << ": " << error << '\n';
       return kExitUsage;
     }
+    std::optional<dist::DriverReport> report = driver->run(specs, {}, &error);
+    if (!report.has_value()) {
+      std::cerr << "msysc: distributed batch failed: " << error << '\n';
+      return kExitInternal;
+    }
+    const dist::LeaseStats ls = driver->leases().stats();
+    std::cout << "dist: " << specs.size() << " jobs, " << report->workers_spawned
+              << " workers spawned, " << report->workers_died << " died, "
+              << report->heartbeats_missed << " heartbeats missed, "
+              << report->requeued + ls.requeues << " requeued, " << report->reissued
+              << " reissued, " << report->corrupt_results << " corrupt results\n";
+    records = std::move(report->records);
+  } else {
+    // Local mode: the same prepare/classify front end, engine in-process.
+    struct FileCase {
+      dist::PreparedJob prepared;
+      /// Index into `jobs` when the file reached the engine, else -1.
+      int job_index{-1};
+    };
+    std::vector<FileCase> files(paths.size());
+    std::vector<engine::Job> jobs;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      if (overrides[i].has_value()) continue;
+      files[i].prepared = dist::prepare_job(specs[i].name, specs[i].text);
+      if (files[i].prepared.job.has_value()) {
+        files[i].job_index = static_cast<int>(jobs.size());
+        jobs.push_back(std::move(*files[i].prepared.job));
+      }
+    }
+
+    engine::ScheduleCache::Config cache_cfg;
+    cache_cfg.name = "msysc";
+    if (!ft.store_dir.empty()) {
+      store::StoreConfig store_cfg;
+      store_cfg.dir = ft.store_dir;
+      std::string store_error;
+      cache_cfg.store = store::DiskScheduleStore::open(store_cfg, &store_error);
+      if (cache_cfg.store == nullptr) {
+        std::cerr << "msysc: cannot open --store " << ft.store_dir << ": "
+                  << store_error << '\n';
+        return kExitUsage;
+      }
+    }
+
+    engine::ThreadPool pool(n_threads);
+    engine::ScheduleCache cache(cache_cfg);
+    engine::BatchRunner runner(pool, &cache);
+    engine::RunOptions run_options;
+    if (ft.deadline_ms > 0) {
+      run_options.job_deadline = std::chrono::milliseconds(ft.deadline_ms);
+    }
+    run_options.retries = ft.retries;
+    const std::vector<engine::JobResult> results =
+        runner.run(jobs, run_options, &batch_stats);
+
+    records.reserve(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      if (overrides[i].has_value()) {
+        records.push_back(dist::ResultRecord{});  // replaced below
+      } else if (files[i].job_index >= 0) {
+        records.push_back(dist::classify_result(
+            i, specs[i].name, results[static_cast<std::size_t>(files[i].job_index)]));
+      } else {
+        records.push_back(dist::classify_prepared_failure(i, files[i].prepared));
+      }
+    }
+    cache_stats = cache.stats();
+    std::cout << "batch: " << paths.size() << " files, " << pool.size()
+              << " threads, cache " << cache_stats.hits << " hits / "
+              << cache_stats.misses << " misses\n";
+    std::cout << "batch: " << batch_stats.summary() << '\n';
+    printed_engine_lines = true;
+    store_handle = cache_cfg.store;
   }
 
-  engine::ThreadPool pool(n_threads);
-  engine::ScheduleCache cache(cache_cfg);
-  engine::BatchRunner runner(pool, &cache);
-  engine::RunOptions run_options;
-  if (ft.deadline_ms > 0) {
-    run_options.job_deadline = std::chrono::milliseconds(ft.deadline_ms);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (overrides[i].has_value()) records[i] = std::move(*overrides[i]);
   }
-  run_options.retries = ft.retries;
-  engine::BatchStats batch_stats;
-  const std::vector<engine::JobResult> results =
-      runner.run(jobs, run_options, &batch_stats);
 
   TextTable table({"File", "Scheduler", "RF", "Cycles", "Cache", "Status"});
   int worst = kExitOk;
-  for (FileCase& fc : files) {
-    std::string scheduler = "-", rf = "-", cycles = "-", hit = "-";
-    if (fc.job_index >= 0) {
-      const engine::JobResult& r = results[static_cast<std::size_t>(fc.job_index)];
-      hit = r.cache_hit ? "hit" : (r.tier == engine::CacheTier::kDisk ? "disk" : "miss");
-      if (r.feasible()) {
-        scheduler = r.result->outcome.chosen_rung();
-        rf = std::to_string(r.result->outcome.schedule.rf);
-        cycles = std::to_string(r.result->predicted.total.value());
-      } else {
-        const Diagnostics& diags = r.result->outcome.diagnostics;
-        std::cerr << fc.path << ":\n" << render(diags) << '\n';
-        if (r.cancelled()) {
-          // The job did not fit its wall-clock budget: structured data,
-          // same exit class as "does not fit the machine".
-          fc.exit_code = kExitInfeasible;
-          fc.status = r.result->outcome.cancel_cause == CancelCause::kDeadline
-                          ? "timeout"
-                          : "cancelled";
-        } else {
-          const bool internal =
-              std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
-                return d.code == "schedule.internal";
-              });
-          fc.exit_code = internal ? kExitInternal : kExitInfeasible;
-          fc.status = internal ? "internal-error" : "infeasible";
-        }
-      }
+  for (const dist::ResultRecord& record : records) {
+    if (!record.diagnostics.empty()) {
+      std::cerr << specs[record.index].name << ":\n";
+      for (const std::string& line : record.diagnostics) std::cerr << line << '\n';
     }
-    fc.status += " (" + std::to_string(fc.exit_code) + ")";
-    table.add_row({fs::path(fc.path).filename().string(), scheduler, rf, cycles, hit,
-                   fc.status});
-    worst = std::max(worst, fc.exit_code);
+    table.add_row({record.name, record.scheduler, record.rf, record.cycles,
+                   record.cache,
+                   record.status + " (" + std::to_string(record.exit_code) + ")"});
+    worst = std::max(worst, record.exit_code);
   }
-  const engine::ScheduleCache::Stats stats = cache.stats();
-  std::cout << "batch: " << files.size() << " files, " << pool.size()
-            << " threads, cache " << stats.hits << " hits / " << stats.misses
-            << " misses\n";
-  std::cout << "batch: " << batch_stats.summary() << '\n';
-  if (cache_cfg.store != nullptr) {
-    const store::StoreStats ss = cache_cfg.store->stats();
+  if (printed_engine_lines && store_handle != nullptr) {
+    const store::StoreStats ss = store_handle->stats();
     std::cout << "store: " << ss.hits << " hits / " << ss.misses << " misses, "
               << ss.saves << " saves (" << ss.save_failures << " failed), "
               << ss.quarantined << " quarantined, " << ss.retry_attempts
-              << " retried ops; " << cache_cfg.store->entry_count()
-              << " entries in " << ft.store_dir << '\n';
+              << " retried ops; " << store_handle->entry_count() << " entries in "
+              << ft.store_dir << '\n';
   }
   std::cout << '\n';
   table.print(std::cout);
+
+  if (!ft.results_out.empty()) {
+    std::ofstream out(ft.results_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "msysc: cannot write --results-out " << ft.results_out << '\n';
+      worst = std::max(worst, kExitUsage);
+    } else {
+      for (const dist::ResultRecord& record : records) {
+        out << dist::canonical_line(record);
+      }
+    }
+  }
   return worst;
 }
 
@@ -245,10 +299,11 @@ int run_batch(const std::string& dir, unsigned n_threads, const BatchFtOptions& 
 /// bad entry and removing stale temp files *is* the repair, so the sweep
 /// itself exits 0 whenever it completed; only an unopenable directory is
 /// an error.
-int run_verify_store(const std::string& dir) {
+int run_verify_store(const std::string& dir, const std::string& dist_dir) {
   using namespace msys;
   store::StoreConfig store_cfg;
   store_cfg.dir = dir;
+  store_cfg.dist_dir = dist_dir;
   std::string store_error;
   const std::unique_ptr<store::DiskScheduleStore> disk =
       store::DiskScheduleStore::open(store_cfg, &store_error);
@@ -261,6 +316,13 @@ int run_verify_store(const std::string& dir) {
             << report.valid << " valid, " << report.quarantined << " quarantined, "
             << report.removed_tmp << " temp files removed — "
             << (report.clean() ? "clean" : "repaired") << '\n';
+  if (!dist_dir.empty()) {
+    // Expired/orphaned leases are advisory: a live fleet repairs them by
+    // re-claiming, so they never make the sweep "repaired" on their own.
+    std::cout << "verify-store dist " << dist_dir << ": " << report.expired_leases
+              << " expired leases, " << report.orphaned_claims
+              << " orphaned claims\n";
+  }
   return kExitOk;
 }
 
@@ -480,6 +542,30 @@ int main(int argc, char** argv) {
         return kExitUsage;
       }
       verify_store_dir = argv[++i];
+    } else if (arg == "--dist") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: --dist needs an exchange directory\n";
+        return kExitUsage;
+      }
+      ft.dist_dir = argv[++i];
+    } else if (arg == "--workers") {
+      if (i + 1 >= argc || !parse_nonneg(argv[i + 1], &ft.workers)) {
+        std::cerr << "msysc: --workers needs a non-negative integer\n";
+        return kExitUsage;
+      }
+      ++i;
+    } else if (arg == "--msysd") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: --msysd needs a path\n";
+        return kExitUsage;
+      }
+      ft.msysd_path = argv[++i];
+    } else if (arg == "--results-out") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: --results-out needs a file\n";
+        return kExitUsage;
+      }
+      ft.results_out = argv[++i];
     } else if (arg == "--deadline-ms") {
       if (i + 1 >= argc || !parse_nonneg(argv[i + 1], &ft.deadline_ms)) {
         std::cerr << "msysc: --deadline-ms needs a non-negative integer\n";
@@ -510,14 +596,16 @@ int main(int argc, char** argv) {
     }
   }
   if (!verify_store_dir.empty()) {
-    return run_verify_store(verify_store_dir);
+    return run_verify_store(verify_store_dir, ft.dist_dir);
   }
   if (batch_dir.empty() && path.empty()) {
     std::cerr << "usage: msysc [--emit|--timeline|--cross-set|--search|--control|"
                  "--validate] [--trace out.json] [--stats] <file.mapp>\n"
                  "       msysc --batch <dir> [-j N] [--store dir] [--deadline-ms N]\n"
-                 "             [--retries N] [--trace out.json] [--stats]\n"
-                 "       msysc --verify-store <dir>\n";
+                 "             [--retries N] [--results-out file] [--trace out.json]\n"
+                 "             [--stats] [--dist <exchange> [--workers N] "
+                 "[--msysd path]]\n"
+                 "       msysc --verify-store <dir> [--dist <exchange>]\n";
     return kExitUsage;
   }
 
@@ -534,7 +622,7 @@ int main(int argc, char** argv) {
   int code;
   if (!batch_dir.empty()) {
     try {
-      code = run_batch(batch_dir, n_threads, ft);
+      code = run_batch(batch_dir, n_threads, ft, argv[0]);
     } catch (const std::exception& e) {
       std::cerr << "msysc: internal error: " << e.what() << '\n';
       code = kExitInternal;

@@ -1,0 +1,122 @@
+// msysd — one worker of the distributed batch fleet.
+//
+//   $ ./build/examples/msysd --dir /tmp/exchange --worker w0
+//
+// The worker loops claim → compile (through the shared ScheduleCache /
+// DiskScheduleStore) → publish → renew, heartbeating the whole time, and
+// exits once the exchange is drained (no pending jobs, no active leases).
+// It is normally spawned by `msysc --batch <dir> --dist <exchange>`; running
+// it by hand attaches one more worker to a live exchange.
+//
+// Flags:
+//   --dir <path>          exchange directory (required)
+//   --worker <name>       worker identity (default: w<pid>)
+//   --store <path>        shared schedule store (default: <dir>/store)
+//   --ttl-ms <n>          lease time-to-live
+//   --hb-ms <n>           heartbeat/renewal cadence
+//   --deadline-ms <n>     per-job compile budget (0 = none)
+//   --retries <n>         deadline retries per job
+//
+// Exit code: the worst per-job exit code among the jobs this worker
+// published (the driver merges the authoritative batch-wide code), 1 on
+// usage errors.  $MSYS_FAULTS arms the same deterministic fault injection
+// msysc uses — including the dist.* sites.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+#include <string>
+
+#include "msys/common/fault_injector.hpp"
+#include "msys/dist/worker.hpp"
+
+namespace {
+
+bool parse_nonneg(const std::string& value, int* out) {
+  if (value.empty() ||
+      !std::all_of(value.begin(), value.end(),
+                   [](unsigned char c) { return std::isdigit(c) != 0; })) {
+    return false;
+  }
+  try {
+    *out = std::stoi(value);
+    return true;
+  } catch (const std::exception&) {
+    return false;  // out of range
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msys;
+
+  if (std::string fault_error; !FaultInjector::arm_global_from_env(&fault_error)) {
+    std::cerr << "msysd: bad MSYS_FAULTS: " << fault_error << '\n';
+    return 1;
+  }
+
+  dist::WorkerConfig config;
+  config.name = "w" + std::to_string(::getpid());
+  int ttl_ms = 0;
+  int hb_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    auto take = [&](std::string* out) {
+      if (!has_value) return false;
+      *out = argv[++i];
+      return true;
+    };
+    auto take_nonneg = [&](int* out) {
+      return has_value && parse_nonneg(argv[i + 1], out) && ++i;
+    };
+    bool ok = true;
+    if (arg == "--dir") {
+      ok = take(&config.dir);
+    } else if (arg == "--worker") {
+      ok = take(&config.name);
+    } else if (arg == "--store") {
+      ok = take(&config.store_dir);
+    } else if (arg == "--ttl-ms") {
+      ok = take_nonneg(&ttl_ms);
+    } else if (arg == "--hb-ms") {
+      ok = take_nonneg(&hb_ms);
+    } else if (arg == "--deadline-ms") {
+      ok = take_nonneg(&config.deadline_ms);
+    } else if (arg == "--retries") {
+      ok = take_nonneg(&config.retries);
+    } else {
+      std::cerr << "msysd: unknown flag " << arg << '\n';
+      return 1;
+    }
+    if (!ok) {
+      std::cerr << "msysd: " << arg << " needs a value\n";
+      return 1;
+    }
+  }
+  if (config.dir.empty()) {
+    std::cerr << "usage: msysd --dir <exchange> [--worker name] [--store dir]\n"
+                 "             [--ttl-ms N] [--hb-ms N] [--deadline-ms N] "
+                 "[--retries N]\n";
+    return 1;
+  }
+  if (ttl_ms > 0) config.lease_ttl = std::chrono::milliseconds(ttl_ms);
+  if (hb_ms > 0) config.heartbeat_period = std::chrono::milliseconds(hb_ms);
+
+  std::string error;
+  std::unique_ptr<dist::Worker> worker = dist::Worker::create(config, &error);
+  if (worker == nullptr) {
+    std::cerr << "msysd: " << error << '\n';
+    return 1;
+  }
+  const int code = worker->run();
+  const dist::WorkerStats stats = worker->stats();
+  const dist::LeaseStats leases = worker->leases().stats();
+  std::cout << "msysd " << worker->leases().worker() << ": " << stats.published
+            << " published, " << stats.reclaimed << " reclaimed, " << stats.abandoned
+            << " abandoned, " << leases.renewals << " renewals, " << leases.heartbeats
+            << " heartbeats\n";
+  return code;
+}

@@ -1,0 +1,128 @@
+// The batch driver: shards a job list into the exchange directory, spawns
+// (or attaches to) a worker fleet, tails heartbeats, and merges per-job
+// results back in input order.
+//
+// The driver is deliberately stateless about *which* worker runs what —
+// assignment is whatever the lease races decided.  Its job is convergence:
+//
+//   * every input index eventually has a validated result record
+//     (corrupt/torn records are removed and the job re-issued, with a
+//     budget; a job stuck past its budget gets a structured
+//     "result-corrupt" record, never a hang);
+//   * a job that vanished entirely (claimed, then its holder's publish
+//     failed after the lease was released) is detected — no result, no
+//     pending file, no active lease — and re-issued from the driver's own
+//     copy of the spec;
+//   * expired leases are returned to the queue as a backstop
+//     (requeue_expired) even when no surviving worker re-claims them;
+//   * a fleet that died entirely is respawned (bounded), and a fleet that
+//     makes no progress for stall_timeout is killed and reported as an
+//     error instead of hanging the caller.
+//
+// Merged output is input-order-deterministic by construction: records are
+// keyed by index, and the canonical per-job lines exclude run-dependent
+// fields, so a distributed run's merged output is byte-identical to a
+// single-process run of the same job list.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "msys/common/cancel.hpp"
+#include "msys/dist/job_spec.hpp"
+#include "msys/dist/lease.hpp"
+
+namespace msys::dist {
+
+struct DriverConfig {
+  /// Exchange directory (created if absent).
+  std::string dir;
+  /// Worker processes to spawn; 0 => attach mode (the caller runs the
+  /// workers — in-process tests, or externally started msysd daemons).
+  int workers{0};
+  /// msysd binary for spawn mode.
+  std::string msysd_path;
+  /// Shared schedule store passed to spawned workers; "" => <dir>/store.
+  std::string store_dir;
+  std::chrono::milliseconds lease_ttl{1000};
+  std::chrono::milliseconds heartbeat_period{100};
+  /// Driver poll cadence (result collection, heartbeat tail, requeue).
+  std::chrono::milliseconds poll{20};
+  /// A worker whose heartbeat has not advanced for this long is counted
+  /// missing (dist.heartbeats_missed); 0 => max(lease_ttl, 3 heartbeats).
+  std::chrono::milliseconds heartbeat_stale_after{0};
+  /// Per-job compile budget forwarded to spawned workers.
+  int deadline_ms{0};
+  int retries{0};
+  /// Workers re-spawned after the whole fleet died mid-batch.
+  int respawn_budget{2};
+  /// Times one index may be re-issued (corrupt/vanished) before the
+  /// driver synthesizes a "result-corrupt" record for it.
+  int reissue_budget{3};
+  /// No new result for this long => the batch is declared stuck.
+  std::chrono::milliseconds stall_timeout{60000};
+};
+
+struct DriverReport {
+  /// One record per input spec, input order.
+  std::vector<ResultRecord> records;
+  /// Worst per-job exit code.
+  int exit_code{0};
+  std::uint64_t workers_spawned{0};
+  /// Spawned workers that exited (for any reason) before the batch ended.
+  std::uint64_t workers_died{0};
+  std::uint64_t heartbeats_missed{0};
+  /// Expired leases the driver itself returned to the queue.
+  std::uint64_t requeued{0};
+  /// Jobs re-issued after a corrupt or vanished result.
+  std::uint64_t reissued{0};
+  std::uint64_t corrupt_results{0};
+
+  /// Concatenated canonical result lines — the byte-comparable artifact.
+  [[nodiscard]] std::string canonical_text() const;
+};
+
+class Driver {
+ public:
+  [[nodiscard]] static std::unique_ptr<Driver> create(DriverConfig config,
+                                                      std::string* error = nullptr);
+  ~Driver();
+
+  Driver(const Driver&) = delete;
+  Driver& operator=(const Driver&) = delete;
+
+  /// Runs the whole batch: enqueue, spawn/attach, tail, merge.  Returns
+  /// nullopt (with *error) when the batch cannot converge — stuck fleet,
+  /// unwritable exchange, cancellation.
+  [[nodiscard]] std::optional<DriverReport> run(const std::vector<JobSpec>& specs,
+                                                const CancelToken& cancel = {},
+                                                std::string* error = nullptr);
+
+  [[nodiscard]] LeaseManager& leases() { return *leases_; }
+
+ private:
+  Driver() = default;
+
+  /// Forks and execs one msysd; returns the pid, or -1.
+  [[nodiscard]] int spawn_worker(const std::string& name);
+  /// Reaps exited children (non-blocking); returns how many are alive.
+  std::size_t reap_children(DriverReport* report);
+  /// SIGTERM (then SIGKILL) any children still running.
+  void shutdown_children();
+
+  DriverConfig config_;
+  std::unique_ptr<LeaseManager> leases_;
+  struct Child {
+    int pid{-1};
+    std::string name;
+    bool alive{false};
+  };
+  std::vector<Child> children_;
+  std::uint64_t spawn_counter_{0};
+};
+
+}  // namespace msys::dist

@@ -1,0 +1,101 @@
+// The job and result payloads exchanged through the lease directory, plus
+// the shared front end that turns a .mapp text into an engine::Job and an
+// engine result into a row of the merged batch report.
+//
+// Determinism is the point: `msysc --batch` (single process) and the
+// distributed worker fleet run the *same* prepare/classify code and emit
+// the *same* canonical result lines, so "merged distributed output ==
+// single-process output" is a byte comparison, not a fuzzy one.  The
+// canonical line deliberately excludes run-dependent facts (which cache
+// tier served the job, whether the store was degraded this run): those are
+// reported, but they describe the run, not the job.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "msys/common/diagnostic.hpp"
+#include "msys/engine/batch_runner.hpp"
+#include "msys/engine/job.hpp"
+
+namespace msys::dist {
+
+/// Shared CLI exit-code vocabulary (msysc documents the same values).
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 1;
+inline constexpr int kExitParse = 2;
+inline constexpr int kExitInfeasible = 3;
+inline constexpr int kExitInternal = 4;
+
+/// One unit of distributable work: a display/source name (the .mapp path,
+/// used for diagnostics) plus the application text itself — the job
+/// payload carries the *text*, not the path, so workers never depend on a
+/// shared view of the input directory.
+struct JobSpec {
+  std::string name;
+  std::string text;
+};
+
+/// name + '\n' + text (names are paths, so they never contain newlines).
+[[nodiscard]] std::string encode_job_spec(const JobSpec& spec);
+[[nodiscard]] std::optional<JobSpec> decode_job_spec(std::string_view payload);
+
+/// Front-end product for one job: an engine::Job when the text parsed and
+/// a kernel schedule exists, else the structured early failure.
+struct PreparedJob {
+  std::string name;
+  /// Present iff the job reached the engine.
+  std::optional<engine::Job> job;
+  int exit_code{kExitOk};
+  std::string status{"ok"};
+  /// Parse diagnostics when the front end failed.
+  Diagnostics diagnostics;
+};
+
+/// Parses `text` (diagnosing against `name`) and builds the engine job,
+/// mirroring the single-file flow: explicit `cluster` lines win, otherwise
+/// the Kernel Scheduler searches for a partition.
+[[nodiscard]] PreparedJob prepare_job(const std::string& name, std::string_view text);
+
+/// One job's row of the merged batch report.
+struct ResultRecord {
+  std::uint64_t index{0};
+  /// Leaf filename (what the summary table shows).
+  std::string name;
+  std::string status{"ok"};
+  int exit_code{kExitOk};
+  std::string scheduler{"-"};
+  std::string rf{"-"};
+  std::string cycles{"-"};
+  /// Run-dependent: which tier served the job ("hit"/"miss"/"disk", "-"
+  /// when it never reached the engine).  Excluded from canonical_line.
+  std::string cache{"-"};
+  /// Run-dependent: this job's store read exhausted its retry budget.
+  bool store_degraded{false};
+  /// Rendered diagnostic lines (parse errors, infeasibility chain, ...).
+  std::vector<std::string> diagnostics;
+};
+
+/// Fills status / exit code / scheduler / RF / cycles / diagnostics from
+/// an engine result — the one classification both batch modes share.
+/// `index` and `name` seed the record's identity fields.
+[[nodiscard]] ResultRecord classify_result(std::uint64_t index, const std::string& name,
+                                           const engine::JobResult& result);
+
+/// The record for a PreparedJob that failed before reaching the engine.
+[[nodiscard]] ResultRecord classify_prepared_failure(std::uint64_t index,
+                                                     const PreparedJob& prepared);
+
+/// The deterministic per-job line both batch modes write to --results-out:
+/// index, name, scheduler, RF, cycles, status, exit code — tab-separated,
+/// newline-terminated.  Byte-identical across process topologies.
+[[nodiscard]] std::string canonical_line(const ResultRecord& record);
+
+/// Line-oriented codec for shipping a ResultRecord through results/.
+[[nodiscard]] std::string encode_result_record(const ResultRecord& record);
+[[nodiscard]] std::optional<ResultRecord> decode_result_record(std::string_view payload);
+
+}  // namespace msys::dist

@@ -1,0 +1,246 @@
+// Lease-based job coordination for a fleet of worker processes sharing one
+// exchange directory on a local filesystem.
+//
+// The exchange directory holds four subdirectories:
+//
+//   jobs/     NNNNNNNN.job                     pending work (framed payload)
+//   active/   NNNNNNNN.<worker>.<expiry>.lease claimed work (same payload)
+//   results/  NNNNNNNN.res                     published results (framed)
+//   hb/       <worker>.hb                      worker heartbeats
+//
+// Every state transition is ONE atomic rename(2), so any interleaving of
+// workers — including a worker SIGKILL'd between any two instructions —
+// leaves the directory in a state some other worker can make progress
+// from:
+//
+//   * Claim — rename jobs/N.job -> active/N.<me>.<now+ttl>.lease.  The
+//     source file exists exactly once, so exactly one racing worker's
+//     rename succeeds; every loser gets ENOENT and backs off (bounded,
+//     deterministic backoff via RetryPolicy).
+//   * Renew — the lease deadline lives in the *filename*, so renewal is
+//     rename active/N.w.E1.lease -> active/N.w.E2.lease.  A renewal that
+//     returns ENOENT means the lease was re-claimed out from under us (we
+//     stalled past expiry): the holder's ClaimedJob::lease_lost source
+//     fires so the in-flight compile can cooperatively abandon.
+//   * Re-claim — a lease whose filename deadline has passed is orphaned
+//     (its worker died or stalled); any worker may rename it to its own
+//     name + a fresh deadline.  Again rename-source-vanishes guarantees a
+//     single winner.
+//   * Publish — results land via temp file + rename, then the lease file
+//     is removed.  Payloads are framed (magic, index, size, checksum) so a
+//     torn publish is always *detected* by the reader, never trusted.
+//
+// Because compilation is deterministic (same job content => same result
+// bytes), the one failure mode renames cannot exclude — a stalled worker
+// and its re-claimer both finishing the same job — is harmless: both
+// publish byte-identical records and last-writer-wins.
+//
+// Clocks: lease deadlines are wall-clock milliseconds (system_clock).  The
+// fleet shares one machine (process-level parallelism, one filesystem), so
+// every participant reads the same clock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "msys/common/cancel.hpp"
+#include "msys/common/retry.hpp"
+
+namespace msys::dist {
+
+/// Wall-clock milliseconds since the Unix epoch — the lease time base.
+[[nodiscard]] std::uint64_t wall_now_ms();
+
+struct LeaseConfig {
+  /// Exchange directory root; subdirectories are created by open().
+  std::string dir;
+  /// Unique worker identity; sanitized to [A-Za-z0-9_-] (it is embedded in
+  /// lease filenames, where '.' is the field separator).
+  std::string worker;
+  /// How long a claim stays exclusively ours without a renewal.
+  std::chrono::milliseconds lease_ttl{1000};
+  /// Backoff between claim scans when candidates were seen but every
+  /// rename lost the race (contended fleet startup).
+  RetryPolicy claim_retry{.max_attempts = 3,
+                          .base_delay = std::chrono::milliseconds{1},
+                          .max_delay = std::chrono::milliseconds{8}};
+  /// Seed for the deterministic backoff jitter.
+  std::uint64_t retry_seed{0xd157d157ULL};
+};
+
+/// Instance-level tallies; the `dist.*` obs counters are the process-wide
+/// mirror (see README counter glossary).
+struct LeaseStats {
+  std::uint64_t claims{0};
+  std::uint64_t claim_conflicts{0};
+  std::uint64_t reclaims{0};
+  std::uint64_t lease_expired{0};
+  std::uint64_t lease_lost{0};
+  std::uint64_t renewals{0};
+  std::uint64_t publishes{0};
+  std::uint64_t publish_failures{0};
+  std::uint64_t heartbeats{0};
+  std::uint64_t requeues{0};
+  std::uint64_t corrupt_jobs{0};
+  std::uint64_t corrupt_results{0};
+};
+
+/// One claimed job.  The holder must renew() before `expires_at_ms` or any
+/// other worker may re-claim it; `lease_lost` fires (as a CancelSource)
+/// the moment a renewal discovers the lease is gone, so a compile given
+/// `lease_lost.token()` abandons cooperatively.
+struct ClaimedJob {
+  std::uint64_t index{0};
+  /// Decoded job payload (the frame already validated).
+  std::string payload;
+  /// True when this claim rescued an expired lease rather than a pending
+  /// job.
+  bool reclaimed{false};
+  std::filesystem::path lease_path;
+  std::uint64_t expires_at_ms{0};
+  CancelSource lease_lost;
+};
+
+/// A parsed hb/<worker>.hb file.
+struct HeartbeatInfo {
+  std::string worker;
+  std::uint64_t pid{0};
+  std::uint64_t seq{0};
+  std::uint64_t written_ms{0};
+};
+
+class LeaseManager {
+ public:
+  /// Opens (creating if needed) the exchange directory.  Returns nullptr
+  /// and explains into *error when it cannot be created or written.
+  [[nodiscard]] static std::unique_ptr<LeaseManager> open(LeaseConfig config,
+                                                          std::string* error = nullptr);
+
+  // -- driver side ---------------------------------------------------------
+
+  /// Publishes `payload` as pending job `index` (temp file + rename;
+  /// overwrites a pending job of the same index, which is how a corrupt
+  /// result gets its job re-issued).
+  bool enqueue(std::uint64_t index, std::string_view payload);
+
+  /// Returns expired active leases to jobs/ (driver-side scavenging
+  /// backstop for a fleet that died entirely; live workers normally
+  /// re-claim directly via claim_next).  Returns how many were requeued.
+  std::uint64_t requeue_expired();
+
+  /// Validated result payload for `index`.  nullopt on absence; a present
+  /// but corrupt record also yields nullopt with *corrupt = true (the
+  /// caller removes and re-enqueues).
+  [[nodiscard]] std::optional<std::string> load_result(std::uint64_t index,
+                                                       bool* corrupt = nullptr);
+  void remove_result(std::uint64_t index);
+
+  /// Every parseable heartbeat file (driver tailing).
+  [[nodiscard]] std::vector<HeartbeatInfo> read_heartbeats();
+
+  // -- worker side ---------------------------------------------------------
+
+  /// Claims the lowest-index pending job, or — when jobs/ yields nothing —
+  /// re-claims the lowest-index *expired* lease.  Returns nullopt when
+  /// there is nothing claimable (the claim_retry budget bounds how long a
+  /// loser keeps rescanning a contended directory).
+  [[nodiscard]] std::optional<ClaimedJob> claim_next(const CancelToken& cancel = {});
+
+  /// Extends the lease by lease_ttl from now (one atomic rename).  False
+  /// => the lease was re-claimed by another worker; job.lease_lost has
+  /// been fired.
+  bool renew(ClaimedJob& job);
+
+  /// Publishes the result record and releases the lease.  False when the
+  /// write failed (the lease is then still released — the job will expire
+  /// and be re-claimed).
+  bool publish(ClaimedJob& job, std::string_view result_payload);
+
+  /// Refreshes hb/<worker>.hb (pid, monotone sequence, wall timestamp).
+  bool heartbeat();
+
+  // -- shared --------------------------------------------------------------
+
+  [[nodiscard]] std::size_t pending_count() const;
+  [[nodiscard]] std::size_t active_count() const;
+  [[nodiscard]] std::size_t result_count() const;
+  /// Sorted indexes of pending jobs / active leases (driver's view, for
+  /// deciding whether a silent index must be re-issued).
+  [[nodiscard]] std::vector<std::uint64_t> pending_indices() const;
+  [[nodiscard]] std::vector<std::uint64_t> active_indices() const;
+  [[nodiscard]] LeaseStats stats() const;
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+  [[nodiscard]] const std::string& worker() const { return config_.worker; }
+
+  static constexpr const char* kJobsSubdir = "jobs";
+  static constexpr const char* kActiveSubdir = "active";
+  static constexpr const char* kResultsSubdir = "results";
+  static constexpr const char* kHeartbeatSubdir = "hb";
+  static constexpr const char* kQuarantineSubdir = "quarantine";
+
+ private:
+  explicit LeaseManager(LeaseConfig config);
+
+  [[nodiscard]] std::filesystem::path job_path(std::uint64_t index) const;
+  [[nodiscard]] std::filesystem::path result_path(std::uint64_t index) const;
+  [[nodiscard]] std::filesystem::path lease_path(std::uint64_t index,
+                                                 std::uint64_t expiry_ms) const;
+
+  /// One scan over jobs/ in index order; *saw_candidate reports whether
+  /// anything claimable was listed (distinguishes "empty queue" from "lost
+  /// every race").
+  std::optional<ClaimedJob> try_claim_pending(bool* saw_candidate);
+  /// One scan over active/ for expired leases to re-claim.
+  std::optional<ClaimedJob> try_reclaim_expired(bool* saw_candidate);
+  /// Reads + frame-validates a freshly claimed lease file; quarantines and
+  /// drops the claim when the payload is bad.
+  std::optional<ClaimedJob> finish_claim(std::uint64_t index,
+                                         const std::filesystem::path& path,
+                                         std::uint64_t expiry_ms, bool reclaimed);
+  void quarantine_file(const std::filesystem::path& path);
+  /// Atomic write: temp file + rename.  False on I/O error.
+  bool write_file_atomic(const std::filesystem::path& dest, std::string_view bytes);
+
+  LeaseConfig config_;
+  std::filesystem::path dir_;
+  std::filesystem::path jobs_dir_;
+  std::filesystem::path active_dir_;
+  std::filesystem::path results_dir_;
+  std::filesystem::path hb_dir_;
+  std::filesystem::path quarantine_dir_;
+  std::atomic<std::uint64_t> op_counter_{0};
+  std::atomic<std::uint64_t> hb_seq_{0};
+
+  mutable std::atomic<std::uint64_t> claims_{0};
+  mutable std::atomic<std::uint64_t> claim_conflicts_{0};
+  mutable std::atomic<std::uint64_t> reclaims_{0};
+  mutable std::atomic<std::uint64_t> lease_expired_{0};
+  mutable std::atomic<std::uint64_t> lease_lost_{0};
+  mutable std::atomic<std::uint64_t> renewals_{0};
+  mutable std::atomic<std::uint64_t> publishes_{0};
+  mutable std::atomic<std::uint64_t> publish_failures_{0};
+  mutable std::atomic<std::uint64_t> heartbeats_{0};
+  mutable std::atomic<std::uint64_t> requeues_{0};
+  mutable std::atomic<std::uint64_t> corrupt_jobs_{0};
+  mutable std::atomic<std::uint64_t> corrupt_results_{0};
+};
+
+/// Parsed fields of an active/NNNN.<worker>.<expiry>.lease filename.  The
+/// store-side fsck sweep (msys/store, which cannot link this library
+/// without a cycle) re-implements this trivial parse; keep the filename
+/// format in sync with both.
+struct LeaseName {
+  std::uint64_t index{0};
+  std::string worker;
+  std::uint64_t expiry_ms{0};
+};
+[[nodiscard]] std::optional<LeaseName> parse_lease_name(const std::string& filename);
+
+}  // namespace msys::dist

@@ -1,0 +1,117 @@
+// One fleet member: claim → compile → publish, with a background thread
+// renewing the lease and the heartbeat while the compile runs.
+//
+// The worker is a library class (msysd is a thin main around it) so the
+// lease-race and service tests can run whole fleets in-process under the
+// tsan preset.  Concurrency discipline: the heartbeat thread and the run
+// loop share exactly one datum — the pointer to the currently claimed job
+// — and every access to it (renewing, clearing before publish) happens
+// under one mutex; the compile itself only touches copies.
+//
+// A worker exits its run loop when the exchange is *drained* (no pending
+// jobs AND no active leases) or its CancelToken fires.  "Pending empty but
+// active non-empty" is not drained: the holder of those leases may die,
+// and this worker is the one that must outlive it to re-claim.  Drivers
+// therefore enqueue the whole batch before starting workers.
+//
+// Lease loss is cooperative cancellation: when a renewal discovers the
+// lease was re-claimed (this worker stalled past expiry), the claim's
+// CancelSource fires, the in-flight compile abandons at its next
+// checkpoint, and the result is *not* published — the new holder owns the
+// job now.  A worker SIGKILL'd instead of cancelled simply stops renewing,
+// which reads the same to the rest of the fleet.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "msys/common/cancel.hpp"
+#include "msys/dist/lease.hpp"
+
+namespace msys::engine {
+class BatchRunner;
+class ScheduleCache;
+}  // namespace msys::engine
+
+namespace msys::dist {
+
+struct WorkerConfig {
+  /// Exchange directory (see lease.hpp layout).
+  std::string dir;
+  /// Unique worker identity (embedded in lease filenames).
+  std::string name;
+  /// Persistent schedule store shared by the fleet; "" => <dir>/store.
+  std::string store_dir;
+  std::chrono::milliseconds lease_ttl{1000};
+  /// Heartbeat + renewal cadence; renewal triggers once less than half
+  /// the TTL remains, so one missed beat never loses a lease.
+  std::chrono::milliseconds heartbeat_period{100};
+  /// Sleep between claim scans of a non-drained but unclaimable exchange
+  /// (everything leased out and healthy).
+  std::chrono::milliseconds idle_poll{20};
+  /// Per-job compile budget (0 => none) and deadline retries, exactly the
+  /// msysc --batch semantics.
+  int deadline_ms{0};
+  int retries{0};
+};
+
+struct WorkerStats {
+  /// Jobs this worker compiled and published.
+  std::uint64_t published{0};
+  /// Claims abandoned because the lease was lost mid-compile.
+  std::uint64_t abandoned{0};
+  /// Claims that rescued another worker's expired lease.
+  std::uint64_t reclaimed{0};
+};
+
+class Worker {
+ public:
+  /// Opens the exchange and the shared store.  Returns nullptr and
+  /// explains into *error when either cannot be opened.
+  [[nodiscard]] static std::unique_ptr<Worker> create(WorkerConfig config,
+                                                      std::string* error = nullptr);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Claims, compiles and publishes until the exchange drains or `cancel`
+  /// fires.  Returns the worst exit code of the jobs *this worker*
+  /// published (0 for a clean drain with no work).
+  int run(const CancelToken& cancel = {});
+
+  [[nodiscard]] WorkerStats stats() const;
+  [[nodiscard]] LeaseManager& leases() { return *leases_; }
+
+ private:
+  Worker() = default;
+
+  /// Compiles one claimed job and publishes its record (unless the lease
+  /// was lost mid-compile).  Returns the job's exit code.
+  int process(ClaimedJob& claim, engine::BatchRunner& runner);
+  void heartbeat_loop();
+  /// Registers/clears the claim the heartbeat thread renews.
+  void set_current(ClaimedJob* claim);
+
+  WorkerConfig config_;
+  std::unique_ptr<LeaseManager> leases_;
+  std::unique_ptr<engine::ScheduleCache> cache_;
+
+  std::thread hb_thread_;
+  std::mutex mu_;
+  std::condition_variable hb_cv_;
+  bool hb_stop_{false};
+  /// The claim being compiled right now (renewed by the heartbeat
+  /// thread); null between jobs.  Guarded by mu_.
+  ClaimedJob* current_{nullptr};
+
+  mutable std::mutex stats_mu_;
+  WorkerStats stats_;
+};
+
+}  // namespace msys::dist

@@ -1,0 +1,333 @@
+#include "msys/dist/driver.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "msys/obs/metrics.hpp"
+#include "msys/obs/trace.hpp"
+
+namespace msys::dist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+obs::Counter& heartbeats_missed_counter() {
+  static obs::Counter& c = obs::counter("dist.heartbeats_missed");
+  return c;
+}
+
+ResultRecord synthesize_corrupt_record(std::uint64_t index, const std::string& name) {
+  ResultRecord record;
+  record.index = index;
+  record.name = fs::path(name).filename().string();
+  record.status = "result-corrupt";
+  record.exit_code = kExitInternal;
+  record.diagnostics.push_back(
+      make_error("dist.result.corrupt",
+                 "every published result for " + record.name +
+                     " failed validation and the re-issue budget is spent")
+          .to_string());
+  return record;
+}
+
+}  // namespace
+
+std::string DriverReport::canonical_text() const {
+  std::string out;
+  for (const ResultRecord& record : records) out += canonical_line(record);
+  return out;
+}
+
+std::unique_ptr<Driver> Driver::create(DriverConfig config, std::string* error) {
+  auto driver = std::unique_ptr<Driver>(new Driver());
+  driver->config_ = std::move(config);
+  if (driver->config_.store_dir.empty()) {
+    driver->config_.store_dir = (fs::path(driver->config_.dir) / "store").string();
+  }
+  if (driver->config_.heartbeat_stale_after.count() <= 0) {
+    driver->config_.heartbeat_stale_after =
+        std::max(driver->config_.lease_ttl, 3 * driver->config_.heartbeat_period);
+  }
+  LeaseConfig lease_cfg;
+  lease_cfg.dir = driver->config_.dir;
+  lease_cfg.worker = "driver";
+  lease_cfg.lease_ttl = driver->config_.lease_ttl;
+  driver->leases_ = LeaseManager::open(lease_cfg, error);
+  if (driver->leases_ == nullptr) return nullptr;
+  return driver;
+}
+
+Driver::~Driver() { shutdown_children(); }
+
+int Driver::spawn_worker(const std::string& name) {
+  std::vector<std::string> args = {
+      config_.msysd_path,
+      "--dir", config_.dir,
+      "--worker", name,
+      "--store", config_.store_dir,
+      "--ttl-ms", std::to_string(config_.lease_ttl.count()),
+      "--hb-ms", std::to_string(config_.heartbeat_period.count()),
+  };
+  if (config_.deadline_ms > 0) {
+    args.push_back("--deadline-ms");
+    args.push_back(std::to_string(config_.deadline_ms));
+  }
+  if (config_.retries > 0) {
+    args.push_back("--retries");
+    args.push_back(std::to_string(config_.retries));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    // Child: quiet worker, the driver owns the terminal.  MSYS_FAULTS and
+    // the rest of the environment are inherited deliberately — that is
+    // how the fault-injection smoke reaches the fleet.
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, 1);
+      ::dup2(devnull, 2);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  return static_cast<int>(pid);
+}
+
+std::size_t Driver::reap_children(DriverReport* report) {
+  std::size_t alive = 0;
+  for (Child& child : children_) {
+    if (!child.alive) continue;
+    int status = 0;
+    const pid_t got = ::waitpid(child.pid, &status, WNOHANG);
+    if (got == child.pid) {
+      child.alive = false;
+      if (report != nullptr) ++report->workers_died;
+      continue;
+    }
+    ++alive;
+  }
+  return alive;
+}
+
+void Driver::shutdown_children() {
+  // Grace: a drained exchange makes workers exit on their own.
+  for (int wait_ms = 0; wait_ms < 2000; wait_ms += 20) {
+    if (reap_children(nullptr) == 0) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (const Child& child : children_) {
+    if (child.alive) ::kill(child.pid, SIGTERM);
+  }
+  for (int wait_ms = 0; wait_ms < 2000; wait_ms += 20) {
+    if (reap_children(nullptr) == 0) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (Child& child : children_) {
+    if (!child.alive) continue;
+    ::kill(child.pid, SIGKILL);
+    int status = 0;
+    (void)::waitpid(child.pid, &status, 0);
+    child.alive = false;
+  }
+}
+
+std::optional<DriverReport> Driver::run(const std::vector<JobSpec>& specs,
+                                        const CancelToken& cancel,
+                                        std::string* error) {
+  MSYS_TRACE_SPAN(span, "dist.drive", "dist");
+  if (span.active()) {
+    span.add_arg(obs::arg("jobs", static_cast<std::uint64_t>(specs.size())));
+    span.add_arg(obs::arg("workers", static_cast<std::uint64_t>(
+                                         std::max(config_.workers, 0))));
+  }
+  DriverReport report;
+  report.records.reserve(specs.size());
+
+  // Shard the whole batch into the exchange *before* any worker starts:
+  // the workers' drain condition (pending and active both empty) is only
+  // meaningful once the queue is fully stocked.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (!leases_->enqueue(i, encode_job_spec(specs[i]))) {
+      if (error != nullptr) {
+        *error = "cannot enqueue job " + std::to_string(i) + " into " + config_.dir;
+      }
+      return std::nullopt;
+    }
+  }
+
+  for (int i = 0; i < config_.workers; ++i) {
+    const std::string name = "w" + std::to_string(spawn_counter_++);
+    const int pid = spawn_worker(name);
+    if (pid < 0) {
+      if (error != nullptr) *error = "cannot spawn worker " + name;
+      shutdown_children();
+      return std::nullopt;
+    }
+    children_.push_back(Child{pid, name, true});
+    ++report.workers_spawned;
+  }
+
+  std::vector<std::optional<ResultRecord>> collected(specs.size());
+  std::vector<int> reissues(specs.size(), 0);
+  std::vector<int> missing_streak(specs.size(), 0);
+  std::size_t n_collected = 0;
+  int respawns_used = 0;
+
+  struct HeartbeatTrack {
+    std::uint64_t seq{0};
+    std::chrono::steady_clock::time_point last_advance;
+    bool flagged{false};
+  };
+  std::map<std::string, HeartbeatTrack> heartbeat_state;
+
+  auto last_progress = std::chrono::steady_clock::now();
+  while (n_collected < specs.size()) {
+    if (cancel.cancelled()) {
+      if (error != nullptr) *error = "batch cancelled";
+      shutdown_children();
+      return std::nullopt;
+    }
+
+    // Collect: validate every new result; a corrupt record is removed and
+    // its job re-issued from the driver's own copy of the spec.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (collected[i].has_value()) continue;
+      bool corrupt = false;
+      std::optional<std::string> payload = leases_->load_result(i, &corrupt);
+      std::optional<ResultRecord> record;
+      if (payload.has_value()) {
+        record = decode_result_record(*payload);
+        if (!record.has_value() || record->index != i) {
+          // Framed fine but not a record for this slot: same contract.
+          corrupt = true;
+          record.reset();
+        }
+      }
+      if (record.has_value()) {
+        collected[i] = std::move(record);
+        ++n_collected;
+        missing_streak[i] = 0;
+        last_progress = std::chrono::steady_clock::now();
+        continue;
+      }
+      if (corrupt) {
+        ++report.corrupt_results;
+        leases_->remove_result(i);
+        if (reissues[i] < config_.reissue_budget) {
+          ++reissues[i];
+          ++report.reissued;
+          (void)leases_->enqueue(i, encode_job_spec(specs[i]));
+        } else {
+          collected[i] = synthesize_corrupt_record(i, specs[i].name);
+          ++n_collected;
+          last_progress = std::chrono::steady_clock::now();
+        }
+      }
+    }
+    if (n_collected >= specs.size()) break;
+
+    // Backstop 1: expired leases with no surviving claimant go back to
+    // the queue (workers normally re-claim them directly).
+    report.requeued += leases_->requeue_expired();
+
+    // Backstop 2: a job that is nowhere — no result, not pending, not
+    // leased — had its publish fail after the lease was released.  Two
+    // consecutive sightings are required so a mid-rename snapshot (claim
+    // moving jobs/ -> active/) is never mistaken for loss.
+    {
+      const std::vector<std::uint64_t> pending = leases_->pending_indices();
+      const std::vector<std::uint64_t> active = leases_->active_indices();
+      std::set<std::uint64_t> visible(pending.begin(), pending.end());
+      visible.insert(active.begin(), active.end());
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (collected[i].has_value() || visible.contains(i)) {
+          missing_streak[i] = 0;
+          continue;
+        }
+        if (++missing_streak[i] < 2) continue;
+        missing_streak[i] = 0;
+        if (reissues[i] < config_.reissue_budget) {
+          ++reissues[i];
+          ++report.reissued;
+          (void)leases_->enqueue(i, encode_job_spec(specs[i]));
+        } else {
+          collected[i] = synthesize_corrupt_record(i, specs[i].name);
+          ++n_collected;
+          last_progress = std::chrono::steady_clock::now();
+        }
+      }
+    }
+
+    // Tail heartbeats: a worker whose file stops advancing is missing —
+    // dead (SIGKILL) or wedged; either way its leases will expire and the
+    // counter tells the operator why reclaims happened.
+    {
+      const auto now = std::chrono::steady_clock::now();
+      for (const HeartbeatInfo& hb : leases_->read_heartbeats()) {
+        auto [it, inserted] = heartbeat_state.try_emplace(hb.worker);
+        HeartbeatTrack& track = it->second;
+        if (inserted || hb.seq > track.seq) {
+          track.seq = hb.seq;
+          track.last_advance = now;
+          track.flagged = false;
+        } else if (!track.flagged &&
+                   now - track.last_advance > config_.heartbeat_stale_after) {
+          track.flagged = true;
+          ++report.heartbeats_missed;
+          heartbeats_missed_counter().add();
+        }
+      }
+    }
+
+    // Fleet liveness (spawn mode): if every worker died with work left,
+    // respawn within budget — otherwise the stall timeout below reports.
+    if (config_.workers > 0) {
+      const std::size_t alive = reap_children(&report);
+      if (alive == 0 && respawns_used < config_.respawn_budget) {
+        ++respawns_used;
+        const std::string name = "w" + std::to_string(spawn_counter_++);
+        const int pid = spawn_worker(name);
+        if (pid >= 0) {
+          children_.push_back(Child{pid, name, true});
+          ++report.workers_spawned;
+        }
+      }
+    }
+
+    if (std::chrono::steady_clock::now() - last_progress > config_.stall_timeout) {
+      if (error != nullptr) {
+        *error = "batch stalled: no result for " +
+                 std::to_string(config_.stall_timeout.count()) + "ms with " +
+                 std::to_string(specs.size() - n_collected) + " jobs outstanding";
+      }
+      shutdown_children();
+      return std::nullopt;
+    }
+    std::this_thread::sleep_for(config_.poll);
+  }
+
+  // Drained exchange => workers exit on their own; escalate only if not.
+  shutdown_children();
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    report.records.push_back(std::move(*collected[i]));
+    report.exit_code = std::max(report.exit_code, report.records.back().exit_code);
+  }
+  return report;
+}
+
+}  // namespace msys::dist

@@ -1,0 +1,195 @@
+#include "msys/dist/job_spec.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "msys/appdsl/parser.hpp"
+#include "msys/ksched/kernel_scheduler.hpp"
+
+namespace msys::dist {
+
+namespace {
+
+/// Strict non-negative base-10 parse (no signs, no prefixes).
+std::optional<std::uint64_t> parse_u64_field(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (value > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10) {
+      return std::nullopt;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string encode_job_spec(const JobSpec& spec) {
+  return spec.name + '\n' + spec.text;
+}
+
+std::optional<JobSpec> decode_job_spec(std::string_view payload) {
+  const std::size_t newline = payload.find('\n');
+  if (newline == std::string_view::npos) return std::nullopt;
+  JobSpec spec;
+  spec.name = std::string(payload.substr(0, newline));
+  spec.text = std::string(payload.substr(newline + 1));
+  if (spec.name.empty()) return std::nullopt;
+  return spec;
+}
+
+PreparedJob prepare_job(const std::string& name, std::string_view text) {
+  PreparedJob prepared;
+  prepared.name = name;
+  appdsl::ParseResult parsed = appdsl::parse_collect(text, name);
+  if (!parsed.ok()) {
+    prepared.exit_code = kExitParse;
+    prepared.status = "parse-error";
+    prepared.diagnostics = std::move(parsed.diagnostics);
+    return prepared;
+  }
+  std::vector<std::vector<KernelId>> partition;
+  if (parsed.experiment->partition.empty()) {
+    // No cluster lines: let the Kernel Scheduler pick one, as the
+    // single-file path does.
+    ksched::SearchResult found =
+        ksched::find_best_schedule(parsed.experiment->app, parsed.experiment->cfg);
+    if (!found.found()) {
+      prepared.exit_code = kExitInfeasible;
+      prepared.status = "no-schedule";
+      return prepared;
+    }
+    for (const model::Cluster& c : found.best->clusters()) partition.push_back(c.kernels);
+  } else {
+    for (const std::vector<std::string>& cluster : parsed.experiment->partition) {
+      std::vector<KernelId> ids;
+      for (const std::string& kernel_name : cluster) {
+        ids.push_back(*parsed.experiment->app.find_kernel(kernel_name));
+      }
+      partition.push_back(std::move(ids));
+    }
+  }
+  engine::Job job;
+  job.input = engine::make_input(std::move(parsed.experiment->app),
+                                 std::move(partition), parsed.experiment->cfg);
+  job.kind = engine::SchedulerKind::kFallback;
+  prepared.job = std::move(job);
+  return prepared;
+}
+
+ResultRecord classify_result(std::uint64_t index, const std::string& name,
+                             const engine::JobResult& result) {
+  ResultRecord record;
+  record.index = index;
+  record.name = std::filesystem::path(name).filename().string();
+  record.cache = result.cache_hit
+                     ? "hit"
+                     : (result.tier == engine::CacheTier::kDisk ? "disk" : "miss");
+  record.store_degraded = result.store_degraded;
+  if (result.feasible()) {
+    record.scheduler = result.result->outcome.chosen_rung();
+    record.rf = std::to_string(result.result->outcome.schedule.rf);
+    record.cycles = std::to_string(result.result->predicted.total.value());
+  } else {
+    const Diagnostics& diags = result.result->outcome.diagnostics;
+    for (const Diagnostic& d : diags) record.diagnostics.push_back(d.to_string());
+    if (result.cancelled()) {
+      // The job did not fit its wall-clock budget: structured data, same
+      // exit class as "does not fit the machine".
+      record.exit_code = kExitInfeasible;
+      record.status = result.result->outcome.cancel_cause == CancelCause::kDeadline
+                          ? "timeout"
+                          : "cancelled";
+    } else {
+      const bool internal =
+          std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+            return d.code == "schedule.internal";
+          });
+      record.exit_code = internal ? kExitInternal : kExitInfeasible;
+      record.status = internal ? "internal-error" : "infeasible";
+    }
+  }
+  if (record.store_degraded) {
+    // Run-dependent (so not part of the canonical line), but structured:
+    // a driver merging results can tell a store fault from infeasibility.
+    record.diagnostics.push_back(
+        make_warning("store.read.exhausted",
+                     "store read retry budget exhausted for " + record.name +
+                         "; result was recomputed (store degraded)")
+            .to_string());
+  }
+  return record;
+}
+
+ResultRecord classify_prepared_failure(std::uint64_t index, const PreparedJob& prepared) {
+  ResultRecord record;
+  record.index = index;
+  record.name = std::filesystem::path(prepared.name).filename().string();
+  record.status = prepared.status;
+  record.exit_code = prepared.exit_code;
+  for (const Diagnostic& d : prepared.diagnostics) {
+    record.diagnostics.push_back(d.to_string());
+  }
+  return record;
+}
+
+std::string canonical_line(const ResultRecord& record) {
+  std::ostringstream out;
+  out << record.index << '\t' << record.name << '\t' << record.scheduler << '\t'
+      << record.rf << '\t' << record.cycles << '\t' << record.status << '\t'
+      << record.exit_code << '\n';
+  return out.str();
+}
+
+std::string encode_result_record(const ResultRecord& record) {
+  std::ostringstream out;
+  out << record.index << '\n'
+      << record.name << '\n'
+      << record.status << '\n'
+      << record.exit_code << '\n'
+      << record.scheduler << '\n'
+      << record.rf << '\n'
+      << record.cycles << '\n'
+      << record.cache << '\n'
+      << (record.store_degraded ? 1 : 0) << '\n'
+      << record.diagnostics.size() << '\n';
+  for (const std::string& line : record.diagnostics) out << line << '\n';
+  return out.str();
+}
+
+std::optional<ResultRecord> decode_result_record(std::string_view payload) {
+  std::istringstream in{std::string(payload)};
+  std::vector<std::string> head;
+  std::string line;
+  for (int i = 0; i < 10 && std::getline(in, line); ++i) head.push_back(line);
+  if (head.size() != 10) return std::nullopt;
+  const std::optional<std::uint64_t> index = parse_u64_field(head[0]);
+  const std::optional<std::uint64_t> exit_code = parse_u64_field(head[3]);
+  const std::optional<std::uint64_t> degraded = parse_u64_field(head[8]);
+  const std::optional<std::uint64_t> n_diags = parse_u64_field(head[9]);
+  if (!index || !exit_code || *exit_code > kExitInternal || !degraded ||
+      *degraded > 1 || !n_diags || head[1].empty() || head[2].empty()) {
+    return std::nullopt;
+  }
+  ResultRecord record;
+  record.index = *index;
+  record.name = head[1];
+  record.status = head[2];
+  record.exit_code = static_cast<int>(*exit_code);
+  record.scheduler = head[4];
+  record.rf = head[5];
+  record.cycles = head[6];
+  record.cache = head[7];
+  record.store_degraded = *degraded == 1;
+  for (std::uint64_t i = 0; i < *n_diags; ++i) {
+    if (!std::getline(in, line)) return std::nullopt;
+    record.diagnostics.push_back(line);
+  }
+  return record;
+}
+
+}  // namespace msys::dist

@@ -1,0 +1,592 @@
+#include "msys/dist/lease.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "msys/common/fault_injector.hpp"
+#include "msys/common/hash.hpp"
+#include "msys/common/rng.hpp"
+#include "msys/obs/metrics.hpp"
+#include "msys/obs/trace.hpp"
+
+namespace msys::dist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'D', 'X', '1'};
+constexpr std::size_t kHeaderSize = 4 + 8 + 8 + 8;  // magic, index, size, checksum
+constexpr const char* kJobSuffix = ".job";
+constexpr const char* kLeaseSuffix = ".lease";
+constexpr const char* kResultSuffix = ".res";
+
+struct DistMetrics {
+  obs::Counter& claims = obs::counter("dist.claims");
+  obs::Counter& claim_conflicts = obs::counter("dist.claim_conflicts");
+  obs::Counter& reclaims = obs::counter("dist.reclaims");
+  obs::Counter& lease_expired = obs::counter("dist.lease_expired");
+  obs::Counter& lease_lost = obs::counter("dist.lease_lost");
+  obs::Counter& renewals = obs::counter("dist.renewals");
+  obs::Counter& publishes = obs::counter("dist.publishes");
+  obs::Counter& publish_failures = obs::counter("dist.publish_failures");
+  obs::Counter& heartbeats = obs::counter("dist.heartbeats");
+  obs::Counter& requeues = obs::counter("dist.requeues");
+  obs::Counter& corrupt_jobs = obs::counter("dist.jobs_corrupt");
+  obs::Counter& corrupt_results = obs::counter("dist.results_corrupt");
+
+  static DistMetrics& get() {
+    static DistMetrics m;
+    return m;
+  }
+};
+
+void put_u64_le(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t get_u64_le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t record_checksum(std::uint64_t index, std::string_view payload) {
+  Hasher h;
+  h.update_u64(index);
+  h.update_bytes(payload);
+  return h.finalize();
+}
+
+/// Framed exchange record: magic, index, payload size, checksum, payload.
+/// Same shape as the schedule store's .msr frame — a torn or bit-flipped
+/// file is detected, never trusted.
+std::string frame_record(std::uint64_t index, std::string_view payload) {
+  std::string record;
+  record.reserve(kHeaderSize + payload.size());
+  record.append(kMagic, 4);
+  put_u64_le(&record, index);
+  put_u64_le(&record, payload.size());
+  put_u64_le(&record, record_checksum(index, payload));
+  record.append(payload);
+  return record;
+}
+
+std::optional<std::string> parse_record(const std::string& bytes,
+                                        std::uint64_t expect_index) {
+  if (bytes.size() < kHeaderSize) return std::nullopt;
+  if (std::string_view(bytes.data(), 4) != std::string_view(kMagic, 4)) {
+    return std::nullopt;
+  }
+  const std::uint64_t index = get_u64_le(bytes.data() + 4);
+  const std::uint64_t size = get_u64_le(bytes.data() + 12);
+  const std::uint64_t checksum = get_u64_le(bytes.data() + 20);
+  if (index != expect_index) return std::nullopt;
+  if (bytes.size() != kHeaderSize + size) return std::nullopt;
+  std::string payload = bytes.substr(kHeaderSize);
+  if (record_checksum(index, payload) != checksum) return std::nullopt;
+  return payload;
+}
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return in.good() || in.eof();
+}
+
+std::string index_name(std::uint64_t index) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%08llu", static_cast<unsigned long long>(index));
+  return std::string(buf);
+}
+
+/// Strict decimal parse (lease filenames are machine-written; anything
+/// else is a malformed name the caller flags).
+bool parse_u64(std::string_view text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+std::string sanitize_worker(std::string_view worker) {
+  std::string out;
+  out.reserve(worker.size());
+  for (char c : worker) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out = "w";
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t wall_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::optional<LeaseName> parse_lease_name(const std::string& filename) {
+  // NNNNNNNN.<worker>.<expiry>.lease — worker cannot contain '.', so the
+  // field boundaries are the first and the two last dots.
+  if (filename.size() < 4 + 1 + 1 + 1 + 6) return std::nullopt;
+  if (!filename.ends_with(kLeaseSuffix)) return std::nullopt;
+  const std::string stem = filename.substr(0, filename.size() - 6);
+  const std::size_t first = stem.find('.');
+  const std::size_t last = stem.rfind('.');
+  if (first == std::string::npos || last == first) return std::nullopt;
+  LeaseName name;
+  if (!parse_u64(std::string_view(stem).substr(0, first), &name.index)) {
+    return std::nullopt;
+  }
+  name.worker = stem.substr(first + 1, last - first - 1);
+  if (name.worker.empty() || name.worker.find('.') != std::string::npos) {
+    return std::nullopt;
+  }
+  if (!parse_u64(std::string_view(stem).substr(last + 1), &name.expiry_ms)) {
+    return std::nullopt;
+  }
+  return name;
+}
+
+LeaseManager::LeaseManager(LeaseConfig config)
+    : config_(std::move(config)),
+      dir_(config_.dir),
+      jobs_dir_(dir_ / kJobsSubdir),
+      active_dir_(dir_ / kActiveSubdir),
+      results_dir_(dir_ / kResultsSubdir),
+      hb_dir_(dir_ / kHeartbeatSubdir),
+      quarantine_dir_(dir_ / kQuarantineSubdir) {
+  config_.worker = sanitize_worker(config_.worker);
+  if (config_.lease_ttl.count() < 1) config_.lease_ttl = std::chrono::milliseconds{1};
+}
+
+std::unique_ptr<LeaseManager> LeaseManager::open(LeaseConfig config,
+                                                 std::string* error) {
+  auto mgr = std::unique_ptr<LeaseManager>(new LeaseManager(std::move(config)));
+  std::error_code ec;
+  for (const fs::path* sub : {&mgr->jobs_dir_, &mgr->active_dir_, &mgr->results_dir_,
+                              &mgr->hb_dir_, &mgr->quarantine_dir_}) {
+    fs::create_directories(*sub, ec);
+    if (ec) {
+      if (error != nullptr) {
+        *error = "cannot create exchange directory " + sub->string() + ": " +
+                 ec.message();
+      }
+      return nullptr;
+    }
+  }
+  const fs::path probe = mgr->dir_ / ".probe.tmp";
+  {
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) {
+        *error = "exchange directory not writable: " + mgr->dir_.string();
+      }
+      return nullptr;
+    }
+  }
+  fs::remove(probe, ec);
+  return mgr;
+}
+
+fs::path LeaseManager::job_path(std::uint64_t index) const {
+  return jobs_dir_ / (index_name(index) + kJobSuffix);
+}
+
+fs::path LeaseManager::result_path(std::uint64_t index) const {
+  return results_dir_ / (index_name(index) + kResultSuffix);
+}
+
+fs::path LeaseManager::lease_path(std::uint64_t index, std::uint64_t expiry_ms) const {
+  return active_dir_ /
+         (index_name(index) + "." + config_.worker + "." + std::to_string(expiry_ms) +
+          kLeaseSuffix);
+}
+
+bool LeaseManager::write_file_atomic(const fs::path& dest, std::string_view bytes) {
+  const std::uint64_t n = op_counter_.fetch_add(1, std::memory_order_relaxed);
+  const fs::path tmp = dest.parent_path() / (dest.filename().string() + "." +
+                                             config_.worker + std::to_string(n) + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, dest, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+void LeaseManager::quarantine_file(const fs::path& path) {
+  const std::uint64_t n = op_counter_.fetch_add(1, std::memory_order_relaxed);
+  std::error_code ec;
+  fs::rename(path,
+             quarantine_dir_ / (path.filename().string() + "." + std::to_string(n)),
+             ec);
+  if (ec) fs::remove(path, ec);
+}
+
+bool LeaseManager::enqueue(std::uint64_t index, std::string_view payload) {
+  return write_file_atomic(job_path(index), frame_record(index, payload));
+}
+
+std::optional<ClaimedJob> LeaseManager::finish_claim(std::uint64_t index,
+                                                     const fs::path& path,
+                                                     std::uint64_t expiry_ms,
+                                                     bool reclaimed) {
+  std::string bytes;
+  std::optional<std::string> payload;
+  if (read_file(path, &bytes)) payload = parse_record(bytes, index);
+  if (!payload.has_value()) {
+    // The rename won the race but the payload is bad (torn enqueue or a
+    // bit flip): preserve the evidence, drop the claim.  The driver's
+    // merge loop re-enqueues any index that never produces a result.
+    corrupt_jobs_.fetch_add(1, std::memory_order_relaxed);
+    DistMetrics::get().corrupt_jobs.add();
+    quarantine_file(path);
+    return std::nullopt;
+  }
+  ClaimedJob job;
+  job.index = index;
+  job.payload = std::move(*payload);
+  job.reclaimed = reclaimed;
+  job.lease_path = path;
+  job.expires_at_ms = expiry_ms;
+  if (reclaimed) {
+    reclaims_.fetch_add(1, std::memory_order_relaxed);
+    DistMetrics::get().reclaims.add();
+  }
+  claims_.fetch_add(1, std::memory_order_relaxed);
+  DistMetrics::get().claims.add();
+  return job;
+}
+
+std::optional<ClaimedJob> LeaseManager::try_claim_pending(bool* saw_candidate) {
+  auto& faults = FaultInjector::global();
+  std::vector<std::pair<std::uint64_t, fs::path>> candidates;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(jobs_dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != kJobSuffix) continue;
+    std::uint64_t index = 0;
+    if (!parse_u64(path.stem().string(), &index)) continue;
+    candidates.emplace_back(index, path);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (const auto& [index, path] : candidates) {
+    *saw_candidate = true;
+    if (faults.armed() && faults.should_fail("dist.claim.lost")) {
+      // Injected lost race: behave exactly as if another worker's rename
+      // beat ours — count the conflict and move on.
+      claim_conflicts_.fetch_add(1, std::memory_order_relaxed);
+      DistMetrics::get().claim_conflicts.add();
+      continue;
+    }
+    const std::uint64_t expiry =
+        wall_now_ms() + static_cast<std::uint64_t>(config_.lease_ttl.count());
+    const fs::path dest = lease_path(index, expiry);
+    std::error_code rename_ec;
+    fs::rename(path, dest, rename_ec);
+    if (rename_ec) {
+      // Somebody else's rename won (the source vanished).
+      claim_conflicts_.fetch_add(1, std::memory_order_relaxed);
+      DistMetrics::get().claim_conflicts.add();
+      continue;
+    }
+    if (std::optional<ClaimedJob> job = finish_claim(index, dest, expiry, false)) {
+      return job;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ClaimedJob> LeaseManager::try_reclaim_expired(bool* saw_candidate) {
+  const std::uint64_t now = wall_now_ms();
+  std::vector<std::pair<std::uint64_t, fs::path>> expired;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(active_dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::optional<LeaseName> name =
+        parse_lease_name(entry.path().filename().string());
+    if (!name.has_value()) continue;
+    if (name->expiry_ms >= now) continue;
+    expired.emplace_back(name->index, entry.path());
+  }
+  std::sort(expired.begin(), expired.end());
+  for (const auto& [index, path] : expired) {
+    *saw_candidate = true;
+    const std::uint64_t expiry =
+        wall_now_ms() + static_cast<std::uint64_t>(config_.lease_ttl.count());
+    const fs::path dest = lease_path(index, expiry);
+    std::error_code rename_ec;
+    fs::rename(path, dest, rename_ec);
+    if (rename_ec) {
+      // Another survivor won the re-claim (or the holder published late).
+      claim_conflicts_.fetch_add(1, std::memory_order_relaxed);
+      DistMetrics::get().claim_conflicts.add();
+      continue;
+    }
+    lease_expired_.fetch_add(1, std::memory_order_relaxed);
+    DistMetrics::get().lease_expired.add();
+    if (std::optional<ClaimedJob> job = finish_claim(index, dest, expiry, true)) {
+      return job;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ClaimedJob> LeaseManager::claim_next(const CancelToken& cancel) {
+  MSYS_TRACE_SPAN(span, "dist.claim", "dist");
+  const std::uint64_t n = op_counter_.fetch_add(1, std::memory_order_relaxed);
+  Hasher h;
+  h.update_bytes(config_.worker);
+  h.update_u64(n);
+  Rng jitter = Rng(config_.retry_seed).split(h.finalize());
+  std::optional<ClaimedJob> claimed;
+  // One attempt = a full scan (pending first, then expired leases).  The
+  // retry loop only re-runs when candidates were seen but every rename
+  // lost — pure contention — so an empty queue returns immediately and a
+  // loser backs off deterministically (seeded jitter) instead of spinning.
+  (void)retry_with_backoff(
+      config_.claim_retry, jitter,
+      [&] {
+        bool saw_candidate = false;
+        claimed = try_claim_pending(&saw_candidate);
+        if (!claimed.has_value()) {
+          std::optional<ClaimedJob> rescued = try_reclaim_expired(&saw_candidate);
+          if (rescued.has_value()) claimed = std::move(rescued);
+        }
+        return claimed.has_value() || !saw_candidate;
+      },
+      cancel);
+  if (claimed.has_value() && span.active()) {
+    span.add_arg(obs::arg("index", claimed->index));
+    span.add_arg(obs::arg("reclaimed", std::uint64_t{claimed->reclaimed ? 1u : 0u}));
+  }
+  return claimed;
+}
+
+bool LeaseManager::renew(ClaimedJob& job) {
+  const std::uint64_t expiry =
+      wall_now_ms() + static_cast<std::uint64_t>(config_.lease_ttl.count());
+  const fs::path dest = lease_path(job.index, expiry);
+  std::error_code ec;
+  fs::rename(job.lease_path, dest, ec);
+  if (ec) {
+    // The lease file is gone under its old name: a survivor re-claimed it
+    // past our deadline.  Fire the job's cancel source so the in-flight
+    // compile abandons at its next cooperative checkpoint.
+    lease_lost_.fetch_add(1, std::memory_order_relaxed);
+    DistMetrics::get().lease_lost.add();
+    job.lease_lost.request_cancel();
+    return false;
+  }
+  job.lease_path = dest;
+  job.expires_at_ms = expiry;
+  renewals_.fetch_add(1, std::memory_order_relaxed);
+  DistMetrics::get().renewals.add();
+  return true;
+}
+
+bool LeaseManager::publish(ClaimedJob& job, std::string_view result_payload) {
+  MSYS_TRACE_SPAN(span, "dist.publish", "dist");
+  if (span.active()) span.add_arg(obs::arg("index", job.index));
+  std::string record = frame_record(job.index, result_payload);
+  auto& faults = FaultInjector::global();
+  if (faults.armed() && faults.should_fail("dist.publish.torn")) {
+    // Simulated crash mid-publish: the record reaches its final name with
+    // a truncated payload.  The worker believes it succeeded — exactly
+    // what a real SIGKILL between write and rename-completion looks like —
+    // and the *reader* must detect the bad frame and re-issue the job.
+    record.resize(record.size() - result_payload.size() / 2 - 1);
+  }
+  const bool ok = write_file_atomic(result_path(job.index), record);
+  if (ok) {
+    publishes_.fetch_add(1, std::memory_order_relaxed);
+    DistMetrics::get().publishes.add();
+  } else {
+    publish_failures_.fetch_add(1, std::memory_order_relaxed);
+    DistMetrics::get().publish_failures.add();
+  }
+  // Release the lease either way: on a failed publish the job must become
+  // re-claimable, not stay pinned to a worker that cannot write results.
+  std::error_code ec;
+  fs::remove(job.lease_path, ec);
+  return ok;
+}
+
+bool LeaseManager::heartbeat() {
+  const std::uint64_t seq = hb_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::string line = config_.worker + " " + std::to_string(::getpid()) + " " +
+                     std::to_string(seq) + " " + std::to_string(wall_now_ms()) + "\n";
+  const bool ok = write_file_atomic(hb_dir_ / (config_.worker + ".hb"), line);
+  if (ok) {
+    heartbeats_.fetch_add(1, std::memory_order_relaxed);
+    DistMetrics::get().heartbeats.add();
+  }
+  return ok;
+}
+
+std::uint64_t LeaseManager::requeue_expired() {
+  const std::uint64_t now = wall_now_ms();
+  std::uint64_t requeued = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(active_dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::optional<LeaseName> name =
+        parse_lease_name(entry.path().filename().string());
+    if (!name.has_value() || name->expiry_ms >= now) continue;
+    std::error_code rename_ec;
+    fs::rename(entry.path(), job_path(name->index), rename_ec);
+    if (rename_ec) continue;  // a worker re-claimed it first — even better
+    ++requeued;
+    lease_expired_.fetch_add(1, std::memory_order_relaxed);
+    requeues_.fetch_add(1, std::memory_order_relaxed);
+    DistMetrics::get().lease_expired.add();
+    DistMetrics::get().requeues.add();
+  }
+  return requeued;
+}
+
+std::optional<std::string> LeaseManager::load_result(std::uint64_t index,
+                                                     bool* corrupt) {
+  if (corrupt != nullptr) *corrupt = false;
+  const fs::path path = result_path(index);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) return std::nullopt;
+  std::string bytes;
+  if (!read_file(path, &bytes)) return std::nullopt;
+  std::optional<std::string> payload = parse_record(bytes, index);
+  if (!payload.has_value()) {
+    corrupt_results_.fetch_add(1, std::memory_order_relaxed);
+    DistMetrics::get().corrupt_results.add();
+    if (corrupt != nullptr) *corrupt = true;
+    return std::nullopt;
+  }
+  return payload;
+}
+
+void LeaseManager::remove_result(std::uint64_t index) {
+  std::error_code ec;
+  fs::remove(result_path(index), ec);
+}
+
+std::vector<HeartbeatInfo> LeaseManager::read_heartbeats() {
+  std::vector<HeartbeatInfo> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(hb_dir_, ec)) {
+    if (!entry.is_regular_file(ec) || entry.path().extension() != ".hb") continue;
+    std::string bytes;
+    if (!read_file(entry.path(), &bytes)) continue;
+    HeartbeatInfo info;
+    std::istringstream in(bytes);
+    if (in >> info.worker >> info.pid >> info.seq >> info.written_ms) {
+      out.push_back(std::move(info));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeartbeatInfo& a, const HeartbeatInfo& b) {
+              return a.worker < b.worker;
+            });
+  return out;
+}
+
+namespace {
+
+std::size_t count_suffix(const fs::path& dir, const char* suffix) {
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec) && entry.path().extension() == suffix) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::size_t LeaseManager::pending_count() const {
+  return count_suffix(jobs_dir_, kJobSuffix);
+}
+
+std::size_t LeaseManager::active_count() const {
+  return count_suffix(active_dir_, kLeaseSuffix);
+}
+
+std::size_t LeaseManager::result_count() const {
+  return count_suffix(results_dir_, kResultSuffix);
+}
+
+std::vector<std::uint64_t> LeaseManager::pending_indices() const {
+  std::vector<std::uint64_t> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(jobs_dir_, ec)) {
+    if (!entry.is_regular_file(ec) || entry.path().extension() != kJobSuffix) continue;
+    std::uint64_t index = 0;
+    if (parse_u64(entry.path().stem().string(), &index)) out.push_back(index);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint64_t> LeaseManager::active_indices() const {
+  std::vector<std::uint64_t> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(active_dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::optional<LeaseName> name =
+        parse_lease_name(entry.path().filename().string());
+    if (name.has_value()) out.push_back(name->index);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+LeaseStats LeaseManager::stats() const {
+  LeaseStats s;
+  s.claims = claims_.load(std::memory_order_relaxed);
+  s.claim_conflicts = claim_conflicts_.load(std::memory_order_relaxed);
+  s.reclaims = reclaims_.load(std::memory_order_relaxed);
+  s.lease_expired = lease_expired_.load(std::memory_order_relaxed);
+  s.lease_lost = lease_lost_.load(std::memory_order_relaxed);
+  s.renewals = renewals_.load(std::memory_order_relaxed);
+  s.publishes = publishes_.load(std::memory_order_relaxed);
+  s.publish_failures = publish_failures_.load(std::memory_order_relaxed);
+  s.heartbeats = heartbeats_.load(std::memory_order_relaxed);
+  s.requeues = requeues_.load(std::memory_order_relaxed);
+  s.corrupt_jobs = corrupt_jobs_.load(std::memory_order_relaxed);
+  s.corrupt_results = corrupt_results_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace msys::dist

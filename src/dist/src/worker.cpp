@@ -1,0 +1,188 @@
+#include "msys/dist/worker.hpp"
+
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "msys/common/fault_injector.hpp"
+#include "msys/dist/job_spec.hpp"
+#include "msys/engine/batch_runner.hpp"
+#include "msys/engine/schedule_cache.hpp"
+#include "msys/engine/thread_pool.hpp"
+#include "msys/obs/trace.hpp"
+#include "msys/store/disk_store.hpp"
+
+namespace msys::dist {
+
+namespace fs = std::filesystem;
+
+std::unique_ptr<Worker> Worker::create(WorkerConfig config, std::string* error) {
+  auto worker = std::unique_ptr<Worker>(new Worker());
+  worker->config_ = std::move(config);
+  if (worker->config_.store_dir.empty()) {
+    worker->config_.store_dir = (fs::path(worker->config_.dir) / "store").string();
+  }
+  if (worker->config_.heartbeat_period.count() < 1) {
+    worker->config_.heartbeat_period = std::chrono::milliseconds{1};
+  }
+  LeaseConfig lease_cfg;
+  lease_cfg.dir = worker->config_.dir;
+  lease_cfg.worker = worker->config_.name;
+  lease_cfg.lease_ttl = worker->config_.lease_ttl;
+  worker->leases_ = LeaseManager::open(lease_cfg, error);
+  if (worker->leases_ == nullptr) return nullptr;
+
+  store::StoreConfig store_cfg;
+  store_cfg.dir = worker->config_.store_dir;
+  std::shared_ptr<store::DiskScheduleStore> store =
+      store::DiskScheduleStore::open(store_cfg, error);
+  if (store == nullptr) return nullptr;
+  engine::ScheduleCache::Config cache_cfg;
+  cache_cfg.name = "msysd";
+  cache_cfg.store = std::move(store);
+  worker->cache_ = std::make_unique<engine::ScheduleCache>(cache_cfg);
+  return worker;
+}
+
+Worker::~Worker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  if (hb_thread_.joinable()) hb_thread_.join();
+}
+
+int Worker::run(const CancelToken& cancel) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hb_stop_ = false;
+  }
+  (void)leases_->heartbeat();  // visible to the driver before the first claim
+  hb_thread_ = std::thread([this] { heartbeat_loop(); });
+
+  engine::ThreadPool pool(1);
+  engine::BatchRunner runner(pool, cache_.get());
+  int worst = kExitOk;
+  while (!cancel.cancelled()) {
+    if (std::optional<ClaimedJob> claim = leases_->claim_next(cancel)) {
+      worst = std::max(worst, process(*claim, runner));
+      continue;
+    }
+    // Nothing claimable.  Pending empty AND active empty => the batch is
+    // drained; otherwise everything is leased out to (presumably) live
+    // holders — stay up, because one of them may die and its lease is
+    // ours to rescue once the deadline in its filename passes.
+    if (leases_->pending_count() == 0 && leases_->active_count() == 0) break;
+    std::this_thread::sleep_for(config_.idle_poll);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  hb_thread_.join();
+  return worst;
+}
+
+int Worker::process(ClaimedJob& claim, engine::BatchRunner& runner) {
+  MSYS_TRACE_SPAN(span, "dist.job", "dist");
+  if (span.active()) {
+    span.add_arg(obs::arg("index", claim.index));
+    span.add_arg(obs::arg("worker", leases_->worker()));
+  }
+  if (claim.reclaimed) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reclaimed;
+  }
+
+  ResultRecord record;
+  record.index = claim.index;
+  const std::optional<JobSpec> spec = decode_job_spec(claim.payload);
+  if (!spec.has_value()) {
+    // Frame checked out but the payload is not a job spec: a driver bug
+    // or in-place tampering.  Structured internal error, never a crash.
+    record.name = "job-" + std::to_string(claim.index);
+    record.status = "internal-error";
+    record.exit_code = kExitInternal;
+    record.diagnostics.push_back(
+        make_error("dist.job.corrupt", "job payload did not decode").to_string());
+  } else {
+    PreparedJob prepared = prepare_job(spec->name, spec->text);
+    if (!prepared.job.has_value()) {
+      record = classify_prepared_failure(claim.index, prepared);
+    } else {
+      engine::RunOptions options;
+      // The compile budget chains off the lease: a renewal that discovers
+      // the lease was re-claimed fires this token and the compile abandons.
+      options.cancel = claim.lease_lost.token();
+      if (config_.deadline_ms > 0) {
+        options.job_deadline = std::chrono::milliseconds(config_.deadline_ms);
+      }
+      options.retries = config_.retries;
+      std::vector<engine::Job> jobs;
+      jobs.push_back(std::move(*prepared.job));
+      set_current(&claim);
+      const std::vector<engine::JobResult> results = runner.run(jobs, options);
+      set_current(nullptr);
+      record = classify_result(claim.index, prepared.name, results[0]);
+    }
+  }
+
+  if (claim.lease_lost.cancel_requested()) {
+    // Re-claimed out from under us mid-compile: the new holder owns the
+    // job now.  Results are deterministic, so publishing what we have
+    // would *often* be harmless — but an abandoned compile carries a
+    // "cancelled" record that must never overwrite the winner's real one.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.abandoned;
+    return kExitOk;
+  }
+  (void)leases_->publish(claim, encode_result_record(record));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.published;
+  }
+  return record.exit_code;
+}
+
+void Worker::heartbeat_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!hb_stop_) {
+    lock.unlock();
+    auto& faults = FaultInjector::global();
+    if (faults.armed()) {
+      // A stalled heartbeat thread is the canonical "worker wedged, not
+      // dead" failure: the lease quietly expires and a survivor re-claims.
+      const std::uint64_t stall_ms = faults.fire_param("dist.heartbeat.stall");
+      if (stall_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+      }
+    }
+    (void)leases_->heartbeat();
+    lock.lock();
+    if (current_ != nullptr) {
+      // Renew once less than half the TTL remains: one missed beat (or a
+      // slow write) never silently loses a healthy lease.
+      const std::uint64_t half =
+          static_cast<std::uint64_t>(config_.lease_ttl.count()) / 2;
+      if (current_->expires_at_ms <= wall_now_ms() + half) {
+        (void)leases_->renew(*current_);
+      }
+    }
+    hb_cv_.wait_for(lock, config_.heartbeat_period, [this] { return hb_stop_; });
+  }
+}
+
+void Worker::set_current(ClaimedJob* claim) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = claim;
+}
+
+WorkerStats Worker::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace msys::dist

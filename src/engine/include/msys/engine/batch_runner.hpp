@@ -34,6 +34,10 @@ struct JobResult {
   /// Which tier served the result (kCompute for a fresh compile, a
   /// synthesized timeout, or a refused job).
   CacheTier tier{CacheTier::kCompute};
+  /// True when the persistent store's read retry budget was exhausted for
+  /// this job (the result was recomputed, but the store is misbehaving —
+  /// a per-job signal callers surface as a structured diagnostic).
+  bool store_degraded{false};
 
   [[nodiscard]] bool feasible() const { return result != nullptr && result->feasible(); }
   /// True when the job's outcome was cut short by a deadline/cancel.
@@ -76,6 +80,9 @@ struct BatchStats {
   std::size_t retries{0};
   /// Jobs the pool refused at submit (answered with "engine.pool.refused").
   std::size_t submit_refused{0};
+  /// Jobs whose store read exhausted its retry budget (JobResult::
+  /// store_degraded): each completed anyway, but the store is degraded.
+  std::size_t store_faults{0};
   /// Wall time of the whole run() call.
   double wall_ms{0.0};
   double hit_latency_ms_total{0.0};

@@ -142,10 +142,13 @@ class ScheduleCache {
   /// result came from the in-memory cache (a coalesced wait or a disk hit
   /// reports a miss); `*tier` (optional) reports the serving tier.
   /// Returns nullptr only when `cancel` fired while this caller was
-  /// waiting on another thread's computation.
+  /// waiting on another thread's computation.  `*store_degraded`
+  /// (optional) reports that the disk probe exhausted its read retry
+  /// budget — the job was recomputed because the store is *misbehaving*,
+  /// not because the entry is absent (a driver surfaces this per job).
   [[nodiscard]] std::shared_ptr<const CompiledResult> get_or_compile(
       const Job& job, bool* was_hit = nullptr, const CancelToken& cancel = {},
-      CacheTier* tier = nullptr);
+      CacheTier* tier = nullptr, bool* store_degraded = nullptr);
 
   /// Produces a result for a key on the first miss.  Must be pure with
   /// respect to the key: every caller racing on one key receives the one

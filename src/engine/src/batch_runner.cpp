@@ -34,6 +34,7 @@ std::string BatchStats::summary() const {
   if (cancelled > 0) out << ", " << cancelled << " cancelled";
   if (retries > 0) out << ", " << retries << " retries";
   if (submit_refused > 0) out << ", " << submit_refused << " refused";
+  if (store_faults > 0) out << ", " << store_faults << " store faults";
   return out.str();
 }
 
@@ -77,7 +78,8 @@ std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs,
                               ? options.cancel.with_timeout(options.job_deadline)
                               : options.cancel;
       if (cache_ != nullptr) {
-        out.result = cache_->get_or_compile(job, &out.cache_hit, token, &out.tier);
+        out.result = cache_->get_or_compile(job, &out.cache_hit, token, &out.tier,
+                                            &out.store_degraded);
       } else {
         out.result = compile_job(job, token);
         out.tier = CacheTier::kCompute;
@@ -158,6 +160,7 @@ std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs,
         stats->miss_latency_ms_total += latency_ms[i];
       }
       if (results[i].tier == CacheTier::kDisk) ++stats->disk_hits;
+      if (results[i].store_degraded) ++stats->store_faults;
       if (!results[i].feasible()) ++stats->infeasible;
     }
   }

@@ -157,10 +157,12 @@ void ScheduleCache::insert(std::uint64_t key,
 }
 
 std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
-    const Job& job, bool* was_hit, const CancelToken& cancel, CacheTier* tier) {
+    const Job& job, bool* was_hit, const CancelToken& cancel, CacheTier* tier,
+    bool* store_degraded) {
   store::DiskScheduleStore* disk = config_.store.get();
   const std::uint64_t key = cache_key(job);
   CacheTier served = CacheTier::kCompute;
+  if (store_degraded != nullptr) *store_degraded = false;
   // The disk probe runs inside the single-flight compute, so a thundering
   // herd on one key costs at most one disk read + decode, and a coalesced
   // waiter can receive a disk-decoded result transparently.
@@ -168,7 +170,9 @@ std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
       key,
       [&]() -> std::shared_ptr<const CompiledResult> {
         if (disk != nullptr) {
-          if (std::optional<std::string> payload = disk->load(key, cancel)) {
+          store::LoadStatus load_status = store::LoadStatus::kMiss;
+          if (std::optional<std::string> payload =
+                  disk->load(key, cancel, &load_status)) {
             if (auto decoded = decode_result(*payload, job)) {
               served = CacheTier::kDisk;
               count(Event::kDiskHit);
@@ -177,6 +181,11 @@ std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
             // Framed fine, decoded wrong: semantically corrupt — same
             // contract as a checksum failure.
             disk->quarantine(key);
+          } else if (load_status == store::LoadStatus::kExhausted &&
+                     store_degraded != nullptr) {
+            // Only the single-flight winner probes the disk, so only it
+            // can observe the exhaustion; coalesced waiters report clean.
+            *store_degraded = true;
           }
         }
         auto computed = compile_job(job, cancel);

@@ -41,6 +41,10 @@ struct StoreConfig {
   /// Directory holding the entries; created (with its quarantine/
   /// subdirectory) by open() when absent.
   std::string dir;
+  /// Optional distributed-exchange directory (the msys/dist lease
+  /// directory) swept by verify_store(): expired leases and orphaned
+  /// claims are flagged, dead temp files removed.  "" => no sweep.
+  std::string dist_dir;
   /// Transient-failure budgets, one per I/O class so a flaky read path
   /// cannot exhaust the write budget or vice versa.
   RetryPolicy read_retry{.max_attempts = 3,
@@ -71,11 +75,38 @@ struct FsckReport {
   std::uint64_t valid{0};
   std::uint64_t quarantined{0};
   std::uint64_t removed_tmp{0};
+  /// Distributed-exchange findings (StoreConfig::dist_dir sweep only).
+  /// Leases whose filename deadline has passed: flagged, left in place —
+  /// a live fleet re-claims them, the driver's requeue is the backstop.
+  std::uint64_t expired_leases{0};
+  /// Leases held by a worker with no heartbeat file at all: the claim's
+  /// owner never checked in (or its heartbeat was lost).  Flagged.
+  std::uint64_t orphaned_claims{0};
   /// True when every scanned entry validated and nothing needed cleanup.
+  /// Expired/orphaned leases are advisory (legitimate mid-run states) and
+  /// do not dirty the report.
   [[nodiscard]] bool clean() const {
     return quarantined == 0 && removed_tmp == 0;
   }
 };
+
+/// How a load() resolved — the retry-budget outcome a driver needs to
+/// tell "the entry is not there" from "the store is misbehaving".
+enum class LoadStatus : std::uint8_t {
+  /// The payload came back intact.
+  kHit,
+  /// No entry under this key (definitive absence, no retry burned).
+  kMiss,
+  /// The entry existed but failed framing/checksum: quarantined.
+  kCorrupt,
+  /// Every read attempt hit transient I/O errors — the retry budget is
+  /// exhausted and the entry's true state is unknown.
+  kExhausted,
+  /// The caller's CancelToken fired mid-read.
+  kCancelled,
+};
+
+[[nodiscard]] const char* to_string(LoadStatus status);
 
 class DiskScheduleStore {
  public:
@@ -94,9 +125,13 @@ class DiskScheduleStore {
 
   /// Loads the payload stored under `key`.  nullopt on miss, on a
   /// corrupt entry (which is quarantined first) or when the read budget /
-  /// `cancel` ran out.  Never throws for bad bytes.
+  /// `cancel` ran out.  Never throws for bad bytes.  `status`, when
+  /// given, reports *which* of those happened (see LoadStatus) — the
+  /// caller-facing difference between "recompute because absent" and
+  /// "recompute because the store is degraded".
   [[nodiscard]] std::optional<std::string> load(std::uint64_t key,
-                                                const CancelToken& cancel = {});
+                                                const CancelToken& cancel = {},
+                                                LoadStatus* status = nullptr);
 
   /// Moves `key`'s entry into quarantine/ (no-op when absent).  The engine
   /// calls this when the bytes framed fine but failed *semantic* decoding
@@ -124,8 +159,12 @@ class DiskScheduleStore {
   /// One write attempt: temp file + rename.  False on I/O error.
   bool save_attempt(std::uint64_t key, std::string_view payload);
   /// One read attempt.  False = transient I/O error (retry); true with
-  /// nullopt in *out = definitive miss/corrupt (no retry).
-  bool load_attempt(std::uint64_t key, std::optional<std::string>* out);
+  /// nullopt in *out = definitive miss/corrupt (no retry; *corrupt tells
+  /// the two apart).
+  bool load_attempt(std::uint64_t key, std::optional<std::string>* out,
+                    bool* corrupt);
+  /// The StoreConfig::dist_dir sweep verify_store() runs when configured.
+  void sweep_dist_dir(FsckReport* report);
 
   StoreConfig config_;
   std::filesystem::path dir_;

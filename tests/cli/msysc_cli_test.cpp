@@ -235,5 +235,112 @@ TEST(MsyscCli, KilledBatchRunRecoversOnRerunWithTheSameStore) {
   EXPECT_EQ(msysc("--verify-store " + store.string()), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Distributed mode: the lease-based worker fleet behind --dist.
+// ---------------------------------------------------------------------------
+
+/// Reads a whole file ("" when missing/unreadable).
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(MsyscCli, DistFlagsRejectMissingOperands) {
+  EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " --dist"), 1);
+  EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " --workers nope"), 1);
+  EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " --results-out"), 1);
+  EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " --msysd"), 1);
+}
+
+TEST(MsyscCli, DistributedBatchMatchesSingleProcessByteForByte) {
+  const fs::path ref = scratch("ref.txt");
+  const fs::path got = scratch("dist.txt");
+  const fs::path exchange = scratch("exchange");
+  ASSERT_EQ(msysc("--batch " MSYS_APPS_DIR " --results-out " + ref.string()), 0);
+  ASSERT_EQ(msysc("--batch " MSYS_APPS_DIR " --dist " + exchange.string() +
+                  " --workers 3 --results-out " + got.string() + " --msysd " MSYSD_BIN),
+            0);
+  const std::string expected = slurp(ref);
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(slurp(got), expected);
+  // The exchange's shared store passes fsck, lease sweep included.
+  EXPECT_EQ(msysc("--verify-store " + (exchange / "store").string() + " --dist " +
+                  exchange.string()),
+            0);
+}
+
+TEST(MsyscCli, DistributedBatchSurvivesWorkerSigkill) {
+  // The acceptance scenario: three workers, one SIGKILL'd while it holds a
+  // lease mid-compile.  The survivors must re-claim the orphaned lease and
+  // the merged results must be byte-identical to a single-process run.
+  const fs::path ref = scratch("ref.txt");
+  const fs::path got = scratch("dist.txt");
+  const fs::path exchange = scratch("exchange");
+  ASSERT_EQ(msysc("--batch " MSYS_APPS_DIR " --results-out " + ref.string()), 0);
+
+  const pid_t driver_pid = fork();
+  ASSERT_GE(driver_pid, 0);
+  if (driver_pid == 0) {
+    // Every compile stalls 500ms so the kill below always lands while the
+    // victim is mid-job (deterministic via the fault injector).
+    ::setenv("MSYS_FAULTS", "seed=5;engine.compile.stall=always:500", 1);
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, 1);
+      ::dup2(devnull, 2);
+    }
+    ::execl(MSYSC_BIN, "msysc", "--batch", MSYS_APPS_DIR, "--dist",
+            exchange.c_str(), "--workers", "3", "--results-out", got.c_str(),
+            "--msysd", MSYSD_BIN, static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+
+  // Find a worker that actually holds a lease: parse the worker name out
+  // of an active/NNNN.<worker>.<expiry>.lease filename, then its pid out
+  // of hb/<worker>.hb ("<worker> <pid> <seq> <ms>").
+  pid_t victim = -1;
+  for (int tries = 0; tries < 400 && victim < 0; ++tries) {
+    ::usleep(10 * 1000);
+    std::error_code ec;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(exchange / "active", ec)) {
+      const std::string leaf = entry.path().filename().string();
+      // NNNNNNNN.<worker>.<expiry>.lease
+      const std::size_t first = leaf.find('.');
+      const std::size_t second = leaf.find('.', first + 1);
+      if (first == std::string::npos || second == std::string::npos) continue;
+      const std::string worker = leaf.substr(first + 1, second - first - 1);
+      std::istringstream hb(slurp(exchange / "hb" / (worker + ".hb")));
+      std::string name;
+      long long pid = 0;
+      if (hb >> name >> pid && pid > 0) victim = static_cast<pid_t>(pid);
+      break;
+    }
+  }
+  ASSERT_GT(victim, 0) << "no leased worker appeared to kill";
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(driver_pid, &status, 0), driver_pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // Byte-identical merge despite the crash.
+  const std::string expected = slurp(ref);
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(slurp(got), expected);
+
+  // fsck: the first sweep may repair (dead temp files from the killed
+  // worker); the second must be fully clean.
+  const std::string verify_args = "--verify-store " + (exchange / "store").string() +
+                                  " --dist " + exchange.string();
+  EXPECT_EQ(msysc(verify_args), 0);
+  std::string out;
+  EXPECT_EQ(msysc_capture(verify_args, &out), 0);
+  EXPECT_NE(out.find("clean"), std::string::npos) << out;
+}
+
 }  // namespace
 }  // namespace msys

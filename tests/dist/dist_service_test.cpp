@@ -1,0 +1,329 @@
+// Service-level contract of the distributed batch engine: an in-process
+// fleet (Driver in attach mode + Worker instances on threads) drains a
+// batch deterministically, corrupt artifacts surface as structured records
+// instead of hangs, the store fsck sweep understands the lease directory,
+// and an exhausted store read reaches the per-job report as a structured
+// diagnostic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "msys/common/fault_injector.hpp"
+#include "msys/dist/driver.hpp"
+#include "msys/dist/job_spec.hpp"
+#include "msys/dist/worker.hpp"
+#include "msys/engine/batch_runner.hpp"
+#include "msys/engine/schedule_cache.hpp"
+#include "msys/store/disk_store.hpp"
+
+namespace msys::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A tiny feasible application; `cycles` varies the content so each spec
+/// is a distinct schedule-cache entry.
+std::string mapp_text(const std::string& name, int cycles) {
+  return "app " + name + " iterations 4\n\n" +
+         "input a 100\n"
+         "input b 50\n\n"
+         "kernel k1 ctx 32 cycles " +
+         std::to_string(cycles) +
+         " in a out t:60\n"
+         "kernel k2 ctx 32 cycles 240 in t b out r:24:final\n\n"
+         "cluster k1 k2\n\n"
+         "fbset 1024\ncm 224\nctxcost 1\n";
+}
+
+class DistServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() / "msys_dist_service_test" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+
+  void TearDown() override {
+    FaultInjector::global().disarm();
+    fs::remove_all(root_);
+  }
+
+  /// Runs `specs` through an attach-mode driver plus `n_workers`
+  /// in-process workers and returns the merged report.
+  std::optional<DriverReport> run_service(const std::vector<JobSpec>& specs,
+                                          int n_workers, const std::string& tag) {
+    const fs::path exchange = root_ / ("exchange-" + tag);
+    DriverConfig cfg;
+    cfg.dir = exchange.string();
+    cfg.workers = 0;  // attach mode: this test runs the fleet
+    cfg.lease_ttl = std::chrono::milliseconds(2000);
+    cfg.stall_timeout = std::chrono::milliseconds(30000);
+    std::string error;
+    std::unique_ptr<Driver> driver = Driver::create(cfg, &error);
+    EXPECT_NE(driver, nullptr) << error;
+    if (driver == nullptr) return std::nullopt;
+
+    std::optional<DriverReport> report;
+    std::thread driver_thread(
+        [&] { report = driver->run(specs, {}, &error); });
+    // Workers must not see a half-stocked queue as "drained": wait until
+    // the driver finished enqueueing the whole batch.
+    while (driver->leases().pending_count() + driver->leases().result_count() <
+           specs.size()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::vector<std::thread> fleet;
+    for (int i = 0; i < n_workers; ++i) {
+      fleet.emplace_back([&, i] {
+        WorkerConfig wc;
+        wc.dir = exchange.string();
+        wc.name = "svc" + std::to_string(i);
+        wc.lease_ttl = std::chrono::milliseconds(2000);
+        std::string worker_error;
+        std::unique_ptr<Worker> worker = Worker::create(wc, &worker_error);
+        ASSERT_NE(worker, nullptr) << worker_error;
+        worker->run();
+        WorkerStats stats = worker->stats();
+        published_.fetch_add(stats.published);
+      });
+    }
+    for (std::thread& t : fleet) t.join();
+    driver_thread.join();
+    EXPECT_TRUE(report.has_value()) << error;
+    return report;
+  }
+
+  fs::path root_;
+  std::atomic<std::uint64_t> published_{0};
+};
+
+TEST(JobSpecCodec, RoundTripsAndRejectsGarbage) {
+  const JobSpec spec{"apps/x.mapp", "app x iterations 1\nline two\n"};
+  std::optional<JobSpec> decoded = decode_job_spec(encode_job_spec(spec));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->name, spec.name);
+  EXPECT_EQ(decoded->text, spec.text);
+  EXPECT_FALSE(decode_job_spec("no newline anywhere").has_value());
+}
+
+TEST(ResultRecordCodec, RoundTripsAndRejectsTornPayload) {
+  ResultRecord record;
+  record.index = 42;
+  record.name = "x.mapp";
+  record.status = "ok";
+  record.exit_code = 0;
+  record.scheduler = "CDS";
+  record.rf = "2";
+  record.cycles = "1234";
+  record.cache = "disk";
+  record.store_degraded = true;
+  record.diagnostics = {"x.mapp: warning[w.one] first", "second line"};
+
+  const std::string encoded = encode_result_record(record);
+  std::optional<ResultRecord> decoded = decode_result_record(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->index, 42u);
+  EXPECT_EQ(decoded->name, "x.mapp");
+  EXPECT_EQ(decoded->scheduler, "CDS");
+  EXPECT_EQ(decoded->cycles, "1234");
+  EXPECT_TRUE(decoded->store_degraded);
+  EXPECT_EQ(decoded->diagnostics, record.diagnostics);
+  EXPECT_EQ(canonical_line(*decoded), canonical_line(record));
+
+  // Torn anywhere => reject, never a half-filled record.
+  for (std::size_t cut : {encoded.size() / 4, encoded.size() / 2}) {
+    EXPECT_FALSE(decode_result_record(encoded.substr(0, cut)).has_value());
+  }
+}
+
+TEST(PrepareJob, ParseFailureBecomesStructuredRecord) {
+  PreparedJob prepared = prepare_job("bad.mapp", "this is not an application\n");
+  EXPECT_FALSE(prepared.job.has_value());
+  EXPECT_EQ(prepared.exit_code, kExitParse);
+  EXPECT_EQ(prepared.status, "parse-error");
+  EXPECT_FALSE(prepared.diagnostics.empty());
+
+  const ResultRecord record = classify_prepared_failure(3, prepared);
+  EXPECT_EQ(record.index, 3u);
+  EXPECT_EQ(record.name, "bad.mapp");
+  EXPECT_EQ(record.exit_code, kExitParse);
+  EXPECT_EQ(record.scheduler, "-");
+  EXPECT_FALSE(record.diagnostics.empty());
+}
+
+TEST_F(DistServiceTest, FleetDrainsBatchDeterministically) {
+  std::vector<JobSpec> specs;
+  specs.push_back({"a.mapp", mapp_text("svc-a", 200)});
+  specs.push_back({"b.mapp", mapp_text("svc-b", 300)});
+  specs.push_back({"c.mapp", mapp_text("svc-c", 400)});
+  specs.push_back({"broken.mapp", "not an application\n"});
+
+  std::optional<DriverReport> first = run_service(specs, 2, "first");
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->records.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(first->records[i].index, i);
+  }
+  EXPECT_EQ(first->records[0].status, "ok");
+  EXPECT_EQ(first->records[3].status, "parse-error");
+  EXPECT_EQ(first->exit_code, kExitParse);
+  EXPECT_EQ(published_.load(), specs.size());
+
+  // Same batch, fresh exchange, different fleet size: byte-identical
+  // canonical output — the distributed topology must not leak into it.
+  std::optional<DriverReport> second = run_service(specs, 3, "second");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->canonical_text(), second->canonical_text());
+}
+
+TEST_F(DistServiceTest, CorruptJobSpecBecomesInternalErrorRecord) {
+  // A framed-but-undecodable job payload (no name/text separator) must
+  // drain as a structured internal-error record, not wedge the worker.
+  const fs::path exchange = root_ / "exchange";
+  LeaseConfig lc;
+  lc.dir = exchange.string();
+  lc.worker = "driver";
+  std::string error;
+  std::unique_ptr<LeaseManager> leases = LeaseManager::open(lc, &error);
+  ASSERT_NE(leases, nullptr) << error;
+  ASSERT_TRUE(leases->enqueue(0, "garbage-without-a-newline"));
+
+  WorkerConfig wc;
+  wc.dir = exchange.string();
+  wc.name = "w0";
+  std::unique_ptr<Worker> worker = Worker::create(wc, &error);
+  ASSERT_NE(worker, nullptr) << error;
+  EXPECT_EQ(worker->run(), kExitInternal);
+
+  std::optional<std::string> payload = leases->load_result(0);
+  ASSERT_TRUE(payload.has_value());
+  std::optional<ResultRecord> record = decode_result_record(*payload);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->status, "internal-error");
+  EXPECT_EQ(record->exit_code, kExitInternal);
+  ASSERT_FALSE(record->diagnostics.empty());
+  EXPECT_NE(record->diagnostics[0].find("dist.job.corrupt"), std::string::npos);
+}
+
+TEST_F(DistServiceTest, FsckSweepsLeaseDirectory) {
+  // Build an exchange with one expired lease (worker that heartbeated),
+  // one lease from a worker with no heartbeat at all, and a dead temp
+  // file — then point the store fsck at it.
+  const fs::path exchange = root_ / "exchange";
+  LeaseConfig lc;
+  lc.dir = exchange.string();
+  lc.worker = "driver";
+  std::string error;
+  std::unique_ptr<LeaseManager> driver = LeaseManager::open(lc, &error);
+  ASSERT_NE(driver, nullptr) << error;
+  ASSERT_TRUE(driver->enqueue(0, "job-a"));
+  ASSERT_TRUE(driver->enqueue(1, "job-b"));
+
+  LeaseConfig expired_cfg = lc;
+  expired_cfg.worker = "beating";
+  expired_cfg.lease_ttl = std::chrono::milliseconds(30);
+  std::unique_ptr<LeaseManager> beating = LeaseManager::open(expired_cfg, &error);
+  ASSERT_NE(beating, nullptr);
+  ASSERT_TRUE(beating->heartbeat());
+  std::optional<ClaimedJob> expired_claim = beating->claim_next();
+  ASSERT_TRUE(expired_claim.has_value());
+
+  LeaseConfig silent_cfg = lc;
+  silent_cfg.worker = "silent";
+  silent_cfg.lease_ttl = std::chrono::milliseconds(60000);
+  std::unique_ptr<LeaseManager> silent = LeaseManager::open(silent_cfg, &error);
+  ASSERT_NE(silent, nullptr);
+  std::optional<ClaimedJob> orphan_claim = silent->claim_next();
+  ASSERT_TRUE(orphan_claim.has_value());  // never heartbeats
+
+  while (wall_now_ms() <= expired_claim->expires_at_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::ofstream(exchange / LeaseManager::kResultsSubdir / "00000009.driver1.tmp")
+      << "dead temp file";
+
+  store::StoreConfig sc;
+  sc.dir = (root_ / "store").string();
+  sc.dist_dir = exchange.string();
+  std::unique_ptr<store::DiskScheduleStore> store =
+      store::DiskScheduleStore::open(sc, &error);
+  ASSERT_NE(store, nullptr) << error;
+  store::FsckReport report = store->verify_store();
+  EXPECT_EQ(report.expired_leases, 1u);
+  EXPECT_EQ(report.orphaned_claims, 1u);
+  EXPECT_EQ(report.removed_tmp, 1u);
+  EXPECT_FALSE(report.clean());  // the temp file removal was a repair
+
+  // Second sweep: the repair held; expired/orphaned leases are advisory
+  // (a live fleet fixes them by re-claiming) and do not dirty the sweep.
+  report = store->verify_store();
+  EXPECT_EQ(report.removed_tmp, 0u);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST_F(DistServiceTest, StoreReadExhaustedSurfacesStructuredDiagnostic) {
+  // Populate the store, then make every read attempt fail: the retry
+  // budget exhausts, the job recomputes, and the per-job record carries
+  // the store.read.exhausted warning (satellite: msysc --batch must
+  // surface this instead of silently recomputing).
+  PreparedJob prepared = prepare_job("a.mapp", mapp_text("svc-a", 200));
+  ASSERT_TRUE(prepared.job.has_value());
+
+  const std::string store_dir = (root_ / "store").string();
+  auto run_once = [&](engine::JobResult* out) {
+    store::StoreConfig sc;
+    sc.dir = store_dir;
+    std::string error;
+    engine::ScheduleCache::Config cc;
+    cc.name = "exhaust-test";
+    cc.store = store::DiskScheduleStore::open(sc, &error);
+    ASSERT_NE(cc.store, nullptr) << error;
+    engine::ThreadPool pool(1);
+    engine::ScheduleCache cache(cc);
+    engine::BatchRunner runner(pool, &cache);
+    engine::BatchStats stats;
+    std::vector<engine::JobResult> results =
+        runner.run({*prepared.job}, {}, &stats);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(stats.store_faults, results[0].store_degraded ? 1u : 0u);
+    *out = std::move(results[0]);
+  };
+
+  engine::JobResult warmup;
+  run_once(&warmup);
+  ASSERT_TRUE(warmup.feasible());
+  EXPECT_FALSE(warmup.store_degraded);
+
+  FaultInjector::global().arm(11);
+  FaultInjector::global().set_site("store.read.io_error", {.num = 1, .den = 1});
+  engine::JobResult degraded;
+  run_once(&degraded);
+  ASSERT_TRUE(degraded.feasible());  // recomputed, still correct
+  EXPECT_TRUE(degraded.store_degraded);
+
+  const ResultRecord record = classify_result(0, "a.mapp", degraded);
+  EXPECT_EQ(record.status, "ok");
+  EXPECT_TRUE(record.store_degraded);
+  const bool has_diag =
+      std::any_of(record.diagnostics.begin(), record.diagnostics.end(),
+                  [](const std::string& line) {
+                    return line.find("store.read.exhausted") != std::string::npos;
+                  });
+  EXPECT_TRUE(has_diag);
+  // The canonical line ignores run-dependent degradation: byte-identity
+  // across topologies survives a flaky store.
+  ResultRecord healthy = record;
+  healthy.store_degraded = false;
+  healthy.diagnostics.clear();
+  EXPECT_EQ(canonical_line(healthy), canonical_line(record));
+}
+
+}  // namespace
+}  // namespace msys::dist

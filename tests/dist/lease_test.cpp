@@ -1,0 +1,291 @@
+// LeaseManager contract: claims are exactly-once under contention, the
+// lease deadline in the filename governs renewal vs re-claim, expired
+// leases are rescued (by workers directly and by the driver backstop), and
+// every torn or corrupt artifact is detected, never trusted.
+#include "msys/dist/lease.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "msys/common/fault_injector.hpp"
+
+namespace msys::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LeaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "msys_lease_test" /
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+  }
+
+  void TearDown() override {
+    FaultInjector::global().disarm();
+    fs::remove_all(dir_);
+  }
+
+  std::unique_ptr<LeaseManager> open_worker(const std::string& name,
+                                            std::chrono::milliseconds ttl =
+                                                std::chrono::milliseconds(1000)) {
+    LeaseConfig config;
+    config.dir = dir_.string();
+    config.worker = name;
+    config.lease_ttl = ttl;
+    std::string error;
+    std::unique_ptr<LeaseManager> manager = LeaseManager::open(config, &error);
+    EXPECT_NE(manager, nullptr) << error;
+    return manager;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(LeaseTest, EnqueueClaimPublishRoundTrip) {
+  std::unique_ptr<LeaseManager> driver = open_worker("driver");
+  std::unique_ptr<LeaseManager> worker = open_worker("w0");
+  ASSERT_TRUE(driver->enqueue(0, "job-zero"));
+  ASSERT_TRUE(driver->enqueue(1, "job-one"));
+  EXPECT_EQ(driver->pending_count(), 2u);
+
+  std::optional<ClaimedJob> claim = worker->claim_next();
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_EQ(claim->index, 0u);  // lowest index first
+  EXPECT_EQ(claim->payload, "job-zero");
+  EXPECT_FALSE(claim->reclaimed);
+  EXPECT_EQ(worker->active_count(), 1u);
+
+  ASSERT_TRUE(worker->publish(*claim, "result-zero"));
+  EXPECT_EQ(worker->active_count(), 0u);
+  bool corrupt = false;
+  std::optional<std::string> result = driver->load_result(0, &corrupt);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(corrupt);
+  EXPECT_EQ(*result, "result-zero");
+  EXPECT_FALSE(driver->load_result(1).has_value());
+
+  const LeaseStats stats = worker->stats();
+  EXPECT_EQ(stats.claims, 1u);
+  EXPECT_EQ(stats.publishes, 1u);
+}
+
+TEST_F(LeaseTest, ConcurrentClaimExactlyOneWins) {
+  // Two workers race claim_next over every job; each job must be claimed
+  // by exactly one of them.  Run enough rounds that both interleavings
+  // (tie broken either way) actually occur.
+  constexpr int kJobs = 16;
+  std::unique_ptr<LeaseManager> driver = open_worker("driver");
+  for (int i = 0; i < kJobs; ++i) {
+    ASSERT_TRUE(driver->enqueue(static_cast<std::uint64_t>(i), "payload"));
+  }
+
+  std::unique_ptr<LeaseManager> alice = open_worker("alice");
+  std::unique_ptr<LeaseManager> bob = open_worker("bob");
+  std::atomic<int> alice_claims{0};
+  std::atomic<int> bob_claims{0};
+  auto race = [](LeaseManager* manager, std::atomic<int>* tally) {
+    while (true) {
+      std::optional<ClaimedJob> claim = manager->claim_next();
+      if (!claim.has_value()) {
+        // A loser's bounded retry can return empty-handed while jobs
+        // remain; only an actually drained queue ends the race.
+        if (manager->pending_count() == 0) break;
+        continue;
+      }
+      tally->fetch_add(1);
+      ASSERT_TRUE(manager->publish(*claim, "done"));
+    }
+  };
+  std::thread t1(race, alice.get(), &alice_claims);
+  std::thread t2(race, bob.get(), &bob_claims);
+  t1.join();
+  t2.join();
+
+  // Exactly-once: every job has exactly one claim and one result.
+  EXPECT_EQ(alice_claims.load() + bob_claims.load(), kJobs);
+  EXPECT_EQ(driver->pending_count(), 0u);
+  EXPECT_EQ(driver->active_count(), 0u);
+  EXPECT_EQ(driver->result_count(), static_cast<std::size_t>(kJobs));
+  for (int i = 0; i < kJobs; ++i) {
+    EXPECT_TRUE(driver->load_result(static_cast<std::uint64_t>(i)).has_value());
+  }
+}
+
+TEST_F(LeaseTest, RenewalBeforeExpiryKeepsOwnership) {
+  std::unique_ptr<LeaseManager> driver = open_worker("driver");
+  std::unique_ptr<LeaseManager> holder =
+      open_worker("holder", std::chrono::milliseconds(60000));
+  ASSERT_TRUE(driver->enqueue(0, "job"));
+  std::optional<ClaimedJob> claim = holder->claim_next();
+  ASSERT_TRUE(claim.has_value());
+
+  const std::uint64_t before = claim->expires_at_ms;
+  ASSERT_TRUE(holder->renew(*claim));
+  EXPECT_GE(claim->expires_at_ms, before);
+  EXPECT_FALSE(claim->lease_lost.token().cancelled());
+
+  // A live (unexpired) lease is not claimable by anyone else.
+  std::unique_ptr<LeaseManager> rival = open_worker("rival");
+  EXPECT_FALSE(rival->claim_next().has_value());
+  EXPECT_EQ(rival->stats().reclaims, 0u);
+}
+
+TEST_F(LeaseTest, ExpiredLeaseIsReclaimedAndRenewalFails) {
+  // Renewal vs expiry boundary: the holder stalls past its deadline, a
+  // rival re-claims, and the holder's next renewal must (a) fail and
+  // (b) fire lease_lost so an in-flight compile cancels.
+  std::unique_ptr<LeaseManager> driver = open_worker("driver");
+  std::unique_ptr<LeaseManager> holder =
+      open_worker("holder", std::chrono::milliseconds(40));
+  ASSERT_TRUE(driver->enqueue(7, "job"));
+  std::optional<ClaimedJob> claim = holder->claim_next();
+  ASSERT_TRUE(claim.has_value());
+
+  // Stall past the deadline (filename expiry is wall-clock ms).
+  while (wall_now_ms() <= claim->expires_at_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  std::unique_ptr<LeaseManager> rival =
+      open_worker("rival", std::chrono::milliseconds(60000));
+  std::optional<ClaimedJob> stolen = rival->claim_next();
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(stolen->index, 7u);
+  EXPECT_TRUE(stolen->reclaimed);
+  EXPECT_EQ(rival->stats().reclaims, 1u);
+
+  EXPECT_FALSE(holder->renew(*claim));
+  EXPECT_TRUE(claim->lease_lost.token().cancelled());
+  EXPECT_EQ(holder->stats().lease_lost, 1u);
+
+  // The re-claimer still owns the job and can publish it.
+  ASSERT_TRUE(rival->publish(*stolen, "rescued"));
+  std::optional<std::string> result = driver->load_result(7);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, "rescued");
+}
+
+TEST_F(LeaseTest, StaleHeartbeatStillExpiresByDeadline) {
+  // A worker that heartbeats once and dies: its hb file goes stale, its
+  // lease expires by filename deadline, and a survivor rescues the job.
+  std::unique_ptr<LeaseManager> driver = open_worker("driver");
+  std::unique_ptr<LeaseManager> dead =
+      open_worker("dead", std::chrono::milliseconds(40));
+  ASSERT_TRUE(dead->heartbeat());
+  ASSERT_TRUE(driver->enqueue(0, "job"));
+  std::optional<ClaimedJob> claim = dead->claim_next();
+  ASSERT_TRUE(claim.has_value());
+
+  const std::vector<HeartbeatInfo> beats = driver->read_heartbeats();
+  ASSERT_EQ(beats.size(), 1u);
+  EXPECT_EQ(beats[0].worker, "dead");
+  EXPECT_EQ(beats[0].seq, 1u);
+  EXPECT_GT(beats[0].pid, 0u);
+
+  while (wall_now_ms() <= claim->expires_at_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::unique_ptr<LeaseManager> survivor = open_worker("survivor");
+  std::optional<ClaimedJob> rescued = survivor->claim_next();
+  ASSERT_TRUE(rescued.has_value());
+  EXPECT_TRUE(rescued->reclaimed);
+}
+
+TEST_F(LeaseTest, RequeueExpiredReturnsOrphansToPending) {
+  // Driver backstop: with no surviving worker to re-claim, an expired
+  // lease goes back to jobs/ wholesale.
+  std::unique_ptr<LeaseManager> driver = open_worker("driver");
+  std::unique_ptr<LeaseManager> dead =
+      open_worker("dead", std::chrono::milliseconds(40));
+  ASSERT_TRUE(driver->enqueue(3, "job"));
+  std::optional<ClaimedJob> claim = dead->claim_next();
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_EQ(driver->requeue_expired(), 0u);  // not yet expired
+
+  while (wall_now_ms() <= claim->expires_at_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(driver->requeue_expired(), 1u);
+  EXPECT_EQ(driver->pending_count(), 1u);
+  EXPECT_EQ(driver->active_count(), 0u);
+  EXPECT_EQ(driver->pending_indices(), std::vector<std::uint64_t>{3});
+}
+
+TEST_F(LeaseTest, TornPublishIsDetectedAsCorrupt) {
+  FaultInjector::global().arm(42);
+  FaultInjector::global().set_site("dist.publish.torn", {.num = 1, .den = 1});
+  std::unique_ptr<LeaseManager> driver = open_worker("driver");
+  std::unique_ptr<LeaseManager> worker = open_worker("w0");
+  ASSERT_TRUE(driver->enqueue(0, "job"));
+  std::optional<ClaimedJob> claim = worker->claim_next();
+  ASSERT_TRUE(claim.has_value());
+  ASSERT_TRUE(worker->publish(*claim, "a result payload that will be torn"));
+
+  bool corrupt = false;
+  EXPECT_FALSE(driver->load_result(0, &corrupt).has_value());
+  EXPECT_TRUE(corrupt);
+  EXPECT_EQ(driver->stats().corrupt_results, 1u);
+  driver->remove_result(0);
+  EXPECT_EQ(driver->result_count(), 0u);
+}
+
+TEST_F(LeaseTest, CorruptJobFileIsQuarantinedNotClaimed) {
+  std::unique_ptr<LeaseManager> driver = open_worker("driver");
+  std::unique_ptr<LeaseManager> worker = open_worker("w0");
+  fs::create_directories(dir_ / LeaseManager::kJobsSubdir);
+  std::ofstream(dir_ / LeaseManager::kJobsSubdir / "00000000.job")
+      << "not a framed payload";
+  EXPECT_FALSE(worker->claim_next().has_value());
+  EXPECT_EQ(worker->stats().corrupt_jobs, 1u);
+  EXPECT_EQ(driver->pending_count(), 0u);
+  // Quarantined, not deleted: the evidence survives for fsck/debugging.
+  EXPECT_FALSE(fs::is_empty(dir_ / LeaseManager::kQuarantineSubdir));
+}
+
+TEST_F(LeaseTest, ClaimLostFaultExercisesConflictPath) {
+  FaultInjector::global().arm(7);
+  FaultInjector::global().set_site("dist.claim.lost", {.num = 1, .den = 1});
+  std::unique_ptr<LeaseManager> driver = open_worker("driver");
+  std::unique_ptr<LeaseManager> worker = open_worker("w0");
+  ASSERT_TRUE(driver->enqueue(0, "job"));
+  // Every win is injected as a loss, so the bounded retry comes back empty
+  // and the job stays pending for somebody else.
+  EXPECT_FALSE(worker->claim_next().has_value());
+  EXPECT_GT(worker->stats().claim_conflicts, 0u);
+  EXPECT_EQ(driver->pending_count(), 1u);
+}
+
+TEST_F(LeaseTest, ParseLeaseNameRoundTrip) {
+  std::optional<LeaseName> name = parse_lease_name("00000012.w0.1754600000123.lease");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->index, 12u);
+  EXPECT_EQ(name->worker, "w0");
+  EXPECT_EQ(name->expiry_ms, 1754600000123u);
+
+  EXPECT_FALSE(parse_lease_name("00000012.w0.lease").has_value());
+  EXPECT_FALSE(parse_lease_name("junk").has_value());
+  EXPECT_FALSE(parse_lease_name("00000012.w0.notanumber.lease").has_value());
+}
+
+TEST_F(LeaseTest, HeartbeatSequenceAdvances) {
+  std::unique_ptr<LeaseManager> worker = open_worker("w0");
+  ASSERT_TRUE(worker->heartbeat());
+  ASSERT_TRUE(worker->heartbeat());
+  std::unique_ptr<LeaseManager> driver = open_worker("driver");
+  const std::vector<HeartbeatInfo> beats = driver->read_heartbeats();
+  ASSERT_EQ(beats.size(), 1u);
+  EXPECT_EQ(beats[0].seq, 2u);
+  EXPECT_GT(beats[0].written_ms, 0u);
+}
+
+}  // namespace
+}  // namespace msys::dist

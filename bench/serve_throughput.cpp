@@ -1,0 +1,199 @@
+// Serving-layer bench: throughput (jobs/sec, wall clock) and virtual-time
+// tail latency (p50/p99 cycles) of ServeLoop for 1, 2 and 4 tenants on the
+// SAME deterministic arrival trace.
+//
+// The trace is generated in-process (generate_trace, fixed seed), so the
+// comparison across tenant counts is exact: identical arrivals, identical
+// workloads, only the partition changes.  Each tenant owns fewer RC rows,
+// so per-job service time stretches (row-share scaling) while queueing
+// per tenant shrinks — the 1-vs-N tradeoff EXPERIMENTS.md discusses.
+//
+//   $ ./build/bench/serve_throughput                 # human-readable table
+//   $ ./build/bench/serve_throughput --json out.json # + machine record
+//   $ ./build/bench/serve_throughput --repeat 5      # best-of-5 per row
+//
+// Every row is measured twice-or-more and the canonical per-job outcome
+// lines are asserted byte-identical across repeats (the serving layer's
+// replay-determinism contract); the virtual-time fields in the JSON are
+// therefore exact, only `millis`/`jobs_per_sec` are wall-clock noisy.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "msys/common/error.hpp"
+#include "msys/common/table.hpp"
+#include "msys/engine/thread_pool.hpp"
+#include "msys/serve/partition.hpp"
+#include "msys/serve/serve_loop.hpp"
+#include "msys/serve/trace_file.hpp"
+
+namespace {
+
+using namespace msys;
+
+/// One measured tenant count.
+struct Row {
+  unsigned tenants{1};
+  double millis{0.0};  // best-of-repeats wall (compile + replay)
+  double jobs_per_sec{0.0};
+  // Virtual-time fields: deterministic, identical across repeats.
+  std::size_t completed{0};
+  std::size_t rejected{0};
+  std::size_t deadline_missed{0};
+  std::size_t transitions{0};
+  std::uint64_t transition_cycles{0};
+  std::uint64_t p50_cycles{0};
+  std::uint64_t p99_cycles{0};
+  std::uint64_t makespan_cycles{0};
+};
+
+std::string outcome_fingerprint(const serve::ServeReport& report) {
+  std::ostringstream out;
+  for (const serve::JobOutcome& o : report.outcomes) {
+    out << serve::canonical_outcome_line(o) << '\n';
+  }
+  return out.str();
+}
+
+Row measure(const serve::TraceFile& trace, unsigned tenants, unsigned threads,
+            int repeats) {
+  const arch::M1Config machine = arch::M1Config::m1_default();
+  serve::TenantPartition::BuildResult built = serve::TenantPartition::build(
+      machine, serve::TenantPartition::even_specs(machine, tenants));
+  MSYS_REQUIRE(built.ok(),
+               "even partition must validate: " + render(built.diagnostics));
+
+  Row row;
+  row.tenants = tenants;
+  std::string fingerprint;
+  for (int rep = 0; rep < std::max(repeats, 2); ++rep) {
+    serve::ServeOptions options;
+    options.threads = threads;
+    serve::ServeLoop loop(*built.partition, options);
+    const auto start = std::chrono::steady_clock::now();
+    const serve::ServeReport report = loop.run(trace);
+    const double ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const std::string fp = outcome_fingerprint(report);
+    if (fingerprint.empty()) {
+      fingerprint = fp;
+    } else {
+      MSYS_REQUIRE(fp == fingerprint,
+                   "serve outcomes diverged across repeats (tenants=" +
+                       std::to_string(tenants) + ")");
+    }
+    if (rep == 0 || ms < row.millis) row.millis = ms;
+    row.completed = report.stats.completed;
+    row.rejected = report.stats.rejected;
+    row.deadline_missed = report.stats.deadline_missed;
+    row.transitions = report.stats.transitions;
+    row.transition_cycles = report.stats.transition_cycles;
+    row.p50_cycles = report.stats.p50_latency_cycles;
+    row.p99_cycles = report.stats.p99_latency_cycles;
+    row.makespan_cycles = report.stats.makespan_cycles;
+  }
+  row.jobs_per_sec = row.millis > 0.0
+                         ? static_cast<double>(trace.events.size()) /
+                               (row.millis / 1000.0)
+                         : 0.0;
+  return row;
+}
+
+std::string fmt(double v, int decimals = 1) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(decimals);
+  out << v;
+  return out.str();
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                const serve::TraceGenSpec& spec) {
+  std::ofstream out(path);
+  MSYS_REQUIRE(out.good(), "cannot open " + path);
+  out << "{\n  \"bench\": \"serve_throughput\",\n";
+  out << "  \"trace_seed\": " << spec.seed << ",\n";
+  out << "  \"jobs\": " << spec.jobs << ",\n";
+  out << "  \"streams\": " << spec.streams << ",\n";
+  out << "  \"hardware_threads\": " << engine::ThreadPool::hardware_threads()
+      << ",\n";
+  out << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"tenants\": " << r.tenants << ", \"millis\": " << fmt(r.millis, 3)
+        << ", \"jobs_per_sec\": " << fmt(r.jobs_per_sec, 1)
+        << ", \"completed\": " << r.completed << ", \"rejected\": " << r.rejected
+        << ", \"deadline_missed\": " << r.deadline_missed
+        << ", \"transitions\": " << r.transitions
+        << ", \"transition_cycles\": " << r.transition_cycles
+        << ", \"p50_cycles\": " << r.p50_cycles
+        << ", \"p99_cycles\": " << r.p99_cycles
+        << ", \"makespan_cycles\": " << r.makespan_cycles << "}"
+        << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int repeats = 3;
+  serve::TraceGenSpec spec;
+  spec.seed = 42;
+  spec.jobs = 48;
+  spec.streams = 8;
+  spec.mean_gap_cycles = 150000;
+  // Tight enough that the 4-tenant run (stretched service on 2-row
+  // tenants) sees real admission pressure; virtual-time fields stay
+  // deterministic either way.
+  spec.deadline_cycles = 1000000;
+  spec.priorities = 2;
+  spec.workloads = 6;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeats = std::stoi(argv[++i]);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      spec.jobs = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else {
+      std::cerr << "usage: serve_throughput [--json out.json] [--repeat N] "
+                   "[--jobs N]\n";
+      return 1;
+    }
+  }
+
+  const serve::TraceFile trace = serve::generate_trace(spec);
+  const unsigned threads = std::max(2u, engine::ThreadPool::hardware_threads());
+
+  std::vector<Row> rows;
+  for (unsigned tenants : {1u, 2u, 4u}) {
+    rows.push_back(measure(trace, tenants, threads, repeats));
+  }
+
+  TextTable table({"Tenants", "ms", "jobs/s", "Done", "Rej", "Missed", "p50",
+                   "p99", "Trans", "TransCyc"});
+  for (const Row& r : rows) {
+    table.add_row({std::to_string(r.tenants), fmt(r.millis, 1),
+                   fmt(r.jobs_per_sec, 1), std::to_string(r.completed),
+                   std::to_string(r.rejected), std::to_string(r.deadline_missed),
+                   std::to_string(r.p50_cycles), std::to_string(r.p99_cycles),
+                   std::to_string(r.transitions),
+                   std::to_string(r.transition_cycles)});
+  }
+  std::cout << "serve_throughput: " << spec.jobs << " jobs, " << spec.streams
+            << " streams, seed " << spec.seed << ", best of "
+            << std::max(repeats, 2) << "\n"
+            << table.to_string() << '\n';
+
+  if (!json_path.empty()) write_json(json_path, rows, spec);
+  return 0;
+}

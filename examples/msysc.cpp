@@ -22,6 +22,10 @@
 //                                       # lease exchange, spawn 3 msysd
 //                                       # processes, merge results in input
 //                                       # order (byte-identical to -j 1)
+//   $ ./build/examples/msysc --gen-trace /tmp/a.trace --trace-jobs 32
+//                                       # deterministic arrival trace
+//   $ ./build/examples/msysc --serve /tmp/a.trace --tenants 2 -j 2
+//                                       # multi-tenant serving replay
 //   $ ./build/examples/msysc --verify-store /tmp/msr           # fsck sweep
 //   $ ./build/examples/msysc --verify-store /tmp/msr --dist /tmp/mex
 //                                       # ... plus the lease/heartbeat sweep
@@ -72,6 +76,9 @@
 #include "msys/report/runner.hpp"
 #include "msys/report/tables.hpp"
 #include "msys/report/timeline.hpp"
+#include "msys/serve/partition.hpp"
+#include "msys/serve/serve_loop.hpp"
+#include "msys/serve/trace_file.hpp"
 #include "msys/store/disk_store.hpp"
 #include "msys/trisc/control.hpp"
 
@@ -295,6 +302,107 @@ int run_batch(const std::string& dir, unsigned n_threads, const BatchFtOptions& 
   return worst;
 }
 
+/// --gen-trace: write a deterministic arrival trace (see
+/// msys/serve/trace_file.hpp for the format and the generator's
+/// integer-only Poisson-like sampling).
+int run_gen_trace(const std::string& out_path, const msys::serve::TraceGenSpec& spec) {
+  using namespace msys;
+  const serve::TraceFile trace = serve::generate_trace(spec);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "msysc: cannot write --gen-trace " << out_path << '\n';
+    return kExitUsage;
+  }
+  out << serve::write_trace(trace);
+  std::cout << "gen-trace: " << trace.events.size() << " arrivals, seed " << spec.seed
+            << ", " << spec.streams << " streams -> " << out_path << '\n';
+  return kExitOk;
+}
+
+/// --serve: replay an arrival trace against an evenly partitioned machine
+/// (see msys/serve/serve_loop.hpp).  The serving loop is an *open* system:
+/// rejected/late/infeasible jobs are SLO data in the outcome records, not
+/// process failures, so a run that processed its trace exits 0.  Only an
+/// unreadable/malformed trace (parse) or an impossible partition (usage)
+/// fails the process.
+int run_serve(const std::string& trace_path, unsigned tenants, unsigned n_threads,
+              const BatchFtOptions& ft, const std::string& serve_out) {
+  using namespace msys;
+  std::ifstream in(trace_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "msysc: cannot open --serve " << trace_path << '\n';
+    return kExitUsage;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const serve::ParseTraceResult parsed = serve::parse_trace(text.str(), trace_path);
+  if (!parsed.ok()) {
+    std::cerr << render(parsed.diagnostics) << '\n';
+    return kExitParse;
+  }
+
+  const arch::M1Config machine = arch::M1Config::m1_default();
+  serve::TenantPartition::BuildResult built =
+      serve::TenantPartition::build(machine, serve::TenantPartition::even_specs(machine, tenants));
+  if (!built.ok()) {
+    std::cerr << "msysc: cannot partition " << machine.name << " into " << tenants
+              << " tenants:\n"
+              << render(built.diagnostics) << '\n';
+    return kExitUsage;
+  }
+
+  serve::ServeOptions options;
+  options.threads = n_threads;
+  if (ft.deadline_ms > 0) {
+    options.compile_deadline = std::chrono::milliseconds(ft.deadline_ms);
+  }
+  if (!ft.store_dir.empty()) {
+    store::StoreConfig store_cfg;
+    store_cfg.dir = ft.store_dir;
+    std::string store_error;
+    options.store = store::DiskScheduleStore::open(store_cfg, &store_error);
+    if (options.store == nullptr) {
+      std::cerr << "msysc: cannot open --store " << ft.store_dir << ": " << store_error
+                << '\n';
+      return kExitUsage;
+    }
+  }
+
+  try {
+    serve::ServeLoop loop(std::move(*built.partition), options);
+    std::cout << "machine: " << machine.summary() << '\n';
+    std::cout << "partition:\n" << loop.partition().summary() << '\n';
+    const serve::ServeReport report = loop.run(*parsed.trace);
+
+    std::cout << "serve: " << report.stats.compile.summary() << '\n';
+    std::cout << "serve: " << report.stats.summary() << "\n\n";
+    TextTable table({"Tenant", "Jobs", "Done", "Rejected", "Missed", "Infeasible",
+                     "p50", "p99"});
+    for (const serve::TenantStats& t : report.stats.tenants) {
+      table.add_row({t.name, std::to_string(t.jobs), std::to_string(t.completed),
+                     std::to_string(t.rejected), std::to_string(t.deadline_missed),
+                     std::to_string(t.infeasible), std::to_string(t.p50_latency_cycles),
+                     std::to_string(t.p99_latency_cycles)});
+    }
+    table.print(std::cout);
+
+    if (!serve_out.empty()) {
+      std::ofstream out(serve_out, std::ios::binary);
+      if (!out) {
+        std::cerr << "msysc: cannot write --serve-out " << serve_out << '\n';
+        return kExitUsage;
+      }
+      for (const serve::JobOutcome& o : report.outcomes) {
+        out << serve::canonical_outcome_line(o) << '\n';
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "msysc: internal error: " << e.what() << '\n';
+    return kExitInternal;
+  }
+  return kExitOk;
+}
+
 /// --verify-store: full fsck sweep over a store directory.  Quarantining a
 /// bad entry and removing stale temp files *is* the repair, so the sweep
 /// itself exits 0 whenever it completed; only an unopenable directory is
@@ -477,6 +585,21 @@ bool parse_nonneg(const std::string& value, int* out) {
   }
 }
 
+/// Strict non-negative 64-bit integer for the trace-generator cycle knobs.
+bool parse_u64(const std::string& value, std::uint64_t* out) {
+  if (value.empty() ||
+      !std::all_of(value.begin(), value.end(),
+                   [](unsigned char c) { return std::isdigit(c) != 0; })) {
+    return false;
+  }
+  try {
+    *out = std::stoull(value);
+    return true;
+  } catch (const std::exception&) {
+    return false;  // out of range
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -499,6 +622,11 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string batch_dir;
   std::string verify_store_dir;
+  std::string serve_trace;
+  std::string serve_out;
+  std::string gen_trace_out;
+  unsigned tenants = 1;
+  serve::TraceGenSpec gen_spec;
   BatchFtOptions ft;
   unsigned n_threads = 1;
   std::string path;
@@ -572,6 +700,64 @@ int main(int argc, char** argv) {
         return kExitUsage;
       }
       ++i;
+    } else if (arg == "--serve") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: --serve needs a .trace file\n";
+        return kExitUsage;
+      }
+      serve_trace = argv[++i];
+    } else if (arg == "--serve-out") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: --serve-out needs a file\n";
+        return kExitUsage;
+      }
+      serve_out = argv[++i];
+    } else if (arg == "--tenants") {
+      if (i + 1 >= argc || !parse_thread_count(argv[i + 1], &tenants)) {
+        std::cerr << "msysc: --tenants needs a positive integer\n";
+        return kExitUsage;
+      }
+      ++i;
+    } else if (arg == "--gen-trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: --gen-trace needs an output file\n";
+        return kExitUsage;
+      }
+      gen_trace_out = argv[++i];
+    } else if (arg == "--seed") {
+      if (i + 1 >= argc || !parse_u64(argv[i + 1], &gen_spec.seed)) {
+        std::cerr << "msysc: --seed needs a non-negative integer\n";
+        return kExitUsage;
+      }
+      ++i;
+    } else if (arg == "--trace-jobs") {
+      int v = 0;
+      if (i + 1 >= argc || !parse_nonneg(argv[i + 1], &v) || v < 1) {
+        std::cerr << "msysc: --trace-jobs needs a positive integer\n";
+        return kExitUsage;
+      }
+      gen_spec.jobs = static_cast<unsigned>(v);
+      ++i;
+    } else if (arg == "--streams") {
+      int v = 0;
+      if (i + 1 >= argc || !parse_nonneg(argv[i + 1], &v) || v < 1) {
+        std::cerr << "msysc: --streams needs a positive integer\n";
+        return kExitUsage;
+      }
+      gen_spec.streams = static_cast<unsigned>(v);
+      ++i;
+    } else if (arg == "--mean-gap") {
+      if (i + 1 >= argc || !parse_u64(argv[i + 1], &gen_spec.mean_gap_cycles)) {
+        std::cerr << "msysc: --mean-gap needs a non-negative integer (cycles)\n";
+        return kExitUsage;
+      }
+      ++i;
+    } else if (arg == "--deadline-cycles") {
+      if (i + 1 >= argc || !parse_u64(argv[i + 1], &gen_spec.deadline_cycles)) {
+        std::cerr << "msysc: --deadline-cycles needs a non-negative integer\n";
+        return kExitUsage;
+      }
+      ++i;
     } else if (arg == "--retries") {
       if (i + 1 >= argc || !parse_nonneg(argv[i + 1], &ft.retries)) {
         std::cerr << "msysc: --retries needs a non-negative integer\n";
@@ -598,14 +784,22 @@ int main(int argc, char** argv) {
   if (!verify_store_dir.empty()) {
     return run_verify_store(verify_store_dir, ft.dist_dir);
   }
-  if (batch_dir.empty() && path.empty()) {
+  if (!gen_trace_out.empty()) {
+    return run_gen_trace(gen_trace_out, gen_spec);
+  }
+  if (batch_dir.empty() && path.empty() && serve_trace.empty()) {
     std::cerr << "usage: msysc [--emit|--timeline|--cross-set|--search|--control|"
                  "--validate] [--trace out.json] [--stats] <file.mapp>\n"
                  "       msysc --batch <dir> [-j N] [--store dir] [--deadline-ms N]\n"
                  "             [--retries N] [--results-out file] [--trace out.json]\n"
                  "             [--stats] [--dist <exchange> [--workers N] "
                  "[--msysd path]]\n"
-                 "       msysc --verify-store <dir> [--dist <exchange>]\n";
+                 "       msysc --verify-store <dir> [--dist <exchange>]\n"
+                 "       msysc --serve <file.trace> [--tenants N] [-j N]\n"
+                 "             [--deadline-ms N] [--store dir] [--serve-out file]\n"
+                 "       msysc --gen-trace <out.trace> [--seed N] [--trace-jobs N]\n"
+                 "             [--streams N] [--mean-gap cycles] "
+                 "[--deadline-cycles N]\n";
     return kExitUsage;
   }
 
@@ -620,7 +814,9 @@ int main(int argc, char** argv) {
   }
 
   int code;
-  if (!batch_dir.empty()) {
+  if (!serve_trace.empty()) {
+    code = run_serve(serve_trace, tenants, n_threads, ft, serve_out);
+  } else if (!batch_dir.empty()) {
     try {
       code = run_batch(batch_dir, n_threads, ft, argv[0]);
     } catch (const std::exception& e) {

@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
-"""Bench regression gate for BENCH_engine.json.
+"""Bench regression gate for committed BENCH_*.json records.
 
-Compares a freshly measured engine_throughput record against the committed
-baseline and fails (exit 1) when any watched field of any matching
-(threads, cache) row regresses by more than the threshold:
+Compares a freshly measured bench record against the committed baseline
+and fails (exit 1) when any watched field of any matching row regresses
+by more than the threshold.  The schema — row key and watched fields — is
+picked by the record's "bench" name:
 
-  * jobs_per_sec         — regression = current below baseline
-  * avg_hit_ms           — regression = current above baseline
-  * avg_miss_ms          — regression = current above baseline
-  * queue_depth_peak     — regression = current above baseline
+  engine_throughput (rows keyed by threads, cache):
+    * jobs_per_sec         — regression = current below baseline
+    * avg_hit_ms           — regression = current above baseline
+    * avg_miss_ms          — regression = current above baseline
+    * queue_depth_peak     — regression = current above baseline
+
+  serve_throughput (rows keyed by tenants):
+    * jobs_per_sec         — regression = current below baseline
+    * p50_cycles           — regression = current above baseline
+    * p99_cycles           — regression = current above baseline
+    * deadline_missed      — regression = current above baseline
+    * rejected             — regression = current above baseline
 
 The per-job latency columns use a wider band (--latency-threshold,
 default 1.0 = 2x): at the ~10us (hit) and ~1ms (miss) scales a
@@ -16,7 +25,9 @@ preemption on a shared box moves a single measurement far more than 30%,
 while the regressions the gate exists to catch (e.g. losing single-flight
 coalescing re-grows miss latency ~5x at 4 threads) clear 2x easily.
 Throughput and queue depth aggregate a whole batch and hold the tight
-threshold.
+threshold.  The serve bench's cycle fields are *virtual time* — fully
+deterministic, zero measurement noise — so the tight threshold flags any
+real scheduling change while wall-clock noise only touches jobs_per_sec.
 
 Latency baselines below MIN_MS (warm rows report avg_miss_ms = 0) carry no
 signal at millisecond resolution and are skipped.  Rows present in only
@@ -33,33 +44,52 @@ import argparse
 import json
 import sys
 
-WATCHED = {
-    "jobs_per_sec": "higher",
-    "avg_hit_ms": "lower",
-    "avg_miss_ms": "lower",
-    "queue_depth_peak": "lower",
+SCHEMAS = {
+    "engine_throughput": {
+        "key": ("threads", "cache"),
+        "watched": {
+            "jobs_per_sec": "higher",
+            "avg_hit_ms": "lower",
+            "avg_miss_ms": "lower",
+            "queue_depth_peak": "lower",
+        },
+        "latency_fields": {"avg_hit_ms", "avg_miss_ms"},
+    },
+    "serve_throughput": {
+        "key": ("tenants",),
+        "watched": {
+            "jobs_per_sec": "higher",
+            "p50_cycles": "lower",
+            "p99_cycles": "lower",
+            "deadline_missed": "lower",
+            "rejected": "lower",
+        },
+        "latency_fields": set(),
+    },
 }
-
-LATENCY_FIELDS = {"avg_hit_ms", "avg_miss_ms"}
 
 # Latency baselines below this are noise at the recorded resolution.
 MIN_MS = 0.001
 
 
-def load_rows(path):
+def load_doc(path):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"bench_gate: cannot read {path}: {e}")
+    return doc
+
+
+def index_rows(path, doc, key_fields):
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         sys.exit(f"bench_gate: {path} has no rows")
     indexed = {}
     for row in rows:
-        key = (row.get("threads"), row.get("cache"))
+        key = tuple(row.get(f) for f in key_fields)
         if None in key:
-            sys.exit(f"bench_gate: {path} row missing threads/cache: {row}")
+            sys.exit(f"bench_gate: {path} row missing {'/'.join(key_fields)}: {row}")
         indexed[key] = row
     return indexed
 
@@ -75,18 +105,34 @@ def main():
                              "latency fields (default 1.00, i.e. 2x)")
     args = parser.parse_args()
 
-    base = load_rows(args.baseline)
-    cur = load_rows(args.current)
+    base_doc = load_doc(args.baseline)
+    cur_doc = load_doc(args.current)
+    # The baseline names the experiment; default to engine_throughput for
+    # records predating the "bench" field.
+    bench = base_doc.get("bench", "engine_throughput")
+    if cur_doc.get("bench", "engine_throughput") != bench:
+        sys.exit(f"bench_gate: bench mismatch: {args.baseline} is {bench!r}, "
+                 f"{args.current} is {cur_doc.get('bench')!r}")
+    schema = SCHEMAS.get(bench)
+    if schema is None:
+        sys.exit(f"bench_gate: unknown bench {bench!r} "
+                 f"(known: {', '.join(sorted(SCHEMAS))})")
+    key_fields = schema["key"]
+    watched = schema["watched"]
+    latency_fields = schema["latency_fields"]
+
+    base = index_rows(args.baseline, base_doc, key_fields)
+    cur = index_rows(args.current, cur_doc, key_fields)
 
     regressions = []
     checked = 0
-    for key in sorted(base.keys() | cur.keys()):
-        label = f"threads={key[0]} cache={key[1]}"
+    for key in sorted(base.keys() | cur.keys(), key=str):
+        label = " ".join(f"{f}={v}" for f, v in zip(key_fields, key))
         if key not in base or key not in cur:
             where = "baseline" if key not in cur else "current"
             print(f"bench_gate: note: row [{label}] only in {where}; skipped")
             continue
-        for field, direction in WATCHED.items():
+        for field, direction in watched.items():
             b, c = base[key].get(field), cur[key].get(field)
             if b is None or c is None:
                 continue
@@ -95,7 +141,7 @@ def main():
             if b <= 0:
                 continue
             delta = (b - c) / b if direction == "higher" else (c - b) / b
-            limit = (args.latency_threshold if field in LATENCY_FIELDS
+            limit = (args.latency_threshold if field in latency_fields
                      else args.threshold)
             checked += 1
             if delta > limit:
@@ -111,7 +157,7 @@ def main():
         for r in regressions:
             print("  " + r)
         return 1
-    print(f"bench_gate: ok — {checked} checks within limits "
+    print(f"bench_gate: ok — {bench}: {checked} checks within limits "
           f"({args.threshold:.0%}, latency {args.latency_threshold:.0%}) "
           f"of {args.baseline}")
     return 0

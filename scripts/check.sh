@@ -11,10 +11,11 @@
 # run do not clobber each other's cache variables: the script always
 # re-runs configure with -DMSYS_WERROR=ON.
 #
-# After a green default-preset run the engine throughput bench is measured
-# and gated against the committed BENCH_engine.json (>30% regression on
-# any latency/throughput column fails).  Set MSYS_SKIP_BENCH_GATE=1 to
-# skip the gate (e.g. on loaded CI machines where timings are noise).
+# After a green default-preset run the engine throughput and serving
+# benches are measured and gated against the committed BENCH_engine.json /
+# BENCH_serve.json (>30% regression on any watched column fails).  Set
+# MSYS_SKIP_BENCH_GATE=1 to skip the gates (e.g. on loaded CI machines
+# where timings are noise).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -93,6 +94,26 @@ for preset in "${presets[@]}"; do
     | grep -q "0 expired leases, 0 orphaned claims"
   rm -rf "$dsmoke"
 
+  # Serving smoke: generate a deterministic arrival trace, serve it on a
+  # 2-tenant partition twice with different compile thread counts, and
+  # require byte-identical per-job outcome records (the serving layer's
+  # replay-determinism contract).  Runs under every preset so the serve
+  # loop's compile fan-out also gets a ThreadSanitizer pass.
+  echo "==> [$preset] serving smoke (2 tenants, replay determinism)"
+  ssmoke=$(mktemp -d)
+  "$msysc" --gen-trace "$ssmoke/arrivals.trace" --trace-jobs 24 --streams 4 \
+    --seed 7 --deadline-cycles 30000000 >/dev/null
+  "$msysc" --serve "$ssmoke/arrivals.trace" --tenants 2 -j 2 \
+    --serve-out "$ssmoke/out_j2.tsv" >/dev/null
+  "$msysc" --serve "$ssmoke/arrivals.trace" --tenants 2 -j 1 \
+    --serve-out "$ssmoke/out_j1.tsv" >/dev/null
+  cmp "$ssmoke/out_j1.tsv" "$ssmoke/out_j2.tsv"
+  rc=0
+  printf 'not a trace\n' > "$ssmoke/bad.trace"
+  "$msysc" --serve "$ssmoke/bad.trace" >/dev/null 2>&1 || rc=$?
+  [ "$rc" = "2" ]
+  rm -rf "$ssmoke"
+
   if [ "$preset" = "default" ] && [ "${MSYS_SKIP_BENCH_GATE:-0}" != "1" ]; then
     echo "==> [$preset] bench gate (engine throughput vs BENCH_engine.json)"
     # Timings on a loaded box are noisy; a regression must reproduce on
@@ -101,6 +122,18 @@ for preset in "${presets[@]}"; do
     for attempt in 1 2 3; do
       ./build/bench/engine_throughput --dist 3 --json /tmp/bench_engine_current.json >/dev/null
       if python3 scripts/bench_gate.py BENCH_engine.json /tmp/bench_engine_current.json; then
+        gate_ok=1
+        break
+      fi
+      echo "==> bench gate attempt $attempt regressed; remeasuring"
+    done
+    [ "$gate_ok" = "1" ]
+
+    echo "==> [$preset] bench gate (serving layer vs BENCH_serve.json)"
+    gate_ok=0
+    for attempt in 1 2 3; do
+      ./build/bench/serve_throughput --json /tmp/bench_serve_current.json >/dev/null
+      if python3 scripts/bench_gate.py BENCH_serve.json /tmp/bench_serve_current.json; then
         gate_ok=1
         break
       fi

@@ -74,6 +74,12 @@ struct BatchStats {
   std::size_t disk_hits{0};
   /// Jobs whose final result is a deadline timeout ("schedule.timeout").
   std::size_t timeouts{0};
+  /// Per-attempt deadline expiries: every attempt cut short by its own
+  /// job deadline counts, whether the job later succeeded on a retry or
+  /// ended as a timeout.  timeouts counts final outcomes; this counts
+  /// misses — the SLO signal msysc's batch summary surfaces (it used to
+  /// be visible only as exit code 3).
+  std::size_t deadline_missed{0};
   /// Jobs cut short by batch-wide cancellation ("schedule.cancelled").
   std::size_t cancelled{0};
   /// Deadline re-attempts actually run (RunOptions::retries).

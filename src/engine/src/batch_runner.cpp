@@ -31,6 +31,7 @@ std::string BatchStats::summary() const {
       << "ms avg), " << infeasible << " infeasible";
   if (disk_hits > 0) out << ", " << disk_hits << " from store";
   if (timeouts > 0) out << ", " << timeouts << " timed out";
+  if (deadline_missed > 0) out << ", " << deadline_missed << " missed deadline";
   if (cancelled > 0) out << ", " << cancelled << " cancelled";
   if (retries > 0) out << ", " << retries << " retries";
   if (submit_refused > 0) out << ", " << submit_refused << " refused";
@@ -42,6 +43,7 @@ std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs,
                                         const RunOptions& options, BatchStats* stats) {
   MSYS_TRACE_SPAN(span, "engine.batch", "engine");
   static obs::Counter& timeouts_counter = obs::counter("engine.jobs.timeouts");
+  static obs::Counter& missed_counter = obs::counter("engine.jobs.deadline_missed");
   static obs::Counter& cancelled_counter = obs::counter("engine.jobs.cancelled");
   static obs::Counter& retry_counter = obs::counter("engine.retry.attempts");
   static obs::Counter& refused_counter = obs::counter("engine.pool.submit_refused");
@@ -129,17 +131,24 @@ std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs,
   std::size_t batch_timeouts = 0;
   std::size_t batch_cancelled = 0;
   std::size_t batch_retries = 0;
+  std::size_t batch_missed = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (results[i].cancelled()) {
       if (results[i].result->outcome.cancel_cause == CancelCause::kDeadline) {
         ++batch_timeouts;
+        ++batch_missed;
       } else {
         ++batch_cancelled;
       }
     }
+    // Each retry attempt exists only because the previous attempt blew its
+    // per-job deadline, so retries count as misses even when the job
+    // eventually succeeded.
+    batch_missed += retry_attempts[i];
     batch_retries += retry_attempts[i];
   }
   timeouts_counter.add(batch_timeouts);
+  missed_counter.add(batch_missed);
   cancelled_counter.add(batch_cancelled);
   retry_counter.add(batch_retries);
 
@@ -148,6 +157,7 @@ std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs,
     stats->jobs = jobs.size();
     stats->wall_ms = ms_since(batch_start);
     stats->timeouts = batch_timeouts;
+    stats->deadline_missed = batch_missed;
     stats->cancelled = batch_cancelled;
     stats->retries = batch_retries;
     stats->submit_refused = jobs.size() - accepted;

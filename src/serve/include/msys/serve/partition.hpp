@@ -1,0 +1,108 @@
+// Tenant partitioning: splitting one M1 between simultaneously-resident
+// applications (ROADMAP "multi-tenant serving"; cf. Kong et al.'s
+// multi-task CGRA execution, PAPERS.md).
+//
+// A TenantSpec claims a contiguous band of RC rows, a contiguous word
+// range of EACH Frame Buffer set, and a contiguous Context Memory range.
+// TenantPartition validates the claims against an arch::M1Config — every
+// range in bounds, no two tenants overlapping, no empty shares — and hands
+// each tenant a *virtual machine*: an M1Config whose rc_rows /
+// fb_set_size / cm_capacity_words are the tenant's share.  The existing
+// dsched pipeline then schedules the tenant's jobs against that shrunken
+// config unchanged; nothing downstream knows partitions exist.
+//
+// Two deliberate properties:
+//   * The virtual config keeps the machine's name and DMA model, so a
+//     single tenant owning the whole machine produces a config (and hence
+//     an engine::cache_key) identical to the unpartitioned one —
+//     "serving with one tenant" is byte-identical to plain batch compile.
+//   * A tenant with fewer RC rows runs each kernel iteration slower: the
+//     serving layer scales kernel exec_cycles by full_rows/tenant_rows
+//     (ceiling) when building the tenant's jobs (see serve_loop).
+//
+// Validation failures are data (coded Diagnostics, "serve.partition.*"),
+// never exceptions — consistent with the project error contract.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "msys/arch/m1.hpp"
+#include "msys/common/diagnostic.hpp"
+
+namespace msys::serve {
+
+/// One tenant's static share of the machine.  Ranges are [begin, begin+n).
+struct TenantSpec {
+  std::string name;
+  /// RC-array rows (the array is row-sliced; columns are never split).
+  std::uint32_t rc_row_begin{0};
+  std::uint32_t rc_rows{0};
+  /// Word range claimed within EACH of the two FB sets (double buffering
+  /// is per tenant: a tenant's clusters alternate within its own band).
+  std::uint64_t fb_begin_words{0};
+  std::uint64_t fb_words{0};
+  /// Context Memory word range.
+  std::uint32_t cm_begin_words{0};
+  std::uint32_t cm_words{0};
+  /// Default priority for this tenant's jobs (higher wins preemption).
+  int priority{0};
+};
+
+/// A validated split of one machine.  Construct via build() or even().
+class TenantPartition {
+ public:
+  struct BuildResult;  // defined below (holds an optional<TenantPartition>)
+
+  /// Validates `tenants` against `machine`.  Failure is data: every
+  /// violated rule contributes one coded Diagnostic.
+  [[nodiscard]] static BuildResult build(const arch::M1Config& machine,
+                                         std::vector<TenantSpec> tenants);
+
+  /// Specs for an even n-way split (rows, FB words and CM words each
+  /// divided as evenly as word/row granularity allows, remainders to the
+  /// earliest tenants), named "t0".."t<n-1>", all priority 0.  Feed the
+  /// result to build(); an n too large for the machine (e.g. more tenants
+  /// than rows) fails validation there with a coded diagnostic.
+  [[nodiscard]] static std::vector<TenantSpec> even_specs(const arch::M1Config& machine,
+                                                          std::uint32_t n);
+
+  [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
+  [[nodiscard]] const TenantSpec& tenant(std::size_t i) const;
+  [[nodiscard]] const std::vector<TenantSpec>& tenants() const { return tenants_; }
+  [[nodiscard]] const arch::M1Config& machine() const { return machine_; }
+
+  /// Tenant i's virtual machine: the base machine with rc_rows,
+  /// fb_set_size and cm_capacity_words shrunk to the tenant's share.
+  /// Name and DMA model are unchanged (see file comment).
+  [[nodiscard]] arch::M1Config virtual_config(std::size_t i) const;
+
+  /// Exec-cycles scaling factor numerator/denominator for tenant i: a
+  /// kernel characterised for the full array runs ceil(cycles * rows /
+  /// tenant_rows) on the tenant's row band.
+  [[nodiscard]] std::uint32_t full_rows() const { return machine_.rc_rows; }
+
+  /// One line per tenant: name, rows, FB words, CM words, priority.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  TenantPartition() = default;
+
+  arch::M1Config machine_;
+  std::vector<TenantSpec> tenants_;
+};
+
+struct TenantPartition::BuildResult {
+  std::optional<TenantPartition> partition;
+  /// Non-empty exactly when `partition` is absent; codes are
+  /// "serve.partition.empty", ".duplicate_tenant", ".zero_rows",
+  /// ".zero_fb", ".zero_cm", ".exceeds_machine", ".rc_overlap",
+  /// ".fb_overlap", ".cm_overlap".
+  Diagnostics diagnostics;
+
+  [[nodiscard]] bool ok() const { return partition.has_value(); }
+};
+
+}  // namespace msys::serve

@@ -1,0 +1,140 @@
+// ServeLoop: an open serving system on one partitioned M1.
+//
+// Two-phase design, chosen so that per-job outcomes are *input-order
+// deterministic* no matter how many compile threads run:
+//
+//   Phase 1 (wall clock, parallel) — every trace event becomes one
+//   engine::Job against its tenant's virtual machine and the whole set is
+//   compiled through BatchRunner over the ThreadPool + single-flight
+//   ScheduleCache (duplicate workloads coalesce; an optional
+//   DiskScheduleStore gives warm restarts).  Per-job compile deadlines
+//   ride the existing CancelToken plumbing.
+//
+//   Phase 2 (virtual time, serial) — a discrete-event pass replays the
+//   arrivals against each tenant's timeline: deadline-aware admission
+//   (reject a job whose estimated finish already busts its deadline),
+//   strict-priority preemption (a higher-priority arrival displaces the
+//   running job; the victim's FB working set is spilled and later
+//   refilled), and TransitionModel charges whenever the resident mode
+//   changes.  Tenants own disjoint rows/FB/CM bands, so their timelines
+//   are independent; cross-tenant DMA contention on the shared channel is
+//   deliberately not modeled (each tenant sees its pro-rata channel —
+//   documented simplification, same spirit as the paper's single-app
+//   scope).
+//
+// Outcomes are emitted in trace order with a canonical TSV line per job,
+// so replaying one trace twice — or with different thread counts — yields
+// byte-identical records (serve_loop_test pins this).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "msys/engine/batch_runner.hpp"
+#include "msys/serve/partition.hpp"
+#include "msys/serve/trace_file.hpp"
+#include "msys/serve/transition.hpp"
+#include "msys/store/disk_store.hpp"
+
+namespace msys::serve {
+
+struct ServeOptions {
+  /// Compile-phase worker threads.
+  unsigned threads{1};
+  /// Wall-clock budget per compile attempt (CancelToken deadline);
+  /// zero => none.
+  std::chrono::milliseconds compile_deadline{0};
+  /// Optional persistent compile tier shared with batch mode.
+  std::shared_ptr<store::DiskScheduleStore> store;
+  /// Batch-wide cancellation for the compile phase.
+  CancelToken cancel;
+};
+
+/// One job's serving outcome.  Cycles fields are virtual (tenant
+/// timeline); status is one of "done", "late" (completed past deadline),
+/// "rejected" (admission), "compile-timeout", "infeasible".
+struct JobOutcome {
+  std::uint64_t index{0};  // position in the trace
+  std::string tenant;
+  std::string workload;
+  std::string status;
+  std::string rung;  // winning fallback rung, "-" when none
+  int priority{0};
+  std::uint64_t arrive_cycles{0};
+  std::uint64_t start_cycles{0};
+  std::uint64_t finish_cycles{0};
+  std::uint64_t service_cycles{0};
+  std::uint64_t transition_cycles{0};
+  std::uint32_t preemptions{0};
+  bool deadline_met{true};
+
+  [[nodiscard]] bool completed() const { return status == "done" || status == "late"; }
+};
+
+/// One TSV line, stable across runs and thread counts (the serving
+/// layer's replay-determinism contract).
+[[nodiscard]] std::string canonical_outcome_line(const JobOutcome& o);
+
+struct TenantStats {
+  std::string name;
+  std::size_t jobs{0};
+  std::size_t completed{0};
+  std::size_t rejected{0};
+  /// Late completions + compile timeouts (every way a job missed its
+  /// deadline), mirrored to "serve.tenant.<name>.deadline_missed".
+  std::size_t deadline_missed{0};
+  std::size_t infeasible{0};
+  std::uint64_t makespan_cycles{0};
+  std::uint64_t p50_latency_cycles{0};
+  std::uint64_t p99_latency_cycles{0};
+};
+
+struct ServeStats {
+  std::size_t jobs{0};
+  std::size_t completed{0};
+  std::size_t rejected{0};
+  std::size_t deadline_missed{0};
+  std::size_t infeasible{0};
+  std::size_t compile_timeouts{0};
+  std::size_t preemptions{0};
+  std::size_t transitions{0};
+  std::uint64_t transition_cycles{0};
+  /// Longest tenant timeline (virtual cycles to drain the trace).
+  std::uint64_t makespan_cycles{0};
+  /// Arrival-to-finish latency percentiles over completed jobs.
+  std::uint64_t p50_latency_cycles{0};
+  std::uint64_t p99_latency_cycles{0};
+  /// Compile-phase accounting (wall clock).
+  engine::BatchStats compile;
+  double wall_ms{0.0};
+  std::vector<TenantStats> tenants;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+struct ServeReport {
+  /// outcomes[i] corresponds to trace.events[i].
+  std::vector<JobOutcome> outcomes;
+  ServeStats stats;
+};
+
+class ServeLoop {
+ public:
+  ServeLoop(TenantPartition partition, ServeOptions options = {});
+
+  /// Serves the whole trace (see file comment).  Workload resolution
+  /// failures (unknown registry name) throw msys::Error — a malformed
+  /// trace is a usage error; everything per-job is data in the outcomes.
+  [[nodiscard]] ServeReport run(const TraceFile& trace);
+
+  [[nodiscard]] const TenantPartition& partition() const { return partition_; }
+
+ private:
+  TenantPartition partition_;
+  ServeOptions options_;
+};
+
+}  // namespace msys::serve

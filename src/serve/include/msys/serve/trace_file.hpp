@@ -1,0 +1,96 @@
+// Arrival-trace file format (".trace") + deterministic generator.
+//
+// A trace is the serving layer's replayable workload: a time-ordered list
+// of job arrivals, each naming a *stream* rather than a tenant, so the
+// same trace file drives a 1-, 2- or 4-tenant serving run (the loop maps
+// stream -> tenant by stream % tenant_count) and throughput/p99 numbers
+// for different tenant counts are directly comparable.
+//
+// Line format (UTF-8, '#' comments and blank lines ignored):
+//
+//   trace v1 seed=<u64>
+//   job <at_cycles> <stream> <workload> <deadline_cycles> <priority>
+//
+// `workload` is either "random:<seed>" (the serve-canonical RandomSpec of
+// workloads::make_random — see serve_random_spec) or a Table-1 registry
+// name ("E1", "MPEG", ...).  `deadline_cycles` is relative to arrival;
+// 0 means no deadline.  Events must be non-decreasing in at_cycles.
+//
+// write_trace(parse_trace(text)) reproduces `text`'s canonical form
+// byte-for-byte (trace_file_test pins the round trip), and
+// generate_trace() is deterministic from its spec: same spec => same
+// bytes, on every platform (interarrivals are integer-only Poisson-like
+// sampling over Rng::split streams — no floating point, no libm).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "msys/common/diagnostic.hpp"
+#include "msys/workloads/random.hpp"
+
+namespace msys::serve {
+
+/// One job arrival.
+struct TraceEvent {
+  std::uint64_t at_cycles{0};
+  std::uint32_t stream{0};
+  std::string workload;
+  /// Relative to at_cycles; 0 = no deadline.
+  std::uint64_t deadline_cycles{0};
+  int priority{0};
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+struct TraceFile {
+  std::uint64_t seed{0};
+  std::vector<TraceEvent> events;
+
+  friend bool operator==(const TraceFile&, const TraceFile&) = default;
+};
+
+struct ParseTraceResult {
+  std::optional<TraceFile> trace;
+  /// Codes: "trace.header.missing", "trace.header.malformed",
+  /// "trace.line.malformed", "trace.event.unsorted".
+  Diagnostics diagnostics;
+
+  [[nodiscard]] bool ok() const { return trace.has_value(); }
+};
+
+/// Parses trace text.  `file` labels diagnostics' SourceLoc.
+[[nodiscard]] ParseTraceResult parse_trace(std::string_view text, std::string file = "");
+
+/// Canonical serialization (header + one "job" line per event).
+[[nodiscard]] std::string write_trace(const TraceFile& trace);
+
+/// The serve-canonical random workload family: "random:<seed>" in a trace
+/// resolves to make_random(serve_random_spec(seed)).
+[[nodiscard]] workloads::RandomSpec serve_random_spec(std::uint64_t seed);
+
+struct TraceGenSpec {
+  std::uint64_t seed{1};
+  /// Total arrivals across all streams.
+  std::uint32_t jobs{64};
+  std::uint32_t streams{4};
+  /// Mean interarrival gap per stream, in cycles.
+  std::uint64_t mean_gap_cycles{200000};
+  /// Per-job deadline relative to arrival (jittered +/-25% per event);
+  /// 0 = no deadlines.
+  std::uint64_t deadline_cycles{0};
+  /// Priorities drawn uniformly from [0, priorities-1].
+  std::uint32_t priorities{2};
+  /// Distinct "random:<seed>" workloads to draw from.
+  std::uint32_t workloads{6};
+};
+
+/// Deterministic Poisson-like trace: per-stream interarrival gaps are
+/// integer exponential samples from Rng::split(stream) sub-streams,
+/// merged in (at_cycles, stream) order.  Same spec => same TraceFile.
+[[nodiscard]] TraceFile generate_trace(const TraceGenSpec& spec);
+
+}  // namespace msys::serve

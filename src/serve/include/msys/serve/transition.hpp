@@ -1,0 +1,92 @@
+// Mode-transition cost model for the time-sliced serving layer.
+//
+// When the serving loop switches which job ("mode") is resident on a
+// tenant's slice of the machine, the switch is not free:
+//
+//   * the incoming mode's contexts must be reloaded into the Context
+//     Memory over the single DMA channel — the paper's §3 RF-divided
+//     reload cost re-materialises here as a per-switch charge of one
+//     steady round's context traffic;
+//   * the outgoing mode's FB-resident working set (the allocator's peak
+//     residency across both sets) must be spilled to external memory;
+//   * a mode that was preempted earlier must additionally refill that
+//     working set before it can resume.
+//
+// All three are priced through the machine's arch::DmaModel, so the
+// charge is consistent with every other DMA cost in the project, and the
+// quantities come from the same DataSchedule/ContextPlan the simulator
+// executes — transition_test.cpp cross-checks that a footprint derived
+// from a sim::SimReport prices identically to the analytic one.
+//
+// Modeling note: the serving layer charges the switch as a serialized
+// penalty on the tenant's virtual timeline.  Overlap between the incoming
+// mode's reload and its own first-round IN(0) traffic is deliberately not
+// modeled (the paper's schedulers already account IN(0) inside the job's
+// predicted cost; the transition charge prices only the *extra* mode
+// management the time-slicer causes).
+#pragma once
+
+#include <cstdint>
+
+#include "msys/arch/m1.hpp"
+#include "msys/csched/context_plan.hpp"
+#include "msys/dsched/schedule_types.hpp"
+#include "msys/sim/simulator.hpp"
+
+namespace msys::serve {
+
+/// What one mode (one compiled job) occupies while resident.
+struct ModeFootprint {
+  /// Context words of one steady round (what a switch-in must restore).
+  std::uint64_t context_words{0};
+  /// Peak FB words resident across both sets (what a switch-out spills
+  /// and a resume refills).
+  std::uint64_t resident_words{0};
+
+  friend constexpr bool operator==(const ModeFootprint&, const ModeFootprint&) = default;
+};
+
+/// Analytic footprint of a feasible schedule under its context plan.
+[[nodiscard]] ModeFootprint footprint_of(const dsched::DataSchedule& schedule,
+                                         const csched::ContextPlan& ctx_plan);
+
+/// The same footprint derived from simulator observations: per-round
+/// context traffic (the sim reports the whole-run total) and the measured
+/// peak FB residency.  Equal to footprint_of for any schedule the
+/// simulator accepts — the cross-check transition_test.cpp pins.
+[[nodiscard]] ModeFootprint footprint_from_sim(const sim::SimReport& report,
+                                               const csched::ContextPlan& ctx_plan,
+                                               std::uint32_t rounds);
+
+/// Prices mode switches on one machine's DMA channel.
+class TransitionModel {
+ public:
+  explicit TransitionModel(const arch::DmaModel& dma) : dma_(dma) {}
+
+  /// Context reload for a mode entering the tenant's slice.
+  [[nodiscard]] Cycles reload_cycles(const ModeFootprint& incoming) const {
+    return dma_.context_cycles(static_cast<std::uint32_t>(incoming.context_words));
+  }
+  /// FB spill of the mode being displaced.
+  [[nodiscard]] Cycles spill_cycles(const ModeFootprint& outgoing) const {
+    return dma_.data_cycles(SizeWords{outgoing.resident_words});
+  }
+  /// FB refill when a previously-preempted mode resumes.
+  [[nodiscard]] Cycles refill_cycles(const ModeFootprint& resuming) const {
+    return dma_.data_cycles(SizeWords{resuming.resident_words});
+  }
+
+  /// Full switch charge: reload the incoming contexts, plus refill when
+  /// the incoming mode resumes after preemption.  (The outgoing spill is
+  /// charged separately at preemption time, when the victim is known.)
+  [[nodiscard]] Cycles switch_in_cycles(const ModeFootprint& incoming, bool resuming) const {
+    Cycles c = reload_cycles(incoming);
+    if (resuming) c += refill_cycles(incoming);
+    return c;
+  }
+
+ private:
+  arch::DmaModel dma_;
+};
+
+}  // namespace msys::serve

@@ -1,0 +1,149 @@
+#include "msys/serve/partition.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "msys/common/error.hpp"
+
+namespace msys::serve {
+
+namespace {
+
+/// [a0, a0+an) intersects [b0, b0+bn)?  Empty ranges never intersect, but
+/// zero shares are rejected before overlap checks run.
+template <class T>
+bool ranges_overlap(T a0, T an, T b0, T bn) {
+  return a0 < b0 + bn && b0 < a0 + an;
+}
+
+}  // namespace
+
+TenantPartition::BuildResult TenantPartition::build(const arch::M1Config& machine,
+                                                    std::vector<TenantSpec> tenants) {
+  BuildResult out;
+  Diagnostics& diags = out.diagnostics;
+
+  if (tenants.empty()) {
+    diags.push_back(make_error("serve.partition.empty", "partition declares no tenants"));
+    return out;
+  }
+
+  std::set<std::string> names;
+  for (const TenantSpec& t : tenants) {
+    if (!names.insert(t.name).second) {
+      diags.push_back(make_error("serve.partition.duplicate_tenant",
+                                 "tenant name '" + t.name + "' declared twice"));
+    }
+    if (t.rc_rows == 0) {
+      diags.push_back(make_error("serve.partition.zero_rows",
+                                 "tenant '" + t.name + "' claims zero RC rows"));
+    }
+    if (t.fb_words == 0) {
+      diags.push_back(make_error("serve.partition.zero_fb",
+                                 "tenant '" + t.name + "' claims zero FB words"));
+    }
+    if (t.cm_words == 0) {
+      diags.push_back(make_error("serve.partition.zero_cm",
+                                 "tenant '" + t.name + "' claims zero CM words"));
+    }
+    if (t.rc_row_begin + t.rc_rows > machine.rc_rows ||
+        t.fb_begin_words + t.fb_words > machine.fb_set_size.value() ||
+        t.cm_begin_words + t.cm_words > machine.cm_capacity_words) {
+      std::ostringstream os;
+      os << "tenant '" << t.name << "' exceeds the machine: rows [" << t.rc_row_begin
+         << ", " << (t.rc_row_begin + t.rc_rows) << ") of " << machine.rc_rows
+         << ", FB [" << t.fb_begin_words << ", " << (t.fb_begin_words + t.fb_words)
+         << ") of " << machine.fb_set_size.value() << ", CM [" << t.cm_begin_words
+         << ", " << (t.cm_begin_words + t.cm_words) << ") of "
+         << machine.cm_capacity_words;
+      diags.push_back(make_error("serve.partition.exceeds_machine", os.str()));
+    }
+  }
+
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    for (std::size_t j = i + 1; j < tenants.size(); ++j) {
+      const TenantSpec& a = tenants[i];
+      const TenantSpec& b = tenants[j];
+      const std::string pair = "'" + a.name + "' and '" + b.name + "'";
+      if (a.rc_rows > 0 && b.rc_rows > 0 &&
+          ranges_overlap(a.rc_row_begin, a.rc_rows, b.rc_row_begin, b.rc_rows)) {
+        diags.push_back(
+            make_error("serve.partition.rc_overlap", "tenants " + pair + " share RC rows"));
+      }
+      if (a.fb_words > 0 && b.fb_words > 0 &&
+          ranges_overlap(a.fb_begin_words, a.fb_words, b.fb_begin_words, b.fb_words)) {
+        diags.push_back(make_error("serve.partition.fb_overlap",
+                                   "tenants " + pair + " share Frame Buffer words"));
+      }
+      if (a.cm_words > 0 && b.cm_words > 0 &&
+          ranges_overlap(a.cm_begin_words, a.cm_words, b.cm_begin_words, b.cm_words)) {
+        diags.push_back(make_error("serve.partition.cm_overlap",
+                                   "tenants " + pair + " share Context Memory words"));
+      }
+    }
+  }
+
+  if (has_errors(diags)) return out;
+
+  TenantPartition p;
+  p.machine_ = arch::M1Config::validated(machine);
+  p.tenants_ = std::move(tenants);
+  out.partition = std::move(p);
+  return out;
+}
+
+std::vector<TenantSpec> TenantPartition::even_specs(const arch::M1Config& machine,
+                                                    std::uint32_t n) {
+  MSYS_REQUIRE(n >= 1, "even_specs needs at least one tenant");
+  std::vector<TenantSpec> specs;
+  specs.reserve(n);
+  const std::uint64_t fb_total = machine.fb_set_size.value();
+  std::uint32_t row = 0;
+  std::uint64_t fb = 0;
+  std::uint32_t cm = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    TenantSpec t;
+    t.name = "t" + std::to_string(i);
+    t.rc_row_begin = row;
+    t.rc_rows = machine.rc_rows / n + (i < machine.rc_rows % n ? 1 : 0);
+    t.fb_begin_words = fb;
+    t.fb_words = fb_total / n + (i < fb_total % n ? 1 : 0);
+    t.cm_begin_words = cm;
+    t.cm_words =
+        machine.cm_capacity_words / n + (i < machine.cm_capacity_words % n ? 1 : 0);
+    row += t.rc_rows;
+    fb += t.fb_words;
+    cm += t.cm_words;
+    specs.push_back(std::move(t));
+  }
+  return specs;
+}
+
+const TenantSpec& TenantPartition::tenant(std::size_t i) const {
+  MSYS_REQUIRE(i < tenants_.size(), "tenant index out of range");
+  return tenants_[i];
+}
+
+arch::M1Config TenantPartition::virtual_config(std::size_t i) const {
+  const TenantSpec& t = tenant(i);
+  arch::M1Config cfg = machine_;
+  cfg.rc_rows = t.rc_rows;
+  cfg.fb_set_size = SizeWords{t.fb_words};
+  cfg.cm_capacity_words = t.cm_words;
+  return arch::M1Config::validated(cfg);
+}
+
+std::string TenantPartition::summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const TenantSpec& t = tenants_[i];
+    if (i > 0) os << "\n";
+    os << t.name << ": rows " << t.rc_row_begin << ".." << (t.rc_row_begin + t.rc_rows - 1)
+       << ", FB " << t.fb_words << "w/set, CM " << t.cm_words << "w, priority "
+       << t.priority;
+  }
+  return os.str();
+}
+
+}  // namespace msys::serve

@@ -1,0 +1,462 @@
+#include "msys/serve/serve_loop.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "msys/common/error.hpp"
+#include "msys/csched/context_plan.hpp"
+#include "msys/engine/schedule_cache.hpp"
+#include "msys/engine/thread_pool.hpp"
+#include "msys/model/application.hpp"
+#include "msys/obs/metrics.hpp"
+#include "msys/obs/trace.hpp"
+#include "msys/workloads/experiments.hpp"
+
+namespace msys::serve {
+
+namespace {
+
+/// A resolved workload reference: the application plus its cluster
+/// partition, independent of any tenant (tenants re-scale per job).
+struct ResolvedWorkload {
+  std::shared_ptr<const model::Application> app;
+  std::vector<std::vector<KernelId>> partition;
+};
+
+ResolvedWorkload resolve_workload(const std::string& ref) {
+  ResolvedWorkload out;
+  if (ref.starts_with("random:")) {
+    std::uint64_t seed = 0;
+    try {
+      seed = std::stoull(ref.substr(7));
+    } catch (const std::exception&) {
+      raise("malformed workload reference '" + ref + "'");
+    }
+    workloads::RandomExperiment exp = workloads::make_random(serve_random_spec(seed));
+    out.app = std::shared_ptr<const model::Application>(std::move(exp.app));
+    for (const model::Cluster& c : exp.sched.clusters()) out.partition.push_back(c.kernels);
+    return out;
+  }
+  workloads::Experiment exp = workloads::make_experiment(ref);  // throws on unknown names
+  out.app = std::shared_ptr<const model::Application>(std::move(exp.app));
+  for (const model::Cluster& c : exp.sched.clusters()) out.partition.push_back(c.kernels);
+  return out;
+}
+
+/// Rebuilds `app` with every kernel's exec_cycles scaled by
+/// ceil(cycles * num / den) — the row-share slowdown of a tenant owning
+/// den of num RC rows.  Ids are preserved (kernels then data objects are
+/// replayed in id order), so cluster partitions remain valid.
+model::Application scale_application(const model::Application& app, std::uint32_t num,
+                                     std::uint32_t den) {
+  MSYS_REQUIRE(den >= 1, "row share must be positive");
+  model::ApplicationBuilder b(app.name(), app.total_iterations());
+  for (const model::Kernel& k : app.kernels()) {
+    const std::uint64_t scaled = (k.exec_cycles.value() * num + den - 1) / den;
+    const KernelId id = b.kernel(k.name, k.context_words, Cycles{scaled}, {});
+    MSYS_REQUIRE(id == k.id, "kernel id not preserved");
+  }
+  for (const model::DataObject& d : app.data_objects()) {
+    const DataId id = d.producer.valid()
+                          ? b.output(d.producer, d.name, d.size, d.required_in_external_memory)
+                          : b.external_input(d.name, d.size);
+    MSYS_REQUIRE(id == d.id, "data id not preserved");
+  }
+  for (const model::Kernel& k : app.kernels()) {
+    for (const DataId input : k.inputs) b.add_input(k.id, input);
+  }
+  return std::move(b).build();
+}
+
+/// Per-job replay state on a tenant's virtual timeline.
+struct PendingJob {
+  std::size_t idx{0};
+  std::uint64_t arrive{0};
+  /// Absolute deadline; 0 = none.
+  std::uint64_t deadline{0};
+  std::uint64_t service{0};
+  std::uint64_t remaining{0};
+  /// Mode identity == the job's cache key: equal keys need no reload.
+  std::uint64_t mode{0};
+  ModeFootprint fp;
+  int priority{0};
+  bool resumed{false};
+  bool started{false};
+  std::uint32_t preemptions{0};
+  std::uint64_t start{0};
+  std::uint64_t transition{0};
+};
+
+struct Running {
+  PendingJob job;
+  std::uint64_t work_start{0};
+  std::uint64_t finish{0};
+};
+
+/// One tenant's deterministic replay: strict-priority dispatch (ties by
+/// trace order), deadline-aware admission, preemptive priorities with
+/// spill/refill charges, TransitionModel charges on every mode change.
+class TenantTimeline {
+ public:
+  TenantTimeline(const TransitionModel& model, std::vector<JobOutcome>* outcomes,
+                 TenantStats* stats, ServeStats* totals)
+      : model_(&model), outcomes_(outcomes), stats_(stats), totals_(totals) {}
+
+  void arrive(PendingJob j) {
+    advance(j.arrive);
+    now_ = std::max(now_, j.arrive);
+
+    // Admission: reject when the backlog of same-or-higher-priority work
+    // already pushes the estimated finish past the deadline.  The
+    // estimate ignores future higher-priority arrivals (it is a lower
+    // bound, so an admitted job can still finish "late").
+    if (j.deadline != 0) {
+      std::uint64_t est = now_;
+      if (running_) {
+        est += running_->job.priority >= j.priority
+                   ? running_->finish - now_
+                   : model_->spill_cycles(running_->job.fp).value();
+      }
+      for (const PendingJob& q : queue_) {
+        if (q.priority >= j.priority) est += q.remaining;
+      }
+      const bool warm = resident_.has_value() && *resident_ == j.mode && !running_ &&
+                        queue_.empty();
+      if (!warm) est += model_->reload_cycles(j.fp).value();
+      if (est + j.service > j.deadline) {
+        JobOutcome& o = (*outcomes_)[j.idx];
+        o.status = "rejected";
+        o.service_cycles = j.service;
+        o.deadline_met = false;
+        ++stats_->rejected;
+        ++totals_->rejected;
+        return;
+      }
+    }
+
+    if (running_ && j.priority > running_->job.priority) preempt();
+    queue_.push_back(std::move(j));
+  }
+
+  void drain() {
+    while (running_ || !queue_.empty()) {
+      advance(running_ ? running_->finish : now_ + 1);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t makespan() const { return makespan_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& latencies() const { return latencies_; }
+
+ private:
+  void preempt() {
+    PendingJob j = std::move(running_->job);
+    const std::uint64_t progress =
+        now_ > running_->work_start ? now_ - running_->work_start : 0;
+    j.remaining -= std::min(progress, j.remaining);
+    j.resumed = true;
+    ++j.preemptions;
+    // The victim's working set leaves the FB now; the charge lands on the
+    // next dispatch (the preemptor's switch-in occupies the channel).
+    pending_spill_ += model_->spill_cycles(j.fp).value();
+    ++totals_->preemptions;
+    queue_.push_back(std::move(j));
+    running_.reset();
+  }
+
+  /// Runs the timeline forward to t_limit, dispatching and completing.
+  void advance(std::uint64_t t_limit) {
+    while (true) {
+      if (running_) {
+        if (running_->finish > t_limit) {
+          now_ = t_limit;
+          return;
+        }
+        complete();
+        continue;
+      }
+      if (queue_.empty()) {
+        now_ = std::max(now_, t_limit);
+        return;
+      }
+      dispatch();
+    }
+  }
+
+  void dispatch() {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+      if (queue_[i].priority > queue_[best].priority ||
+          (queue_[i].priority == queue_[best].priority &&
+           queue_[i].idx < queue_[best].idx)) {
+        best = i;
+      }
+    }
+    PendingJob j = std::move(queue_[best]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+
+    std::uint64_t trans = pending_spill_;
+    pending_spill_ = 0;
+    const bool mode_change = !resident_.has_value() || *resident_ != j.mode || j.resumed;
+    if (mode_change) {
+      trans += model_->switch_in_cycles(j.fp, j.resumed).value();
+      ++totals_->transitions;
+    }
+    totals_->transition_cycles += trans;
+    if (!j.started) {
+      j.started = true;
+      j.start = now_ + trans;
+    }
+    j.transition += trans;
+    resident_ = j.mode;
+    Running r;
+    r.work_start = now_ + trans;
+    r.finish = now_ + trans + j.remaining;
+    r.job = std::move(j);
+    running_ = std::move(r);
+  }
+
+  void complete() {
+    const PendingJob& j = running_->job;
+    const std::uint64_t end = running_->finish;
+    const std::uint64_t latency = end - j.arrive;
+    const bool late = j.deadline != 0 && end > j.deadline;
+    JobOutcome& o = (*outcomes_)[j.idx];
+    o.status = late ? "late" : "done";
+    o.start_cycles = j.start;
+    o.finish_cycles = end;
+    o.service_cycles = j.service;
+    o.transition_cycles = j.transition;
+    o.preemptions = j.preemptions;
+    o.deadline_met = !late;
+    ++stats_->completed;
+    ++totals_->completed;
+    if (late) {
+      ++stats_->deadline_missed;
+      ++totals_->deadline_missed;
+    }
+    latencies_.push_back(latency);
+    makespan_ = std::max(makespan_, end);
+    stats_->makespan_cycles = makespan_;
+    now_ = end;
+    running_.reset();
+  }
+
+  const TransitionModel* model_;
+  std::vector<JobOutcome>* outcomes_;
+  TenantStats* stats_;
+  ServeStats* totals_;
+
+  std::uint64_t now_{0};
+  std::optional<std::uint64_t> resident_;
+  std::optional<Running> running_;
+  std::vector<PendingJob> queue_;
+  std::uint64_t pending_spill_{0};
+  std::uint64_t makespan_{0};
+  std::vector<std::uint64_t> latencies_;
+};
+
+/// Nearest-rank percentile over an unsorted sample (copied + sorted).
+std::uint64_t percentile(std::vector<std::uint64_t> sample, std::uint32_t pct) {
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  const std::size_t rank = (pct * sample.size() + 99) / 100;
+  return sample[std::max<std::size_t>(rank, 1) - 1];
+}
+
+}  // namespace
+
+std::string canonical_outcome_line(const JobOutcome& o) {
+  std::ostringstream os;
+  os << o.index << "\t" << o.tenant << "\t" << o.workload << "\t" << o.status << "\t"
+     << o.rung << "\t" << o.priority << "\t" << o.arrive_cycles << "\t" << o.start_cycles
+     << "\t" << o.finish_cycles << "\t" << o.service_cycles << "\t" << o.transition_cycles
+     << "\t" << o.preemptions << "\t" << (o.deadline_met ? 1 : 0);
+  return os.str();
+}
+
+std::string ServeStats::summary() const {
+  std::ostringstream os;
+  os << "served " << jobs << " jobs across " << tenants.size() << " tenants: " << completed
+     << " completed, " << rejected << " rejected, " << deadline_missed
+     << " missed deadline, " << infeasible << " infeasible, " << compile_timeouts
+     << " compile timeouts; p50 " << p50_latency_cycles << " / p99 " << p99_latency_cycles
+     << " cycles, " << transitions << " mode transitions (" << transition_cycles
+     << " cycles), makespan " << makespan_cycles << " cycles";
+  return os.str();
+}
+
+ServeLoop::ServeLoop(TenantPartition partition, ServeOptions options)
+    : partition_(std::move(partition)), options_(std::move(options)) {}
+
+ServeReport ServeLoop::run(const TraceFile& trace) {
+  MSYS_TRACE_SPAN(span, "serve.run", "serve");
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t n_tenants = partition_.tenant_count();
+  const std::size_t n_events = trace.events.size();
+
+  ServeReport report;
+  report.outcomes.resize(n_events);
+  report.stats.jobs = n_events;
+  report.stats.tenants.resize(n_tenants);
+  for (std::size_t t = 0; t < n_tenants; ++t) {
+    report.stats.tenants[t].name = partition_.tenant(t).name;
+  }
+
+  // --- Phase 1: compile every arrival against its tenant's virtual
+  // machine (parallel, cached, single-flight; wall clock).
+  std::vector<engine::Job> jobs;
+  jobs.reserve(n_events);
+  std::vector<std::size_t> tenant_of(n_events, 0);
+  std::map<std::string, ResolvedWorkload> resolved;
+  {
+    MSYS_TRACE_SPAN(prep, "serve.prepare", "serve");
+    for (std::size_t i = 0; i < n_events; ++i) {
+      const TraceEvent& e = trace.events[i];
+      const std::size_t t = e.stream % n_tenants;
+      tenant_of[i] = t;
+      auto it = resolved.find(e.workload);
+      if (it == resolved.end()) {
+        it = resolved.emplace(e.workload, resolve_workload(e.workload)).first;
+      }
+      const TenantSpec& spec = partition_.tenant(t);
+      model::Application app =
+          spec.rc_rows == partition_.full_rows()
+              ? model::Application(*it->second.app)
+              : scale_application(*it->second.app, partition_.full_rows(), spec.rc_rows);
+      engine::Job job;
+      job.input = engine::make_input(std::move(app), it->second.partition,
+                                     partition_.virtual_config(t));
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  engine::BatchStats& cstats = report.stats.compile;
+  std::vector<engine::JobResult> results;
+  {
+    MSYS_TRACE_SPAN(comp, "serve.compile", "serve");
+    engine::ThreadPool pool(options_.threads);
+    engine::ScheduleCache::Config cache_cfg;
+    cache_cfg.store = options_.store;
+    cache_cfg.name = "serve";
+    engine::ScheduleCache cache(cache_cfg);
+    engine::BatchRunner runner(pool, &cache);
+    engine::RunOptions ropts;
+    ropts.cancel = options_.cancel;
+    ropts.job_deadline = options_.compile_deadline;
+    results = runner.run(jobs, ropts, &cstats);
+  }
+
+  // --- Phase 2: deterministic virtual-time replay per tenant.
+  static obs::Counter& c_arrived = obs::counter("serve.jobs.arrived");
+  static obs::Counter& c_completed = obs::counter("serve.jobs.completed");
+  static obs::Counter& c_rejected = obs::counter("serve.jobs.rejected");
+  static obs::Counter& c_missed = obs::counter("serve.jobs.deadline_missed");
+  static obs::Counter& c_infeasible = obs::counter("serve.jobs.infeasible");
+  static obs::Counter& c_timeout = obs::counter("serve.jobs.compile_timeout");
+  static obs::Counter& c_transitions = obs::counter("serve.transitions");
+  static obs::Counter& c_transition_cycles = obs::counter("serve.transition_cycles");
+  static obs::Counter& c_preempt = obs::counter("serve.preemptions");
+  c_arrived.add(n_events);
+
+  TransitionModel model(partition_.machine().dma);
+  std::vector<TenantTimeline> timelines;
+  timelines.reserve(n_tenants);
+  for (std::size_t t = 0; t < n_tenants; ++t) {
+    timelines.emplace_back(model, &report.outcomes, &report.stats.tenants[t],
+                           &report.stats);
+  }
+
+  {
+    MSYS_TRACE_SPAN(replay, "serve.replay", "serve");
+    for (std::size_t i = 0; i < n_events; ++i) {
+      const TraceEvent& e = trace.events[i];
+      const std::size_t t = tenant_of[i];
+      const TenantSpec& spec = partition_.tenant(t);
+      const engine::JobResult& r = results[i];
+      JobOutcome& o = report.outcomes[i];
+      o.index = i;
+      o.tenant = spec.name;
+      o.workload = e.workload;
+      // The tenant's base priority plus the event's per-job priority.
+      o.priority = spec.priority + e.priority;
+      o.arrive_cycles = e.at_cycles;
+      o.rung = "-";
+      ++report.stats.tenants[t].jobs;
+
+      if (r.cancelled()) {
+        o.status = "compile-timeout";
+        o.deadline_met = false;
+        ++report.stats.compile_timeouts;
+        ++report.stats.tenants[t].deadline_missed;
+        ++report.stats.deadline_missed;
+        continue;
+      }
+      if (!r.feasible()) {
+        o.status = "infeasible";
+        ++report.stats.infeasible;
+        ++report.stats.tenants[t].infeasible;
+        continue;
+      }
+
+      const dsched::ScheduleOutcome& outcome = r.result->outcome;
+      o.rung = outcome.chosen_rung();
+      const csched::ContextPlan plan = csched::ContextPlan::build(
+          *r.result->input.sched, partition_.virtual_config(t).cm_capacity_words);
+
+      PendingJob j;
+      j.idx = i;
+      j.arrive = e.at_cycles;
+      j.deadline = e.deadline_cycles == 0 ? 0 : e.at_cycles + e.deadline_cycles;
+      j.service = r.result->predicted.total.value();
+      j.remaining = j.service;
+      j.mode = r.key;
+      j.fp = footprint_of(outcome.schedule, plan);
+      j.priority = o.priority;
+      timelines[t].arrive(std::move(j));
+    }
+    for (TenantTimeline& tl : timelines) tl.drain();
+  }
+
+  // --- Aggregate.
+  std::vector<std::uint64_t> all_latencies;
+  for (std::size_t t = 0; t < n_tenants; ++t) {
+    TenantStats& ts = report.stats.tenants[t];
+    const std::vector<std::uint64_t>& lat = timelines[t].latencies();
+    ts.p50_latency_cycles = percentile(lat, 50);
+    ts.p99_latency_cycles = percentile(lat, 99);
+    all_latencies.insert(all_latencies.end(), lat.begin(), lat.end());
+    report.stats.makespan_cycles =
+        std::max(report.stats.makespan_cycles, timelines[t].makespan());
+    if (ts.deadline_missed > 0) {
+      obs::counter("serve.tenant." + ts.name + ".deadline_missed").add(ts.deadline_missed);
+    }
+  }
+  report.stats.p50_latency_cycles = percentile(all_latencies, 50);
+  report.stats.p99_latency_cycles = percentile(std::move(all_latencies), 99);
+
+  c_completed.add(report.stats.completed);
+  c_rejected.add(report.stats.rejected);
+  c_missed.add(report.stats.deadline_missed);
+  c_infeasible.add(report.stats.infeasible);
+  c_timeout.add(report.stats.compile_timeouts);
+  c_transitions.add(report.stats.transitions);
+  c_transition_cycles.add(report.stats.transition_cycles);
+  c_preempt.add(report.stats.preemptions);
+
+  report.stats.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                wall_start)
+          .count();
+  if (span.active()) {
+    span.add_arg(obs::arg("jobs", static_cast<std::uint64_t>(n_events)));
+    span.add_arg(obs::arg("tenants", static_cast<std::uint64_t>(n_tenants)));
+    span.add_arg(obs::arg("completed", static_cast<std::uint64_t>(report.stats.completed)));
+  }
+  return report;
+}
+
+}  // namespace msys::serve

@@ -1,0 +1,32 @@
+#include "msys/serve/transition.hpp"
+
+#include "msys/common/error.hpp"
+
+namespace msys::serve {
+
+ModeFootprint footprint_of(const dsched::DataSchedule& schedule,
+                           const csched::ContextPlan& ctx_plan) {
+  MSYS_REQUIRE(schedule.feasible, "footprint_of needs a feasible schedule");
+  MSYS_REQUIRE(ctx_plan.feasible(), "footprint_of needs a feasible context plan");
+  ModeFootprint fp;
+  fp.context_words = ctx_plan.total_context_words(1);
+  fp.resident_words =
+      schedule.alloc_summary.peak_used_words[0] + schedule.alloc_summary.peak_used_words[1];
+  return fp;
+}
+
+ModeFootprint footprint_from_sim(const sim::SimReport& report,
+                                 const csched::ContextPlan& ctx_plan,
+                                 std::uint32_t rounds) {
+  MSYS_REQUIRE(rounds >= 1, "footprint_from_sim needs at least one round");
+  ModeFootprint fp;
+  // Under kPersistent the whole-run context traffic IS the one-time load;
+  // the per-slot regimes repeat one round's traffic every round.
+  fp.context_words = ctx_plan.regime() == csched::ContextRegime::kPersistent
+                         ? report.context_words
+                         : report.context_words / rounds;
+  fp.resident_words = report.max_resident_words[0] + report.max_resident_words[1];
+  return fp;
+}
+
+}  // namespace msys::serve

@@ -342,5 +342,53 @@ TEST(MsyscCli, DistributedBatchSurvivesWorkerSigkill) {
   EXPECT_NE(out.find("clean"), std::string::npos) << out;
 }
 
+TEST(MsyscCli, ServeFlagsRejectMissingOperands) {
+  EXPECT_EQ(msysc("--serve"), 1);
+  EXPECT_EQ(msysc("--gen-trace"), 1);
+  EXPECT_EQ(msysc("--serve-out /tmp/x.tsv"), 1);  // --serve-out without --serve
+  EXPECT_EQ(msysc("--tenants 0 --serve /tmp/x.trace"), 1);
+}
+
+TEST(MsyscCli, GenTraceThenServeRoundTripsDeterministically) {
+  const fs::path trace = scratch("arrivals.trace");
+  const fs::path out1 = scratch("out1.tsv");
+  const fs::path out2 = scratch("out2.tsv");
+  ASSERT_EQ(msysc("--gen-trace " + trace.string() +
+                  " --trace-jobs 16 --streams 4 --seed 5 --deadline-cycles 20000000"),
+            0);
+  std::string serve_out;
+  ASSERT_EQ(msysc_capture("--serve " + trace.string() + " --tenants 2 -j 2 --serve-out " +
+                              out1.string(),
+                          &serve_out),
+            0);
+  EXPECT_NE(serve_out.find("served 16 jobs across 2 tenants"), std::string::npos)
+      << serve_out;
+
+  // Replaying the same trace with a different compile thread count must
+  // produce byte-identical per-job outcome records.
+  ASSERT_EQ(msysc("--serve " + trace.string() + " --tenants 2 -j 1 --serve-out " +
+                  out2.string()),
+            0);
+  std::ifstream a(out1, std::ios::binary), b(out2, std::ios::binary);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  ASSERT_FALSE(sa.str().empty());
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(MsyscCli, MalformedTraceIsAParseError) {
+  const fs::path bad = scratch("bad.trace");
+  std::ofstream(bad) << "this is not a trace\n";
+  EXPECT_EQ(msysc("--serve " + bad.string()), 2);
+}
+
+TEST(MsyscCli, ImpossiblePartitionIsAStructuredFailure) {
+  const fs::path trace = scratch("arrivals.trace");
+  ASSERT_EQ(msysc("--gen-trace " + trace.string() + " --trace-jobs 4"), 0);
+  // 16 tenants over 8 RC rows: zero-row shares, coded partition rejection.
+  EXPECT_EQ(msysc("--serve " + trace.string() + " --tenants 16"), 1);
+}
+
 }  // namespace
 }  // namespace msys

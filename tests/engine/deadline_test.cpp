@@ -99,6 +99,9 @@ TEST_F(EngineFaultTest, StalledCompileExpiresItsDeadlineIntoBatchTimeouts) {
   EXPECT_TRUE(results[0].cancelled());
   EXPECT_EQ(results[0].result->outcome.cancel_cause, CancelCause::kDeadline);
   EXPECT_EQ(stats.timeouts, 1u);
+  // No retries configured: the one expired attempt is both the final
+  // timeout and the only missed deadline.
+  EXPECT_EQ(stats.deadline_missed, 1u);
   EXPECT_EQ(stats.cancelled, 0u);
   // The structured diagnostic names the timeout, not an internal error.
   bool saw_timeout_code = false;
@@ -107,6 +110,32 @@ TEST_F(EngineFaultTest, StalledCompileExpiresItsDeadlineIntoBatchTimeouts) {
     EXPECT_NE(d.code, "schedule.internal");
   }
   EXPECT_TRUE(saw_timeout_code);
+}
+
+TEST_F(EngineFaultTest, RetriedDeadlineCountsAsMissedEvenWhenTheJobSucceeds) {
+  // Rate 1/2: the injector is a pure hash of (seed, site, occurrence), so
+  // with this seed the first attempt's draw fires and a retry draw does
+  // not — deterministic, not flaky.  The job ends feasible, yet the
+  // expired attempt must still show up in deadline_missed (the SLO
+  // signal), while timeouts counts only *final* timeout outcomes.
+  FaultInjector::global().arm(2);
+  FaultInjector::global().set_site("engine.compile.stall", {1, 2, 100});
+
+  ThreadPool pool(1);
+  BatchRunner runner(pool, nullptr);
+  RunOptions options;
+  options.job_deadline = 20ms;
+  options.retries = 3;
+  BatchStats stats;
+  const std::vector<Job> jobs{retention_job()};
+  const std::vector<JobResult> results = runner.run(jobs, options, &stats);
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].feasible());
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_EQ(stats.deadline_missed, stats.retries);
+  EXPECT_NE(stats.summary().find("missed deadline"), std::string::npos);
 }
 
 TEST_F(EngineFaultTest, BatchWideCancellationIsCountedSeparatelyFromTimeouts) {

@@ -1,0 +1,171 @@
+// TenantPartition validation: coded diagnostics for every way a split can
+// be wrong, and the single-tenant identity (a tenant owning the whole
+// machine compiles byte-identically to the unpartitioned pipeline).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "msys/engine/batch_runner.hpp"
+#include "msys/engine/job.hpp"
+#include "msys/engine/thread_pool.hpp"
+#include "msys/serve/partition.hpp"
+#include "msys/serve/trace_file.hpp"
+#include "msys/workloads/random.hpp"
+
+namespace msys::serve {
+namespace {
+
+using BuildResult = TenantPartition::BuildResult;
+
+arch::M1Config machine() { return arch::M1Config::m1_default(); }
+
+TenantSpec spec(std::string name, std::uint32_t row_begin, std::uint32_t rows,
+                std::uint64_t fb_begin, std::uint64_t fb_words, std::uint32_t cm_begin,
+                std::uint32_t cm_words) {
+  TenantSpec s;
+  s.name = std::move(name);
+  s.rc_row_begin = row_begin;
+  s.rc_rows = rows;
+  s.fb_begin_words = fb_begin;
+  s.fb_words = fb_words;
+  s.cm_begin_words = cm_begin;
+  s.cm_words = cm_words;
+  return s;
+}
+
+bool has_code(const Diagnostics& diags, std::string_view code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+TEST(TenantPartitionTest, EmptySpecListRejected) {
+  BuildResult r = TenantPartition::build(machine(), {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_code(r.diagnostics, "serve.partition.empty"));
+}
+
+TEST(TenantPartitionTest, ZeroRowShareRejected) {
+  BuildResult r = TenantPartition::build(
+      machine(), {spec("a", 0, 0, 0, 1024, 0, 256), spec("b", 0, 8, 1024, 1024, 256, 256)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_code(r.diagnostics, "serve.partition.zero_rows"));
+}
+
+TEST(TenantPartitionTest, ZeroFbAndCmSharesRejected) {
+  BuildResult r = TenantPartition::build(machine(), {spec("a", 0, 8, 0, 0, 0, 0)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_code(r.diagnostics, "serve.partition.zero_fb"));
+  EXPECT_TRUE(has_code(r.diagnostics, "serve.partition.zero_cm"));
+}
+
+TEST(TenantPartitionTest, OverlappingFbBandsRejected) {
+  // Rows and CM are disjoint; the FB word ranges [0,1536) and [1024,2048)
+  // collide.
+  BuildResult r = TenantPartition::build(
+      machine(),
+      {spec("a", 0, 4, 0, 1536, 0, 256), spec("b", 4, 4, 1024, 1024, 256, 256)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_code(r.diagnostics, "serve.partition.fb_overlap"));
+  EXPECT_FALSE(has_code(r.diagnostics, "serve.partition.rc_overlap"));
+}
+
+TEST(TenantPartitionTest, OverlappingRowsAndCmRejected) {
+  BuildResult r = TenantPartition::build(
+      machine(),
+      {spec("a", 0, 5, 0, 1024, 0, 300), spec("b", 4, 4, 1024, 1024, 200, 312)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_code(r.diagnostics, "serve.partition.rc_overlap"));
+  EXPECT_TRUE(has_code(r.diagnostics, "serve.partition.cm_overlap"));
+}
+
+TEST(TenantPartitionTest, ClaimBeyondMachineRejected) {
+  BuildResult r = TenantPartition::build(machine(), {spec("a", 4, 8, 0, 2048, 0, 512)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_code(r.diagnostics, "serve.partition.exceeds_machine"));
+}
+
+TEST(TenantPartitionTest, DuplicateTenantNamesRejected) {
+  BuildResult r = TenantPartition::build(
+      machine(), {spec("a", 0, 4, 0, 1024, 0, 256), spec("a", 4, 4, 1024, 1024, 256, 256)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_code(r.diagnostics, "serve.partition.duplicate_tenant"));
+}
+
+TEST(TenantPartitionTest, EvenSpecsCoverTheWholeMachine) {
+  const arch::M1Config m = machine();
+  for (std::uint32_t n : {1u, 2u, 3u, 4u}) {
+    const std::vector<TenantSpec> specs = TenantPartition::even_specs(m, n);
+    ASSERT_EQ(specs.size(), n);
+    std::uint32_t rows = 0;
+    std::uint64_t fb = 0;
+    std::uint32_t cm = 0;
+    for (const TenantSpec& s : specs) {
+      rows += s.rc_rows;
+      fb += s.fb_words;
+      cm += s.cm_words;
+    }
+    EXPECT_EQ(rows, m.rc_rows) << n << " tenants";
+    EXPECT_EQ(fb, m.fb_set_size.value()) << n << " tenants";
+    EXPECT_EQ(cm, m.cm_capacity_words) << n << " tenants";
+    EXPECT_TRUE(TenantPartition::build(m, specs).ok()) << n << " tenants";
+  }
+}
+
+TEST(TenantPartitionTest, TooManyTenantsFailValidation) {
+  // 16 tenants over 8 rows: even_specs yields zero-row shares, which
+  // build() rejects with the coded diagnostic rather than crashing.
+  const arch::M1Config m = machine();
+  BuildResult r = TenantPartition::build(m, TenantPartition::even_specs(m, 16));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_code(r.diagnostics, "serve.partition.zero_rows"));
+}
+
+TEST(TenantPartitionTest, VirtualConfigShrinksToTheShare) {
+  const arch::M1Config m = machine();
+  BuildResult r = TenantPartition::build(m, TenantPartition::even_specs(m, 4));
+  ASSERT_TRUE(r.ok());
+  const arch::M1Config v = r.partition->virtual_config(1);
+  EXPECT_EQ(v.rc_rows, m.rc_rows / 4);
+  EXPECT_EQ(v.rc_cols, m.rc_cols);
+  EXPECT_EQ(v.fb_set_size.value(), m.fb_set_size.value() / 4);
+  EXPECT_EQ(v.cm_capacity_words, m.cm_capacity_words / 4);
+  EXPECT_EQ(v.name, m.name);
+  EXPECT_EQ(v.dma.cycles_per_data_word, m.dma.cycles_per_data_word);
+}
+
+// The acceptance-criteria identity: a single tenant owning the whole
+// machine produces the same engine cache key — and hence byte-identical
+// compiled artifacts through the content-addressed cache — as the
+// unpartitioned pipeline fed the same application.
+TEST(TenantPartitionTest, SingleTenantIsByteIdenticalToUnpartitioned) {
+  const arch::M1Config m = machine();
+  BuildResult r = TenantPartition::build(m, TenantPartition::even_specs(m, 1));
+  ASSERT_TRUE(r.ok());
+  const arch::M1Config v = r.partition->virtual_config(0);
+
+  auto build_job = [&](const arch::M1Config& cfg) {
+    workloads::RandomExperiment exp = workloads::make_random(serve_random_spec(1000));
+    engine::Job job;
+    std::vector<std::vector<KernelId>> partition;
+    for (const model::Cluster& c : exp.sched.clusters()) partition.push_back(c.kernels);
+    job.input = engine::make_input(std::move(*exp.app), std::move(partition), cfg);
+    return job;
+  };
+  const engine::Job via_partition = build_job(v);
+  const engine::Job unpartitioned = build_job(m);
+  EXPECT_EQ(engine::cache_key(via_partition), engine::cache_key(unpartitioned));
+
+  engine::ThreadPool pool(1);
+  engine::BatchRunner runner(pool);
+  const std::vector<engine::JobResult> results =
+      runner.run({via_partition, unpartitioned}, nullptr);
+  ASSERT_TRUE(results[0].feasible());
+  ASSERT_TRUE(results[1].feasible());
+  EXPECT_EQ(results[0].result->outcome.chosen_rung(),
+            results[1].result->outcome.chosen_rung());
+  EXPECT_EQ(results[0].result->predicted.total.value(),
+            results[1].result->predicted.total.value());
+}
+
+}  // namespace
+}  // namespace msys::serve

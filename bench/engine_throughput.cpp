@@ -75,6 +75,9 @@ struct Row {
   /// Per-job worker latency split by cache outcome (BatchStats).
   double avg_hit_ms{0.0};
   double avg_miss_ms{0.0};
+  /// Average time a miss spent parked behind another thread's in-flight
+  /// compile (its own column so miss ms measures work, not contention).
+  double avg_wait_ms{0.0};
   /// Deepest the pool queue got during this row's batch.
   std::size_t queue_depth_peak{0};
 };
@@ -180,6 +183,7 @@ Row measure(const std::vector<engine::Job>& jobs, unsigned threads,
   }
   row.avg_hit_ms = stats.avg_hit_ms();
   row.avg_miss_ms = stats.avg_miss_ms();
+  row.avg_wait_ms = stats.avg_inflight_wait_ms();
   row.queue_depth_peak = pool.queue_depth_peak();
   const std::string fp = result_fingerprint(results);
   if (fingerprint->empty()) {
@@ -215,6 +219,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         << ", \"hit_rate\": " << fmt(r.hit_rate, 3)
         << ", \"avg_hit_ms\": " << fmt(r.avg_hit_ms, 4)
         << ", \"avg_miss_ms\": " << fmt(r.avg_miss_ms, 4)
+        << ", \"avg_inflight_wait_ms\": " << fmt(r.avg_wait_ms, 4)
         << ", \"queue_depth_peak\": " << r.queue_depth_peak
         << ", \"speedup_vs_serial_cold\": " << fmt(r.speedup, 2) << "}"
         << (i + 1 < rows.size() ? "," : "") << '\n';
@@ -399,12 +404,12 @@ int main(int argc, char** argv) {
   }
 
   TextTable table({"Threads", "Cache", "ms/batch", "jobs/sec", "hit rate", "hit ms",
-                   "miss ms", "peak q", "speedup"});
+                   "miss ms", "wait ms", "peak q", "speedup"});
   for (const Row& r : rows) {
     table.add_row({std::to_string(r.threads), r.cache, fmt(r.millis), fmt(r.jobs_per_sec),
                    fmt(r.hit_rate * 100.0) + "%", fmt(r.avg_hit_ms, 3),
-                   fmt(r.avg_miss_ms, 3), std::to_string(r.queue_depth_peak),
-                   fmt(r.speedup, 2) + "x"});
+                   fmt(r.avg_miss_ms, 3), fmt(r.avg_wait_ms, 3),
+                   std::to_string(r.queue_depth_peak), fmt(r.speedup, 2) + "x"});
   }
   table.print(std::cout);
 

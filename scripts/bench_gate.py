@@ -34,6 +34,17 @@ signal at millisecond resolution and are skipped.  Rows present in only
 one file are reported but do not fail the gate — a sweep with a different
 --max-threads is a different experiment, not a regression.
 
+Absolute numbers only compare like hardware: both records carry the
+machine's "hardware_threads", and when they differ (or either record
+predates the field) every absolute comparison is skipped with a loud
+warning — a 16-core runner beating a 1-core baseline is not a signal,
+and a 1-core runner "regressing" from a 16-core baseline doubly so.
+Hardware-independent *ratios* still gate in that case: for
+engine_throughput, every cold row above 1 thread must keep
+speedup_vs_serial_cold >= --min-cold-speedup (default 1.0) — parallel
+cold batches running slower than serial is the regression this bench
+exists to catch, on any machine.
+
 Usage:
   scripts/bench_gate.py BASELINE.json CURRENT.json [--threshold 0.30]
 
@@ -103,6 +114,10 @@ def main():
     parser.add_argument("--latency-threshold", type=float, default=1.00,
                         help="allowed relative regression for per-job "
                              "latency fields (default 1.00, i.e. 2x)")
+    parser.add_argument("--min-cold-speedup", type=float, default=1.00,
+                        help="floor for speedup_vs_serial_cold on cold rows "
+                             "above 1 thread (engine_throughput; default 1.0 "
+                             "— parallel cold must never lose to serial)")
     args = parser.parse_args()
 
     base_doc = load_doc(args.baseline)
@@ -124,6 +139,26 @@ def main():
     base = index_rows(args.baseline, base_doc, key_fields)
     cur = index_rows(args.current, cur_doc, key_fields)
 
+    # Absolute fields (jobs/sec, latencies, queue depth) are meaningless
+    # across different machines.  The records carry hardware_threads for
+    # exactly this comparison; records predating the field are treated as
+    # unknown hardware.
+    base_hw = base_doc.get("hardware_threads")
+    cur_hw = cur_doc.get("hardware_threads")
+    compare_absolute = base_hw is not None and base_hw == cur_hw
+    if not compare_absolute:
+        reason = (f"baseline hardware_threads={base_hw} vs current "
+                  f"hardware_threads={cur_hw}" if base_hw is not None
+                  and cur_hw is not None else
+                  f"hardware_threads missing ({args.baseline}: {base_hw}, "
+                  f"{args.current}: {cur_hw})")
+        print("bench_gate: " + "=" * 66)
+        print(f"bench_gate: WARNING: {reason}")
+        print("bench_gate: WARNING: absolute comparisons SKIPPED — only "
+              "hardware-independent ratios are gated.  Regenerate the "
+              "committed baseline on this machine to restore full coverage.")
+        print("bench_gate: " + "=" * 66)
+
     regressions = []
     checked = 0
     for key in sorted(base.keys() | cur.keys(), key=str):
@@ -131,6 +166,8 @@ def main():
         if key not in base or key not in cur:
             where = "baseline" if key not in cur else "current"
             print(f"bench_gate: note: row [{label}] only in {where}; skipped")
+            continue
+        if not compare_absolute:
             continue
         for field, direction in watched.items():
             b, c = base[key].get(field), cur[key].get(field)
@@ -148,6 +185,25 @@ def main():
                 regressions.append(
                     f"[{label}] {field}: baseline {b} -> current {c} "
                     f"({delta:+.0%}, limit {limit:.0%})")
+
+    # Hardware-independent floor: a parallel cold batch that loses to the
+    # serial cold pass is the scaling bug this bench exists to catch — the
+    # ratio gates on every machine, including when absolute comparisons
+    # were skipped above.
+    if bench == "engine_throughput":
+        for key, row in sorted(cur.items(), key=str):
+            threads, cache = key
+            if cache != "cold" or threads <= 1:
+                continue
+            speedup = row.get("speedup_vs_serial_cold")
+            if speedup is None:
+                continue
+            checked += 1
+            if speedup < args.min_cold_speedup:
+                regressions.append(
+                    f"[threads={threads} cache=cold] speedup_vs_serial_cold: "
+                    f"{speedup} below floor {args.min_cold_speedup} — "
+                    f"parallel cold batch is slower than serial")
 
     if checked == 0:
         sys.exit("bench_gate: no comparable fields found")

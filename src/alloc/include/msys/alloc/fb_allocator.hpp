@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "msys/common/extent.hpp"
@@ -48,6 +49,11 @@ enum class FitPolicy : std::uint8_t { kFirstFit, kBestFit };
 class FrameBufferAllocator {
  public:
   explicit FrameBufferAllocator(SizeWords capacity, FitPolicy policy = FitPolicy::kFirstFit);
+  ~FrameBufferAllocator() { flush_metrics(); }
+  // Non-copyable, non-movable: a trivially moved-from instance would still
+  // flush its Stats deltas on destruction and double-count the globals.
+  FrameBufferAllocator(const FrameBufferAllocator&) = delete;
+  FrameBufferAllocator& operator=(const FrameBufferAllocator&) = delete;
 
   /// Allocates `size` words scanning from `end`.
   ///
@@ -57,8 +63,16 @@ class FrameBufferAllocator {
   /// if no single block fits and `allow_split`, gathers multiple blocks.
   /// Returns nullopt when free space is insufficient.
   [[nodiscard]] std::optional<Allocation> allocate(SizeWords size, AllocEnd end,
-                                                   const std::vector<Extent>& preferred = {},
+                                                   std::span<const Extent> preferred = {},
                                                    bool allow_split = true);
+
+  /// Vector-free variant for the planning walk's inner loop: the chosen
+  /// extents are *appended* to `out` (typically a pooled buffer reused
+  /// across iterations) instead of materializing an Allocation.  Returns
+  /// the number of extents appended; 0 means out-of-space and `out` is
+  /// unchanged.  `preferred` may view caller stack storage.
+  std::size_t allocate_into(SizeWords size, AllocEnd end, std::span<const Extent> preferred,
+                            bool allow_split, std::vector<Extent>& out);
 
   /// Returns an allocation's words to the free list, merging with the
   /// address-adjacent neighbours in place (the list stays sorted and
@@ -67,7 +81,9 @@ class FrameBufferAllocator {
   /// out of the sorted insert (only the two neighbours of the insertion
   /// point can overlap), so it costs O(log n) rather than a scan of the
   /// whole free list per extent.
-  void release(const Allocation& allocation);
+  void release(const Allocation& allocation) { release_span(allocation.extents); }
+  /// Same, by extent view (hot-path mirror; no Allocation needed).
+  void release_span(std::span<const Extent> extents);
 
   [[nodiscard]] SizeWords capacity() const { return capacity_; }
   [[nodiscard]] SizeWords free_words() const;
@@ -81,6 +97,7 @@ class FrameBufferAllocator {
   struct Stats {
     std::uint64_t allocations{0};
     std::uint64_t releases{0};
+    std::uint64_t failures{0};        ///< allocate() calls that returned no space
     std::uint64_t splits{0};          ///< allocations that needed > 1 extent
     std::uint64_t preferred_hits{0};  ///< regularity hint honoured
     std::uint64_t preferred_misses{0};
@@ -88,6 +105,13 @@ class FrameBufferAllocator {
     std::uint64_t peak_used_words{0};
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Pushes the per-instance Stats deltas accumulated since the last flush
+  /// into the process-wide "alloc.*" obs counters.  Called automatically on
+  /// destruction; the planning walk runs thousands of allocate/release
+  /// calls per schedule, so batching here replaces per-operation atomic
+  /// increments on globally shared cache lines with one flush per walk.
+  void flush_metrics();
 
   /// Drops every allocation and restores the pristine free list (used when
   /// the scheduler re-plans from scratch).  Stats are preserved.
@@ -111,6 +135,9 @@ class FrameBufferAllocator {
   /// list sum per allocation.
   std::uint64_t used_words_{0};
   Stats stats_;
+  /// Snapshot of stats_ at the last flush_metrics() (deltas still owed to
+  /// the global counters).
+  Stats flushed_;
 };
 
 }  // namespace msys::alloc

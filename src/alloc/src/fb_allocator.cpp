@@ -11,7 +11,10 @@ namespace {
 
 /// Process-wide mirrors of the per-instance Stats, so `msysc --stats` and
 /// the obs cross-check tests can see allocator behaviour without plumbing
-/// every FrameBufferAllocator instance to the surface.
+/// every FrameBufferAllocator instance to the surface.  Updated in batches
+/// by flush_metrics(), never per operation: the planning walk allocates and
+/// releases thousands of times per schedule, and concurrent cold compiles
+/// were all bouncing these six atomics' cache lines.
 struct AllocMetrics {
   obs::Counter& allocations = obs::counter("alloc.allocations");
   obs::Counter& failures = obs::counter("alloc.failures");
@@ -25,6 +28,12 @@ struct AllocMetrics {
     return metrics;
   }
 };
+
+SizeWords span_total(std::span<const Extent> extents) {
+  SizeWords total = SizeWords::zero();
+  for (const Extent& e : extents) total += e.size;
+  return total;
+}
 
 }  // namespace
 
@@ -91,29 +100,35 @@ void FrameBufferAllocator::note_usage() {
 }
 
 std::optional<Allocation> FrameBufferAllocator::allocate(SizeWords size, AllocEnd end,
-                                                         const std::vector<Extent>& preferred,
+                                                         std::span<const Extent> preferred,
                                                          bool allow_split) {
+  Allocation result;
+  if (allocate_into(size, end, preferred, allow_split, result.extents) == 0) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+std::size_t FrameBufferAllocator::allocate_into(SizeWords size, AllocEnd end,
+                                                std::span<const Extent> preferred,
+                                                bool allow_split, std::vector<Extent>& out) {
   MSYS_REQUIRE(size.value() > 0, "cannot allocate zero words");
+  const std::size_t start = out.size();
 
   // 1. Regularity: retake last iteration's exact extents when still free.
-  if (!preferred.empty() && total_size(preferred) == size) {
+  if (!preferred.empty() && span_total(preferred) == size) {
     const bool available = std::all_of(preferred.begin(), preferred.end(),
                                        [&](const Extent& e) { return extent_free(e); });
     if (available) {
       for (const Extent& e : preferred) carve(e);
+      out.insert(out.end(), preferred.begin(), preferred.end());
       ++stats_.allocations;
       ++stats_.preferred_hits;
-      AllocMetrics::get().allocations.add();
-      AllocMetrics::get().preferred_hits.add();
-      if (preferred.size() > 1) {
-        ++stats_.splits;
-        AllocMetrics::get().splits.add();
-      }
+      if (preferred.size() > 1) ++stats_.splits;
       note_usage();
-      return Allocation{preferred};
+      return preferred.size();
     }
     ++stats_.preferred_misses;
-    AllocMetrics::get().preferred_misses.add();
   }
 
   // 2. First-fit from the requested end: kTop scans blocks from the highest
@@ -158,35 +173,34 @@ std::optional<Allocation> FrameBufferAllocator::allocate(SizeWords size, AllocEn
   }
   if (chosen) {
     carve(*chosen);
+    out.push_back(*chosen);
     ++stats_.allocations;
-    AllocMetrics::get().allocations.add();
     note_usage();
-    return Allocation{{*chosen}};
+    return 1;
   }
 
   // 3. Last resort (paper §5): split across several free blocks, gathered
   // in scan order, so the object still fits when fragmentation leaves no
   // single block large enough.
   if (!allow_split || free_words() < size) {
-    AllocMetrics::get().failures.add();
-    return std::nullopt;
+    ++stats_.failures;
+    return 0;
   }
-  std::vector<Extent> pieces;
   SizeWords remaining = size;
   scan([&](const Extent& f) {
     const SizeWords take = std::min(f.size, remaining);
-    pieces.push_back(carve_from_block(f, take));
+    out.push_back(carve_from_block(f, take));
     remaining -= take;
     return remaining.value() == 0;
   });
   MSYS_REQUIRE(remaining.value() == 0, "split gather must succeed when space suffices");
-  for (const Extent& e : pieces) carve(e);
+  // The pieces were recorded against a stable free list; carve after the
+  // scan so the scan itself never observes a half-carved list.
+  for (std::size_t i = start; i < out.size(); ++i) carve(out[i]);
   ++stats_.allocations;
   ++stats_.splits;
-  AllocMetrics::get().allocations.add();
-  AllocMetrics::get().splits.add();
   note_usage();
-  return Allocation{std::move(pieces)};
+  return out.size() - start;
 }
 
 void FrameBufferAllocator::release_extent(const Extent& e) {
@@ -220,15 +234,28 @@ void FrameBufferAllocator::release_extent(const Extent& e) {
   used_words_ -= e.size.value();
 }
 
-void FrameBufferAllocator::release(const Allocation& allocation) {
-  MSYS_REQUIRE(!allocation.extents.empty(), "cannot release an empty allocation");
-  for (const Extent& e : allocation.extents) {
+void FrameBufferAllocator::release_span(std::span<const Extent> extents) {
+  MSYS_REQUIRE(!extents.empty(), "cannot release an empty allocation");
+  for (const Extent& e : extents) {
     MSYS_REQUIRE(!e.empty(), "cannot release an empty extent");
     MSYS_REQUIRE(e.end() <= capacity_.value(), "release(): extent out of range");
     release_extent(e);
   }
   ++stats_.releases;
-  AllocMetrics::get().releases.add();
+}
+
+void FrameBufferAllocator::flush_metrics() {
+  AllocMetrics& m = AllocMetrics::get();
+  auto push = [](obs::Counter& counter, std::uint64_t now, std::uint64_t then) {
+    if (now > then) counter.add(now - then);
+  };
+  push(m.allocations, stats_.allocations, flushed_.allocations);
+  push(m.failures, stats_.failures, flushed_.failures);
+  push(m.preferred_hits, stats_.preferred_hits, flushed_.preferred_hits);
+  push(m.preferred_misses, stats_.preferred_misses, flushed_.preferred_misses);
+  push(m.splits, stats_.splits, flushed_.splits);
+  push(m.releases, stats_.releases, flushed_.releases);
+  flushed_ = stats_;
 }
 
 }  // namespace msys::alloc

@@ -1,0 +1,114 @@
+// Bump-pointer arena for hot-loop scratch.
+//
+// A cold schedule() runs the Figure-4 walk hundreds of times (RF probes ×
+// greedy retention candidates), and each walk used to build its live
+// table, pending-load lists and placement hints out of individually
+// heap-allocated nodes — so concurrent compiles serialized on the global
+// allocator.  An Arena turns all of that into pointer bumps against
+// memory that is reserved once and recycled with reset(): the blocks
+// survive across walks, so a steady-state plan_round performs zero heap
+// allocations for scratch.
+//
+// Only trivially destructible element types are allowed (reset() never
+// runs destructors).  Arenas are single-threaded by design; each
+// schedule() call owns its own (one per PlanCache), which is exactly the
+// "per-thread" granularity the batch engine needs — worker threads never
+// share one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace msys {
+
+class Arena {
+ public:
+  /// First block size; subsequent blocks double up to kMaxBlockBytes.
+  static constexpr std::size_t kFirstBlockBytes = 16 * 1024;
+  static constexpr std::size_t kMaxBlockBytes = 1024 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `count` elements of T.  The memory is valid
+  /// until the next reset().
+  template <class T>
+  [[nodiscard]] std::span<T> alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena memory is reclaimed without running destructors");
+    if (count == 0) return {};
+    void* p = alloc_bytes(count * sizeof(T), alignof(T));
+    return {static_cast<T*>(p), count};
+  }
+
+  /// Zero-initialized variant of alloc_array.
+  template <class T>
+  [[nodiscard]] std::span<T> alloc_zeroed(std::size_t count) {
+    std::span<T> s = alloc_array<T>(count);
+    for (T& v : s) v = T{};
+    return s;
+  }
+
+  /// Recycles every block: all outstanding spans become invalid, no memory
+  /// is returned to the heap.  O(blocks).
+  void reset() {
+    for (Block& b : blocks_) b.used = 0;
+    current_ = 0;
+    stats_.resets += 1;
+    stats_.bytes_live = 0;
+  }
+
+  struct Stats {
+    /// Blocks currently reserved from the heap and their total capacity.
+    std::uint64_t blocks{0};
+    std::uint64_t bytes_reserved{0};
+    /// Bytes handed out since the last reset().
+    std::uint64_t bytes_live{0};
+    /// Lifetime counters: reset() calls and block allocations (a
+    /// steady-state hot loop stops growing `blocks` after warm-up).
+    std::uint64_t resets{0};
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity{0};
+    std::size_t used{0};
+  };
+
+  void* alloc_bytes(std::size_t bytes, std::size_t align) {
+    for (; current_ < blocks_.size(); ++current_) {
+      Block& b = blocks_[current_];
+      const std::size_t aligned = (b.used + align - 1) & ~(align - 1);
+      if (aligned + bytes <= b.capacity) {
+        b.used = aligned + bytes;
+        stats_.bytes_live += bytes;
+        return b.data.get() + aligned;
+      }
+    }
+    std::size_t cap = blocks_.empty()
+                          ? kFirstBlockBytes
+                          : std::min(blocks_.back().capacity * 2, kMaxBlockBytes);
+    if (cap < bytes + align) cap = bytes + align;
+    Block b;
+    b.data = std::make_unique<std::byte[]>(cap);
+    b.capacity = cap;
+    blocks_.push_back(std::move(b));
+    stats_.blocks += 1;
+    stats_.bytes_reserved += cap;
+    current_ = blocks_.size() - 1;
+    return alloc_bytes(bytes, align);
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t current_{0};
+  Stats stats_;
+};
+
+}  // namespace msys

@@ -22,10 +22,25 @@
 #include <string>
 
 #include "msys/alloc/fb_allocator.hpp"
+#include "msys/common/arena.hpp"
 #include "msys/dsched/schedule_types.hpp"
 #include "msys/extract/analysis.hpp"
 
 namespace msys::dsched {
+
+/// Reusable scratch memory for plan_round.  A cold schedule() runs the
+/// Figure-4 walk hundreds of times (RF probes × greedy retention
+/// candidates); the scratch keeps the walk's live table in arena storage
+/// and its placement extents in a pooled vector, both recycled between
+/// rounds, so a steady-state walk performs no heap allocation for
+/// bookkeeping.  Not thread-safe: one per PlanCache / schedule() call
+/// (concurrent compiles each own their own, which is what makes the cold
+/// batch path scale instead of serializing on the global allocator).
+struct PlanScratch {
+  Arena arena;
+  /// Extents of live FB placements; the walk's live table indexes into it.
+  std::vector<Extent> extent_pool;
+};
 
 struct DriverOptions {
   std::uint32_t rf{1};
@@ -53,6 +68,12 @@ struct DriverResult {
 
 /// Runs the Figure-4 walk over one steady round (RF iterations of every
 /// cluster) against `fb_set_size`-word allocators for both FB sets.
+/// `scratch` is reset on entry and reused across calls.
+[[nodiscard]] DriverResult plan_round(const extract::ScheduleAnalysis& analysis,
+                                      SizeWords fb_set_size, const DriverOptions& options,
+                                      PlanScratch& scratch);
+
+/// Convenience overload with call-local scratch (tests, one-shot plans).
 [[nodiscard]] DriverResult plan_round(const extract::ScheduleAnalysis& analysis,
                                       SizeWords fb_set_size, const DriverOptions& options);
 

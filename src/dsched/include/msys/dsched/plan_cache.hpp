@@ -23,7 +23,6 @@
 
 #include <cstdint>
 #include <unordered_map>
-#include <vector>
 
 #include "msys/dsched/alloc_driver.hpp"
 #include "msys/extract/analysis.hpp"
@@ -34,6 +33,10 @@ class PlanCache {
  public:
   PlanCache(const extract::ScheduleAnalysis& analysis, SizeWords fb_set_size)
       : analysis_(&analysis), fb_set_size_(fb_set_size) {}
+  /// Flushes the hit/miss tallies to the process-wide obs counters — one
+  /// batched add per schedule() instead of an atomic RMW on shared cache
+  /// lines per plan() call.
+  ~PlanCache();
 
   /// The memoized Figure-4 walk for `options`; computes and stores on
   /// miss.  The reference stays valid until the next plan() call that
@@ -51,11 +54,13 @@ class PlanCache {
 
  private:
   /// Everything of DriverOptions that varies within one scheduler run.
-  /// The retained set is kept sorted so the key is order-independent.
+  /// The bitset-backed retained set is order-independent by construction,
+  /// so the key is a straight copy — no sort, no index vector — and
+  /// hashing streams its words.
   struct Key {
     std::uint32_t rf{0};
     std::uint8_t flags{0};
-    std::vector<std::uint32_t> retained;
+    extract::RetainedSet retained;
 
     friend bool operator==(const Key&, const Key&) = default;
   };
@@ -75,6 +80,9 @@ class PlanCache {
   std::unordered_map<Key, DriverResult, KeyHash> memo_;
   DriverResult overflow_;
   Stats stats_;
+  /// Walk scratch reused across every plan_round this cache issues; the
+  /// cache's single-schedule(), single-thread scope is exactly the arena's.
+  PlanScratch scratch_;
 };
 
 }  // namespace msys::dsched

@@ -1,51 +1,73 @@
 #include "msys/dsched/alloc_driver.hpp"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 
 #include "msys/common/error.hpp"
+#include "msys/obs/metrics.hpp"
 
 namespace msys::dsched {
 
 using alloc::AllocEnd;
-using alloc::Allocation;
 using alloc::FrameBufferAllocator;
 using extract::ClusterDataflow;
-using extract::ObjectInfo;
 using extract::RetentionCandidate;
 using extract::ScheduleAnalysis;
 using model::Cluster;
 
 namespace {
 
-/// Mutable walk state shared across clusters of the round.
+/// One (FB set, data, iter) instance in the walk's flat live table.
+/// extent_count == 0 means the instance is not FB-resident; otherwise its
+/// placement is extent_pool[extent_begin .. extent_begin + extent_count).
+struct LiveSlot {
+  std::uint32_t extent_begin{0};
+  std::uint32_t extent_count{0};
+  std::uint32_t placed_by{0};  ///< ClusterId index at allocation time
+};
+
+/// Mutable walk state shared across clusters of the round.  All
+/// bookkeeping lives in the caller's PlanScratch — a flat arena-backed
+/// live table indexed by (set, data, iter) and a pooled extent vector —
+/// so the walk's inner loops never touch the heap (the previous
+/// implementation hashed into a node-based map and built a std::vector
+/// per allocation, which serialized concurrent cold compiles on the
+/// global allocator).
 struct Walk {
   const ScheduleAnalysis* analysis;
   const DriverOptions* options;
+  PlanScratch* scratch;
   FrameBufferAllocator allocators[2];
   DriverResult result;
-  struct LiveAlloc {
-    Allocation alloc;
-    ClusterId placed_by;
-  };
-  /// Live allocations keyed by (FB set, data, iter): an instance may be
-  /// resident in both sets at once (e.g. a result retained on its
-  /// producer's set while the other set holds the copy it loaded through
-  /// external memory).
-  std::unordered_map<std::uint64_t, LiveAlloc> live;
+  std::span<LiveSlot> live;
+  std::uint32_t data_count{0};
+  std::size_t live_count{0};
 
-  [[nodiscard]] static std::uint64_t inst_key(FbSet set, ObjInstance inst) {
-    return (static_cast<std::uint64_t>(set) << 63) |
-           (static_cast<std::uint64_t>(inst.data.index()) << 32) | inst.iter;
-  }
-
-  Walk(const ScheduleAnalysis& a, SizeWords fbs, const DriverOptions& opt)
+  Walk(const ScheduleAnalysis& a, SizeWords fbs, const DriverOptions& opt, PlanScratch& s)
       : analysis(&a),
         options(&opt),
-        allocators{FrameBufferAllocator(fbs, opt.fit), FrameBufferAllocator(fbs, opt.fit)} {}
+        scratch(&s),
+        allocators{FrameBufferAllocator(fbs, opt.fit), FrameBufferAllocator(fbs, opt.fit)} {
+    scratch->arena.reset();
+    scratch->extent_pool.clear();
+    data_count = static_cast<std::uint32_t>(a.app().data_count());
+    // An instance may be resident in both sets at once (e.g. a result
+    // retained on its producer's set while the other set holds the copy it
+    // loaded through external memory), so the table covers set × data ×
+    // iter.
+    live = scratch->arena.alloc_zeroed<LiveSlot>(std::size_t{2} * data_count * opt.rf);
+  }
 
   [[nodiscard]] const model::Application& app() const { return analysis->app(); }
+
+  [[nodiscard]] LiveSlot& slot(FbSet set, DataId d, std::uint32_t iter) {
+    return live[(static_cast<std::size_t>(set) * data_count + d.index()) * options->rf +
+                iter];
+  }
+
+  [[nodiscard]] std::span<const Extent> extents_of(const LiveSlot& s) const {
+    return {scratch->extent_pool.data() + s.extent_begin, s.extent_count};
+  }
 
   [[nodiscard]] bool retained_here(DataId d, FbSet set) const {
     return options->retained.contains(d) && analysis->is_candidate(d) &&
@@ -61,34 +83,54 @@ struct Walk {
     return analysis->candidate_for(d).set == set || analysis->cross_set_reads();
   }
 
-  /// Allocates all `rf` instances of `d` from `end` into `set`; false on
+  /// Allocates one instance of `d` from `end` into `set`; false on
   /// out-of-space.  Consecutive instances get the §5 regularity hint: the
   /// address right below (top end) / above (bottom end) of the previous
   /// instance, so iterations land adjacently as in the paper's Figure 5.
-  bool allocate_instances(ClusterId cluster, DataId d, FbSet set, AllocEnd end) {
+  /// The hint is copied to stack storage because allocate_into appends to
+  /// the extent pool the previous instance's extents live in.
+  bool allocate_one(ClusterId cluster, DataId d, std::uint32_t iter, FbSet set, AllocEnd end,
+                    const char* dup_msg) {
     const SizeWords size = app().data(d).size;
     FrameBufferAllocator& fb = allocators[static_cast<std::size_t>(set)];
-    for (std::uint32_t iter = 0; iter < options->rf; ++iter) {
-      std::vector<Extent> hint;
-      if (options->regularity_hints && iter > 0) {
-        const ObjInstance prev{d, iter - 1};
-        auto it = live.find(inst_key(set, prev));
-        if (it != live.end() && it->second.alloc.extents.size() == 1) {
-          const Extent& p = it->second.alloc.extents.front();
-          if (end == AllocEnd::kTop && p.begin() >= size.value()) {
-            hint.push_back(Extent{p.begin() - size.value(), size});
-          } else if (end == AllocEnd::kBottom) {
-            hint.push_back(Extent{p.end(), size});
-          }
+    Extent hint_storage;
+    std::span<const Extent> hint;
+    if (options->regularity_hints && iter > 0) {
+      const LiveSlot& prev = slot(set, d, iter - 1);
+      if (prev.extent_count == 1) {
+        const Extent p = extents_of(prev).front();
+        if (end == AllocEnd::kTop && p.begin() >= size.value()) {
+          hint_storage = Extent{p.begin() - size.value(), size};
+          hint = {&hint_storage, 1};
+        } else if (end == AllocEnd::kBottom) {
+          hint_storage = Extent{p.end(), size};
+          hint = {&hint_storage, 1};
         }
       }
-      std::optional<Allocation> a = fb.allocate(size, end, hint, options->allow_split);
-      if (!a) return false;
-      const ObjInstance inst{d, iter};
-      const bool fresh = live.emplace(inst_key(set, inst), LiveAlloc{*a, cluster}).second;
-      MSYS_REQUIRE(fresh, "instance allocated twice in the same FB set");
-      result.placements.emplace(DataSchedule::key(cluster, inst),
-                                Placement{.set = set, .extents = a->extents});
+    }
+    std::vector<Extent>& pool = scratch->extent_pool;
+    const std::size_t begin = pool.size();
+    const std::size_t n = fb.allocate_into(size, end, hint, options->allow_split, pool);
+    if (n == 0) return false;
+    LiveSlot& s = slot(set, d, iter);
+    MSYS_REQUIRE(s.extent_count == 0, dup_msg);
+    s.extent_begin = static_cast<std::uint32_t>(begin);
+    s.extent_count = static_cast<std::uint32_t>(n);
+    s.placed_by = cluster.index();
+    ++live_count;
+    result.placements.emplace(
+        DataSchedule::key(cluster, {d, iter}),
+        Placement{.set = set, .extents = {pool.begin() + begin, pool.end()}});
+    return true;
+  }
+
+  /// Allocates all `rf` instances of `d`; false on out-of-space.
+  bool allocate_instances(ClusterId cluster, DataId d, FbSet set, AllocEnd end) {
+    for (std::uint32_t iter = 0; iter < options->rf; ++iter) {
+      if (!allocate_one(cluster, d, iter, set, end,
+                        "instance allocated twice in the same FB set")) {
+        return false;
+      }
     }
     return true;
   }
@@ -98,17 +140,18 @@ struct Walk {
   void release_instance(DataId d, std::uint32_t iter, FbSet set,
                         ClusterRoundPlan* record_into, std::uint32_t trigger_kernel,
                         std::uint32_t trigger_iter) {
-    const ObjInstance inst{d, iter};
-    auto it = live.find(inst_key(set, inst));
-    MSYS_REQUIRE(it != live.end(), "releasing an instance that is not live");
-    allocators[static_cast<std::size_t>(set)].release(it->second.alloc);
+    LiveSlot& s = slot(set, d, iter);
+    MSYS_REQUIRE(s.extent_count != 0, "releasing an instance that is not live");
+    allocators[static_cast<std::size_t>(set)].release_span(extents_of(s));
     if (record_into != nullptr) {
-      record_into->releases.push_back(ReleaseEvent{.trigger_kernel = trigger_kernel,
-                                                   .trigger_iter = trigger_iter,
-                                                   .inst = inst,
-                                                   .placement_cluster = it->second.placed_by});
+      record_into->releases.push_back(
+          ReleaseEvent{.trigger_kernel = trigger_kernel,
+                       .trigger_iter = trigger_iter,
+                       .inst = {d, iter},
+                       .placement_cluster = ClusterId{s.placed_by}});
     }
-    live.erase(it);
+    s.extent_count = 0;
+    --live_count;
   }
 
   void release_all_instances(DataId d, FbSet set, ClusterRoundPlan* record_into,
@@ -135,40 +178,13 @@ struct Walk {
   }
 };
 
-/// Per-cluster precomputed bookkeeping.
-struct ClusterCtx {
-  const Cluster* cluster;
-  const ClusterDataflow* flow;
-  /// local index (0-based) of each kernel in the cluster
-  std::unordered_map<KernelId, std::uint32_t> local_of;
-
-  ClusterCtx(const ScheduleAnalysis& analysis, ClusterId id)
-      : cluster(&analysis.sched().cluster(id)), flow(&analysis.dataflow(id)) {
-    for (std::uint32_t i = 0; i < cluster->kernels.size(); ++i) {
-      local_of.emplace(cluster->kernels[i], i);
-    }
-  }
-
-  /// Local index of the last kernel in this cluster consuming `d`;
-  /// nullopt when no kernel here consumes it.
-  [[nodiscard]] std::optional<std::uint32_t> last_local_use(
-      const model::Application& app, DataId d) const {
-    std::optional<std::uint32_t> last;
-    for (KernelId consumer : app.data(d).consumers) {
-      auto it = local_of.find(consumer);
-      if (it == local_of.end()) continue;
-      if (!last || it->second > *last) last = it->second;
-    }
-    return last;
-  }
-};
-
 bool process_cluster(Walk& walk, ClusterId cluster_id) {
   const ScheduleAnalysis& analysis = *walk.analysis;
   const model::Application& app = walk.app();
   const DriverOptions& opt = *walk.options;
-  ClusterCtx ctx(analysis, cluster_id);
-  const FbSet set = ctx.cluster->set;
+  const Cluster& cluster = analysis.sched().cluster(cluster_id);
+  const ClusterDataflow& flow = analysis.dataflow(cluster_id);
+  const FbSet set = cluster.set;
   ClusterRoundPlan& plan = walk.result.round_plan[cluster_id.index()];
   plan.cluster = cluster_id;
 
@@ -183,8 +199,10 @@ bool process_cluster(Walk& walk, ClusterId cluster_id) {
     /// inputs by descending last consuming kernel.
     std::uint64_t priority;
   };
-  std::vector<PendingLoad> pending;
-  for (DataId in : ctx.flow->inputs) {
+  std::span<PendingLoad> pending =
+      walk.scratch->arena.alloc_array<PendingLoad>(flow.inputs.size());
+  std::size_t n_pending = 0;
+  for (DataId in : flow.inputs) {
     if (walk.reads_in_place(in, set)) {
       const RetentionCandidate& cand = analysis.candidate_for(in);
       const bool first_here = !cand.is_result && cand.occupancy_span.front() == cluster_id;
@@ -194,7 +212,7 @@ bool process_cluster(Walk& walk, ClusterId cluster_id) {
         // no allocation.  With cross-set reads the home set may differ
         // from this cluster's set.
         for (std::uint32_t iter = 0; iter < opt.rf; ++iter) {
-          MSYS_REQUIRE(walk.live.contains(Walk::inst_key(cand.set, {in, iter})),
+          MSYS_REQUIRE(walk.slot(cand.set, in, iter).extent_count != 0,
                        "retained object must already be FB-resident");
         }
         continue;
@@ -202,17 +220,23 @@ bool process_cluster(Walk& walk, ClusterId cluster_id) {
       // Shared data loaded once, before everything else, deepest span
       // first (Figure 4's v = last cluster down to c+2 loop).
       const std::uint64_t span_end = cand.occupancy_span.back().index();
-      pending.push_back({in, (1ULL << 32) | span_end});
+      pending[n_pending++] = {in, (1ULL << 32) | span_end};
       continue;
     }
-    const std::optional<std::uint32_t> last = ctx.last_local_use(app, in);
-    MSYS_REQUIRE(last.has_value(), "cluster input with no consumer in cluster");
-    pending.push_back({in, *last});
+    const std::int32_t last = flow.last_local_use[in.index()];
+    MSYS_REQUIRE(last >= 0, "cluster input with no consumer in cluster");
+    pending[n_pending++] = {in, static_cast<std::uint64_t>(last)};
   }
-  std::stable_sort(pending.begin(), pending.end(),
-                   [](const PendingLoad& a, const PendingLoad& b) {
-                     return a.priority > b.priority;
-                   });
+  pending = pending.first(n_pending);
+  // Stable insertion sort, descending priority: the list is a handful of
+  // entries and the sort runs against arena storage (std::stable_sort
+  // would heap-allocate its merge buffer every cluster).
+  for (std::size_t i = 1; i < pending.size(); ++i) {
+    const PendingLoad x = pending[i];
+    std::size_t j = i;
+    for (; j > 0 && pending[j - 1].priority < x.priority; --j) pending[j] = pending[j - 1];
+    pending[j] = x;
+  }
   for (const PendingLoad& load : pending) {
     if (!walk.allocate_instances(cluster_id, load.data, set, AllocEnd::kTop)) {
       return false;
@@ -223,53 +247,34 @@ bool process_cluster(Walk& walk, ClusterId cluster_id) {
   }
 
   // ---- Phase 2: execution with loop fission (kernel-major, RF minor). ----
-  for (std::uint32_t local = 0; local < ctx.cluster->kernels.size(); ++local) {
-    const model::Kernel& kernel = app.kernel(ctx.cluster->kernels[local]);
+  const auto n_kernels = static_cast<std::uint32_t>(cluster.kernels.size());
+  for (std::uint32_t local = 0; local < n_kernels; ++local) {
+    const model::Kernel& kernel = app.kernel(cluster.kernels[local]);
     for (std::uint32_t iter = 0; iter < opt.rf; ++iter) {
-      // Allocate this execution's results.
+      // Allocate this execution's results.  Shared (retained) results go
+      // to the top with the long-lived data; everything else accumulates
+      // at the bottom.
       for (DataId out : kernel.outputs) {
         const bool retained = walk.retained_here(out, set);
-        // Shared (retained) results go to the top with the long-lived
-        // data; everything else accumulates at the bottom.
         const AllocEnd end = retained ? AllocEnd::kTop : AllocEnd::kBottom;
-        const SizeWords size = app.data(out).size;
-        FrameBufferAllocator& fb = walk.allocators[static_cast<std::size_t>(set)];
-        std::vector<Extent> hint;
-        if (opt.regularity_hints && iter > 0) {
-          auto it = walk.live.find(Walk::inst_key(set, {out, iter - 1}));
-          if (it != walk.live.end() && it->second.alloc.extents.size() == 1) {
-            const Extent& p = it->second.alloc.extents.front();
-            if (end == AllocEnd::kTop && p.begin() >= size.value()) {
-              hint.push_back(Extent{p.begin() - size.value(), size});
-            } else if (end == AllocEnd::kBottom) {
-              hint.push_back(Extent{p.end(), size});
-            }
-          }
+        if (!walk.allocate_one(cluster_id, out, iter, set, end,
+                               "result instance produced twice in the same FB set")) {
+          return false;
         }
-        std::optional<Allocation> a = fb.allocate(size, end, hint, opt.allow_split);
-        if (!a) return false;
-        {
-          const bool fresh = walk.live
-                                 .emplace(Walk::inst_key(set, {out, iter}),
-                                          Walk::LiveAlloc{*a, cluster_id})
-                                 .second;
-          MSYS_REQUIRE(fresh, "result instance produced twice in the same FB set");
-        }
-        walk.result.placements.emplace(DataSchedule::key(cluster_id, {out, iter}),
-                                       Placement{.set = set, .extents = a->extents});
       }
       if (!opt.release_at_last_use) continue;
       // release(c, k, iter): inputs and intermediates whose last use is
       // this kernel die now (§3 replacement policy).  Retained objects and
       // inputs of later kernels survive.
-      for (DataId in : ctx.flow->inputs) {
+      const auto local_pos = static_cast<std::int32_t>(local);
+      for (DataId in : flow.inputs) {
         if (walk.reads_in_place(in, set)) continue;
-        if (ctx.last_local_use(app, in) == std::optional<std::uint32_t>{local}) {
+        if (flow.last_local_use[in.index()] == local_pos) {
           walk.release_instance(in, iter, set, &plan, local, iter);
         }
       }
-      for (DataId mid : ctx.flow->intermediates) {
-        if (ctx.last_local_use(app, mid) == std::optional<std::uint32_t>{local}) {
+      for (DataId mid : flow.intermediates) {
+        if (flow.last_local_use[mid.index()] == local_pos) {
           walk.release_instance(mid, iter, set, &plan, local, iter);
         }
       }
@@ -277,17 +282,16 @@ bool process_cluster(Walk& walk, ClusterId cluster_id) {
   }
 
   // ---- Phase 3: cluster end — stores, then releases. ----
-  for (KernelId k : ctx.cluster->kernels) {
+  for (KernelId k : cluster.kernels) {
     for (DataId out : app.kernel(k).outputs) {
       const bool retained = walk.retained_here(out, set);
       const bool is_outgoing =
-          std::find(ctx.flow->outgoing_results.begin(), ctx.flow->outgoing_results.end(),
-                    out) != ctx.flow->outgoing_results.end();
+          std::find(flow.outgoing_results.begin(), flow.outgoing_results.end(), out) !=
+          flow.outgoing_results.end();
       if (!is_outgoing) continue;
       // Retained results skip the store unless something beyond this FB
       // set (external memory, or a consumer on the other set) needs them.
-      const bool store_needed =
-          !retained || analysis.candidate_for(out).store_required;
+      const bool store_needed = !retained || analysis.candidate_for(out).store_required;
       if (store_needed) {
         for (std::uint32_t iter = 0; iter < opt.rf; ++iter) {
           plan.stores.push_back(StoreEvent{.inst = {out, iter}, .release_after = !retained});
@@ -300,21 +304,23 @@ bool process_cluster(Walk& walk, ClusterId cluster_id) {
       }
     }
   }
-  const std::uint32_t last_kernel =
-      static_cast<std::uint32_t>(ctx.cluster->kernels.size()) - 1;
+  const std::uint32_t last_kernel = n_kernels - 1;
   const std::uint32_t last_iter = opt.rf - 1;
   if (!opt.release_at_last_use) {
     // Basic Scheduler: everything not already released dies only now.
-    for (DataId in : ctx.flow->inputs) {
+    for (DataId in : flow.inputs) {
       if (!walk.reads_in_place(in, set)) {
         walk.release_all_instances(in, set, &plan, last_kernel, last_iter);
       }
     }
-    for (DataId mid : ctx.flow->intermediates) {
+    for (DataId mid : flow.intermediates) {
       walk.release_all_instances(mid, set, &plan, last_kernel, last_iter);
     }
   }
   // Retained objects whose occupancy span ends at this cluster die now.
+  // RetainedSet iterates ascending by DataId, which is the canonical
+  // release order the golden schedules pin (the set's insertion history
+  // must never leak into output bytes).
   for (DataId d : opt.retained) {
     if (!walk.retained_here(d, set)) continue;
     const RetentionCandidate& cand = analysis.candidate_for(d);
@@ -328,9 +334,13 @@ bool process_cluster(Walk& walk, ClusterId cluster_id) {
 }  // namespace
 
 DriverResult plan_round(const ScheduleAnalysis& analysis, SizeWords fb_set_size,
-                        const DriverOptions& options) {
+                        const DriverOptions& options, PlanScratch& scratch) {
   MSYS_REQUIRE(options.rf >= 1, "RF must be at least 1");
-  Walk walk(analysis, fb_set_size, options);
+  static obs::Counter& rounds = obs::counter("dsched.plan.rounds");
+  static obs::Gauge& arena_reserved = obs::gauge("dsched.plan.arena_reserved_bytes");
+  rounds.add();
+
+  Walk walk(analysis, fb_set_size, options, scratch);
   walk.result.round_plan.resize(analysis.sched().cluster_count());
   walk.result.ok = true;
 
@@ -341,17 +351,26 @@ DriverResult plan_round(const ScheduleAnalysis& analysis, SizeWords fb_set_size,
              << fb_set_size.value() << "-word FB set at RF=" << options.rf;
       walk.fail(reason.str());
       walk.fold_stats();
+      arena_reserved.update_max(
+          static_cast<std::int64_t>(scratch.arena.stats().bytes_reserved));
       return std::move(walk.result);
     }
   }
 
   // A steady round must leave the FB empty: every retained span ends
   // within the round, so a non-empty FB means a liveness bug.
-  MSYS_REQUIRE(walk.live.empty(), "objects leaked past the end of the round");
+  MSYS_REQUIRE(walk.live_count == 0, "objects leaked past the end of the round");
   MSYS_REQUIRE(walk.allocators[0].all_free() && walk.allocators[1].all_free(),
                "allocators must drain by round end");
   walk.fold_stats();
+  arena_reserved.update_max(static_cast<std::int64_t>(scratch.arena.stats().bytes_reserved));
   return std::move(walk.result);
+}
+
+DriverResult plan_round(const ScheduleAnalysis& analysis, SizeWords fb_set_size,
+                        const DriverOptions& options) {
+  PlanScratch scratch;
+  return plan_round(analysis, fb_set_size, options, scratch);
 }
 
 }  // namespace msys::dsched

@@ -1,7 +1,5 @@
 #include "msys/dsched/plan_cache.hpp"
 
-#include <algorithm>
-
 #include "msys/common/hash.hpp"
 #include "msys/obs/metrics.hpp"
 
@@ -11,6 +9,7 @@ namespace {
 
 /// Process-wide mirrors so `msysc --stats` and the bench see memoization
 /// behaviour without plumbing every PlanCache instance to the surface.
+/// Fed in batches by ~PlanCache(), not per lookup.
 struct PlanCacheMetrics {
   obs::Counter& hits = obs::counter("dsched.plan_cache.hits");
   obs::Counter& misses = obs::counter("dsched.plan_cache.misses");
@@ -23,12 +22,16 @@ struct PlanCacheMetrics {
 
 }  // namespace
 
+PlanCache::~PlanCache() {
+  if (stats_.hits > 0) PlanCacheMetrics::get().hits.add(stats_.hits);
+  if (stats_.misses > 0) PlanCacheMetrics::get().misses.add(stats_.misses);
+}
+
 std::size_t PlanCache::KeyHash::operator()(const Key& k) const {
   Hasher h;
   h.update_u64(k.rf);
   h.update_u64(k.flags);
-  h.update_u64(k.retained.size());
-  for (std::uint32_t d : k.retained) h.update_u64(d);
+  hash_append(h, k.retained);
   return static_cast<std::size_t>(h.finalize());
 }
 
@@ -39,9 +42,7 @@ PlanCache::Key PlanCache::make_key(const DriverOptions& options) {
       (options.release_at_last_use ? 1U : 0U) | (options.regularity_hints ? 2U : 0U) |
       (options.allow_split ? 4U : 0U) |
       (options.fit == alloc::FitPolicy::kBestFit ? 8U : 0U));
-  key.retained.reserve(options.retained.size());
-  for (DataId d : options.retained) key.retained.push_back(d.index());
-  std::sort(key.retained.begin(), key.retained.end());
+  key.retained = options.retained;
   return key;
 }
 
@@ -49,12 +50,10 @@ const DriverResult& PlanCache::plan(const DriverOptions& options) {
   Key key = make_key(options);
   if (const auto it = memo_.find(key); it != memo_.end()) {
     ++stats_.hits;
-    PlanCacheMetrics::get().hits.add();
     return it->second;
   }
   ++stats_.misses;
-  PlanCacheMetrics::get().misses.add();
-  DriverResult result = plan_round(*analysis_, fb_set_size_, options);
+  DriverResult result = plan_round(*analysis_, fb_set_size_, options, scratch_);
   if (memo_.size() >= kMaxEntries) {
     overflow_ = std::move(result);
     return overflow_;

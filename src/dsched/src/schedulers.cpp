@@ -232,17 +232,14 @@ DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
     DriverOptions opt = options;
     opt.rf = rf;
     opt.retained.clear();
-    DriverResult best = plans.plan(opt);
-    MSYS_REQUIRE(best.ok, "re-planning at a feasible RF must succeed");
+    MSYS_REQUIRE(plans.plan(opt).ok, "re-planning at a feasible RF must succeed");
     for (const RetentionCandidate& cand : candidates) {
       // Checkpoint per retention candidate: the set kept so far already
-      // re-planned feasibly, so breaking leaves (opt, best) consistent;
-      // the caller's checkpoint turns the firing into a cancelled result.
+      // re-planned feasibly, so breaking leaves `opt` consistent; the
+      // caller's checkpoint turns the firing into a cancelled result.
       if (cancel.cancelled()) break;
       opt.retained.insert(cand.data);
-      const DriverResult& attempt = plans.plan(opt);
-      if (attempt.ok) {
-        best = attempt;
+      if (plans.plan(opt).ok) {
         retention_kept.add();
         MSYS_TRACE_INSTANT("dsched.retain.keep", "dsched",
                            obs::arg("data", std::uint64_t{cand.data.index()}),
@@ -255,7 +252,11 @@ DataSchedule CompleteDataScheduler::schedule(const ScheduleAnalysis& analysis,
                            obs::arg("tf", cand.tf), obs::arg("rf", std::uint64_t{rf}));
       }
     }
-    return {std::move(opt), std::move(best)};
+    // Copy the winning walk once from the memo (every accepted set above
+    // was planned and cached) — the previous code copied the full
+    // DriverResult after *every* accepted candidate, which dominated cold
+    // compiles on retention-heavy workloads.
+    return {opt, plans.plan(opt)};
   };
 
   if (!options_.joint_rf_retention) {

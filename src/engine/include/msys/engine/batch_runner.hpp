@@ -38,6 +38,10 @@ struct JobResult {
   /// this job (the result was recomputed, but the store is misbehaving —
   /// a per-job signal callers surface as a structured diagnostic).
   bool store_degraded{false};
+  /// Time this job spent parked behind another thread's in-flight compile
+  /// (coalesced waiter).  Zero for hits and for misses that did their own
+  /// work — it measures contention, not compilation.
+  double inflight_wait_ms{0.0};
 
   [[nodiscard]] bool feasible() const { return result != nullptr && result->feasible(); }
   /// True when the job's outcome was cut short by a deadline/cancel.
@@ -92,7 +96,13 @@ struct BatchStats {
   /// Wall time of the whole run() call.
   double wall_ms{0.0};
   double hit_latency_ms_total{0.0};
+  /// Miss latency counts each missing job's *own* work: time a coalesced
+  /// waiter spent parked behind another thread's compile is excluded here
+  /// and accumulated in inflight_wait_ms_total instead.  (It used to be
+  /// folded in, which inflated avg_miss_ms() under thread contention even
+  /// though no extra compilation happened.)
   double miss_latency_ms_total{0.0};
+  double inflight_wait_ms_total{0.0};
 
   [[nodiscard]] double hit_rate() const {
     return jobs == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(jobs);
@@ -103,6 +113,12 @@ struct BatchStats {
   [[nodiscard]] double avg_miss_ms() const {
     return cache_misses == 0 ? 0.0
                              : miss_latency_ms_total / static_cast<double>(cache_misses);
+  }
+  /// Average blocked-behind-the-winner time per miss (0 when no waiter
+  /// coalesced).
+  [[nodiscard]] double avg_inflight_wait_ms() const {
+    return cache_misses == 0 ? 0.0
+                             : inflight_wait_ms_total / static_cast<double>(cache_misses);
   }
   [[nodiscard]] std::string summary() const;
 };

@@ -146,9 +146,14 @@ class ScheduleCache {
   /// (optional) reports that the disk probe exhausted its read retry
   /// budget — the job was recomputed because the store is *misbehaving*,
   /// not because the entry is absent (a driver surfaces this per job).
+  /// `*inflight_wait_ns` (optional) reports the time this caller spent
+  /// blocked on another thread's in-flight computation (0 unless it was a
+  /// coalesced waiter) — reported separately so miss latency measures
+  /// *this* caller's own work, not time parked behind the winner.
   [[nodiscard]] std::shared_ptr<const CompiledResult> get_or_compile(
       const Job& job, bool* was_hit = nullptr, const CancelToken& cancel = {},
-      CacheTier* tier = nullptr, bool* store_degraded = nullptr);
+      CacheTier* tier = nullptr, bool* store_degraded = nullptr,
+      std::uint64_t* inflight_wait_ns = nullptr);
 
   /// Produces a result for a key on the first miss.  Must be pure with
   /// respect to the key: every caller racing on one key receives the one
@@ -163,7 +168,7 @@ class ScheduleCache {
   /// the whole miss path).
   [[nodiscard]] std::shared_ptr<const CompiledResult> get_or_compile(
       std::uint64_t key, const ComputeFn& compute, bool* was_hit = nullptr,
-      const CancelToken& cancel = {});
+      const CancelToken& cancel = {}, std::uint64_t* inflight_wait_ns = nullptr);
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }

@@ -1,5 +1,6 @@
 #include "msys/engine/batch_runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -29,6 +30,9 @@ std::string BatchStats::summary() const {
   out << jobs << " jobs in " << wall_ms << "ms: " << cache_hits << " hits ("
       << avg_hit_ms() << "ms avg), " << cache_misses << " compiles (" << avg_miss_ms()
       << "ms avg), " << infeasible << " infeasible";
+  if (inflight_wait_ms_total > 0.0) {
+    out << ", " << inflight_wait_ms_total << "ms coalesced wait";
+  }
   if (disk_hits > 0) out << ", " << disk_hits << " from store";
   if (timeouts > 0) out << ", " << timeouts << " timed out";
   if (deadline_missed > 0) out << ", " << deadline_missed << " missed deadline";
@@ -80,8 +84,11 @@ std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs,
                               ? options.cancel.with_timeout(options.job_deadline)
                               : options.cancel;
       if (cache_ != nullptr) {
+        std::uint64_t wait_ns = 0;
         out.result = cache_->get_or_compile(job, &out.cache_hit, token, &out.tier,
-                                            &out.store_degraded);
+                                            &out.store_degraded, &wait_ns);
+        // Accumulated, not assigned: a retried attempt may wait again.
+        out.inflight_wait_ms += static_cast<double>(wait_ns) / 1e6;
       } else {
         out.result = compile_job(job, token);
         out.tier = CacheTier::kCompute;
@@ -167,7 +174,11 @@ std::vector<JobResult> BatchRunner::run(const std::vector<Job>& jobs,
         stats->hit_latency_ms_total += latency_ms[i];
       } else {
         ++stats->cache_misses;
-        stats->miss_latency_ms_total += latency_ms[i];
+        // Charge the miss only for its own work; blocked-behind-the-winner
+        // time is tracked in its own bucket (see BatchStats).
+        const double wait = results[i].inflight_wait_ms;
+        stats->miss_latency_ms_total += std::max(latency_ms[i] - wait, 0.0);
+        stats->inflight_wait_ms_total += wait;
       }
       if (results[i].tier == CacheTier::kDisk) ++stats->disk_hits;
       if (results[i].store_degraded) ++stats->store_faults;

@@ -146,12 +146,10 @@ std::string encode_result(const CompiledResult& result) {
   w.u8(opts.regularity_hints ? 1 : 0);
   w.u8(static_cast<std::uint8_t>(opts.fit));
   w.u8(opts.allow_split ? 1 : 0);
-  std::vector<std::uint64_t> retained;
-  retained.reserve(schedule.retained.size());
-  for (const DataId data : schedule.retained) retained.push_back(data.index());
-  std::sort(retained.begin(), retained.end());
-  w.u64(retained.size());
-  for (const std::uint64_t idx : retained) w.u64(idx);
+  w.u64(schedule.retained.size());
+  // RetainedSet iterates ascending by DataId — already the canonical
+  // encoding order, no sort needed.
+  for (const DataId data : schedule.retained) w.u64(data.index());
 
   w.u64(result.outcome.attempts.size());
   for (const dsched::FallbackAttempt& a : result.outcome.attempts) {

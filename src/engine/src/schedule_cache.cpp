@@ -25,7 +25,12 @@ struct CacheMetrics {
   obs::Counter& disk_hits = obs::counter("engine.cache.disk_hits");
   obs::Counter& wait_cancelled = obs::counter("engine.cache.wait_cancelled");
   obs::Counter& hit_latency_ns = obs::counter("engine.cache.hit_latency_ns");
+  /// Miss latency is the caller's *own* work (disk probe + compile, or
+  /// collecting a ready coalesced result); time spent blocked behind
+  /// another thread's in-flight compile accrues to inflight_wait_ns
+  /// instead.  Summing both reconstructs the old wall-clock figure.
   obs::Counter& miss_latency_ns = obs::counter("engine.cache.miss_latency_ns");
+  obs::Counter& inflight_wait_ns = obs::counter("engine.cache.inflight_wait_ns");
 
   static CacheMetrics& get() {
     static CacheMetrics metrics;
@@ -158,7 +163,7 @@ void ScheduleCache::insert(std::uint64_t key,
 
 std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
     const Job& job, bool* was_hit, const CancelToken& cancel, CacheTier* tier,
-    bool* store_degraded) {
+    bool* store_degraded, std::uint64_t* inflight_wait_ns) {
   store::DiskScheduleStore* disk = config_.store.get();
   const std::uint64_t key = cache_key(job);
   CacheTier served = CacheTier::kCompute;
@@ -195,7 +200,7 @@ std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
         }
         return computed;
       },
-      was_hit, cancel);
+      was_hit, cancel, inflight_wait_ns);
   if (tier != nullptr) {
     *tier = (was_hit != nullptr && *was_hit) ? CacheTier::kMemory : served;
   }
@@ -204,10 +209,11 @@ std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
 
 std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
     std::uint64_t key, const ComputeFn& compute, bool* was_hit,
-    const CancelToken& cancel) {
+    const CancelToken& cancel, std::uint64_t* inflight_wait_ns) {
   const auto start = std::chrono::steady_clock::now();
   Shard& shard = shard_for(key);
   if (was_hit != nullptr) *was_hit = false;
+  if (inflight_wait_ns != nullptr) *inflight_wait_ns = 0;
 
   // One lock acquisition decides the path: hit, coalesce onto an in-flight
   // computation, or become the in-flight winner for this key.
@@ -237,9 +243,15 @@ std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
 
   if (wait_on.valid()) {
     // Coalesced miss: reuse the winner's computation.  Only count (and
-    // trace) a wait when the result is not ready yet.
+    // trace) a wait when the result is not ready yet.  Blocked time is
+    // accounted to inflight_wait_ns, NOT to miss latency: parking behind
+    // the winner is queueing, not compile cost, and folding it into
+    // avg_miss_ms made cold parallel batches look slower per miss than
+    // the serial compiles they replaced.
+    std::uint64_t waited_ns = 0;
     if (wait_on.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
       count(Event::kInflightWait);
+      const auto wait_start = std::chrono::steady_clock::now();
       MSYS_TRACE_SPAN(wait_span, "engine.cache.inflight_wait", "engine");
       if (cancel.can_cancel()) {
         // Poll so a deadline firing mid-wait frees this caller: the winner
@@ -248,6 +260,9 @@ std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
         while (wait_on.wait_for(std::chrono::milliseconds(2)) !=
                std::future_status::ready) {
           if (cancel.cancelled()) {
+            waited_ns = ns_since(wait_start);
+            CacheMetrics::get().inflight_wait_ns.add(waited_ns);
+            if (inflight_wait_ns != nullptr) *inflight_wait_ns = waited_ns;
             CacheMetrics::get().wait_cancelled.add();
             return nullptr;
           }
@@ -255,9 +270,13 @@ std::shared_ptr<const CompiledResult> ScheduleCache::get_or_compile(
       } else {
         wait_on.wait();
       }
+      waited_ns = ns_since(wait_start);
+      CacheMetrics::get().inflight_wait_ns.add(waited_ns);
+      if (inflight_wait_ns != nullptr) *inflight_wait_ns = waited_ns;
     }
     std::shared_ptr<const CompiledResult> result = wait_on.get();
-    CacheMetrics::get().miss_latency_ns.add(ns_since(start));
+    const std::uint64_t total = ns_since(start);
+    CacheMetrics::get().miss_latency_ns.add(total > waited_ns ? total - waited_ns : 0);
     return result;
   }
 

@@ -8,9 +8,9 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "msys/common/bitset.hpp"
 #include "msys/common/types.hpp"
 #include "msys/model/schedule.hpp"
 
@@ -46,6 +46,12 @@ struct ClusterDataflow {
   /// Outputs produced and last consumed inside this cluster, needed
   /// nowhere else ("r_jt" objects).  They never touch external memory.
   std::vector<DataId> intermediates;
+  /// For every data object (indexed by DataId), the 0-based local position
+  /// of its last consuming kernel inside this cluster, or -1 when nothing
+  /// here reads it.  Precomputed once so the footprint model and the
+  /// Figure-4 walk's release-at-last-use checks are table lookups instead
+  /// of consumer-list scans in their innermost loops.
+  std::vector<std::int32_t> last_local_use;
 };
 
 /// One §4 retention opportunity: an object that, if kept FB-resident across
@@ -76,7 +82,13 @@ struct RetentionCandidate {
 };
 
 /// Set of retained objects (chosen by the Complete Data Scheduler).
-using RetainedSet = std::unordered_set<DataId>;
+/// Bitset-backed: membership tests in the Figure-4 walk are one word op,
+/// PlanCache keys hash the words without copying or sorting, and
+/// iteration is ascending by DataId — so every consumer of the set's
+/// order (ReleaseEvent streams, cache keys, codecs) is canonical and
+/// platform-independent, where the previous std::unordered_set leaked
+/// stdlib hash order into schedule bytes.
+using RetainedSet = IdSet<DataId>;
 
 /// Precomputed analysis over one (Application, KernelSchedule) pair.
 /// Holds a non-owning reference to the schedule, which must outlive it.

@@ -64,13 +64,16 @@ void ScheduleAnalysis::compute_dataflow() {
     flow.cluster = cluster.id;
     // Inputs: consumed here but produced elsewhere (external or earlier
     // cluster).  Deduplicate across the cluster's kernels.
-    std::unordered_set<DataId> seen_inputs;
-    for (KernelId k : cluster.kernels) {
+    IdSet<DataId> seen_inputs;
+    flow.last_local_use.assign(app().data_count(), -1);
+    for (std::size_t pos = 0; pos < cluster.kernels.size(); ++pos) {
+      const KernelId k = cluster.kernels[pos];
       for (DataId in : app().kernel(k).inputs) {
+        flow.last_local_use[in.index()] = static_cast<std::int32_t>(pos);
         const ObjectInfo& info = objects_[in.index()];
         const bool produced_here =
             info.producer_cluster.has_value() && *info.producer_cluster == cluster.id;
-        if (!produced_here && seen_inputs.insert(in).second) {
+        if (!produced_here && seen_inputs.insert(in)) {
           flow.inputs.push_back(in);
         }
       }
@@ -269,13 +272,9 @@ SizeWords ScheduleAnalysis::cluster_footprint(ClusterId cluster_id,
     return 0;
   };
   auto last_local_use = [&](DataId d) -> std::uint32_t {
-    std::uint32_t last = 0;
-    for (KernelId consumer : app().data(d).consumers) {
-      if (sched_->cluster_of(consumer) == cluster_id) {
-        last = std::max(last, local_pos(consumer));
-      }
-    }
-    return last;
+    // Precomputed table; +1 converts to this function's 1-based positions
+    // (0 = never read here).
+    return static_cast<std::uint32_t>(flow.last_local_use[d.index()] + 1);
   };
 
   // Live intervals [start, end] in local positions, following §3's policy:

@@ -1,0 +1,115 @@
+// IndexSet / IdSet: word-parallel membership, ascending iteration, and
+// the insertion-order-independent hash the PlanCache keys rely on.
+#include "msys/common/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "msys/common/hash.hpp"
+#include "msys/common/types.hpp"
+
+namespace msys {
+namespace {
+
+std::vector<std::uint32_t> as_vector(const IndexSet& s) {
+  std::vector<std::uint32_t> out;
+  for (const std::uint32_t i : s) out.push_back(i);
+  return out;
+}
+
+std::uint64_t hash_of(const IndexSet& s) {
+  Hasher h;
+  hash_append(h, s);
+  return h.finalize();
+}
+
+TEST(IndexSet, InsertEraseContains) {
+  IndexSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(7));
+  EXPECT_FALSE(s.insert(7));  // duplicate insert reports not-new
+  EXPECT_TRUE(s.insert(0));
+  EXPECT_TRUE(s.insert(63));
+  EXPECT_TRUE(s.insert(64));  // word boundary
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_FALSE(s.contains(8));
+  EXPECT_TRUE(s.erase(7));
+  EXPECT_FALSE(s.erase(7));  // double erase reports absent
+  EXPECT_FALSE(s.contains(7));
+  EXPECT_EQ(s.size(), 3u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(IndexSet, IterationIsAscendingRegardlessOfInsertionOrder) {
+  IndexSet s;
+  for (const std::uint32_t i : {200U, 3U, 64U, 0U, 129U, 63U}) s.insert(i);
+  EXPECT_EQ(as_vector(s), (std::vector<std::uint32_t>{0, 3, 63, 64, 129, 200}));
+}
+
+TEST(IndexSet, SpillsPastInlineCapacityTransparently) {
+  IndexSet s;
+  // Indices past kInlineWords * 64 land in the heap spill vector.
+  const std::uint32_t big = IndexSet::kInlineWords * 64 + 10;
+  EXPECT_FALSE(s.contains(big));  // probing unallocated spill is safe
+  EXPECT_TRUE(s.insert(big));
+  EXPECT_TRUE(s.insert(big + 500));
+  EXPECT_TRUE(s.insert(5));  // inline and spill coexist
+  EXPECT_TRUE(s.contains(big));
+  EXPECT_EQ(as_vector(s), (std::vector<std::uint32_t>{5, big, big + 500}));
+  EXPECT_TRUE(s.erase(big + 500));
+  EXPECT_FALSE(s.contains(big + 500));
+}
+
+TEST(IndexSet, EqualityIsByMembershipNotCapacity) {
+  IndexSet a;
+  IndexSet b;
+  a.insert(3);
+  a.insert(90);
+  b.insert(90);
+  b.insert(3);
+  EXPECT_EQ(a, b);
+  // Grow b's spill then remove the element again: capacity differs,
+  // membership matches.
+  b.insert(1000);
+  EXPECT_FALSE(a == b);
+  b.erase(1000);
+  EXPECT_EQ(a, b);
+  b.erase(90);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(IndexSet, HashIsInsertionOrderAndCapacityIndependent) {
+  IndexSet a;
+  IndexSet b;
+  for (const std::uint32_t i : {5U, 70U, 300U}) a.insert(i);
+  for (const std::uint32_t i : {300U, 5U, 70U}) b.insert(i);
+  EXPECT_EQ(hash_of(a), hash_of(b));
+  // A transiently larger spill must not change the hash once membership
+  // is back to equal.
+  b.insert(5000);
+  b.erase(5000);
+  EXPECT_EQ(hash_of(a), hash_of(b));
+  b.erase(70);
+  EXPECT_NE(hash_of(a), hash_of(b));
+}
+
+TEST(IdSet, TypedInterfaceIteratesAscendingIds) {
+  IdSet<DataId> s{DataId{9}, DataId{2}, DataId{70}};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(DataId{2}));
+  EXPECT_FALSE(s.contains(DataId{}));  // invalid id is never a member
+  std::vector<std::uint32_t> got;
+  for (const DataId d : s) got.push_back(d.index());
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{2, 9, 70}));
+  EXPECT_TRUE(s.erase(DataId{9}));
+  EXPECT_FALSE(s.erase(DataId{}));  // erasing an invalid id is a no-op
+  EXPECT_EQ(s.size(), 2u);
+}
+
+}  // namespace
+}  // namespace msys

@@ -1,0 +1,69 @@
+// Canonical byte-level fingerprints of scheduler output, shared by the
+// differential property tests (rf_search_property_test) and the
+// retained-set byte-identity suite (retained_set_property_test).  Any
+// change to these encodings invalidates the committed golden hashes in
+// tests/dsched/golden/ — regenerate them deliberately, never casually.
+#pragma once
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "msys/dsched/schedule_types.hpp"
+
+namespace msys::testing {
+
+/// Canonical byte-level description of everything a DriverResult/schedule
+/// decided: the round plan's load/store/release streams and the placement
+/// of every object instance.
+inline std::string plan_fingerprint(
+    const std::vector<dsched::ClusterRoundPlan>& round_plan,
+    const std::unordered_map<std::uint64_t, dsched::Placement>& placements) {
+  std::ostringstream out;
+  for (const dsched::ClusterRoundPlan& cp : round_plan) {
+    out << "C" << cp.cluster.index() << "{L:";
+    for (const dsched::ObjInstance& inst : cp.loads) {
+      out << inst.data.index() << '.' << inst.iter << ' ';
+    }
+    out << "S:";
+    for (const dsched::StoreEvent& s : cp.stores) {
+      out << s.inst.data.index() << '.' << s.inst.iter << (s.release_after ? "r" : "k")
+          << ' ';
+    }
+    out << "R:";
+    for (const dsched::ReleaseEvent& r : cp.releases) {
+      out << r.trigger_kernel << '@' << r.trigger_iter << ':' << r.inst.data.index()
+          << '.' << r.inst.iter << '/' << r.placement_cluster.index() << ' ';
+    }
+    out << "}";
+  }
+  std::vector<std::uint64_t> keys;
+  keys.reserve(placements.size());
+  for (const auto& [key, placement] : placements) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    const dsched::Placement& p = placements.at(key);
+    out << 'P' << key << ':' << static_cast<int>(p.set) << '[';
+    for (const Extent& e : p.extents) out << e.begin() << '+' << e.size.value() << ' ';
+    out << ']';
+  }
+  return out.str();
+}
+
+/// Full-schedule fingerprint: feasibility, RF, the retained set (sorted,
+/// so the encoding is independent of the set's iteration order), and the
+/// plan fingerprint above.
+inline std::string schedule_fingerprint(const dsched::DataSchedule& s) {
+  std::ostringstream out;
+  out << s.feasible << '|' << s.rf << '|';
+  std::vector<std::uint32_t> retained;
+  for (const DataId d : s.retained) retained.push_back(d.index());
+  std::sort(retained.begin(), retained.end());
+  for (const std::uint32_t d : retained) out << d << ',';
+  out << '|' << plan_fingerprint(s.round_plan, s.placements);
+  return out.str();
+}
+
+}  // namespace msys::testing

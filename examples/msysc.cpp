@@ -76,6 +76,7 @@
 #include "msys/report/runner.hpp"
 #include "msys/report/tables.hpp"
 #include "msys/report/timeline.hpp"
+#include "msys/search/anneal.hpp"
 #include "msys/serve/partition.hpp"
 #include "msys/serve/serve_loop.hpp"
 #include "msys/serve/trace_file.hpp"
@@ -434,10 +435,62 @@ int run_verify_store(const std::string& dir, const std::string& dist_dir) {
   return kExitOk;
 }
 
+/// Options for the `--anneal` pass over a single file.
+struct AnnealCliOptions {
+  bool enabled{false};
+  msys::search::AnnealOptions search;
+};
+
+/// Runs the annealing search above greedy CDS and prints the delta
+/// summary.  Every printed field is deterministic (byte-identical across
+/// -j values — scripts/check.sh byte-compares exactly this output).
+void run_anneal(const msys::extract::ScheduleAnalysis& analysis,
+                const msys::arch::M1Config& cfg, const AnnealCliOptions& opt,
+                unsigned n_threads) {
+  using namespace msys;
+  engine::ThreadPool pool(n_threads);
+  const search::AnnealResult r = dsched::schedule_annealed(analysis, cfg, opt.search, &pool);
+  const std::string budget_str = std::to_string(opt.search.islands) + " islands x " +
+                                 std::to_string(opt.search.budget) + " moves";
+  if (!r.greedy.feasible || !r.greedy_predicted.feasible) {
+    std::cout << "anneal: skipped (greedy CDS infeasible: "
+              << (r.greedy.feasible ? r.greedy_predicted.infeasible_reason
+                                    : r.greedy.infeasible_reason)
+              << ")\n";
+    return;
+  }
+  std::uint64_t accepted = 0;
+  std::uint64_t verified = 0;
+  std::uint64_t sim_rejects = 0;
+  for (const search::IslandStats& s : r.islands) {
+    accepted += s.accepted;
+    verified += s.improvements;
+    sim_rejects += s.sim_rejects;
+  }
+  if (r.improved) {
+    const double pct = 100.0 * static_cast<double>(r.cycles_saved()) /
+                       static_cast<double>(r.greedy_cycles());
+    std::cout << "anneal: greedy " << r.greedy_cycles() << "c -> annealed "
+              << r.annealed_cycles() << "c (saved " << r.cycles_saved() << "c, "
+              << fixed(pct, 2) << "%), RF " << r.greedy.rf << "->" << r.schedule.rf
+              << ", retained " << r.greedy.retained.size() << "->"
+              << r.schedule.retained.size() << ", clusters "
+              << analysis.sched().cluster_count() << "->"
+              << r.schedule.sched->cluster_count() << ", winner island "
+              << r.winner_island << '\n';
+  } else {
+    std::cout << "anneal: no improvement (greedy " << r.greedy_cycles() << "c"
+              << (r.cancelled ? ", cancelled" : "") << ")\n";
+  }
+  std::cout << "anneal: " << budget_str << ", " << accepted << " accepted, " << verified
+            << " improvements verified, " << sim_rejects << " sim rejects\n";
+}
+
 /// Single-file flow: parse, schedule (with the fallback chain), simulate,
 /// and print the requested reports.
 int run_single(const std::string& path, bool emit, bool timeline, bool cross_set,
-               bool search, bool control, bool validate) {
+               bool search, bool control, bool validate,
+               const AnnealCliOptions& anneal, unsigned n_threads) {
   using namespace msys;
   try {
     appdsl::ParseResult parse_result = appdsl::parse_file_collect(path);
@@ -465,6 +518,12 @@ int run_single(const std::string& path, bool emit, bool timeline, bool cross_set
       report::ExperimentResult r =
           report::run_experiment(parsed.app.name(), *found.best, parsed.cfg);
       report::detail_table({r}).print(std::cout);
+      if (anneal.enabled) {
+        const extract::ScheduleAnalysis found_analysis(*found.best,
+                                                       parsed.cfg.cross_set_reads);
+        std::cout << '\n';
+        run_anneal(found_analysis, parsed.cfg, anneal, n_threads);
+      }
       return kExitOk;
     }
 
@@ -517,6 +576,10 @@ int run_single(const std::string& path, bool emit, bool timeline, bool cross_set
       codegen::ScheduleProgram program = codegen::generate(r.cds.schedule, plan);
       std::cout << "\nCDS execution timeline:\n"
                 << report::render_timeline(program, parsed.cfg, plan);
+    }
+    if (anneal.enabled) {
+      std::cout << '\n';
+      run_anneal(analysis, parsed.cfg, anneal, n_threads);
     }
     if (control && r.cds.feasible()) {
       csched::ContextPlan plan =
@@ -627,6 +690,7 @@ int main(int argc, char** argv) {
   std::string gen_trace_out;
   unsigned tenants = 1;
   serve::TraceGenSpec gen_spec;
+  AnnealCliOptions anneal;
   BatchFtOptions ft;
   unsigned n_threads = 1;
   std::string path;
@@ -646,6 +710,24 @@ int main(int argc, char** argv) {
       validate = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--anneal") {
+      anneal.enabled = true;
+    } else if (arg == "--anneal-budget") {
+      unsigned v = 0;
+      if (i + 1 >= argc || !parse_thread_count(argv[i + 1], &v)) {
+        std::cerr << "msysc: --anneal-budget needs a positive integer\n";
+        return kExitUsage;
+      }
+      anneal.search.budget = v;
+      ++i;
+    } else if (arg == "--anneal-islands") {
+      unsigned v = 0;
+      if (i + 1 >= argc || !parse_thread_count(argv[i + 1], &v)) {
+        std::cerr << "msysc: --anneal-islands needs a positive integer\n";
+        return kExitUsage;
+      }
+      anneal.search.islands = v;
+      ++i;
     } else if (arg == "--trace") {
       if (i + 1 >= argc) {
         std::cerr << "msysc: --trace needs an output file\n";
@@ -729,6 +811,7 @@ int main(int argc, char** argv) {
         std::cerr << "msysc: --seed needs a non-negative integer\n";
         return kExitUsage;
       }
+      anneal.search.seed = gen_spec.seed;
       ++i;
     } else if (arg == "--trace-jobs") {
       int v = 0;
@@ -789,7 +872,9 @@ int main(int argc, char** argv) {
   }
   if (batch_dir.empty() && path.empty() && serve_trace.empty()) {
     std::cerr << "usage: msysc [--emit|--timeline|--cross-set|--search|--control|"
-                 "--validate] [--trace out.json] [--stats] <file.mapp>\n"
+                 "--validate] [--trace out.json] [--stats]\n"
+                 "             [--anneal [--anneal-budget N] [--anneal-islands N] "
+                 "[--seed N] [-j N]] <file.mapp>\n"
                  "       msysc --batch <dir> [-j N] [--store dir] [--deadline-ms N]\n"
                  "             [--retries N] [--results-out file] [--trace out.json]\n"
                  "             [--stats] [--dist <exchange> [--workers N] "
@@ -824,7 +909,8 @@ int main(int argc, char** argv) {
       code = kExitInternal;
     }
   } else {
-    code = run_single(path, emit, timeline, cross_set, search, control, validate);
+    code = run_single(path, emit, timeline, cross_set, search, control, validate, anneal,
+                      n_threads);
   }
 
   session.reset();  // stop recording before exporting

@@ -11,9 +11,11 @@
 # run do not clobber each other's cache variables: the script always
 # re-runs configure with -DMSYS_WERROR=ON.
 #
-# After a green default-preset run the engine throughput and serving
-# benches are measured and gated against the committed BENCH_engine.json /
-# BENCH_serve.json (>30% regression on any watched column fails).  Set
+# After a green default-preset run the engine throughput, serving and
+# annealing benches are measured and gated against the committed
+# BENCH_engine.json / BENCH_serve.json / BENCH_anneal.json (>30%
+# regression on any watched column fails; the anneal gate compares
+# deterministic cycle counts, so it needs no remeasuring).  Set
 # MSYS_SKIP_BENCH_GATE=1 to skip the gates (e.g. on loaded CI machines
 # where timings are noise).
 set -euo pipefail
@@ -104,6 +106,22 @@ for preset in "${presets[@]}"; do
     | grep -q "0 expired leases, 0 orphaned claims"
   rm -rf "$dsmoke"
 
+  # Annealing smoke: the parallel simulated-annealing search must produce
+  # byte-identical reports at 1/2/4 pool threads (the islands contract),
+  # and must actually run (the "anneal:" report lines are part of the
+  # byte-compared output).  Runs under every preset — the tsan pass is
+  # the race detector's view of the island fan-out.
+  echo "==> [$preset] annealing smoke (byte identity across thread counts)"
+  asmoke=$(mktemp -d)
+  for j in 1 2 4; do
+    "$msysc" --anneal --anneal-budget 48 --anneal-islands 4 -j "$j" \
+      examples/apps/tracker.mapp > "$asmoke/anneal_j$j.txt"
+  done
+  grep -q "^anneal:" "$asmoke/anneal_j1.txt"
+  cmp "$asmoke/anneal_j1.txt" "$asmoke/anneal_j2.txt"
+  cmp "$asmoke/anneal_j1.txt" "$asmoke/anneal_j4.txt"
+  rm -rf "$asmoke"
+
   # Serving smoke: generate a deterministic arrival trace, serve it on a
   # 2-tenant partition twice with different compile thread counts, and
   # require byte-identical per-job outcome records (the serving layer's
@@ -153,6 +171,12 @@ for preset in "${presets[@]}"; do
       echo "==> bench gate attempt $attempt regressed; remeasuring"
     done
     [ "$gate_ok" = "1" ]
+
+    echo "==> [$preset] bench gate (annealing quality vs BENCH_anneal.json)"
+    # Cycle counts are deterministic — one run, no remeasure loop; any
+    # mismatch is a real schedule-quality change, not timing noise.
+    ./build/bench/anneal_quality --json /tmp/bench_anneal_current.json >/dev/null
+    python3 scripts/bench_gate.py BENCH_anneal.json /tmp/bench_anneal_current.json
   fi
 done
 

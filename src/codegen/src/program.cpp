@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "msys/common/error.hpp"
+#include "msys/obs/trace.hpp"
 
 namespace msys::codegen {
 
@@ -32,6 +33,7 @@ std::string ScheduleProgram::summary() const {
 }
 
 ScheduleProgram generate(const DataSchedule& schedule, const csched::ContextPlan& ctx_plan) {
+  MSYS_TRACE_SPAN(span, "codegen.generate", "codegen");
   MSYS_REQUIRE(schedule.feasible, "cannot generate code for an infeasible schedule");
   MSYS_REQUIRE(ctx_plan.feasible(), "cannot generate code for an infeasible context plan");
 
@@ -148,6 +150,11 @@ ScheduleProgram generate(const DataSchedule& schedule, const csched::ContextPlan
         }
       }
     }
+  }
+  if (span.active()) {
+    span.add_arg(obs::arg("slots", std::uint64_t{n_slots}));
+    span.add_arg(obs::arg("dma_ops", std::uint64_t{program.dma_ops.size()}));
+    span.add_arg(obs::arg("rc_ops", std::uint64_t{program.rc_ops.size()}));
   }
   return program;
 }

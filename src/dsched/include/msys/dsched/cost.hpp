@@ -53,4 +53,16 @@ struct CostBreakdown {
                                          const arch::M1Config& cfg,
                                          const csched::ContextPlan& ctx_plan);
 
+/// Core overload on the fields the model actually reads — the kernel
+/// schedule, the reuse factor and the per-cluster round plan — so callers
+/// holding a memoized DriverResult (the annealer re-costing thousands of
+/// mutations per second) can price it without materializing a DataSchedule
+/// (whose placements map is the expensive part of a copy and is never read
+/// here).  The DataSchedule overload above forwards to this one.
+[[nodiscard]] CostBreakdown predict_cost(const model::KernelSchedule& sched,
+                                         std::uint32_t rf,
+                                         const std::vector<ClusterRoundPlan>& round_plan,
+                                         const arch::M1Config& cfg,
+                                         const csched::ContextPlan& ctx_plan);
+
 }  // namespace msys::dsched

@@ -31,11 +31,17 @@ namespace msys::dsched {
 
 class PlanCache {
  public:
-  PlanCache(const extract::ScheduleAnalysis& analysis, SizeWords fb_set_size)
-      : analysis_(&analysis), fb_set_size_(fb_set_size) {}
-  /// Flushes the hit/miss tallies to the process-wide obs counters — one
-  /// batched add per schedule() instead of an atomic RMW on shared cache
-  /// lines per plan() call.
+  /// Default entry bound, sized for one greedy schedule() walk.  Heavier
+  /// clients (the annealer replans thousands of mutated option sets per
+  /// island) pass their own `capacity`.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  PlanCache(const extract::ScheduleAnalysis& analysis, SizeWords fb_set_size,
+            std::size_t capacity = kDefaultCapacity)
+      : analysis_(&analysis), fb_set_size_(fb_set_size), capacity_(capacity) {}
+  /// Flushes the hit/miss/eviction tallies to the process-wide obs
+  /// counters — one batched add per schedule() instead of an atomic RMW on
+  /// shared cache lines per plan() call.
   ~PlanCache();
 
   /// The memoized Figure-4 walk for `options`; computes and stores on
@@ -46,8 +52,14 @@ class PlanCache {
   struct Stats {
     std::uint64_t hits{0};
     std::uint64_t misses{0};
+    /// Walks computed but *not* memoized because the cache was at
+    /// capacity: every one is a future miss the bound forced.  Mirrored to
+    /// the `dsched.plan_cache.evictions` counter, so a capacity that is
+    /// silently too small for its workload shows up in --stats.
+    std::uint64_t evictions{0};
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
@@ -70,13 +82,12 @@ class PlanCache {
 
   [[nodiscard]] static Key make_key(const DriverOptions& options);
 
-  /// Entry bound: past it, results are computed into `overflow_` instead
-  /// of stored, so a degenerate option space cannot hold every walk ever
-  /// planned in memory.
-  static constexpr std::size_t kMaxEntries = 4096;
-
   const extract::ScheduleAnalysis* analysis_;
   SizeWords fb_set_size_;
+  /// Entry bound: past it, results are computed into `overflow_` instead
+  /// of stored (counted as evictions), so a degenerate option space cannot
+  /// hold every walk ever planned in memory.
+  std::size_t capacity_;
   std::unordered_map<Key, DriverResult, KeyHash> memo_;
   DriverResult overflow_;
   Stats stats_;

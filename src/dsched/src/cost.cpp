@@ -40,12 +40,20 @@ std::string CostBreakdown::summary() const {
 
 CostBreakdown predict_cost(const DataSchedule& schedule, const arch::M1Config& cfg,
                            const csched::ContextPlan& ctx_plan) {
-  CostBreakdown out;
   if (!schedule.feasible) {
+    CostBreakdown out;
     out.feasible = false;
     out.infeasible_reason = schedule.infeasible_reason;
     return out;
   }
+  return predict_cost(*schedule.sched, schedule.rf, schedule.round_plan, cfg, ctx_plan);
+}
+
+CostBreakdown predict_cost(const model::KernelSchedule& sched, std::uint32_t rf,
+                           const std::vector<ClusterRoundPlan>& round_plan,
+                           const arch::M1Config& cfg,
+                           const csched::ContextPlan& ctx_plan) {
+  CostBreakdown out;
   if (!ctx_plan.feasible()) {
     out.feasible = false;
     out.infeasible_reason = ctx_plan.infeasible_reason();
@@ -53,11 +61,16 @@ CostBreakdown predict_cost(const DataSchedule& schedule, const arch::M1Config& c
   }
   out.feasible = true;
 
-  const model::KernelSchedule& sched = *schedule.sched;
   const model::Application& app = sched.app();
+  const std::uint32_t total_iterations = app.total_iterations();
+  MSYS_REQUIRE(rf >= 1 && rf <= total_iterations, "RF outside [1, total_iterations]");
   const std::uint32_t n_clusters = static_cast<std::uint32_t>(sched.cluster_count());
-  const std::uint32_t rounds = schedule.round_count();
+  const std::uint32_t rounds = (total_iterations + rf - 1) / rf;
   const std::uint32_t n_slots = rounds * n_clusters;
+  // iterations_in_round, inlined: RF except possibly the last round.
+  auto iters_in_round = [&](std::uint32_t round) {
+    return std::min(rf, total_iterations - round * rf);
+  };
 
   // ---- Per-slot quantities. ----
   std::vector<SlotCost> slots(n_slots);
@@ -65,7 +78,7 @@ CostBreakdown predict_cost(const DataSchedule& schedule, const arch::M1Config& c
     const std::uint32_t round = s / n_clusters;
     const ClusterId cluster_id{s % n_clusters};
     const model::Cluster& cluster = sched.cluster(cluster_id);
-    const std::uint32_t iters = schedule.iterations_in_round(round);
+    const std::uint32_t iters = iters_in_round(round);
     SlotCost& slot = slots[s];
     slot.set = cluster.set;
 
@@ -87,7 +100,7 @@ CostBreakdown predict_cost(const DataSchedule& schedule, const arch::M1Config& c
     slot.ctx_cycles = ctx;
     Cycles in = Cycles::zero();
     Cycles late = Cycles::zero();
-    const ClusterRoundPlan& plan = schedule.round_plan[cluster_id.index()];
+    const ClusterRoundPlan& plan = round_plan[cluster_id.index()];
     for (ObjInstance inst : plan.loads) {
       if (inst.iter >= iters) continue;
       const SizeWords size = app.data(inst.data).size;

@@ -13,6 +13,7 @@ namespace {
 struct PlanCacheMetrics {
   obs::Counter& hits = obs::counter("dsched.plan_cache.hits");
   obs::Counter& misses = obs::counter("dsched.plan_cache.misses");
+  obs::Counter& evictions = obs::counter("dsched.plan_cache.evictions");
 
   static PlanCacheMetrics& get() {
     static PlanCacheMetrics metrics;
@@ -25,6 +26,7 @@ struct PlanCacheMetrics {
 PlanCache::~PlanCache() {
   if (stats_.hits > 0) PlanCacheMetrics::get().hits.add(stats_.hits);
   if (stats_.misses > 0) PlanCacheMetrics::get().misses.add(stats_.misses);
+  if (stats_.evictions > 0) PlanCacheMetrics::get().evictions.add(stats_.evictions);
 }
 
 std::size_t PlanCache::KeyHash::operator()(const Key& k) const {
@@ -54,7 +56,8 @@ const DriverResult& PlanCache::plan(const DriverOptions& options) {
   }
   ++stats_.misses;
   DriverResult result = plan_round(*analysis_, fb_set_size_, options, scratch_);
-  if (memo_.size() >= kMaxEntries) {
+  if (memo_.size() >= capacity_) {
+    ++stats_.evictions;
     overflow_ = std::move(result);
     return overflow_;
   }

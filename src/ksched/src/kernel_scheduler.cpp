@@ -6,6 +6,7 @@
 #include "msys/csched/context_plan.hpp"
 #include "msys/dsched/cost.hpp"
 #include "msys/extract/analysis.hpp"
+#include "msys/obs/trace.hpp"
 
 namespace msys::ksched {
 
@@ -33,6 +34,7 @@ std::unique_ptr<KernelSchedule> schedule_from_shape(const Application& app,
 
 std::optional<Cycles> estimate(const KernelSchedule& sched, const arch::M1Config& cfg,
                                const dsched::DataSchedulerBase& evaluator) {
+  MSYS_TRACE_SPAN(span, "ksched.estimate", "ksched");
   const extract::ScheduleAnalysis analysis(sched, cfg.cross_set_reads);
   const csched::ContextPlan ctx_plan =
       csched::ContextPlan::build(sched, cfg.cm_capacity_words);
@@ -54,6 +56,7 @@ std::optional<Cycles> estimate_cycles(const KernelSchedule& sched, const arch::M
 
 SearchResult find_best_schedule(const Application& app, const arch::M1Config& cfg,
                                 const Options& options) {
+  MSYS_TRACE_SPAN(span, "ksched.search", "ksched");
   const dsched::CompleteDataScheduler default_eval;
   const dsched::DataSchedulerBase& evaluator =
       options.evaluator ? *options.evaluator : default_eval;
@@ -134,6 +137,11 @@ SearchResult find_best_schedule(const Application& app, const arch::M1Config& cf
               if (a.feasible != b.feasible) return a.feasible;
               return a.cycles < b.cycles;
             });
+  if (span.active()) {
+    span.add_arg(obs::arg("evaluated", result.evaluated));
+    span.add_arg(obs::arg("feasible", result.feasible_count));
+    if (result.found()) span.add_arg(obs::arg("best_cycles", result.best_cycles.value()));
+  }
   return result;
 }
 

@@ -31,4 +31,29 @@ namespace msys::report {
 [[nodiscard]] TextTable fallback_table(
     const std::vector<std::pair<std::string, FallbackRunResult>>& runs);
 
+/// One row of the greedy-vs-annealed comparison.  A plain data carrier so
+/// the annealing search (src/search) feeds it without report depending on
+/// that module: the search produces rows, report renders them.
+struct AnnealRow {
+  std::string name;
+  std::uint64_t greedy_cycles{0};
+  std::uint64_t annealed_cycles{0};
+  std::uint32_t greedy_rf{0};
+  std::uint32_t annealed_rf{0};
+  std::uint32_t greedy_retained{0};
+  std::uint32_t annealed_retained{0};
+  std::uint32_t greedy_clusters{0};
+  std::uint32_t annealed_clusters{0};
+  bool improved{false};
+
+  [[nodiscard]] std::uint64_t cycles_saved() const {
+    return improved ? greedy_cycles - annealed_cycles : 0;
+  }
+};
+
+/// Greedy-vs-annealed delta table: per row, both cycle counts, the saving
+/// (absolute and percent), and the RF / retained-set / cluster-count moves
+/// the annealer made.
+[[nodiscard]] TextTable anneal_table(const std::vector<AnnealRow>& rows);
+
 }  // namespace msys::report

@@ -119,4 +119,26 @@ TextTable fallback_table(
   return table;
 }
 
+TextTable anneal_table(const std::vector<AnnealRow>& rows) {
+  TextTable table({"Experiment", "Greedy", "Annealed", "Saved", "Saved%", "RF",
+                   "Retained", "Clusters"});
+  auto transition = [](std::uint64_t from, std::uint64_t to) {
+    if (from == to) return std::to_string(from);
+    return std::to_string(from) + "->" + std::to_string(to);
+  };
+  for (const AnnealRow& row : rows) {
+    const std::uint64_t saved = row.cycles_saved();
+    const double pct = row.greedy_cycles > 0 ? 100.0 * static_cast<double>(saved) /
+                                                   static_cast<double>(row.greedy_cycles)
+                                             : 0.0;
+    table.add_row({row.name, std::to_string(row.greedy_cycles),
+                   std::to_string(row.annealed_cycles), std::to_string(saved),
+                   saved > 0 ? fixed(pct, 2) + "%" : "-",
+                   transition(row.greedy_rf, row.annealed_rf),
+                   transition(row.greedy_retained, row.annealed_retained),
+                   transition(row.greedy_clusters, row.annealed_clusters)});
+  }
+  return table;
+}
+
 }  // namespace msys::report

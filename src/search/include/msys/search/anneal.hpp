@@ -1,0 +1,159 @@
+// Parallel simulated-annealing schedule search above the greedy CDS.
+//
+// CDS (§4) is a one-pass greedy heuristic: retention and RF selection
+// never revisit an early decision, so its cycle counts are a local
+// optimum, not a floor.  The annealer mutates a cheap *plan skeleton* —
+//
+//   * the cluster partition, as a composition of the incumbent schedule's
+//     flattened kernel order (merge/split of adjacent clusters; any such
+//     composition is a valid schedule because the flattened order of a
+//     valid schedule is a topological order, and from_partition rebinds
+//     cluster i to FB set i % 2),
+//   * the context-reuse factor RF,
+//   * the retained-set membership (IdSet<DataId>),
+//
+// — and re-costs each mutation through the existing PlanCache +
+// predict_cost memo path: an (RF, retained) move on a known partition is
+// one hash lookup plus the analytic model, with no extraction and no
+// placement copy.  Partition moves re-derive extraction once per new
+// shape and cache the derived context per island.
+//
+// Determinism contract: the search result is a pure function of
+// (options, analysis, cfg) — byte-identical across 1/2/4 pool threads.
+// K islands each run a fixed move budget on their own Rng::split(island)
+// stream; temperature is a pure function of (step, budget) and every
+// acceptance draw comes from the island's own stream, so a trajectory
+// never observes another island or the thread schedule.  The winner is
+// the minimum (predicted cycles, island index) over island bests.
+//
+// Never-worse guarantee: an island best must (a) strictly beat the greedy
+// CDS baseline's predicted cycles and (b) survive the simulator
+// cross-check — validate_schedule clean, codegen succeeds, and the
+// simulator's measured cycle/word/request counts equal the prediction —
+// before it can win.  When no island clears both bars (or the search is
+// cancelled mid-flight), the greedy schedule is returned unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "msys/arch/m1.hpp"
+#include "msys/common/cancel.hpp"
+#include "msys/dsched/cost.hpp"
+#include "msys/dsched/schedule_types.hpp"
+#include "msys/dsched/schedulers.hpp"
+#include "msys/engine/thread_pool.hpp"
+#include "msys/extract/analysis.hpp"
+
+namespace msys::search {
+
+struct AnnealOptions {
+  std::uint64_t seed{1};
+  /// Independent annealing trajectories; each gets Rng::split(island).
+  std::uint32_t islands{4};
+  /// Moves per island — the budget.  Total work is islands * budget.
+  std::uint32_t budget{256};
+  /// Allow cluster merge/split moves (partition mutations re-run
+  /// extraction once per new shape; RF/retained moves never do).
+  bool explore_partitions{true};
+  /// Geometric cooling from t0 to t1 over the budget; temperatures are
+  /// relative to the greedy baseline cost (acceptance of an uphill move of
+  /// delta cycles has probability exp(-delta / (T * greedy_cycles))).
+  double t0{0.10};
+  double t1{0.002};
+  /// Plan memo entries per island context (the annealer revisits option
+  /// sets far more often than one greedy pass — see
+  /// dsched.plan_cache.evictions when tuning).
+  std::size_t plan_cache_capacity{16384};
+  /// Distinct partitions one island may derive contexts for; at the cap,
+  /// further partition moves are rejected (deterministically).
+  std::size_t max_partitions{64};
+  /// Options for the greedy CDS baseline the search starts from.
+  dsched::CompleteDataScheduler::Options cds{};
+};
+
+/// Per-island tallies, reported in island order (part of the deterministic
+/// output: identical across pool thread counts).
+struct IslandStats {
+  std::uint32_t island{0};
+  std::uint32_t moves{0};
+  std::uint32_t accepted{0};
+  std::uint32_t rejected_infeasible{0};
+  /// Accepted improvements that failed the simulator cross-check (must be
+  /// zero unless the cost model and simulator disagree — a bug, surfaced
+  /// as data so the search degrades instead of crashing).
+  std::uint32_t sim_rejects{0};
+  std::uint32_t sim_verifications{0};
+  /// Times the island best improved (each one simulator-verified).
+  std::uint32_t improvements{0};
+  /// Distinct partitions this island derived contexts for.
+  std::uint32_t partitions_explored{0};
+  /// Partition moves rejected because max_partitions was reached.
+  std::uint32_t partition_cap_rejects{0};
+  /// Island-local plan memo behaviour (PlanCache::Stats totals across the
+  /// island's partition contexts).
+  std::uint64_t plan_hits{0};
+  std::uint64_t plan_misses{0};
+  std::uint64_t plan_evictions{0};
+  /// Best predicted cycles this island reached (>= the winner's).
+  std::uint64_t best_cycles{0};
+};
+
+struct AnnealResult {
+  /// The winning schedule: the greedy CDS schedule when no island beat it,
+  /// else the simulator-verified island best.  `schedule.sched` points at
+  /// the caller's kernel schedule, or at `owned_sched` when the winner
+  /// repartitioned.
+  dsched::DataSchedule schedule;
+  /// Set iff the winner uses a different cluster partition than the input.
+  std::unique_ptr<model::KernelSchedule> owned_sched;
+  /// Predicted (== simulator-verified) cost of `schedule`.
+  dsched::CostBreakdown predicted;
+
+  /// The greedy CDS baseline the search started from (always on the
+  /// caller's kernel schedule).
+  dsched::DataSchedule greedy;
+  dsched::CostBreakdown greedy_predicted;
+
+  /// True when the winner strictly beats the greedy baseline.
+  bool improved{false};
+  /// True when the search was cut short by `cancel`; the greedy schedule
+  /// is returned so the output stays deterministic.
+  bool cancelled{false};
+  /// Island that produced the winner (0 when !improved).
+  std::uint32_t winner_island{0};
+  std::vector<IslandStats> islands;
+
+  [[nodiscard]] bool feasible() const { return schedule.feasible; }
+  [[nodiscard]] std::uint64_t greedy_cycles() const {
+    return greedy_predicted.total.value();
+  }
+  [[nodiscard]] std::uint64_t annealed_cycles() const { return predicted.total.value(); }
+  [[nodiscard]] std::uint64_t cycles_saved() const {
+    return improved ? greedy_cycles() - annealed_cycles() : 0;
+  }
+};
+
+/// Runs the annealing search above greedy CDS.  `pool` parallelises the
+/// islands when non-null (the result is byte-identical for any pool size,
+/// including none).  `cancel` is polled once per move; a firing returns
+/// the greedy baseline with `cancelled = true`.
+[[nodiscard]] AnnealResult anneal_schedule(const extract::ScheduleAnalysis& analysis,
+                                           const arch::M1Config& cfg,
+                                           const AnnealOptions& options = {},
+                                           engine::ThreadPool* pool = nullptr,
+                                           const CancelToken& cancel = {});
+
+}  // namespace msys::search
+
+namespace msys::dsched {
+
+/// The dsched-facing surface of the annealing search (defined in
+/// msys_search; dsched itself does not depend on the search module).
+[[nodiscard]] search::AnnealResult schedule_annealed(
+    const extract::ScheduleAnalysis& analysis, const arch::M1Config& cfg,
+    const search::AnnealOptions& options = {}, engine::ThreadPool* pool = nullptr,
+    const CancelToken& cancel = {});
+
+}  // namespace msys::dsched

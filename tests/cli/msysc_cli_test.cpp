@@ -96,6 +96,29 @@ TEST(MsyscCli, BatchOverTheExampleAppsSucceeds) {
   EXPECT_EQ(msysc("--batch " MSYS_APPS_DIR " -j 2"), 0);
 }
 
+TEST(MsyscCli, AnnealFlagsRejectBadOperands) {
+  EXPECT_EQ(msysc("--anneal-budget 0 " MSYS_DEMO_APP), 1);
+  EXPECT_EQ(msysc("--anneal-budget abc " MSYS_DEMO_APP), 1);
+  EXPECT_EQ(msysc("--anneal-budget"), 1);
+  EXPECT_EQ(msysc("--anneal-islands 0 " MSYS_DEMO_APP), 1);
+  EXPECT_EQ(msysc("--anneal-islands"), 1);
+}
+
+TEST(MsyscCli, AnnealReportsAndIsByteIdenticalAcrossThreadCounts) {
+  std::string j1;
+  ASSERT_EQ(msysc_capture("--anneal --anneal-budget 48 --anneal-islands 4 -j 1 "
+                          MSYS_DEMO_APP, &j1), 0);
+  EXPECT_NE(j1.find("anneal:"), std::string::npos);
+  EXPECT_NE(j1.find("islands x 48 moves"), std::string::npos);
+  for (const char* jflag : {"-j 2", "-j 4"}) {
+    std::string jn;
+    ASSERT_EQ(msysc_capture(std::string("--anneal --anneal-budget 48 "
+                                        "--anneal-islands 4 ") + jflag + " "
+                            MSYS_DEMO_APP, &jn), 0) << jflag;
+    EXPECT_EQ(jn, j1) << jflag;
+  }
+}
+
 TEST(MsyscCli, TraceOutputIsValidChromeTraceJson) {
   const fs::path trace = scratch("out.json");
   ASSERT_EQ(msysc("--trace " + trace.string() + " --stats " MSYS_DEMO_APP), 0);

@@ -102,5 +102,53 @@ TEST(PlanCache, HitIsByteEquivalentToFreshWalk) {
   }
 }
 
+TEST(PlanCache, CapacityBoundsMemoAndCountsEvictions) {
+  RetentionApp made = RetentionApp::make(/*iterations=*/8);
+  const extract::ScheduleAnalysis analysis(made.sched);
+  PlanCache plans(analysis, test_cfg(4096).fb_set_size, /*capacity=*/2);
+  EXPECT_EQ(plans.capacity(), 2u);
+
+  DriverOptions options;
+  options.rf = 1;
+  (void)plans.plan(options);
+  options.rf = 2;
+  (void)plans.plan(options);
+  EXPECT_EQ(plans.stats().evictions, 0u);
+
+  // Third distinct key: over capacity — computed but not memoized.
+  options.rf = 4;
+  const DriverResult& overflow = plans.plan(options);
+  ASSERT_TRUE(overflow.ok);
+  EXPECT_EQ(plans.stats().evictions, 1u);
+  EXPECT_EQ(plans.stats().misses, 3u);
+
+  // The overflow result is correct (same as a fresh walk) even though it
+  // was never stored...
+  const DriverResult fresh = plan_round(analysis, test_cfg(4096).fb_set_size, options);
+  EXPECT_EQ(overflow.round_plan.size(), fresh.round_plan.size());
+
+  // ...and re-requesting it misses again (counts another eviction), while
+  // the keys admitted under capacity still hit.
+  (void)plans.plan(options);
+  EXPECT_EQ(plans.stats().evictions, 2u);
+  options.rf = 1;
+  (void)plans.plan(options);
+  EXPECT_EQ(plans.stats().hits, 1u);
+}
+
+TEST(PlanCache, DefaultCapacityAdmitsTypicalScan) {
+  RetentionApp made = RetentionApp::make(/*iterations=*/6);
+  const extract::ScheduleAnalysis analysis(made.sched);
+  PlanCache plans(analysis, test_cfg(4096).fb_set_size);
+  EXPECT_EQ(plans.capacity(), PlanCache::kDefaultCapacity);
+
+  DriverOptions options;
+  for (std::uint32_t rf : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    options.rf = rf;
+    (void)plans.plan(options);
+  }
+  EXPECT_EQ(plans.stats().evictions, 0u);
+}
+
 }  // namespace
 }  // namespace msys::dsched

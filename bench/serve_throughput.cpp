@@ -1,12 +1,16 @@
 // Serving-layer bench: throughput (jobs/sec, wall clock) and virtual-time
-// tail latency (p50/p99 cycles) of ServeLoop for 1, 2 and 4 tenants on the
-// SAME deterministic arrival trace.
+// tail latency (p50/p99 cycles) of ServeLoop for 1, 2 and 4 tenants, in
+// two modes on deterministic arrival traces:
 //
-// The trace is generated in-process (generate_trace, fixed seed), so the
-// comparison across tenant counts is exact: identical arrivals, identical
-// workloads, only the partition changes.  Each tenant owns fewer RC rows,
-// so per-job service time stretches (row-share scaling) while queueing
-// per tenant shrinks — the 1-vs-N tradeoff EXPERIMENTS.md discusses.
+//   steady   — the original comparison: arrivals the machine can absorb,
+//              only the partition changes across rows;
+//   overload — arrivals outrun capacity ~10x with the shed watermark and
+//              the degraded-compile watermark armed.  The claim under
+//              test: the loop sheds low-priority work instead of
+//              collapsing, so p99 latency of the *highest-priority*
+//              completed jobs stays bounded while load grows.  Each
+//              overload row asserts shed > 0 and emits p99_hi_cycles for
+//              the regression gate to watch.
 //
 //   $ ./build/bench/serve_throughput                 # human-readable table
 //   $ ./build/bench/serve_throughput --json out.json # + machine record
@@ -16,6 +20,7 @@
 // lines are asserted byte-identical across repeats (the serving layer's
 // replay-determinism contract); the virtual-time fields in the JSON are
 // therefore exact, only `millis`/`jobs_per_sec` are wall-clock noisy.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -35,19 +40,25 @@ namespace {
 
 using namespace msys;
 
-/// One measured tenant count.
+/// One measured (mode, tenant count) pair.
 struct Row {
+  std::string mode{"steady"};
   unsigned tenants{1};
   double millis{0.0};  // best-of-repeats wall (compile + replay)
   double jobs_per_sec{0.0};
   // Virtual-time fields: deterministic, identical across repeats.
   std::size_t completed{0};
   std::size_t rejected{0};
+  std::size_t shed{0};
+  std::size_t degraded{0};
   std::size_t deadline_missed{0};
   std::size_t transitions{0};
   std::uint64_t transition_cycles{0};
   std::uint64_t p50_cycles{0};
   std::uint64_t p99_cycles{0};
+  /// p99 latency over completed jobs of the trace's highest priority
+  /// class only — the "sheds instead of collapsing" yardstick.
+  std::uint64_t p99_hi_cycles{0};
   std::uint64_t makespan_cycles{0};
 };
 
@@ -59,8 +70,23 @@ std::string outcome_fingerprint(const serve::ServeReport& report) {
   return out.str();
 }
 
-Row measure(const serve::TraceFile& trace, unsigned tenants, unsigned threads,
-            int repeats) {
+std::uint64_t p99_highest_priority(const serve::ServeReport& report) {
+  int top = 0;
+  for (const serve::JobOutcome& o : report.outcomes) top = std::max(top, o.priority);
+  std::vector<std::uint64_t> latencies;
+  for (const serve::JobOutcome& o : report.outcomes) {
+    if (o.priority == top && o.completed()) {
+      latencies.push_back(o.finish_cycles - o.arrive_cycles);
+    }
+  }
+  if (latencies.empty()) return 0;
+  std::sort(latencies.begin(), latencies.end());
+  return latencies[(latencies.size() - 1) * 99 / 100];
+}
+
+Row measure(const std::string& mode, const serve::TraceFile& trace,
+            unsigned tenants, unsigned threads, int repeats,
+            std::uint64_t shed_cycles, std::uint64_t degraded_cycles) {
   const arch::M1Config machine = arch::M1Config::m1_default();
   serve::TenantPartition::BuildResult built = serve::TenantPartition::build(
       machine, serve::TenantPartition::even_specs(machine, tenants));
@@ -68,11 +94,14 @@ Row measure(const serve::TraceFile& trace, unsigned tenants, unsigned threads,
                "even partition must validate: " + render(built.diagnostics));
 
   Row row;
+  row.mode = mode;
   row.tenants = tenants;
   std::string fingerprint;
   for (int rep = 0; rep < std::max(repeats, 2); ++rep) {
     serve::ServeOptions options;
     options.threads = threads;
+    options.shed_threshold_cycles = shed_cycles;
+    options.degraded_threshold_cycles = degraded_cycles;
     serve::ServeLoop loop(*built.partition, options);
     const auto start = std::chrono::steady_clock::now();
     const serve::ServeReport report = loop.run(trace);
@@ -85,18 +114,30 @@ Row measure(const serve::TraceFile& trace, unsigned tenants, unsigned threads,
       fingerprint = fp;
     } else {
       MSYS_REQUIRE(fp == fingerprint,
-                   "serve outcomes diverged across repeats (tenants=" +
-                       std::to_string(tenants) + ")");
+                   "serve outcomes diverged across repeats (mode=" + mode +
+                       " tenants=" + std::to_string(tenants) + ")");
     }
     if (rep == 0 || ms < row.millis) row.millis = ms;
     row.completed = report.stats.completed;
     row.rejected = report.stats.rejected;
+    row.shed = report.stats.shed;
+    row.degraded = report.stats.degraded_serves;
     row.deadline_missed = report.stats.deadline_missed;
     row.transitions = report.stats.transitions;
     row.transition_cycles = report.stats.transition_cycles;
     row.p50_cycles = report.stats.p50_latency_cycles;
     row.p99_cycles = report.stats.p99_latency_cycles;
+    row.p99_hi_cycles = p99_highest_priority(report);
     row.makespan_cycles = report.stats.makespan_cycles;
+  }
+  if (mode == "overload") {
+    // The mode exists to show shedding instead of collapse; a row that
+    // never sheds (or starves its top priority class) is a broken bench.
+    MSYS_REQUIRE(row.shed > 0, "overload row shed nothing (tenants=" +
+                                   std::to_string(tenants) + ")");
+    MSYS_REQUIRE(row.p99_hi_cycles > 0,
+                 "overload row completed no highest-priority jobs (tenants=" +
+                     std::to_string(tenants) + ")");
   }
   row.jobs_per_sec = row.millis > 0.0
                          ? static_cast<double>(trace.events.size()) /
@@ -126,14 +167,17 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
   out << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    out << "    {\"tenants\": " << r.tenants << ", \"millis\": " << fmt(r.millis, 3)
+    out << "    {\"mode\": \"" << r.mode << "\", \"tenants\": " << r.tenants
+        << ", \"millis\": " << fmt(r.millis, 3)
         << ", \"jobs_per_sec\": " << fmt(r.jobs_per_sec, 1)
         << ", \"completed\": " << r.completed << ", \"rejected\": " << r.rejected
+        << ", \"shed\": " << r.shed << ", \"degraded\": " << r.degraded
         << ", \"deadline_missed\": " << r.deadline_missed
         << ", \"transitions\": " << r.transitions
         << ", \"transition_cycles\": " << r.transition_cycles
         << ", \"p50_cycles\": " << r.p50_cycles
         << ", \"p99_cycles\": " << r.p99_cycles
+        << ", \"p99_hi_cycles\": " << r.p99_hi_cycles
         << ", \"makespan_cycles\": " << r.makespan_cycles << "}"
         << (i + 1 < rows.size() ? "," : "") << '\n';
   }
@@ -171,23 +215,39 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Overload mode: same job mix, arrivals ~10x hotter, generous deadlines
+  // (admission passes; the shed watermark does the dropping) and the
+  // degraded-compile watermark above the deadline band so deadline-tight
+  // events take the cheaper fallback entry.
+  serve::TraceGenSpec hot = spec;
+  hot.mean_gap_cycles = 15000;
+  hot.deadline_cycles = 2000000;
+  hot.priorities = 3;
+  const std::uint64_t shed_cycles = 600000;
+  const std::uint64_t degraded_cycles = 2200000;
+
   const serve::TraceFile trace = serve::generate_trace(spec);
+  const serve::TraceFile hot_trace = serve::generate_trace(hot);
   const unsigned threads = std::max(2u, engine::ThreadPool::hardware_threads());
 
   std::vector<Row> rows;
   for (unsigned tenants : {1u, 2u, 4u}) {
-    rows.push_back(measure(trace, tenants, threads, repeats));
+    rows.push_back(measure("steady", trace, tenants, threads, repeats, 0, 0));
+  }
+  for (unsigned tenants : {1u, 2u, 4u}) {
+    rows.push_back(measure("overload", hot_trace, tenants, threads, repeats,
+                           shed_cycles, degraded_cycles));
   }
 
-  TextTable table({"Tenants", "ms", "jobs/s", "Done", "Rej", "Missed", "p50",
-                   "p99", "Trans", "TransCyc"});
+  TextTable table({"Mode", "Tenants", "ms", "jobs/s", "Done", "Rej", "Shed",
+                   "Degr", "Missed", "p50", "p99", "p99hi"});
   for (const Row& r : rows) {
-    table.add_row({std::to_string(r.tenants), fmt(r.millis, 1),
+    table.add_row({r.mode, std::to_string(r.tenants), fmt(r.millis, 1),
                    fmt(r.jobs_per_sec, 1), std::to_string(r.completed),
-                   std::to_string(r.rejected), std::to_string(r.deadline_missed),
+                   std::to_string(r.rejected), std::to_string(r.shed),
+                   std::to_string(r.degraded), std::to_string(r.deadline_missed),
                    std::to_string(r.p50_cycles), std::to_string(r.p99_cycles),
-                   std::to_string(r.transitions),
-                   std::to_string(r.transition_cycles)});
+                   std::to_string(r.p99_hi_cycles)});
   }
   std::cout << "serve_throughput: " << spec.jobs << " jobs, " << spec.streams
             << " streams, seed " << spec.seed << ", best of "

@@ -50,6 +50,8 @@
 // stalls.  A malformed spec is a usage error, never a silent no-op.
 //
 // The text format is documented in msys/appdsl/parser.hpp.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
@@ -77,6 +79,7 @@
 #include "msys/report/tables.hpp"
 #include "msys/report/timeline.hpp"
 #include "msys/search/anneal.hpp"
+#include "msys/serve/chaos.hpp"
 #include "msys/serve/partition.hpp"
 #include "msys/serve/serve_loop.hpp"
 #include "msys/serve/trace_file.hpp"
@@ -327,7 +330,8 @@ int run_gen_trace(const std::string& out_path, const msys::serve::TraceGenSpec& 
 /// unreadable/malformed trace (parse) or an impossible partition (usage)
 /// fails the process.
 int run_serve(const std::string& trace_path, unsigned tenants, unsigned n_threads,
-              const BatchFtOptions& ft, const std::string& serve_out) {
+              const BatchFtOptions& ft, const std::string& serve_out,
+              std::uint64_t shed_cycles, std::uint64_t degraded_cycles) {
   using namespace msys;
   std::ifstream in(trace_path, std::ios::binary);
   if (!in) {
@@ -354,6 +358,8 @@ int run_serve(const std::string& trace_path, unsigned tenants, unsigned n_thread
 
   serve::ServeOptions options;
   options.threads = n_threads;
+  options.shed_threshold_cycles = shed_cycles;
+  options.degraded_threshold_cycles = degraded_cycles;
   if (ft.deadline_ms > 0) {
     options.compile_deadline = std::chrono::milliseconds(ft.deadline_ms);
   }
@@ -377,12 +383,13 @@ int run_serve(const std::string& trace_path, unsigned tenants, unsigned n_thread
 
     std::cout << "serve: " << report.stats.compile.summary() << '\n';
     std::cout << "serve: " << report.stats.summary() << "\n\n";
-    TextTable table({"Tenant", "Jobs", "Done", "Rejected", "Missed", "Infeasible",
-                     "p50", "p99"});
+    TextTable table({"Tenant", "Jobs", "Done", "Rejected", "Shed", "Missed",
+                     "Infeasible", "p50", "p99"});
     for (const serve::TenantStats& t : report.stats.tenants) {
       table.add_row({t.name, std::to_string(t.jobs), std::to_string(t.completed),
-                     std::to_string(t.rejected), std::to_string(t.deadline_missed),
-                     std::to_string(t.infeasible), std::to_string(t.p50_latency_cycles),
+                     std::to_string(t.rejected), std::to_string(t.shed),
+                     std::to_string(t.deadline_missed), std::to_string(t.infeasible),
+                     std::to_string(t.p50_latency_cycles),
                      std::to_string(t.p99_latency_cycles)});
     }
     table.print(std::cout);
@@ -402,6 +409,46 @@ int run_serve(const std::string& trace_path, unsigned tenants, unsigned n_thread
     return kExitInternal;
   }
   return kExitOk;
+}
+
+/// --serve-chaos: replay N deterministically generated (trace, fault mix)
+/// cases across 1/2/4 compile threads (see msys/serve/chaos.hpp for the
+/// invariants).  A clean campaign exits 0; any invariant violation prints
+/// its shrunk repro trace and exits 4 — a chaos failure is a broken serve
+/// contract, i.e. an internal error, never bad input.
+int run_serve_chaos(std::size_t cases, std::uint64_t seed, std::string scratch_dir) {
+  using namespace msys;
+  serve::ChaosOptions options;
+  options.base_seed = seed;
+  options.cases = cases;
+  bool scratch_is_ours = false;
+  if (scratch_dir.empty()) {
+    std::error_code ec;
+    const std::filesystem::path tmp = std::filesystem::temp_directory_path(ec);
+    if (!ec) {
+      scratch_dir =
+          (tmp / ("msysc-chaos-" + std::to_string(static_cast<long>(::getpid()))))
+              .string();
+      scratch_is_ours = true;
+    }
+  }
+  options.scratch_dir = scratch_dir;
+
+  const serve::ChaosStats stats = serve::run_chaos_campaign(options);
+  std::cout << "serve-chaos: seed " << seed << ": " << stats.summary() << '\n';
+  for (const serve::ChaosFailure& f : stats.failures) {
+    std::cerr << "serve-chaos FAILURE: " << f.c.label() << ": " << f.kind << " — "
+              << f.detail << '\n'
+              << "  fault spec: "
+              << (f.c.fault_spec.empty() ? "(disarmed)" : f.c.fault_spec) << '\n'
+              << "  shrunk repro trace:\n"
+              << f.shrunk_trace;
+  }
+  if (scratch_is_ours) {
+    std::error_code ec;
+    std::filesystem::remove_all(scratch_dir, ec);
+  }
+  return stats.clean() ? kExitOk : kExitInternal;
 }
 
 /// --verify-store: full fsck sweep over a store directory.  Quarantining a
@@ -688,6 +735,10 @@ int main(int argc, char** argv) {
   std::string serve_trace;
   std::string serve_out;
   std::string gen_trace_out;
+  std::string chaos_dir;
+  std::size_t chaos_cases = 0;
+  std::uint64_t shed_cycles = 0;
+  std::uint64_t degraded_cycles = 0;
   unsigned tenants = 1;
   serve::TraceGenSpec gen_spec;
   AnnealCliOptions anneal;
@@ -794,6 +845,32 @@ int main(int argc, char** argv) {
         return kExitUsage;
       }
       serve_out = argv[++i];
+    } else if (arg == "--serve-chaos") {
+      unsigned v = 0;
+      if (i + 1 >= argc || !parse_thread_count(argv[i + 1], &v)) {
+        std::cerr << "msysc: --serve-chaos needs a positive case count\n";
+        return kExitUsage;
+      }
+      chaos_cases = v;
+      ++i;
+    } else if (arg == "--chaos-dir") {
+      if (i + 1 >= argc) {
+        std::cerr << "msysc: --chaos-dir needs a directory\n";
+        return kExitUsage;
+      }
+      chaos_dir = argv[++i];
+    } else if (arg == "--shed-cycles") {
+      if (i + 1 >= argc || !parse_u64(argv[i + 1], &shed_cycles)) {
+        std::cerr << "msysc: --shed-cycles needs a non-negative integer (cycles)\n";
+        return kExitUsage;
+      }
+      ++i;
+    } else if (arg == "--degraded-cycles") {
+      if (i + 1 >= argc || !parse_u64(argv[i + 1], &degraded_cycles)) {
+        std::cerr << "msysc: --degraded-cycles needs a non-negative integer (cycles)\n";
+        return kExitUsage;
+      }
+      ++i;
     } else if (arg == "--tenants") {
       if (i + 1 >= argc || !parse_thread_count(argv[i + 1], &tenants)) {
         std::cerr << "msysc: --tenants needs a positive integer\n";
@@ -870,7 +947,7 @@ int main(int argc, char** argv) {
   if (!gen_trace_out.empty()) {
     return run_gen_trace(gen_trace_out, gen_spec);
   }
-  if (batch_dir.empty() && path.empty() && serve_trace.empty()) {
+  if (batch_dir.empty() && path.empty() && serve_trace.empty() && chaos_cases == 0) {
     std::cerr << "usage: msysc [--emit|--timeline|--cross-set|--search|--control|"
                  "--validate] [--trace out.json] [--stats]\n"
                  "             [--anneal [--anneal-budget N] [--anneal-islands N] "
@@ -882,6 +959,8 @@ int main(int argc, char** argv) {
                  "       msysc --verify-store <dir> [--dist <exchange>]\n"
                  "       msysc --serve <file.trace> [--tenants N] [-j N]\n"
                  "             [--deadline-ms N] [--store dir] [--serve-out file]\n"
+                 "             [--shed-cycles N] [--degraded-cycles N]\n"
+                 "       msysc --serve-chaos <cases> [--seed N] [--chaos-dir dir]\n"
                  "       msysc --gen-trace <out.trace> [--seed N] [--trace-jobs N]\n"
                  "             [--streams N] [--mean-gap cycles] "
                  "[--deadline-cycles N]\n";
@@ -899,8 +978,16 @@ int main(int argc, char** argv) {
   }
 
   int code;
-  if (!serve_trace.empty()) {
-    code = run_serve(serve_trace, tenants, n_threads, ft, serve_out);
+  if (chaos_cases > 0) {
+    try {
+      code = run_serve_chaos(chaos_cases, gen_spec.seed, chaos_dir);
+    } catch (const std::exception& e) {
+      std::cerr << "msysc: internal error: " << e.what() << '\n';
+      code = kExitInternal;
+    }
+  } else if (!serve_trace.empty()) {
+    code = run_serve(serve_trace, tenants, n_threads, ft, serve_out, shed_cycles,
+                     degraded_cycles);
   } else if (!batch_dir.empty()) {
     try {
       code = run_batch(batch_dir, n_threads, ft, argv[0]);

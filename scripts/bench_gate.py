@@ -12,12 +12,18 @@ picked by the record's "bench" name:
     * avg_miss_ms          — regression = current above baseline
     * queue_depth_peak     — regression = current above baseline
 
-  serve_throughput (rows keyed by tenants):
+  serve_throughput (rows keyed by mode, tenants; records predating the
+  overload mode default their rows to mode="steady"):
     * jobs_per_sec         — regression = current below baseline
     * p50_cycles           — regression = current above baseline
     * p99_cycles           — regression = current above baseline
+    * p99_hi_cycles        — regression = current above baseline
+                             (highest-priority tail: the overload rows'
+                             "shed instead of collapse" yardstick)
     * deadline_missed      — regression = current above baseline
     * rejected             — regression = current above baseline
+    * shed                 — regression = current above baseline
+    * degraded             — regression = current above baseline
 
   anneal_quality (rows keyed by app, budget):
     * cycles_saved         — regression = current below baseline
@@ -86,13 +92,19 @@ SCHEMAS = {
         "latency_fields": {"avg_hit_ms", "avg_miss_ms"},
     },
     "serve_throughput": {
-        "key": ("tenants",),
+        "key": ("mode", "tenants"),
+        # Rows written before the overload mode carry no "mode" field —
+        # they were all steady-state measurements.
+        "key_defaults": {"mode": "steady"},
         "watched": {
             "jobs_per_sec": "higher",
             "p50_cycles": "lower",
             "p99_cycles": "lower",
+            "p99_hi_cycles": "lower",
             "deadline_missed": "lower",
             "rejected": "lower",
+            "shed": "lower",
+            "degraded": "lower",
         },
         "latency_fields": set(),
     },
@@ -121,13 +133,13 @@ def load_doc(path):
     return doc
 
 
-def index_rows(path, doc, key_fields):
+def index_rows(path, doc, key_fields, key_defaults):
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         sys.exit(f"bench_gate: {path} has no rows")
     indexed = {}
     for row in rows:
-        key = tuple(row.get(f) for f in key_fields)
+        key = tuple(row.get(f, key_defaults.get(f)) for f in key_fields)
         if None in key:
             sys.exit(f"bench_gate: {path} row missing {'/'.join(key_fields)}: {row}")
         indexed[key] = row
@@ -171,8 +183,9 @@ def main():
     latency_fields = schema["latency_fields"]
     deterministic = schema.get("deterministic", False)
 
-    base = index_rows(args.baseline, base_doc, key_fields)
-    cur = index_rows(args.current, cur_doc, key_fields)
+    key_defaults = schema.get("key_defaults", {})
+    base = index_rows(args.baseline, base_doc, key_fields, key_defaults)
+    cur = index_rows(args.current, cur_doc, key_fields, key_defaults)
 
     # Absolute fields (jobs/sec, latencies, queue depth) are meaningless
     # across different machines.  The records carry hardware_threads for

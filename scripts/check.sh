@@ -142,6 +142,28 @@ for preset in "${presets[@]}"; do
   [ "$rc" = "2" ]
   rm -rf "$ssmoke"
 
+  # Overload & chaos smoke: with the shed watermark and degraded-compile
+  # watermark armed and compile stalls injected, per-job outcomes must
+  # stay byte-identical across 1/2/4 compile threads and actually shed;
+  # then a short seeded chaos campaign (one pass over every fault class)
+  # must report zero failures.  Runs under every preset so the shedding
+  # and degraded-entry paths get a ThreadSanitizer pass too.
+  echo "==> [$preset] overload & chaos smoke (shedding, faults, campaign)"
+  csmoke=$(mktemp -d)
+  "$msysc" --gen-trace "$csmoke/hot.trace" --trace-jobs 24 --streams 4 \
+    --seed 13 --mean-gap 15000 --deadline-cycles 2000000 >/dev/null
+  for j in 1 2 4; do
+    MSYS_FAULTS="seed=11;serve.compile.stall=1/3:1" \
+      "$msysc" --serve "$csmoke/hot.trace" --tenants 2 -j "$j" \
+      --shed-cycles 600000 --degraded-cycles 2200000 \
+      --serve-out "$csmoke/out_j$j.tsv" >/dev/null
+  done
+  cmp "$csmoke/out_j1.tsv" "$csmoke/out_j2.tsv"
+  cmp "$csmoke/out_j1.tsv" "$csmoke/out_j4.tsv"
+  grep -q "shed-overload" "$csmoke/out_j1.tsv"
+  "$msysc" --serve-chaos 8 --seed 11 --chaos-dir "$csmoke/chaos" >/dev/null
+  rm -rf "$csmoke"
+
   if [ "$preset" = "default" ] && [ "${MSYS_SKIP_BENCH_GATE:-0}" != "1" ]; then
     echo "==> [$preset] bench gate (engine throughput vs BENCH_engine.json)"
     # Timings on a loaded box are noisy; a regression must reproduce on

@@ -40,6 +40,18 @@
 //   dist.publish.torn     — a published result record is durably written
 //                           truncated (the driver must detect the torn
 //                           frame and re-issue the job)
+//   serve.compile.stall   — the serve loop's prepare pass sleeps PARAM
+//                           milliseconds before handing an event to the
+//                           compile phase (wall-clock delay only: virtual
+//                           outcomes must be byte-identical with/without)
+//   serve.store.read      — a serve-level degraded store read for one
+//                           event: accounting-only (bumps the run's
+//                           store-fault tally so summaries surface it
+//                           without a real store); results are unchanged
+//   serve.admission.clock_skew — the admission estimate for one arrival is
+//                           skewed +PARAM virtual cycles (a pessimistic
+//                           clock): deterministically changes admission
+//                           decisions, never conservation
 #pragma once
 
 #include <atomic>

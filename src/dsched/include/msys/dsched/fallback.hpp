@@ -59,10 +59,28 @@ struct ScheduleOutcome {
   [[nodiscard]] std::string chain_summary() const;
 };
 
+/// Where the degradation ladder starts.  kCDS is the full chain; kDS and
+/// kBasic skip the more ambitious rungs entirely — the serve layer's
+/// degraded mode, where a job whose deadline budget is nearly spent buys
+/// a cheap schedule *now* instead of a better one too late.  Skipped
+/// rungs are still recorded in the attempt list (reason "degraded entry")
+/// so chain summaries stay honest about what was never tried.
+enum class FallbackEntry : std::uint8_t {
+  kCDS,
+  kDS,
+  kBasic,
+};
+
+[[nodiscard]] std::string to_string(FallbackEntry entry);
+
 struct FallbackOptions {
   CompleteDataScheduler::Options cds{};
   /// Disable the final best-fit/split rung (ablation convenience).
   bool enable_split_rung{true};
+  /// First rung the chain is allowed to attempt (degraded-mode compiles
+  /// enter lower).  Part of the engine cache key: a degraded compile is a
+  /// different compilation than a full-chain one.
+  FallbackEntry entry{FallbackEntry::kCDS};
 };
 
 /// Runs the CDS -> DS -> Basic -> DS+split ladder, stopping at the first

@@ -41,6 +41,15 @@ DataSchedule split_rung_schedule(const extract::ScheduleAnalysis& analysis,
 
 }  // namespace
 
+std::string to_string(FallbackEntry entry) {
+  switch (entry) {
+    case FallbackEntry::kCDS: return "CDS";
+    case FallbackEntry::kDS: return "DS";
+    case FallbackEntry::kBasic: return "Basic";
+  }
+  return "?";
+}
+
 std::string ScheduleOutcome::chosen_rung() const {
   for (const FallbackAttempt& a : attempts) {
     if (a.succeeded) return a.rung;
@@ -74,7 +83,9 @@ ScheduleOutcome schedule_with_fallback(const extract::ScheduleAnalysis& analysis
   static obs::Counter& demotions = obs::counter("dsched.fallback.demotions");
   static obs::Counter& exhausted = obs::counter("dsched.fallback.exhausted");
   static obs::Counter& cancelled_chains = obs::counter("dsched.fallback.cancelled");
+  static obs::Counter& degraded_entries = obs::counter("dsched.fallback.degraded_entries");
   chains.add();
+  if (options.entry != FallbackEntry::kCDS) degraded_entries.add();
   ScheduleOutcome outcome;
 
   // Rung factories, tried in order of decreasing ambition.
@@ -95,9 +106,23 @@ ScheduleOutcome schedule_with_fallback(const extract::ScheduleAnalysis& analysis
     rungs.push_back({"DS+split", [&] { return split_rung_schedule(analysis, cfg); }});
   }
 
-  for (const Rung& rung : rungs) {
+  // Degraded entry: rungs above the entry point are never attempted, but
+  // still appear in the record so chain_summary() shows what was skipped.
+  const std::size_t first_rung =
+      options.entry == FallbackEntry::kBasic ? 2
+      : options.entry == FallbackEntry::kDS  ? 1
+                                             : 0;
+
+  for (std::size_t ri = 0; ri < rungs.size(); ++ri) {
+    const Rung& rung = rungs[ri];
     FallbackAttempt attempt;
     attempt.rung = rung.name;
+    if (ri < first_rung) {
+      attempt.attempted = false;
+      attempt.reason = "degraded entry";
+      outcome.attempts.push_back(std::move(attempt));
+      continue;
+    }
     if (outcome.feasible()) {
       attempt.attempted = false;
       attempt.reason = "not reached";

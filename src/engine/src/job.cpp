@@ -59,13 +59,17 @@ CompileInput make_input(model::Application app,
 
 std::uint64_t cache_key(const Job& job) {
   Hasher h;
-  hash_append(h, "msys.engine.Job/v1");
+  hash_append(h, "msys.engine.Job/v2");
   model::hash_append(h, *job.input.sched);
   arch::hash_append(h, job.input.cfg);
   hash_append(h, job.kind);
   hash_append(h, job.options.cds.ranking);
   hash_append(h, job.options.cds.joint_rf_retention);
   hash_append(h, job.options.enable_split_rung);
+  // The fallback entry rung changes which scheduler runs: a degraded-mode
+  // compile must never collide with (or poison) the full chain's cache
+  // and store entries for the same schedule.
+  hash_append(h, job.options.entry);
   return h.finalize();
 }
 

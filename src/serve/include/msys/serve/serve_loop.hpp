@@ -22,6 +22,15 @@
 //   documented simplification, same spirit as the paper's single-app
 //   scope).
 //
+// Overload and degradation (both off by default) are virtual-time policy,
+// not wall-clock heuristics: the shed watermark drops the lowest-priority
+// never-started work when a tenant's backlog lower bound exceeds
+// shed_threshold_cycles, and the degraded-compile watermark routes
+// deadline-starved jobs through a cheaper fallback entry (DS/Basic).
+// Every arrival ends as exactly one of completed / rejected /
+// shed-overload / infeasible / compile-timeout — ServeLoop::run asserts
+// this conservation invariant per tenant and in total.
+//
 // Outcomes are emitted in trace order with a canonical TSV line per job,
 // so replaying one trace twice — or with different thread counts — yields
 // byte-identical records (serve_loop_test pins this).
@@ -51,11 +60,29 @@ struct ServeOptions {
   std::shared_ptr<store::DiskScheduleStore> store;
   /// Batch-wide cancellation for the compile phase.
   CancelToken cancel;
+  /// Overload watermark (virtual cycles of per-tenant backlog; 0 = off).
+  /// When an arrival pushes a tenant's backlog lower bound — running
+  /// remainder + queued work + the newcomer's reload and service — past
+  /// this threshold, the lowest-priority never-started work is shed with
+  /// outcome "shed-overload" until the backlog fits (or the newcomer
+  /// itself is the cheapest to drop).  Shedding is admission-time policy:
+  /// it never touches the running job and never counts as a missed
+  /// deadline.
+  std::uint64_t shed_threshold_cycles{0};
+  /// Degraded-compile watermark (virtual cycles of relative deadline;
+  /// 0 = off).  An arrival whose deadline budget is below this compiles
+  /// through a cheaper fallback entry (DS; below half the threshold,
+  /// Basic) instead of the full CDS chain — a worse schedule now beats a
+  /// perfect one after the deadline.  Deterministic in virtual time: the
+  /// decision reads only the trace event, so outcomes stay byte-identical
+  /// across compile thread counts.
+  std::uint64_t degraded_threshold_cycles{0};
 };
 
 /// One job's serving outcome.  Cycles fields are virtual (tenant
 /// timeline); status is one of "done", "late" (completed past deadline),
-/// "rejected" (admission), "compile-timeout", "infeasible".
+/// "rejected" (admission), "shed-overload" (dropped by the overload
+/// watermark), "compile-timeout", "infeasible".
 struct JobOutcome {
   std::uint64_t index{0};  // position in the trace
   std::string tenant;
@@ -70,12 +97,16 @@ struct JobOutcome {
   std::uint64_t transition_cycles{0};
   std::uint32_t preemptions{0};
   bool deadline_met{true};
+  /// Compiled through a degraded fallback entry (DS/Basic) because the
+  /// deadline budget sat below ServeOptions::degraded_threshold_cycles.
+  bool degraded{false};
 
   [[nodiscard]] bool completed() const { return status == "done" || status == "late"; }
 };
 
-/// One TSV line, stable across runs and thread counts (the serving
-/// layer's replay-determinism contract).
+/// One TSV line (14 fields; the last is the degraded-compile flag),
+/// stable across runs and thread counts (the serving layer's
+/// replay-determinism contract).
 [[nodiscard]] std::string canonical_outcome_line(const JobOutcome& o);
 
 struct TenantStats {
@@ -83,10 +114,15 @@ struct TenantStats {
   std::size_t jobs{0};
   std::size_t completed{0};
   std::size_t rejected{0};
+  /// Jobs dropped by the overload watermark ("shed-overload"), mirrored
+  /// to "serve.tenant.<name>.shed".  Disjoint from rejected and never in
+  /// deadline_missed: shedding is a capacity decision, not an SLO miss.
+  std::size_t shed{0};
   /// Late completions + compile timeouts (every way a job missed its
   /// deadline), mirrored to "serve.tenant.<name>.deadline_missed".
   std::size_t deadline_missed{0};
   std::size_t infeasible{0};
+  std::size_t compile_timeouts{0};
   std::uint64_t makespan_cycles{0};
   std::uint64_t p50_latency_cycles{0};
   std::uint64_t p99_latency_cycles{0};
@@ -96,9 +132,18 @@ struct ServeStats {
   std::size_t jobs{0};
   std::size_t completed{0};
   std::size_t rejected{0};
+  std::size_t shed{0};
   std::size_t deadline_missed{0};
   std::size_t infeasible{0};
   std::size_t compile_timeouts{0};
+  /// Jobs served off a degraded fallback entry (DS/Basic) because their
+  /// deadline budget sat under the degraded-compile watermark.
+  std::size_t degraded_serves{0};
+  /// Store degradation observed by this run: compile-phase
+  /// BatchStats::store_faults plus serve-level injected read faults
+  /// ("serve.store.read") — surfaced in summary() so a degraded store
+  /// never fails silently.
+  std::size_t store_faults{0};
   std::size_t preemptions{0};
   std::size_t transitions{0};
   std::uint64_t transition_cycles{0};

@@ -5,9 +5,11 @@
 #include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "msys/common/error.hpp"
+#include "msys/common/fault_injector.hpp"
 #include "msys/csched/context_plan.hpp"
 #include "msys/engine/schedule_cache.hpp"
 #include "msys/engine/thread_pool.hpp"
@@ -103,19 +105,34 @@ struct Running {
 class TenantTimeline {
  public:
   TenantTimeline(const TransitionModel& model, std::vector<JobOutcome>* outcomes,
-                 TenantStats* stats, ServeStats* totals)
-      : model_(&model), outcomes_(outcomes), stats_(stats), totals_(totals) {}
+                 TenantStats* stats, ServeStats* totals,
+                 std::uint64_t shed_threshold)
+      : model_(&model),
+        outcomes_(outcomes),
+        stats_(stats),
+        totals_(totals),
+        shed_threshold_(shed_threshold) {}
 
   void arrive(PendingJob j) {
     advance(j.arrive);
     now_ = std::max(now_, j.arrive);
+
+    // Fault site: a skewed admission clock.  One consult per arrival (the
+    // replay is serial and trace-ordered, so occurrence numbering — and
+    // with it every decision — is identical at any compile thread count).
+    // The skew only makes admission *more* pessimistic; it can move jobs
+    // between admitted/rejected/shed, never break conservation.
+    std::uint64_t skew = 0;
+    if (auto& faults = FaultInjector::global(); faults.armed()) {
+      skew = faults.fire_param("serve.admission.clock_skew");
+    }
 
     // Admission: reject when the backlog of same-or-higher-priority work
     // already pushes the estimated finish past the deadline.  The
     // estimate ignores future higher-priority arrivals (it is a lower
     // bound, so an admitted job can still finish "late").
     if (j.deadline != 0) {
-      std::uint64_t est = now_;
+      std::uint64_t est = now_ + skew;
       if (running_) {
         est += running_->job.priority >= j.priority
                    ? running_->finish - now_
@@ -138,6 +155,41 @@ class TenantTimeline {
       }
     }
 
+    // Overload watermark: shed the cheapest-to-lose work when admitting
+    // this arrival would push the backlog lower bound — running remainder
+    // + queued work + the newcomer's reload and service — past the
+    // threshold.  Victims are the lowest-priority *never-started* jobs
+    // (ties drop the youngest); started work keeps its sunk transition
+    // cost, and the running job is never touched.  When the newcomer
+    // itself is the lowest-priority candidate, it is the one shed.
+    if (shed_threshold_ != 0) {
+      std::uint64_t backlog = pending_spill_ + skew;
+      if (running_) backlog += running_->finish - now_;
+      for (const PendingJob& q : queue_) backlog += q.remaining;
+      backlog += model_->reload_cycles(j.fp).value() + j.remaining;
+      while (backlog > shed_threshold_) {
+        std::size_t victim = queue_.size();  // sentinel: the newcomer
+        int vprio = j.priority;
+        std::uint64_t vidx = j.idx;
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+          const PendingJob& q = queue_[i];
+          if (q.started) continue;
+          if (q.priority < vprio || (q.priority == vprio && q.idx > vidx)) {
+            victim = i;
+            vprio = q.priority;
+            vidx = q.idx;
+          }
+        }
+        if (victim == queue_.size()) {
+          shed(std::move(j));
+          return;
+        }
+        backlog -= queue_[victim].remaining;
+        shed(std::move(queue_[victim]));
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+    }
+
     if (running_ && j.priority > running_->job.priority) preempt();
     queue_.push_back(std::move(j));
   }
@@ -152,6 +204,20 @@ class TenantTimeline {
   [[nodiscard]] const std::vector<std::uint64_t>& latencies() const { return latencies_; }
 
  private:
+  /// Records a shed outcome.  Deliberately does NOT touch deadline_missed:
+  /// shedding is a capacity decision made before the job ran, not an SLO
+  /// miss (ServeLoop::run asserts the two never double-count).
+  void shed(PendingJob j) {
+    JobOutcome& o = (*outcomes_)[j.idx];
+    o.status = "shed-overload";
+    o.service_cycles = j.service;
+    o.transition_cycles = j.transition;
+    o.preemptions = j.preemptions;
+    o.deadline_met = false;
+    ++stats_->shed;
+    ++totals_->shed;
+  }
+
   void preempt() {
     PendingJob j = std::move(running_->job);
     const std::uint64_t progress =
@@ -249,6 +315,7 @@ class TenantTimeline {
   std::vector<JobOutcome>* outcomes_;
   TenantStats* stats_;
   ServeStats* totals_;
+  std::uint64_t shed_threshold_{0};
 
   std::uint64_t now_{0};
   std::optional<std::uint64_t> resident_;
@@ -274,16 +341,19 @@ std::string canonical_outcome_line(const JobOutcome& o) {
   os << o.index << "\t" << o.tenant << "\t" << o.workload << "\t" << o.status << "\t"
      << o.rung << "\t" << o.priority << "\t" << o.arrive_cycles << "\t" << o.start_cycles
      << "\t" << o.finish_cycles << "\t" << o.service_cycles << "\t" << o.transition_cycles
-     << "\t" << o.preemptions << "\t" << (o.deadline_met ? 1 : 0);
+     << "\t" << o.preemptions << "\t" << (o.deadline_met ? 1 : 0) << "\t"
+     << (o.degraded ? 1 : 0);
   return os.str();
 }
 
 std::string ServeStats::summary() const {
   std::ostringstream os;
   os << "served " << jobs << " jobs across " << tenants.size() << " tenants: " << completed
-     << " completed, " << rejected << " rejected, " << deadline_missed
-     << " missed deadline, " << infeasible << " infeasible, " << compile_timeouts
-     << " compile timeouts; p50 " << p50_latency_cycles << " / p99 " << p99_latency_cycles
+     << " completed, " << rejected << " rejected, " << shed << " shed, "
+     << deadline_missed << " missed deadline, " << infeasible << " infeasible, "
+     << compile_timeouts << " compile timeouts, " << degraded_serves
+     << " degraded serves, " << store_faults << " store faults; p50 "
+     << p50_latency_cycles << " / p99 " << p99_latency_cycles
      << " cycles, " << transitions << " mode transitions (" << transition_cycles
      << " cycles), makespan " << makespan_cycles << " cycles";
   return os.str();
@@ -311,6 +381,11 @@ ServeReport ServeLoop::run(const TraceFile& trace) {
   std::vector<engine::Job> jobs;
   jobs.reserve(n_events);
   std::vector<std::size_t> tenant_of(n_events, 0);
+  // Degraded-compile routing is decided here, in the serial prepare pass,
+  // from the trace event alone — a virtual-time policy, so the decision
+  // (and with it every outcome byte) is identical at any thread count.
+  std::vector<char> degraded_of(n_events, 0);
+  std::size_t serve_store_faults = 0;
   std::map<std::string, ResolvedWorkload> resolved;
   {
     MSYS_TRACE_SPAN(prep, "serve.prepare", "serve");
@@ -318,6 +393,24 @@ ServeReport ServeLoop::run(const TraceFile& trace) {
       const TraceEvent& e = trace.events[i];
       const std::size_t t = e.stream % n_tenants;
       tenant_of[i] = t;
+
+      if (auto& faults = FaultInjector::global(); faults.armed()) {
+        // Fault site: stall the prepare pass.  Wall-clock delay only — the
+        // virtual replay must produce the same bytes with or without it.
+        if (const std::uint64_t ms = faults.fire_param("serve.compile.stall"); ms != 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        }
+        // Fault site: a serve-level degraded store read for this event.
+        // Accounting-only (results are unchanged): it feeds the same
+        // store-fault tally that real BatchStats::store_faults land in, so
+        // summaries can be exercised without a disk store.
+        if (faults.should_fail("serve.store.read")) ++serve_store_faults;
+      }
+
+      if (options_.degraded_threshold_cycles != 0 && e.deadline_cycles != 0 &&
+          e.deadline_cycles < options_.degraded_threshold_cycles) {
+        degraded_of[i] = 1;
+      }
       auto it = resolved.find(e.workload);
       if (it == resolved.end()) {
         it = resolved.emplace(e.workload, resolve_workload(e.workload)).first;
@@ -330,6 +423,16 @@ ServeReport ServeLoop::run(const TraceFile& trace) {
       engine::Job job;
       job.input = engine::make_input(std::move(app), it->second.partition,
                                      partition_.virtual_config(t));
+      if (degraded_of[i] != 0) {
+        // Deadline budget under the watermark: enter the fallback ladder at
+        // a cheaper rung (Basic below half the watermark, DS otherwise) —
+        // a worse schedule now beats a perfect one after the deadline.
+        // The entry rung is part of the cache key, so degraded and full
+        // compilations never share cache or store entries.
+        job.options.entry = e.deadline_cycles * 2 < options_.degraded_threshold_cycles
+                                ? dsched::FallbackEntry::kBasic
+                                : dsched::FallbackEntry::kDS;
+      }
       jobs.push_back(std::move(job));
     }
   }
@@ -354,9 +457,12 @@ ServeReport ServeLoop::run(const TraceFile& trace) {
   static obs::Counter& c_arrived = obs::counter("serve.jobs.arrived");
   static obs::Counter& c_completed = obs::counter("serve.jobs.completed");
   static obs::Counter& c_rejected = obs::counter("serve.jobs.rejected");
+  static obs::Counter& c_shed = obs::counter("serve.jobs.shed");
   static obs::Counter& c_missed = obs::counter("serve.jobs.deadline_missed");
   static obs::Counter& c_infeasible = obs::counter("serve.jobs.infeasible");
   static obs::Counter& c_timeout = obs::counter("serve.jobs.compile_timeout");
+  static obs::Counter& c_degraded = obs::counter("serve.degraded_serves");
+  static obs::Counter& c_store_faults = obs::counter("serve.store_faults");
   static obs::Counter& c_transitions = obs::counter("serve.transitions");
   static obs::Counter& c_transition_cycles = obs::counter("serve.transition_cycles");
   static obs::Counter& c_preempt = obs::counter("serve.preemptions");
@@ -367,7 +473,7 @@ ServeReport ServeLoop::run(const TraceFile& trace) {
   timelines.reserve(n_tenants);
   for (std::size_t t = 0; t < n_tenants; ++t) {
     timelines.emplace_back(model, &report.outcomes, &report.stats.tenants[t],
-                           &report.stats);
+                           &report.stats, options_.shed_threshold_cycles);
   }
 
   {
@@ -385,12 +491,14 @@ ServeReport ServeLoop::run(const TraceFile& trace) {
       o.priority = spec.priority + e.priority;
       o.arrive_cycles = e.at_cycles;
       o.rung = "-";
+      o.degraded = degraded_of[i] != 0;
       ++report.stats.tenants[t].jobs;
 
       if (r.cancelled()) {
         o.status = "compile-timeout";
         o.deadline_met = false;
         ++report.stats.compile_timeouts;
+        ++report.stats.tenants[t].compile_timeouts;
         ++report.stats.tenants[t].deadline_missed;
         ++report.stats.deadline_missed;
         continue;
@@ -434,15 +542,46 @@ ServeReport ServeLoop::run(const TraceFile& trace) {
     if (ts.deadline_missed > 0) {
       obs::counter("serve.tenant." + ts.name + ".deadline_missed").add(ts.deadline_missed);
     }
+    if (ts.shed > 0) {
+      obs::counter("serve.tenant." + ts.name + ".shed").add(ts.shed);
+    }
+    // Conservation: every arrival ended as exactly one of completed /
+    // rejected / shed / infeasible / compile-timeout — a shed or rejected
+    // job that also completed (or vanished) is an accounting bug, and a
+    // shed job must never moonlight as a missed deadline.
+    MSYS_REQUIRE(ts.jobs == ts.completed + ts.rejected + ts.shed + ts.infeasible +
+                                ts.compile_timeouts,
+                 "serve conservation violated for tenant " + ts.name);
+    MSYS_REQUIRE(ts.deadline_missed <= ts.completed + ts.compile_timeouts,
+                 "deadline_missed double-counts shed/rejected work for tenant " +
+                     ts.name);
   }
   report.stats.p50_latency_cycles = percentile(all_latencies, 50);
   report.stats.p99_latency_cycles = percentile(std::move(all_latencies), 99);
+  MSYS_REQUIRE(report.stats.jobs == report.stats.completed + report.stats.rejected +
+                                        report.stats.shed + report.stats.infeasible +
+                                        report.stats.compile_timeouts,
+               "serve conservation violated across tenants");
+
+  // A job is a degraded *serve* only when the cheap-rung compile actually
+  // carried it to completion; degraded jobs that were shed or rejected
+  // keep the TSV flag but do not count.
+  for (const JobOutcome& o : report.outcomes) {
+    if (o.degraded && o.completed()) ++report.stats.degraded_serves;
+  }
+  // Store degradation observed by this run: real store faults from the
+  // compile phase plus serve-level injected read faults — surfaced here so
+  // a degraded store shows up in the serve summary instead of vanishing.
+  report.stats.store_faults = report.stats.compile.store_faults + serve_store_faults;
 
   c_completed.add(report.stats.completed);
   c_rejected.add(report.stats.rejected);
+  c_shed.add(report.stats.shed);
   c_missed.add(report.stats.deadline_missed);
   c_infeasible.add(report.stats.infeasible);
   c_timeout.add(report.stats.compile_timeouts);
+  c_degraded.add(report.stats.degraded_serves);
+  c_store_faults.add(report.stats.store_faults);
   c_transitions.add(report.stats.transitions);
   c_transition_cycles.add(report.stats.transition_cycles);
   c_preempt.add(report.stats.preemptions);

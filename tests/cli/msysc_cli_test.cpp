@@ -413,5 +413,58 @@ TEST(MsyscCli, ImpossiblePartitionIsAStructuredFailure) {
   EXPECT_EQ(msysc("--serve " + trace.string() + " --tenants 16"), 1);
 }
 
+TEST(MsyscCli, OverloadFlagsShedAndStayDeterministic) {
+  const fs::path trace = scratch("hot.trace");
+  const fs::path out1 = scratch("out1.tsv");
+  const fs::path out2 = scratch("out2.tsv");
+  // Arrivals ~10x hotter than the machine drains: with the watermark on,
+  // the run must shed (reported in the summary and the TSV) and still be
+  // byte-identical across compile thread counts.
+  ASSERT_EQ(msysc("--gen-trace " + trace.string() +
+                  " --trace-jobs 24 --streams 4 --seed 13 --mean-gap 15000"
+                  " --deadline-cycles 2000000"),
+            0);
+  const std::string overload_flags =
+      " --tenants 2 --shed-cycles 600000 --degraded-cycles 2200000";
+  std::string serve_out;
+  ASSERT_EQ(msysc_capture("--serve " + trace.string() + overload_flags +
+                              " -j 2 --serve-out " + out1.string(),
+                          &serve_out),
+            0);
+  EXPECT_NE(serve_out.find(" shed"), std::string::npos) << serve_out;
+  ASSERT_EQ(msysc("--serve " + trace.string() + overload_flags +
+                  " -j 1 --serve-out " + out2.string()),
+            0);
+  std::ifstream a(out1, std::ios::binary), b(out2, std::ios::binary);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_NE(sa.str().find("shed-overload"), std::string::npos);
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(MsyscCli, OverloadFlagsRejectBadOperands) {
+  EXPECT_EQ(msysc("--shed-cycles"), 1);
+  EXPECT_EQ(msysc("--degraded-cycles"), 1);
+  EXPECT_EQ(msysc("--shed-cycles banana --serve /tmp/x.trace"), 1);
+}
+
+TEST(MsyscCli, ServeChaosCampaignRunsCleanAndReportsSummary) {
+  const fs::path dir = scratch("chaos");
+  std::string out;
+  ASSERT_EQ(msysc_capture("--serve-chaos 8 --seed 11 --chaos-dir " + dir.string(),
+                          &out),
+            0);
+  EXPECT_NE(out.find("serve-chaos: seed 11: 8 cases"), std::string::npos) << out;
+  EXPECT_NE(out.find("0 FAILURES"), std::string::npos) << out;
+}
+
+TEST(MsyscCli, ServeChaosFlagsRejectBadOperands) {
+  EXPECT_EQ(msysc("--serve-chaos"), 1);
+  EXPECT_EQ(msysc("--serve-chaos 0"), 1);
+  EXPECT_EQ(msysc("--serve-chaos banana"), 1);
+  EXPECT_EQ(msysc("--chaos-dir"), 1);
+}
+
 }  // namespace
 }  // namespace msys

@@ -87,5 +87,62 @@ TEST(Fallback, KeepsMostAmbitiousInfeasibleRecord) {
   EXPECT_FALSE(outcome.schedule.infeasible_reason.empty());
 }
 
+TEST(Fallback, DegradedEntrySkipsCdsAndWinsAtDs) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  FallbackOptions options;
+  options.entry = FallbackEntry::kDS;
+  const ScheduleOutcome outcome =
+      schedule_with_fallback(analysis, test_cfg(4096), options);
+  ASSERT_TRUE(outcome.feasible());
+  EXPECT_EQ(outcome.chosen_rung(), "DS");
+  ASSERT_EQ(outcome.attempts.size(), 4u);
+  EXPECT_FALSE(outcome.attempts[0].attempted);
+  EXPECT_EQ(outcome.attempts[0].reason, "degraded entry");
+  EXPECT_TRUE(outcome.attempts[1].attempted);
+  EXPECT_TRUE(outcome.attempts[1].succeeded);
+  EXPECT_EQ(outcome.chain_summary(),
+            "CDS:skipped -> DS:ok -> Basic:skipped -> DS+split:skipped");
+  EXPECT_TRUE(validate_schedule(outcome.schedule, analysis, test_cfg(4096)).empty());
+}
+
+TEST(Fallback, BasicEntrySkipsBothSmarterRungs) {
+  RetentionApp r = RetentionApp::make();
+  ScheduleAnalysis analysis(r.sched);
+  FallbackOptions options;
+  options.entry = FallbackEntry::kBasic;
+  const ScheduleOutcome outcome =
+      schedule_with_fallback(analysis, test_cfg(4096), options);
+  ASSERT_TRUE(outcome.feasible());
+  EXPECT_EQ(outcome.chosen_rung(), "Basic");
+  ASSERT_EQ(outcome.attempts.size(), 4u);
+  EXPECT_FALSE(outcome.attempts[0].attempted);
+  EXPECT_FALSE(outcome.attempts[1].attempted);
+  EXPECT_EQ(outcome.attempts[0].reason, "degraded entry");
+  EXPECT_EQ(outcome.attempts[1].reason, "degraded entry");
+  EXPECT_TRUE(outcome.attempts[2].attempted);
+  EXPECT_TRUE(validate_schedule(outcome.schedule, analysis, test_cfg(4096)).empty());
+}
+
+TEST(Fallback, DegradedEntryStillFallsThroughOnFailure) {
+  // A degraded entry narrows where the chain *starts*, not where it can
+  // go: on a hopeless machine the DS entry still walks Basic and DS+split
+  // before reporting structured infeasibility.
+  TwoClusterApp t = TwoClusterApp::make();
+  ScheduleAnalysis analysis(t.sched);
+  FallbackOptions options;
+  options.entry = FallbackEntry::kDS;
+  const ScheduleOutcome outcome =
+      schedule_with_fallback(analysis, test_cfg(100), options);
+  EXPECT_FALSE(outcome.feasible());
+  ASSERT_EQ(outcome.attempts.size(), 4u);
+  EXPECT_FALSE(outcome.attempts[0].attempted);
+  for (std::size_t i = 1; i < outcome.attempts.size(); ++i) {
+    EXPECT_TRUE(outcome.attempts[i].attempted) << outcome.attempts[i].rung;
+    EXPECT_FALSE(outcome.attempts[i].succeeded) << outcome.attempts[i].rung;
+  }
+  EXPECT_TRUE(has_errors(outcome.diagnostics));
+}
+
 }  // namespace
 }  // namespace msys::dsched

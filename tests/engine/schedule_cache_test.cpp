@@ -58,6 +58,16 @@ TEST(CacheKey, DiffersByContentMachineKindAndOptions) {
   ranking.options.cds.ranking =
       dsched::CompleteDataScheduler::Options::Ranking::kDensity;
   EXPECT_NE(base_key, cache_key(ranking));
+
+  // A degraded fallback entry compiles a different artifact; its cache
+  // (and store) entries must never collide with the full chain's.
+  Job degraded = base;
+  degraded.options.entry = dsched::FallbackEntry::kDS;
+  EXPECT_NE(base_key, cache_key(degraded));
+  Job basic = base;
+  basic.options.entry = dsched::FallbackEntry::kBasic;
+  EXPECT_NE(base_key, cache_key(basic));
+  EXPECT_NE(cache_key(degraded), cache_key(basic));
 }
 
 TEST(ScheduleCache, MissThenHitReturnsSameResultObject) {

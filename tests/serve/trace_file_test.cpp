@@ -141,5 +141,39 @@ TEST(TraceFileTest, NonNumericFieldIsCoded) {
   EXPECT_TRUE(has_code(parsed.diagnostics, "trace.line.malformed"));
 }
 
+TEST(TraceFileTest, ExtraFieldsAreMalformedNotSilentlyDropped) {
+  ParseTraceResult parsed = parse_trace(
+      "trace v1 seed=1\n"
+      "job 100 0 E1 0 0 surprise\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_TRUE(has_code(parsed.diagnostics, "trace.line.malformed"));
+}
+
+TEST(TraceFileTest, EqualTimestampsAreSortedNotUnsorted) {
+  // Same-instant arrivals are legal (the serve layer breaks ties by trace
+  // order) — only a strict decrease is "unsorted".
+  ParseTraceResult parsed = parse_trace(
+      "trace v1 seed=1\n"
+      "job 100 0 E1 0 0\n"
+      "job 100 1 E1 0 0\n");
+  ASSERT_TRUE(parsed.ok()) << render(parsed.diagnostics);
+  EXPECT_EQ(parsed.trace->events.size(), 2u);
+}
+
+TEST(TraceFileTest, ChaosReproTracesRoundTripThroughTheParser) {
+  // The chaos campaign attaches shrunk repro traces as write_trace()
+  // text; a repro a human pastes back in must parse to the same events.
+  TraceGenSpec spec = small_spec();
+  spec.jobs = 5;
+  TraceFile shrunk = generate_trace(spec);
+  for (TraceEvent& e : shrunk.events) {
+    e.deadline_cycles = 0;  // what the shrinker's field-stripping leaves
+    e.priority = 0;
+  }
+  ParseTraceResult parsed = parse_trace(write_trace(shrunk), "repro.trace");
+  ASSERT_TRUE(parsed.ok()) << render(parsed.diagnostics);
+  EXPECT_EQ(*parsed.trace, shrunk);
+}
+
 }  // namespace
 }  // namespace msys::serve
